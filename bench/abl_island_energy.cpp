@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation A: energy vs island size. DESIGN.md's design question
+ * behind the paper's 2x2 choice: small islands track per-tile energy
+ * with 1/4 the controllers; large islands lose both performance
+ * (Fig. 4) and gating granularity. Sweeps island sizes on the 6x6
+ * fabric and reports power and II per kernel.
+ */
+#include "bench_util.hpp"
+
+namespace iced {
+
+void
+runAblation()
+{
+    PowerModel model;
+    TableWriter table({"kernel", "1x1 mW/II", "2x2 mW/II",
+                       "3x3 mW/II", "6x6 mW/II"});
+    Summary power_sum[4];
+    for (const Kernel *k : singleKernels()) {
+        std::vector<std::string> row{k->name};
+        int idx = 0;
+        for (int island : {1, 2, 3, 6}) {
+            Cgra cgra = bench::makeCgra(6, island, island);
+            Dfg dfg = k->build(1);
+            Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+            auto eval = evaluateIced(m, model);
+            // Controller count follows the island grid.
+            row.push_back(TableWriter::num(eval.power.totalMw, 1) +
+                          "/" + std::to_string(m.ii()));
+            power_sum[idx++].add(eval.power.totalMw);
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << "\n=== Ablation A: ICED power/II vs island size "
+                 "(6x6 fabric) ===\n";
+    table.print(std::cout);
+    std::cout << "average power: ";
+    const char *names[] = {"1x1", "2x2", "3x3", "6x6"};
+    for (int i = 0; i < 4; ++i)
+        std::cout << names[i] << "="
+                  << TableWriter::num(power_sum[i].mean(), 1) << "mW  ";
+    std::cout << "\n(1x1 islands pay 36 controllers; 6x6 has one "
+                 "island and loses all gating granularity.)\n";
+}
+
+void
+BM_MapByIslandSize(benchmark::State &state)
+{
+    Cgra cgra = bench::makeCgra(6, static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0)));
+    Dfg dfg = findKernel("mvt").build(1);
+    for (auto _ : state) {
+        Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+        benchmark::DoNotOptimize(m.ii());
+    }
+}
+BENCHMARK(BM_MapByIslandSize)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runAblation)

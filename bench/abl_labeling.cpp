@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation B: how much of ICED's energy win comes from Algorithm 1's
+ * labeling versus plain island power-gating. Compares three variants
+ * on the 6x6 fabric: gating only (conventional mapping + island
+ * gating), ICED without rest labels (relax floor), and full ICED.
+ */
+#include "bench_util.hpp"
+
+namespace iced {
+
+KernelEvaluation
+evaluateVariant(const Cgra &cgra, const Dfg &dfg,
+                const MapperOptions &opts, const PowerModel &model,
+                std::string name)
+{
+    Mapping m = Mapper(cgra, opts).map(dfg);
+    validateMapping(m);
+    auto eval = evaluateIced(m, model);
+    eval.design = std::move(name);
+    return eval;
+}
+
+void
+runAblation()
+{
+    PowerModel model;
+    Cgra cgra = bench::makeCgra();
+    TableWriter table({"kernel", "gating only (mW)",
+                       "relax floor (mW)", "full iced (mW)", "II"});
+    Summary sums[3];
+    for (const Kernel *k : singleKernels()) {
+        Dfg dfg = k->build(2);
+        MapperOptions gating_only;
+        gating_only.dvfsAware = false;
+        MapperOptions relax_floor;
+        relax_floor.labeling.lowestLabel = DvfsLevel::Relax;
+        const KernelEvaluation evals[3] = {
+            evaluateVariant(cgra, dfg, gating_only, model,
+                            "gating only"),
+            evaluateVariant(cgra, dfg, relax_floor, model,
+                            "relax floor"),
+            evaluateVariant(cgra, dfg, MapperOptions{}, model,
+                            "full iced"),
+        };
+        for (int i = 0; i < 3; ++i)
+            sums[i].add(evals[i].power.totalMw);
+        table.addRow({k->name,
+                      TableWriter::num(evals[0].power.totalMw, 1),
+                      TableWriter::num(evals[1].power.totalMw, 1),
+                      TableWriter::num(evals[2].power.totalMw, 1),
+                      std::to_string(evals[2].ii)});
+    }
+    table.addRow({"AVERAGE", TableWriter::num(sums[0].mean(), 1),
+                  TableWriter::num(sums[1].mean(), 1),
+                  TableWriter::num(sums[2].mean(), 1), "-"});
+    std::cout << "\n=== Ablation B: labeling contribution (uf=2) "
+                 "===\n";
+    table.print(std::cout);
+    std::cout << "full-ICED saving over gating-only: "
+              << TableWriter::num(sums[0].mean() - sums[2].mean(), 1)
+              << " mW; the rest-level labels contribute "
+              << TableWriter::num(sums[1].mean() - sums[2].mean(), 1)
+              << " mW of that.\n";
+}
+
+void
+BM_LabelingPass(benchmark::State &state)
+{
+    Cgra cgra = bench::makeCgra();
+    Dfg dfg = findKernel("fft").build(2);
+    for (auto _ : state) {
+        const auto labels = labelDvfsLevels(dfg, cgra, 4);
+        benchmark::DoNotOptimize(labels.restCount);
+    }
+}
+BENCHMARK(BM_LabelingPass)->Unit(benchmark::kMicrosecond);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runAblation)

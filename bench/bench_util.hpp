@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every bench binary follows the same pattern: google-benchmark cases
+ * time the toolchain on representative inputs, then `main` regenerates
+ * the corresponding paper table/figure as an aligned text table
+ * (honest model outputs side by side with the published values where
+ * the paper states them).
+ */
+#ifndef ICED_BENCH_BENCH_UTIL_HPP
+#define ICED_BENCH_BENCH_UTIL_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table_writer.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/validate.hpp"
+#include "power/report.hpp"
+
+namespace iced::bench {
+
+/** The evaluation fabric of the paper's prototype. */
+inline Cgra
+makeCgra(int n = 6, int island_rows = 2, int island_cols = 2)
+{
+    CgraConfig c;
+    c.rows = n;
+    c.cols = n;
+    c.islandRows = island_rows;
+    c.islandCols = island_cols;
+    return Cgra(c);
+}
+
+/** Both mappings of one kernel, validated. */
+struct MappedKernel
+{
+    std::string name;
+    Dfg dfg;
+    Mapping conventional;
+    Mapping iced;
+
+    MappedKernel(const Cgra &cgra, const Kernel &kernel, int uf)
+        : name(kernel.name),
+          dfg(kernel.build(uf)),
+          conventional(
+              [&] {
+                  MapperOptions conv;
+                  conv.dvfsAware = false;
+                  return Mapper(cgra, conv).map(dfg);
+              }()),
+          iced(Mapper(cgra, MapperOptions{}).map(dfg))
+    {
+        validateMapping(conventional);
+        validateMapping(iced);
+    }
+};
+
+/** Run `body` once per single-kernel workload. */
+template <typename Fn>
+void
+forEachSingleKernel(Fn &&body)
+{
+    for (const Kernel *k : singleKernels())
+        body(*k);
+}
+
+/** Standard boilerplate main: run benchmarks, then the table. */
+#define ICED_BENCH_MAIN(experiment_fn)                                  \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        ::benchmark::Initialize(&argc, argv);                           \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        ::benchmark::Shutdown();                                        \
+        experiment_fn();                                                \
+        return 0;                                                       \
+    }
+
+} // namespace iced::bench
+
+#endif // ICED_BENCH_BENCH_UTIL_HPP

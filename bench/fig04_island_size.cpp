@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates Figure 4: normalized performance (baseline II / ICED
+ * II) on an 8x8 CGRA for DVFS island sizes 1x1, 2x2, 3x3, 4x4. The
+ * paper reports no degradation at 2x2 and increasing slowdowns for
+ * larger islands (bigger islands constrain placement).
+ */
+#include "bench_util.hpp"
+
+namespace iced {
+
+void
+runFigure()
+{
+    TableWriter table({"kernel", "no-DVFS II", "1x1", "2x2", "3x3",
+                       "4x4"});
+    Summary geo[4];
+    for (const Kernel *k : singleKernels()) {
+        Dfg dfg = k->build(1);
+        Cgra base = bench::makeCgra(8);
+        MapperOptions conv;
+        conv.dvfsAware = false;
+        const int base_ii = Mapper(base, conv).map(dfg).ii();
+        std::vector<std::string> row{k->name,
+                                     std::to_string(base_ii)};
+        int idx = 0;
+        for (int island : {1, 2, 3, 4}) {
+            Cgra cgra = bench::makeCgra(8, island, island);
+            Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+            validateMapping(m);
+            const double normalized =
+                static_cast<double>(base_ii) / m.ii();
+            row.push_back(TableWriter::num(normalized, 2));
+            geo[idx++].add(normalized);
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << "\n=== Figure 4: normalized performance vs DVFS "
+                 "island size (8x8 CGRA) ===\n";
+    table.print(std::cout);
+    std::cout << "\naverage: ";
+    const char *names[] = {"1x1", "2x2", "3x3", "4x4"};
+    for (int i = 0; i < 4; ++i)
+        std::cout << names[i] << "="
+                  << TableWriter::num(geo[i].mean(), 2) << "  ";
+    std::cout << "\nPaper's shape: 2x2 matches the no-DVFS baseline; "
+                 "larger islands degrade.\n";
+}
+
+void
+BM_IcedMap8x8(benchmark::State &state)
+{
+    Cgra cgra = bench::makeCgra(8, state.range(0), state.range(0));
+    Dfg dfg = findKernel("conv").build(1);
+    for (auto _ : state) {
+        Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+        benchmark::DoNotOptimize(m.ii());
+    }
+}
+BENCHMARK(BM_IcedMap8x8)->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runFigure)

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Figure 8: area and power breakdown of the 6x6 ICED
+ * CGRA from the calibrated models (the paper reports 6.63 mm^2 and
+ * 113.95 mW average at 0.7 V / 434 MHz without SRAM macros; SRAM adds
+ * 0.559 mm^2 / 62.653 mW at 22 nm).
+ */
+#include "bench_util.hpp"
+
+#include "power/area_model.hpp"
+
+namespace iced {
+
+void
+runFigure()
+{
+    PowerModel power;
+    AreaModel area;
+
+    const AreaBreakdown a =
+        area.fabricArea(DvfsHardware::PerIsland, 36, 9, true);
+    TableWriter at({"block", "area (mm^2)", "share"});
+    const double core = a.totalMm2 - a.sramMm2;
+    at.addRow({"36 tiles", TableWriter::num(a.tilesMm2, 3),
+               TableWriter::num(100 * a.tilesMm2 / core, 1) + "%"});
+    at.addRow({"9 island DVFS controllers (LDO+ADPLL)",
+               TableWriter::num(a.dvfsOverheadMm2, 3),
+               TableWriter::num(100 * a.dvfsOverheadMm2 / core, 1) +
+                   "%"});
+    at.addRow({"global (clock spine, command IF)",
+               TableWriter::num(a.globalMm2, 3),
+               TableWriter::num(100 * a.globalMm2 / core, 1) + "%"});
+    at.addRow({"CGRA total (paper: 6.63)",
+               TableWriter::num(core, 3), "100%"});
+    at.addRow({"SRAM 32KB @22nm (paper: 0.559)",
+               TableWriter::num(a.sramMm2, 3), "-"});
+    std::cout << "\n=== Figure 8a: area breakdown, 6x6 ICED ===\n";
+    at.print(std::cout);
+
+    // Power at the nominal operating point with a representative 50%
+    // average activity (the paper reports average power).
+    double tiles_mw = 0.0;
+    for (int t = 0; t < 36; ++t)
+        tiles_mw += power.tilePowerMw(DvfsLevel::Normal, 0.5);
+    const double ctl_mw =
+        power.dvfsOverheadMw(DvfsHardware::PerIsland, 36, 9);
+    TableWriter pt({"block", "power (mW)"});
+    pt.addRow({"36 tiles @0.7V/434MHz, 50% activity",
+               TableWriter::num(tiles_mw, 2)});
+    pt.addRow({"9 island DVFS controllers",
+               TableWriter::num(ctl_mw, 2)});
+    pt.addRow({"CGRA total (paper: 113.95)",
+               TableWriter::num(tiles_mw + ctl_mw, 2)});
+    pt.addRow({"SRAM (paper: up to 62.653)",
+               TableWriter::num(power.config().sramMw, 2)});
+    std::cout << "\n=== Figure 8b: power breakdown, 6x6 ICED ===\n";
+    pt.print(std::cout);
+
+    std::cout << "\nOperating points: normal 0.7V/434MHz, relax "
+                 "0.5V/217MHz, rest 0.42V/108.5MHz, power-gated.\n";
+}
+
+void
+BM_TilePower(benchmark::State &state)
+{
+    PowerModel model;
+    for (auto _ : state) {
+        double mw = 0.0;
+        for (int t = 0; t < 36; ++t)
+            mw += model.tilePowerMw(DvfsLevel::Relax, 0.4);
+        benchmark::DoNotOptimize(mw);
+    }
+}
+BENCHMARK(BM_TilePower);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runFigure)

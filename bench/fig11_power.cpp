@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Figure 11: average power of the four evaluated designs
+ * (Baseline, Baseline + power gating, Per-tile DVFS + power gating,
+ * ICED) per kernel on the 6x6 prototype. The paper's uf=2 averages:
+ * 160.4 / 143.8 / 193.9 / 121.3 mW, i.e. ICED is 1.32x more
+ * energy-efficient than the baseline and 1.6x than per-tile DVFS
+ * (execution time is identical across designs, so power ratios are
+ * energy-efficiency ratios).
+ */
+#include "bench_util.hpp"
+
+namespace iced {
+
+void
+runFigure()
+{
+    PowerModel model;
+    Cgra cgra = bench::makeCgra();
+    for (int uf : {1, 2}) {
+        TableWriter table({"kernel", "baseline", "baseline+pg",
+                           "per-tile dvfs+pg", "iced"});
+        Summary sums[4];
+        for (const Kernel *k : singleKernels()) {
+            bench::MappedKernel mk(cgra, *k, uf);
+            const KernelEvaluation evals[4] = {
+                evaluateBaseline(mk.conventional, model),
+                evaluateBaselinePg(mk.conventional, model),
+                evaluatePerTileDvfs(mk.conventional, model),
+                evaluateIced(mk.iced, model),
+            };
+            std::vector<std::string> row{k->name};
+            for (int i = 0; i < 4; ++i) {
+                sums[i].add(evals[i].power.totalMw);
+                row.push_back(
+                    TableWriter::num(evals[i].power.totalMw, 1));
+            }
+            table.addRow(std::move(row));
+        }
+        std::vector<std::string> avg{"AVERAGE (mW)"};
+        for (auto &s : sums)
+            avg.push_back(TableWriter::num(s.mean(), 1));
+        table.addRow(std::move(avg));
+        std::cout << "\n=== Figure 11 (uf=" << uf
+                  << "): average power per design (mW) ===\n";
+        table.print(std::cout);
+        std::cout << "energy-efficiency vs baseline: ICED "
+                  << TableWriter::num(sums[0].mean() / sums[3].mean(),
+                                      2)
+                  << "x;  vs per-tile DVFS: "
+                  << TableWriter::num(sums[2].mean() / sums[3].mean(),
+                                      2)
+                  << "x;  gating alone: "
+                  << TableWriter::num(sums[0].mean() / sums[1].mean(),
+                                      2)
+                  << "x\n";
+    }
+    std::cout << "\nPaper (uf=2): 160.4 / 143.8 / 193.9 / 121.3 mW "
+                 "-> ICED 1.32x vs baseline, 1.6x vs per-tile.\n";
+}
+
+void
+BM_PowerEvaluation(benchmark::State &state)
+{
+    PowerModel model;
+    Cgra cgra = bench::makeCgra();
+    bench::MappedKernel mk(cgra, findKernel("fft"), 1);
+    for (auto _ : state) {
+        const auto e = evaluateIced(mk.iced, model);
+        benchmark::DoNotOptimize(e.power.totalMw);
+    }
+}
+BENCHMARK(BM_PowerEvaluation)->Unit(benchmark::kMicrosecond);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runFigure)

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Figure 13: normalized energy-efficiency
+ * (performance-per-watt, ICED over DRIPS) for the GCN and LU
+ * streaming applications across 10-input adjustment windows. The
+ * first 50 inputs profile the initial partition for both designs.
+ * Paper averages: 1.12x (GCN) and 1.26x (LU).
+ */
+#include "bench_util.hpp"
+
+#include "streaming/stream_sim.hpp"
+
+namespace iced {
+
+void
+runFigure()
+{
+    PowerModel model;
+    Cgra cgra = bench::makeCgra();
+    for (const char *which : {"gcn", "lu"}) {
+        Rng rng(42);
+        const AppDef app = std::string(which) == "gcn"
+                               ? makeGcnApp(rng, 150)
+                               : makeLuApp(rng, 150);
+        Partitioner part(cgra);
+        const PartitionPlan iced_plan = part.plan(app, 50, true);
+        const PartitionPlan drips_plan = part.plan(app, 50, false);
+
+        const auto iced = simulateStream(app, part, iced_plan,
+                                         StreamPolicy::IcedDvfs, model);
+        const auto drips = simulateStream(app, part, drips_plan,
+                                          StreamPolicy::Drips, model);
+
+        TableWriter plan_table({"stage", "islands", "II"});
+        for (const StagePlan &s : iced_plan.stages)
+            plan_table.addRow({s.label, std::to_string(s.islands),
+                               std::to_string(s.ii)});
+        std::cout << "\n=== Figure 13 (" << which
+                  << "): partition (profiled on first 50 inputs) "
+                     "===\n";
+        plan_table.print(std::cout);
+
+        TableWriter series({"window", "inputs", "iced perf/W",
+                            "drips perf/W", "normalized"});
+        Summary ratio;
+        const std::size_t windows = std::min(iced.windows.size(),
+                                             drips.windows.size());
+        for (std::size_t w = 0; w < windows; ++w) {
+            const double r = iced.windows[w].inputsPerUj /
+                             drips.windows[w].inputsPerUj;
+            ratio.add(r);
+            series.addRow(
+                {std::to_string(w),
+                 std::to_string(iced.windows[w].lastInput -
+                                iced.windows[w].firstInput + 1),
+                 TableWriter::num(iced.windows[w].inputsPerUj, 4),
+                 TableWriter::num(drips.windows[w].inputsPerUj, 4),
+                 TableWriter::num(r, 3)});
+        }
+        series.print(std::cout);
+        std::cout << "average normalized energy-efficiency "
+                     "(ICED/DRIPS): "
+                  << TableWriter::num(ratio.mean(), 3)
+                  << "x   makespan ratio: "
+                  << TableWriter::num(
+                         iced.makespanCycles / drips.makespanCycles, 3)
+                  << "\n";
+    }
+    std::cout << "\nPaper: 1.12x (GCN), 1.26x (LU) at identical "
+                 "throughput.\n";
+}
+
+void
+BM_StreamSimulation(benchmark::State &state)
+{
+    PowerModel model;
+    Cgra cgra = bench::makeCgra();
+    Rng rng(42);
+    const AppDef app = makeGcnApp(rng, 150);
+    Partitioner part(cgra);
+    const PartitionPlan plan = part.plan(app, 50, true);
+    for (auto _ : state) {
+        const auto stats = simulateStream(app, part, plan,
+                                          StreamPolicy::IcedDvfs,
+                                          model);
+        benchmark::DoNotOptimize(stats.energyUj);
+    }
+}
+BENCHMARK(BM_StreamSimulation)->Unit(benchmark::kMicrosecond);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runFigure)

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Figure 14: power and performance of the FFT kernel on
+ * ICED versus other published architectures. As in the paper, the
+ * non-ICED points are literature-derived constants (HyCUBE A-SSCC'19,
+ * RipTide MICRO'22, SNAFU as cited there); only the ICED point is
+ * measured on this substrate. Cross-platform numbers are not directly
+ * comparable (different nodes, tile counts, memory systems) - the
+ * figure situates ICED's operating envelope.
+ */
+#include "bench_util.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace iced {
+
+void
+runFigure()
+{
+    PowerModel model;
+    Cgra cgra = bench::makeCgra();
+    const Kernel &fft = findKernel("fft");
+    bench::MappedKernel mk(cgra, fft, 1);
+    Rng rng(42);
+    const Workload w = fft.workload(rng);
+    const SimResult sim =
+        simulate(mk.iced, w.memory, SimOptions{w.iterations});
+    const auto iced = evaluateIced(mk.iced, model);
+
+    // Ops per cycle: mappable DFG nodes retire once per II.
+    const double mops =
+        static_cast<double>(mk.dfg.mappableNodeCount()) / mk.iced.ii() *
+        model.config().nominalFreqMhz;
+    const double mops_per_mw = mops / iced.power.totalMw;
+
+    TableWriter table({"architecture", "tech", "power (mW)",
+                       "perf (MOPS)", "MOPS/mW", "source"});
+    table.addRow({"ICED 6x6 (this work)", "7nm model",
+                  TableWriter::num(iced.power.totalMw, 1),
+                  TableWriter::num(mops, 0),
+                  TableWriter::num(mops_per_mw, 1), "measured"});
+    // Literature-derived points, as the paper itself does.
+    table.addRow({"HyCUBE 4x4 @0.9V", "40nm", "42.0", "1100",
+                  "26.4", "A-SSCC'19"});
+    table.addRow({"RipTide 6x6", "22nm", "0.3", "81", "270.0",
+                  "MICRO'22"});
+    table.addRow({"SNAFU 6x6", "28nm", "0.4", "72", "180.0",
+                  "MICRO'21 (via RipTide)"});
+    std::cout << "\n=== Figure 14: FFT power/performance across "
+                 "architectures ===\n";
+    table.print(std::cout);
+    std::cout << "\nFFT run: II=" << mk.iced.ii() << ", "
+              << sim.iterations << " iterations in " << sim.execCycles
+              << " cycles; energy "
+              << TableWriter::num(model.energyUj(iced.power.totalMw,
+                                                 double(sim.execCycles)),
+                                  3)
+              << " uJ.\nNote: cross-platform comparison is "
+                 "qualitative (different nodes/memories), as the "
+                 "paper stresses.\n";
+}
+
+void
+BM_FftEndToEnd(benchmark::State &state)
+{
+    Cgra cgra = bench::makeCgra();
+    const Kernel &fft = findKernel("fft");
+    Rng rng(42);
+    const Workload w = fft.workload(rng);
+    bench::MappedKernel mk(cgra, fft, 1);
+    for (auto _ : state) {
+        const SimResult sim =
+            simulate(mk.iced, w.memory, SimOptions{w.iterations});
+        benchmark::DoNotOptimize(sim.execCycles);
+    }
+}
+BENCHMARK(BM_FftEndToEnd)->Unit(benchmark::kMicrosecond);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runFigure)

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Table I: per-kernel DFG statistics (nodes, edges,
+ * RecMII) at unroll factors 1 and 2, side by side with the published
+ * values, plus the II this toolchain achieves on the 6x6 prototype.
+ */
+#include "bench_util.hpp"
+
+#include "dfg/cycle_analysis.hpp"
+
+namespace iced {
+
+int
+nonConstEdges(const Dfg &dfg)
+{
+    int edges = 0;
+    for (const DfgEdge &e : dfg.edges())
+        if (dfg.node(e.src).op != Opcode::Const)
+            ++edges;
+    return edges;
+}
+
+void
+runTable()
+{
+    Cgra cgra = bench::makeCgra();
+    TableWriter table({"kernel", "domain", "uf", "nodes", "paper",
+                       "edges", "paper", "RecMII", "paper",
+                       "achieved II"});
+    for (const Kernel &k : kernelRegistry()) {
+        for (int uf : {1, 2}) {
+            const auto &paper = uf == 1 ? k.paperUf1 : k.paperUf2;
+            Dfg dfg = k.build(uf);
+            MapperOptions conv;
+            conv.dvfsAware = false;
+            Mapping m = Mapper(cgra, conv).map(dfg);
+            table.addRow({k.name, k.domain, std::to_string(uf),
+                          std::to_string(dfg.mappableNodeCount()),
+                          std::to_string(paper.nodes),
+                          std::to_string(nonConstEdges(dfg)),
+                          std::to_string(paper.edges),
+                          std::to_string(computeRecMii(dfg)),
+                          std::to_string(paper.recMii),
+                          std::to_string(m.ii())});
+        }
+    }
+    std::cout << "\n=== Table I: target workloads (ours vs paper) ===\n";
+    table.print(std::cout);
+}
+
+void
+BM_DfgConstruction(benchmark::State &state)
+{
+    const Kernel &k = kernelRegistry()[state.range(0)];
+    for (auto _ : state) {
+        Dfg dfg = k.build(1);
+        benchmark::DoNotOptimize(dfg.nodeCount());
+    }
+    state.SetLabel(k.name);
+}
+BENCHMARK(BM_DfgConstruction)->DenseRange(0, 9);
+
+void
+BM_RecMii(benchmark::State &state)
+{
+    Dfg dfg = kernelRegistry()[state.range(0)].build(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(computeRecMii(dfg));
+}
+BENCHMARK(BM_RecMii)->DenseRange(0, 9);
+
+} // namespace iced
+
+ICED_BENCH_MAIN(iced::runTable)

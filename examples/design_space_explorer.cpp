@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep fabric sizes
+ * and DVFS island sizes for a kernel given on the command line and
+ * print the II / utilization / power frontier. This is the "ICED
+ * compiler can take in any island size for compilation and DVFS
+ * co-design" workflow.
+ *
+ *   ./design_space_explorer [kernel=gemm] [unroll=1]
+ */
+#include <iostream>
+
+#include "common/table_writer.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/validate.hpp"
+#include "power/report.hpp"
+
+using namespace iced;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "gemm";
+    const int unroll = argc > 2 ? std::atoi(argv[2]) : 1;
+    const Kernel &kernel = findKernel(name);
+    const Dfg dfg = kernel.build(unroll);
+    PowerModel model;
+
+    std::cout << "kernel '" << name << "' x" << unroll << ": "
+              << dfg.mappableNodeCount() << " nodes, "
+              << dfg.memoryOpCount() << " memory ops\n\n";
+
+    TableWriter table({"fabric", "islands", "II", "avg util",
+                       "avg DVFS", "power (mW)", "mW x II"});
+    for (int size : {4, 6, 8}) {
+        for (int island : {1, 2, 3}) {
+            if (size % island != 0)
+                continue;
+            CgraConfig config;
+            config.rows = size;
+            config.cols = size;
+            config.islandRows = island;
+            config.islandCols = island;
+            Cgra cgra(config);
+            auto mapping = Mapper(cgra, MapperOptions{}).tryMap(dfg);
+            if (!mapping) {
+                table.addRow({cgra.describe(), "-", "no fit", "-",
+                              "-", "-", "-"});
+                continue;
+            }
+            validateMapping(*mapping);
+            const auto eval = evaluateIced(*mapping, model);
+            table.addRow(
+                {cgra.describe(),
+                 std::to_string(cgra.islandCount()),
+                 std::to_string(eval.ii),
+                 TableWriter::num(100 * eval.stats.avgUtilization, 1) +
+                     "%",
+                 TableWriter::num(100 * eval.stats.avgDvfsFraction, 1) +
+                     "%",
+                 TableWriter::num(eval.power.totalMw, 1),
+                 TableWriter::num(eval.power.totalMw * eval.ii, 0)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n'mW x II' is an energy-per-iteration proxy: lower "
+                 "is better at equal throughput requirements.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a small kernel DFG with the public API, map it
+ * onto a DVFS-island CGRA, run the cycle-accurate simulator, and
+ * print schedule, DVFS levels, utilization, and power.
+ *
+ *   ./quickstart
+ */
+#include <iostream>
+
+#include "dfg/interpreter.hpp"
+#include "kernels/builder_util.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/validate.hpp"
+#include "power/report.hpp"
+#include "sim/simulator.hpp"
+
+using namespace iced;
+
+int
+main()
+{
+    // 1. Describe the fabric: a 4x4 CGRA with 2x2 DVFS islands.
+    CgraConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.islandRows = 2;
+    config.islandCols = 2;
+    Cgra cgra(config);
+
+    // 2. Build a kernel: y[i] = 3*x[i] + x[i-1] (a 2-tap filter).
+    KernelBuilder b("twotap");
+    const auto i = b.counter(/*start=*/0, /*step=*/1,
+                             /*bound=*/1 << 30, /*reset=*/0);
+    const NodeId x = b.load(i.value, /*base=*/0, "x");
+    const NodeId scaled = b.op2(Opcode::Mul, x, b.imm(3), "scaled");
+    // x[i-1] through a loop-carried edge (distance 1, init 0).
+    const NodeId sum = b.dfg().addNode(Opcode::Add, "sum");
+    b.dfg().addEdge(scaled, sum, 0);
+    b.dfg().addEdge(x, sum, 1, /*distance=*/1, /*init=*/0);
+    b.store(i.value, sum, /*base=*/64, "y");
+    const Dfg dfg = b.take();
+
+    // 3. Map it DVFS-aware and check every invariant.
+    Mapping mapping = Mapper(cgra, MapperOptions{}).map(dfg);
+    validateMapping(mapping);
+    std::cout << mapping.describe() << "\n";
+
+    // 4. Execute 16 iterations cycle-accurately and cross-check the
+    //    functional golden model.
+    std::vector<std::int64_t> memory(128, 0);
+    for (int k = 0; k < 16; ++k)
+        memory[k] = k + 1;
+    const SimResult sim = simulate(mapping, memory, SimOptions{16});
+    const InterpResult ref = interpretDfg(dfg, memory, 16, false);
+    const bool match = std::equal(ref.memory.begin(), ref.memory.end(),
+                                  sim.memory.begin());
+    std::cout << "simulated " << sim.execCycles << " cycles; golden "
+              << (match ? "MATCH" : "MISMATCH") << "\n";
+    std::cout << "y[0..7] = ";
+    for (int k = 0; k < 8; ++k)
+        std::cout << sim.memory[64 + k] << " ";
+    std::cout << "\n";
+
+    // 5. Energy report.
+    PowerModel model;
+    const auto eval = evaluateIced(mapping, model);
+    std::cout << "II=" << eval.ii << ", avg utilization "
+              << 100 * eval.stats.avgUtilization << "%, power "
+              << eval.power.totalMw << " mW (of which DVFS overhead "
+              << eval.power.dvfsOverheadMw << " mW)\n";
+    return match ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+#include "arch/cgra.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+Dir
+opposite(Dir d)
+{
+    switch (d) {
+      case Dir::North: return Dir::South;
+      case Dir::South: return Dir::North;
+      case Dir::East: return Dir::West;
+      case Dir::West: return Dir::East;
+    }
+    panic("opposite: unknown direction");
+}
+
+std::string
+toString(Dir d)
+{
+    switch (d) {
+      case Dir::North: return "N";
+      case Dir::South: return "S";
+      case Dir::East: return "E";
+      case Dir::West: return "W";
+    }
+    panic("toString: unknown direction");
+}
+
+Cgra::Cgra(CgraConfig config) : cfg(config)
+{
+    fatalIf(cfg.rows < 1 || cfg.cols < 1,
+            "CGRA must have at least one tile");
+    fatalIf(cfg.islandRows < 1 || cfg.islandCols < 1,
+            "island dimensions must be positive");
+    fatalIf(cfg.registersPerTile < 1,
+            "tiles need at least one routing register");
+
+    const int island_cols =
+        (cfg.cols + cfg.islandCols - 1) / cfg.islandCols;
+    const int island_rows =
+        (cfg.rows + cfg.islandRows - 1) / cfg.islandRows;
+    islands.assign(
+        static_cast<std::size_t>(island_rows * island_cols), {});
+    tileIsland.assign(static_cast<std::size_t>(tileCount()), -1);
+
+    for (int r = 0; r < cfg.rows; ++r) {
+        for (int c = 0; c < cfg.cols; ++c) {
+            const TileId t = r * cfg.cols + c;
+            const IslandId isl =
+                (r / cfg.islandRows) * island_cols + (c / cfg.islandCols);
+            tileIsland[t] = isl;
+            islands[isl].push_back(t);
+            if (!cfg.memLeftColumnOnly || c == 0)
+                memTileList.push_back(t);
+        }
+    }
+}
+
+TileId
+Cgra::tileAt(int row, int col) const
+{
+    panicIfNot(row >= 0 && row < cfg.rows && col >= 0 && col < cfg.cols,
+               "tileAt(", row, ",", col, ") out of range");
+    return row * cfg.cols + col;
+}
+
+int
+Cgra::rowOf(TileId tile) const
+{
+    panicIfNot(tile >= 0 && tile < tileCount(), "bad tile id ", tile);
+    return tile / cfg.cols;
+}
+
+int
+Cgra::colOf(TileId tile) const
+{
+    panicIfNot(tile >= 0 && tile < tileCount(), "bad tile id ", tile);
+    return tile % cfg.cols;
+}
+
+TileId
+Cgra::neighbor(TileId tile, Dir d) const
+{
+    const int r = rowOf(tile);
+    const int c = colOf(tile);
+    switch (d) {
+      case Dir::North:
+        return r + 1 < cfg.rows ? tileAt(r + 1, c) : -1;
+      case Dir::South:
+        return r > 0 ? tileAt(r - 1, c) : -1;
+      case Dir::East:
+        return c + 1 < cfg.cols ? tileAt(r, c + 1) : -1;
+      case Dir::West:
+        return c > 0 ? tileAt(r, c - 1) : -1;
+    }
+    panic("neighbor: unknown direction");
+}
+
+IslandId
+Cgra::islandOf(TileId tile) const
+{
+    panicIfNot(tile >= 0 && tile < tileCount(), "bad tile id ", tile);
+    return tileIsland[tile];
+}
+
+const std::vector<TileId> &
+Cgra::islandTiles(IslandId island) const
+{
+    panicIfNot(island >= 0 && island < islandCount(),
+               "bad island id ", island);
+    return islands[island];
+}
+
+bool
+Cgra::isMemTile(TileId tile) const
+{
+    return !cfg.memLeftColumnOnly || colOf(tile) == 0;
+}
+
+int
+Cgra::distance(TileId a, TileId b) const
+{
+    return std::abs(rowOf(a) - rowOf(b)) + std::abs(colOf(a) - colOf(b));
+}
+
+std::string
+Cgra::describe() const
+{
+    return std::to_string(cfg.rows) + "x" + std::to_string(cfg.cols) +
+           "(" + std::to_string(cfg.islandRows) + "x" +
+           std::to_string(cfg.islandCols) + ")";
+}
+
+} // namespace iced

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parameterizable CGRA fabric model with DVFS islands.
+ *
+ * The fabric is a rows x cols mesh of tiles. Each tile has one FU, a
+ * crossbar with four directional output ports (N/S/E/W), and a small
+ * register file used to hold in-flight values. Tiles in the leftmost
+ * column additionally connect to the scratchpad memory and are the only
+ * legal hosts for Load/Store operations (paper Fig. 1/5).
+ *
+ * Tiles are clustered into rectangular DVFS islands (paper: 2x2 in the
+ * 6x6 prototype, but any size is supported; islands at the fabric edge
+ * may be clipped, matching the paper's note about irregular 3x3 islands
+ * on an 8x8 fabric).
+ */
+#ifndef ICED_ARCH_CGRA_HPP
+#define ICED_ARCH_CGRA_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/dvfs.hpp"
+
+namespace iced {
+
+/** Linear tile index: row * cols + col. */
+using TileId = int;
+/** Island index. */
+using IslandId = int;
+
+/** Mesh directions, also used as crossbar output-port indices. */
+enum class Dir : int { North = 0, South = 1, East = 2, West = 3 };
+
+/** Number of directional ports per tile. */
+inline constexpr int dirCount = 4;
+
+/** Opposite direction (North <-> South, East <-> West). */
+Dir opposite(Dir d);
+
+/** Short name ("N", "S", "E", "W"). */
+std::string toString(Dir d);
+
+/** Static configuration of a CGRA instance. */
+struct CgraConfig
+{
+    int rows = 6;
+    int cols = 6;
+    int islandRows = 2;
+    int islandCols = 2;
+    /** Registers per tile available for routing holds. */
+    int registersPerTile = 8;
+    /** Scratchpad geometry (paper: 32 KB, 8 banks, leftmost column). */
+    int spmBanks = 8;
+    int spmBytes = 32 * 1024;
+    /** When true only leftmost-column tiles may host Load/Store. */
+    bool memLeftColumnOnly = true;
+
+    int tileCount() const { return rows * cols; }
+};
+
+/**
+ * Immutable description of a CGRA fabric: geometry, island layout,
+ * neighbor connectivity, memory-capable tiles.
+ */
+class Cgra
+{
+  public:
+    explicit Cgra(CgraConfig config);
+
+    const CgraConfig &config() const { return cfg; }
+    int rows() const { return cfg.rows; }
+    int cols() const { return cfg.cols; }
+    int tileCount() const { return cfg.tileCount(); }
+    int islandCount() const { return static_cast<int>(islands.size()); }
+
+    TileId tileAt(int row, int col) const;
+    int rowOf(TileId tile) const;
+    int colOf(TileId tile) const;
+
+    /** Neighbor of `tile` toward `d`, or -1 at the fabric edge. */
+    TileId neighbor(TileId tile, Dir d) const;
+
+    /** Island containing `tile`. */
+    IslandId islandOf(TileId tile) const;
+
+    /** Tiles belonging to `island` (row-major order). */
+    const std::vector<TileId> &islandTiles(IslandId island) const;
+
+    /** True when `tile` may host Load/Store operations. */
+    bool isMemTile(TileId tile) const;
+
+    /** Tiles allowed to host memory ops. */
+    const std::vector<TileId> &memTiles() const { return memTileList; }
+
+    /** Manhattan distance between two tiles. */
+    int distance(TileId a, TileId b) const;
+
+    /** "6x6(2x2)" style description for logs and tables. */
+    std::string describe() const;
+
+  private:
+    CgraConfig cfg;
+    std::vector<IslandId> tileIsland;
+    std::vector<std::vector<TileId>> islands;
+    std::vector<TileId> memTileList;
+};
+
+} // namespace iced
+
+#endif // ICED_ARCH_CGRA_HPP

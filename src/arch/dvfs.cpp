@@ -1,0 +1,88 @@
+#include "arch/dvfs.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+OperatingPoint
+operatingPoint(DvfsLevel level)
+{
+    switch (level) {
+      case DvfsLevel::Normal: return {0.7, 434.0};
+      case DvfsLevel::Relax: return {0.5, 217.0};
+      case DvfsLevel::Rest: return {0.42, 108.5};
+      case DvfsLevel::PowerGated: return {0.0, 0.0};
+    }
+    panic("operatingPoint: unknown level");
+}
+
+int
+slowdown(DvfsLevel level)
+{
+    switch (level) {
+      case DvfsLevel::Normal: return 1;
+      case DvfsLevel::Relax: return 2;
+      case DvfsLevel::Rest: return 4;
+      case DvfsLevel::PowerGated:
+        panic("slowdown of a power-gated island is undefined");
+    }
+    panic("slowdown: unknown level");
+}
+
+DvfsLevel
+levelForSlowdown(int s)
+{
+    switch (s) {
+      case 1: return DvfsLevel::Normal;
+      case 2: return DvfsLevel::Relax;
+      case 4: return DvfsLevel::Rest;
+      default:
+        panic("levelForSlowdown: unsupported slowdown ", s);
+    }
+}
+
+double
+levelFraction(DvfsLevel level)
+{
+    switch (level) {
+      case DvfsLevel::Normal: return 1.0;
+      case DvfsLevel::Relax: return 0.5;
+      case DvfsLevel::Rest: return 0.25;
+      case DvfsLevel::PowerGated: return 0.0;
+    }
+    panic("levelFraction: unknown level");
+}
+
+DvfsLevel
+lowerLevel(DvfsLevel level)
+{
+    switch (level) {
+      case DvfsLevel::Normal: return DvfsLevel::Relax;
+      case DvfsLevel::Relax: return DvfsLevel::Rest;
+      default: return level;
+    }
+}
+
+DvfsLevel
+raiseLevel(DvfsLevel level)
+{
+    switch (level) {
+      case DvfsLevel::Rest: return DvfsLevel::Relax;
+      case DvfsLevel::Relax: return DvfsLevel::Normal;
+      default: return level;
+    }
+}
+
+std::string
+toString(DvfsLevel level)
+{
+    switch (level) {
+      case DvfsLevel::Normal: return "normal";
+      case DvfsLevel::Relax: return "relax";
+      case DvfsLevel::Rest: return "rest";
+      case DvfsLevel::PowerGated: return "gated";
+    }
+    panic("toString: unknown DVFS level");
+}
+
+} // namespace iced

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DVFS levels and operating points of the ICED architecture.
+ *
+ * ICED supports three run levels plus power gating, with
+ * f_normal = 2 * f_relax = 4 * f_rest (paper Eq. 1) and the published
+ * ASAP7 operating points: normal 0.7 V / 434 MHz, relax 0.5 V / 217 MHz,
+ * rest 0.42 V / 108.5 MHz.
+ */
+#ifndef ICED_ARCH_DVFS_HPP
+#define ICED_ARCH_DVFS_HPP
+
+#include <array>
+#include <string>
+
+namespace iced {
+
+/**
+ * DVFS level of a tile or island. The numeric order is meaningful:
+ * higher value = higher voltage/frequency. The mapper may place a node
+ * labeled L only on an island whose level is >= L.
+ */
+enum class DvfsLevel : int {
+    PowerGated = 0, ///< island is gated off; no activity possible
+    Rest = 1,       ///< quarter frequency (0.42 V / 108.5 MHz)
+    Relax = 2,      ///< half frequency (0.5 V / 217 MHz)
+    Normal = 3,     ///< nominal (0.7 V / 434 MHz)
+};
+
+/** All run levels, slowest first (excluding PowerGated). */
+inline constexpr std::array<DvfsLevel, 3> runLevels{
+    DvfsLevel::Rest, DvfsLevel::Relax, DvfsLevel::Normal};
+
+/** Voltage/frequency pair of one DVFS level. */
+struct OperatingPoint
+{
+    double voltage; ///< supply voltage in volts
+    double freqMhz; ///< clock frequency in MHz
+};
+
+/** Published ASAP7 operating point for `level`. PowerGated is 0/0. */
+OperatingPoint operatingPoint(DvfsLevel level);
+
+/**
+ * Base-clock cycles per local cycle: 1 for Normal, 2 for Relax,
+ * 4 for Rest. @pre level is a run level.
+ */
+int slowdown(DvfsLevel level);
+
+/** Inverse of slowdown(): the run level with the given slowdown. */
+DvfsLevel levelForSlowdown(int s);
+
+/**
+ * Relative frequency as a fraction of normal: 1.0 / 0.5 / 0.25 / 0.0.
+ * This is the paper's "average DVFS level" metric (Fig. 10/12).
+ */
+double levelFraction(DvfsLevel level);
+
+/** One step lower (Normal->Relax->Rest->Rest). Gating is not entered. */
+DvfsLevel lowerLevel(DvfsLevel level);
+
+/** One step higher (Rest->Relax->Normal->Normal). */
+DvfsLevel raiseLevel(DvfsLevel level);
+
+/** Human-readable name ("normal", "relax", ...). */
+std::string toString(DvfsLevel level);
+
+} // namespace iced
+
+#endif // ICED_ARCH_DVFS_HPP

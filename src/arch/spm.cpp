@@ -1,0 +1,48 @@
+#include "arch/spm.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+Spm::Spm(int bytes, int bank_count) : banks(bank_count)
+{
+    fatalIf(bytes <= 0, "SPM capacity must be positive");
+    fatalIf(bank_count <= 0, "SPM needs at least one bank");
+    data.assign(static_cast<std::size_t>(bytes / 8), 0);
+}
+
+int
+Spm::bankOf(std::int64_t addr) const
+{
+    return static_cast<int>(((addr % banks) + banks) % banks);
+}
+
+std::int64_t
+Spm::read(std::int64_t addr) const
+{
+    fatalIf(addr < 0 || addr >= wordCount(),
+            "SPM read out of bounds: ", addr, " (capacity ",
+            wordCount(), " words)");
+    return data[static_cast<std::size_t>(addr)];
+}
+
+void
+Spm::write(std::int64_t addr, std::int64_t value)
+{
+    fatalIf(addr < 0 || addr >= wordCount(),
+            "SPM write out of bounds: ", addr, " (capacity ",
+            wordCount(), " words)");
+    data[static_cast<std::size_t>(addr)] = value;
+}
+
+void
+Spm::loadImage(const std::vector<std::int64_t> &image)
+{
+    fatalIf(image.size() > data.size(),
+            "SPM image (", image.size(), " words) exceeds capacity (",
+            data.size(), " words); tile the data first");
+    std::fill(data.begin(), data.end(), 0);
+    std::copy(image.begin(), image.end(), data.begin());
+}
+
+} // namespace iced

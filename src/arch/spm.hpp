@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Scratchpad-memory model (32 KB, 8 banks in the prototype).
+ *
+ * Addresses are word (64-bit) granular and interleaved across banks.
+ * Each bank has one read and one write port per base cycle; the cycle
+ * simulator uses `bankOf()` to account conflicts.
+ */
+#ifndef ICED_ARCH_SPM_HPP
+#define ICED_ARCH_SPM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace iced {
+
+/** Banked scratchpad with word-interleaved addressing. */
+class Spm
+{
+  public:
+    /**
+     * @param bytes total capacity in bytes.
+     * @param banks number of banks (each with 1R + 1W port).
+     */
+    Spm(int bytes, int banks);
+
+    /** Number of 64-bit words. */
+    int wordCount() const { return static_cast<int>(data.size()); }
+    int bankCount() const { return banks; }
+
+    /** Bank servicing word address `addr`. */
+    int bankOf(std::int64_t addr) const;
+
+    /** Read word `addr`. @throws FatalError when out of bounds. */
+    std::int64_t read(std::int64_t addr) const;
+
+    /** Write word `addr`. @throws FatalError when out of bounds. */
+    void write(std::int64_t addr, std::int64_t value);
+
+    /** Replace the whole image (zero-padded / truncated to capacity). */
+    void loadImage(const std::vector<std::int64_t> &image);
+
+    /** Current contents. */
+    const std::vector<std::int64_t> &image() const { return data; }
+
+  private:
+    int banks;
+    std::vector<std::int64_t> data;
+};
+
+} // namespace iced
+
+#endif // ICED_ARCH_SPM_HPP

@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace iced {
+
+namespace {
+std::atomic<bool> informEnabled{true};
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled.store(enabled);
+}
+
+namespace detail {
+
+void
+emitWarn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (informEnabled.load())
+        std::cout << "info: " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace iced

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the gem5 style.
+ *
+ * `fatal()` is for user errors (bad configuration, infeasible request):
+ * it throws `iced::FatalError`, which callers (and tests) may catch.
+ * `panic()` is for internal invariant violations (framework bugs): it
+ * throws `iced::PanicError`. `warn()`/`inform()` print to stderr/stdout
+ * and never interrupt execution.
+ */
+#ifndef ICED_COMMON_LOGGING_HPP
+#define ICED_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iced {
+
+/** Error raised by fatal(): the request cannot be satisfied. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error raised by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+} // namespace detail
+
+/** Abort the current operation because of a user-level error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort because an internal invariant does not hold (a framework bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless `cond` holds. */
+template <typename... Args>
+void
+panicIfNot(bool cond, Args &&...args)
+{
+    if (!cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() if `cond` holds. */
+template <typename... Args>
+void
+fatalIf(bool cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** Print a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message to stdout. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform() output (used by benches to keep tables clean). */
+void setInformEnabled(bool enabled);
+
+} // namespace iced
+
+#endif // ICED_COMMON_LOGGING_HPP

@@ -1,0 +1,96 @@
+#include "common/rng.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    panicIfNot(lo <= hi, "uniformInt: lo > hi (", lo, " > ", hi, ")");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformReal() < p;
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    panicIfNot(!weights.empty(), "weightedIndex: empty weight vector");
+    double total = 0.0;
+    for (double w : weights) {
+        panicIfNot(w >= 0.0, "weightedIndex: negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        return 0;
+    double draw = uniformReal() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace iced

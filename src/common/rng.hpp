@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the framework (dataset generators,
+ * randomized tests) draw from `iced::Rng` so experiments are exactly
+ * reproducible from a seed.
+ */
+#ifndef ICED_COMMON_RNG_HPP
+#define ICED_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace iced {
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256**).
+ *
+ * Not cryptographic; used for workload generation and test sweeps.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x1CEDC0DEULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Uniform double in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Sample an index according to non-negative weights. */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace iced
+
+#endif // ICED_COMMON_RNG_HPP

@@ -1,0 +1,73 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+void
+Summary::add(double value)
+{
+    if (n == 0) {
+        lo = value;
+        hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    total += value;
+    ++n;
+}
+
+void
+Summary::addAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        add(v);
+}
+
+double
+Summary::mean() const
+{
+    panicIfNot(n > 0, "Summary::mean on empty accumulator");
+    return total / static_cast<double>(n);
+}
+
+double
+Summary::min() const
+{
+    panicIfNot(n > 0, "Summary::min on empty accumulator");
+    return lo;
+}
+
+double
+Summary::max() const
+{
+    panicIfNot(n > 0, "Summary::max on empty accumulator");
+    return hi;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    panicIfNot(!values.empty(), "mean of empty vector");
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panicIfNot(!values.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        panicIfNot(v > 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace iced

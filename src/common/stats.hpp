@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lightweight summary statistics used by the evaluation harness.
+ */
+#ifndef ICED_COMMON_STATS_HPP
+#define ICED_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace iced {
+
+/**
+ * Streaming accumulator of a scalar sample series.
+ *
+ * Tracks count, sum, min, max and supports mean / geometric-mean style
+ * summaries used all over the benchmark harness.
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Add every element of a vector. */
+    void addAll(const std::vector<double> &values);
+
+    std::size_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::size_t n = 0;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Arithmetic mean of a vector. @pre non-empty */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of a vector of positive values. @pre non-empty */
+double geomean(const std::vector<double> &values);
+
+} // namespace iced
+
+#endif // ICED_COMMON_STATS_HPP

@@ -1,0 +1,77 @@
+#include "common/table_writer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    panicIfNot(!header.empty(), "TableWriter requires at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    panicIfNot(cells.size() == header.size(),
+               "TableWriter row has ", cells.size(), " cells, expected ",
+               header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    print_row(header);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    print_row(header);
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+} // namespace iced

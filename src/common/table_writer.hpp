@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text and CSV table formatting for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables/figures as
+ * rows of text; `TableWriter` keeps that output aligned and can also
+ * dump the same rows as CSV for plotting.
+ */
+#ifndef ICED_COMMON_TABLE_WRITER_HPP
+#define ICED_COMMON_TABLE_WRITER_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iced {
+
+/**
+ * Collects rows of string cells and pretty-prints them as an aligned
+ * ASCII table or as CSV.
+ */
+class TableWriter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append one row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace iced
+
+#endif // ICED_COMMON_TABLE_WRITER_HPP

@@ -1,0 +1,173 @@
+#include "dfg/cycle_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+int
+RecurrenceCycle::effectiveLength() const
+{
+    panicIfNot(totalDistance > 0, "recurrence cycle with zero distance");
+    const int lat = static_cast<int>(nodes.size()); // single-cycle ops
+    return (lat + totalDistance - 1) / totalDistance;
+}
+
+namespace {
+
+/**
+ * True when some dependence cycle has positive weight under
+ * w(e) = lat(src) - ii * distance, i.e. `ii` is infeasible.
+ */
+bool
+hasPositiveCycle(const Dfg &dfg, int ii)
+{
+    const int n = dfg.nodeCount();
+    std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
+    // Bellman-Ford longest-path relaxation from all sources.
+    for (int round = 0; round < n; ++round) {
+        bool changed = false;
+        for (const DfgEdge &e : dfg.edges()) {
+            const std::int64_t w =
+                latency(dfg.node(e.src).op) -
+                static_cast<std::int64_t>(ii) * e.distance;
+            if (dist[e.src] + w > dist[e.dst]) {
+                dist[e.dst] = dist[e.src] + w;
+                changed = true;
+            }
+        }
+        if (!changed)
+            return false;
+    }
+    // Still relaxing after n rounds => positive cycle.
+    for (const DfgEdge &e : dfg.edges()) {
+        const std::int64_t w = latency(dfg.node(e.src).op) -
+                               static_cast<std::int64_t>(ii) * e.distance;
+        if (dist[e.src] + w > dist[e.dst])
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+computeRecMii(const Dfg &dfg)
+{
+    bool any_recurrence = false;
+    for (const DfgEdge &e : dfg.edges())
+        if (e.distance > 0)
+            any_recurrence = true;
+    if (!any_recurrence)
+        return 1;
+
+    int lo = 1;
+    int hi = std::max(1, dfg.nodeCount());
+    // hi is always feasible: a cycle of L unit-latency nodes with
+    // distance >= 1 needs at most L.
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (hasPositiveCycle(dfg, mid))
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::vector<RecurrenceCycle>
+enumerateRecurrenceCycles(const Dfg &dfg, std::size_t max_cycles)
+{
+    // Johnson-style elementary-cycle enumeration, bounded by max_cycles.
+    const int n = dfg.nodeCount();
+    std::vector<RecurrenceCycle> cycles;
+    std::vector<NodeId> stack;
+    std::vector<int> stack_distance; // distance accumulated entering node
+    std::vector<bool> blocked(static_cast<std::size_t>(n), false);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+    bool truncated = false;
+
+    std::function<bool(NodeId, NodeId, int)> dfs =
+        [&](NodeId start, NodeId v, int dist_in) -> bool {
+        if (cycles.size() >= max_cycles) {
+            truncated = true;
+            return false;
+        }
+        bool found = false;
+        stack.push_back(v);
+        on_stack[v] = true;
+        for (EdgeId eid : dfg.outEdges(v)) {
+            const DfgEdge &e = dfg.edge(eid);
+            if (e.dst < start)
+                continue; // canonical: cycles rooted at smallest node
+            if (e.dst == start) {
+                int total = dist_in + e.distance;
+                if (total > 0) {
+                    RecurrenceCycle c;
+                    c.nodes = stack;
+                    c.totalDistance = total;
+                    cycles.push_back(std::move(c));
+                }
+                found = true;
+            } else if (!on_stack[e.dst] &&
+                       stack.size() < static_cast<std::size_t>(n)) {
+                if (dfs(start, e.dst, dist_in + e.distance))
+                    found = true;
+            }
+        }
+        stack.pop_back();
+        on_stack[v] = false;
+        return found;
+    };
+
+    for (NodeId start = 0; start < n; ++start) {
+        std::fill(on_stack.begin(), on_stack.end(), false);
+        stack.clear();
+        dfs(start, start, 0);
+        if (cycles.size() >= max_cycles)
+            break;
+    }
+    (void)blocked;
+    if (truncated)
+        warn("enumerateRecurrenceCycles: truncated at ", max_cycles,
+             " cycles for DFG '", dfg.name(), "'");
+
+    // Deterministic ordering: longest effective length first, then by
+    // node count, then lexicographic.
+    std::sort(cycles.begin(), cycles.end(),
+              [](const RecurrenceCycle &a, const RecurrenceCycle &b) {
+                  if (a.effectiveLength() != b.effectiveLength())
+                      return a.effectiveLength() > b.effectiveLength();
+                  if (a.nodes.size() != b.nodes.size())
+                      return a.nodes.size() > b.nodes.size();
+                  return a.nodes < b.nodes;
+              });
+    return cycles;
+}
+
+std::vector<NodeId>
+criticalCycleNodes(const Dfg &dfg)
+{
+    const int rec_mii = computeRecMii(dfg);
+    std::set<NodeId> critical;
+    if (rec_mii <= 1 && dfg.edgeCount() > 0) {
+        // A RecMII of 1 still comes from real cycles if any exist.
+    }
+    for (const RecurrenceCycle &c : enumerateRecurrenceCycles(dfg)) {
+        if (c.effectiveLength() == rec_mii)
+            critical.insert(c.nodes.begin(), c.nodes.end());
+    }
+    return {critical.begin(), critical.end()};
+}
+
+int
+computeResMii(const Dfg &dfg, int tile_count)
+{
+    fatalIf(tile_count <= 0, "computeResMii: tile_count must be positive");
+    return (dfg.nodeCount() + tile_count - 1) / tile_count;
+}
+
+} // namespace iced

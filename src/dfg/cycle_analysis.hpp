@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Recurrence-cycle analysis: RecMII and elementary-cycle enumeration.
+ *
+ * The minimum initiation interval of a modulo schedule is bounded below
+ * by the recurrence-constrained MII (RecMII): the maximum over all
+ * dependence cycles of ceil(total latency / total distance). The ICED
+ * DVFS labeling pass (paper Algorithm 1) additionally needs the actual
+ * recurrence cycles ranked by their effective length.
+ */
+#ifndef ICED_DFG_CYCLE_ANALYSIS_HPP
+#define ICED_DFG_CYCLE_ANALYSIS_HPP
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+/** One elementary dependence cycle of a DFG. */
+struct RecurrenceCycle
+{
+    /** Nodes on the cycle, in traversal order. */
+    std::vector<NodeId> nodes;
+    /** Sum of loop-carried distances along the cycle (>= 1). */
+    int totalDistance = 0;
+
+    /** ceil(latency sum / distance sum): the II this cycle enforces. */
+    int effectiveLength() const;
+};
+
+/**
+ * Recurrence-constrained minimum II.
+ *
+ * Computed by binary search over candidate IIs with Bellman-Ford
+ * positive-cycle detection on edge weights lat(src) - II * distance.
+ * Returns 1 when the DFG has no dependence cycles.
+ */
+int computeRecMii(const Dfg &dfg);
+
+/**
+ * Enumerate elementary cycles (Johnson's algorithm), keeping only true
+ * recurrences (total distance >= 1). Enumeration is capped at
+ * `max_cycles` to bound worst-case blowup; kernels in this repo stay
+ * far below the cap.
+ */
+std::vector<RecurrenceCycle> enumerateRecurrenceCycles(
+    const Dfg &dfg, std::size_t max_cycles = 4096);
+
+/**
+ * Nodes lying on at least one critical (RecMII-achieving) cycle.
+ * Empty when the DFG has no recurrence.
+ */
+std::vector<NodeId> criticalCycleNodes(const Dfg &dfg);
+
+/** Resource-constrained MII: ceil(#nodes / #tiles). */
+int computeResMii(const Dfg &dfg, int tile_count);
+
+} // namespace iced
+
+#endif // ICED_DFG_CYCLE_ANALYSIS_HPP

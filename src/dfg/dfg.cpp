@@ -1,0 +1,209 @@
+#include "dfg/dfg.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+NodeId
+Dfg::addNode(Opcode op, std::string name, std::int64_t imm)
+{
+    NodeId id = static_cast<NodeId>(nodeList.size());
+    if (name.empty())
+        name = toString(op) + std::to_string(id);
+    nodeList.push_back(DfgNode{id, op, imm, std::move(name)});
+    inbound.emplace_back();
+    outbound.emplace_back();
+    return id;
+}
+
+EdgeId
+Dfg::addEdge(NodeId src, NodeId dst, int operand_index, int distance,
+             std::int64_t init_value)
+{
+    fatalIf(src < 0 || src >= nodeCount(), "addEdge: bad src ", src);
+    fatalIf(dst < 0 || dst >= nodeCount(), "addEdge: bad dst ", dst);
+    fatalIf(distance < 0, "addEdge: negative distance");
+    EdgeId id = static_cast<EdgeId>(edgeList.size());
+    edgeList.push_back(
+        DfgEdge{id, src, dst, operand_index, distance, init_value});
+    inbound[dst].push_back(id);
+    outbound[src].push_back(id);
+    return id;
+}
+
+const DfgNode &
+Dfg::node(NodeId id) const
+{
+    panicIfNot(id >= 0 && id < nodeCount(), "node id out of range: ", id);
+    return nodeList[id];
+}
+
+const DfgEdge &
+Dfg::edge(EdgeId id) const
+{
+    panicIfNot(id >= 0 && id < edgeCount(), "edge id out of range: ", id);
+    return edgeList[id];
+}
+
+const std::vector<EdgeId> &
+Dfg::inEdges(NodeId id) const
+{
+    panicIfNot(id >= 0 && id < nodeCount(), "inEdges: bad node ", id);
+    return inbound[id];
+}
+
+const std::vector<EdgeId> &
+Dfg::outEdges(NodeId id) const
+{
+    panicIfNot(id >= 0 && id < nodeCount(), "outEdges: bad node ", id);
+    return outbound[id];
+}
+
+EdgeId
+Dfg::operandEdge(NodeId id, int operand) const
+{
+    for (EdgeId eid : inEdges(id))
+        if (edgeList[eid].operandIndex == operand)
+            return eid;
+    return -1;
+}
+
+void
+Dfg::validate() const
+{
+    for (const DfgNode &n : nodeList) {
+        const int want = arity(n.op);
+        std::vector<bool> seen(static_cast<std::size_t>(want), false);
+        for (EdgeId eid : inbound[n.id]) {
+            const DfgEdge &e = edgeList[eid];
+            if (e.isOrdering())
+                continue;
+            fatalIf(e.operandIndex < 0 || e.operandIndex >= want,
+                    "DFG '", graphName, "': node ", n.name,
+                    " has operand index ", e.operandIndex,
+                    " outside arity ", want);
+            fatalIf(seen[e.operandIndex],
+                    "DFG '", graphName, "': node ", n.name,
+                    " operand ", e.operandIndex, " fed twice");
+            seen[e.operandIndex] = true;
+        }
+        for (int i = 0; i < want; ++i)
+            fatalIf(!seen[i], "DFG '", graphName, "': node ", n.name,
+                    " operand ", i, " is unconnected");
+    }
+
+    // The distance-0 subgraph must be acyclic.
+    std::vector<int> indeg(nodeList.size(), 0);
+    for (const DfgEdge &e : edgeList)
+        if (e.distance == 0)
+            ++indeg[e.dst];
+    std::queue<NodeId> ready;
+    for (const DfgNode &n : nodeList)
+        if (indeg[n.id] == 0)
+            ready.push(n.id);
+    int emitted = 0;
+    while (!ready.empty()) {
+        NodeId id = ready.front();
+        ready.pop();
+        ++emitted;
+        for (EdgeId eid : outbound[id]) {
+            const DfgEdge &e = edgeList[eid];
+            if (e.distance == 0 && --indeg[e.dst] == 0)
+                ready.push(e.dst);
+        }
+    }
+    fatalIf(emitted != nodeCount(),
+            "DFG '", graphName, "': distance-0 subgraph has a cycle "
+            "(combinational loop)");
+}
+
+std::vector<NodeId>
+Dfg::topologicalOrder() const
+{
+    std::vector<int> indeg(nodeList.size(), 0);
+    for (const DfgEdge &e : edgeList)
+        if (e.distance == 0)
+            ++indeg[e.dst];
+    // Deterministic: pick lowest-id ready node first.
+    std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+    for (const DfgNode &n : nodeList)
+        if (indeg[n.id] == 0)
+            ready.push(n.id);
+    std::vector<NodeId> order;
+    order.reserve(nodeList.size());
+    while (!ready.empty()) {
+        NodeId id = ready.top();
+        ready.pop();
+        order.push_back(id);
+        for (EdgeId eid : outbound[id]) {
+            const DfgEdge &e = edgeList[eid];
+            if (e.distance == 0 && --indeg[e.dst] == 0)
+                ready.push(e.dst);
+        }
+    }
+    panicIfNot(order.size() == nodeList.size(),
+               "topologicalOrder on cyclic distance-0 subgraph");
+    return order;
+}
+
+int
+Dfg::memoryOpCount() const
+{
+    int count = 0;
+    for (const DfgNode &n : nodeList)
+        if (isMemoryOp(n.op))
+            ++count;
+    return count;
+}
+
+int
+Dfg::mappableNodeCount() const
+{
+    int count = 0;
+    for (const DfgNode &n : nodeList)
+        if (n.op != Opcode::Const)
+            ++count;
+    return count;
+}
+
+Dfg
+unrollDfg(const Dfg &dfg, int factor)
+{
+    fatalIf(factor < 1, "unrollDfg: factor must be >= 1");
+    if (factor == 1)
+        return dfg;
+
+    Dfg out(dfg.name() + "_x" + std::to_string(factor));
+    const int n = dfg.nodeCount();
+    // clone[u][v] = id of instance u of original node v.
+    std::vector<std::vector<NodeId>> clone(
+        static_cast<std::size_t>(factor));
+    for (int u = 0; u < factor; ++u) {
+        clone[u].reserve(static_cast<std::size_t>(n));
+        for (const DfgNode &node : dfg.nodes()) {
+            clone[u].push_back(out.addNode(
+                node.op, node.name + "_u" + std::to_string(u), node.imm));
+        }
+    }
+    for (const DfgEdge &e : dfg.edges()) {
+        for (int u = 0; u < factor; ++u) {
+            // Destination instance u consumes original iteration
+            // i*factor + u - distance, i.e. source instance
+            // (u - d) mod factor, crossing ceil((d - u)/factor)
+            // unrolled-iteration boundaries.
+            const int shifted = u - e.distance;
+            int src_inst = shifted % factor;
+            if (src_inst < 0)
+                src_inst += factor;
+            const int new_dist = (src_inst - shifted) / factor;
+            out.addEdge(clone[src_inst][e.src], clone[u][e.dst],
+                        e.operandIndex, new_dist, e.initValue);
+        }
+    }
+    return out;
+}
+
+} // namespace iced

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Dataflow-graph IR consumed by the ICED mapper and simulator.
+ *
+ * Nodes are operations; edges are data (or ordering) dependencies with
+ * an iteration `distance`: distance 0 is an intra-iteration dependency,
+ * distance d >= 1 is loop-carried across d iterations. Loop-carried
+ * edges carry an `initValue` used for the first d iterations, which is
+ * how phi-style initialization is expressed.
+ */
+#ifndef ICED_DFG_DFG_HPP
+#define ICED_DFG_DFG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/opcode.hpp"
+
+namespace iced {
+
+/** Index of a node within its Dfg. */
+using NodeId = int;
+/** Index of an edge within its Dfg. */
+using EdgeId = int;
+
+/** Sentinel operand index for pure ordering/predicate edges. */
+inline constexpr int orderingOperand = -1;
+
+/** One operation of the dataflow graph. */
+struct DfgNode
+{
+    NodeId id = -1;
+    Opcode op = Opcode::Route;
+    /** Immediate payload for Const nodes. */
+    std::int64_t imm = 0;
+    /** Optional human-readable name for dumps. */
+    std::string name;
+};
+
+/** One dependency of the dataflow graph. */
+struct DfgEdge
+{
+    EdgeId id = -1;
+    NodeId src = -1;
+    NodeId dst = -1;
+    /** Which operand of `dst` this edge feeds; orderingOperand for none. */
+    int operandIndex = 0;
+    /** Loop-carried iteration distance (0 = same iteration). */
+    int distance = 0;
+    /** Value consumed for iterations i < distance (phi initialization). */
+    std::int64_t initValue = 0;
+
+    bool isOrdering() const { return operandIndex == orderingOperand; }
+    bool isLoopCarried() const { return distance > 0; }
+};
+
+/**
+ * A dataflow graph for one kernel loop body.
+ *
+ * The graph is built through addNode()/addEdge() and then frozen with
+ * validate(); analyses assume a validated graph.
+ */
+class Dfg
+{
+  public:
+    Dfg() = default;
+    explicit Dfg(std::string name) : graphName(std::move(name)) {}
+
+    /** Append a node; returns its id. */
+    NodeId addNode(Opcode op, std::string name = {}, std::int64_t imm = 0);
+
+    /**
+     * Append an edge; returns its id.
+     *
+     * @param operand_index operand slot of dst, or orderingOperand.
+     * @param distance loop-carried distance (0 for intra-iteration).
+     * @param init_value value read while i < distance.
+     */
+    EdgeId addEdge(NodeId src, NodeId dst, int operand_index,
+                   int distance = 0, std::int64_t init_value = 0);
+
+    const std::string &name() const { return graphName; }
+    void setName(std::string n) { graphName = std::move(n); }
+
+    int nodeCount() const { return static_cast<int>(nodeList.size()); }
+    int edgeCount() const { return static_cast<int>(edgeList.size()); }
+
+    const DfgNode &node(NodeId id) const;
+    const DfgEdge &edge(EdgeId id) const;
+    const std::vector<DfgNode> &nodes() const { return nodeList; }
+    const std::vector<DfgEdge> &edges() const { return edgeList; }
+
+    /** Edge ids entering `id` (all operand slots plus ordering edges). */
+    const std::vector<EdgeId> &inEdges(NodeId id) const;
+    /** Edge ids leaving `id`. */
+    const std::vector<EdgeId> &outEdges(NodeId id) const;
+
+    /** Edge feeding operand slot `operand` of `id`, or -1 if absent. */
+    EdgeId operandEdge(NodeId id, int operand) const;
+
+    /**
+     * Check structural invariants:
+     * - every operand slot of every node is fed by exactly one edge;
+     * - the distance-0 subgraph is acyclic (no combinational loops);
+     * - edge endpoints are valid.
+     *
+     * @throws FatalError when an invariant fails.
+     */
+    void validate() const;
+
+    /**
+     * Topological order of nodes over distance-0 edges.
+     *
+     * @pre validate() succeeds.
+     */
+    std::vector<NodeId> topologicalOrder() const;
+
+    /** Number of memory (Load/Store) nodes. */
+    int memoryOpCount() const;
+
+    /**
+     * Nodes the mapper actually places: everything except Const nodes,
+     * whose values live in the consuming tile's configuration memory
+     * as immediates and occupy no FU or routing resources.
+     */
+    int mappableNodeCount() const;
+
+  private:
+    std::string graphName;
+    std::vector<DfgNode> nodeList;
+    std::vector<DfgEdge> edgeList;
+    std::vector<std::vector<EdgeId>> inbound;
+    std::vector<std::vector<EdgeId>> outbound;
+};
+
+/**
+ * Unroll a loop DFG by `factor`.
+ *
+ * Produces `factor` clones of the body; distance-d edges are rewired to
+ * the producing instance, converting most of them into intra-iteration
+ * edges, and the remaining cross-boundary edges get distance
+ * ceil((d - u) / factor). Output node order preserves the interleaving
+ * of original iterations.
+ */
+Dfg unrollDfg(const Dfg &dfg, int factor);
+
+} // namespace iced
+
+#endif // ICED_DFG_DFG_HPP

@@ -1,0 +1,31 @@
+#include "dfg/dot_export.hpp"
+
+#include <sstream>
+
+namespace iced {
+
+std::string
+toDot(const Dfg &dfg)
+{
+    std::ostringstream os;
+    os << "digraph \"" << dfg.name() << "\" {\n";
+    for (const DfgNode &n : dfg.nodes()) {
+        os << "  n" << n.id << " [label=\"" << n.name << "\\n"
+           << toString(n.op) << "\"";
+        if (isMemoryOp(n.op))
+            os << ", shape=box";
+        os << "];\n";
+    }
+    for (const DfgEdge &e : dfg.edges()) {
+        os << "  n" << e.src << " -> n" << e.dst;
+        if (e.distance > 0)
+            os << " [style=dashed, label=\"d=" << e.distance << "\"]";
+        else if (e.isOrdering())
+            os << " [style=dotted]";
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace iced

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Graphviz export of DFGs for debugging and documentation.
+ */
+#ifndef ICED_DFG_DOT_EXPORT_HPP
+#define ICED_DFG_DOT_EXPORT_HPP
+
+#include <string>
+
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+/**
+ * Render `dfg` in Graphviz DOT syntax. Loop-carried edges are dashed
+ * and annotated with their distance; memory ops are drawn as boxes.
+ */
+std::string toDot(const Dfg &dfg);
+
+} // namespace iced
+
+#endif // ICED_DFG_DOT_EXPORT_HPP

@@ -1,0 +1,102 @@
+#include "dfg/interpreter.hpp"
+
+#include <array>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+InterpResult
+interpretDfg(const Dfg &dfg, std::vector<std::int64_t> memory,
+             int iterations, bool keep_history)
+{
+    fatalIf(iterations < 0, "interpretDfg: negative iteration count");
+    dfg.validate();
+
+    const int n = dfg.nodeCount();
+    const auto order = dfg.topologicalOrder();
+
+    InterpResult result;
+    result.memory = std::move(memory);
+    // Ring buffer sized by the maximum loop-carried distance.
+    int max_dist = 1;
+    for (const DfgEdge &e : dfg.edges())
+        max_dist = std::max(max_dist, e.distance);
+    const int ring = max_dist + 1;
+    std::vector<std::int64_t> values(
+        static_cast<std::size_t>(n) * ring, 0);
+    auto slot = [&](NodeId id, int iter) -> std::int64_t & {
+        return values[static_cast<std::size_t>(id) * ring + iter % ring];
+    };
+
+    if (keep_history)
+        result.history.assign(static_cast<std::size_t>(n), {});
+
+    auto resolve = [&](const DfgEdge &e, int iter) -> std::int64_t {
+        if (iter < e.distance)
+            return e.initValue;
+        return slot(e.src, iter - e.distance);
+    };
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        for (NodeId id : order) {
+            const DfgNode &node = dfg.node(id);
+            std::array<std::int64_t, 3> ops{0, 0, 0};
+            std::array<const DfgEdge *, 3> op_edges{nullptr, nullptr,
+                                                    nullptr};
+            for (EdgeId eid : dfg.inEdges(id)) {
+                const DfgEdge &e = dfg.edge(eid);
+                if (e.isOrdering())
+                    continue;
+                ops[e.operandIndex] = resolve(e, iter);
+                op_edges[e.operandIndex] = &e;
+            }
+
+            std::int64_t out = 0;
+            switch (node.op) {
+              case Opcode::Phi: {
+                // Select the init path while the loop-carried operand
+                // has not produced yet.
+                const DfgEdge *carried = op_edges[1];
+                panicIfNot(carried != nullptr, "phi without operand 1");
+                out = iter < carried->distance ? ops[0] : ops[1];
+                break;
+              }
+              case Opcode::Load: {
+                const std::int64_t addr = ops[0] + node.imm;
+                fatalIf(addr < 0 ||
+                            addr >= static_cast<std::int64_t>(
+                                        result.memory.size()),
+                        "DFG '", dfg.name(), "': load out of bounds at ",
+                        addr, " (iter ", iter, ", node ", node.name, ")");
+                out = result.memory[static_cast<std::size_t>(addr)];
+                break;
+              }
+              case Opcode::Store: {
+                const std::int64_t addr = ops[0] + node.imm;
+                fatalIf(addr < 0 ||
+                            addr >= static_cast<std::int64_t>(
+                                        result.memory.size()),
+                        "DFG '", dfg.name(), "': store out of bounds at ",
+                        addr, " (iter ", iter, ", node ", node.name, ")");
+                result.memory[static_cast<std::size_t>(addr)] = ops[1];
+                out = ops[1];
+                break;
+              }
+              default:
+                out = evalAlu(node.op, ops.data(),
+                              static_cast<int>(ops.size()), node.imm);
+                break;
+            }
+
+            slot(id, iter) = out;
+            if (keep_history)
+                result.history[id].push_back(out);
+            if (node.op == Opcode::Output)
+                result.outputs.push_back(out);
+        }
+    }
+    return result;
+}
+
+} // namespace iced

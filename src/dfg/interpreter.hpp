@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Functional (golden-model) interpreter for DFGs.
+ *
+ * Executes a kernel DFG for N loop iterations against a scratchpad
+ * image, honoring loop-carried distances and per-edge init values.
+ * The cycle-accurate CGRA simulator is validated against this model.
+ */
+#ifndef ICED_DFG_INTERPRETER_HPP
+#define ICED_DFG_INTERPRETER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+/** Result of interpreting a DFG. */
+struct InterpResult
+{
+    /** Final scratchpad image after all iterations. */
+    std::vector<std::int64_t> memory;
+    /** Values emitted by Output nodes, in (iteration, node-id) order. */
+    std::vector<std::int64_t> outputs;
+    /** history[node][iter]: every node's value at every iteration. */
+    std::vector<std::vector<std::int64_t>> history;
+};
+
+/**
+ * Interpret `dfg` for `iterations` loop iterations.
+ *
+ * @param memory initial scratchpad contents; Load/Store address this.
+ * @param keep_history when false, `history` is left empty to save space.
+ * @throws FatalError on out-of-bounds memory access.
+ */
+InterpResult interpretDfg(const Dfg &dfg,
+                          std::vector<std::int64_t> memory,
+                          int iterations,
+                          bool keep_history = true);
+
+} // namespace iced
+
+#endif // ICED_DFG_INTERPRETER_HPP

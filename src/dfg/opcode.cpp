@@ -1,0 +1,117 @@
+#include "dfg/opcode.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+int
+arity(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const:
+        return 0;
+      case Opcode::Abs:
+      case Opcode::Neg:
+      case Opcode::Load:
+      case Opcode::Output:
+      case Opcode::Route:
+        return 1;
+      case Opcode::Select:
+        return 3;
+      case Opcode::Phi:
+      case Opcode::Store:
+      default:
+        return 2;
+    }
+}
+
+int
+latency(Opcode)
+{
+    return 1;
+}
+
+bool
+isMemoryOp(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+std::string
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const: return "const";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Abs: return "abs";
+      case Opcode::Neg: return "neg";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::Select: return "select";
+      case Opcode::Phi: return "phi";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Output: return "output";
+      case Opcode::Route: return "route";
+    }
+    panic("toString: unknown opcode");
+}
+
+std::int64_t
+evalAlu(Opcode op, const std::int64_t *v, int count, std::int64_t imm)
+{
+    panicIfNot(count >= arity(op) || op == Opcode::Const,
+               "evalAlu: missing operands for ", toString(op));
+    switch (op) {
+      case Opcode::Const: return imm;
+      case Opcode::Add: return v[0] + v[1];
+      case Opcode::Sub: return v[0] - v[1];
+      case Opcode::Mul: return v[0] * v[1];
+      case Opcode::Div: return v[1] == 0 ? 0 : v[0] / v[1];
+      case Opcode::Rem: return v[1] == 0 ? 0 : v[0] % v[1];
+      case Opcode::And: return v[0] & v[1];
+      case Opcode::Or: return v[0] | v[1];
+      case Opcode::Xor: return v[0] ^ v[1];
+      case Opcode::Shl: return v[0] << (v[1] & 63);
+      case Opcode::Shr: return v[0] >> (v[1] & 63);
+      case Opcode::Min: return v[0] < v[1] ? v[0] : v[1];
+      case Opcode::Max: return v[0] > v[1] ? v[0] : v[1];
+      case Opcode::Abs: return v[0] < 0 ? -v[0] : v[0];
+      case Opcode::Neg: return -v[0];
+      case Opcode::CmpEq: return v[0] == v[1];
+      case Opcode::CmpNe: return v[0] != v[1];
+      case Opcode::CmpLt: return v[0] < v[1];
+      case Opcode::CmpLe: return v[0] <= v[1];
+      case Opcode::CmpGt: return v[0] > v[1];
+      case Opcode::CmpGe: return v[0] >= v[1];
+      case Opcode::Select: return v[0] ? v[1] : v[2];
+      case Opcode::Output:
+      case Opcode::Route:
+        return v[0];
+      case Opcode::Phi:
+      case Opcode::Load:
+      case Opcode::Store:
+        panic("evalAlu cannot evaluate ", toString(op),
+              "; it needs interpreter context");
+    }
+    panic("evalAlu: unknown opcode");
+}
+
+} // namespace iced

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Operation set executed by CGRA functional units.
+ *
+ * Every DFG node carries one Opcode. All operations are single-cycle
+ * (the paper's prototype targets single-cycle FUs); multi-cycle FUs can
+ * be added by extending `latency()`.
+ */
+#ifndef ICED_DFG_OPCODE_HPP
+#define ICED_DFG_OPCODE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace iced {
+
+/** Operation kinds supported by the ICED functional units. */
+enum class Opcode : std::uint8_t {
+    Const,   ///< produce an immediate value (0 operands)
+    Add,     ///< a + b
+    Sub,     ///< a - b
+    Mul,     ///< a * b
+    Div,     ///< a / b (b==0 yields 0, like a guarded divide)
+    Rem,     ///< a % b (b==0 yields 0)
+    And,     ///< bitwise and
+    Or,      ///< bitwise or
+    Xor,     ///< bitwise xor
+    Shl,     ///< a << (b & 63)
+    Shr,     ///< arithmetic a >> (b & 63)
+    Min,     ///< min(a, b)
+    Max,     ///< max(a, b)
+    Abs,     ///< |a|
+    Neg,     ///< -a
+    CmpEq,   ///< a == b (0/1)
+    CmpNe,   ///< a != b (0/1)
+    CmpLt,   ///< a < b (0/1)
+    CmpLe,   ///< a <= b (0/1)
+    CmpGt,   ///< a > b (0/1)
+    CmpGe,   ///< a >= b (0/1)
+    Select,  ///< c ? a : b (operands: c, a, b)
+    Phi,     ///< loop header merge: init value vs loop-carried value
+    Load,    ///< SPM read, address = operand + imm (leftmost column)
+    Store,   ///< SPM write, address = op0 + imm, value = op1
+    Output,  ///< emit operand to the host-visible output stream
+    Route,   ///< identity; inserted by transforms, never by kernels
+};
+
+/** Number of value operands required by `op` (ordering edges excluded). */
+int arity(Opcode op);
+
+/** Execution latency in the tile's own clock cycles (currently all 1). */
+int latency(Opcode op);
+
+/** True for Load/Store, which must be placed on SPM-connected tiles. */
+bool isMemoryOp(Opcode op);
+
+/** Short mnemonic, e.g. "add". */
+std::string toString(Opcode op);
+
+/**
+ * Evaluate a non-memory opcode on already-fetched operand values.
+ *
+ * Load/Store/Phi are handled by the interpreter/simulator because they
+ * need memory or iteration context.
+ */
+std::int64_t evalAlu(Opcode op, const std::int64_t *operands, int count,
+                     std::int64_t imm);
+
+} // namespace iced
+
+#endif // ICED_DFG_OPCODE_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Umbrella header: the whole ICED public API in one include.
+ *
+ * Layering (each header is also individually includable):
+ *   common/   logging, RNG, statistics, table output
+ *   dfg/      dataflow-graph IR, analyses, golden interpreter
+ *   arch/     CGRA fabric, DVFS islands, scratchpad
+ *   mrrg/     modulo routing resource graph + router
+ *   mapper/   Algorithm 1 labeling, Algorithm 2 mapping, baselines
+ *   sim/      cycle-accurate execution + activity statistics
+ *   power/    calibrated power/area models + per-design evaluation
+ *   streaming/ pipelines, partitioner, DVFS controller, DRIPS
+ *   kernels/  Table I workload suite + builders
+ */
+#ifndef ICED_ICED_HPP
+#define ICED_ICED_HPP
+
+#include "arch/cgra.hpp"
+#include "arch/dvfs.hpp"
+#include "arch/spm.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table_writer.hpp"
+#include "dfg/cycle_analysis.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/dot_export.hpp"
+#include "dfg/interpreter.hpp"
+#include "kernels/builder_util.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/labeling.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/per_tile_dvfs.hpp"
+#include "mapper/power_gating.hpp"
+#include "mapper/validate.hpp"
+#include "power/area_model.hpp"
+#include "power/power_model.hpp"
+#include "power/report.hpp"
+#include "sim/activity.hpp"
+#include "sim/simulator.hpp"
+#include "streaming/datasets.hpp"
+#include "streaming/drips.hpp"
+#include "streaming/dvfs_controller.hpp"
+#include "streaming/partitioner.hpp"
+#include "streaming/pipeline.hpp"
+#include "streaming/stream_sim.hpp"
+
+#endif // ICED_ICED_HPP

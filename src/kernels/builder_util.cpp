@@ -1,0 +1,157 @@
+#include "kernels/builder_util.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+NodeId
+KernelBuilder::imm(std::int64_t value)
+{
+    auto it = constants.find(value);
+    if (it != constants.end())
+        return it->second;
+    const NodeId id = graph.addNode(Opcode::Const, {}, value);
+    constants.emplace(value, id);
+    return id;
+}
+
+NodeId
+KernelBuilder::op1(Opcode op, NodeId a, std::string name)
+{
+    panicIfNot(arity(op) == 1, "op1 with non-unary opcode ",
+               toString(op));
+    const NodeId id = graph.addNode(op, std::move(name));
+    graph.addEdge(a, id, 0);
+    return id;
+}
+
+NodeId
+KernelBuilder::op2(Opcode op, NodeId a, NodeId b, std::string name)
+{
+    panicIfNot(arity(op) == 2 && op != Opcode::Phi &&
+                   op != Opcode::Store,
+               "op2 with unsupported opcode ", toString(op));
+    const NodeId id = graph.addNode(op, std::move(name));
+    graph.addEdge(a, id, 0);
+    graph.addEdge(b, id, 1);
+    return id;
+}
+
+NodeId
+KernelBuilder::select(NodeId cond, NodeId a, NodeId b, std::string name)
+{
+    const NodeId id = graph.addNode(Opcode::Select, std::move(name));
+    graph.addEdge(cond, id, 0);
+    graph.addEdge(a, id, 1);
+    graph.addEdge(b, id, 2);
+    return id;
+}
+
+NodeId
+KernelBuilder::load(NodeId addr, std::int64_t base, std::string name)
+{
+    const NodeId id = graph.addNode(Opcode::Load, std::move(name), base);
+    graph.addEdge(addr, id, 0);
+    return id;
+}
+
+NodeId
+KernelBuilder::store(NodeId addr, NodeId value, std::int64_t base,
+                     std::string name)
+{
+    const NodeId id = graph.addNode(Opcode::Store, std::move(name), base);
+    graph.addEdge(addr, id, 0);
+    graph.addEdge(value, id, 1);
+    return id;
+}
+
+NodeId
+KernelBuilder::output(NodeId value, std::string name)
+{
+    const NodeId id = graph.addNode(Opcode::Output, std::move(name));
+    graph.addEdge(value, id, 0);
+    return id;
+}
+
+NodeId
+KernelBuilder::phi(std::int64_t init, std::string name)
+{
+    const NodeId id = graph.addNode(Opcode::Phi, std::move(name));
+    graph.addEdge(imm(init), id, 0);
+    return id;
+}
+
+void
+KernelBuilder::carry(NodeId from, NodeId to, int operand, int distance,
+                     std::int64_t init)
+{
+    panicIfNot(distance >= 1, "carry requires distance >= 1");
+    graph.addEdge(from, to, operand, distance, init);
+}
+
+void
+KernelBuilder::order(NodeId from, NodeId to, int distance)
+{
+    graph.addEdge(from, to, orderingOperand, distance);
+}
+
+KernelBuilder::Counter
+KernelBuilder::counter(std::int64_t start, std::int64_t step,
+                       std::int64_t bound, std::int64_t reset,
+                       std::string name)
+{
+    Counter c;
+    c.value = phi(start, name);
+    c.next = op2(Opcode::Add, c.value, imm(step), name + "+");
+    c.cond = op2(Opcode::CmpLt, c.next, imm(bound), name + "<");
+    c.sel = select(c.cond, c.next, imm(reset), name + "sel");
+    carry(c.sel, c.value, 1, 1, start);
+    return c;
+}
+
+KernelBuilder::Accumulator
+KernelBuilder::accChain(const std::vector<NodeId> &values,
+                        const std::vector<NodeId> &reset_conds,
+                        const AccSpec &spec, std::string name)
+{
+    panicIfNot(!values.empty(), "accChain needs >= 1 value");
+    panicIfNot(values.size() == reset_conds.size(),
+               "accChain: one reset condition per value");
+    Accumulator result;
+    result.acc = phi(spec.resetVal, name);
+    NodeId cur = result.acc;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+        const std::string suffix = std::to_string(k);
+        cur = op2(Opcode::Add, cur, values[k], name + "_add" + suffix);
+        int stage = 0;
+        for (const auto &[op, constant] : spec.stageOps) {
+            cur = op2(op, cur, imm(constant),
+                      name + "_s" + std::to_string(stage++) + suffix);
+        }
+        result.preSelect.push_back(cur);
+        cur = select(reset_conds[k], imm(spec.resetVal), cur,
+                     name + "_sel" + suffix);
+    }
+    result.post = cur;
+    carry(result.post, result.acc, 1, 1, spec.resetVal);
+    return result;
+}
+
+KernelBuilder::Accumulator
+KernelBuilder::saturatingAcc(const std::vector<NodeId> &values,
+                             const std::vector<NodeId> &reset_conds,
+                             std::int64_t cap, std::string name)
+{
+    AccSpec spec;
+    spec.stageOps = {{Opcode::Min, cap}};
+    return accChain(values, reset_conds, spec, std::move(name));
+}
+
+Dfg
+KernelBuilder::take()
+{
+    graph.validate();
+    return std::move(graph);
+}
+
+} // namespace iced

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Helpers for constructing kernel DFGs.
+ *
+ * Kernels follow the paper's conventions: nested loops are flattened
+ * into a single loop, control flow is converted to dataflow through
+ * partial predication (Select nodes), and address computations before
+ * loads are folded into the memory op's immediate base offset where
+ * the paper's DFGs elide them.
+ *
+ * Two structural idioms control the RecMII exactly:
+ *  - counter(): the 4-node induction skeleton phi -> add -> cmp ->
+ *    select -> phi (the paper's green critical path), giving
+ *    RecMII = 4;
+ *  - saturating accumulators (phi -> add -> min -> select -> phi):
+ *    a 4-node recurrence whose hand-unrolled x2 form is the 7-node
+ *    chain phi -> (add, min, select) x2, reproducing Table I's
+ *    RecMII 4 -> 7 kernels (saturation is non-associative, so the
+ *    accumulator cannot be re-associated away by unrolling).
+ */
+#ifndef ICED_KERNELS_BUILDER_UTIL_HPP
+#define ICED_KERNELS_BUILDER_UTIL_HPP
+
+#include <map>
+
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+/** Fluent DFG construction helper. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name) : graph(std::move(name)) {}
+
+    /** Deduplicated constant node. */
+    NodeId imm(std::int64_t value);
+
+    /** Unary operation. */
+    NodeId op1(Opcode op, NodeId a, std::string name = {});
+    /** Binary operation. */
+    NodeId op2(Opcode op, NodeId a, NodeId b, std::string name = {});
+    /** Select: cond ? a : b. */
+    NodeId select(NodeId cond, NodeId a, NodeId b, std::string name = {});
+
+    /** Load from address (operand `addr` + `base`). */
+    NodeId load(NodeId addr, std::int64_t base, std::string name = {});
+    /** Store `value` to address (operand `addr` + `base`). */
+    NodeId store(NodeId addr, NodeId value, std::int64_t base,
+                 std::string name = {});
+    /** Emit `value` on the host-visible output stream. */
+    NodeId output(NodeId value, std::string name = {});
+
+    /**
+     * Phi whose init path is the constant `init`; connect the carried
+     * operand later with carry(src, phi, 1, distance, init).
+     */
+    NodeId phi(std::int64_t init, std::string name = {});
+
+    /** Loop-carried edge (distance >= 1) with init value. */
+    void carry(NodeId from, NodeId to, int operand, int distance,
+               std::int64_t init);
+
+    /** Ordering (memory-dependence) edge. */
+    void order(NodeId from, NodeId to, int distance);
+
+    /** 4-node wrapping induction skeleton (the paper's green cycle). */
+    struct Counter
+    {
+        NodeId value; ///< current index (the phi)
+        NodeId next;  ///< index + step
+        NodeId cond;  ///< next < bound
+        NodeId sel;   ///< wrapped next value
+    };
+
+    /**
+     * Build phi -> add(step) -> cmplt(bound) -> select(next, reset)
+     * -> phi with distance 1. RecMII contribution: 4.
+     */
+    Counter counter(std::int64_t start, std::int64_t step,
+                    std::int64_t bound, std::int64_t reset,
+                    std::string name = "idx");
+
+    /**
+     * Chained accumulator with reset: per consumed value,
+     *   cur = add(cur, value);
+     *   cur = op(cur, imm) for each stage op;     // e.g. Min = saturate
+     *   cur = select(resetCond, resetVal, cur);
+     * forming a recurrence cycle of 1 + (2 + #stageOps) * #values
+     * nodes. stageOps = {Min(cap)} gives the 4-node saturating
+     * accumulator whose hand-unrolled x2 form is Table I's 7-node
+     * RecMII chain; longer stage chains model the LU solvers' deep
+     * recurrences (RecMII 8/12).
+     */
+    struct AccSpec
+    {
+        /** (opcode, immediate) applied as op2(cur, imm) per stage. */
+        std::vector<std::pair<Opcode, std::int64_t>> stageOps;
+        std::int64_t resetVal = 0;
+    };
+
+    struct Accumulator
+    {
+        NodeId acc;  ///< the phi (pre-update value)
+        NodeId post; ///< final select (post-update value)
+        /** Per-instance value before the reset select (store these). */
+        std::vector<NodeId> preSelect;
+    };
+
+    Accumulator accChain(const std::vector<NodeId> &values,
+                         const std::vector<NodeId> &reset_conds,
+                         const AccSpec &spec, std::string name = "acc");
+
+    /** accChain with a single Min(cap) stage: saturating accumulator. */
+    Accumulator saturatingAcc(const std::vector<NodeId> &values,
+                              const std::vector<NodeId> &reset_conds,
+                              std::int64_t cap,
+                              std::string name = "acc");
+
+    /** Access the graph under construction. */
+    Dfg &dfg() { return graph; }
+
+    /** Validate and return the finished graph. */
+    Dfg take();
+
+  private:
+    Dfg graph;
+    std::map<std::int64_t, NodeId> constants;
+};
+
+} // namespace iced
+
+#endif // ICED_KERNELS_BUILDER_UTIL_HPP

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Embedded-domain DSP kernels of Table I: fir, latnrm, fft, dtw.
+ *
+ * Every kernel is a real computation with a native golden model; the
+ * unroll-2 graphs are hand-optimized the way a production compiler
+ * would emit them (shared induction skeleton, value forwarding between
+ * the two instances), so Table I's RecMII behaviour is reproduced
+ * structurally.
+ */
+#include "kernels/kernels_detail.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "kernels/builder_util.hpp"
+
+namespace iced::detail {
+
+namespace {
+
+constexpr std::int64_t big = 1 << 20;
+constexpr std::int64_t never = 1LL << 30;
+
+/** Binary op whose first operand is loop-carried. */
+NodeId
+carriedOp(KernelBuilder &b, Opcode op, NodeId src, int distance,
+          std::int64_t init, NodeId second, std::string name)
+{
+    const NodeId id = b.dfg().addNode(op, std::move(name));
+    b.dfg().addEdge(src, id, 0, distance, init);
+    b.dfg().addEdge(second, id, 1);
+    return id;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// fir: 4-tap finite impulse response, y[i] = sum_k c[k] * x[i-k]
+// (zero history). Layout: x @0, y @512. Taps {3, -1, 4, 2}.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t firX = 0, firY = 512;
+constexpr std::int64_t firTaps[4] = {3, -1, 4, 2};
+} // namespace
+
+Dfg
+buildFir(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "fir: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "fir" : "fir_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+
+    if (uf == 1) {
+        const NodeId x = b.load(cnt.value, firX, "x");
+        // x[i-k] via loop-carried edges from the single load.
+        NodeId m[4];
+        for (int k = 0; k < 4; ++k) {
+            m[k] = carriedOp(b, Opcode::Mul, x, k, 0,
+                             b.imm(firTaps[k]),
+                             "m" + std::to_string(k));
+        }
+        const NodeId a0 = b.op2(Opcode::Add, m[0], m[1], "a0");
+        const NodeId a1 = b.op2(Opcode::Add, m[2], m[3], "a1");
+        const NodeId sum = b.op2(Opcode::Add, a0, a1, "sum");
+        b.store(cnt.value, sum, firY, "sty");
+        return b.take();
+    }
+
+    // Unroll x2: even sample uses {x0, x1@d1, x0@d1, x1@d2},
+    // odd sample uses {x1, x0@d0, x1@d1, x0@d1}.
+    const NodeId a1addr = b.op2(Opcode::Add, cnt.value, b.imm(1), "i1");
+    const NodeId x0 = b.load(cnt.value, firX, "x0");
+    const NodeId x1 = b.load(a1addr, firX, "x1");
+
+    struct Tap { NodeId src; int dist; };
+    const Tap even[4] = {{x0, 0}, {x1, 1}, {x0, 1}, {x1, 2}};
+    const Tap odd[4] = {{x1, 0}, {x0, 0}, {x1, 1}, {x0, 1}};
+    auto emit = [&](const Tap *taps, NodeId addr,
+                    const std::string &tag) {
+        NodeId m[4];
+        for (int k = 0; k < 4; ++k) {
+            m[k] = carriedOp(b, Opcode::Mul, taps[k].src, taps[k].dist,
+                             0, b.imm(firTaps[k]),
+                             tag + "m" + std::to_string(k));
+        }
+        const NodeId a0 = b.op2(Opcode::Add, m[0], m[1], tag + "a0");
+        const NodeId a1 = b.op2(Opcode::Add, m[2], m[3], tag + "a1");
+        const NodeId sum = b.op2(Opcode::Add, a0, a1, tag + "sum");
+        b.store(addr, sum, firY, tag + "sty");
+    };
+    emit(even, cnt.value, "e_");
+    emit(odd, a1addr, "o_");
+    return b.take();
+}
+
+Workload
+firWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 32;
+    w.memory.assign(1024, 0);
+    for (int i = 0; i < w.iterations; ++i)
+        w.memory[firX + i] = rng.uniformInt(-16, 16);
+    return w;
+}
+
+void
+firReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    for (int i = 0; i < iterations; ++i) {
+        std::int64_t sum = 0;
+        for (int k = 0; k < 4; ++k)
+            sum += firTaps[k] * (i - k >= 0 ? memory[firX + i - k] : 0);
+        memory[firY + i] = sum;
+    }
+}
+
+// ---------------------------------------------------------------------
+// latnrm: 2-stage normalized lattice filter with loop-carried backward
+// predictions. e1 = x - k1*b0', b1 = b0' + k1*e1, y = e1 - k2*b1'
+// (primes = previous-iteration values; b0 = x). Layout: x @0, y @512.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t latX = 0, latY = 512;
+constexpr std::int64_t latK1 = 2, latK2 = 3;
+} // namespace
+
+Dfg
+buildLatnrm(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "latnrm: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "latnrm" : "latnrm_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+
+    // One sample through the lattice. prev_x feeds as (node, distance);
+    // m3's b1 operand of the *previous* sample is wired afterwards, so
+    // the stage returns both b1 and the m3 node to patch.
+    struct Sample { NodeId b1, m3; };
+    auto stage = [&](NodeId x, NodeId prev_x, int dx, NodeId addr,
+                     const std::string &tag) -> Sample {
+        const NodeId m1 = carriedOp(b, Opcode::Mul, prev_x, dx, 0,
+                                    b.imm(latK1), tag + "m1");
+        const NodeId e1 = b.op2(Opcode::Sub, x, m1, tag + "e1");
+        const NodeId m2 = b.op2(Opcode::Mul, e1, b.imm(latK1),
+                                tag + "m2");
+        const NodeId b1 = carriedOp(b, Opcode::Add, prev_x, dx, 0, m2,
+                                    tag + "b1");
+        // m3 = latK2 * b1(previous sample); operand 0 patched by caller.
+        const NodeId m3 = b.dfg().addNode(Opcode::Mul, tag + "m3");
+        b.dfg().addEdge(b.imm(latK2), m3, 1);
+        const NodeId e2 = b.op2(Opcode::Sub, e1, m3, tag + "e2");
+        b.store(addr, e2, latY, tag + "sty");
+        return Sample{b1, m3};
+    };
+
+    if (uf == 1) {
+        const NodeId x = b.load(cnt.value, latX, "x");
+        const Sample s = stage(x, x, 1, cnt.value, "s_");
+        b.dfg().addEdge(s.b1, s.m3, 0, 1, 0);
+        return b.take();
+    }
+
+    const NodeId a1addr = b.op2(Opcode::Add, cnt.value, b.imm(1), "i1");
+    const NodeId x0 = b.load(cnt.value, latX, "x0");
+    const NodeId x1 = b.load(a1addr, latX, "x1");
+    // Even sample's previous sample is the odd one of the last graph
+    // iteration; the odd sample's is the even one of this iteration.
+    const Sample even = stage(x0, x1, 1, cnt.value, "e_");
+    const Sample odd = stage(x1, x0, 0, a1addr, "o_");
+    b.dfg().addEdge(odd.b1, even.m3, 0, 1, 0);
+    b.dfg().addEdge(even.b1, odd.m3, 0, 0, 0);
+    return b.take();
+}
+
+Workload
+latnrmWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 32;
+    w.memory.assign(1024, 0);
+    for (int i = 0; i < w.iterations; ++i)
+        w.memory[latX + i] = rng.uniformInt(-8, 8);
+    return w;
+}
+
+void
+latnrmReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    std::int64_t prev_x = 0, prev_b1 = 0;
+    for (int i = 0; i < iterations; ++i) {
+        const std::int64_t x = memory[latX + i];
+        const std::int64_t e1 = x - latK1 * prev_x;
+        const std::int64_t b1 = prev_x + latK1 * e1;
+        const std::int64_t e2 = e1 - latK2 * prev_b1;
+        memory[latY + i] = e2;
+        prev_x = x;
+        prev_b1 = b1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// fft: one in-place radix-2 stage over 64 fixed-point complex points,
+// butterfly stride 4. Layout: re @0, im @64, twiddle re @128, im @136.
+// j in [0, 32): i0 = 2*(j & ~3) + (j & 3), i1 = i0 + 4, tw = j & 3.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t fftRe = 0, fftIm = 64;
+constexpr std::int64_t fftWr = 128, fftWi = 136;
+constexpr int fftStride = 4;
+constexpr int fftShift = 4; // fixed-point Q4 twiddles
+} // namespace
+
+Dfg
+buildFft(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "fft: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "fft" : "fft_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+
+    auto butterfly = [&](NodeId j, const std::string &tag) {
+        const NodeId jl = b.op2(Opcode::And, j, b.imm(fftStride - 1),
+                                tag + "jl");
+        const NodeId jh = b.op2(Opcode::Sub, j, jl, tag + "jh");
+        const NodeId jh2 = b.op2(Opcode::Shl, jh, b.imm(1), tag + "jh2");
+        const NodeId i0 = b.op2(Opcode::Add, jh2, jl, tag + "i0");
+        const NodeId ar = b.load(i0, fftRe, tag + "ar");
+        const NodeId ai = b.load(i0, fftIm, tag + "ai");
+        const NodeId br = b.load(i0, fftRe + fftStride, tag + "br");
+        const NodeId bi = b.load(i0, fftIm + fftStride, tag + "bi");
+        const NodeId wr = b.load(jl, fftWr, tag + "wr");
+        const NodeId wi = b.load(jl, fftWi, tag + "wi");
+        const NodeId t1 = b.op2(Opcode::Mul, br, wr, tag + "t1");
+        const NodeId t2 = b.op2(Opcode::Mul, bi, wi, tag + "t2");
+        const NodeId t3 = b.op2(Opcode::Mul, br, wi, tag + "t3");
+        const NodeId t4 = b.op2(Opcode::Mul, bi, wr, tag + "t4");
+        const NodeId tr0 = b.op2(Opcode::Sub, t1, t2, tag + "tr0");
+        const NodeId ti0 = b.op2(Opcode::Add, t3, t4, tag + "ti0");
+        const NodeId tr = b.op2(Opcode::Shr, tr0, b.imm(fftShift),
+                                tag + "tr");
+        const NodeId ti = b.op2(Opcode::Shr, ti0, b.imm(fftShift),
+                                tag + "ti");
+        const NodeId o0r = b.op2(Opcode::Add, ar, tr, tag + "o0r");
+        const NodeId o0i = b.op2(Opcode::Add, ai, ti, tag + "o0i");
+        const NodeId o1r = b.op2(Opcode::Sub, ar, tr, tag + "o1r");
+        const NodeId o1i = b.op2(Opcode::Sub, ai, ti, tag + "o1i");
+        b.store(i0, o0r, fftRe, tag + "s0r");
+        b.store(i0, o0i, fftIm, tag + "s0i");
+        b.store(i0, o1r, fftRe + fftStride, tag + "s1r");
+        b.store(i0, o1i, fftIm + fftStride, tag + "s1i");
+    };
+
+    butterfly(cnt.value, "a_");
+    if (uf == 2) {
+        const NodeId j1 = b.op2(Opcode::Add, cnt.value, b.imm(1), "j1");
+        butterfly(j1, "b_");
+    }
+    return b.take();
+}
+
+Workload
+fftWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 32;
+    w.memory.assign(256, 0);
+    for (int i = 0; i < 64; ++i) {
+        w.memory[fftRe + i] = rng.uniformInt(-32, 32);
+        w.memory[fftIm + i] = rng.uniformInt(-32, 32);
+    }
+    for (int i = 0; i < fftStride; ++i) {
+        w.memory[fftWr + i] = rng.uniformInt(-16, 16);
+        w.memory[fftWi + i] = rng.uniformInt(-16, 16);
+    }
+    return w;
+}
+
+void
+fftReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    for (int j = 0; j < iterations; ++j) {
+        const std::int64_t jl = j & (fftStride - 1);
+        const std::int64_t i0 = 2 * (j - jl) + jl;
+        const std::int64_t i1 = i0 + fftStride;
+        const std::int64_t ar = memory[fftRe + i0];
+        const std::int64_t ai = memory[fftIm + i0];
+        const std::int64_t br = memory[fftRe + i1];
+        const std::int64_t bi = memory[fftIm + i1];
+        const std::int64_t wr = memory[fftWr + jl];
+        const std::int64_t wi = memory[fftWi + jl];
+        const std::int64_t tr = (br * wr - bi * wi) >> fftShift;
+        const std::int64_t ti = (br * wi + bi * wr) >> fftShift;
+        memory[fftRe + i0] = ar + tr;
+        memory[fftIm + i0] = ai + ti;
+        memory[fftRe + i1] = ar - tr;
+        memory[fftIm + i1] = ai - ti;
+    }
+}
+
+// ---------------------------------------------------------------------
+// dtw: dynamic time warping over an 8x8 grid with a Sakoe-Chiba band.
+// D[i][j] = band(|a[i]-b[j]|) + min(D[i][j-1], D[i-1][j], D[i-1][j-1]).
+// The D matrix is stored with a BIG "wall" column (stride 9) and a
+// prefilled row -1 so no boundary predication is needed on the
+// recurrence path: the critical cycle is the 4-node left-value loop
+// load -> min -> add -> store (ordering distance 1).
+// Layout: a @0, b @8, D walls/cells based at 32 (region [23, 105)).
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t dtwA = 0, dtwB = 8, dtwD = 32;
+constexpr int dtwN = 8;
+constexpr std::int64_t dtwBand = 5;
+
+/** D cell address of (i, j) in the walled layout. */
+std::int64_t
+dtwCell(std::int64_t i, std::int64_t j)
+{
+    return dtwD + 1 + 9 * i + j;
+}
+} // namespace
+
+Dfg
+buildDtw(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "dtw: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "dtw" : "dtw_x2");
+
+    // Banded |a[i]-b[j]| cost.
+    auto cost = [&](NodeId va, NodeId vb, NodeId i, NodeId j,
+                    std::int64_t j_bias, const std::string &tag) {
+        const NodeId diff = b.op2(Opcode::Sub, va, vb, tag + "d");
+        const NodeId c = b.op1(Opcode::Abs, diff, tag + "c");
+        const NodeId dij = b.op2(Opcode::Sub, i, j, tag + "dij");
+        const NodeId adij = b.op1(Opcode::Abs, dij, tag + "adij");
+        const NodeId inband = b.op2(Opcode::CmpLe, adij,
+                                    b.imm(dtwBand + j_bias), tag + "ib");
+        return b.select(inband, c, b.imm(big), tag + "cb");
+    };
+
+    if (uf == 1) {
+        const auto cnt = b.counter(0, 1, never, 0); // idx = 8i + j
+        const NodeId j = b.op2(Opcode::And, cnt.value, b.imm(7), "j");
+        const NodeId i = b.op2(Opcode::Shr, cnt.value, b.imm(3), "i");
+        const NodeId ai = b.op2(Opcode::Add, cnt.value, i, "ai");
+        const NodeId va = b.load(i, dtwA, "va");
+        const NodeId vb = b.load(j, dtwB, "vb");
+        const NodeId cb = cost(va, vb, i, j, 0, "c_");
+        const NodeId left = b.load(ai, dtwD, "left");
+        const NodeId up = b.load(ai, dtwD - 8, "up");
+        const NodeId diag = b.load(ai, dtwD - 9, "diag");
+        const NodeId mud = b.op2(Opcode::Min, up, diag, "mud");
+        const NodeId m = b.op2(Opcode::Min, left, mud, "m");
+        const NodeId res = b.op2(Opcode::Add, cb, m, "res");
+        const NodeId st = b.store(ai, res, dtwD + 1, "st");
+        b.order(st, left, 1);
+        b.order(st, up, 8);
+        b.order(st, diag, 9);
+        return b.take();
+    }
+
+    // Unroll x2 over row pairs: iteration = (rowpair rp, column j);
+    // cell0 = (2rp, j), cell1 = (2rp+1, j). cell1's up is cell0's
+    // value (same iteration); its diag is cell0's previous-iteration
+    // value (BIG when j == 0).
+    const auto cnt = b.counter(0, 1, never, 0); // idx = 8*rp + j
+    const NodeId j = b.op2(Opcode::And, cnt.value, b.imm(7), "j");
+    const NodeId rp = b.op2(Opcode::Shr, cnt.value, b.imm(3), "rp");
+    const NodeId i0 = b.op2(Opcode::Shl, rp, b.imm(1), "i0");
+    const NodeId m18 = b.op2(Opcode::Mul, rp, b.imm(18), "m18");
+    const NodeId a0 = b.op2(Opcode::Add, m18, j, "a0");
+    const NodeId va0 = b.load(i0, dtwA, "va0");
+    const NodeId va1 = b.load(i0, dtwA + 1, "va1");
+    const NodeId vb = b.load(j, dtwB, "vb");
+    const NodeId cb0 = cost(va0, vb, i0, j, 0, "c0_");
+    // |i1 - j| = |i0 + 1 - j| needs its own sub; reuse helper with
+    // i = i0 via a +1 add.
+    const NodeId i1 = b.op2(Opcode::Add, i0, b.imm(1), "i1");
+    const NodeId cb1 = cost(va1, vb, i1, j, 0, "c1_");
+
+    const NodeId left0 = b.load(a0, dtwD, "left0");
+    const NodeId up0 = b.load(a0, dtwD - 8, "up0");
+    const NodeId diag0 = b.load(a0, dtwD - 9, "diag0");
+    const NodeId mud0 = b.op2(Opcode::Min, up0, diag0, "mud0");
+    const NodeId m0 = b.op2(Opcode::Min, left0, mud0, "m0");
+    const NodeId res0 = b.op2(Opcode::Add, cb0, m0, "res0");
+    const NodeId st0 = b.store(a0, res0, dtwD + 1, "st0");
+
+    const NodeId firstj = b.op2(Opcode::CmpEq, j, b.imm(0), "firstj");
+    // diag1 = res0 of the previous iteration, BIG at column 0.
+    const NodeId diag1 = b.dfg().addNode(Opcode::Select, "diag1");
+    b.dfg().addEdge(firstj, diag1, 0);
+    b.dfg().addEdge(b.imm(big), diag1, 1);
+    b.dfg().addEdge(res0, diag1, 2, 1, big);
+    const NodeId left1 = b.load(a0, dtwD + 9, "left1");
+    const NodeId mud1 = b.op2(Opcode::Min, res0, diag1, "mud1");
+    const NodeId m1 = b.op2(Opcode::Min, left1, mud1, "m1");
+    const NodeId res1 = b.op2(Opcode::Add, cb1, m1, "res1");
+    const NodeId st1 = b.store(a0, res1, dtwD + 10, "st1");
+
+    b.order(st0, left0, 1);
+    b.order(st1, left1, 1);
+    b.order(st1, up0, 8);
+    b.order(st1, diag0, 9);
+    return b.take();
+}
+
+Workload
+dtwWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = dtwN * dtwN;
+    w.memory.assign(256, 0);
+    for (int i = 0; i < dtwN; ++i) {
+        w.memory[dtwA + i] = rng.uniformInt(0, 20);
+        w.memory[dtwB + i] = rng.uniformInt(0, 20);
+    }
+    // Row -1: diag of (0,0) is 0, everything else BIG.
+    w.memory[dtwD - 9] = 0;
+    for (int k = -8; k < 0; ++k)
+        w.memory[dtwD + k] = big;
+    // Wall column of every row.
+    for (int i = 0; i < dtwN; ++i)
+        w.memory[dtwD + 9 * i] = big;
+    return w;
+}
+
+void
+dtwReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    auto iabs = [](std::int64_t v) { return v < 0 ? -v : v; };
+    for (int idx = 0; idx < iterations; ++idx) {
+        const int i = idx / dtwN;
+        const int j = idx % dtwN;
+        const std::int64_t raw =
+            iabs(memory[dtwA + i] - memory[dtwB + j]);
+        const std::int64_t c = iabs(i - j) <= dtwBand ? raw : big;
+        const std::int64_t left =
+            j > 0 ? memory[dtwCell(i, j - 1)] : big;
+        const std::int64_t up = i > 0 ? memory[dtwCell(i - 1, j)] : big;
+        const std::int64_t diag =
+            i > 0 ? (j > 0 ? memory[dtwCell(i - 1, j - 1)] : big)
+                  : (j == 0 ? 0 : big);
+        memory[dtwCell(i, j)] = c + std::min({left, up, diag});
+    }
+}
+
+} // namespace iced::detail

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * GCN inference pipeline stages of Table I: compress, aggregate,
+ * combine, combrelu, pooling.
+ *
+ * The stages share the structure of windowed streaming reductions:
+ * load a value, transform it through a short feature chain, reduce it
+ * into a (saturating) accumulator that resets at window boundaries,
+ * and store the reduced value per window. The accumulator chain length
+ * is what pins the RecMII (4 at unroll 1, 7 at unroll 2 - quantized
+ * saturation is non-associative). Validated interpreter-vs-simulator.
+ */
+#include "kernels/kernels_detail.hpp"
+
+#include "common/logging.hpp"
+#include "kernels/builder_util.hpp"
+
+namespace iced::detail {
+
+namespace {
+constexpr std::int64_t never = 1LL << 30;
+constexpr std::int64_t stageData = 0;
+constexpr std::int64_t stageAux = 128; // up to 3 aux arrays, stride 128
+constexpr std::int64_t stageOut = 640;
+} // namespace
+
+Dfg
+buildStreamStage(const std::string &name, int uf, int pre_ops,
+                 const std::vector<std::pair<Opcode, std::int64_t>>
+                     &acc_stages,
+                 int aux_loads, bool use_div, bool plain_acc)
+{
+    fatalIf(uf != 1 && uf != 2, name, ": unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? name : name + "_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+    const NodeId w = b.op2(Opcode::And, cnt.value, b.imm(7), "w");
+    const NodeId wend =
+        b.op2(Opcode::CmpEq, w, b.imm(uf == 1 ? 7 : 6), "wend");
+    const NodeId outaddr = b.op2(Opcode::Shr, cnt.value, b.imm(3), "oa");
+
+    // Feature path of one instance: load + aux combines + op chain.
+    auto feature = [&](std::int64_t bias, const std::string &tag) {
+        NodeId v = b.load(cnt.value, stageData + bias, tag + "v");
+        for (int a = 0; a < aux_loads; ++a) {
+            const NodeId aux = b.load(cnt.value,
+                                      stageAux + 128 * a + bias,
+                                      tag + "aux" + std::to_string(a));
+            v = b.op2(a % 2 == 0 ? Opcode::Mul : Opcode::Add, v, aux,
+                      tag + "cmb" + std::to_string(a));
+        }
+        static const std::pair<Opcode, std::int64_t> chain[] = {
+            {Opcode::Add, 5},  {Opcode::Shr, 1}, {Opcode::Mul, 3},
+            {Opcode::Xor, 21}, {Opcode::Max, 0}, {Opcode::Sub, 2},
+            {Opcode::Min, 4095},
+        };
+        for (int p = 0; p < pre_ops; ++p) {
+            const auto &[op, constant] = chain[p % 7];
+            v = b.op2(op, v, b.imm(constant),
+                      tag + "pre" + std::to_string(p));
+        }
+        if (use_div)
+            v = b.op2(Opcode::Div, v, b.imm(3), tag + "div");
+        return v;
+    };
+
+    std::vector<NodeId> values{feature(0, "a_")};
+    std::vector<NodeId> conds;
+    if (uf == 2) {
+        values.push_back(feature(1, "b_"));
+        conds = {b.imm(0), wend};
+    } else {
+        conds = {wend};
+    }
+
+    if (plain_acc) {
+        // Re-associable accumulator: phi -> add -> select (3-cycle),
+        // so RecMII stays at the skeleton's 4 at both unroll factors.
+        NodeId value = values[0];
+        if (uf == 2)
+            value = b.op2(Opcode::Add, values[0], values[1], "vpair");
+        const NodeId first = b.op2(Opcode::CmpEq, w, b.imm(0), "wfirst");
+        const NodeId acc = b.phi(0, "acc");
+        const NodeId sum = b.op2(Opcode::Add, acc, value, "sum");
+        const NodeId sel = b.select(first, value, sum, "asel");
+        b.carry(sel, acc, 1, 1, 0);
+        b.store(outaddr, sel, stageOut, "sto");
+        return b.take();
+    }
+
+    KernelBuilder::AccSpec spec;
+    spec.stageOps = acc_stages;
+    const auto acc = b.accChain(values, conds, spec, "acc");
+    const NodeId st0 =
+        b.store(outaddr, acc.preSelect[0], stageOut, "sto0");
+    if (uf == 2) {
+        const NodeId st1 =
+            b.store(outaddr, acc.preSelect[1], stageOut, "sto1");
+        b.order(st0, st1, 0);
+        b.order(st1, st0, 1);
+    }
+    return b.take();
+}
+
+namespace {
+
+const std::vector<std::pair<Opcode, std::int64_t>> satStage = {
+    {Opcode::Min, 1 << 14},
+};
+
+} // namespace
+
+Dfg
+buildGcnCompress(int uf)
+{
+    return buildStreamStage("gcn_compress", uf, /*pre_ops=*/3, satStage,
+                            /*aux_loads=*/2, /*use_div=*/true,
+                            /*plain_acc=*/false);
+}
+
+Dfg
+buildGcnAggregate(int uf)
+{
+    return buildStreamStage("gcn_aggregate", uf, 4, satStage, 3, false,
+                            false);
+}
+
+Dfg
+buildGcnCombine(int uf)
+{
+    return buildStreamStage("gcn_combine", uf, 3, satStage, 3, false,
+                            false);
+}
+
+Dfg
+buildGcnCombRelu(int uf)
+{
+    return buildStreamStage("gcn_combrelu", uf, 7, satStage, 3, false,
+                            false);
+}
+
+Dfg
+buildGcnPooling(int uf)
+{
+    return buildStreamStage("gcn_pooling", uf, 1, satStage, 0, false,
+                            false);
+}
+
+Workload
+gcnStageWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 48;
+    w.memory.assign(1024, 0);
+    for (int i = 0; i < 512; ++i)
+        w.memory[i] = rng.uniformInt(-32, 32);
+    return w;
+}
+
+} // namespace iced::detail

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * HPC kernels of Table I: histogram, mvt, gemm.
+ *
+ * histogram carries a genuine memory recurrence (read-modify-write of
+ * the bin array); its unroll-2 form resolves same-bin collisions with
+ * predication instead of serialization, keeping RecMII at 4. mvt uses
+ * plain (re-associable) accumulators, so unrolling keeps RecMII 4;
+ * gemm uses a saturating accumulator like spmv, growing 4 -> 7.
+ */
+#include "kernels/kernels_detail.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "kernels/builder_util.hpp"
+
+namespace iced::detail {
+
+namespace {
+constexpr std::int64_t never = 1LL << 30;
+}
+
+// ---------------------------------------------------------------------
+// histogram: hist[data[i] & 63] += 1, plus a running max of the
+// updated bin count and a running sum of the data values.
+// Layout: data @0, hist @256, stats @320 (max @320, sum @321).
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t histData = 0, histBins = 256, histStat = 320;
+} // namespace
+
+Dfg
+buildHistogram(int uf)
+{
+    fatalIf(uf != 1 && uf != 2,
+            "histogram: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "histogram" : "histogram_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+
+    if (uf == 1) {
+        const NodeId d = b.load(cnt.value, histData, "d");
+        const NodeId bin = b.op2(Opcode::And, d, b.imm(63), "bin");
+        const NodeId h = b.load(bin, histBins, "h");
+        const NodeId h1 = b.op2(Opcode::Add, h, b.imm(1), "h1");
+        const NodeId st = b.store(bin, h1, histBins, "sth");
+        b.order(st, h, 1);
+        // Running max of bin counts (self-carried).
+        const NodeId mx = b.dfg().addNode(Opcode::Max, "mx");
+        b.dfg().addEdge(h1, mx, 0);
+        b.dfg().addEdge(mx, mx, 1, 1, 0);
+        b.store(b.imm(0), mx, histStat, "stm");
+        // Running sum of data values (self-carried).
+        const NodeId sum = b.dfg().addNode(Opcode::Add, "sum");
+        b.dfg().addEdge(d, sum, 0);
+        b.dfg().addEdge(sum, sum, 1, 1, 0);
+        b.store(b.imm(1), sum, histStat, "sts");
+        return b.take();
+    }
+
+    // Unroll x2 with predicated collision handling: both instances
+    // load the old counts concurrently; when the bins collide, the
+    // second store writes old0 + 2.
+    const NodeId d0 = b.load(cnt.value, histData, "d0");
+    const NodeId d1 = b.load(cnt.value, histData + 1, "d1");
+    const NodeId bin0 = b.op2(Opcode::And, d0, b.imm(63), "bin0");
+    const NodeId bin1 = b.op2(Opcode::And, d1, b.imm(63), "bin1");
+    const NodeId h0 = b.load(bin0, histBins, "h0");
+    const NodeId h1 = b.load(bin1, histBins, "h1");
+    const NodeId same = b.op2(Opcode::CmpEq, bin0, bin1, "same");
+    const NodeId inc0 = b.op2(Opcode::Add, h0, b.imm(1), "inc0");
+    const NodeId inc0b = b.op2(Opcode::Add, h0, b.imm(2), "inc0b");
+    const NodeId inc1 = b.op2(Opcode::Add, h1, b.imm(1), "inc1");
+    const NodeId w1 = b.select(same, inc0b, inc1, "w1");
+    const NodeId st0 = b.store(bin0, inc0, histBins, "st0");
+    const NodeId st1 = b.store(bin1, w1, histBins, "st1");
+    b.order(st0, st1, 0); // same-bin collision: st1 must win
+    b.order(st1, h0, 1);
+    b.order(st1, h1, 1);
+    b.order(st0, h0, 1);
+    b.order(st0, h1, 1);
+    // Running max over the first write and the effective second write;
+    // the carried value is mx2 so collisions are not forgotten.
+    const NodeId mx = b.dfg().addNode(Opcode::Max, "mx");
+    const NodeId mx2 = b.op2(Opcode::Max, mx, w1, "mx2");
+    b.dfg().addEdge(inc0, mx, 0);
+    b.dfg().addEdge(mx2, mx, 1, 1, 0);
+    b.store(b.imm(0), mx2, histStat, "stm");
+    const NodeId dsum = b.op2(Opcode::Add, d0, d1, "dsum");
+    const NodeId sum = b.dfg().addNode(Opcode::Add, "sum");
+    b.dfg().addEdge(dsum, sum, 0);
+    b.dfg().addEdge(sum, sum, 1, 1, 0);
+    b.store(b.imm(1), sum, histStat, "sts");
+    return b.take();
+}
+
+Workload
+histogramWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 64;
+    w.memory.assign(512, 0);
+    for (int i = 0; i < w.iterations; ++i)
+        w.memory[histData + i] = rng.uniformInt(0, 1023);
+    return w;
+}
+
+void
+histogramReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    std::int64_t mx = 0, sum = 0;
+    for (int i = 0; i < iterations; ++i) {
+        const std::int64_t d = memory[histData + i];
+        const std::int64_t bin = d & 63;
+        memory[histBins + bin] += 1;
+        mx = std::max(mx, memory[histBins + bin]);
+        sum += d;
+    }
+    if (iterations > 0) {
+        memory[histStat + 0] = mx;
+        memory[histStat + 1] = sum;
+    }
+}
+
+// ---------------------------------------------------------------------
+// mvt: x1[i] = sum_j A[i][j] * y1[j], x2[i] = sum_j A[j][i] * y2[j]
+// over an 8x8 matrix, flattened j-inner. Plain accumulators with
+// reset-at-row-start; the partial sum is stored to x1/x2[i] every j
+// (last write wins). Layout: A @0, y1 @128, y2 @192, x1 @256, x2 @320.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t mvtA = 0, mvtY1 = 128, mvtY2 = 192;
+constexpr std::int64_t mvtX1 = 256, mvtX2 = 320;
+constexpr int mvtN = 8;
+} // namespace
+
+Dfg
+buildMvt(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "mvt: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "mvt" : "mvt_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+    const NodeId j = b.op2(Opcode::And, cnt.value, b.imm(mvtN - 1), "j");
+    const NodeId i = b.op2(Opcode::Shr, cnt.value, b.imm(3), "i");
+    const NodeId jrow = b.op2(Opcode::Shl, j, b.imm(3), "jrow");
+    const NodeId idxT = b.op2(Opcode::Add, jrow, i, "idxT");
+    const NodeId first = b.op2(Opcode::CmpEq, j, b.imm(0), "first");
+
+    // One accumulator: 3-node cycle phi -> add -> select (plain sums
+    // re-associate, so RecMII stays at the skeleton's 4).
+    auto accumulate = [&](NodeId value, const std::string &tag) {
+        const NodeId acc = b.phi(0, tag + "acc");
+        const NodeId sum = b.op2(Opcode::Add, acc, value, tag + "sum");
+        const NodeId sel = b.select(first, value, sum, tag + "sel");
+        b.carry(sel, acc, 1, 1, 0);
+        return sel;
+    };
+
+    if (uf == 1) {
+        const NodeId a = b.load(cnt.value, mvtA, "a");
+        const NodeId at = b.load(idxT, mvtA, "at");
+        const NodeId v1 = b.load(j, mvtY1, "v1");
+        const NodeId v2 = b.load(j, mvtY2, "v2");
+        const NodeId p1 = b.op2(Opcode::Mul, a, v1, "p1");
+        const NodeId p2 = b.op2(Opcode::Mul, at, v2, "p2");
+        b.store(i, accumulate(p1, "a1_"), mvtX1, "st1");
+        b.store(i, accumulate(p2, "a2_"), mvtX2, "st2");
+        return b.take();
+    }
+
+    // Unroll x2 over j: re-associated partial sums (p_j + p_j+1).
+    const NodeId j1 = b.op2(Opcode::Add, j, b.imm(1), "j1");
+    const NodeId a0 = b.load(cnt.value, mvtA, "a0");
+    const NodeId a1 = b.load(cnt.value, mvtA + 1, "a1");
+    const NodeId at0 = b.load(idxT, mvtA, "at0");
+    const NodeId at1 = b.load(idxT, mvtA + mvtN, "at1");
+    const NodeId v10 = b.load(j, mvtY1, "v10");
+    const NodeId v11 = b.load(j1, mvtY1, "v11");
+    const NodeId v20 = b.load(j, mvtY2, "v20");
+    const NodeId v21 = b.load(j1, mvtY2, "v21");
+    const NodeId p10 = b.op2(Opcode::Mul, a0, v10, "p10");
+    const NodeId p11 = b.op2(Opcode::Mul, a1, v11, "p11");
+    const NodeId p20 = b.op2(Opcode::Mul, at0, v20, "p20");
+    const NodeId p21 = b.op2(Opcode::Mul, at1, v21, "p21");
+    const NodeId pp1 = b.op2(Opcode::Add, p10, p11, "pp1");
+    const NodeId pp2 = b.op2(Opcode::Add, p20, p21, "pp2");
+    b.store(i, accumulate(pp1, "a1_"), mvtX1, "st1");
+    b.store(i, accumulate(pp2, "a2_"), mvtX2, "st2");
+    return b.take();
+}
+
+Workload
+mvtWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = mvtN * mvtN;
+    w.memory.assign(512, 0);
+    for (int k = 0; k < mvtN * mvtN; ++k)
+        w.memory[mvtA + k] = rng.uniformInt(-16, 16);
+    for (int k = 0; k < mvtN; ++k) {
+        w.memory[mvtY1 + k] = rng.uniformInt(-16, 16);
+        w.memory[mvtY2 + k] = rng.uniformInt(-16, 16);
+    }
+    return w;
+}
+
+void
+mvtReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    for (int idx = 0; idx < iterations; ++idx) {
+        const int i = idx / mvtN;
+        const int j = idx % mvtN;
+        const std::int64_t p1 =
+            memory[mvtA + idx] * memory[mvtY1 + j];
+        const std::int64_t p2 =
+            memory[mvtA + j * mvtN + i] * memory[mvtY2 + j];
+        memory[mvtX1 + i] = (j == 0 ? 0 : memory[mvtX1 + i]) + p1;
+        memory[mvtX2 + i] = (j == 0 ? 0 : memory[mvtX2 + i]) + p2;
+    }
+}
+
+// ---------------------------------------------------------------------
+// gemm: C[i][j] = sat-sum_k A[i][k] * B[k][j] over 8x8x8, k-inner
+// flattened; saturating accumulator (quantized inference), so the
+// unrolled recurrence grows to 7 like spmv. Layout: A @0, B @64,
+// C @128.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t gemmA = 0, gemmB = 64, gemmC = 128;
+constexpr int gemmN = 8;
+constexpr std::int64_t gemmCap = 1 << 14;
+} // namespace
+
+Dfg
+buildGemm(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "gemm: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "gemm" : "gemm_x2");
+    const auto cnt = b.counter(0, uf, never, 0); // idx = (i*8+j)*8 + k
+    const NodeId k = b.op2(Opcode::And, cnt.value, b.imm(7), "k");
+    const NodeId ij = b.op2(Opcode::Shr, cnt.value, b.imm(3), "ij");
+    const NodeId jcol = b.op2(Opcode::And, ij, b.imm(7), "j");
+    const NodeId i = b.op2(Opcode::Shr, ij, b.imm(3), "i");
+    const NodeId irow = b.op2(Opcode::Shl, i, b.imm(3), "irow");
+    const NodeId addrA = b.op2(Opcode::Add, irow, k, "addrA");
+    const NodeId krow = b.op2(Opcode::Shl, k, b.imm(3), "krow");
+    const NodeId addrB = b.op2(Opcode::Add, krow, jcol, "addrB");
+    const NodeId kend =
+        b.op2(Opcode::CmpEq, k, b.imm(uf == 1 ? 7 : 6), "kend");
+
+    if (uf == 1) {
+        const NodeId a = b.load(addrA, gemmA, "a");
+        const NodeId bb = b.load(addrB, gemmB, "b");
+        const NodeId p = b.op2(Opcode::Mul, a, bb, "p");
+        const auto acc = b.saturatingAcc({p}, {kend}, gemmCap, "acc");
+        b.store(ij, acc.preSelect[0], gemmC, "stc");
+        return b.take();
+    }
+
+    const NodeId a0 = b.load(addrA, gemmA, "a0");
+    const NodeId a1 = b.load(addrA, gemmA + 1, "a1");
+    const NodeId b0 = b.load(addrB, gemmB, "b0");
+    const NodeId b1 = b.load(addrB, gemmB + gemmN, "b1");
+    const NodeId p0 = b.op2(Opcode::Mul, a0, b0, "p0");
+    const NodeId p1 = b.op2(Opcode::Mul, a1, b1, "p1");
+    // Reset after the second instance consumed k = 7 (kend fires at
+    // k == 6, i.e. when instance 1 is the last of the dot product).
+    const auto acc = b.saturatingAcc({p0, p1}, {b.imm(0), kend},
+                                     gemmCap, "acc");
+    const NodeId st0 = b.store(ij, acc.preSelect[0], gemmC, "stc0");
+    const NodeId st1 = b.store(ij, acc.preSelect[1], gemmC, "stc1");
+    b.order(st0, st1, 0);
+    b.order(st1, st0, 1);
+    return b.take();
+}
+
+Workload
+gemmWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = gemmN * gemmN * gemmN;
+    w.memory.assign(512, 0);
+    for (int k = 0; k < gemmN * gemmN; ++k) {
+        w.memory[gemmA + k] = rng.uniformInt(-8, 8);
+        w.memory[gemmB + k] = rng.uniformInt(-8, 8);
+    }
+    return w;
+}
+
+void
+gemmReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    std::int64_t acc = 0;
+    for (int idx = 0; idx < iterations; ++idx) {
+        const int k = idx % gemmN;
+        const int ij = idx / gemmN;
+        const int j = ij % gemmN;
+        const int i = ij / gemmN;
+        const std::int64_t p = memory[gemmA + i * gemmN + k] *
+                               memory[gemmB + k * gemmN + j];
+        const std::int64_t sat = std::min(acc + p, gemmCap);
+        memory[gemmC + ij] = sat;
+        acc = k == gemmN - 1 ? 0 : sat;
+    }
+}
+
+} // namespace iced::detail

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Internal declarations of the per-domain kernel builders; assembled
+ * into the public registry by registry.cpp. Not part of the public
+ * API.
+ */
+#ifndef ICED_KERNELS_KERNELS_DETAIL_HPP
+#define ICED_KERNELS_KERNELS_DETAIL_HPP
+
+#include "kernels/registry.hpp"
+
+namespace iced::detail {
+
+/**
+ * Shared builder for the streaming pipeline stages (GCN + LU):
+ * a windowed reduction whose accumulator chain length pins the RecMII.
+ * Defined in gcn.cpp.
+ */
+Dfg buildStreamStage(const std::string &name, int uf, int pre_ops,
+                     const std::vector<std::pair<Opcode, std::int64_t>>
+                         &acc_stages,
+                     int aux_loads, bool use_div, bool plain_acc);
+
+// embedded.cpp
+Dfg buildFir(int uf);
+Workload firWorkload(Rng &rng);
+void firReference(std::vector<std::int64_t> &memory, int iterations);
+Dfg buildLatnrm(int uf);
+Workload latnrmWorkload(Rng &rng);
+void latnrmReference(std::vector<std::int64_t> &memory, int iterations);
+Dfg buildFft(int uf);
+Workload fftWorkload(Rng &rng);
+void fftReference(std::vector<std::int64_t> &memory, int iterations);
+Dfg buildDtw(int uf);
+Workload dtwWorkload(Rng &rng);
+void dtwReference(std::vector<std::int64_t> &memory, int iterations);
+
+// ml.cpp
+Dfg buildSpmv(int uf);
+Workload spmvWorkload(Rng &rng);
+void spmvReference(std::vector<std::int64_t> &memory, int iterations);
+Dfg buildConv(int uf);
+Workload convWorkload(Rng &rng);
+void convReference(std::vector<std::int64_t> &memory, int iterations);
+Dfg buildRelu(int uf);
+Workload reluWorkload(Rng &rng);
+void reluReference(std::vector<std::int64_t> &memory, int iterations);
+
+// hpc.cpp
+Dfg buildHistogram(int uf);
+Workload histogramWorkload(Rng &rng);
+void histogramReference(std::vector<std::int64_t> &memory,
+                        int iterations);
+Dfg buildMvt(int uf);
+Workload mvtWorkload(Rng &rng);
+void mvtReference(std::vector<std::int64_t> &memory, int iterations);
+Dfg buildGemm(int uf);
+Workload gemmWorkload(Rng &rng);
+void gemmReference(std::vector<std::int64_t> &memory, int iterations);
+
+// gcn.cpp
+Dfg buildGcnCompress(int uf);
+Dfg buildGcnAggregate(int uf);
+Dfg buildGcnCombine(int uf);
+Dfg buildGcnCombRelu(int uf);
+Dfg buildGcnPooling(int uf);
+Workload gcnStageWorkload(Rng &rng);
+
+// lu.cpp
+Dfg buildLuInit(int uf);
+Dfg buildLuDecompose(int uf);
+Dfg buildLuSolver0(int uf);
+Dfg buildLuSolver1(int uf);
+Dfg buildLuInvert(int uf);
+Dfg buildLuDeterminant(int uf);
+Workload luStageWorkload(Rng &rng);
+
+} // namespace iced::detail
+
+#endif // ICED_KERNELS_KERNELS_DETAIL_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * LU-decomposition pipeline stages of Table I: init, decompose,
+ * solver0, solver1, invert, determinant.
+ *
+ * The solver stages carry the deep sequential recurrences of forward/
+ * backward substitution: their accumulator chains are 7 and 11
+ * operations long, pinning RecMII to 8 and 12 at unroll 1 (15 and 23
+ * at unroll 2), exactly as Table I reports. invert uses a plain
+ * re-associable accumulator and keeps RecMII 4.
+ */
+#include "kernels/kernels_detail.hpp"
+
+#include "kernels/builder_util.hpp"
+
+namespace iced::detail {
+
+namespace {
+
+using Stage = std::pair<Opcode, std::int64_t>;
+
+const std::vector<Stage> satStage = {{Opcode::Min, 1 << 14}};
+
+// 7-op chain -> 8-node recurrence (solver0).
+const std::vector<Stage> solver0Stages = {
+    {Opcode::Min, 1 << 14}, {Opcode::Max, -(1 << 14)},
+    {Opcode::Shr, 1},       {Opcode::Xor, 9},
+    {Opcode::Add, 3},
+};
+
+// 11-op chain -> 12-node recurrence (solver1).
+const std::vector<Stage> solver1Stages = {
+    {Opcode::Min, 1 << 14}, {Opcode::Max, -(1 << 14)},
+    {Opcode::Shr, 1},       {Opcode::Xor, 5},
+    {Opcode::Add, 7},       {Opcode::Sub, 2},
+    {Opcode::Min, 1 << 13}, {Opcode::Mul, 3},
+    {Opcode::Shr, 2},
+};
+
+// 4-op chain -> 7-node recurrence (determinant).
+const std::vector<Stage> detStages = {
+    {Opcode::Min, 1 << 14},
+    {Opcode::Max, -(1 << 14)},
+    {Opcode::Mul, 5},
+    {Opcode::Shr, 2},
+};
+
+} // namespace
+
+Dfg
+buildLuInit(int uf)
+{
+    return buildStreamStage("lu_init", uf, /*pre_ops=*/0, satStage,
+                            /*aux_loads=*/0, /*use_div=*/false,
+                            /*plain_acc=*/false);
+}
+
+Dfg
+buildLuDecompose(int uf)
+{
+    return buildStreamStage("lu_decompose", uf, 0, satStage, 1, true,
+                            false);
+}
+
+Dfg
+buildLuSolver0(int uf)
+{
+    return buildStreamStage("lu_solver0", uf, 6, solver0Stages, 3,
+                            false, false);
+}
+
+Dfg
+buildLuSolver1(int uf)
+{
+    return buildStreamStage("lu_solver1", uf, 4, solver1Stages, 3,
+                            true, false);
+}
+
+Dfg
+buildLuInvert(int uf)
+{
+    return buildStreamStage("lu_invert", uf, 3, satStage, 1, true,
+                            /*plain_acc=*/true);
+}
+
+Dfg
+buildLuDeterminant(int uf)
+{
+    return buildStreamStage("lu_determinant", uf, 2, detStages, 1,
+                            false, false);
+}
+
+Workload
+luStageWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 48;
+    w.memory.assign(1024, 0);
+    for (int i = 0; i < 512; ++i)
+        w.memory[i] = rng.uniformInt(-24, 24);
+    return w;
+}
+
+} // namespace iced::detail

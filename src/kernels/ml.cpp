@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Machine-learning kernels of Table I: spmv, conv, relu.
+ *
+ * spmv uses a *saturating* fixed-point accumulator (common in
+ * quantized inference); saturation is non-associative, so unrolling
+ * cannot re-associate the reduction and the recurrence grows from the
+ * 4-node to the 7-node chain - exactly Table I's RecMII 4 -> 7
+ * behaviour for spmv. conv and relu are recurrence-free apart from the
+ * induction skeleton and keep RecMII 4 at both unroll factors.
+ */
+#include "kernels/kernels_detail.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "kernels/builder_util.hpp"
+
+namespace iced::detail {
+
+namespace {
+constexpr std::int64_t never = 1LL << 30;
+}
+
+// ---------------------------------------------------------------------
+// spmv: y[row[e]] = sat-sum of val[e] * x[col[e]] per row, flattened
+// over nonzero entries; flag[e] == 1 marks the last entry of its row.
+// Layout: val @0, col @128, flag @256, row @384, x @512, y @640.
+// The running (saturated) sum is stored to y[row] every entry; the
+// last store of a row wins, so no store predication is needed.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t spmvVal = 0, spmvCol = 128, spmvFlag = 256;
+constexpr std::int64_t spmvRow = 384, spmvX = 512, spmvY = 640;
+constexpr std::int64_t spmvCap = 1 << 14;
+constexpr int spmvCols = 16;
+} // namespace
+
+Dfg
+buildSpmv(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "spmv: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "spmv" : "spmv_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+
+    auto entry = [&](NodeId idx, std::int64_t bias,
+                     const std::string &tag) {
+        struct E { NodeId prod, flag, row; };
+        const NodeId v = b.load(idx, spmvVal + bias, tag + "v");
+        const NodeId c = b.load(idx, spmvCol + bias, tag + "c");
+        const NodeId x = b.load(c, spmvX, tag + "x");
+        const NodeId p = b.op2(Opcode::Mul, v, x, tag + "p");
+        const NodeId f = b.load(idx, spmvFlag + bias, tag + "f");
+        const NodeId r = b.load(idx, spmvRow + bias, tag + "r");
+        return E{p, f, r};
+    };
+
+    if (uf == 1) {
+        const auto e = entry(cnt.value, 0, "e_");
+        const auto acc =
+            b.saturatingAcc({e.prod}, {e.flag}, spmvCap, "acc");
+        b.store(e.row, acc.preSelect[0], spmvY, "sty");
+        return b.take();
+    }
+
+    const auto e0 = entry(cnt.value, 0, "e0_");
+    const auto e1 = entry(cnt.value, 1, "e1_");
+    const auto acc = b.saturatingAcc({e0.prod, e1.prod},
+                                     {e0.flag, e1.flag}, spmvCap,
+                                     "acc");
+    const NodeId st0 = b.store(e0.row, acc.preSelect[0], spmvY, "sty0");
+    const NodeId st1 = b.store(e1.row, acc.preSelect[1], spmvY, "sty1");
+    // Entries of one row may be split across the two instances and
+    // across iterations; keep the last-write-wins order of y[] stores.
+    b.order(st0, st1, 0);
+    b.order(st1, st0, 1);
+    return b.take();
+}
+
+Workload
+spmvWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 48; // nonzero entries
+    w.memory.assign(1024, 0);
+    int row = 0;
+    int in_row = 0;
+    const int row_len = 4; // entries per row -> even and UF2-safe
+    for (int e = 0; e < w.iterations; ++e) {
+        w.memory[spmvVal + e] = rng.uniformInt(-64, 64);
+        w.memory[spmvCol + e] = rng.uniformInt(0, spmvCols - 1);
+        w.memory[spmvRow + e] = row;
+        if (++in_row == row_len) {
+            w.memory[spmvFlag + e] = 1;
+            in_row = 0;
+            ++row;
+        }
+    }
+    for (int c = 0; c < spmvCols; ++c)
+        w.memory[spmvX + c] = rng.uniformInt(-64, 64);
+    return w;
+}
+
+void
+spmvReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    std::int64_t acc = 0;
+    for (int e = 0; e < iterations; ++e) {
+        const std::int64_t p =
+            memory[spmvVal + e] * memory[spmvX + memory[spmvCol + e]];
+        const std::int64_t sat = std::min(acc + p, spmvCap);
+        memory[spmvY + memory[spmvRow + e]] = sat;
+        acc = memory[spmvFlag + e] ? 0 : sat;
+    }
+}
+
+// ---------------------------------------------------------------------
+// conv: fused 3-tap row convolution + bias + ReLU over a 2D image
+// stored row-major with width 16 (zeroing taps that cross the row
+// start). Layout: x @0, y @512. Weights {2, 5, -3}, bias 7.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t convX = 0, convY = 512;
+constexpr std::int64_t convW[3] = {2, 5, -3};
+constexpr std::int64_t convBias = 7;
+constexpr int convWidth = 16;
+} // namespace
+
+Dfg
+buildConv(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "conv: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "conv" : "conv_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+
+    // taps[k] = (source node, carried distance) for x[i - k].
+    auto body = [&](NodeId idx, NodeId x0, NodeId xm1, int d1,
+                    NodeId xm2, int d2, const std::string &tag) {
+        const NodeId j =
+            b.op2(Opcode::And, idx, b.imm(convWidth - 1), tag + "j");
+        const NodeId m0 =
+            b.op2(Opcode::Mul, x0, b.imm(convW[0]), tag + "m0");
+        NodeId m1 = b.dfg().addNode(Opcode::Mul, tag + "m1");
+        b.dfg().addEdge(xm1, m1, 0, d1, 0);
+        b.dfg().addEdge(b.imm(convW[1]), m1, 1);
+        NodeId m2 = b.dfg().addNode(Opcode::Mul, tag + "m2");
+        b.dfg().addEdge(xm2, m2, 0, d2, 0);
+        b.dfg().addEdge(b.imm(convW[2]), m2, 1);
+        const NodeId c1 =
+            b.op2(Opcode::CmpGe, j, b.imm(1), tag + "c1");
+        const NodeId c2 =
+            b.op2(Opcode::CmpGe, j, b.imm(2), tag + "c2");
+        const NodeId m1z = b.select(c1, m1, b.imm(0), tag + "m1z");
+        const NodeId m2z = b.select(c2, m2, b.imm(0), tag + "m2z");
+        const NodeId a0 = b.op2(Opcode::Add, m0, m1z, tag + "a0");
+        const NodeId a1 = b.op2(Opcode::Add, a0, m2z, tag + "a1");
+        const NodeId biased =
+            b.op2(Opcode::Add, a1, b.imm(convBias), tag + "b");
+        const NodeId relu =
+            b.op2(Opcode::Max, biased, b.imm(0), tag + "r");
+        b.store(idx, relu, convY, tag + "sty");
+    };
+
+    if (uf == 1) {
+        const NodeId x0 = b.load(cnt.value, convX, "x0");
+        body(cnt.value, x0, x0, 1, x0, 2, "c_");
+        return b.take();
+    }
+
+    const NodeId i1 = b.op2(Opcode::Add, cnt.value, b.imm(1), "i1");
+    const NodeId x0 = b.load(cnt.value, convX, "x0");
+    const NodeId x1 = b.load(i1, convX, "x1");
+    // Even sample i: x[i-1] = x1@d1, x[i-2] = x0@d1.
+    body(cnt.value, x0, x1, 1, x0, 1, "e_");
+    // Odd sample i+1: x[i] = x0@d0, x[i-1] = x1@d1.
+    body(i1, x1, x0, 0, x1, 1, "o_");
+    return b.take();
+}
+
+Workload
+convWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 64; // 4 rows of 16
+    w.memory.assign(1024, 0);
+    for (int i = 0; i < w.iterations; ++i)
+        w.memory[convX + i] = rng.uniformInt(-32, 32);
+    return w;
+}
+
+void
+convReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    for (int i = 0; i < iterations; ++i) {
+        const int j = i % convWidth;
+        std::int64_t sum = convBias;
+        for (int k = 0; k < 3; ++k) {
+            if (j < k)
+                continue;
+            sum += convW[k] * memory[convX + i - k];
+        }
+        memory[convY + i] = std::max<std::int64_t>(sum, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// relu: quantized leaky ReLU with explicit control flow,
+// y = clamp(sel(v > 0, v, v >> 3)) where v = (x * gain) >> 4 + bias.
+// Layout: x @0, y @512.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::int64_t reluX = 0, reluY = 512;
+constexpr std::int64_t reluGain = 11, reluBias = -3;
+constexpr std::int64_t reluCap = 255;
+} // namespace
+
+Dfg
+buildRelu(int uf)
+{
+    fatalIf(uf != 1 && uf != 2, "relu: unroll factor must be 1 or 2");
+    KernelBuilder b(uf == 1 ? "relu" : "relu_x2");
+    const auto cnt = b.counter(0, uf, never, 0);
+
+    auto body = [&](NodeId idx, const std::string &tag) {
+        const NodeId x = b.load(idx, reluX, tag + "x");
+        const NodeId scaled =
+            b.op2(Opcode::Mul, x, b.imm(reluGain), tag + "m");
+        const NodeId shifted =
+            b.op2(Opcode::Shr, scaled, b.imm(4), tag + "sh");
+        const NodeId v =
+            b.op2(Opcode::Add, shifted, b.imm(reluBias), tag + "v");
+        const NodeId pos = b.op2(Opcode::CmpGt, v, b.imm(0), tag + "p");
+        const NodeId leak = b.op2(Opcode::Shr, v, b.imm(3), tag + "l");
+        const NodeId sel = b.select(pos, v, leak, tag + "s");
+        const NodeId clamped =
+            b.op2(Opcode::Min, sel, b.imm(reluCap), tag + "cl");
+        b.store(idx, clamped, reluY, tag + "sty");
+    };
+
+    body(cnt.value, "a_");
+    if (uf == 2) {
+        const NodeId i1 = b.op2(Opcode::Add, cnt.value, b.imm(1), "i1");
+        body(i1, "b_");
+    }
+    return b.take();
+}
+
+Workload
+reluWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 64;
+    w.memory.assign(1024, 0);
+    for (int i = 0; i < w.iterations; ++i)
+        w.memory[reluX + i] = rng.uniformInt(-512, 512);
+    return w;
+}
+
+void
+reluReference(std::vector<std::int64_t> &memory, int iterations)
+{
+    for (int i = 0; i < iterations; ++i) {
+        const std::int64_t v =
+            ((memory[reluX + i] * reluGain) >> 4) + reluBias;
+        const std::int64_t sel = v > 0 ? v : (v >> 3);
+        memory[reluY + i] = std::min(sel, reluCap);
+    }
+}
+
+} // namespace iced::detail

@@ -1,0 +1,125 @@
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "kernels/kernels_detail.hpp"
+
+namespace iced {
+
+namespace {
+
+using namespace detail;
+
+std::vector<Kernel>
+makeRegistry()
+{
+    // Published Table I statistics: {nodes, edges, RecMII}.
+    return {
+        {"fir", "embedded", {12, 16, 4}, {20, 26, 4}, buildFir,
+         firWorkload, firReference},
+        {"latnrm", "embedded", {12, 16, 4}, {19, 25, 4}, buildLatnrm,
+         latnrmWorkload, latnrmReference},
+        {"fft", "embedded", {42, 60, 4}, {71, 100, 4}, buildFft,
+         fftWorkload, fftReference},
+        {"dtw", "embedded", {32, 49, 4}, {51, 84, 4}, buildDtw,
+         dtwWorkload, dtwReference},
+        {"spmv", "ml", {19, 24, 4}, {37, 50, 7}, buildSpmv,
+         spmvWorkload, spmvReference},
+        {"conv", "ml", {17, 23, 4}, {24, 34, 4}, buildConv,
+         convWorkload, convReference},
+        {"relu", "ml", {14, 19, 4}, {23, 32, 4}, buildRelu,
+         reluWorkload, reluReference},
+        {"histogram", "hpc", {15, 17, 4}, {23, 26, 4}, buildHistogram,
+         histogramWorkload, histogramReference},
+        {"mvt", "hpc", {20, 29, 4}, {37, 54, 4}, buildMvt, mvtWorkload,
+         mvtReference},
+        {"gemm", "hpc", {17, 24, 4}, {23, 37, 7}, buildGemm,
+         gemmWorkload, gemmReference},
+        {"gcn_compress", "gcn", {24, 32, 4}, {46, 65, 7},
+         buildGcnCompress, gcnStageWorkload, nullptr},
+        {"gcn_aggregate", "gcn", {27, 34, 4}, {53, 69, 7},
+         buildGcnAggregate, gcnStageWorkload, nullptr},
+        {"gcn_combine", "gcn", {26, 35, 4}, {51, 71, 7},
+         buildGcnCombine, gcnStageWorkload, nullptr},
+        {"gcn_combrelu", "gcn", {30, 42, 4}, {59, 85, 7},
+         buildGcnCombRelu, gcnStageWorkload, nullptr},
+        {"gcn_pooling", "gcn", {16, 21, 4}, {31, 43, 7},
+         buildGcnPooling, gcnStageWorkload, nullptr},
+        {"lu_init", "lu", {11, 15, 4}, {21, 32, 7}, buildLuInit,
+         luStageWorkload, nullptr},
+        {"lu_decompose", "lu", {15, 25, 4}, {27, 50, 7},
+         buildLuDecompose, luStageWorkload, nullptr},
+        {"lu_solver0", "lu", {33, 49, 8}, {65, 98, 15}, buildLuSolver0,
+         luStageWorkload, nullptr},
+        {"lu_solver1", "lu", {35, 54, 12}, {69, 108, 23},
+         buildLuSolver1, luStageWorkload, nullptr},
+        {"lu_invert", "lu", {14, 22, 4}, {24, 37, 4}, buildLuInvert,
+         luStageWorkload, nullptr},
+        {"lu_determinant", "lu", {20, 36, 7}, {38, 71, 13},
+         buildLuDeterminant, luStageWorkload, nullptr},
+    };
+}
+
+} // namespace
+
+const std::vector<Kernel> &
+kernelRegistry()
+{
+    static const std::vector<Kernel> registry = makeRegistry();
+    return registry;
+}
+
+const Kernel &
+findKernel(const std::string &name)
+{
+    for (const Kernel &k : kernelRegistry())
+        if (k.name == name)
+            return k;
+    fatal("unknown kernel '", name, "'");
+}
+
+namespace {
+
+std::vector<const Kernel *>
+domainKernels(const std::vector<std::string> &domains)
+{
+    std::vector<const Kernel *> out;
+    for (const Kernel &k : kernelRegistry())
+        if (std::find(domains.begin(), domains.end(), k.domain) !=
+            domains.end())
+            out.push_back(&k);
+    return out;
+}
+
+} // namespace
+
+std::vector<const Kernel *>
+singleKernels()
+{
+    return domainKernels({"embedded", "ml", "hpc"});
+}
+
+std::vector<const Kernel *>
+gcnKernels()
+{
+    return domainKernels({"gcn"});
+}
+
+std::vector<const Kernel *>
+luKernels()
+{
+    return domainKernels({"lu"});
+}
+
+int
+unrolledIterations(const Workload &w, int unroll_factor)
+{
+    fatalIf(unroll_factor < 1, "bad unroll factor");
+    fatalIf(w.iterations % unroll_factor != 0,
+            "workload trip count ", w.iterations,
+            " not divisible by unroll factor ", unroll_factor);
+    return w.iterations / unroll_factor;
+}
+
+} // namespace iced

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Kernel registry: the paper's Table I workload suite.
+ *
+ * 21 kernels from four domains (embedded DSP, machine learning, HPC,
+ * plus the GCN and LU streaming-application stages), each buildable at
+ * unroll factor 1 or 2, with a deterministic workload generator and -
+ * for the ten single-kernel workloads - a native C++ reference the
+ * DFG interpreter is validated against.
+ */
+#ifndef ICED_KERNELS_REGISTRY_HPP
+#define ICED_KERNELS_REGISTRY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+/** Table I's published statistics for one unroll factor. */
+struct PublishedStats
+{
+    int nodes = 0;
+    int edges = 0;
+    int recMii = 0;
+};
+
+/** A concrete input instance for one kernel run. */
+struct Workload
+{
+    /** Initial scratchpad image (word granular). */
+    std::vector<std::int64_t> memory;
+    /** Loop trip count at unroll factor 1. */
+    int iterations = 0;
+};
+
+/** One registered kernel. */
+struct Kernel
+{
+    std::string name;
+    std::string domain; ///< embedded | ml | hpc | gcn | lu
+    PublishedStats paperUf1;
+    PublishedStats paperUf2;
+    /** Build the DFG at unroll factor 1 or 2. */
+    Dfg (*build)(int unroll_factor);
+    /** Deterministic workload from an RNG stream. */
+    Workload (*workload)(Rng &rng);
+    /**
+     * Native golden model: applies the kernel to `memory` in place for
+     * `iterations` (unroll-1) loop iterations. Null for the streaming
+     * stage kernels, which are validated interpreter-vs-simulator.
+     */
+    void (*reference)(std::vector<std::int64_t> &memory, int iterations);
+};
+
+/** All 21 Table I kernels. */
+const std::vector<Kernel> &kernelRegistry();
+
+/** Lookup by name. @throws FatalError when unknown. */
+const Kernel &findKernel(const std::string &name);
+
+/** The ten single-kernel workloads (embedded + ml + hpc). */
+std::vector<const Kernel *> singleKernels();
+
+/** The five unique GCN pipeline stages. */
+std::vector<const Kernel *> gcnKernels();
+
+/** The six LU pipeline stages. */
+std::vector<const Kernel *> luKernels();
+
+/** Iterations of `kernel` at `unroll_factor` for workload `w`. */
+int unrolledIterations(const Workload &w, int unroll_factor);
+
+/**
+ * The paper's Figure 1/3 synthetic motivating kernel (11 nodes,
+ * RecMII 4, one load).
+ */
+Dfg buildSyntheticKernel();
+
+/** Workload for the synthetic kernel. */
+Workload syntheticWorkload(Rng &rng);
+
+} // namespace iced
+
+#endif // ICED_KERNELS_REGISTRY_HPP

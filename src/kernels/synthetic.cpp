@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The paper's Figure 1/3 synthetic motivating kernel: 11 mappable
+ * nodes, a 4-node critical recurrence (n1-n4-n7-n9), a 2-node
+ * secondary recurrence (n10-n11), and one load that must sit on an
+ * SPM-connected tile.
+ */
+#include "kernels/registry.hpp"
+
+#include "kernels/builder_util.hpp"
+
+namespace iced {
+
+Dfg
+buildSyntheticKernel()
+{
+    KernelBuilder b("synthetic");
+    // Critical cycle n1 -> n4 -> n7 -> n9 -> (d1) -> n1.
+    const NodeId n1 = b.phi(0, "n1");
+    const NodeId n4 = b.op2(Opcode::Add, n1, b.imm(1), "n4");
+    const NodeId n7 = b.op2(Opcode::Mul, n4, b.imm(3), "n7");
+    const NodeId n9 = b.op2(Opcode::Add, n7, b.imm(-2), "n9");
+    b.carry(n9, n1, 1, 1, 0);
+    // Memory path: n5 loads x[n1 & 63]; n3 scales the index for the
+    // multiplier operand (11 mappable nodes total, like Fig. 1).
+    const NodeId n2 = b.op2(Opcode::And, n1, b.imm(63), "n2");
+    const NodeId n3 = b.op2(Opcode::Shr, n2, b.imm(2), "n3");
+    const NodeId n5 = b.load(n2, 0, "n5");
+    const NodeId n8 = b.op2(Opcode::Mul, n5, n3, "n8");
+    // Secondary recurrence n10 <-> n11.
+    const NodeId n10 = b.phi(0, "n10");
+    const NodeId n11 = b.op2(Opcode::Add, n10, n8, "n11");
+    b.carry(n11, n10, 1, 1, 0);
+    b.output(n11, "out");
+    return b.take();
+}
+
+Workload
+syntheticWorkload(Rng &rng)
+{
+    Workload w;
+    w.iterations = 24;
+    w.memory.assign(128, 0);
+    for (int i = 0; i < 64; ++i)
+        w.memory[i] = rng.uniformInt(-16, 16);
+    return w;
+}
+
+} // namespace iced

@@ -1,0 +1,80 @@
+#include "mapper/labeling.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+
+namespace iced {
+
+LabelResult
+labelDvfsLevels(const Dfg &dfg, const Cgra &cgra, int ii,
+                const LabelOptions &options)
+{
+    fatalIf(ii < 1, "labelDvfsLevels: II must be >= 1");
+    const int n = dfg.nodeCount();
+
+    LabelResult result;
+    result.labels.assign(static_cast<std::size_t>(n), DvfsLevel::Normal);
+    std::vector<bool> labeled(static_cast<std::size_t>(n), false);
+
+    const bool relax_usable = ii % slowdown(DvfsLevel::Relax) == 0;
+    const bool rest_usable = ii % slowdown(DvfsLevel::Rest) == 0;
+
+    const auto cycles = enumerateRecurrenceCycles(dfg);
+    const int longest =
+        cycles.empty() ? 0 : cycles.front().effectiveLength();
+
+    // Recurrence nodes: longest cycles pin to normal; short cycles
+    // (at most half the longest) may relax.
+    for (const RecurrenceCycle &cycle : cycles) {
+        const bool short_cycle =
+            cycle.effectiveLength() * 2 <= longest && relax_usable;
+        const DvfsLevel level =
+            short_cycle ? DvfsLevel::Relax : DvfsLevel::Normal;
+        for (NodeId node : cycle.nodes) {
+            if (labeled[node])
+                continue;
+            labeled[node] = true;
+            result.labels[node] = level;
+            if (level == DvfsLevel::Relax)
+                ++result.relaxCount;
+            else
+                ++result.normalCount;
+        }
+    }
+
+    // Remaining nodes: spend the fabric's time-extended slot budget.
+    // A node at slowdown s occupies s base-cycle slots of its tile.
+    const double budget =
+        options.fillFactor * cgra.tileCount() * ii;
+    double used = result.normalCount * 1.0 + result.relaxCount * 2.0;
+
+    for (NodeId node : dfg.topologicalOrder()) {
+        if (labeled[node])
+            continue;
+        labeled[node] = true;
+        if (dfg.node(node).op == Opcode::Const)
+            continue; // immediates occupy no tile slots
+        const bool rest_allowed =
+            static_cast<int>(options.lowestLabel) <=
+            static_cast<int>(DvfsLevel::Rest);
+        if (rest_allowed && rest_usable && used + 4.0 <= budget) {
+            result.labels[node] = DvfsLevel::Rest;
+            ++result.restCount;
+            used += 4.0;
+        } else if (relax_usable && used + 2.0 <= budget) {
+            result.labels[node] = DvfsLevel::Relax;
+            ++result.relaxCount;
+            used += 2.0;
+        } else {
+            // Not enough slack: prefer performance (paper line 31).
+            result.labels[node] = DvfsLevel::Normal;
+            ++result.normalCount;
+            used += 1.0;
+        }
+    }
+    return result;
+}
+
+} // namespace iced

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DVFS labeling of DFG nodes (paper Algorithm 1).
+ *
+ * Before placement, each node is labeled with a *preferred* DVFS level:
+ * nodes on the longest recurrence cycles must run at normal speed (they
+ * bound the II); nodes on cycles at most half that length can tolerate
+ * relax; remaining nodes get rest/relax as long as the CGRA's
+ * time-extended capacity (tiles x II base-cycle slots) can afford the
+ * inflated occupancy, and normal otherwise. Labels guide the mapper's
+ * cost function; the final level of a node is decided by the island it
+ * lands on.
+ */
+#ifndef ICED_MAPPER_LABELING_HPP
+#define ICED_MAPPER_LABELING_HPP
+
+#include <vector>
+
+#include "arch/cgra.hpp"
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+/** Outcome of Algorithm 1. */
+struct LabelResult
+{
+    /** Preferred level per node id. */
+    std::vector<DvfsLevel> labels;
+    int normalCount = 0;
+    int relaxCount = 0;
+    int restCount = 0;
+};
+
+/** Tunables of the labeling pass. */
+struct LabelOptions
+{
+    /**
+     * Fraction of the fabric's time-extended capacity the labeling may
+     * plan to fill; the rest is headroom for routing.
+     */
+    double fillFactor = 0.75;
+    /**
+     * Lowest level the labeling may propose. Streaming partitions use
+     * Relax (paper IV-B): their islands are lowered further at runtime
+     * in a synchronized manner, and rest is the hardware floor.
+     */
+    DvfsLevel lowestLabel = DvfsLevel::Rest;
+};
+
+/**
+ * Label every node of `dfg` with a preferred DVFS level for mapping at
+ * initiation interval `ii` on `cgra` (paper Algorithm 1).
+ *
+ * Levels whose slowdown does not divide `ii` are never proposed.
+ */
+LabelResult labelDvfsLevels(const Dfg &dfg, const Cgra &cgra, int ii,
+                            const LabelOptions &options = {});
+
+} // namespace iced
+
+#endif // ICED_MAPPER_LABELING_HPP

@@ -1,0 +1,629 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+
+namespace iced {
+
+namespace {
+
+/** One fully evaluated placement candidate for a unit. */
+struct Candidate
+{
+    TileId tile = -1;
+    int time = -1; // start time of the unit's first member
+    DvfsLevel level = DvfsLevel::Normal;
+    double cost = std::numeric_limits<double>::infinity();
+    Mrrg mrrg;
+    std::vector<std::pair<NodeId, int>> placements; // node -> time
+    std::vector<std::pair<EdgeId, Route>> routes;
+
+    explicit Candidate(const Mrrg &base) : mrrg(base) {}
+};
+
+int
+alignUp(int t, int s)
+{
+    return ((t + s - 1) / s) * s;
+}
+
+/**
+ * A placement unit: a single node, or a whole recurrence SCC that is
+ * placed atomically on one tile so cycle latency is not wasted on
+ * routing hops.
+ */
+struct Unit
+{
+    std::vector<NodeId> members; // sorted by schedule offset
+    std::vector<int> offsets;    // est-relative offsets (unit-local)
+    bool cluster = false;
+};
+
+} // namespace
+
+Mapper::Mapper(const Cgra &cgra, MapperOptions options)
+    : fabric(&cgra), opts(options), router(options.router)
+{
+}
+
+int
+Mapper::startIi(const Dfg &dfg) const
+{
+    const int rec = computeRecMii(dfg);
+    const int res =
+        std::max(1, (dfg.mappableNodeCount() + fabric->tileCount() - 1) /
+                        fabric->tileCount());
+    int mem_res = 1;
+    const int mem_ops = dfg.memoryOpCount();
+    if (mem_ops > 0) {
+        const int mem_tiles =
+            static_cast<int>(fabric->memTiles().size());
+        fatalIf(mem_tiles == 0,
+                "DFG '", dfg.name(), "' has memory ops but the CGRA "
+                "has no SPM-connected tiles");
+        mem_res = (mem_ops + mem_tiles - 1) / mem_tiles;
+    }
+    return std::max({rec, res, mem_res});
+}
+
+Mapping
+Mapper::map(const Dfg &dfg) const
+{
+    auto mapping = tryMap(dfg);
+    fatalIf(!mapping, "unable to map DFG '", dfg.name(), "' onto ",
+            fabric->describe(), " within II range [", startIi(dfg), ", ",
+            startIi(dfg) + opts.maxIiSteps, "]");
+    return std::move(*mapping);
+}
+
+std::vector<MapperOptions>
+Mapper::strategyLadder() const
+{
+    // Each step is strictly more conservative. DVFS labels must never
+    // cost performance (paper IV-A), so the all-normal variants run at
+    // the same II before it is incremented.
+    std::vector<MapperOptions> ladder{opts};
+    if (opts.useClusters) {
+        MapperOptions no_clusters = opts;
+        no_clusters.useClusters = false;
+        ladder.push_back(no_clusters);
+    }
+    if (opts.dvfsAware) {
+        const std::size_t base_variants = ladder.size();
+        for (std::size_t i = 0; i < base_variants; ++i) {
+            MapperOptions normal = ladder[i];
+            normal.dvfsAware = false;
+            ladder.push_back(normal);
+        }
+    }
+    return ladder;
+}
+
+std::optional<Mapping>
+Mapper::tryMap(const Dfg &dfg) const
+{
+    const int start = startIi(dfg);
+    for (int ii = start; ii <= start + opts.maxIiSteps; ++ii) {
+        if (auto mapping = tryMapAtIi(dfg, ii))
+            return mapping;
+    }
+    return std::nullopt;
+}
+
+std::optional<Mapping>
+Mapper::tryMapAtIi(const Dfg &dfg, int ii) const
+{
+    for (const MapperOptions &variant : strategyLadder()) {
+        if (auto mapping =
+                Mapper(*fabric, variant).attemptAtIi(dfg, ii))
+            return mapping;
+    }
+    return std::nullopt;
+}
+
+std::optional<Mapping>
+Mapper::attemptAtIi(const Dfg &dfg, int ii) const
+{
+    dfg.validate();
+    if (ii < computeRecMii(dfg))
+        return std::nullopt; // recurrences cannot wrap below RecMII
+    Mapping mapping(*fabric, dfg, ii);
+    Mrrg &mrrg = mapping.mrrg();
+
+    std::vector<DvfsLevel> labels;
+    if (opts.dvfsAware) {
+        labels = labelDvfsLevels(dfg, *fabric, ii, opts.labeling).labels;
+    } else {
+        labels.assign(static_cast<std::size_t>(dfg.nodeCount()),
+                      DvfsLevel::Normal);
+    }
+
+    // Cluster membership first: distance-1 recurrence cycles that fit
+    // one tile are placed atomically so cycle latency is not wasted on
+    // routing hops (longest cycles claim their nodes first).
+    std::vector<int> unit_of(static_cast<std::size_t>(dfg.nodeCount()),
+                             -1);
+    std::vector<std::vector<NodeId>> cluster_members;
+    const auto all_cycles = opts.useClusters
+                                ? enumerateRecurrenceCycles(dfg)
+                                : std::vector<RecurrenceCycle>{};
+    for (const RecurrenceCycle &cycle : all_cycles) {
+        if (cycle.totalDistance != 1)
+            continue;
+        if (static_cast<int>(cycle.nodes.size()) > ii)
+            continue;
+        bool claimed = false;
+        for (NodeId v : cycle.nodes)
+            claimed = claimed || unit_of[v] != -1;
+        if (claimed)
+            continue;
+        for (NodeId v : cycle.nodes)
+            unit_of[v] = static_cast<int>(cluster_members.size());
+        cluster_members.push_back(cycle.nodes);
+    }
+
+    // Modulo-ASAP earliest starts: longest-path relaxation with edge
+    // weight lat - distance * II. Two flavors:
+    //  - tight (every op 1 cycle) for intra-cluster offsets, which
+    //    must not waste the cycle's latency budget;
+    //  - padded (+1 per edge that crosses tiles, i.e. is not inside a
+    //    cluster) for placement order and earliest floors, leaving
+    //    slack for real routing hops. Padding can be infeasible at
+    //    this II (it effectively lengthens cross-cluster recurrences);
+    //    fall back to the tight flavor when relaxation diverges.
+    auto relax = [&](int pad) -> std::optional<std::vector<int>> {
+        std::vector<int> est(static_cast<std::size_t>(dfg.nodeCount()),
+                             0);
+        for (int round = 0; round <= dfg.nodeCount(); ++round) {
+            bool changed = false;
+            for (const DfgEdge &e : dfg.edges()) {
+                if (dfg.node(e.src).op == Opcode::Const)
+                    continue;
+                const bool intra = unit_of[e.src] != -1 &&
+                                   unit_of[e.src] == unit_of[e.dst];
+                const int w = 1 + (intra ? 0 : pad);
+                const int lower = est[e.src] + w - e.distance * ii;
+                if (lower > est[e.dst]) {
+                    est[e.dst] = lower;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                return est;
+        }
+        return std::nullopt; // positive cycle: padding infeasible
+    };
+    const auto est_tight_opt = relax(0);
+    panicIfNot(est_tight_opt.has_value(),
+               "ASAP relaxation diverged at II >= RecMII");
+    const std::vector<int> &est_tight = *est_tight_opt;
+    const std::vector<int> est =
+        relax(1).value_or(est_tight); // padded flavor, with fallback
+
+    std::vector<Unit> units;
+    std::vector<bool> claimed_by_unit(
+        static_cast<std::size_t>(dfg.nodeCount()), false);
+    for (auto &members : cluster_members) {
+        Unit u;
+        u.cluster = true;
+        u.members = std::move(members);
+        std::sort(u.members.begin(), u.members.end(),
+                  [&](NodeId a, NodeId b) {
+                      if (est_tight[a] != est_tight[b])
+                          return est_tight[a] < est_tight[b];
+                      return a < b;
+                  });
+        const int base = est_tight[u.members.front()];
+        bool ok = true;
+        for (std::size_t k = 0; k < u.members.size(); ++k) {
+            const int off = est_tight[u.members[k]] - base;
+            u.offsets.push_back(off);
+            // All members share one FU; offsets must be distinct mod II.
+            for (std::size_t p = 0; ok && p < k; ++p)
+                ok = (off - u.offsets[p]) % ii != 0;
+        }
+        if (!ok)
+            continue; // leave the cycle's nodes to per-node placement
+        for (NodeId v : u.members)
+            claimed_by_unit[v] = true;
+        units.push_back(std::move(u));
+    }
+    for (NodeId v = 0; v < dfg.nodeCount(); ++v) {
+        if (dfg.node(v).op == Opcode::Const || claimed_by_unit[v])
+            continue;
+        Unit u;
+        u.members = {v};
+        u.offsets = {0};
+        units.push_back(std::move(u));
+    }
+
+    // Placement order: topological over distance-0 cross-unit edges
+    // (feeders place before the units that consume them, so a unit's
+    // free start time can absorb its feeders' real routing latency),
+    // prioritized by padded modulo-ASAP earliest start so that
+    // carried-edge consumers do not pin times too early. Any order is
+    // sound (each edge is routed when its later endpoint places);
+    // order only affects mapping quality.
+    std::vector<int> node_unit(static_cast<std::size_t>(dfg.nodeCount()),
+                               -1);
+    for (std::size_t u = 0; u < units.size(); ++u)
+        for (NodeId v : units[u].members)
+            node_unit[v] = static_cast<int>(u);
+    std::vector<int> indeg(units.size(), 0);
+    std::vector<std::vector<int>> uadj(units.size());
+    for (const DfgEdge &e : dfg.edges()) {
+        if (e.distance != 0 || dfg.node(e.src).op == Opcode::Const)
+            continue;
+        const int a = node_unit[e.src];
+        const int b = node_unit[e.dst];
+        if (a != b) {
+            uadj[a].push_back(b);
+            ++indeg[b];
+        }
+    }
+    using Prio = std::pair<int, int>; // (padded est, unit id)
+    std::priority_queue<Prio, std::vector<Prio>, std::greater<>> ready;
+    for (std::size_t u = 0; u < units.size(); ++u)
+        if (indeg[u] == 0)
+            ready.push({est[units[u].members.front()],
+                        static_cast<int>(u)});
+    std::vector<int> unit_order;
+    unit_order.reserve(units.size());
+    while (!ready.empty()) {
+        const int u = ready.top().second;
+        ready.pop();
+        unit_order.push_back(u);
+        for (int w : uadj[u])
+            if (--indeg[w] == 0)
+                ready.push({est[units[w].members.front()], w});
+    }
+    if (unit_order.size() != units.size()) {
+        // Contracting a cluster can close a distance-0 cycle through
+        // external nodes; fall back to plain est order for the rest.
+        std::vector<int> rest;
+        for (std::size_t u = 0; u < units.size(); ++u)
+            if (indeg[u] > 0)
+                rest.push_back(static_cast<int>(u));
+        std::sort(rest.begin(), rest.end(), [&](int a, int b) {
+            const int ea = est[units[a].members.front()];
+            const int eb = est[units[b].members.front()];
+            if (ea != eb)
+                return ea < eb;
+            return a < b;
+        });
+        unit_order.insert(unit_order.end(), rest.begin(), rest.end());
+    }
+
+    std::vector<bool> placed(static_cast<std::size_t>(dfg.nodeCount()),
+                             false);
+
+    // Place one unit (one or more nodes on a single tile).
+    auto place_unit = [&](const Unit &unit) -> bool {
+        // Collect edges to route now. Intra-unit edges are routed as
+        // part of this unit's placement.
+        std::vector<EdgeId> pending_in, pending_out, intra;
+        std::vector<bool> in_unit(
+            static_cast<std::size_t>(dfg.nodeCount()), false);
+        for (NodeId v : unit.members)
+            in_unit[v] = true;
+        for (NodeId v : unit.members) {
+            for (EdgeId eid : dfg.inEdges(v)) {
+                const DfgEdge &e = dfg.edge(eid);
+                if (dfg.node(e.src).op == Opcode::Const)
+                    continue;
+                if (in_unit[e.src])
+                    continue; // handled via intra (dedup by out loop)
+                if (placed[e.src])
+                    pending_in.push_back(eid);
+            }
+            for (EdgeId eid : dfg.outEdges(v)) {
+                const DfgEdge &e = dfg.edge(eid);
+                if (in_unit[e.dst])
+                    intra.push_back(eid);
+                else if (placed[e.dst])
+                    pending_out.push_back(eid);
+            }
+        }
+
+        // Highest member label bounds the island level of the tile.
+        DvfsLevel unit_label = labels[unit.members.front()];
+        bool needs_mem = false;
+        for (NodeId v : unit.members) {
+            unit_label = std::max(unit_label, labels[v],
+                                  [](DvfsLevel a, DvfsLevel b) {
+                                      return static_cast<int>(a) <
+                                             static_cast<int>(b);
+                                  });
+            needs_mem = needs_mem || isMemoryOp(dfg.node(v).op);
+        }
+
+        auto offset_of = [&](NodeId v) {
+            for (std::size_t k = 0; k < unit.members.size(); ++k)
+                if (unit.members[k] == v)
+                    return unit.offsets[k];
+            panic("offset_of: node not in unit");
+        };
+
+        // High-fanout nodes want high-degree tiles: a corner tile has
+        // only two links to distribute a value over.
+        int unit_fanout = 0;
+        for (NodeId v : unit.members)
+            for (EdgeId eid : dfg.outEdges(v))
+                if (!in_unit[dfg.edge(eid).dst])
+                    ++unit_fanout;
+        auto tile_degree = [&](TileId tile) {
+            int deg = 0;
+            for (int d = 0; d < dirCount; ++d)
+                if (fabric->neighbor(tile, static_cast<Dir>(d)) >= 0)
+                    ++deg;
+            return deg;
+        };
+        auto fanout_penalty = [&](TileId tile) {
+            return opts.fanoutTilePenalty *
+                   std::max(0, unit_fanout - tile_degree(tile));
+        };
+
+        struct TileRank { TileId tile; double precost; };
+        std::vector<TileRank> ranked;
+        for (TileId tile = 0; tile < fabric->tileCount(); ++tile) {
+            if (needs_mem && !fabric->isMemTile(tile))
+                continue;
+            const IslandId island = fabric->islandOf(tile);
+            double precost = 0.0;
+            if (mrrg.islandAssigned(island)) {
+                const DvfsLevel lvl = mrrg.islandLevel(island);
+                if (lvl == DvfsLevel::PowerGated)
+                    continue;
+                if (static_cast<int>(unit_label) > static_cast<int>(lvl))
+                    continue;
+                precost += opts.levelMismatchCost *
+                           (static_cast<int>(lvl) -
+                            static_cast<int>(unit_label));
+            } else {
+                precost += opts.newIslandCost;
+            }
+            for (EdgeId eid : pending_in)
+                precost += fabric->distance(
+                    mapping.placement(dfg.edge(eid).src).tile, tile);
+            for (EdgeId eid : pending_out)
+                precost += fabric->distance(
+                    tile, mapping.placement(dfg.edge(eid).dst).tile);
+            precost += fanout_penalty(tile);
+            ranked.push_back({tile, precost});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const TileRank &a, const TileRank &b) {
+                      if (a.precost != b.precost)
+                          return a.precost < b.precost;
+                      return a.tile < b.tile;
+                  });
+        if (static_cast<int>(ranked.size()) > opts.candidateTiles)
+            ranked.resize(static_cast<std::size_t>(opts.candidateTiles));
+
+        std::optional<Candidate> best;
+        int viable = 0;
+
+        for (const TileRank &tr : ranked) {
+            const TileId tile = tr.tile;
+            const IslandId island = fabric->islandOf(tile);
+
+            DvfsLevel level;
+            bool opens_island = false;
+            if (mrrg.islandAssigned(island)) {
+                level = mrrg.islandLevel(island);
+            } else {
+                opens_island = true;
+                level = unit_label;
+                bool island_touched = false;
+                for (TileId t : fabric->islandTiles(island))
+                    island_touched = island_touched || mrrg.tileUsed(t);
+                if (!mrrg.levelUsable(level) || island_touched)
+                    level = DvfsLevel::Normal;
+            }
+            const int s = slowdown(level);
+            // Unit member v fires at t0 + s * offset(v).
+            if (unit.cluster &&
+                static_cast<int>(unit.members.size()) * s > ii)
+                continue; // cannot share this tile's FU at this level
+
+            // Bounds: modulo-ASAP floor plus placed-neighbor
+            // constraints (per member).
+            int earliest = 0;
+            for (std::size_t k = 0; k < unit.members.size(); ++k) {
+                earliest = std::max(
+                    earliest,
+                    est[unit.members[k]] - s * unit.offsets[k]);
+            }
+            for (EdgeId eid : pending_in) {
+                const DfgEdge &e = dfg.edge(eid);
+                const Placement &p = mapping.placement(e.src);
+                const int ready = p.time + mrrg.tileSlowdown(p.tile);
+                const int lower = ready +
+                                  fabric->distance(p.tile, tile) -
+                                  e.distance * ii -
+                                  s * offset_of(e.dst);
+                earliest = std::max(earliest, lower);
+            }
+            int latest = std::numeric_limits<int>::max();
+            for (EdgeId eid : pending_out) {
+                const DfgEdge &e = dfg.edge(eid);
+                const Placement &c = mapping.placement(e.dst);
+                const int upper = c.time + e.distance * ii - s -
+                                  fabric->distance(tile, c.tile) -
+                                  s * offset_of(e.src);
+                latest = std::min(latest, upper);
+            }
+            if (latest < earliest)
+                continue;
+
+            const int t_first = alignUp(earliest, s);
+            for (int t0 = t_first; t0 < t_first + ii && t0 <= latest;
+                 t0 += s) {
+                // All members need their FU windows free.
+                bool slots_free = true;
+                for (std::size_t k = 0;
+                     slots_free && k < unit.members.size(); ++k) {
+                    slots_free = mrrg.fuFree(
+                        tile, t0 + s * unit.offsets[k], s);
+                }
+                if (!slots_free)
+                    continue;
+
+                Candidate cand(mrrg);
+                cand.tile = tile;
+                cand.time = t0;
+                cand.level = level;
+                if (opens_island)
+                    cand.mrrg.assignIsland(island, level);
+                auto time_of = [&](NodeId v) {
+                    return t0 + s * offset_of(v);
+                };
+                for (NodeId v : unit.members)
+                    cand.mrrg.occupyFu(tile, time_of(v), s, v);
+
+                double cost =
+                    opts.levelMismatchCost *
+                        (static_cast<int>(level) -
+                         static_cast<int>(unit_label)) +
+                    (opens_island ? opts.newIslandCost : 0.0) +
+                    opts.latenessCost * (t0 - earliest) +
+                    fanout_penalty(tile);
+
+                bool ok = true;
+                // Fanout sharing: a route may branch off any point of
+                // an already-committed route of the same producer.
+                auto seeds_for = [&](NodeId src_node) {
+                    std::vector<std::pair<TileId, int>> seeds;
+                    for (EdgeId oe : dfg.outEdges(src_node)) {
+                        const Route *r = nullptr;
+                        for (const auto &[ceid, cr] : cand.routes)
+                            if (ceid == oe) {
+                                r = &cr;
+                                break;
+                            }
+                        if (!r) {
+                            const Route &mr = mapping.route(oe);
+                            if (mr.edge != -1)
+                                r = &mr;
+                        }
+                        if (!r)
+                            continue;
+                        const auto pts = r->points(*fabric);
+                        seeds.insert(seeds.end(), pts.begin(),
+                                     pts.end());
+                    }
+                    return seeds;
+                };
+                auto route_edge = [&](EdgeId eid, NodeId src_node,
+                                      TileId src_tile, int ready,
+                                      TileId dst_tile, int target) {
+                    double rc = 0.0;
+                    auto route = router.findRoute(
+                        cand.mrrg, src_tile, ready, dst_tile, target,
+                        rc, seeds_for(src_node));
+                    if (!route ||
+                        !router.commit(cand.mrrg, *route, eid)) {
+                        if (std::getenv("ICED_MAPPER_DEBUG2")) {
+                            warn("  route fail edge ", eid, " tile",
+                                 src_tile, "@", ready, " -> tile",
+                                 dst_tile, "@", target,
+                                 (route ? " (commit)" : " (search)"));
+                        }
+                        return false;
+                    }
+                    route->edge = eid;
+                    cost += rc;
+                    cand.routes.emplace_back(eid, std::move(*route));
+                    return true;
+                };
+
+                for (EdgeId eid : intra) {
+                    const DfgEdge &e = dfg.edge(eid);
+                    if (!route_edge(eid, e.src, tile,
+                                    time_of(e.src) + s, tile,
+                                    time_of(e.dst) + e.distance * ii)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                for (EdgeId eid : pending_in) {
+                    if (!ok)
+                        break;
+                    const DfgEdge &e = dfg.edge(eid);
+                    const Placement &p = mapping.placement(e.src);
+                    if (!route_edge(eid, e.src, p.tile,
+                                    p.time +
+                                        cand.mrrg.tileSlowdown(p.tile),
+                                    tile,
+                                    time_of(e.dst) + e.distance * ii)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                for (EdgeId eid : pending_out) {
+                    if (!ok)
+                        break;
+                    const DfgEdge &e = dfg.edge(eid);
+                    const Placement &c = mapping.placement(e.dst);
+                    if (!route_edge(eid, e.src, tile,
+                                    time_of(e.src) + s, c.tile,
+                                    c.time + e.distance * ii)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (!ok)
+                    continue;
+
+                cand.cost = cost;
+                for (NodeId v : unit.members)
+                    cand.placements.emplace_back(v, time_of(v));
+                if (!best || cand.cost < best->cost)
+                    best = std::move(cand);
+                ++viable;
+                break; // first viable slot on this tile
+            }
+            if (viable >= opts.viableCandidates)
+                break;
+        }
+
+        if (!best) {
+            if (std::getenv("ICED_MAPPER_DEBUG")) {
+                std::string names;
+                for (NodeId v : unit.members)
+                    names += dfg.node(v).name + " ";
+                warn("II=", ii, ": no candidate for unit [", names,
+                     "] (cluster=", unit.cluster, ")");
+            }
+            return false;
+        }
+        mrrg = std::move(best->mrrg);
+        for (const auto &[v, t] : best->placements) {
+            mapping.setPlacement(v, best->tile, t);
+            placed[v] = true;
+        }
+        for (auto &[eid, route] : best->routes)
+            mapping.setRoute(eid, std::move(route));
+        return true;
+    };
+
+    for (int u : unit_order) {
+        if (!place_unit(units[u]))
+            return std::nullopt;
+    }
+
+    for (IslandId island = 0; island < fabric->islandCount(); ++island) {
+        if (mrrg.islandAssigned(island))
+            mapping.setIslandLevel(island, mrrg.islandLevel(island));
+        else
+            mapping.setIslandLevel(island, DvfsLevel::Normal);
+    }
+    return mapping;
+}
+
+} // namespace iced

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DVFS-aware heuristic modulo mapper (paper Algorithm 2).
+ *
+ * Nodes are placed in topological order onto (tile, base-cycle)
+ * candidates of the MRRG. For each node the mapper evaluates candidate
+ * tiles ranked by a cheap heuristic pre-cost, fully routing every edge
+ * whose other endpoint is already placed (Dijkstra on the
+ * time-expanded MRRG), and commits the cheapest viable candidate. The
+ * II starts at max(RecMII, ResMII) and is incremented until a complete
+ * mapping is found.
+ *
+ * DVFS awareness: each island's run level is committed when the first
+ * node lands on it, seeded by the node's Algorithm 1 label; a node
+ * labeled at level L may only be placed on islands at level >= L, and
+ * the cost function prefers exact matches. Islands whose slowdown does
+ * not divide the II, or that were already touched by pass-through
+ * routing, can only be opened at the normal level (a conservative rule
+ * that keeps slow-island occupancy exactly alignable).
+ *
+ * With `dvfsAware = false` the same engine degrades to a conventional
+ * (performance-only) mapper: all labels and islands are normal. This
+ * is the paper's **Baseline**.
+ */
+#ifndef ICED_MAPPER_MAPPER_HPP
+#define ICED_MAPPER_MAPPER_HPP
+
+#include <optional>
+
+#include "arch/cgra.hpp"
+#include "dfg/dfg.hpp"
+#include "mapper/labeling.hpp"
+#include "mapper/mapping.hpp"
+#include "mrrg/router.hpp"
+
+namespace iced {
+
+/** Tunables of the mapping heuristic. */
+struct MapperOptions
+{
+    /** ICED DVFS-aware mapping (true) or conventional baseline. */
+    bool dvfsAware = true;
+    /** Attempt II = start .. start + maxIiSteps before giving up. */
+    int maxIiSteps = 40;
+    /** Tiles evaluated with full routing per node (pre-cost ranked). */
+    int candidateTiles = 24;
+    /** Stop evaluating once this many viable candidates were found. */
+    int viableCandidates = 6;
+    /** Cost per level of running a node above its labeled level.
+     *  Kept high relative to hop costs so energy opportunities are
+     *  worth a few extra routing hops (paper Fig. 3(d)). */
+    double levelMismatchCost = 2.0;
+    /** Cost of opening a fresh island. An island that stays untouched
+     *  can be power-gated entirely, so spreading work across islands
+     *  must overcome the idle power of every island it wakes up. */
+    double newIslandCost = 3.0;
+    /** Cost per base cycle of scheduling later than the earliest slot. */
+    double latenessCost = 0.05;
+    /** Cost per out-edge exceeding the tile's link degree (keeps
+     *  high-fanout nodes off corner/edge tiles). */
+    double fanoutTilePenalty = 0.4;
+    /** Place tight recurrence cycles atomically on one tile. Disabled
+     *  as a fallback strategy for graphs whose interlocked cycles do
+     *  not decompose into single-tile clusters. */
+    bool useClusters = true;
+    LabelOptions labeling;
+    RouterOptions router;
+};
+
+/** Maps DFGs onto one CGRA instance. */
+class Mapper
+{
+  public:
+    explicit Mapper(const Cgra &cgra, MapperOptions options = {});
+
+    /** Map `dfg`, throwing FatalError when no II in range succeeds. */
+    Mapping map(const Dfg &dfg) const;
+
+    /** Map `dfg`; nullopt when no II in range succeeds. */
+    std::optional<Mapping> tryMap(const Dfg &dfg) const;
+
+    /**
+     * Mapping attempt at a fixed II, running the full strategy ladder
+     * (clusters on/off; for DVFS-aware options also the all-normal
+     * fallbacks, so DVFS awareness never costs performance).
+     */
+    std::optional<Mapping> tryMapAtIi(const Dfg &dfg, int ii) const;
+
+    /** Lower bound II: max(RecMII, ResMII, memory ResMII). */
+    int startIi(const Dfg &dfg) const;
+
+    const MapperOptions &options() const { return opts; }
+    const Cgra &cgra() const { return *fabric; }
+
+  private:
+    /** One placement attempt with exactly these options (no ladder). */
+    std::optional<Mapping> attemptAtIi(const Dfg &dfg, int ii) const;
+
+    /** The per-II fallback ladder derived from `opts`. */
+    std::vector<MapperOptions> strategyLadder() const;
+
+    const Cgra *fabric;
+    MapperOptions opts;
+    Router router;
+};
+
+} // namespace iced
+
+#endif // ICED_MAPPER_MAPPER_HPP

@@ -1,0 +1,120 @@
+#include "mapper/mapping.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+Mapping::Mapping(const Cgra &cgra, const Dfg &dfg, int ii)
+    : fabric(&cgra),
+      graph(&dfg),
+      interval(ii),
+      placements(static_cast<std::size_t>(dfg.nodeCount())),
+      routes(static_cast<std::size_t>(dfg.edgeCount())),
+      islandLevels(static_cast<std::size_t>(cgra.islandCount()),
+                   DvfsLevel::Normal),
+      resources(cgra, ii)
+{
+}
+
+const Placement &
+Mapping::placement(NodeId node) const
+{
+    panicIfNot(node >= 0 && node < graph->nodeCount(),
+               "placement: bad node ", node);
+    return placements[node];
+}
+
+void
+Mapping::setPlacement(NodeId node, TileId tile, int time)
+{
+    panicIfNot(node >= 0 && node < graph->nodeCount(),
+               "setPlacement: bad node ", node);
+    placements[node] = Placement{tile, time};
+}
+
+const Route &
+Mapping::route(EdgeId edge) const
+{
+    panicIfNot(edge >= 0 && edge < graph->edgeCount(),
+               "route: bad edge ", edge);
+    return routes[edge];
+}
+
+void
+Mapping::setRoute(EdgeId edge, Route r)
+{
+    panicIfNot(edge >= 0 && edge < graph->edgeCount(),
+               "setRoute: bad edge ", edge);
+    routes[edge] = std::move(r);
+}
+
+DvfsLevel
+Mapping::islandLevel(IslandId island) const
+{
+    panicIfNot(island >= 0 && island < fabric->islandCount(),
+               "islandLevel: bad island ", island);
+    return islandLevels[island];
+}
+
+void
+Mapping::setIslandLevel(IslandId island, DvfsLevel level)
+{
+    panicIfNot(island >= 0 && island < fabric->islandCount(),
+               "setIslandLevel: bad island ", island);
+    islandLevels[island] = level;
+}
+
+DvfsLevel
+Mapping::tileLevel(TileId tile) const
+{
+    return islandLevels[fabric->islandOf(tile)];
+}
+
+std::vector<DvfsLevel>
+Mapping::tileLevels() const
+{
+    std::vector<DvfsLevel> levels(
+        static_cast<std::size_t>(fabric->tileCount()));
+    for (TileId t = 0; t < fabric->tileCount(); ++t)
+        levels[t] = tileLevel(t);
+    return levels;
+}
+
+int
+Mapping::scheduleSpan() const
+{
+    int span = 0;
+    for (const Placement &p : placements)
+        if (p.valid())
+            span = std::max(span, p.time + 1);
+    for (const Route &r : routes)
+        span = std::max(span, r.targetTime);
+    return span;
+}
+
+std::string
+Mapping::describe() const
+{
+    std::ostringstream os;
+    os << "mapping of '" << graph->name() << "' on " << fabric->describe()
+       << " II=" << interval << "\n";
+    for (IslandId i = 0; i < fabric->islandCount(); ++i)
+        os << "  island " << i << ": " << toString(islandLevels[i])
+           << "\n";
+    for (const DfgNode &n : graph->nodes()) {
+        const Placement &p = placements[n.id];
+        if (!p.valid()) {
+            if (n.op != Opcode::Const)
+                os << "  " << n.name << " -> (unplaced)\n";
+            continue;
+        }
+        os << "  " << n.name << " -> tile" << p.tile << " @t" << p.time
+           << " (" << toString(tileLevel(p.tile)) << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace iced

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Result of mapping a DFG onto a CGRA: placements, routes, island DVFS
+ * levels, and the final resource occupancy.
+ */
+#ifndef ICED_MAPPER_MAPPING_HPP
+#define ICED_MAPPER_MAPPING_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/cgra.hpp"
+#include "dfg/dfg.hpp"
+#include "mrrg/mrrg.hpp"
+#include "mrrg/router.hpp"
+
+namespace iced {
+
+/** Where and when one DFG node executes. */
+struct Placement
+{
+    TileId tile = -1;
+    /** Absolute base cycle of the firing (iteration 0); the node
+     *  re-fires every II base cycles. Aligned to the tile slowdown. */
+    int time = -1;
+
+    bool valid() const { return tile >= 0 && time >= 0; }
+};
+
+/**
+ * A complete modulo schedule of one kernel on one CGRA.
+ *
+ * Owns the final MRRG so downstream consumers (stats, simulator,
+ * validator) can inspect exact resource occupancy.
+ *
+ * @warning The Mapping references (does not copy) the Cgra and Dfg it
+ * was built from; both must outlive it.
+ */
+class Mapping
+{
+  public:
+    Mapping(const Cgra &cgra, const Dfg &dfg, int ii);
+
+    const Cgra &cgra() const { return *fabric; }
+    const Dfg &dfg() const { return *graph; }
+    int ii() const { return interval; }
+
+    /** @name Placements */
+    ///@{
+    const Placement &placement(NodeId node) const;
+    void setPlacement(NodeId node, TileId tile, int time);
+    ///@}
+
+    /** @name Routes (indexed by edge id) */
+    ///@{
+    const Route &route(EdgeId edge) const;
+    void setRoute(EdgeId edge, Route route);
+    ///@}
+
+    /** @name Island DVFS levels */
+    ///@{
+    DvfsLevel islandLevel(IslandId island) const;
+    void setIslandLevel(IslandId island, DvfsLevel level);
+    /** Level of the island containing `tile`. */
+    DvfsLevel tileLevel(TileId tile) const;
+    /** Per-tile level vector (size = tile count). */
+    std::vector<DvfsLevel> tileLevels() const;
+    ///@}
+
+    /** Final occupancy tables. */
+    const Mrrg &mrrg() const { return resources; }
+    Mrrg &mrrg() { return resources; }
+
+    /** Latest schedule event (pipeline depth), in base cycles. */
+    int scheduleSpan() const;
+
+    /** Human-readable schedule dump (for examples and debugging). */
+    std::string describe() const;
+
+  private:
+    const Cgra *fabric;
+    const Dfg *graph;
+    int interval;
+    std::vector<Placement> placements;
+    std::vector<Route> routes;
+    std::vector<DvfsLevel> islandLevels;
+    Mrrg resources;
+};
+
+} // namespace iced
+
+#endif // ICED_MAPPER_MAPPING_HPP

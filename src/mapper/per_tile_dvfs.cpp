@@ -1,0 +1,65 @@
+#include "mapper/per_tile_dvfs.hpp"
+
+#include <set>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+
+namespace iced {
+
+PerTileDvfsResult
+applyPerTileDvfs(const Mapping &mapping)
+{
+    const Cgra &cgra = mapping.cgra();
+    const Dfg &dfg = mapping.dfg();
+    const Mrrg &mrrg = mapping.mrrg();
+    const int ii = mapping.ii();
+
+    // Tiles that carry critical recurrence nodes or their routes.
+    std::set<TileId> critical_tiles;
+    const auto critical = criticalCycleNodes(dfg);
+    const std::set<NodeId> critical_set(critical.begin(), critical.end());
+    for (NodeId node : critical)
+        critical_tiles.insert(mapping.placement(node).tile);
+    for (const DfgEdge &e : dfg.edges()) {
+        if (!critical_set.count(e.src) || !critical_set.count(e.dst))
+            continue;
+        for (const RouteStep &step : mapping.route(e.id).steps)
+            critical_tiles.insert(step.tile);
+    }
+
+    PerTileDvfsResult result;
+    result.tileLevels.assign(
+        static_cast<std::size_t>(cgra.tileCount()), DvfsLevel::Normal);
+
+    for (TileId tile = 0; tile < cgra.tileCount(); ++tile) {
+        const int active = mrrg.activeCycles(tile);
+        if (active == 0) {
+            result.tileLevels[tile] = DvfsLevel::PowerGated;
+            ++result.gatedTiles;
+            continue;
+        }
+        if (critical_tiles.count(tile)) {
+            ++result.normalTiles;
+            continue;
+        }
+        DvfsLevel chosen = DvfsLevel::Normal;
+        for (DvfsLevel level :
+             {DvfsLevel::Rest, DvfsLevel::Relax}) {
+            const int s = slowdown(level);
+            if (ii % s == 0 && active <= ii / s) {
+                chosen = level;
+                break;
+            }
+        }
+        result.tileLevels[tile] = chosen;
+        switch (chosen) {
+          case DvfsLevel::Rest: ++result.restTiles; break;
+          case DvfsLevel::Relax: ++result.relaxTiles; break;
+          default: ++result.normalTiles; break;
+        }
+    }
+    return result;
+}
+
+} // namespace iced

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-tile DVFS post-pass: the paper's "Per-tile DVFS + Power-gating"
+ * baseline (an UE-CGRA-style design extended with spatio-temporal
+ * support).
+ *
+ * Takes a conventional (DVFS-unaware) mapping and derives, per tile,
+ * the lowest run level that provably preserves throughput:
+ *
+ *  - tiles hosting nodes or routes of a critical (RecMII-achieving)
+ *    recurrence cycle stay at normal — slowing them would stretch the
+ *    II;
+ *  - any other tile may drop to slowdown s iff its distinct active
+ *    base cycles per II fit into the II/s slow cycles (the paper's
+ *    tile0/tile9 example: one active cycle in an II of 4 -> rest;
+ *    three active cycles -> normal);
+ *  - unused tiles are power-gated.
+ *
+ * Unlike ICED's island mapping, the resulting levels follow the
+ * elastic (predication-tolerant) interpretation: timing of non-critical
+ * values slips, validity bits keep results correct. The pass therefore
+ * produces per-tile *levels* for utilization/energy accounting rather
+ * than a re-timed schedule.
+ */
+#ifndef ICED_MAPPER_PER_TILE_DVFS_HPP
+#define ICED_MAPPER_PER_TILE_DVFS_HPP
+
+#include <vector>
+
+#include "mapper/mapping.hpp"
+
+namespace iced {
+
+/** Outcome of the per-tile DVFS pass. */
+struct PerTileDvfsResult
+{
+    /** Chosen level per tile (PowerGated for unused tiles). */
+    std::vector<DvfsLevel> tileLevels;
+    int gatedTiles = 0;
+    int restTiles = 0;
+    int relaxTiles = 0;
+    int normalTiles = 0;
+};
+
+/** Run the per-tile DVFS + power-gating pass on `mapping`. */
+PerTileDvfsResult applyPerTileDvfs(const Mapping &mapping);
+
+} // namespace iced
+
+#endif // ICED_MAPPER_PER_TILE_DVFS_HPP

@@ -1,0 +1,36 @@
+#include "mapper/power_gating.hpp"
+
+namespace iced {
+
+int
+gateUnusedIslands(Mapping &mapping)
+{
+    const Cgra &cgra = mapping.cgra();
+    const Mrrg &mrrg = mapping.mrrg();
+    int gated = 0;
+    for (IslandId island = 0; island < cgra.islandCount(); ++island) {
+        bool used = false;
+        for (TileId tile : cgra.islandTiles(island))
+            used = used || mrrg.tileUsed(tile);
+        if (!used) {
+            mapping.setIslandLevel(island, DvfsLevel::PowerGated);
+            ++gated;
+        }
+    }
+    return gated;
+}
+
+std::vector<DvfsLevel>
+perTileGating(const Mapping &mapping, DvfsLevel base)
+{
+    const Cgra &cgra = mapping.cgra();
+    const Mrrg &mrrg = mapping.mrrg();
+    std::vector<DvfsLevel> levels(
+        static_cast<std::size_t>(cgra.tileCount()), base);
+    for (TileId tile = 0; tile < cgra.tileCount(); ++tile)
+        if (!mrrg.tileUsed(tile))
+            levels[tile] = DvfsLevel::PowerGated;
+    return levels;
+}
+
+} // namespace iced

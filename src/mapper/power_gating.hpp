@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Power-gating passes.
+ *
+ * ICED gates whole voltage islands that carry no activity; the
+ * baseline-with-power-gating variant of the paper's Figure 11 gates
+ * individual unused tiles instead (header cells without a DVFS
+ * controller).
+ */
+#ifndef ICED_MAPPER_POWER_GATING_HPP
+#define ICED_MAPPER_POWER_GATING_HPP
+
+#include <vector>
+
+#include "mapper/mapping.hpp"
+
+namespace iced {
+
+/**
+ * Set PowerGated on every island of `mapping` with zero activity.
+ * @return the number of islands gated.
+ */
+int gateUnusedIslands(Mapping &mapping);
+
+/**
+ * Per-tile gating for baselines without DVFS: unused tiles are gated,
+ * used tiles keep level `base`.
+ */
+std::vector<DvfsLevel> perTileGating(const Mapping &mapping,
+                                     DvfsLevel base = DvfsLevel::Normal);
+
+} // namespace iced
+
+#endif // ICED_MAPPER_POWER_GATING_HPP

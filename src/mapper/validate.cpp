@@ -1,0 +1,260 @@
+#include "mapper/validate.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+namespace {
+
+int
+tileSlowdownOf(const Mapping &mapping, TileId tile)
+{
+    const DvfsLevel level = mapping.tileLevel(tile);
+    return level == DvfsLevel::PowerGated ? 1 : slowdown(level);
+}
+
+} // namespace
+
+std::vector<std::string>
+checkMapping(const Mapping &mapping)
+{
+    std::vector<std::string> issues;
+    const Cgra &cgra = mapping.cgra();
+    const Dfg &dfg = mapping.dfg();
+    const int ii = mapping.ii();
+
+    auto complain = [&](auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        issues.push_back(os.str());
+    };
+
+    if (ii < 1) {
+        complain("II must be >= 1, got ", ii);
+        return issues;
+    }
+
+    // 6. Island levels must be usable at this II.
+    for (IslandId island = 0; island < cgra.islandCount(); ++island) {
+        const DvfsLevel level = mapping.islandLevel(island);
+        if (level != DvfsLevel::PowerGated && ii % slowdown(level) != 0)
+            complain("island ", island, " level ", toString(level),
+                     " has slowdown ", slowdown(level),
+                     " which does not divide II=", ii);
+    }
+
+    // 1 + 2. Placements and FU exclusivity.
+    std::vector<NodeId> fu(static_cast<std::size_t>(cgra.tileCount()) *
+                               ii,
+                           -1);
+    auto fu_at = [&](TileId tile, int t) -> NodeId & {
+        int c = t % ii;
+        if (c < 0)
+            c += ii;
+        return fu[static_cast<std::size_t>(tile) * ii + c];
+    };
+
+    for (const DfgNode &node : dfg.nodes()) {
+        const Placement &p = mapping.placement(node.id);
+        if (node.op == Opcode::Const) {
+            if (p.valid())
+                complain("const node ", node.name,
+                         " must not be placed (immediates live in "
+                         "config memory)");
+            continue;
+        }
+        if (!p.valid()) {
+            complain("node ", node.name, " is unplaced");
+            continue;
+        }
+        if (p.tile >= cgra.tileCount()) {
+            complain("node ", node.name, " on nonexistent tile ",
+                     p.tile);
+            continue;
+        }
+        if (isMemoryOp(node.op) && !cgra.isMemTile(p.tile))
+            complain("memory op ", node.name,
+                     " placed on non-SPM tile ", p.tile);
+        const DvfsLevel level = mapping.tileLevel(p.tile);
+        if (level == DvfsLevel::PowerGated) {
+            complain("node ", node.name, " placed on power-gated tile ",
+                     p.tile);
+            continue;
+        }
+        const int s = slowdown(level);
+        if (p.time % s != 0)
+            complain("node ", node.name, " fires at t=", p.time,
+                     " unaligned to slowdown ", s, " of tile ", p.tile);
+        for (int k = 0; k < s; ++k) {
+            NodeId &slot = fu_at(p.tile, p.time + k);
+            if (slot != -1 && slot != node.id)
+                complain("FU conflict on tile ", p.tile, " cycle ",
+                         (p.time + k) % ii, ": nodes ",
+                         dfg.node(slot).name, " and ", node.name);
+            slot = node.id;
+        }
+    }
+    if (!issues.empty())
+        return issues; // placements broken; route checks would cascade
+
+    // 3 + 4 + 5. Routes.
+    std::vector<EdgeId> ports(static_cast<std::size_t>(cgra.tileCount()) *
+                                  dirCount * ii,
+                              -1);
+    auto port_at = [&](TileId tile, Dir d, int t) -> EdgeId & {
+        int c = t % ii;
+        if (c < 0)
+            c += ii;
+        return ports[(static_cast<std::size_t>(tile) * dirCount +
+                      static_cast<int>(d)) *
+                         ii +
+                     c];
+    };
+    std::vector<int> regs(static_cast<std::size_t>(cgra.tileCount()) * ii,
+                          0);
+    auto reg_at = [&](TileId tile, int t) -> int & {
+        int c = t % ii;
+        if (c < 0)
+            c += ii;
+        return regs[static_cast<std::size_t>(tile) * ii + c];
+    };
+
+    // Fanout sharing: every route must start at a (tile, time) point
+    // reachable from the producer's completion through the start
+    // points of sibling routes (fixpoint; rejects circular branches).
+    std::vector<bool> startOk(static_cast<std::size_t>(dfg.edgeCount()),
+                              false);
+    for (const DfgNode &node : dfg.nodes()) {
+        if (node.op == Opcode::Const || dfg.outEdges(node.id).empty())
+            continue;
+        const Placement &p = mapping.placement(node.id);
+        std::set<std::pair<TileId, int>> reachable{
+            {p.tile, p.time + tileSlowdownOf(mapping, p.tile)}};
+        const auto &outs = dfg.outEdges(node.id);
+        for (std::size_t round = 0; round < outs.size(); ++round) {
+            bool grown = false;
+            for (EdgeId eid : outs) {
+                if (startOk[eid])
+                    continue;
+                const Route &r = mapping.route(eid);
+                if (r.edge == -1)
+                    continue;
+                if (reachable.count({r.startTile, r.startTime})) {
+                    startOk[eid] = true;
+                    for (const auto &pt : r.points(cgra))
+                        reachable.insert(pt);
+                    grown = true;
+                }
+            }
+            if (!grown)
+                break;
+        }
+    }
+
+    for (const DfgEdge &e : dfg.edges()) {
+        const Route &route = mapping.route(e.id);
+        if (dfg.node(e.src).op == Opcode::Const) {
+            if (!route.steps.empty() || route.edge != -1)
+                complain("edge ", e.id, " from const node ",
+                         dfg.node(e.src).name,
+                         " must not be routed (immediate operand)");
+            continue;
+        }
+        const Placement &src = mapping.placement(e.src);
+        const Placement &dst = mapping.placement(e.dst);
+        const int s_src = tileSlowdownOf(mapping, src.tile);
+
+        if (route.srcTile != src.tile || route.dstTile != dst.tile) {
+            complain("edge ", e.id, " route endpoints (", route.srcTile,
+                     "->", route.dstTile,
+                     ") disagree with placements (", src.tile, "->",
+                     dst.tile, ")");
+            continue;
+        }
+        if (route.readyTime != src.time + s_src)
+            complain("edge ", e.id, " route ready=", route.readyTime,
+                     " but producer completes at ", src.time + s_src);
+        const int want_target = dst.time + e.distance * ii;
+        if (route.targetTime != want_target)
+            complain("edge ", e.id, " route target=", route.targetTime,
+                     " but consumer needs it at ", want_target);
+
+        if (!startOk[e.id])
+            complain("edge ", e.id, " route starts at tile ",
+                     route.startTile, "@", route.startTime,
+                     " which is not reachable from the producer's "
+                     "completion through sibling routes");
+
+        TileId pos = route.startTile;
+        int now = route.startTime;
+        for (const RouteStep &step : route.steps) {
+            if (step.tile != pos) {
+                complain("edge ", e.id, " step at tile ", step.tile,
+                         " but value is at tile ", pos);
+                break;
+            }
+            if (step.start != now) {
+                complain("edge ", e.id, " step starts at ", step.start,
+                         " but value arrives at ", now);
+                break;
+            }
+            if (step.kind == RouteStep::Kind::Hop) {
+                const int s = tileSlowdownOf(mapping, step.tile);
+                if (step.start % s != 0)
+                    complain("edge ", e.id, " hop launches at ",
+                             step.start, " unaligned to slowdown ", s);
+                if (step.duration != s)
+                    complain("edge ", e.id, " hop duration ",
+                             step.duration, " != sender slowdown ", s);
+                const TileId next = cgra.neighbor(step.tile, step.dir);
+                if (next < 0) {
+                    complain("edge ", e.id, " hops off the fabric edge");
+                    break;
+                }
+                for (int k = 0; k < step.duration; ++k) {
+                    EdgeId &slot = port_at(step.tile, step.dir,
+                                           step.start + k);
+                    if (slot != -1 && slot != e.id)
+                        complain("port conflict on tile ", step.tile,
+                                 " dir ", toString(step.dir), " cycle ",
+                                 (step.start + k) % ii, ": edges ",
+                                 slot, " and ", e.id);
+                    slot = e.id;
+                }
+                pos = next;
+                now += step.duration;
+            } else {
+                for (int k = 0; k < step.duration; ++k)
+                    ++reg_at(step.tile, step.start + k);
+                now += step.duration;
+            }
+        }
+        if (pos != route.dstTile || now != route.targetTime)
+            complain("edge ", e.id, " route ends at tile ", pos,
+                     " cycle ", now, ", expected tile ", route.dstTile,
+                     " cycle ", route.targetTime);
+    }
+
+    const int cap = cgra.config().registersPerTile;
+    for (TileId tile = 0; tile < cgra.tileCount(); ++tile)
+        for (int c = 0; c < ii; ++c)
+            if (reg_at(tile, c) > cap)
+                complain("register pressure ", reg_at(tile, c), " > ",
+                         cap, " on tile ", tile, " cycle ", c);
+
+    return issues;
+}
+
+void
+validateMapping(const Mapping &mapping)
+{
+    const auto issues = checkMapping(mapping);
+    if (!issues.empty())
+        fatal("invalid mapping of '", mapping.dfg().name(), "': ",
+              issues.front(), " (", issues.size(), " issue(s) total)");
+}
+
+} // namespace iced

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Independent validator for island-based mappings.
+ *
+ * Rebuilds resource occupancy from scratch out of the mapping's
+ * placements and routes (never trusting the mapper's own MRRG) and
+ * checks every invariant of the rigid DVFS execution model. Used by
+ * the test suite and asserted by the benches after every mapping.
+ */
+#ifndef ICED_MAPPER_VALIDATE_HPP
+#define ICED_MAPPER_VALIDATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "mapper/mapping.hpp"
+
+namespace iced {
+
+/**
+ * Check all invariants of `mapping`; returns a list of human-readable
+ * violations (empty = valid). Checked invariants:
+ *
+ *  1. every node is placed on a legal tile (memory ops on
+ *     SPM-connected tiles) at a non-negative, slowdown-aligned time,
+ *     and never on a power-gated island;
+ *  2. FU exclusivity modulo II, with slowdown-wide aligned windows;
+ *  3. every edge's route starts at the producer's completion, chains
+ *     contiguous hop/wait steps, launches hops on the sender's aligned
+ *     boundary with the sender's slowdown as duration, and arrives at
+ *     the consumer tile exactly at t(dst) + distance * II;
+ *  4. output-port exclusivity modulo II;
+ *  5. register-file capacity per tile and base cycle;
+ *  6. island levels whose slowdown divides the II.
+ */
+std::vector<std::string> checkMapping(const Mapping &mapping);
+
+/** checkMapping() that throws FatalError on the first violation. */
+void validateMapping(const Mapping &mapping);
+
+} // namespace iced
+
+#endif // ICED_MAPPER_VALIDATE_HPP

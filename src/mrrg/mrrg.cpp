@@ -1,0 +1,207 @@
+#include "mrrg/mrrg.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+Mrrg::Mrrg(const Cgra &cgra, int ii) : fabric(&cgra), interval(ii)
+{
+    fatalIf(ii < 1, "MRRG requires II >= 1");
+    const std::size_t tiles = static_cast<std::size_t>(cgra.tileCount());
+    islandState.assign(static_cast<std::size_t>(cgra.islandCount()),
+                       islandUnassigned);
+    fuOwners.assign(tiles * ii, -1);
+    portOwners.assign(tiles * dirCount * ii, -1);
+    regCounts.assign(tiles * ii, 0);
+}
+
+bool
+Mrrg::islandAssigned(IslandId island) const
+{
+    panicIfNot(island >= 0 &&
+                   island < static_cast<int>(islandState.size()),
+               "bad island id ", island);
+    return islandState[island] != islandUnassigned;
+}
+
+DvfsLevel
+Mrrg::islandLevel(IslandId island) const
+{
+    panicIfNot(islandAssigned(island),
+               "islandLevel on unassigned island ", island);
+    return static_cast<DvfsLevel>(islandState[island]);
+}
+
+void
+Mrrg::assignIsland(IslandId island, DvfsLevel level)
+{
+    panicIfNot(island >= 0 &&
+                   island < static_cast<int>(islandState.size()),
+               "bad island id ", island);
+    panicIfNot(levelUsable(level), "assignIsland: level ",
+               toString(level), " unusable at II=", interval);
+    islandState[island] = static_cast<int>(level);
+}
+
+bool
+Mrrg::levelUsable(DvfsLevel level) const
+{
+    if (level == DvfsLevel::PowerGated)
+        return true;
+    return interval % slowdown(level) == 0;
+}
+
+int
+Mrrg::tileSlowdown(TileId tile) const
+{
+    const IslandId island = fabric->islandOf(tile);
+    if (!islandAssigned(island))
+        return 1;
+    const DvfsLevel level = islandLevel(island);
+    if (level == DvfsLevel::PowerGated)
+        return 1; // no activity can be placed anyway
+    return slowdown(level);
+}
+
+int
+Mrrg::slotIndex(TileId tile, int t) const
+{
+    panicIfNot(tile >= 0 && tile < fabric->tileCount(),
+               "bad tile id ", tile);
+    int c = t % interval;
+    if (c < 0)
+        c += interval;
+    return tile * interval + c;
+}
+
+int
+Mrrg::alignDown(int t, int s)
+{
+    panicIfNot(t >= 0, "negative schedule time ", t);
+    return (t / s) * s;
+}
+
+bool
+Mrrg::fuFree(TileId tile, int t, int s) const
+{
+    const int start = alignDown(t, s);
+    for (int k = 0; k < s; ++k)
+        if (fuOwners[slotIndex(tile, start + k)] != -1)
+            return false;
+    return true;
+}
+
+void
+Mrrg::occupyFu(TileId tile, int t, int s, NodeId owner)
+{
+    panicIfNot(fuFree(tile, t, s), "occupyFu: conflict on tile ", tile,
+               " at cycle ", t);
+    const int start = alignDown(t, s);
+    for (int k = 0; k < s; ++k)
+        fuOwners[slotIndex(tile, start + k)] = owner;
+}
+
+NodeId
+Mrrg::fuOwner(TileId tile, int t) const
+{
+    return fuOwners[slotIndex(tile, t)];
+}
+
+bool
+Mrrg::portFree(TileId tile, Dir d, int t, int s) const
+{
+    const int start = alignDown(t, s);
+    for (int k = 0; k < s; ++k) {
+        const int idx =
+            (tile * dirCount + static_cast<int>(d)) * interval +
+            (start + k) % interval;
+        if (portOwners[idx] != -1)
+            return false;
+    }
+    return true;
+}
+
+void
+Mrrg::occupyPort(TileId tile, Dir d, int t, int s, EdgeId owner)
+{
+    panicIfNot(portFree(tile, d, t, s), "occupyPort: conflict on tile ",
+               tile, " dir ", toString(d), " at cycle ", t);
+    const int start = alignDown(t, s);
+    for (int k = 0; k < s; ++k) {
+        const int idx =
+            (tile * dirCount + static_cast<int>(d)) * interval +
+            (start + k) % interval;
+        portOwners[idx] = owner;
+    }
+}
+
+EdgeId
+Mrrg::portOwner(TileId tile, Dir d, int t) const
+{
+    int c = t % interval;
+    if (c < 0)
+        c += interval;
+    return portOwners[(tile * dirCount + static_cast<int>(d)) * interval +
+                      c];
+}
+
+bool
+Mrrg::regAvailable(TileId tile, int from, int to) const
+{
+    panicIfNot(from <= to, "regAvailable: inverted interval");
+    const int cap = fabric->config().registersPerTile;
+    // Count multiplicity per modulo slot.
+    for (int t = from; t < to; ++t) {
+        const int base = regCounts[slotIndex(tile, t)];
+        // Multiplicity contributed by this same interval wrapping:
+        // occurrences of slot (t mod II) within [from, to).
+        int wraps = 0;
+        for (int u = t; u < to; u += interval)
+            ++wraps;
+        // Only evaluate each modulo slot once (the first occurrence).
+        if (t - from >= interval)
+            break;
+        if (base + wraps > cap)
+            return false;
+    }
+    return true;
+}
+
+void
+Mrrg::occupyReg(TileId tile, int from, int to)
+{
+    panicIfNot(regAvailable(tile, from, to),
+               "occupyReg: register pressure exceeded on tile ", tile);
+    for (int t = from; t < to; ++t)
+        ++regCounts[slotIndex(tile, t)];
+}
+
+int
+Mrrg::regUse(TileId tile, int t) const
+{
+    return regCounts[slotIndex(tile, t)];
+}
+
+bool
+Mrrg::tileUsed(TileId tile) const
+{
+    return activeCycles(tile) > 0;
+}
+
+int
+Mrrg::activeCycles(TileId tile) const
+{
+    int active = 0;
+    for (int c = 0; c < interval; ++c) {
+        bool busy = fuOwners[slotIndex(tile, c)] != -1 ||
+                    regCounts[slotIndex(tile, c)] > 0;
+        for (int d = 0; !busy && d < dirCount; ++d) {
+            busy = portOwners[(tile * dirCount + d) * interval + c] != -1;
+        }
+        if (busy)
+            ++active;
+    }
+    return active;
+}
+
+} // namespace iced

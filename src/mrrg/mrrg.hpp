@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Modulo Routing Resource Graph with DVFS-scaled occupancy.
+ *
+ * The MRRG is the time-extended resource model of a CGRA under a given
+ * initiation interval (II). Resources repeat modulo II base cycles:
+ * per tile and base cycle there is one FU slot, one output port per
+ * mesh direction, and a register-file capacity used for holding
+ * in-flight values.
+ *
+ * DVFS semantics (the rigid, exactly-simulatable model used by the
+ * ICED mapper): a tile in an island at run level L with slowdown
+ * s = slowdown(L) performs one action per resource per *local* cycle,
+ * where a local cycle spans s aligned base cycles [k*s, (k+1)*s).
+ * Occupying a resource "at base cycle t" on such a tile occupies the
+ * whole aligned window containing t. For the modulo schedule to wrap
+ * consistently, s must divide II; `levelUsable()` encodes that rule.
+ *
+ * Schedule times are absolute base cycles (time-extended schedule);
+ * only resource occupancy is reduced modulo II.
+ */
+#ifndef ICED_MRRG_MRRG_HPP
+#define ICED_MRRG_MRRG_HPP
+
+#include <vector>
+
+#include "arch/cgra.hpp"
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+/** Sentinel DVFS state for islands the mapper has not committed yet. */
+inline constexpr int islandUnassigned = -1;
+
+/**
+ * Occupancy tables of one mapping attempt. Copyable so the mapper can
+ * snapshot/rollback trial placements cheaply.
+ */
+class Mrrg
+{
+  public:
+    Mrrg(const Cgra &cgra, int ii);
+
+    int ii() const { return interval; }
+    const Cgra &cgra() const { return *fabric; }
+
+    /** @name Island DVFS state */
+    ///@{
+    /** True when the island already has a committed level. */
+    bool islandAssigned(IslandId island) const;
+
+    /** Committed level. @pre islandAssigned(island) */
+    DvfsLevel islandLevel(IslandId island) const;
+
+    /** Commit a level for an island. @pre levelUsable(level) */
+    void assignIsland(IslandId island, DvfsLevel level);
+
+    /** True when slowdown(level) divides the II (or level is gating). */
+    bool levelUsable(DvfsLevel level) const;
+
+    /**
+     * Effective slowdown of `tile`: committed island slowdown, or 1
+     * when the island is still unassigned (candidates are evaluated
+     * against a tentative level by the mapper before committing).
+     */
+    int tileSlowdown(TileId tile) const;
+    ///@}
+
+    /** @name FU occupancy */
+    ///@{
+    /**
+     * True when the FU of `tile` is free for one local cycle whose
+     * aligned window contains base cycle `t` under slowdown `s`.
+     */
+    bool fuFree(TileId tile, int t, int s) const;
+
+    /** Occupy the FU window; records `owner` for diagnostics. */
+    void occupyFu(TileId tile, int t, int s, NodeId owner);
+
+    /** Owner of the FU slot at base cycle `t` mod II, or -1. */
+    NodeId fuOwner(TileId tile, int t) const;
+    ///@}
+
+    /** @name Directional output ports */
+    ///@{
+    bool portFree(TileId tile, Dir d, int t, int s) const;
+    void occupyPort(TileId tile, Dir d, int t, int s, EdgeId owner);
+    EdgeId portOwner(TileId tile, Dir d, int t) const;
+    ///@}
+
+    /** @name Register-file capacity (value holds) */
+    ///@{
+    /**
+     * True when `tile` can hold one more live value during the base
+     * cycles [from, to) (absolute times; occupancy is counted mod II,
+     * with multiplicity when the interval exceeds the II).
+     */
+    bool regAvailable(TileId tile, int from, int to) const;
+
+    /** Reserve one unit of register capacity over [from, to). */
+    void occupyReg(TileId tile, int from, int to);
+
+    /** Units of register capacity in use at base cycle `t` mod II. */
+    int regUse(TileId tile, int t) const;
+    ///@}
+
+    /** True when the tile has any FU/port/register activity at all. */
+    bool tileUsed(TileId tile) const;
+
+    /** Distinct base cycles (mod II) with any activity on `tile`. */
+    int activeCycles(TileId tile) const;
+
+  private:
+    int slotIndex(TileId tile, int t) const;
+    /** Aligned window [start, start + s) containing t. */
+    static int alignDown(int t, int s);
+
+    const Cgra *fabric;
+    int interval;
+    std::vector<int> islandState; // DvfsLevel as int, or islandUnassigned
+    std::vector<NodeId> fuOwners;           // [tile * ii + cycle]
+    std::vector<EdgeId> portOwners;         // [(tile*4 + dir) * ii + cyc]
+    std::vector<int> regCounts;             // [tile * ii + cycle]
+};
+
+} // namespace iced
+
+#endif // ICED_MRRG_MRRG_HPP

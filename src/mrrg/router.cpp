@@ -1,0 +1,211 @@
+#include "mrrg/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+int
+Route::hopCount() const
+{
+    int hops = 0;
+    for (const RouteStep &s : steps)
+        if (s.kind == RouteStep::Kind::Hop)
+            ++hops;
+    return hops;
+}
+
+int
+Route::waitCount() const
+{
+    int waits = 0;
+    for (const RouteStep &s : steps)
+        if (s.kind == RouteStep::Kind::Wait)
+            ++waits;
+    return waits;
+}
+
+std::vector<std::pair<TileId, int>>
+Route::points(const Cgra &cgra) const
+{
+    std::vector<std::pair<TileId, int>> pts;
+    TileId tile = startTile;
+    int time = startTime;
+    pts.emplace_back(tile, time);
+    for (const RouteStep &s : steps) {
+        if (s.kind == RouteStep::Kind::Hop)
+            tile = cgra.neighbor(s.tile, s.dir);
+        time += s.duration;
+        pts.emplace_back(tile, time);
+    }
+    return pts;
+}
+
+namespace {
+
+struct SearchState
+{
+    double cost;
+    TileId tile;
+    int time;
+    bool operator>(const SearchState &o) const { return cost > o.cost; }
+};
+
+} // namespace
+
+std::optional<Route>
+Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
+                  int target, double &cost,
+                  const std::vector<std::pair<TileId, int>> &seeds) const
+{
+    if (target < ready)
+        return std::nullopt;
+
+    const Cgra &cgra = mrrg.cgra();
+    const int span = target - ready + 1;
+    const int tiles = cgra.tileCount();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // dist/parent indexed by tile * span + (time - ready).
+    std::vector<double> dist(static_cast<std::size_t>(tiles) * span, inf);
+    // parent: encodes (prevTile, prevTime, viaDir or -1 for wait).
+    struct Parent { TileId tile = -1; int time = -1; int dir = -1; };
+    std::vector<Parent> parent(static_cast<std::size_t>(tiles) * span);
+
+    auto idx = [&](TileId t, int time) {
+        return static_cast<std::size_t>(t) * span + (time - ready);
+    };
+
+    std::priority_queue<SearchState, std::vector<SearchState>,
+                        std::greater<>> frontier;
+    dist[idx(src, ready)] = 0.0;
+    frontier.push({0.0, src, ready});
+    for (const auto &[seed_tile, seed_time] : seeds) {
+        if (seed_time < ready || seed_time > target || seed_tile < 0)
+            continue;
+        if (dist[idx(seed_tile, seed_time)] > 0.0) {
+            dist[idx(seed_tile, seed_time)] = 0.0;
+            frontier.push({0.0, seed_tile, seed_time});
+        }
+    }
+
+    auto cold = [&](TileId tile) {
+        return !mrrg.islandAssigned(cgra.islandOf(tile)) &&
+                       !mrrg.tileUsed(tile)
+                   ? opts.coldTilePenalty
+                   : 0.0;
+    };
+
+    while (!frontier.empty()) {
+        const SearchState cur = frontier.top();
+        frontier.pop();
+        if (cur.cost > dist[idx(cur.tile, cur.time)])
+            continue;
+        if (cur.tile == dst && cur.time == target)
+            break;
+
+        // Wait in place for one base cycle (register hold).
+        if (cur.time + 1 <= target &&
+            mrrg.regAvailable(cur.tile, cur.time, cur.time + 1)) {
+            const double nc = cur.cost + opts.waitCost + cold(cur.tile);
+            if (nc < dist[idx(cur.tile, cur.time + 1)]) {
+                dist[idx(cur.tile, cur.time + 1)] = nc;
+                parent[idx(cur.tile, cur.time + 1)] =
+                    Parent{cur.tile, cur.time, -1};
+                frontier.push({nc, cur.tile, cur.time + 1});
+            }
+        }
+
+        // Hop to a neighbor: launches on the sender's local-cycle
+        // boundary and takes one sender local cycle.
+        const int s = mrrg.tileSlowdown(cur.tile);
+        if (cur.time % s != 0)
+            continue; // unaligned; waits will reach the boundary
+        if (cur.time + s > target)
+            continue;
+        for (int d = 0; d < dirCount; ++d) {
+            const Dir dir = static_cast<Dir>(d);
+            const TileId next = cgra.neighbor(cur.tile, dir);
+            if (next < 0)
+                continue;
+            if (!mrrg.portFree(cur.tile, dir, cur.time, s))
+                continue;
+            const double nc = cur.cost + opts.hopCost + cold(cur.tile);
+            if (nc < dist[idx(next, cur.time + s)]) {
+                dist[idx(next, cur.time + s)] = nc;
+                parent[idx(next, cur.time + s)] =
+                    Parent{cur.tile, cur.time, d};
+                frontier.push({nc, next, cur.time + s});
+            }
+        }
+    }
+
+    if (dist[idx(dst, target)] == inf)
+        return std::nullopt;
+
+    Route route;
+    route.srcTile = src;
+    route.dstTile = dst;
+    route.readyTime = ready;
+    route.targetTime = target;
+
+    // Walk parents back from the goal to whichever zero-cost start
+    // state the search grew from.
+    TileId t = dst;
+    int time = target;
+    std::vector<RouteStep> reversed;
+    while (parent[idx(t, time)].time >= 0) {
+        const Parent &p = parent[idx(t, time)];
+        RouteStep step;
+        if (p.dir < 0) {
+            step.kind = RouteStep::Kind::Wait;
+            step.tile = p.tile;
+            step.start = p.time;
+            step.duration = 1;
+        } else {
+            step.kind = RouteStep::Kind::Hop;
+            step.tile = p.tile;
+            step.dir = static_cast<Dir>(p.dir);
+            step.start = p.time;
+            step.duration = mrrg.tileSlowdown(p.tile);
+        }
+        reversed.push_back(step);
+        t = p.tile;
+        time = p.time;
+    }
+    route.startTile = t;
+    route.startTime = time;
+    route.steps.assign(reversed.rbegin(), reversed.rend());
+    cost = dist[idx(dst, target)];
+    return route;
+}
+
+bool
+Router::commit(Mrrg &mrrg, const Route &route, EdgeId owner) const
+{
+    // Dry-run on a scratch copy so a mid-route self-collision (possible
+    // when the route spans more than one II) cannot corrupt the MRRG.
+    Mrrg scratch = mrrg;
+    for (const RouteStep &step : route.steps) {
+        if (step.kind == RouteStep::Kind::Hop) {
+            if (!scratch.portFree(step.tile, step.dir, step.start,
+                                  step.duration))
+                return false;
+            scratch.occupyPort(step.tile, step.dir, step.start,
+                               step.duration, owner);
+        } else {
+            if (!scratch.regAvailable(step.tile, step.start,
+                                      step.start + step.duration))
+                return false;
+            scratch.occupyReg(step.tile, step.start,
+                              step.start + step.duration);
+        }
+    }
+    mrrg = std::move(scratch);
+    return true;
+}
+
+} // namespace iced

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Time-expanded shortest-path router over the MRRG.
+ *
+ * Routes one value from its producer tile (available at an absolute
+ * base cycle) to its consumer tile at an *exact* target cycle; slack is
+ * absorbed by register holds ("wait" steps) so the cycle simulator can
+ * replay delivery exactly. Hops launch on the sending tile's aligned
+ * local-cycle boundary and take one sender local cycle; waits consume
+ * one unit of register capacity per base cycle.
+ */
+#ifndef ICED_MRRG_ROUTER_HPP
+#define ICED_MRRG_ROUTER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "mrrg/mrrg.hpp"
+
+namespace iced {
+
+/** One primitive action of a route. */
+struct RouteStep
+{
+    enum class Kind { Hop, Wait };
+    Kind kind = Kind::Wait;
+    /** Sending tile (Hop) or holding tile (Wait). */
+    TileId tile = -1;
+    /** Output direction; meaningful for Hop only. */
+    Dir dir = Dir::North;
+    /** Absolute base cycle the step starts at. */
+    int start = 0;
+    /** Base cycles the step lasts (Hop: sender slowdown; Wait: 1). */
+    int duration = 1;
+};
+
+/** A committed or candidate route for one DFG edge. */
+struct Route
+{
+    EdgeId edge = -1;
+    TileId srcTile = -1;
+    TileId dstTile = -1;
+    /** Base cycle the value leaves the producer FU. */
+    int readyTime = 0;
+    /** Base cycle the value must be presented to the consumer FU. */
+    int targetTime = 0;
+    /**
+     * Where this route's own steps begin. Normally the producer tile
+     * at readyTime; a fanout route may instead branch off a sibling
+     * route of the same producer (the crossbar broadcasts a value to
+     * several outputs), in which case the branch point is some
+     * (tile, time) on that sibling's path.
+     */
+    TileId startTile = -1;
+    int startTime = -1;
+    std::vector<RouteStep> steps;
+
+    /** Number of link traversals. */
+    int hopCount() const;
+    /** Number of single-cycle register holds. */
+    int waitCount() const;
+
+    /** All (tile, time) points the value visits along this route,
+     *  starting at the branch point. */
+    std::vector<std::pair<TileId, int>> points(const Cgra &cgra) const;
+};
+
+/** Routing cost weights. */
+struct RouterOptions
+{
+    double hopCost = 1.0;
+    double waitCost = 0.125;
+    /**
+     * Extra cost per step that uses a tile of a still-unassigned
+     * island: keeps routes out of untouched islands so those can be
+     * power-gated later.
+     */
+    double coldTilePenalty = 0.5;
+};
+
+/**
+ * Dijkstra router over (tile, base-cycle) states of an Mrrg.
+ *
+ * The router never mutates the Mrrg during search; call commit() to
+ * occupy the resources of a found route.
+ */
+class Router
+{
+  public:
+    explicit Router(RouterOptions options = {}) : opts(options) {}
+
+    /**
+     * Find a minimum-cost route delivering exactly at `target`.
+     *
+     * @param ready cycle the value becomes available at `src`.
+     * @param target cycle the value must be at `dst` (>= ready).
+     * @param seeds additional zero-cost start states: (tile, time)
+     *        points on already-committed routes of the same producer
+     *        the new route may branch from.
+     * @param[out] cost filled with the route cost on success.
+     * @return the route, or nullopt when no legal route exists.
+     */
+    std::optional<Route> findRoute(
+        const Mrrg &mrrg, TileId src, int ready, TileId dst, int target,
+        double &cost,
+        const std::vector<std::pair<TileId, int>> &seeds = {}) const;
+
+    /**
+     * Occupy the resources of `route` on behalf of edge `owner`.
+     *
+     * Validates the aggregate occupancy first: a route spanning more
+     * than one II may collide with itself modulo II, which the search
+     * (which checks steps independently) cannot see. Returns false and
+     * leaves the Mrrg untouched in that case.
+     */
+    bool commit(Mrrg &mrrg, const Route &route, EdgeId owner) const;
+
+  private:
+    RouterOptions opts;
+};
+
+} // namespace iced
+
+#endif // ICED_MRRG_ROUTER_HPP

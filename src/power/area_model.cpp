@@ -1,0 +1,32 @@
+#include "power/area_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+AreaBreakdown
+AreaModel::fabricArea(DvfsHardware hardware, int tile_count,
+                      int island_count, bool include_sram) const
+{
+    AreaBreakdown breakdown;
+    breakdown.tilesMm2 = cfg.tileArea * tile_count;
+    switch (hardware) {
+      case DvfsHardware::None:
+        break;
+      case DvfsHardware::PerTile:
+        breakdown.dvfsOverheadMm2 =
+            cfg.perTileControllerArea * tile_count;
+        break;
+      case DvfsHardware::PerIsland:
+        breakdown.dvfsOverheadMm2 =
+            cfg.perIslandControllerArea * island_count;
+        break;
+    }
+    breakdown.globalMm2 = cfg.globalArea;
+    breakdown.sramMm2 = include_sram ? cfg.sramArea : 0.0;
+    breakdown.totalMm2 = breakdown.tilesMm2 + breakdown.dvfsOverheadMm2 +
+                         breakdown.globalMm2 + breakdown.sramMm2;
+    return breakdown;
+}
+
+} // namespace iced

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Area model calibrated to the paper's 6x6 placed-and-routed design:
+ * 6.63 mm^2 without SRAM macros (ASAP7), SRAM 0.559 mm^2 (22 nm).
+ */
+#ifndef ICED_POWER_AREA_MODEL_HPP
+#define ICED_POWER_AREA_MODEL_HPP
+
+#include "power/power_model.hpp"
+
+namespace iced {
+
+/** Calibrated area constants, all in mm^2. */
+struct AreaModelConfig
+{
+    double tileArea = 0.17;
+    double perTileControllerArea = 0.055;
+    double perIslandControllerArea = 0.045;
+    /** Top-level DVFS controller, clock spine, command interface. */
+    double globalArea = 0.105;
+    double sramArea = 0.559;
+};
+
+/** Decomposed fabric area. */
+struct AreaBreakdown
+{
+    double tilesMm2 = 0.0;
+    double dvfsOverheadMm2 = 0.0;
+    double globalMm2 = 0.0;
+    double sramMm2 = 0.0;
+    double totalMm2 = 0.0;
+};
+
+/** Evaluates the calibrated area model. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(AreaModelConfig config = {}) : cfg(config) {}
+
+    const AreaModelConfig &config() const { return cfg; }
+
+    /** Fabric area for a design with the given DVFS hardware. */
+    AreaBreakdown fabricArea(DvfsHardware hardware, int tile_count,
+                             int island_count,
+                             bool include_sram = true) const;
+
+  private:
+    AreaModelConfig cfg;
+};
+
+} // namespace iced
+
+#endif // ICED_POWER_AREA_MODEL_HPP

@@ -1,0 +1,65 @@
+#include "power/power_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+double
+PowerModel::tilePowerMw(DvfsLevel level, double activity) const
+{
+    panicIfNot(activity >= 0.0 && activity <= 1.0 + 1e-9,
+               "tile activity out of range: ", activity);
+    if (level == DvfsLevel::PowerGated)
+        return cfg.tileStaticMw * cfg.gatedLeakFraction;
+
+    const OperatingPoint op = operatingPoint(level);
+    const double v_ratio = op.voltage / cfg.nominalVoltage;
+    const double f_ratio = op.freqMhz / cfg.nominalFreqMhz;
+    const double dyn_scale = v_ratio * v_ratio * f_ratio;
+
+    const double dynamic =
+        (cfg.tileIdleDynMw + activity * cfg.tileActiveDynMw) * dyn_scale;
+    const double leakage = cfg.tileStaticMw * v_ratio;
+    return dynamic + leakage;
+}
+
+double
+PowerModel::dvfsOverheadMw(DvfsHardware hardware, int tile_count,
+                           int island_count) const
+{
+    switch (hardware) {
+      case DvfsHardware::None:
+        return 0.0;
+      case DvfsHardware::PerTile:
+        return cfg.perTileControllerMw * tile_count;
+      case DvfsHardware::PerIsland:
+        return cfg.perIslandControllerMw * island_count;
+    }
+    panic("dvfsOverheadMw: unknown hardware kind");
+}
+
+PowerBreakdown
+PowerModel::fabricPower(const std::vector<TilePowerInput> &tiles,
+                        DvfsHardware hardware, int island_count) const
+{
+    PowerBreakdown breakdown;
+    for (const TilePowerInput &tile : tiles)
+        breakdown.tilesMw += tilePowerMw(tile.level, tile.activity);
+    breakdown.dvfsOverheadMw =
+        dvfsOverheadMw(hardware, static_cast<int>(tiles.size()),
+                       island_count);
+    breakdown.sramMw = cfg.sramMw;
+    breakdown.totalMw = breakdown.tilesMw + breakdown.dvfsOverheadMw +
+                        breakdown.sramMw;
+    return breakdown;
+}
+
+double
+PowerModel::energyUj(double power_mw, double base_cycles) const
+{
+    // mW * cycles / MHz = mW * us = nJ; divide by 1000 for uJ.
+    const double exec_us = base_cycles / cfg.nominalFreqMhz;
+    return power_mw * exec_us / 1000.0;
+}
+
+} // namespace iced

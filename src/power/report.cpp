@@ -1,0 +1,71 @@
+#include "power/report.hpp"
+
+#include "mapper/per_tile_dvfs.hpp"
+#include "mapper/power_gating.hpp"
+
+namespace iced {
+
+namespace {
+
+std::vector<TilePowerInput>
+toPowerInputs(const FabricStats &stats)
+{
+    std::vector<TilePowerInput> inputs;
+    inputs.reserve(stats.tiles.size());
+    for (const TileActivity &tile : stats.tiles)
+        inputs.push_back(TilePowerInput{tile.level, tile.utilization});
+    return inputs;
+}
+
+KernelEvaluation
+assemble(std::string design, const Mapping &mapping,
+         const std::vector<DvfsLevel> &levels, UtilSemantics semantics,
+         DvfsHardware hardware, const PowerModel &model)
+{
+    KernelEvaluation eval;
+    eval.design = std::move(design);
+    eval.ii = mapping.ii();
+    eval.hardware = hardware;
+    eval.stats = computeFabricStats(mapping, levels, semantics);
+    eval.power = model.fabricPower(toPowerInputs(eval.stats), hardware,
+                                   mapping.cgra().islandCount());
+    return eval;
+}
+
+} // namespace
+
+KernelEvaluation
+evaluateBaseline(const Mapping &conventional, const PowerModel &model)
+{
+    return assemble("baseline", conventional, conventional.tileLevels(),
+                    UtilSemantics::Aligned, DvfsHardware::None, model);
+}
+
+KernelEvaluation
+evaluateBaselinePg(const Mapping &conventional, const PowerModel &model)
+{
+    return assemble("baseline+pg", conventional,
+                    perTileGating(conventional), UtilSemantics::Aligned,
+                    DvfsHardware::None, model);
+}
+
+KernelEvaluation
+evaluatePerTileDvfs(const Mapping &conventional, const PowerModel &model)
+{
+    const PerTileDvfsResult pass = applyPerTileDvfs(conventional);
+    return assemble("per-tile dvfs+pg", conventional, pass.tileLevels,
+                    UtilSemantics::Elastic, DvfsHardware::PerTile,
+                    model);
+}
+
+KernelEvaluation
+evaluateIced(const Mapping &iced, const PowerModel &model)
+{
+    Mapping gated = iced;
+    gateUnusedIslands(gated);
+    return assemble("iced", gated, gated.tileLevels(),
+                    UtilSemantics::Aligned, DvfsHardware::PerIsland,
+                    model);
+}
+
+} // namespace iced

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Evaluation glue: turns mappings into the per-design metrics the
+ * paper reports (utilization, average DVFS level, power), for the four
+ * evaluated designs of Figures 9-11:
+ *
+ *  - Baseline: conventional mapping, no DVFS hardware, nothing gated;
+ *  - Baseline + power gating: conventional mapping, unused tiles
+ *    gated (header cells only, no controllers);
+ *  - Per-tile DVFS + power gating: conventional mapping + the
+ *    UE-CGRA-style per-tile pass, 36 controllers;
+ *  - ICED: DVFS-aware island mapping, unused islands gated,
+ *    9 controllers.
+ */
+#ifndef ICED_POWER_REPORT_HPP
+#define ICED_POWER_REPORT_HPP
+
+#include <string>
+
+#include "mapper/mapping.hpp"
+#include "power/power_model.hpp"
+#include "sim/activity.hpp"
+
+namespace iced {
+
+/** Everything the paper's per-kernel bars are made of. */
+struct KernelEvaluation
+{
+    std::string design;
+    int ii = 0;
+    DvfsHardware hardware = DvfsHardware::None;
+    FabricStats stats;
+    PowerBreakdown power;
+};
+
+/** Conventional mapping on a conventional CGRA. */
+KernelEvaluation evaluateBaseline(const Mapping &conventional,
+                                  const PowerModel &model);
+
+/** Conventional mapping with unused tiles power-gated. */
+KernelEvaluation evaluateBaselinePg(const Mapping &conventional,
+                                    const PowerModel &model);
+
+/** Conventional mapping + per-tile DVFS post-pass (+ gating). */
+KernelEvaluation evaluatePerTileDvfs(const Mapping &conventional,
+                                     const PowerModel &model);
+
+/**
+ * ICED island mapping; unused islands are gated on a copy, the input
+ * mapping is not modified.
+ */
+KernelEvaluation evaluateIced(const Mapping &iced,
+                              const PowerModel &model);
+
+} // namespace iced
+
+#endif // ICED_POWER_REPORT_HPP

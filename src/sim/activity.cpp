@@ -1,0 +1,91 @@
+#include "sim/activity.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+FabricStats
+computeFabricStats(const Mapping &mapping,
+                   const std::vector<DvfsLevel> &tile_levels,
+                   UtilSemantics semantics)
+{
+    const Cgra &cgra = mapping.cgra();
+    const Mrrg &mrrg = mapping.mrrg();
+    const int ii = mapping.ii();
+    panicIfNot(static_cast<int>(tile_levels.size()) == cgra.tileCount(),
+               "computeFabricStats: level vector size mismatch");
+
+    FabricStats stats;
+    stats.tiles.reserve(static_cast<std::size_t>(cgra.tileCount()));
+
+    double util_sum = 0.0;
+    int util_count = 0;
+    double level_sum = 0.0;
+
+    for (TileId tile = 0; tile < cgra.tileCount(); ++tile) {
+        TileActivity act;
+        act.tile = tile;
+        act.level = tile_levels[tile];
+        level_sum += levelFraction(act.level);
+
+        auto busy_at = [&](int c) {
+            if (mrrg.fuOwner(tile, c) != -1 || mrrg.regUse(tile, c) > 0)
+                return true;
+            for (int d = 0; d < dirCount; ++d)
+                if (mrrg.portOwner(tile, static_cast<Dir>(d), c) != -1)
+                    return true;
+            return false;
+        };
+        for (int c = 0; c < ii; ++c)
+            if (busy_at(c))
+                ++act.activeBaseCycles;
+
+        if (act.level == DvfsLevel::PowerGated) {
+            panicIfNot(act.activeBaseCycles == 0,
+                       "power-gated tile ", tile, " has activity");
+            ++stats.gatedTiles;
+            stats.tiles.push_back(act);
+            continue;
+        }
+
+        const int s = slowdown(act.level);
+        act.localCycles = std::max(1, ii / s);
+        if (semantics == UtilSemantics::Aligned) {
+            // A local cycle is busy when any base cycle of its aligned
+            // window is busy. For tiles whose slowdown does not divide
+            // the II this degenerates gracefully to base granularity.
+            if (ii % s == 0) {
+                for (int w = 0; w < ii / s; ++w) {
+                    bool busy = false;
+                    for (int k = 0; k < s; ++k)
+                        busy = busy || busy_at(w * s + k);
+                    if (busy)
+                        ++act.activeLocalCycles;
+                }
+            } else {
+                act.activeLocalCycles =
+                    std::min(act.activeBaseCycles, act.localCycles);
+            }
+        } else {
+            act.activeLocalCycles =
+                std::min(act.activeBaseCycles, act.localCycles);
+        }
+        act.utilization = static_cast<double>(act.activeLocalCycles) /
+                          act.localCycles;
+
+        if (act.activeBaseCycles > 0)
+            ++stats.usedTiles;
+        util_sum += act.utilization;
+        ++util_count;
+        stats.tiles.push_back(act);
+    }
+
+    stats.avgUtilization =
+        util_count > 0 ? util_sum / util_count : 0.0;
+    stats.avgDvfsFraction = level_sum / cgra.tileCount();
+    return stats;
+}
+
+} // namespace iced

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-tile activity and fabric-level statistics of a mapping.
+ *
+ * These implement the paper's evaluation metrics:
+ *  - tile utilization "computed at each island according to its
+ *    frequency" (Fig. 2/9): busy local cycles over II/s local cycles;
+ *  - average DVFS level (Fig. 10/12): normal = 100%, relax = 50%,
+ *    rest = 25%, power-gated = 0%, averaged over all tiles;
+ *  - average utilization (Fig. 9) excludes power-gated tiles (gating
+ *    shows up in the DVFS-level metric instead).
+ */
+#ifndef ICED_SIM_ACTIVITY_HPP
+#define ICED_SIM_ACTIVITY_HPP
+
+#include <vector>
+
+#include "mapper/mapping.hpp"
+
+namespace iced {
+
+/**
+ * How busy local cycles are counted.
+ *
+ * Aligned: ICED island mappings occupy aligned slowdown-wide windows;
+ * a local cycle is busy when any base cycle of its window is.
+ * Elastic: per-tile DVFS levels derived post hoc (UE-CGRA style)
+ * compress each active base cycle into one local cycle.
+ */
+enum class UtilSemantics { Aligned, Elastic };
+
+/** Activity of one tile under a given DVFS level. */
+struct TileActivity
+{
+    TileId tile = -1;
+    DvfsLevel level = DvfsLevel::Normal;
+    /** Base cycles (mod II) with any FU/port/register activity. */
+    int activeBaseCycles = 0;
+    /** Busy local cycles after slowdown scaling. */
+    int activeLocalCycles = 0;
+    /** Local cycles per II (= II / slowdown). */
+    int localCycles = 0;
+    /** activeLocalCycles / localCycles (0 for gated tiles). */
+    double utilization = 0.0;
+};
+
+/** Fabric-level rollup. */
+struct FabricStats
+{
+    std::vector<TileActivity> tiles;
+    /** Mean utilization over non-gated tiles (paper Fig. 9). */
+    double avgUtilization = 0.0;
+    /** Mean DVFS level fraction over all tiles (paper Fig. 10/12). */
+    double avgDvfsFraction = 0.0;
+    int usedTiles = 0;
+    int gatedTiles = 0;
+};
+
+/**
+ * Compute activity statistics for `mapping` under per-tile levels
+ * `tile_levels` (use mapping.tileLevels() for island-based levels, or
+ * the per-tile DVFS pass result for the per-tile baseline).
+ */
+FabricStats computeFabricStats(const Mapping &mapping,
+                               const std::vector<DvfsLevel> &tile_levels,
+                               UtilSemantics semantics);
+
+} // namespace iced
+
+#endif // ICED_SIM_ACTIVITY_HPP

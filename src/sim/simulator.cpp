@@ -1,0 +1,191 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+namespace {
+
+/** One node firing: iteration `iter` of node `node` at `time`. */
+struct Firing
+{
+    int time;
+    int topo; // topological position, for deterministic tie-breaks
+    NodeId node;
+    int iter;
+};
+
+} // namespace
+
+SimResult
+simulate(const Mapping &mapping,
+         const std::vector<std::int64_t> &memory_image,
+         const SimOptions &options)
+{
+    const Dfg &dfg = mapping.dfg();
+    const Cgra &cgra = mapping.cgra();
+    const int ii = mapping.ii();
+    const int n_iter = options.iterations;
+    fatalIf(n_iter < 0, "simulate: negative iteration count");
+
+    Spm spm(cgra.config().spmBytes, cgra.config().spmBanks);
+    spm.loadImage(memory_image);
+
+    SimResult result;
+    result.iterations = n_iter;
+    result.tileBusyCycles.assign(
+        static_cast<std::size_t>(cgra.tileCount()), 0);
+    if (n_iter == 0) {
+        result.memory = spm.image();
+        return result;
+    }
+
+    const auto order = dfg.topologicalOrder();
+    std::vector<int> topo_pos(static_cast<std::size_t>(dfg.nodeCount()));
+    for (std::size_t i = 0; i < order.size(); ++i)
+        topo_pos[order[i]] = static_cast<int>(i);
+
+    auto tile_slowdown = [&](TileId tile) {
+        const DvfsLevel level = mapping.tileLevel(tile);
+        return level == DvfsLevel::PowerGated ? 1 : slowdown(level);
+    };
+
+    // Enumerate all firings in execution order.
+    std::vector<Firing> firings;
+    firings.reserve(static_cast<std::size_t>(dfg.nodeCount()) * n_iter);
+    for (const DfgNode &node : dfg.nodes()) {
+        if (node.op == Opcode::Const)
+            continue;
+        const Placement &p = mapping.placement(node.id);
+        panicIfNot(p.valid(), "simulate: unplaced node ", node.name);
+        for (int i = 0; i < n_iter; ++i)
+            firings.push_back(
+                Firing{p.time + i * ii, topo_pos[node.id], node.id, i});
+    }
+    std::sort(firings.begin(), firings.end(),
+              [](const Firing &a, const Firing &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.topo < b.topo;
+              });
+
+    // Value table: val[node][iter].
+    std::vector<std::vector<std::int64_t>> val(
+        static_cast<std::size_t>(dfg.nodeCount()));
+    for (auto &v : val)
+        v.assign(static_cast<std::size_t>(n_iter), 0);
+
+    // SPM accesses per (base cycle, bank) for conflict accounting.
+    std::map<std::pair<int, int>, int> bank_access;
+
+    long last_event_end = 0;
+
+    // Per-tile busy bitmap over the dynamic horizon.
+    const long horizon =
+        static_cast<long>(mapping.scheduleSpan()) +
+        static_cast<long>(n_iter + 1) * ii + 8;
+    std::vector<std::vector<bool>> busy(
+        static_cast<std::size_t>(cgra.tileCount()),
+        std::vector<bool>(static_cast<std::size_t>(horizon), false));
+    auto mark_busy = [&](TileId tile, long from, long len) {
+        for (long t = from; t < from + len && t < horizon; ++t)
+            if (t >= 0)
+                busy[tile][static_cast<std::size_t>(t)] = true;
+    };
+
+    auto resolve_operand = [&](const DfgEdge &e,
+                               int iter) -> std::int64_t {
+        if (dfg.node(e.src).op == Opcode::Const)
+            return dfg.node(e.src).imm;
+        if (iter < e.distance)
+            return e.initValue;
+        return val[e.src][iter - e.distance];
+    };
+
+    for (const Firing &f : firings) {
+        const DfgNode &node = dfg.node(f.node);
+        const Placement &p = mapping.placement(f.node);
+        const int s = tile_slowdown(p.tile);
+
+        std::array<std::int64_t, 3> ops{0, 0, 0};
+        const DfgEdge *carried = nullptr;
+        for (EdgeId eid : dfg.inEdges(f.node)) {
+            const DfgEdge &e = dfg.edge(eid);
+            if (e.isOrdering())
+                continue;
+            ops[e.operandIndex] = resolve_operand(e, f.iter);
+            if (e.operandIndex == 1)
+                carried = &e;
+        }
+
+        std::int64_t out = 0;
+        switch (node.op) {
+          case Opcode::Phi:
+            panicIfNot(carried != nullptr, "phi without operand 1");
+            out = f.iter < carried->distance ? ops[0] : ops[1];
+            break;
+          case Opcode::Load: {
+            const std::int64_t addr = ops[0] + node.imm;
+            out = spm.read(addr);
+            ++bank_access[{f.time, spm.bankOf(addr)}];
+            break;
+          }
+          case Opcode::Store: {
+            const std::int64_t addr = ops[0] + node.imm;
+            spm.write(addr, ops[1]);
+            out = ops[1];
+            ++bank_access[{f.time, spm.bankOf(addr)}];
+            break;
+          }
+          default:
+            out = evalAlu(node.op, ops.data(),
+                          static_cast<int>(ops.size()), node.imm);
+            break;
+        }
+        val[f.node][f.iter] = out;
+        mark_busy(p.tile, f.time, s);
+        last_event_end = std::max(last_event_end,
+                                  static_cast<long>(f.time) + s);
+    }
+
+    // Route activity: every edge token per iteration replays its steps.
+    for (const DfgEdge &e : dfg.edges()) {
+        if (dfg.node(e.src).op == Opcode::Const)
+            continue;
+        const Route &route = mapping.route(e.id);
+        for (int i = 0; i < n_iter; ++i) {
+            for (const RouteStep &step : route.steps) {
+                mark_busy(step.tile,
+                          static_cast<long>(step.start) + i * ii,
+                          step.duration);
+                last_event_end = std::max(
+                    last_event_end, static_cast<long>(step.start) +
+                                        i * ii + step.duration);
+            }
+        }
+    }
+
+    for (TileId tile = 0; tile < cgra.tileCount(); ++tile)
+        result.tileBusyCycles[tile] = static_cast<long>(
+            std::count(busy[tile].begin(), busy[tile].end(), true));
+
+    for (const auto &[key, count] : bank_access)
+        if (count > 1)
+            ++result.bankConflictCycles;
+
+    // Assemble outputs in interpreter order.
+    for (int i = 0; i < n_iter; ++i)
+        for (NodeId node : order)
+            if (dfg.node(node).op == Opcode::Output)
+                result.outputs.push_back(val[node][i]);
+
+    result.memory = spm.image();
+    result.execCycles = last_event_end;
+    return result;
+}
+
+} // namespace iced

@@ -1,0 +1,67 @@
+#include "streaming/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iced {
+
+namespace {
+
+/** Standard-normal draw (Box-Muller). */
+double
+gaussian(Rng &rng)
+{
+    const double u1 = std::max(rng.uniformReal(), 1e-12);
+    const double u2 = rng.uniformReal();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace
+
+std::vector<GraphSample>
+makeEnzymeStream(Rng &rng, int count)
+{
+    std::vector<GraphSample> graphs;
+    graphs.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        GraphSample g;
+        // ENZYMES graphs have ~2..125 nodes, mean ~33.
+        g.nodes = static_cast<int>(rng.uniformInt(8, 125));
+        // Published degree statistics: 2..126, mean 32.6, long tail.
+        // Modeled log-normally; the degree/feature-width ratio is what
+        // moves the bottleneck between the sparse aggregation and the
+        // dense combination stages.
+        const double degree = std::clamp(
+            std::exp(std::log(30.0) + 0.55 * gaussian(rng)), 2.0,
+            126.0);
+        const long max_edges =
+            static_cast<long>(g.nodes) * (g.nodes - 1) / 2;
+        g.edges = std::clamp<long>(
+            static_cast<long>(g.nodes * degree / 2.0), g.nodes - 1,
+            max_edges);
+        graphs.push_back(g);
+    }
+    return graphs;
+}
+
+std::vector<MatrixSample>
+makeSparseMatrixStream(Rng &rng, int count)
+{
+    std::vector<MatrixSample> mats;
+    mats.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        MatrixSample m;
+        m.n = static_cast<int>(rng.uniformInt(16, 100));
+        const double density = rng.chance(0.25)
+                                   ? rng.uniformReal(0.2, 0.5)
+                                   : rng.uniformReal(0.02, 0.12);
+        const long cells = static_cast<long>(m.n) * m.n;
+        m.nnz = std::clamp<long>(static_cast<long>(density * cells),
+                                 m.n, cells);
+        mats.push_back(m);
+    }
+    return mats;
+}
+
+} // namespace iced

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic input-stream generators for the streaming applications.
+ *
+ * The paper drives GCN inference with the ENZYMES protein-graph
+ * dataset (600 graphs, node degrees 2..126, mean 32.6; 150 used for
+ * inference) and LU decomposition with University of Florida sparse
+ * matrices up to 100x100. Neither dataset ships here, so deterministic
+ * generators reproduce the published statistics - the streaming
+ * experiment only depends on how instance size/density modulates
+ * per-stage work.
+ */
+#ifndef ICED_STREAMING_DATASETS_HPP
+#define ICED_STREAMING_DATASETS_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iced {
+
+/** One ENZYMES-like protein graph. */
+struct GraphSample
+{
+    int nodes = 0;
+    long edges = 0;
+};
+
+/**
+ * Generate `count` graphs with ENZYMES-like statistics: 2..126 node
+ * degrees with a long-tailed distribution around a mean of ~32.6.
+ */
+std::vector<GraphSample> makeEnzymeStream(Rng &rng, int count);
+
+/** One UFl-like sparse matrix. */
+struct MatrixSample
+{
+    int n = 0;
+    long nnz = 0;
+};
+
+/** Generate `count` sparse matrices (n <= 100, varying density). */
+std::vector<MatrixSample> makeSparseMatrixStream(Rng &rng, int count);
+
+} // namespace iced
+
+#endif // ICED_STREAMING_DATASETS_HPP

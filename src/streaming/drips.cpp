@@ -1,0 +1,58 @@
+#include "streaming/drips.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+DripsScheduler::DripsScheduler(Partitioner &partitioner,
+                               PartitionPlan plan)
+    : source(&partitioner), current(std::move(plan))
+{
+}
+
+bool
+DripsScheduler::rebalance(const std::vector<double> &stage_busy)
+{
+    panicIfNot(stage_busy.size() == current.stages.size(),
+               "rebalance: stage count mismatch");
+    const int n = static_cast<int>(current.stages.size());
+
+    int bottleneck = 0;
+    int most_idle = 0;
+    for (int s = 1; s < n; ++s) {
+        if (stage_busy[s] > stage_busy[bottleneck])
+            bottleneck = s;
+        if (stage_busy[s] < stage_busy[most_idle])
+            most_idle = s;
+    }
+    if (bottleneck == most_idle)
+        return false;
+
+    StagePlan &hot = current.stages[bottleneck];
+    StagePlan &cold = current.stages[most_idle];
+
+    // Does the bottleneck improve with one more island, and can the
+    // idle stage give one up?
+    const auto grown = source->candidate(hot.kernelName,
+                                         hot.islands + 1);
+    if (!grown || grown->ii >= hot.ii)
+        return false;
+    if (cold.islands <= 1)
+        return false;
+    const auto shrunk = source->candidate(cold.kernelName,
+                                          cold.islands - 1);
+    if (!shrunk)
+        return false;
+
+    hot.islands = grown->islands;
+    hot.ii = grown->ii;
+    hot.stats = grown->stats;
+    cold.islands = shrunk->islands;
+    cold.ii = shrunk->ii;
+    cold.stats = shrunk->stats;
+    return true;
+}
+
+} // namespace iced

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DRIPS baseline: dynamic rebalancing of pipelined streaming
+ * applications (Tan et al., HPCA 2022), re-implemented on this
+ * substrate as the paper's comparison point for Figure 13.
+ *
+ * DRIPS monitors per-kernel execution time and, at each window
+ * boundary, reshapes the partition: it moves an island from the stage
+ * with the most slack to the bottleneck stage (when a pre-compiled
+ * mapping with more islands actually improves the bottleneck's II).
+ * DRIPS optimizes throughput and runs everything at nominal V/f; it
+ * has no DVFS hardware.
+ */
+#ifndef ICED_STREAMING_DRIPS_HPP
+#define ICED_STREAMING_DRIPS_HPP
+
+#include "streaming/partitioner.hpp"
+
+namespace iced {
+
+/** Windowed dynamic repartitioning controller. */
+class DripsScheduler
+{
+  public:
+    /**
+     * @param partitioner source of the pre-compiled (kernel, islands)
+     *        candidate table.
+     * @param plan initial allocation (shared with ICED for fairness).
+     */
+    DripsScheduler(Partitioner &partitioner, PartitionPlan plan);
+
+    /** Current allocation. */
+    const PartitionPlan &plan() const { return current; }
+
+    /**
+     * Window boundary: given accumulated per-stage busy cycles,
+     * possibly move one island from the most-idle stage to the
+     * bottleneck. @return true when the partition changed.
+     */
+    bool rebalance(const std::vector<double> &stage_busy);
+
+  private:
+    Partitioner *source;
+    PartitionPlan current;
+};
+
+} // namespace iced
+
+#endif // ICED_STREAMING_DRIPS_HPP

@@ -1,0 +1,80 @@
+#include "streaming/dvfs_controller.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+DvfsController::DvfsController(int stages, int window)
+    : windowSize(window),
+      exeTable(static_cast<std::size_t>(stages), 0.0),
+      levels(static_cast<std::size_t>(stages), DvfsLevel::Normal)
+{
+    fatalIf(stages < 1, "DvfsController needs at least one stage");
+    fatalIf(window < 1, "DvfsController window must be positive");
+}
+
+DvfsLevel
+DvfsController::level(int stage) const
+{
+    panicIfNot(stage >= 0 &&
+                   stage < static_cast<int>(levels.size()),
+               "bad stage index ", stage);
+    return levels[stage];
+}
+
+void
+DvfsController::recordCompletion(int stage, double busy_cycles)
+{
+    panicIfNot(stage >= 0 &&
+                   stage < static_cast<int>(exeTable.size()),
+               "bad stage index ", stage);
+    exeTable[stage] += busy_cycles;
+}
+
+bool
+DvfsController::inputConsumed()
+{
+    if (++inputsInWindow < windowSize)
+        return false;
+    adjust();
+    inputsInWindow = 0;
+    std::fill(exeTable.begin(), exeTable.end(), 0.0);
+    return true;
+}
+
+void
+DvfsController::adjust()
+{
+    const auto bottleneck = static_cast<int>(
+        std::max_element(exeTable.begin(), exeTable.end()) -
+        exeTable.begin());
+    const double bottleneck_time = exeTable[bottleneck];
+
+    for (int s = 0; s < static_cast<int>(levels.size()); ++s) {
+        if (s == bottleneck) {
+            // The throughput-limiting kernel must never wait on its
+            // own clock: jump straight back to nominal.
+            levels[s] = DvfsLevel::Normal;
+            continue;
+        }
+        // Lower one level only "if possible" (paper III-B): the
+        // projected slowed time must keep headroom below the current
+        // bottleneck, otherwise this stage would simply become the
+        // next bottleneck and stall the pipeline.
+        const double cur_slow = slowdown(levels[s]);
+        const DvfsLevel lower = lowerLevel(levels[s]);
+        const double low_time =
+            exeTable[s] * slowdown(lower) / cur_slow;
+        if (lower != levels[s] &&
+            low_time * headroom <= bottleneck_time) {
+            levels[s] = lower;
+        } else if (exeTable[s] * headroom > bottleneck_time) {
+            // Close to the bottleneck at the current level: back off.
+            levels[s] = raiseLevel(levels[s]);
+        }
+    }
+}
+
+} // namespace iced

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Runtime DVFS Controller for streaming applications (paper III-B).
+ *
+ * The hardware controller maintains an exeTable (accumulated execution
+ * time per kernel, updated by termination signals) and a mapTable
+ * (which islands belong to which kernel). Every 10-input window it
+ * identifies the bottleneck kernel, raises its islands one level (if
+ * possible), and lowers the levels of all non-bottleneck kernels one
+ * level - the mechanism that converts input-dependent slack into
+ * energy savings.
+ */
+#ifndef ICED_STREAMING_DVFS_CONTROLLER_HPP
+#define ICED_STREAMING_DVFS_CONTROLLER_HPP
+
+#include <vector>
+
+#include "arch/dvfs.hpp"
+
+namespace iced {
+
+/** Windowed bottleneck-driven per-stage DVFS (the exeTable logic). */
+class DvfsController
+{
+  public:
+    /**
+     * @param stages number of pipeline stages (mapTable entries).
+     * @param window inputs per adjustment window (paper: 10).
+     */
+    explicit DvfsController(int stages, int window = 10);
+
+    /** Current level of a stage's islands. */
+    DvfsLevel level(int stage) const;
+
+    /** Termination signal: `busy_cycles` of work finished for one
+     *  input on `stage` (updates the exeTable). */
+    void recordCompletion(int stage, double busy_cycles);
+
+    /**
+     * Call once per consumed input. Every `window` inputs the levels
+     * are adjusted from the exeTable and the table is cleared.
+     * @return true when an adjustment was triggered.
+     */
+    bool inputConsumed();
+
+    int window() const { return windowSize; }
+
+  private:
+    void adjust();
+
+    /** Safety factor keeping slowed stages clear of the bottleneck;
+     *  generous because per-window averages must absorb per-input
+     *  variance (dense-graph bursts). */
+    static constexpr double headroom = 1.35;
+
+    int windowSize;
+    int inputsInWindow = 0;
+    std::vector<double> exeTable;
+    std::vector<DvfsLevel> levels;
+};
+
+} // namespace iced
+
+#endif // ICED_STREAMING_DVFS_CONTROLLER_HPP

@@ -1,0 +1,152 @@
+#include "streaming/partitioner.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "mapper/power_gating.hpp"
+
+namespace iced {
+
+Partitioner::Partitioner(const Cgra &fabric, MapperOptions options)
+    : fullFabric(&fabric), opts(options)
+{
+}
+
+std::optional<StageCandidate>
+Partitioner::candidate(const std::string &kernel_name, int islands,
+                       bool dvfs_aware)
+{
+    const auto key = std::make_tuple(kernel_name, islands, dvfs_aware);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const CgraConfig &full = fullFabric->config();
+    // Island strip: k islands side by side; the strip's leftmost
+    // column keeps the SPM connectivity.
+    CgraConfig strip = full;
+    strip.rows = full.islandRows;
+    strip.cols = full.islandCols * islands;
+    Cgra strip_cgra(strip);
+
+    std::optional<StageCandidate> result;
+    const Kernel &kernel = findKernel(kernel_name);
+    Dfg dfg = kernel.build(1);
+    MapperOptions stage_opts = opts;
+    // ICED stage compilation allocates tiles at normal or relax only
+    // (paper IV-B); the runtime controller lowers whole stages further
+    // in a synchronized manner. The DRIPS/baseline table is plain
+    // conventional mapping.
+    stage_opts.dvfsAware = dvfs_aware;
+    stage_opts.labeling.lowestLabel = DvfsLevel::Relax;
+    // The strip's islands already belong to this stage, so spreading
+    // onto a relax island costs nothing extra (unlike whole-fabric
+    // mapping, where waking an island forfeits gating it).
+    stage_opts.newIslandCost = 0.5;
+    stage_opts.levelMismatchCost = 3.0;
+    if (auto mapping = Mapper(strip_cgra, stage_opts).tryMap(dfg)) {
+        StageCandidate cand;
+        cand.islands = islands;
+        cand.ii = mapping->ii();
+        cand.stats = computeFabricStats(*mapping, mapping->tileLevels(),
+                                        UtilSemantics::Aligned);
+        result = cand;
+    }
+    cache.emplace(key, result);
+    return result;
+}
+
+PartitionPlan
+Partitioner::plan(const AppDef &app, int profile_inputs,
+                  bool dvfs_aware)
+{
+    fatalIf(app.stages.empty(), "plan: app has no stages");
+    const int total_islands = fullFabric->islandCount();
+    const int n_stages = static_cast<int>(app.stages.size());
+    fatalIf(n_stages > total_islands,
+            "app '", app.name, "' has ", n_stages,
+            " stages but the fabric only has ", total_islands,
+            " islands; merge kernels first (pipeline adjustment)");
+
+    // Average profiled work per stage.
+    std::vector<double> avg_work(static_cast<std::size_t>(n_stages),
+                                 0.0);
+    const int profiled = std::min<int>(
+        profile_inputs, static_cast<int>(app.work.size()));
+    fatalIf(profiled == 0, "plan: no inputs to profile");
+    for (int i = 0; i < profiled; ++i)
+        for (int s = 0; s < n_stages; ++s)
+            avg_work[s] += static_cast<double>(app.work[i][s]);
+    for (double &w : avg_work)
+        w /= profiled;
+
+    // Start from the smallest feasible island count per stage.
+    PartitionPlan plan;
+    plan.totalIslands = total_islands;
+    std::vector<int> alloc(static_cast<std::size_t>(n_stages), 0);
+    int used = 0;
+    for (int s = 0; s < n_stages; ++s) {
+        for (int k = 1; k <= total_islands; ++k) {
+            if (candidate(app.stages[s].kernelName, k, dvfs_aware)) {
+                alloc[s] = k;
+                used += k;
+                break;
+            }
+        }
+        fatalIf(alloc[s] == 0, "stage '", app.stages[s].label,
+                "' does not fit on the fabric at any island count");
+    }
+    fatalIf(used > total_islands,
+            "app '", app.name, "' needs ", used,
+            " islands at minimum but only ", total_islands, " exist");
+
+    auto stage_time = [&](int s) {
+        const auto cand = candidate(app.stages[s].kernelName, alloc[s],
+                                    dvfs_aware);
+        return avg_work[s] * cand->ii;
+    };
+
+    // Greedy: hand each remaining island to the stage that currently
+    // bounds throughput, if one more island actually lowers its II.
+    while (used < total_islands) {
+        std::vector<int> order(static_cast<std::size_t>(n_stages));
+        for (int s = 0; s < n_stages; ++s)
+            order[s] = s;
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            return stage_time(a) > stage_time(b);
+        });
+        bool granted = false;
+        for (int s : order) {
+            const auto cur = candidate(app.stages[s].kernelName,
+                                       alloc[s], dvfs_aware);
+            const auto next = candidate(app.stages[s].kernelName,
+                                        alloc[s] + 1, dvfs_aware);
+            if (next && next->ii < cur->ii) {
+                ++alloc[s];
+                ++used;
+                granted = true;
+                break;
+            }
+        }
+        if (!granted)
+            break; // nobody benefits; leave the rest power-gated
+    }
+
+    for (int s = 0; s < n_stages; ++s) {
+        const auto cand = candidate(app.stages[s].kernelName, alloc[s],
+                                    dvfs_aware);
+        StagePlan sp;
+        sp.label = app.stages[s].label;
+        sp.kernelName = app.stages[s].kernelName;
+        sp.islands = alloc[s];
+        sp.ii = cand->ii;
+        sp.stats = cand->stats;
+        sp.tilesPerIsland = fullFabric->config().islandRows *
+                            fullFabric->config().islandCols;
+        plan.stages.push_back(std::move(sp));
+    }
+    plan.usedIslands = used;
+    return plan;
+}
+
+} // namespace iced

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CGRA partitioning for streaming applications (paper IV-B).
+ *
+ * Each pipeline stage occupies a whole number of DVFS islands. The
+ * partitioner maps every stage kernel onto island strips of every
+ * candidate size (this is the paper's offline exhaustive evaluation),
+ * profiles the average per-stage work over the first inputs, and then
+ * assigns the fabric's islands so the bottleneck stage time is
+ * minimized.
+ */
+#ifndef ICED_STREAMING_PARTITIONER_HPP
+#define ICED_STREAMING_PARTITIONER_HPP
+
+#include <map>
+#include <optional>
+
+#include "mapper/mapper.hpp"
+#include "sim/activity.hpp"
+#include "streaming/pipeline.hpp"
+
+namespace iced {
+
+/** Candidate mapping of one kernel on k islands. */
+struct StageCandidate
+{
+    int islands = 0;
+    int ii = 0;
+    /** Per-tile utilization of the island strip, for the power model. */
+    FabricStats stats;
+};
+
+/** Final allocation for one stage. */
+struct StagePlan
+{
+    std::string label;
+    std::string kernelName;
+    int islands = 0;
+    int ii = 0;
+    FabricStats stats;
+    /** Tiles per island (from the fabric geometry). */
+    int tilesPerIsland = 0;
+};
+
+/** Whole-application allocation. */
+struct PartitionPlan
+{
+    std::vector<StagePlan> stages;
+    int totalIslands = 0;
+    int usedIslands = 0;
+};
+
+/**
+ * Maps stage kernels onto island strips and allocates islands.
+ *
+ * The candidate table (kernel x island count -> II) is also what the
+ * DRIPS baseline uses for its runtime repartitioning.
+ */
+class Partitioner
+{
+  public:
+    /**
+     * @param fabric the full CGRA (its island grid defines the island
+     *        size and total island count).
+     * @param options mapper configuration for the per-stage mappings.
+     */
+    Partitioner(const Cgra &fabric, MapperOptions options = {});
+
+    /**
+     * Candidate for `kernel_name` on `islands` islands; nullopt when
+     * the kernel does not fit. Results are memoized.
+     *
+     * @param dvfs_aware ICED stage compilation: DVFS-aware mapping
+     *        restricted to normal/relax labels (paper IV-B). The
+     *        mapper's strategy ladder guarantees the same II as the
+     *        conventional mapping, so ICED and DRIPS candidates only
+     *        differ in per-tile levels/utilization.
+     */
+    std::optional<StageCandidate> candidate(
+        const std::string &kernel_name, int islands,
+        bool dvfs_aware = false);
+
+    /**
+     * Allocate islands to the app's stages: every stage gets the
+     * smallest feasible count, then remaining islands go greedily to
+     * the current bottleneck (by average profiled work x II).
+     *
+     * @param profile_inputs inputs used to estimate average work.
+     * @param dvfs_aware compile the stages ICED-style (see candidate).
+     */
+    PartitionPlan plan(const AppDef &app, int profile_inputs = 50,
+                       bool dvfs_aware = false);
+
+    const Cgra &fabric() const { return *fullFabric; }
+
+  private:
+    const Cgra *fullFabric;
+    MapperOptions opts;
+    std::map<std::tuple<std::string, int, bool>,
+             std::optional<StageCandidate>>
+        cache;
+};
+
+} // namespace iced
+
+#endif // ICED_STREAMING_PARTITIONER_HPP

@@ -1,0 +1,122 @@
+#include "streaming/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "streaming/datasets.hpp"
+
+namespace iced {
+
+AppDef
+makeGcnApp(Rng &rng, int inputs)
+{
+    AppDef app;
+    app.name = "gcn";
+    app.stages = {
+        {"gcn_compress", "compress"},
+        {"gcn_aggregate", "aggregate#1"},
+        {"gcn_combine", "combine"},
+        {"gcn_aggregate", "aggregate#2"},
+        {"gcn_combrelu", "combrelu"},
+        {"gcn_pooling", "pooling"},
+    };
+    const auto graphs = makeEnzymeStream(rng, inputs);
+    constexpr long features = 16;
+    for (const GraphSample &g : graphs) {
+        // Sparse stages scale with the number of edges (nonzeros);
+        // dense stages scale with nodes x features. This is what makes
+        // the bottleneck input-dependent: dense graphs saturate the
+        // aggregation, sparse graphs saturate the combination.
+        app.work.push_back({
+            g.edges,                // compress: scan adjacency
+            g.edges,                // aggregate layer 1: per edge
+            g.nodes * features,     // combine layer 1: dense
+            g.edges,                // aggregate layer 2
+            g.nodes * features,     // combrelu layer 2: dense
+            static_cast<long>(g.nodes), // pooling: per node
+        });
+    }
+    return app;
+}
+
+AppDef
+makeLuApp(Rng &rng, int inputs)
+{
+    AppDef app;
+    app.name = "lu";
+    app.stages = {
+        {"lu_init", "init"},
+        {"lu_decompose", "decompose"},
+        {"lu_solver0", "solver0"},
+        {"lu_solver1", "solver1"},
+        {"lu_invert", "invert"},
+        {"lu_determinant", "determinant"},
+    };
+    const auto mats = makeSparseMatrixStream(rng, inputs);
+    for (const MatrixSample &m : mats) {
+        const long n = m.n;
+        app.work.push_back({
+            n,        // init: per row
+            m.nnz,    // decompose: per nonzero
+            m.nnz,    // forward substitution: per nonzero of L
+            m.nnz,    // backward substitution: per nonzero of U
+            n * 4,    // invert: per row, few sweeps
+            n,        // determinant: diagonal product
+        });
+    }
+    return app;
+}
+
+AppDef
+adjustPipeline(const AppDef &app, int max_stages)
+{
+    fatalIf(max_stages < 1, "adjustPipeline: need at least one stage");
+    AppDef out = app;
+    while (static_cast<int>(out.stages.size()) > max_stages) {
+        const int n = static_cast<int>(out.stages.size());
+        // Average work per stage, to merge the lightest adjacent pair.
+        std::vector<double> avg(static_cast<std::size_t>(n), 0.0);
+        for (const auto &w : out.work)
+            for (int s = 0; s < n; ++s)
+                avg[s] += static_cast<double>(w[s]);
+        int best = 0;
+        for (int s = 1; s + 1 < n; ++s)
+            if (avg[s] + avg[s + 1] < avg[best] + avg[best + 1])
+                best = s;
+
+        AppDef merged;
+        merged.name = out.name;
+        for (int s = 0; s < n; ++s) {
+            if (s == best) {
+                StageDef combined;
+                // The heavier member defines the mapping kernel; both
+                // sub-kernels time-multiplex its islands at runtime.
+                const bool first_heavier = avg[s] >= avg[s + 1];
+                combined.kernelName =
+                    out.stages[first_heavier ? s : s + 1].kernelName;
+                combined.label = out.stages[s].label + "+" +
+                                 out.stages[s + 1].label;
+                merged.stages.push_back(std::move(combined));
+                ++s; // skip the absorbed stage
+            } else {
+                merged.stages.push_back(out.stages[s]);
+            }
+        }
+        for (const auto &w : out.work) {
+            std::vector<long> row;
+            for (int s = 0; s < n; ++s) {
+                if (s == best) {
+                    row.push_back(w[s] + w[s + 1]);
+                    ++s;
+                } else {
+                    row.push_back(w[s]);
+                }
+            }
+            merged.work.push_back(std::move(row));
+        }
+        out = std::move(merged);
+    }
+    return out;
+}
+
+} // namespace iced

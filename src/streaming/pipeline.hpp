@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Streaming-application definitions: a pipeline of kernels plus, per
+ * input instance, the loop trip count each stage must execute. The
+ * paper evaluates a 2-layer GCN (5 unique kernels, aggregate twice)
+ * on an ENZYMES-like graph stream and an LU-decomposition pipeline
+ * (6 kernels in 4 stages) on a sparse-matrix stream.
+ */
+#ifndef ICED_STREAMING_PIPELINE_HPP
+#define ICED_STREAMING_PIPELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/registry.hpp"
+
+namespace iced {
+
+/** One stage instance of a streaming pipeline. */
+struct StageDef
+{
+    /** Kernel (registry name) this stage runs. */
+    std::string kernelName;
+    /** Display label, e.g. "aggregate#2". */
+    std::string label;
+};
+
+/** A streaming application bound to a concrete input stream. */
+struct AppDef
+{
+    std::string name;
+    std::vector<StageDef> stages;
+    /** work[input][stage] = kernel loop iterations for that input. */
+    std::vector<std::vector<long>> work;
+};
+
+/** 2-layer GCN inference over an ENZYMES-like stream. */
+AppDef makeGcnApp(Rng &rng, int inputs = 150);
+
+/** LU decomposition pipeline over a sparse-matrix stream. */
+AppDef makeLuApp(Rng &rng, int inputs = 150);
+
+/**
+ * Pipeline adjustment (paper IV-B): when an application has more
+ * stages than the fabric has islands (or memory capacity allows),
+ * merge adjacent stages into combined stages whose sub-kernels are
+ * time-multiplexed on the same islands at runtime. Greedily merges
+ * the adjacent pair with the smallest combined average work until at
+ * most `max_stages` remain.
+ *
+ * A merged stage is labeled "a+b"; its kernel is the heavier member
+ * (for mapping/II purposes) and its per-input work is the sum of the
+ * members' work scaled by their II ratio — the time-multiplexed
+ * islands run each sub-kernel's configuration in turn.
+ */
+AppDef adjustPipeline(const AppDef &app, int max_stages);
+
+} // namespace iced
+
+#endif // ICED_STREAMING_PIPELINE_HPP

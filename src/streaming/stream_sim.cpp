@@ -1,0 +1,164 @@
+#include "streaming/stream_sim.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+namespace {
+
+/**
+ * Sum of tile power for one stage's strip when the runtime drives the
+ * stage at `level`. Tiles compiled at relax (ICED stage mappings) sit
+ * one notch below the stage's runtime level; rest is the floor.
+ */
+double
+stagePowerMw(const StagePlan &stage, DvfsLevel level, bool busy,
+             const PowerModel &model)
+{
+    double mw = 0.0;
+    for (const TileActivity &tile : stage.stats.tiles) {
+        if (tile.level == DvfsLevel::PowerGated) {
+            mw += model.tilePowerMw(DvfsLevel::PowerGated, 0.0);
+            continue;
+        }
+        DvfsLevel effective = level;
+        for (DvfsLevel compile = tile.level;
+             compile != DvfsLevel::Normal; compile = raiseLevel(compile))
+            effective = lowerLevel(effective);
+        mw += model.tilePowerMw(effective,
+                                busy ? tile.utilization : 0.0);
+    }
+    return mw;
+}
+
+} // namespace
+
+StreamStats
+simulateStream(const AppDef &app, Partitioner &partitioner,
+               const PartitionPlan &plan, StreamPolicy policy,
+               const PowerModel &model, int window)
+{
+    const int n_stages = static_cast<int>(app.stages.size());
+    const int n_inputs = static_cast<int>(app.work.size());
+    fatalIf(n_inputs == 0, "simulateStream: empty input stream");
+
+    DvfsController controller(n_stages, window);
+    DripsScheduler drips(partitioner, plan);
+    PartitionPlan static_plan = plan;
+
+    auto current_plan = [&]() -> const PartitionPlan & {
+        return policy == StreamPolicy::Drips ? drips.plan()
+                                             : static_plan;
+    };
+    auto stage_level = [&](int s) {
+        return policy == StreamPolicy::IcedDvfs ? controller.level(s)
+                                                : DvfsLevel::Normal;
+    };
+
+    StreamStats stats;
+    std::vector<double> done_prev(static_cast<std::size_t>(n_stages),
+                                  0.0); // completion of input i-1
+    std::vector<double> window_busy(static_cast<std::size_t>(n_stages),
+                                    0.0);
+    double window_start_wall = 0.0;
+    int window_first_input = 0;
+
+    const int total_tiles = partitioner.fabric().tileCount();
+    const int island_tiles = partitioner.fabric().config().islandRows *
+                             partitioner.fabric().config().islandCols;
+
+    auto flush_window = [&](int last_input, double wall_now) {
+        WindowRecord rec;
+        rec.firstInput = window_first_input;
+        rec.lastInput = last_input;
+        rec.wallCycles = std::max(1.0, wall_now - window_start_wall);
+        for (int s = 0; s < n_stages; ++s)
+            rec.stageLevels.push_back(stage_level(s));
+
+        // Energy: per stage, busy at its level for its accumulated
+        // cycles, idle (still clocked) for the remainder.
+        const PartitionPlan &p = current_plan();
+        double energy = 0.0;
+        int used_tiles = 0;
+        for (int s = 0; s < n_stages; ++s) {
+            const DvfsLevel level = stage_level(s);
+            const double busy =
+                std::min(window_busy[s], rec.wallCycles);
+            const double idle = rec.wallCycles - busy;
+            energy += model.energyUj(
+                stagePowerMw(p.stages[s], level, true, model), busy);
+            energy += model.energyUj(
+                stagePowerMw(p.stages[s], level, false, model), idle);
+            used_tiles += p.stages[s].islands * island_tiles;
+        }
+        // Unallocated islands are power-gated.
+        const int gated_tiles = std::max(0, total_tiles - used_tiles);
+        energy += model.energyUj(
+            gated_tiles *
+                model.tilePowerMw(DvfsLevel::PowerGated, 0.0),
+            rec.wallCycles);
+        // SRAM plus the policy's controller overhead.
+        double overhead_mw = model.config().sramMw;
+        if (policy == StreamPolicy::IcedDvfs) {
+            overhead_mw += model.dvfsOverheadMw(
+                DvfsHardware::PerIsland, total_tiles,
+                partitioner.fabric().islandCount());
+        }
+        energy += model.energyUj(overhead_mw, rec.wallCycles);
+
+        rec.energyUj = energy;
+        const int inputs = rec.lastInput - rec.firstInput + 1;
+        rec.inputsPerUj = inputs / energy;
+        stats.windows.push_back(rec);
+        stats.energyUj += energy;
+
+        window_start_wall = wall_now;
+        window_first_input = last_input + 1;
+        std::fill(window_busy.begin(), window_busy.end(), 0.0);
+    };
+
+    for (int i = 0; i < n_inputs; ++i) {
+        double upstream_done = 0.0;
+        for (int s = 0; s < n_stages; ++s) {
+            const PartitionPlan &p = current_plan();
+            const int s_slow =
+                policy == StreamPolicy::IcedDvfs
+                    ? slowdown(stage_level(s))
+                    : 1;
+            const double t = static_cast<double>(app.work[i][s]) *
+                             p.stages[s].ii * s_slow;
+            const double start = std::max(upstream_done, done_prev[s]);
+            const double end = start + t;
+            done_prev[s] = end;
+            upstream_done = end;
+            window_busy[s] += t;
+            controller.recordCompletion(s, t);
+        }
+        const double wall_now = done_prev[n_stages - 1];
+
+        // Window boundary: flush accounting with the levels that were
+        // actually in force, then let the policy adjust for the next
+        // window.
+        const bool boundary = i - window_first_input + 1 >= window;
+        if (boundary) {
+            const std::vector<double> busy_snapshot = window_busy;
+            flush_window(i, wall_now);
+            if (policy == StreamPolicy::Drips)
+                drips.rebalance(busy_snapshot);
+        }
+        controller.inputConsumed();
+    }
+    if (window_first_input < n_inputs)
+        flush_window(n_inputs - 1, done_prev[n_stages - 1]);
+
+    stats.makespanCycles = done_prev[n_stages - 1];
+    stats.avgPowerMw =
+        stats.energyUj /
+        (stats.makespanCycles / model.config().nominalFreqMhz / 1000.0);
+    stats.inputsPerUj = n_inputs / stats.energyUj;
+    return stats;
+}
+
+} // namespace iced

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pipeline-level simulator for streaming applications.
+ *
+ * Stages process inputs in order (stage s starts input i once stage
+ * s-1 finished it and stage s finished input i-1); per-input stage
+ * time is work x II x slowdown(level). Energy integrates the
+ * calibrated power model over busy and idle periods, plus SRAM and
+ * DVFS-controller overheads, per 10-input window - producing exactly
+ * the series behind the paper's Figure 13.
+ */
+#ifndef ICED_STREAMING_STREAM_SIM_HPP
+#define ICED_STREAMING_STREAM_SIM_HPP
+
+#include "power/power_model.hpp"
+#include "streaming/drips.hpp"
+#include "streaming/dvfs_controller.hpp"
+#include "streaming/partitioner.hpp"
+
+namespace iced {
+
+/** Runtime policy of the evaluated design. */
+enum class StreamPolicy {
+    StaticNormal, ///< fixed partition, everything at nominal V/f
+    IcedDvfs,     ///< fixed partition, windowed per-stage DVFS (ICED)
+    Drips,        ///< dynamic repartitioning at nominal V/f (DRIPS)
+};
+
+/** One adjustment window of the run. */
+struct WindowRecord
+{
+    int firstInput = 0;
+    int lastInput = 0;
+    double wallCycles = 0.0;
+    double energyUj = 0.0;
+    /** Inputs per microjoule: the per-window energy-efficiency. */
+    double inputsPerUj = 0.0;
+    std::vector<DvfsLevel> stageLevels;
+};
+
+/** Whole-run statistics. */
+struct StreamStats
+{
+    double makespanCycles = 0.0;
+    double energyUj = 0.0;
+    double avgPowerMw = 0.0;
+    double inputsPerUj = 0.0;
+    std::vector<WindowRecord> windows;
+};
+
+/**
+ * Run `app` under `policy` starting from `plan`.
+ *
+ * @param partitioner supplies repartitioning candidates for Drips.
+ * @param window adjustment interval in inputs (paper: 10).
+ */
+StreamStats simulateStream(const AppDef &app, Partitioner &partitioner,
+                           const PartitionPlan &plan,
+                           StreamPolicy policy, const PowerModel &model,
+                           int window = 10);
+
+} // namespace iced
+
+#endif // ICED_STREAMING_STREAM_SIM_HPP

@@ -1,0 +1,204 @@
+/** @file Unit tests for the CGRA architecture model. */
+#include <gtest/gtest.h>
+
+#include "arch/cgra.hpp"
+#include "arch/spm.hpp"
+#include "common/logging.hpp"
+
+namespace iced {
+namespace {
+
+CgraConfig
+cfg(int rows, int cols, int ir, int ic)
+{
+    CgraConfig c;
+    c.rows = rows;
+    c.cols = cols;
+    c.islandRows = ir;
+    c.islandCols = ic;
+    return c;
+}
+
+TEST(Dvfs, SlowdownLadder)
+{
+    EXPECT_EQ(slowdown(DvfsLevel::Normal), 1);
+    EXPECT_EQ(slowdown(DvfsLevel::Relax), 2);
+    EXPECT_EQ(slowdown(DvfsLevel::Rest), 4);
+    EXPECT_THROW(slowdown(DvfsLevel::PowerGated), PanicError);
+}
+
+TEST(Dvfs, PaperEquationOne)
+{
+    // f_normal = 2 * f_relax = 4 * f_rest.
+    const double fn = operatingPoint(DvfsLevel::Normal).freqMhz;
+    EXPECT_DOUBLE_EQ(fn,
+                     2 * operatingPoint(DvfsLevel::Relax).freqMhz);
+    EXPECT_DOUBLE_EQ(fn,
+                     4 * operatingPoint(DvfsLevel::Rest).freqMhz);
+}
+
+TEST(Dvfs, PublishedOperatingPoints)
+{
+    EXPECT_DOUBLE_EQ(operatingPoint(DvfsLevel::Normal).voltage, 0.7);
+    EXPECT_DOUBLE_EQ(operatingPoint(DvfsLevel::Normal).freqMhz, 434.0);
+    EXPECT_DOUBLE_EQ(operatingPoint(DvfsLevel::Relax).voltage, 0.5);
+    EXPECT_DOUBLE_EQ(operatingPoint(DvfsLevel::Rest).voltage, 0.42);
+}
+
+TEST(Dvfs, LevelFractions)
+{
+    EXPECT_DOUBLE_EQ(levelFraction(DvfsLevel::Normal), 1.0);
+    EXPECT_DOUBLE_EQ(levelFraction(DvfsLevel::Relax), 0.5);
+    EXPECT_DOUBLE_EQ(levelFraction(DvfsLevel::Rest), 0.25);
+    EXPECT_DOUBLE_EQ(levelFraction(DvfsLevel::PowerGated), 0.0);
+}
+
+TEST(Dvfs, RaiseAndLowerSaturate)
+{
+    EXPECT_EQ(lowerLevel(DvfsLevel::Normal), DvfsLevel::Relax);
+    EXPECT_EQ(lowerLevel(DvfsLevel::Relax), DvfsLevel::Rest);
+    EXPECT_EQ(lowerLevel(DvfsLevel::Rest), DvfsLevel::Rest);
+    EXPECT_EQ(raiseLevel(DvfsLevel::Rest), DvfsLevel::Relax);
+    EXPECT_EQ(raiseLevel(DvfsLevel::Normal), DvfsLevel::Normal);
+}
+
+TEST(Dvfs, LevelForSlowdownInvertsSlowdown)
+{
+    for (DvfsLevel l : runLevels)
+        EXPECT_EQ(levelForSlowdown(slowdown(l)), l);
+    EXPECT_THROW(levelForSlowdown(3), PanicError);
+}
+
+TEST(Cgra, GeometryAndIndexing)
+{
+    Cgra cgra(cfg(6, 6, 2, 2));
+    EXPECT_EQ(cgra.tileCount(), 36);
+    EXPECT_EQ(cgra.islandCount(), 9);
+    EXPECT_EQ(cgra.tileAt(2, 3), 15);
+    EXPECT_EQ(cgra.rowOf(15), 2);
+    EXPECT_EQ(cgra.colOf(15), 3);
+    EXPECT_EQ(cgra.describe(), "6x6(2x2)");
+}
+
+TEST(Cgra, NeighborsAndEdges)
+{
+    Cgra cgra(cfg(4, 4, 2, 2));
+    EXPECT_EQ(cgra.neighbor(0, Dir::North), 4);
+    EXPECT_EQ(cgra.neighbor(0, Dir::South), -1);
+    EXPECT_EQ(cgra.neighbor(0, Dir::East), 1);
+    EXPECT_EQ(cgra.neighbor(0, Dir::West), -1);
+    EXPECT_EQ(cgra.neighbor(15, Dir::North), -1);
+    EXPECT_EQ(cgra.neighbor(15, Dir::West), 14);
+}
+
+TEST(Cgra, OppositeDirections)
+{
+    EXPECT_EQ(opposite(Dir::North), Dir::South);
+    EXPECT_EQ(opposite(Dir::East), Dir::West);
+}
+
+TEST(Cgra, IslandsPartitionTheFabric)
+{
+    Cgra cgra(cfg(6, 6, 2, 2));
+    std::vector<int> seen(36, 0);
+    for (IslandId i = 0; i < cgra.islandCount(); ++i) {
+        EXPECT_EQ(cgra.islandTiles(i).size(), 4u);
+        for (TileId t : cgra.islandTiles(i)) {
+            EXPECT_EQ(cgra.islandOf(t), i);
+            ++seen[t];
+        }
+    }
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(Cgra, IrregularIslandsAreClipped)
+{
+    // The paper's note: 3x3 islands on an 8x8 fabric are irregular.
+    Cgra cgra(cfg(8, 8, 3, 3));
+    EXPECT_EQ(cgra.islandCount(), 9);
+    int total = 0;
+    for (IslandId i = 0; i < cgra.islandCount(); ++i)
+        total += static_cast<int>(cgra.islandTiles(i).size());
+    EXPECT_EQ(total, 64);
+    // Corner island is 2x2 after clipping.
+    EXPECT_EQ(cgra.islandTiles(8).size(), 4u);
+}
+
+TEST(Cgra, PerTileIslands)
+{
+    Cgra cgra(cfg(4, 4, 1, 1));
+    EXPECT_EQ(cgra.islandCount(), 16);
+    for (TileId t = 0; t < 16; ++t)
+        EXPECT_EQ(cgra.islandTiles(cgra.islandOf(t)).front(), t);
+}
+
+TEST(Cgra, MemTilesAreLeftColumn)
+{
+    Cgra cgra(cfg(6, 6, 2, 2));
+    EXPECT_EQ(cgra.memTiles().size(), 6u);
+    for (TileId t : cgra.memTiles())
+        EXPECT_EQ(cgra.colOf(t), 0);
+    EXPECT_TRUE(cgra.isMemTile(0));
+    EXPECT_FALSE(cgra.isMemTile(1));
+}
+
+TEST(Cgra, MemEverywhereWhenUnrestricted)
+{
+    CgraConfig c = cfg(4, 4, 2, 2);
+    c.memLeftColumnOnly = false;
+    Cgra cgra(c);
+    EXPECT_EQ(cgra.memTiles().size(), 16u);
+    EXPECT_TRUE(cgra.isMemTile(5));
+}
+
+TEST(Cgra, ManhattanDistance)
+{
+    Cgra cgra(cfg(6, 6, 2, 2));
+    EXPECT_EQ(cgra.distance(0, 0), 0);
+    EXPECT_EQ(cgra.distance(0, 35), 10);
+    EXPECT_EQ(cgra.distance(cgra.tileAt(1, 2), cgra.tileAt(3, 0)), 4);
+}
+
+TEST(Cgra, RejectsBadConfig)
+{
+    EXPECT_THROW(Cgra(cfg(0, 4, 2, 2)), FatalError);
+    EXPECT_THROW(Cgra(cfg(4, 4, 0, 2)), FatalError);
+    CgraConfig c = cfg(4, 4, 2, 2);
+    c.registersPerTile = 0;
+    EXPECT_THROW(Cgra{c}, FatalError);
+}
+
+TEST(Spm, BankInterleaving)
+{
+    Spm spm(1024, 8);
+    EXPECT_EQ(spm.wordCount(), 128);
+    EXPECT_EQ(spm.bankCount(), 8);
+    EXPECT_EQ(spm.bankOf(0), 0);
+    EXPECT_EQ(spm.bankOf(9), 1);
+    EXPECT_EQ(spm.bankOf(15), 7);
+}
+
+TEST(Spm, ReadWriteAndBounds)
+{
+    Spm spm(256, 4);
+    spm.write(3, 99);
+    EXPECT_EQ(spm.read(3), 99);
+    EXPECT_THROW(spm.read(-1), FatalError);
+    EXPECT_THROW(spm.read(32), FatalError);
+    EXPECT_THROW(spm.write(32, 0), FatalError);
+}
+
+TEST(Spm, LoadImageZeroPadsAndChecksCapacity)
+{
+    Spm spm(256, 4); // 32 words
+    spm.write(20, 7);
+    spm.loadImage({1, 2, 3});
+    EXPECT_EQ(spm.read(0), 1);
+    EXPECT_EQ(spm.read(20), 0); // cleared
+    std::vector<std::int64_t> too_big(64, 1);
+    EXPECT_THROW(spm.loadImage(too_big), FatalError);
+}
+
+} // namespace
+} // namespace iced

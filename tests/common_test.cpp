@@ -1,0 +1,191 @@
+/** @file Unit tests for the common substrate. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table_writer.hpp"
+
+namespace iced {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsAssembled)
+{
+    try {
+        fatal("value was ", 7, ", expected ", 9);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value was 7, expected 9");
+    }
+}
+
+TEST(Logging, PanicIfNotPassesWhenTrue)
+{
+    EXPECT_NO_THROW(panicIfNot(true, "never shown"));
+    EXPECT_THROW(panicIfNot(false, "shown"), PanicError);
+}
+
+TEST(Logging, FatalIfRespectsCondition)
+{
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(fatalIf(true, "bad"), FatalError);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(3, 3), 3);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRealCoversRange)
+{
+    Rng rng(7);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal(2.0, 4.0);
+        lo = std::min(lo + 10.0 * 0, std::min(lo, v));
+        hi = std::max(hi, v);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 4.0);
+    }
+    EXPECT_LT(lo, 2.2);
+    EXPECT_GT(hi, 3.8);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, WeightedIndexHonorsWeights)
+{
+    Rng rng(7);
+    std::vector<int> hits(3, 0);
+    for (int i = 0; i < 3000; ++i)
+        ++hits[rng.weightedIndex({1.0, 0.0, 3.0})];
+    EXPECT_EQ(hits[1], 0);
+    EXPECT_GT(hits[2], hits[0]);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBack)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.weightedIndex({0.0, 0.0}), 0u);
+}
+
+TEST(Stats, SummaryTracksMoments)
+{
+    Summary s;
+    s.addAll({1.0, 2.0, 3.0, 10.0});
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 16.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Stats, SummaryEmptyMeanPanics)
+{
+    Summary s;
+    EXPECT_THROW(s.mean(), PanicError);
+    EXPECT_THROW(s.min(), PanicError);
+    EXPECT_THROW(s.max(), PanicError);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 4.0}), 2.0);
+    EXPECT_THROW(geomean({0.0}), PanicError);
+    EXPECT_THROW(mean({}), PanicError);
+}
+
+TEST(TableWriter, AlignedOutputContainsCells)
+{
+    TableWriter t({"kernel", "ii"});
+    t.addRow({"fir", "4"});
+    t.addRow({"gemm", "7"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("kernel"), std::string::npos);
+    EXPECT_NE(out.find("gemm"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableWriter, CsvOutput)
+{
+    TableWriter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriter, RowArityMismatchPanics)
+{
+    TableWriter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), PanicError);
+}
+
+TEST(TableWriter, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TableWriter::num(1.005, 2), "1.00");
+    EXPECT_EQ(TableWriter::num(2.5, 1), "2.5");
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,144 @@
+/** @file Unit tests for recurrence-cycle analysis. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+
+namespace iced {
+namespace {
+
+/** Simple ring of `n` unit-latency nodes with one distance-d edge. */
+Dfg
+makeRing(int n, int distance)
+{
+    Dfg dfg("ring");
+    for (int i = 0; i < n; ++i)
+        dfg.addNode(Opcode::Abs, "n" + std::to_string(i));
+    for (int i = 0; i + 1 < n; ++i)
+        dfg.addEdge(i, i + 1, 0);
+    dfg.addEdge(n - 1, 0, 0, distance);
+    return dfg;
+}
+
+TEST(RecMii, AcyclicGraphIsOne)
+{
+    Dfg dfg("chain");
+    dfg.addNode(Opcode::Abs);
+    dfg.addNode(Opcode::Abs);
+    dfg.addEdge(0, 1, 0);
+    EXPECT_EQ(computeRecMii(dfg), 1);
+}
+
+TEST(RecMii, SelfLoopDistanceOne)
+{
+    Dfg dfg("self");
+    dfg.addNode(Opcode::Add);
+    dfg.addNode(Opcode::Const, "c", 1);
+    dfg.addEdge(1, 0, 0);
+    dfg.addEdge(0, 0, 1, 1);
+    EXPECT_EQ(computeRecMii(dfg), 1);
+}
+
+TEST(RecMii, RingLengthEqualsRecMii)
+{
+    for (int n : {2, 4, 7, 12})
+        EXPECT_EQ(computeRecMii(makeRing(n, 1)), n) << "ring " << n;
+}
+
+TEST(RecMii, DistanceTwoHalvesTheBound)
+{
+    EXPECT_EQ(computeRecMii(makeRing(8, 2)), 4);
+    EXPECT_EQ(computeRecMii(makeRing(7, 2)), 4); // ceil(7/2)
+}
+
+TEST(RecMii, MaxOverMultipleCycles)
+{
+    Dfg dfg("two");
+    for (int i = 0; i < 7; ++i)
+        dfg.addNode(Opcode::Abs);
+    // Cycle A: 0->1->2->0 (len 3); cycle B: 3->4->5->6->3 (len 4).
+    dfg.addEdge(0, 1, 0);
+    dfg.addEdge(1, 2, 0);
+    dfg.addEdge(2, 0, 0, 1);
+    dfg.addEdge(3, 4, 0);
+    dfg.addEdge(4, 5, 0);
+    dfg.addEdge(5, 6, 0);
+    dfg.addEdge(6, 3, 0, 1);
+    EXPECT_EQ(computeRecMii(dfg), 4);
+}
+
+TEST(Cycles, EnumerationFindsElementaryCycles)
+{
+    const auto cycles = enumerateRecurrenceCycles(makeRing(4, 1));
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles.front().nodes.size(), 4u);
+    EXPECT_EQ(cycles.front().totalDistance, 1);
+    EXPECT_EQ(cycles.front().effectiveLength(), 4);
+}
+
+TEST(Cycles, SortedLongestFirst)
+{
+    Dfg dfg("two");
+    for (int i = 0; i < 5; ++i)
+        dfg.addNode(Opcode::Abs);
+    dfg.addEdge(0, 1, 0);
+    dfg.addEdge(1, 0, 0, 1); // len 2
+    dfg.addEdge(2, 3, 0);
+    dfg.addEdge(3, 4, 0);
+    dfg.addEdge(4, 2, 0, 1); // len 3
+    const auto cycles = enumerateRecurrenceCycles(dfg);
+    ASSERT_EQ(cycles.size(), 2u);
+    EXPECT_GE(cycles[0].effectiveLength(), cycles[1].effectiveLength());
+    EXPECT_EQ(cycles[0].nodes.size(), 3u);
+}
+
+TEST(Cycles, ZeroDistanceCyclesAreNotRecurrences)
+{
+    // Build a graph whose only cycle has distance 0 -- invalid for
+    // execution, but the enumerator must simply not report it.
+    Dfg dfg("bad");
+    dfg.addNode(Opcode::Abs);
+    dfg.addNode(Opcode::Abs);
+    dfg.addEdge(0, 1, 0, 1);
+    EXPECT_TRUE(enumerateRecurrenceCycles(dfg).empty());
+}
+
+TEST(Cycles, CriticalNodesComeFromLongestCycle)
+{
+    Dfg dfg("two");
+    for (int i = 0; i < 6; ++i)
+        dfg.addNode(Opcode::Abs);
+    dfg.addEdge(0, 1, 0);
+    dfg.addEdge(1, 0, 0, 1); // short cycle {0,1}
+    dfg.addEdge(2, 3, 0);
+    dfg.addEdge(3, 4, 0);
+    dfg.addEdge(4, 5, 0);
+    dfg.addEdge(5, 2, 0, 1); // long cycle {2,3,4,5}
+    const auto critical = criticalCycleNodes(dfg);
+    EXPECT_EQ(critical.size(), 4u);
+    for (NodeId v : {2, 3, 4, 5})
+        EXPECT_NE(std::find(critical.begin(), critical.end(), v),
+                  critical.end());
+}
+
+TEST(Cycles, EffectiveLengthNeedsDistance)
+{
+    RecurrenceCycle c;
+    c.nodes = {0, 1};
+    c.totalDistance = 0;
+    EXPECT_THROW(c.effectiveLength(), PanicError);
+}
+
+TEST(ResMii, CeilingOfNodesOverTiles)
+{
+    Dfg dfg("n");
+    for (int i = 0; i < 10; ++i)
+        dfg.addNode(Opcode::Abs);
+    EXPECT_EQ(computeResMii(dfg, 16), 1);
+    EXPECT_EQ(computeResMii(dfg, 9), 2);
+    EXPECT_EQ(computeResMii(dfg, 3), 4);
+    EXPECT_THROW(computeResMii(dfg, 0), FatalError);
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,243 @@
+/** @file Unit tests for the DFG IR, validation, and unrolling. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/dot_export.hpp"
+#include "dfg/interpreter.hpp"
+
+namespace iced {
+namespace {
+
+Dfg
+makeAccumulator()
+{
+    // acc(i) = acc(i-1) + load(x[i]) with a 2-node recurrence.
+    Dfg dfg("acc");
+    const NodeId cnt = dfg.addNode(Opcode::Phi, "i");
+    const NodeId one = dfg.addNode(Opcode::Const, "one", 1);
+    const NodeId inc = dfg.addNode(Opcode::Add, "inc");
+    const NodeId x = dfg.addNode(Opcode::Load, "x");
+    const NodeId acc = dfg.addNode(Opcode::Add, "acc");
+    const NodeId out = dfg.addNode(Opcode::Output, "out");
+    dfg.addEdge(one, cnt, 0);
+    dfg.addEdge(inc, cnt, 1, 1, 0);
+    dfg.addEdge(cnt, inc, 0);
+    dfg.addEdge(one, inc, 1);
+    dfg.addEdge(cnt, x, 0);
+    dfg.addEdge(x, acc, 0);
+    dfg.addEdge(acc, acc, 1, 1, 0);
+    dfg.addEdge(acc, out, 0);
+    return dfg;
+}
+
+TEST(Dfg, BuilderAssignsSequentialIds)
+{
+    Dfg dfg("t");
+    EXPECT_EQ(dfg.addNode(Opcode::Const, "c", 5), 0);
+    EXPECT_EQ(dfg.addNode(Opcode::Add), 1);
+    EXPECT_EQ(dfg.nodeCount(), 2);
+    EXPECT_EQ(dfg.node(0).imm, 5);
+}
+
+TEST(Dfg, EdgeEndpointsChecked)
+{
+    Dfg dfg("t");
+    dfg.addNode(Opcode::Const);
+    EXPECT_THROW(dfg.addEdge(0, 7, 0), FatalError);
+    EXPECT_THROW(dfg.addEdge(-1, 0, 0), FatalError);
+    EXPECT_THROW(dfg.addEdge(0, 0, 0, -1), FatalError);
+}
+
+TEST(Dfg, ValidateAcceptsWellFormedGraph)
+{
+    EXPECT_NO_THROW(makeAccumulator().validate());
+}
+
+TEST(Dfg, ValidateRejectsMissingOperand)
+{
+    Dfg dfg("t");
+    dfg.addNode(Opcode::Const, "c", 1);
+    dfg.addNode(Opcode::Add, "a");
+    dfg.addEdge(0, 1, 0); // operand 1 missing
+    EXPECT_THROW(dfg.validate(), FatalError);
+}
+
+TEST(Dfg, ValidateRejectsDoubleFedOperand)
+{
+    Dfg dfg("t");
+    dfg.addNode(Opcode::Const, "c", 1);
+    dfg.addNode(Opcode::Abs, "a");
+    dfg.addEdge(0, 1, 0);
+    dfg.addEdge(0, 1, 0);
+    EXPECT_THROW(dfg.validate(), FatalError);
+}
+
+TEST(Dfg, ValidateRejectsOutOfRangeOperandIndex)
+{
+    Dfg dfg("t");
+    dfg.addNode(Opcode::Const, "c", 1);
+    dfg.addNode(Opcode::Abs, "a");
+    dfg.addEdge(0, 1, 0);
+    dfg.addEdge(0, 1, 1); // Abs is unary
+    EXPECT_THROW(dfg.validate(), FatalError);
+}
+
+TEST(Dfg, ValidateRejectsCombinationalLoop)
+{
+    Dfg dfg("t");
+    dfg.addNode(Opcode::Abs, "a");
+    dfg.addNode(Opcode::Abs, "b");
+    dfg.addEdge(0, 1, 0, 0);
+    dfg.addEdge(1, 0, 0, 0); // distance-0 cycle
+    EXPECT_THROW(dfg.validate(), FatalError);
+}
+
+TEST(Dfg, OrderingEdgesAreExemptFromArity)
+{
+    Dfg dfg("t");
+    dfg.addNode(Opcode::Const, "c", 1);
+    dfg.addNode(Opcode::Abs, "a");
+    dfg.addEdge(0, 1, 0);
+    dfg.addEdge(0, 1, orderingOperand, 1);
+    EXPECT_NO_THROW(dfg.validate());
+    EXPECT_TRUE(dfg.edge(1).isOrdering());
+}
+
+TEST(Dfg, TopologicalOrderRespectsDistanceZeroEdges)
+{
+    Dfg dfg = makeAccumulator();
+    const auto order = dfg.topologicalOrder();
+    std::vector<int> pos(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = static_cast<int>(i);
+    for (const DfgEdge &e : dfg.edges()) {
+        if (e.distance == 0) {
+            EXPECT_LT(pos[e.src], pos[e.dst]);
+        }
+    }
+}
+
+TEST(Dfg, OperandEdgeLookup)
+{
+    Dfg dfg = makeAccumulator();
+    EXPECT_GE(dfg.operandEdge(2, 0), 0);
+    EXPECT_EQ(dfg.operandEdge(2, 2), -1);
+}
+
+TEST(Dfg, CountsMemoryAndMappableNodes)
+{
+    Dfg dfg = makeAccumulator();
+    EXPECT_EQ(dfg.memoryOpCount(), 1);
+    EXPECT_EQ(dfg.mappableNodeCount(), 5); // const excluded
+}
+
+TEST(Opcode, ArityTable)
+{
+    EXPECT_EQ(arity(Opcode::Const), 0);
+    EXPECT_EQ(arity(Opcode::Abs), 1);
+    EXPECT_EQ(arity(Opcode::Load), 1);
+    EXPECT_EQ(arity(Opcode::Add), 2);
+    EXPECT_EQ(arity(Opcode::Store), 2);
+    EXPECT_EQ(arity(Opcode::Select), 3);
+    EXPECT_EQ(arity(Opcode::Phi), 2);
+}
+
+TEST(Opcode, AluSemantics)
+{
+    std::int64_t ops[3] = {7, 3, 0};
+    EXPECT_EQ(evalAlu(Opcode::Add, ops, 2, 0), 10);
+    EXPECT_EQ(evalAlu(Opcode::Sub, ops, 2, 0), 4);
+    EXPECT_EQ(evalAlu(Opcode::Mul, ops, 2, 0), 21);
+    EXPECT_EQ(evalAlu(Opcode::Div, ops, 2, 0), 2);
+    EXPECT_EQ(evalAlu(Opcode::Rem, ops, 2, 0), 1);
+    EXPECT_EQ(evalAlu(Opcode::Min, ops, 2, 0), 3);
+    EXPECT_EQ(evalAlu(Opcode::Max, ops, 2, 0), 7);
+    EXPECT_EQ(evalAlu(Opcode::CmpLt, ops, 2, 0), 0);
+    EXPECT_EQ(evalAlu(Opcode::CmpGe, ops, 2, 0), 1);
+    EXPECT_EQ(evalAlu(Opcode::Shl, ops, 2, 0), 56);
+    EXPECT_EQ(evalAlu(Opcode::Shr, ops, 2, 0), 0);
+    std::int64_t neg[1] = {-4};
+    EXPECT_EQ(evalAlu(Opcode::Abs, neg, 1, 0), 4);
+    EXPECT_EQ(evalAlu(Opcode::Neg, neg, 1, 0), 4);
+    std::int64_t sel[3] = {1, 11, 22};
+    EXPECT_EQ(evalAlu(Opcode::Select, sel, 3, 0), 11);
+    sel[0] = 0;
+    EXPECT_EQ(evalAlu(Opcode::Select, sel, 3, 0), 22);
+    EXPECT_EQ(evalAlu(Opcode::Const, ops, 0, 99), 99);
+}
+
+TEST(Opcode, DivisionByZeroIsGuarded)
+{
+    std::int64_t ops[2] = {5, 0};
+    EXPECT_EQ(evalAlu(Opcode::Div, ops, 2, 0), 0);
+    EXPECT_EQ(evalAlu(Opcode::Rem, ops, 2, 0), 0);
+}
+
+TEST(Opcode, MemoryOpsNeedInterpreterContext)
+{
+    std::int64_t ops[2] = {0, 0};
+    EXPECT_THROW(evalAlu(Opcode::Load, ops, 2, 0), PanicError);
+    EXPECT_THROW(evalAlu(Opcode::Store, ops, 2, 0), PanicError);
+    EXPECT_THROW(evalAlu(Opcode::Phi, ops, 2, 0), PanicError);
+}
+
+TEST(Unroll, FactorOneIsIdentity)
+{
+    Dfg dfg = makeAccumulator();
+    Dfg u = unrollDfg(dfg, 1);
+    EXPECT_EQ(u.nodeCount(), dfg.nodeCount());
+    EXPECT_EQ(u.edgeCount(), dfg.edgeCount());
+}
+
+TEST(Unroll, DoublesNodes)
+{
+    Dfg dfg = makeAccumulator();
+    Dfg u = unrollDfg(dfg, 2);
+    EXPECT_EQ(u.nodeCount(), 2 * dfg.nodeCount());
+    EXPECT_EQ(u.edgeCount(), 2 * dfg.edgeCount());
+    EXPECT_NO_THROW(u.validate());
+}
+
+TEST(Unroll, PreservesSemantics)
+{
+    Dfg dfg = makeAccumulator();
+    std::vector<std::int64_t> mem(64);
+    for (int i = 0; i < 64; ++i)
+        mem[i] = i * 3 + 1;
+    const auto ref = interpretDfg(dfg, mem, 12, false);
+    for (int factor : {2, 3, 4}) {
+        Dfg u = unrollDfg(dfg, factor);
+        const auto got = interpretDfg(u, mem, 12 / factor, false);
+        EXPECT_EQ(got.memory, ref.memory) << "factor " << factor;
+        EXPECT_EQ(got.outputs, ref.outputs) << "factor " << factor;
+    }
+}
+
+TEST(Unroll, GenericUnrollGrowsRecurrence)
+{
+    // A naive (non re-associated) unroll doubles the carried chain.
+    Dfg dfg = makeAccumulator();
+    EXPECT_EQ(computeRecMii(dfg), 2); // i -> inc -> i
+    Dfg u = unrollDfg(dfg, 2);
+    EXPECT_EQ(computeRecMii(u), 4);
+}
+
+TEST(Unroll, RejectsBadFactor)
+{
+    Dfg dfg = makeAccumulator();
+    EXPECT_THROW(unrollDfg(dfg, 0), FatalError);
+}
+
+TEST(DotExport, MentionsNodesAndCarriedEdges)
+{
+    const std::string dot = toDot(makeAccumulator());
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("acc"), std::string::npos);
+    EXPECT_NE(dot.find("d=1"), std::string::npos);
+    EXPECT_NE(dot.find("shape=box"), std::string::npos); // the load
+}
+
+} // namespace
+} // namespace iced

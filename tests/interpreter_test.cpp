@@ -1,0 +1,139 @@
+/** @file Unit tests for the golden-model DFG interpreter. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dfg/interpreter.hpp"
+#include "kernels/builder_util.hpp"
+
+namespace iced {
+namespace {
+
+TEST(Interpreter, ConstAndAluChain)
+{
+    KernelBuilder b("t");
+    const NodeId v = b.op2(Opcode::Mul, b.imm(6), b.imm(7));
+    b.output(v);
+    const auto r = interpretDfg(b.take(), {}, 3);
+    EXPECT_EQ(r.outputs, (std::vector<std::int64_t>{42, 42, 42}));
+}
+
+TEST(Interpreter, LoopCarriedEdgeUsesInitValue)
+{
+    // out(i) = x(i-2) with init 99.
+    Dfg dfg("t");
+    const NodeId c = dfg.addNode(Opcode::Const, "c", 5);
+    const NodeId a = dfg.addNode(Opcode::Add, "a");
+    const NodeId out = dfg.addNode(Opcode::Output, "out");
+    dfg.addEdge(c, a, 0);
+    dfg.addEdge(c, a, 1);
+    dfg.addEdge(a, out, 0, 2, 99);
+    const auto r = interpretDfg(dfg, {}, 4);
+    EXPECT_EQ(r.outputs, (std::vector<std::int64_t>{99, 99, 10, 10}));
+}
+
+TEST(Interpreter, PhiSelectsInitThenCarried)
+{
+    KernelBuilder b("t");
+    const NodeId phi = b.phi(7, "p");
+    const NodeId next = b.op2(Opcode::Add, phi, b.imm(1));
+    b.carry(next, phi, 1, 1, 7);
+    b.output(phi);
+    const auto r = interpretDfg(b.take(), {}, 4);
+    EXPECT_EQ(r.outputs, (std::vector<std::int64_t>{7, 8, 9, 10}));
+}
+
+TEST(Interpreter, LoadStoreRoundTrip)
+{
+    KernelBuilder b("t");
+    const auto cnt = b.counter(0, 1, 1 << 20, 0);
+    const NodeId x = b.load(cnt.value, 0);
+    const NodeId y = b.op2(Opcode::Mul, x, b.imm(2));
+    b.store(cnt.value, y, 8);
+    const auto r = interpretDfg(b.take(), {1, 2, 3, 4, 0, 0, 0, 0,
+                                           0, 0, 0, 0},
+                                4);
+    EXPECT_EQ(r.memory[8], 2);
+    EXPECT_EQ(r.memory[11], 8);
+}
+
+TEST(Interpreter, LoadImmediateBaseOffset)
+{
+    KernelBuilder b("t");
+    const NodeId x = b.load(b.imm(1), 4, "x"); // address 1 + base 4
+    b.output(x);
+    const auto r = interpretDfg(b.take(), {0, 0, 0, 0, 0, 42}, 1);
+    EXPECT_EQ(r.outputs.front(), 42);
+}
+
+TEST(Interpreter, OutOfBoundsLoadIsFatal)
+{
+    KernelBuilder b("t");
+    b.load(b.imm(100), 0);
+    Dfg dfg = b.take();
+    EXPECT_THROW(interpretDfg(dfg, {1, 2}, 1), FatalError);
+}
+
+TEST(Interpreter, OutOfBoundsStoreIsFatal)
+{
+    KernelBuilder b("t");
+    b.store(b.imm(-1), b.imm(5), 0);
+    Dfg dfg = b.take();
+    EXPECT_THROW(interpretDfg(dfg, {1, 2}, 1), FatalError);
+}
+
+TEST(Interpreter, HistoryIsRecordedOnDemand)
+{
+    KernelBuilder b("t");
+    const NodeId phi = b.phi(0, "p");
+    const NodeId next = b.op2(Opcode::Add, phi, b.imm(2));
+    b.carry(next, phi, 1, 1, 0);
+    Dfg dfg = b.take();
+    const auto with = interpretDfg(dfg, {}, 3, true);
+    ASSERT_FALSE(with.history.empty());
+    EXPECT_EQ(with.history[phi],
+              (std::vector<std::int64_t>{0, 2, 4}));
+    const auto without = interpretDfg(dfg, {}, 3, false);
+    EXPECT_TRUE(without.history.empty());
+}
+
+TEST(Interpreter, ZeroIterations)
+{
+    KernelBuilder b("t");
+    b.output(b.imm(1));
+    const auto r = interpretDfg(b.take(), {5}, 0);
+    EXPECT_TRUE(r.outputs.empty());
+    EXPECT_EQ(r.memory, (std::vector<std::int64_t>{5}));
+}
+
+TEST(Interpreter, NegativeIterationsFatal)
+{
+    KernelBuilder b("t");
+    b.output(b.imm(1));
+    Dfg dfg = b.take();
+    EXPECT_THROW(interpretDfg(dfg, {}, -1), FatalError);
+}
+
+TEST(Interpreter, OrderingEdgesSequenceMemoryOps)
+{
+    // Read-modify-write of one cell: mem[0] += 1 per iteration.
+    KernelBuilder b("t");
+    const NodeId h = b.load(b.imm(0), 0, "h");
+    const NodeId inc = b.op2(Opcode::Add, h, b.imm(1));
+    const NodeId st = b.store(b.imm(0), inc, 0, "st");
+    b.order(st, h, 1);
+    const auto r = interpretDfg(b.take(), {0}, 5);
+    EXPECT_EQ(r.memory[0], 5);
+}
+
+TEST(Interpreter, CounterWrapsAtBound)
+{
+    KernelBuilder b("t");
+    const auto cnt = b.counter(0, 1, 3, 0);
+    b.output(cnt.value);
+    const auto r = interpretDfg(b.take(), {}, 7);
+    EXPECT_EQ(r.outputs,
+              (std::vector<std::int64_t>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,176 @@
+/**
+ * @file Kernel-library tests: Table I fidelity (RecMII must match the
+ * paper exactly; node/edge counts within an engineering tolerance),
+ * functional correctness against native references, and unroll
+ * equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+#include "dfg/interpreter.hpp"
+#include "kernels/registry.hpp"
+
+namespace iced {
+namespace {
+
+struct KernelParam
+{
+    std::string name;
+};
+
+std::vector<KernelParam>
+allKernels()
+{
+    std::vector<KernelParam> out;
+    for (const Kernel &k : kernelRegistry())
+        out.push_back({k.name});
+    return out;
+}
+
+class KernelSweep : public ::testing::TestWithParam<KernelParam>
+{
+  protected:
+    const Kernel &kernel() const { return findKernel(GetParam().name); }
+};
+
+TEST_P(KernelSweep, GraphsValidateAtBothUnrollFactors)
+{
+    for (int uf : {1, 2})
+        EXPECT_NO_THROW(kernel().build(uf).validate()) << "uf " << uf;
+}
+
+TEST_P(KernelSweep, RecMiiMatchesTableOneExactly)
+{
+    const Kernel &k = kernel();
+    EXPECT_EQ(computeRecMii(k.build(1)), k.paperUf1.recMii);
+    EXPECT_EQ(computeRecMii(k.build(2)), k.paperUf2.recMii);
+}
+
+TEST_P(KernelSweep, NodeCountsTrackTableOne)
+{
+    // Hand-built DFGs track the published sizes within 40% (exact
+    // counts depend on LLVM lowering details we do not replicate; the
+    // per-kernel deltas are listed in EXPERIMENTS.md).
+    const Kernel &k = kernel();
+    for (int uf : {1, 2}) {
+        const auto &paper = uf == 1 ? k.paperUf1 : k.paperUf2;
+        const Dfg dfg = k.build(uf);
+        EXPECT_NEAR(dfg.mappableNodeCount(), paper.nodes,
+                    0.4 * paper.nodes)
+            << "uf " << uf;
+    }
+}
+
+TEST_P(KernelSweep, UnrollByTwoDoublesWork)
+{
+    const Kernel &k = kernel();
+    const int n1 = k.build(1).mappableNodeCount();
+    const int n2 = k.build(2).mappableNodeCount();
+    EXPECT_GT(n2, n1);
+    EXPECT_LE(n2, 2 * n1 + 4);
+}
+
+TEST_P(KernelSweep, UnrolledGraphComputesTheSameResult)
+{
+    const Kernel &k = kernel();
+    Rng rng(99);
+    const Workload w = k.workload(rng);
+    ASSERT_EQ(w.iterations % 2, 0);
+    const auto r1 =
+        interpretDfg(k.build(1), w.memory, w.iterations, false);
+    const auto r2 = interpretDfg(k.build(2), w.memory,
+                                 unrolledIterations(w, 2), false);
+    EXPECT_EQ(r1.memory, r2.memory);
+}
+
+TEST_P(KernelSweep, NativeReferenceMatchesInterpreter)
+{
+    const Kernel &k = kernel();
+    if (!k.reference)
+        GTEST_SKIP() << "streaming stage: validated via simulator";
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        Rng rng(seed);
+        const Workload w = k.workload(rng);
+        auto expected = w.memory;
+        k.reference(expected, w.iterations);
+        const auto got =
+            interpretDfg(k.build(1), w.memory, w.iterations, false);
+        EXPECT_EQ(got.memory, expected) << "seed " << seed;
+    }
+}
+
+TEST_P(KernelSweep, WorkloadIsDeterministic)
+{
+    const Kernel &k = kernel();
+    Rng a(7), b(7);
+    const Workload wa = k.workload(a);
+    const Workload wb = k.workload(b);
+    EXPECT_EQ(wa.memory, wb.memory);
+    EXPECT_EQ(wa.iterations, wb.iterations);
+}
+
+TEST_P(KernelSweep, MemoryFitsTheScratchpad)
+{
+    const Kernel &k = kernel();
+    Rng rng(7);
+    EXPECT_LE(k.workload(rng).memory.size(), 4096u); // 32 KB / 8 B
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, KernelSweep, ::testing::ValuesIn(allKernels()),
+    [](const ::testing::TestParamInfo<KernelParam> &info) {
+        return info.param.name;
+    });
+
+TEST(Registry, HasAllTwentyOneKernels)
+{
+    EXPECT_EQ(kernelRegistry().size(), 21u);
+    EXPECT_EQ(singleKernels().size(), 10u);
+    EXPECT_EQ(gcnKernels().size(), 5u);
+    EXPECT_EQ(luKernels().size(), 6u);
+}
+
+TEST(Registry, LookupByNameAndFailure)
+{
+    EXPECT_EQ(findKernel("gemm").domain, "hpc");
+    EXPECT_THROW(findKernel("nope"), FatalError);
+}
+
+TEST(Registry, UnrolledIterationsDividesEvenly)
+{
+    Rng rng(7);
+    const Workload w = findKernel("fir").workload(rng);
+    EXPECT_EQ(unrolledIterations(w, 1), w.iterations);
+    EXPECT_EQ(unrolledIterations(w, 2), w.iterations / 2);
+    EXPECT_THROW(unrolledIterations(w, 7), FatalError);
+}
+
+TEST(Registry, SaturatingKernelsGrowRecurrenceUnderUnroll)
+{
+    // The 4 -> 7 RecMII signature of non-associative reductions.
+    for (const char *name : {"spmv", "gemm", "gcn_aggregate",
+                             "lu_init"}) {
+        const Kernel &k = findKernel(name);
+        EXPECT_EQ(k.paperUf1.recMii, 4) << name;
+        EXPECT_EQ(k.paperUf2.recMii, 7) << name;
+    }
+}
+
+TEST(Synthetic, MatchesMotivatingExample)
+{
+    Dfg dfg = buildSyntheticKernel();
+    EXPECT_EQ(dfg.mappableNodeCount(), 11);
+    EXPECT_EQ(computeRecMii(dfg), 4);
+    EXPECT_EQ(dfg.memoryOpCount(), 1);
+    Rng rng(3);
+    const Workload w = syntheticWorkload(rng);
+    const auto r = interpretDfg(dfg, w.memory, w.iterations, false);
+    EXPECT_EQ(r.outputs.size(),
+              static_cast<std::size_t>(w.iterations));
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,136 @@
+/** @file Unit tests for the DVFS labeling pass (paper Algorithm 1). */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "kernels/builder_util.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/labeling.hpp"
+
+namespace iced {
+namespace {
+
+Cgra
+makeCgra(int n = 4)
+{
+    CgraConfig c;
+    c.rows = n;
+    c.cols = n;
+    c.islandRows = 2;
+    c.islandCols = 2;
+    return Cgra(c);
+}
+
+TEST(Labeling, LongestCycleIsNormal)
+{
+    // Synthetic kernel: the 4-node counter cycle must stay normal.
+    Dfg dfg = buildSyntheticKernel();
+    const auto result = labelDvfsLevels(dfg, makeCgra(), 4);
+    // n1, n4, n7, n9 are nodes 1..4 by construction.
+    for (NodeId v : {1, 2, 3, 4})
+        EXPECT_EQ(result.labels[v], DvfsLevel::Normal)
+            << dfg.node(v).name;
+    EXPECT_GE(result.normalCount, 4);
+}
+
+TEST(Labeling, ShortCycleGetsRelax)
+{
+    // n10/n11 form a 2-node recurrence: at most half the longest (4).
+    Dfg dfg = buildSyntheticKernel();
+    const auto result = labelDvfsLevels(dfg, makeCgra(), 4);
+    int relax_nodes = 0;
+    for (const DfgNode &n : dfg.nodes())
+        if ((n.name == "n10" || n.name == "n11"))
+            relax_nodes +=
+                result.labels[n.id] == DvfsLevel::Relax ? 1 : 0;
+    EXPECT_EQ(relax_nodes, 2);
+}
+
+TEST(Labeling, LeftoversPreferRestWithBudget)
+{
+    Dfg dfg = buildSyntheticKernel();
+    const auto result = labelDvfsLevels(dfg, makeCgra(), 4);
+    // 16 tiles x II 4 leaves plenty of budget: non-cycle nodes rest.
+    EXPECT_GT(result.restCount, 0);
+}
+
+TEST(Labeling, TightBudgetForcesNormal)
+{
+    // A 1x1 fabric has 1 tile x II slots: no slack for slow labels.
+    CgraConfig c;
+    c.rows = 1;
+    c.cols = 1;
+    c.islandRows = 1;
+    c.islandCols = 1;
+    Dfg dfg = buildSyntheticKernel();
+    LabelOptions opts;
+    opts.fillFactor = 0.5;
+    const auto result =
+        labelDvfsLevels(dfg, Cgra(c), 4, opts);
+    EXPECT_EQ(result.restCount, 0);
+}
+
+TEST(Labeling, OddIiDisablesMisalignedLevels)
+{
+    Dfg dfg = buildSyntheticKernel();
+    const auto result = labelDvfsLevels(dfg, makeCgra(), 7);
+    EXPECT_EQ(result.relaxCount, 0);
+    EXPECT_EQ(result.restCount, 0);
+}
+
+TEST(Labeling, IiSixAllowsRelaxOnly)
+{
+    Dfg dfg = buildSyntheticKernel();
+    const auto result = labelDvfsLevels(dfg, makeCgra(), 6);
+    EXPECT_EQ(result.restCount, 0);
+    EXPECT_GT(result.relaxCount, 0);
+}
+
+TEST(Labeling, LowestLabelRestrictsToRelax)
+{
+    Dfg dfg = buildSyntheticKernel();
+    LabelOptions opts;
+    opts.lowestLabel = DvfsLevel::Relax;
+    const auto result = labelDvfsLevels(dfg, makeCgra(), 4, opts);
+    EXPECT_EQ(result.restCount, 0);
+    for (const DfgNode &n : dfg.nodes())
+        EXPECT_NE(result.labels[n.id], DvfsLevel::Rest);
+}
+
+TEST(Labeling, ConstantsConsumeNoBudget)
+{
+    KernelBuilder b("consts");
+    // Many constants, one real op.
+    NodeId acc = b.imm(0);
+    for (int i = 1; i <= 6; ++i)
+        acc = b.op2(Opcode::Add, acc, b.imm(i));
+    Dfg dfg = b.take();
+    const auto result = labelDvfsLevels(dfg, makeCgra(), 4);
+    EXPECT_EQ(result.normalCount + result.relaxCount +
+                  result.restCount,
+              dfg.mappableNodeCount());
+}
+
+TEST(Labeling, EveryKernelGetsCompleteLabels)
+{
+    Cgra cgra = makeCgra(6);
+    for (const Kernel &k : kernelRegistry()) {
+        Dfg dfg = k.build(1);
+        const auto result = labelDvfsLevels(dfg, cgra, k.paperUf1.recMii);
+        EXPECT_EQ(static_cast<int>(result.labels.size()),
+                  dfg.nodeCount())
+            << k.name;
+        EXPECT_EQ(result.normalCount + result.relaxCount +
+                      result.restCount,
+                  dfg.mappableNodeCount())
+            << k.name;
+    }
+}
+
+TEST(Labeling, RejectsBadIi)
+{
+    Dfg dfg = buildSyntheticKernel();
+    EXPECT_THROW(labelDvfsLevels(dfg, makeCgra(), 0), FatalError);
+}
+
+} // namespace
+} // namespace iced

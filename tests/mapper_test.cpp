@@ -1,0 +1,208 @@
+/** @file Mapper tests: property sweeps over the whole kernel suite. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/validate.hpp"
+
+namespace iced {
+namespace {
+
+Cgra
+makeCgra(int n = 6, int island = 2)
+{
+    CgraConfig c;
+    c.rows = n;
+    c.cols = n;
+    c.islandRows = island;
+    c.islandCols = island;
+    return Cgra(c);
+}
+
+struct SweepParam
+{
+    std::string kernel;
+    int unroll;
+};
+
+std::vector<SweepParam>
+allKernelParams()
+{
+    std::vector<SweepParam> params;
+    for (const Kernel &k : kernelRegistry())
+        for (int uf : {1, 2})
+            params.push_back({k.name, uf});
+    return params;
+}
+
+class MapperSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(MapperSweep, ConventionalMappingIsValid)
+{
+    const auto &p = GetParam();
+    Cgra cgra = makeCgra();
+    Dfg dfg = findKernel(p.kernel).build(p.unroll);
+    MapperOptions opts;
+    opts.dvfsAware = false;
+    Mapping m = Mapper(cgra, opts).map(dfg);
+    EXPECT_TRUE(checkMapping(m).empty());
+    EXPECT_GE(m.ii(), computeRecMii(dfg));
+    for (IslandId i = 0; i < cgra.islandCount(); ++i)
+        EXPECT_EQ(m.islandLevel(i), DvfsLevel::Normal);
+}
+
+TEST_P(MapperSweep, IcedMappingIsValid)
+{
+    const auto &p = GetParam();
+    Cgra cgra = makeCgra();
+    Dfg dfg = findKernel(p.kernel).build(p.unroll);
+    Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+    EXPECT_TRUE(checkMapping(m).empty());
+    EXPECT_GE(m.ii(), computeRecMii(dfg));
+}
+
+TEST_P(MapperSweep, DvfsAwarenessNeverCostsPerformance)
+{
+    // The paper's design rule (IV-A): ICED matches the conventional
+    // mapper's II.
+    const auto &p = GetParam();
+    Cgra cgra = makeCgra();
+    Dfg dfg = findKernel(p.kernel).build(p.unroll);
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    const Mapping conventional = Mapper(cgra, conv).map(dfg);
+    const Mapping iced = Mapper(cgra, MapperOptions{}).map(dfg);
+    EXPECT_LE(iced.ii(), conventional.ii());
+}
+
+TEST_P(MapperSweep, IslandLevelsDivideTheIi)
+{
+    const auto &p = GetParam();
+    Cgra cgra = makeCgra();
+    Dfg dfg = findKernel(p.kernel).build(p.unroll);
+    Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+    for (IslandId i = 0; i < cgra.islandCount(); ++i) {
+        const DvfsLevel level = m.islandLevel(i);
+        if (level != DvfsLevel::PowerGated)
+            EXPECT_EQ(m.ii() % slowdown(level), 0);
+    }
+}
+
+TEST_P(MapperSweep, MemoryOpsSitOnSpmColumn)
+{
+    const auto &p = GetParam();
+    Cgra cgra = makeCgra();
+    Dfg dfg = findKernel(p.kernel).build(p.unroll);
+    Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+    for (const DfgNode &n : dfg.nodes()) {
+        if (isMemoryOp(n.op)) {
+            EXPECT_EQ(cgra.colOf(m.placement(n.id).tile), 0) << n.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, MapperSweep, ::testing::ValuesIn(allKernelParams()),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        return info.param.kernel + "_uf" +
+               std::to_string(info.param.unroll);
+    });
+
+class MapperArchSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MapperArchSweep, SyntheticKernelMapsEverywhere)
+{
+    const auto [size, island] = GetParam();
+    Cgra cgra = makeCgra(size, island);
+    Dfg dfg = buildSyntheticKernel();
+    Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+    EXPECT_TRUE(checkMapping(m).empty())
+        << cgra.describe() << ": " << checkMapping(m).front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, MapperArchSweep,
+    ::testing::Combine(::testing::Values(4, 6, 8),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &info) {
+        return "cgra" + std::to_string(std::get<0>(info.param)) +
+               "_island" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Mapper, SyntheticMatchesPaperRecMii)
+{
+    Dfg dfg = buildSyntheticKernel();
+    EXPECT_EQ(dfg.mappableNodeCount(), 11);
+    EXPECT_EQ(computeRecMii(dfg), 4);
+    Mapping m = Mapper(makeCgra(4), MapperOptions{}).map(dfg);
+    EXPECT_EQ(m.ii(), 4);
+}
+
+TEST(Mapper, IcedOpensSlowIslandsForNonCriticalNodes)
+{
+    // The motivating example (Fig. 3(d)): leftover nodes land on
+    // relax/rest islands.
+    Cgra cgra = makeCgra(4);
+    const Dfg graph = buildSyntheticKernel();
+    Mapping m = Mapper(cgra, MapperOptions{}).map(graph);
+    int slow_islands = 0;
+    for (IslandId i = 0; i < cgra.islandCount(); ++i)
+        slow_islands += m.islandLevel(i) == DvfsLevel::Relax ||
+                        m.islandLevel(i) == DvfsLevel::Rest;
+    EXPECT_GE(slow_islands, 1);
+}
+
+TEST(Mapper, StartIiBounds)
+{
+    Cgra cgra = makeCgra(2, 2); // 4 tiles, 2 SPM tiles
+    Mapper mapper(cgra, MapperOptions{});
+    Dfg spmv = findKernel("spmv").build(1); // 15 nodes, 7 mem ops
+    EXPECT_GE(mapper.startIi(spmv), 4);     // RecMII
+    EXPECT_GE(mapper.startIi(spmv), 4);     // ceil(15/4) = 4 too
+}
+
+TEST(Mapper, TryMapAtInfeasibleIiFails)
+{
+    Cgra cgra = makeCgra(6);
+    Dfg dfg = findKernel("gemm").build(1);
+    Mapper mapper(cgra, MapperOptions{});
+    EXPECT_FALSE(mapper.tryMapAtIi(dfg, 1).has_value());
+}
+
+TEST(Mapper, UnmappableKernelThrows)
+{
+    // A 1x1 fabric cannot host an 11-node recurrence kernel plus its
+    // memory op routing.
+    CgraConfig c;
+    c.rows = 1;
+    c.cols = 1;
+    c.islandRows = 1;
+    c.islandCols = 1;
+    MapperOptions opts;
+    opts.maxIiSteps = 4;
+    Dfg gemm = findKernel("gemm").build(2);
+    EXPECT_THROW(Mapper(Cgra(c), opts).map(gemm), FatalError);
+}
+
+TEST(Mapper, DeterministicAcrossRuns)
+{
+    Cgra cgra = makeCgra();
+    Dfg dfg = findKernel("fir").build(1);
+    Mapping a = Mapper(cgra, MapperOptions{}).map(dfg);
+    Mapping b = Mapper(cgra, MapperOptions{}).map(dfg);
+    ASSERT_EQ(a.ii(), b.ii());
+    for (const DfgNode &n : dfg.nodes()) {
+        EXPECT_EQ(a.placement(n.id).tile, b.placement(n.id).tile);
+        EXPECT_EQ(a.placement(n.id).time, b.placement(n.id).time);
+    }
+}
+
+} // namespace
+} // namespace iced

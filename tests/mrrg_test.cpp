@@ -1,0 +1,149 @@
+/** @file Unit tests for the MRRG occupancy model. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "mrrg/mrrg.hpp"
+
+namespace iced {
+namespace {
+
+Cgra
+makeCgra()
+{
+    CgraConfig c;
+    c.rows = 4;
+    c.cols = 4;
+    c.islandRows = 2;
+    c.islandCols = 2;
+    c.registersPerTile = 2;
+    return Cgra(c);
+}
+
+TEST(Mrrg, FuOccupancyModuloIi)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    EXPECT_TRUE(mrrg.fuFree(0, 1, 1));
+    mrrg.occupyFu(0, 1, 1, 7);
+    EXPECT_FALSE(mrrg.fuFree(0, 1, 1));
+    EXPECT_FALSE(mrrg.fuFree(0, 5, 1)); // 5 mod 4 == 1
+    EXPECT_TRUE(mrrg.fuFree(0, 2, 1));
+    EXPECT_EQ(mrrg.fuOwner(0, 5), 7);
+    EXPECT_EQ(mrrg.fuOwner(0, 2), -1);
+}
+
+TEST(Mrrg, SlowdownOccupiesAlignedWindow)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    mrrg.occupyFu(0, 2, 2, 3); // window [2, 4)
+    EXPECT_FALSE(mrrg.fuFree(0, 3, 1));
+    EXPECT_TRUE(mrrg.fuFree(0, 1, 1));
+    // A slowdown-2 query at cycle 0 checks window [0, 2): free.
+    EXPECT_TRUE(mrrg.fuFree(0, 0, 2));
+    // Window [2, 4) busy regardless of queried phase inside it.
+    EXPECT_FALSE(mrrg.fuFree(0, 2, 2));
+    EXPECT_FALSE(mrrg.fuFree(0, 3, 2));
+}
+
+TEST(Mrrg, DoubleOccupyPanics)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    mrrg.occupyFu(0, 0, 1, 1);
+    EXPECT_THROW(mrrg.occupyFu(0, 4, 1, 2), PanicError);
+}
+
+TEST(Mrrg, PortOccupancyPerDirection)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 3);
+    mrrg.occupyPort(5, Dir::East, 1, 1, 11);
+    EXPECT_FALSE(mrrg.portFree(5, Dir::East, 4, 1));
+    EXPECT_TRUE(mrrg.portFree(5, Dir::West, 1, 1));
+    EXPECT_TRUE(mrrg.portFree(5, Dir::East, 2, 1));
+    EXPECT_EQ(mrrg.portOwner(5, Dir::East, 7), 11);
+}
+
+TEST(Mrrg, RegisterCapacityCounts)
+{
+    Cgra cgra = makeCgra(); // 2 registers per tile
+    Mrrg mrrg(cgra, 4);
+    EXPECT_TRUE(mrrg.regAvailable(0, 0, 4));
+    mrrg.occupyReg(0, 0, 4);
+    EXPECT_EQ(mrrg.regUse(0, 2), 1);
+    mrrg.occupyReg(0, 1, 3);
+    EXPECT_TRUE(mrrg.regAvailable(0, 0, 1));  // slot 0 has 1 use
+    EXPECT_FALSE(mrrg.regAvailable(0, 1, 2)); // slot 1 has 2 uses
+    EXPECT_THROW(mrrg.occupyReg(0, 1, 2), PanicError);
+}
+
+TEST(Mrrg, LongHoldWrapsWithMultiplicity)
+{
+    Cgra cgra = makeCgra(); // capacity 2
+    Mrrg mrrg(cgra, 4);
+    // Holding 8 cycles = 2 live copies at every modulo slot.
+    EXPECT_TRUE(mrrg.regAvailable(0, 0, 8));
+    mrrg.occupyReg(0, 0, 8);
+    EXPECT_EQ(mrrg.regUse(0, 0), 2);
+    EXPECT_FALSE(mrrg.regAvailable(0, 0, 1));
+    // A 12-cycle hold alone would need 3 copies: impossible.
+    Mrrg fresh(cgra, 4);
+    EXPECT_FALSE(fresh.regAvailable(5, 0, 12));
+}
+
+TEST(Mrrg, IslandAssignmentRules)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    EXPECT_FALSE(mrrg.islandAssigned(0));
+    EXPECT_EQ(mrrg.tileSlowdown(0), 1); // unassigned acts normal
+    mrrg.assignIsland(0, DvfsLevel::Rest);
+    EXPECT_TRUE(mrrg.islandAssigned(0));
+    EXPECT_EQ(mrrg.islandLevel(0), DvfsLevel::Rest);
+    EXPECT_EQ(mrrg.tileSlowdown(0), 4);
+    EXPECT_EQ(mrrg.tileSlowdown(1), 4); // same island
+}
+
+TEST(Mrrg, LevelUsableRequiresDivisibility)
+{
+    Cgra cgra = makeCgra();
+    Mrrg at4(cgra, 4);
+    EXPECT_TRUE(at4.levelUsable(DvfsLevel::Normal));
+    EXPECT_TRUE(at4.levelUsable(DvfsLevel::Relax));
+    EXPECT_TRUE(at4.levelUsable(DvfsLevel::Rest));
+    Mrrg at6(cgra, 6);
+    EXPECT_TRUE(at6.levelUsable(DvfsLevel::Relax));
+    EXPECT_FALSE(at6.levelUsable(DvfsLevel::Rest));
+    Mrrg at7(cgra, 7);
+    EXPECT_FALSE(at7.levelUsable(DvfsLevel::Relax));
+    EXPECT_TRUE(at7.levelUsable(DvfsLevel::PowerGated));
+    EXPECT_THROW(at7.assignIsland(0, DvfsLevel::Relax), PanicError);
+}
+
+TEST(Mrrg, ActiveCyclesCountsAllResources)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    EXPECT_EQ(mrrg.activeCycles(0), 0);
+    EXPECT_FALSE(mrrg.tileUsed(0));
+    mrrg.occupyFu(0, 0, 1, 1);
+    mrrg.occupyPort(0, Dir::East, 2, 1, 5);
+    mrrg.occupyReg(0, 2, 4);
+    EXPECT_EQ(mrrg.activeCycles(0), 3); // cycles 0, 2, 3
+    EXPECT_TRUE(mrrg.tileUsed(0));
+}
+
+TEST(Mrrg, CopyableForBacktracking)
+{
+    Cgra cgra = makeCgra();
+    Mrrg a(cgra, 4);
+    a.occupyFu(0, 0, 1, 1);
+    Mrrg b = a;
+    b.occupyFu(0, 1, 1, 2);
+    EXPECT_TRUE(a.fuFree(0, 1, 1));
+    EXPECT_FALSE(b.fuFree(0, 1, 1));
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,149 @@
+/** @file Tests for pipeline adjustment (kernel merging, paper IV-B)
+ *  and generic-unroll property sweeps over the kernel registry. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dfg/cycle_analysis.hpp"
+#include "dfg/interpreter.hpp"
+#include "kernels/registry.hpp"
+#include "streaming/stream_sim.hpp"
+
+namespace iced {
+namespace {
+
+TEST(PipelineAdjust, NoOpWhenWithinBudget)
+{
+    Rng rng(1);
+    const AppDef app = makeLuApp(rng, 20);
+    const AppDef same = adjustPipeline(app, 6);
+    EXPECT_EQ(same.stages.size(), app.stages.size());
+    EXPECT_EQ(same.work, app.work);
+}
+
+TEST(PipelineAdjust, MergesDownToBudget)
+{
+    Rng rng(1);
+    const AppDef app = makeLuApp(rng, 20);
+    const AppDef merged = adjustPipeline(app, 4);
+    EXPECT_EQ(merged.stages.size(), 4u);
+    for (const auto &w : merged.work)
+        EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(PipelineAdjust, WorkIsConserved)
+{
+    Rng rng(1);
+    const AppDef app = makeGcnApp(rng, 25);
+    const AppDef merged = adjustPipeline(app, 3);
+    for (std::size_t i = 0; i < app.work.size(); ++i) {
+        long before = 0, after = 0;
+        for (long w : app.work[i])
+            before += w;
+        for (long w : merged.work[i])
+            after += w;
+        EXPECT_EQ(before, after) << "input " << i;
+    }
+}
+
+TEST(PipelineAdjust, MergedLabelNamesBothMembers)
+{
+    Rng rng(1);
+    const AppDef merged = adjustPipeline(makeLuApp(rng, 20), 5);
+    bool found = false;
+    for (const StageDef &s : merged.stages)
+        found = found || s.label.find('+') != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(PipelineAdjust, MergedKernelIsTheHeavierMember)
+{
+    // Build a tiny app where stage 1 dominates stage 2.
+    AppDef app;
+    app.name = "t";
+    app.stages = {{"lu_init", "a"}, {"lu_solver1", "b"},
+                  {"lu_invert", "c"}};
+    app.work = {{1, 1000, 1}, {1, 1000, 1}};
+    const AppDef merged = adjustPipeline(app, 2);
+    ASSERT_EQ(merged.stages.size(), 2u);
+    // The lightest adjacent pair is merged; the heavy solver1 must
+    // survive as a mapping kernel of its merged stage.
+    bool solver_kept = false;
+    for (const StageDef &s : merged.stages)
+        solver_kept = solver_kept || s.kernelName == "lu_solver1";
+    EXPECT_TRUE(solver_kept);
+}
+
+TEST(PipelineAdjust, MergedAppRunsEndToEnd)
+{
+    Cgra cgra(CgraConfig{});
+    PowerModel model;
+    Rng rng(5);
+    const AppDef app = adjustPipeline(makeLuApp(rng, 60), 4);
+    Partitioner part(cgra);
+    const PartitionPlan plan = part.plan(app, 30, true);
+    EXPECT_EQ(plan.stages.size(), 4u);
+    const auto stats = simulateStream(app, part, plan,
+                                      StreamPolicy::IcedDvfs, model);
+    EXPECT_GT(stats.energyUj, 0.0);
+    EXPECT_GT(stats.makespanCycles, 0.0);
+}
+
+TEST(PipelineAdjust, RejectsZeroBudget)
+{
+    Rng rng(1);
+    const AppDef app = makeLuApp(rng, 10);
+    EXPECT_THROW(adjustPipeline(app, 0), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Generic unroll transform on every registry kernel: the generated
+// x2 graph must compute exactly what the UF1 graph computes, and its
+// RecMII must never beat the hand-optimized UF2 builder (which may
+// re-associate).
+// ---------------------------------------------------------------
+
+class GenericUnrollSweep
+    : public ::testing::TestWithParam<const Kernel *>
+{
+};
+
+TEST_P(GenericUnrollSweep, SemanticsPreserved)
+{
+    const Kernel &k = *GetParam();
+    Rng rng(31);
+    const Workload w = k.workload(rng);
+    Dfg base = k.build(1);
+    Dfg unrolled = unrollDfg(base, 2);
+    const auto ref = interpretDfg(base, w.memory, w.iterations, false);
+    const auto got =
+        interpretDfg(unrolled, w.memory, w.iterations / 2, false);
+    EXPECT_EQ(got.memory, ref.memory);
+    EXPECT_EQ(got.outputs, ref.outputs);
+}
+
+TEST_P(GenericUnrollSweep, HandUnrollNeverLosesToGeneric)
+{
+    const Kernel &k = *GetParam();
+    const int generic = computeRecMii(unrollDfg(k.build(1), 2));
+    const int hand = computeRecMii(k.build(2));
+    EXPECT_LE(hand, generic) << k.name;
+}
+
+std::vector<const Kernel *>
+allKernelPtrs()
+{
+    std::vector<const Kernel *> out;
+    for (const Kernel &k : kernelRegistry())
+        out.push_back(&k);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, GenericUnrollSweep,
+    ::testing::ValuesIn(allKernelPtrs()),
+    [](const ::testing::TestParamInfo<const Kernel *> &info) {
+        return info.param->name;
+    });
+
+} // namespace
+} // namespace iced

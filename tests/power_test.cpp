@@ -1,0 +1,214 @@
+/** @file Power/area model and per-design evaluation tests. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/per_tile_dvfs.hpp"
+#include "mapper/power_gating.hpp"
+#include "power/area_model.hpp"
+#include "power/report.hpp"
+
+namespace iced {
+namespace {
+
+Cgra &
+cgra()
+{
+    static Cgra instance(CgraConfig{});
+    return instance;
+}
+
+TEST(PowerModel, LowerLevelsUseLessPower)
+{
+    PowerModel model;
+    const double normal = model.tilePowerMw(DvfsLevel::Normal, 0.5);
+    const double relax = model.tilePowerMw(DvfsLevel::Relax, 0.5);
+    const double rest = model.tilePowerMw(DvfsLevel::Rest, 0.5);
+    const double gated = model.tilePowerMw(DvfsLevel::PowerGated, 0.0);
+    EXPECT_GT(normal, relax);
+    EXPECT_GT(relax, rest);
+    EXPECT_GT(rest, gated);
+    EXPECT_GT(gated, 0.0);
+}
+
+TEST(PowerModel, ActivityMonotonicity)
+{
+    PowerModel model;
+    double prev = 0.0;
+    for (double a : {0.0, 0.25, 0.5, 1.0}) {
+        const double p = model.tilePowerMw(DvfsLevel::Normal, a);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+    EXPECT_THROW(model.tilePowerMw(DvfsLevel::Normal, 1.5), PanicError);
+}
+
+TEST(PowerModel, NominalFabricMatchesPaperHeadline)
+{
+    // 36 tiles at full activity plus 9 island controllers should land
+    // near the published 113.95 mW (without SRAM).
+    PowerModel model;
+    double tiles = 0.0;
+    for (int t = 0; t < 36; ++t)
+        tiles += model.tilePowerMw(DvfsLevel::Normal, 0.5);
+    const double total =
+        tiles + model.dvfsOverheadMw(DvfsHardware::PerIsland, 36, 9);
+    EXPECT_NEAR(total, 113.95, 12.0);
+}
+
+TEST(PowerModel, PerTileOverheadExceedsThirtyPercentOfTile)
+{
+    // The paper's UE-CGRA observation.
+    PowerModel model;
+    const double tile = model.tilePowerMw(DvfsLevel::Normal, 1.0);
+    const double ctrl = model.config().perTileControllerMw;
+    EXPECT_GT(ctrl / tile, 0.30);
+}
+
+TEST(PowerModel, IslandControllersAreCheaperInAggregate)
+{
+    PowerModel model;
+    EXPECT_LT(model.dvfsOverheadMw(DvfsHardware::PerIsland, 36, 9),
+              model.dvfsOverheadMw(DvfsHardware::PerTile, 36, 9));
+    EXPECT_EQ(model.dvfsOverheadMw(DvfsHardware::None, 36, 9), 0.0);
+}
+
+TEST(PowerModel, FabricPowerComposition)
+{
+    PowerModel model;
+    std::vector<TilePowerInput> tiles(4,
+                                      {DvfsLevel::Normal, 0.5});
+    const PowerBreakdown b =
+        model.fabricPower(tiles, DvfsHardware::PerIsland, 1);
+    EXPECT_NEAR(b.totalMw,
+                b.tilesMw + b.dvfsOverheadMw + b.sramMw, 1e-9);
+    EXPECT_DOUBLE_EQ(b.sramMw, 62.653);
+}
+
+TEST(PowerModel, EnergyScalesWithTimeAndPower)
+{
+    PowerModel model;
+    const double e1 = model.energyUj(100.0, 434.0); // 1 us at 100 mW
+    EXPECT_NEAR(e1, 0.1, 1e-9);
+    EXPECT_NEAR(model.energyUj(200.0, 434.0), 2 * e1, 1e-12);
+    EXPECT_NEAR(model.energyUj(100.0, 868.0), 2 * e1, 1e-12);
+}
+
+TEST(AreaModel, MatchesPaperHeadline)
+{
+    AreaModel model;
+    const AreaBreakdown b =
+        model.fabricArea(DvfsHardware::PerIsland, 36, 9, false);
+    EXPECT_NEAR(b.totalMm2, 6.63, 0.15); // paper: 6.63 mm^2
+    const AreaBreakdown with_sram =
+        model.fabricArea(DvfsHardware::PerIsland, 36, 9, true);
+    EXPECT_NEAR(with_sram.sramMm2, 0.559, 1e-9);
+}
+
+TEST(AreaModel, PerTileControllersCostMoreArea)
+{
+    AreaModel model;
+    const auto per_tile =
+        model.fabricArea(DvfsHardware::PerTile, 36, 9, false);
+    const auto per_island =
+        model.fabricArea(DvfsHardware::PerIsland, 36, 9, false);
+    EXPECT_GT(per_tile.dvfsOverheadMm2, per_island.dvfsOverheadMm2);
+}
+
+TEST(PerTileDvfs, UnusedTilesAreGated)
+{
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    const Dfg graph = buildSyntheticKernel();
+    Mapping m = Mapper(cgra(), conv).map(graph);
+    const PerTileDvfsResult r = applyPerTileDvfs(m);
+    for (TileId t = 0; t < cgra().tileCount(); ++t) {
+        if (!m.mrrg().tileUsed(t)) {
+            EXPECT_EQ(r.tileLevels[t], DvfsLevel::PowerGated);
+        }
+    }
+    EXPECT_GT(r.gatedTiles, 0);
+}
+
+TEST(PerTileDvfs, CriticalTilesStayNormal)
+{
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    Dfg dfg = buildSyntheticKernel();
+    Mapping m = Mapper(cgra(), conv).map(dfg);
+    const PerTileDvfsResult r = applyPerTileDvfs(m);
+    // Nodes n1/n4/n7/n9 form the critical recurrence.
+    for (const char *name : {"n1", "n4", "n7", "n9"}) {
+        NodeId v = -1;
+        for (const DfgNode &n : dfg.nodes())
+            if (n.name == name)
+                v = n.id;
+        EXPECT_EQ(r.tileLevels[m.placement(v).tile],
+                  DvfsLevel::Normal)
+            << name;
+    }
+}
+
+TEST(PerTileDvfs, ActiveCycleRuleBoundsLevels)
+{
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    const Dfg graph = buildSyntheticKernel();
+    Mapping m = Mapper(cgra(), conv).map(graph);
+    const PerTileDvfsResult r = applyPerTileDvfs(m);
+    for (TileId t = 0; t < cgra().tileCount(); ++t) {
+        const DvfsLevel level = r.tileLevels[t];
+        if (level == DvfsLevel::PowerGated ||
+            level == DvfsLevel::Normal)
+            continue;
+        EXPECT_LE(m.mrrg().activeCycles(t),
+                  m.ii() / slowdown(level))
+            << "tile " << t;
+    }
+}
+
+TEST(PowerGating, GatesOnlyUnusedIslands)
+{
+    const Dfg graph = buildSyntheticKernel();
+    Mapping m = Mapper(cgra(), MapperOptions{}).map(graph);
+    Mapping gated = m;
+    const int count = gateUnusedIslands(gated);
+    EXPECT_GE(count, 0);
+    for (IslandId i = 0; i < cgra().islandCount(); ++i) {
+        bool used = false;
+        for (TileId t : cgra().islandTiles(i))
+            used = used || m.mrrg().tileUsed(t);
+        EXPECT_EQ(gated.islandLevel(i) == DvfsLevel::PowerGated,
+                  !used);
+    }
+}
+
+TEST(Report, FourDesignsOrderAsInFigureEleven)
+{
+    // For a small kernel on a big fabric: per-tile DVFS pays its
+    // controllers, ICED beats the baseline, gating helps the baseline.
+    PowerModel model;
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    Dfg dfg = findKernel("fir").build(2);
+    Mapping conventional = Mapper(cgra(), conv).map(dfg);
+    Mapping iced_map = Mapper(cgra(), MapperOptions{}).map(dfg);
+
+    const auto baseline = evaluateBaseline(conventional, model);
+    const auto baseline_pg = evaluateBaselinePg(conventional, model);
+    const auto per_tile = evaluatePerTileDvfs(conventional, model);
+    const auto iced = evaluateIced(iced_map, model);
+
+    EXPECT_LT(baseline_pg.power.totalMw, baseline.power.totalMw);
+    EXPECT_LT(iced.power.totalMw, baseline.power.totalMw);
+    EXPECT_GT(per_tile.power.dvfsOverheadMw,
+              iced.power.dvfsOverheadMw);
+    // Utilization: ICED (gated tiles excluded) beats the baseline
+    // average (idle tiles included) -- the Fig. 9 effect.
+    EXPECT_GT(iced.stats.avgUtilization,
+              baseline.stats.avgUtilization);
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,256 @@
+/** @file Streaming-stack tests: datasets, controller, partitioner,
+ *  DRIPS, and the pipeline simulator. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "streaming/datasets.hpp"
+#include "streaming/stream_sim.hpp"
+
+namespace iced {
+namespace {
+
+Cgra &
+cgra()
+{
+    static Cgra instance(CgraConfig{});
+    return instance;
+}
+
+TEST(Datasets, EnzymeStreamMatchesPublishedStatistics)
+{
+    Rng rng(11);
+    const auto graphs = makeEnzymeStream(rng, 600);
+    ASSERT_EQ(graphs.size(), 600u);
+    double degree_sum = 0.0;
+    for (const GraphSample &g : graphs) {
+        EXPECT_GE(g.nodes, 2);
+        EXPECT_LE(g.nodes, 126);
+        EXPECT_GE(g.edges, g.nodes - 1);
+        const double degree = 2.0 * g.edges / g.nodes;
+        EXPECT_GE(degree, 1.9);
+        EXPECT_LE(degree, 126.5);
+        degree_sum += degree;
+    }
+    EXPECT_NEAR(degree_sum / 600.0, 32.6, 10.0);
+}
+
+TEST(Datasets, MatrixStreamWithinBounds)
+{
+    Rng rng(11);
+    for (const MatrixSample &m : makeSparseMatrixStream(rng, 150)) {
+        EXPECT_LE(m.n, 100);
+        EXPECT_GE(m.nnz, m.n);
+        EXPECT_LE(m.nnz, static_cast<long>(m.n) * m.n);
+    }
+}
+
+TEST(Datasets, Deterministic)
+{
+    Rng a(5), b(5);
+    const auto ga = makeEnzymeStream(a, 50);
+    const auto gb = makeEnzymeStream(b, 50);
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+        EXPECT_EQ(ga[i].nodes, gb[i].nodes);
+        EXPECT_EQ(ga[i].edges, gb[i].edges);
+    }
+}
+
+TEST(Apps, GcnHasSixStagesWithAggregateTwice)
+{
+    Rng rng(1);
+    const AppDef app = makeGcnApp(rng, 30);
+    EXPECT_EQ(app.stages.size(), 6u);
+    int aggregates = 0;
+    for (const StageDef &s : app.stages)
+        aggregates += s.kernelName == "gcn_aggregate";
+    EXPECT_EQ(aggregates, 2);
+    ASSERT_EQ(app.work.size(), 30u);
+    for (const auto &w : app.work)
+        EXPECT_EQ(w.size(), app.stages.size());
+}
+
+TEST(Apps, LuHasSixKernels)
+{
+    Rng rng(1);
+    const AppDef app = makeLuApp(rng, 10);
+    EXPECT_EQ(app.stages.size(), 6u);
+    for (const StageDef &s : app.stages)
+        EXPECT_EQ(findKernel(s.kernelName).domain, "lu");
+}
+
+TEST(Controller, AdjustsOnlyAtWindowBoundary)
+{
+    DvfsController c(3, 10);
+    for (int i = 0; i < 9; ++i) {
+        c.recordCompletion(0, 100.0);
+        c.recordCompletion(1, 10.0);
+        c.recordCompletion(2, 10.0);
+        EXPECT_FALSE(c.inputConsumed()) << "input " << i;
+    }
+    c.recordCompletion(0, 100.0);
+    c.recordCompletion(1, 10.0);
+    c.recordCompletion(2, 10.0);
+    EXPECT_TRUE(c.inputConsumed());
+}
+
+TEST(Controller, BottleneckStaysNormalOthersDescend)
+{
+    DvfsController c(3, 1);
+    for (int round = 0; round < 3; ++round) {
+        c.recordCompletion(0, 1000.0);
+        c.recordCompletion(1, 10.0);
+        c.recordCompletion(2, 10.0);
+        c.inputConsumed();
+    }
+    EXPECT_EQ(c.level(0), DvfsLevel::Normal);
+    EXPECT_EQ(c.level(1), DvfsLevel::Rest);
+    EXPECT_EQ(c.level(2), DvfsLevel::Rest);
+}
+
+TEST(Controller, HeadroomPreventsCreatingANewBottleneck)
+{
+    DvfsController c(2, 1);
+    // Stage 1 is at 60% of the bottleneck: doubling it would overshoot.
+    c.recordCompletion(0, 100.0);
+    c.recordCompletion(1, 60.0);
+    c.inputConsumed();
+    EXPECT_EQ(c.level(1), DvfsLevel::Normal);
+}
+
+TEST(Controller, SlowedBottleneckJumpsBackToNormal)
+{
+    DvfsController c(2, 1);
+    // First window: stage 1 idle, gets lowered.
+    c.recordCompletion(0, 100.0);
+    c.recordCompletion(1, 10.0);
+    c.inputConsumed();
+    EXPECT_EQ(c.level(1), DvfsLevel::Relax);
+    // Now stage 1 explodes: it must return straight to normal.
+    c.recordCompletion(0, 10.0);
+    c.recordCompletion(1, 500.0);
+    c.inputConsumed();
+    EXPECT_EQ(c.level(1), DvfsLevel::Normal);
+}
+
+TEST(Partitioner, CandidateTableIsSane)
+{
+    Partitioner part(cgra());
+    const auto one = part.candidate("gcn_pooling", 1);
+    ASSERT_TRUE(one.has_value());
+    EXPECT_GE(one->ii, 4);
+    const auto more = part.candidate("gcn_pooling", 3);
+    ASSERT_TRUE(more.has_value());
+    EXPECT_LE(more->ii, one->ii); // more islands never hurt
+}
+
+TEST(Partitioner, IcedCandidateKeepsTheSameIi)
+{
+    Partitioner part(cgra());
+    for (const char *k : {"gcn_combine", "lu_solver0"}) {
+        const auto conv = part.candidate(k, 2, false);
+        const auto iced = part.candidate(k, 2, true);
+        ASSERT_TRUE(conv && iced);
+        EXPECT_LE(iced->ii, conv->ii) << k;
+    }
+}
+
+TEST(Partitioner, PlanCoversAllStagesWithinBudget)
+{
+    Rng rng(3);
+    const AppDef app = makeGcnApp(rng, 60);
+    Partitioner part(cgra());
+    const PartitionPlan plan = part.plan(app);
+    EXPECT_EQ(plan.stages.size(), app.stages.size());
+    int total = 0;
+    for (const StagePlan &s : plan.stages) {
+        EXPECT_GE(s.islands, 1);
+        total += s.islands;
+    }
+    EXPECT_EQ(total, plan.usedIslands);
+    EXPECT_LE(plan.usedIslands, plan.totalIslands);
+}
+
+TEST(Drips, RebalanceMovesIslandTowardBottleneck)
+{
+    Rng rng(3);
+    const AppDef app = makeLuApp(rng, 60);
+    Partitioner part(cgra());
+    PartitionPlan plan = part.plan(app);
+    DripsScheduler drips(part, plan);
+    // Declare stage 0 the bottleneck with everything else idle.
+    std::vector<double> busy(app.stages.size(), 1.0);
+    busy[0] = 1e9;
+    const bool moved = drips.rebalance(busy);
+    if (moved) {
+        EXPECT_GT(drips.plan().stages[0].islands,
+                  plan.stages[0].islands);
+    } else {
+        SUCCEED(); // no profitable move existed; also legal
+    }
+}
+
+class StreamAppSweep : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    AppDef makeApp()
+    {
+        Rng rng(42);
+        return std::string(GetParam()) == "gcn" ? makeGcnApp(rng, 100)
+                                                : makeLuApp(rng, 100);
+    }
+};
+
+TEST_P(StreamAppSweep, IcedPreservesThroughput)
+{
+    const AppDef app = makeApp();
+    Partitioner part(cgra());
+    const PartitionPlan iced_plan = part.plan(app, 50, true);
+    const PartitionPlan conv_plan = part.plan(app, 50, false);
+    PowerModel model;
+    const auto iced = simulateStream(app, part, iced_plan,
+                                     StreamPolicy::IcedDvfs, model);
+    const auto stat = simulateStream(app, part, conv_plan,
+                                     StreamPolicy::StaticNormal, model);
+    EXPECT_LT(iced.makespanCycles, 1.10 * stat.makespanCycles);
+}
+
+TEST_P(StreamAppSweep, IcedBeatsStaticEnergy)
+{
+    const AppDef app = makeApp();
+    Partitioner part(cgra());
+    const PartitionPlan iced_plan = part.plan(app, 50, true);
+    const PartitionPlan conv_plan = part.plan(app, 50, false);
+    PowerModel model;
+    const auto iced = simulateStream(app, part, iced_plan,
+                                     StreamPolicy::IcedDvfs, model);
+    const auto stat = simulateStream(app, part, conv_plan,
+                                     StreamPolicy::StaticNormal, model);
+    EXPECT_LT(iced.energyUj, stat.energyUj);
+}
+
+TEST_P(StreamAppSweep, WindowRecordsCoverTheRun)
+{
+    const AppDef app = makeApp();
+    Partitioner part(cgra());
+    const PartitionPlan plan = part.plan(app, 50, true);
+    PowerModel model;
+    const auto stats = simulateStream(app, part, plan,
+                                      StreamPolicy::IcedDvfs, model);
+    ASSERT_FALSE(stats.windows.empty());
+    EXPECT_EQ(stats.windows.front().firstInput, 0);
+    EXPECT_EQ(stats.windows.back().lastInput,
+              static_cast<int>(app.work.size()) - 1);
+    double sum = 0.0;
+    for (const WindowRecord &w : stats.windows) {
+        EXPECT_GT(w.energyUj, 0.0);
+        EXPECT_GT(w.inputsPerUj, 0.0);
+        sum += w.energyUj;
+    }
+    EXPECT_NEAR(sum, stats.energyUj, 1e-6 * stats.energyUj);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, StreamAppSweep,
+                         ::testing::Values("gcn", "lu"));
+
+} // namespace
+} // namespace iced

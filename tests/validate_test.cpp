@@ -1,0 +1,188 @@
+/** @file Tests that the independent validator catches corruptions. */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/validate.hpp"
+
+namespace iced {
+namespace {
+
+Cgra &
+cgra()
+{
+    static Cgra instance(CgraConfig{});
+    return instance;
+}
+
+const Dfg &
+dfg()
+{
+    static Dfg graph = buildSyntheticKernel();
+    return graph;
+}
+
+Mapping
+goodMapping()
+{
+    return Mapper(cgra(), MapperOptions{}).map(dfg());
+}
+
+NodeId
+byName(const Dfg &graph, const std::string &name)
+{
+    for (const DfgNode &n : graph.nodes())
+        if (n.name == name)
+            return n.id;
+    return -1;
+}
+
+
+TEST(Validate, AcceptsMapperOutput)
+{
+    EXPECT_TRUE(checkMapping(goodMapping()).empty());
+    EXPECT_NO_THROW(validateMapping(goodMapping()));
+}
+
+TEST(Validate, CatchesUnplacedNode)
+{
+    Mapping m = goodMapping();
+    m.setPlacement(byName(dfg(), "n1"), -1, -1);
+    EXPECT_FALSE(checkMapping(m).empty());
+    EXPECT_THROW(validateMapping(m), FatalError);
+}
+
+TEST(Validate, CatchesPlacedConstant)
+{
+    Mapping m = goodMapping();
+    NodeId constant = -1;
+    for (const DfgNode &n : dfg().nodes())
+        if (n.op == Opcode::Const)
+            constant = n.id;
+    ASSERT_GE(constant, 0);
+    m.setPlacement(constant, 3, 0);
+    EXPECT_FALSE(checkMapping(m).empty());
+}
+
+TEST(Validate, CatchesFuConflict)
+{
+    Mapping m = goodMapping();
+    // Move one node onto another node's (tile, slot).
+    const Placement p = m.placement(byName(dfg(), "n1"));
+    m.setPlacement(byName(dfg(), "n8"), p.tile, p.time);
+    const auto issues = checkMapping(m);
+    ASSERT_FALSE(issues.empty());
+    bool mentions_conflict = false;
+    for (const auto &i : issues)
+        mentions_conflict |= i.find("conflict") != std::string::npos ||
+                             i.find("route") != std::string::npos;
+    EXPECT_TRUE(mentions_conflict);
+}
+
+TEST(Validate, CatchesMemoryOpOffSpmColumn)
+{
+    Mapping m = goodMapping();
+    NodeId load = -1;
+    for (const DfgNode &n : dfg().nodes())
+        if (n.op == Opcode::Load)
+            load = n.id;
+    ASSERT_GE(load, 0);
+    m.setPlacement(load, cgra().tileAt(0, 3),
+                   m.placement(load).time);
+    const auto issues = checkMapping(m);
+    bool flagged = false;
+    for (const auto &i : issues)
+        flagged |= i.find("SPM") != std::string::npos;
+    EXPECT_TRUE(flagged);
+}
+
+TEST(Validate, CatchesUnalignedFiringOnSlowIsland)
+{
+    Mapping m = goodMapping();
+    // Find a node on a slow island (the mapper produces some).
+    for (const DfgNode &n : dfg().nodes()) {
+        if (n.op == Opcode::Const)
+            continue;
+        const Placement p = m.placement(n.id);
+        const DvfsLevel level = m.tileLevel(p.tile);
+        if (level != DvfsLevel::PowerGated && slowdown(level) > 1) {
+            m.setPlacement(n.id, p.tile, p.time + 1);
+            EXPECT_FALSE(checkMapping(m).empty());
+            return;
+        }
+    }
+    GTEST_SKIP() << "mapping used no slow islands";
+}
+
+TEST(Validate, CatchesBrokenRouteChain)
+{
+    Mapping m = goodMapping();
+    for (const DfgEdge &e : dfg().edges()) {
+        Route r = m.route(e.id);
+        if (r.edge == -1 || r.steps.empty())
+            continue;
+        r.steps.front().start += 1; // break the chain
+        m.setRoute(e.id, r);
+        EXPECT_FALSE(checkMapping(m).empty());
+        return;
+    }
+    GTEST_SKIP() << "no multi-step routes in mapping";
+}
+
+TEST(Validate, CatchesWrongRouteTarget)
+{
+    Mapping m = goodMapping();
+    for (const DfgEdge &e : dfg().edges()) {
+        Route r = m.route(e.id);
+        if (r.edge == -1)
+            continue;
+        r.targetTime += 1;
+        m.setRoute(e.id, r);
+        EXPECT_FALSE(checkMapping(m).empty());
+        return;
+    }
+    FAIL() << "no routes at all";
+}
+
+TEST(Validate, CatchesBogusBranchStart)
+{
+    Mapping m = goodMapping();
+    for (const DfgEdge &e : dfg().edges()) {
+        Route r = m.route(e.id);
+        if (r.edge == -1 || !r.steps.empty())
+            continue;
+        // A zero-step route claiming to start somewhere unrelated.
+        r.startTile = (r.startTile + 7) % cgra().tileCount();
+        m.setRoute(e.id, r);
+        EXPECT_FALSE(checkMapping(m).empty());
+        return;
+    }
+    GTEST_SKIP() << "no zero-step routes in mapping";
+}
+
+TEST(Validate, CatchesMisleveledIsland)
+{
+    Mapping m = goodMapping();
+    ASSERT_EQ(m.ii() % 4, 0) << "test expects a rest-compatible II";
+    // Find a used normal island and set an unusable level for II.
+    Mapping odd = Mapper(cgra(), MapperOptions{})
+                      .tryMapAtIi(dfg(), 5)
+                      .value_or(m);
+    if (odd.ii() == 5) {
+        odd.setIslandLevel(0, DvfsLevel::Rest); // 4 does not divide 5
+        EXPECT_FALSE(checkMapping(odd).empty());
+    }
+}
+
+TEST(Validate, CatchesGatedIslandWithWork)
+{
+    Mapping m = goodMapping();
+    const IslandId island =
+        cgra().islandOf(m.placement(byName(dfg(), "n1")).tile);
+    m.setIslandLevel(island, DvfsLevel::PowerGated);
+    EXPECT_FALSE(checkMapping(m).empty());
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ii_relax.dir/abl_ii_relax.cpp.o"
+  "CMakeFiles/abl_ii_relax.dir/abl_ii_relax.cpp.o.d"
+  "abl_ii_relax"
+  "abl_ii_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ii_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

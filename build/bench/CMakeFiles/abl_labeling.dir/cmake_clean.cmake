@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_labeling.dir/abl_labeling.cpp.o"
+  "CMakeFiles/abl_labeling.dir/abl_labeling.cpp.o.d"
+  "abl_labeling"
+  "abl_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

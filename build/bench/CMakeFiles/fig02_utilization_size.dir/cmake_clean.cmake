@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_utilization_size.dir/fig02_utilization_size.cpp.o"
+  "CMakeFiles/fig02_utilization_size.dir/fig02_utilization_size.cpp.o.d"
+  "fig02_utilization_size"
+  "fig02_utilization_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_utilization_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

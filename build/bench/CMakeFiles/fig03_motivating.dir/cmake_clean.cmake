@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_motivating.dir/fig03_motivating.cpp.o"
+  "CMakeFiles/fig03_motivating.dir/fig03_motivating.cpp.o.d"
+  "fig03_motivating"
+  "fig03_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_power_area.dir/fig08_power_area.cpp.o"
+  "CMakeFiles/fig08_power_area.dir/fig08_power_area.cpp.o.d"
+  "fig08_power_area"
+  "fig08_power_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_power_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_avg_utilization.dir/fig09_avg_utilization.cpp.o"
+  "CMakeFiles/fig09_avg_utilization.dir/fig09_avg_utilization.cpp.o.d"
+  "fig09_avg_utilization"
+  "fig09_avg_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_avg_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dvfs_level.dir/fig10_dvfs_level.cpp.o"
+  "CMakeFiles/fig10_dvfs_level.dir/fig10_dvfs_level.cpp.o.d"
+  "fig10_dvfs_level"
+  "fig10_dvfs_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dvfs_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_streaming.dir/fig13_streaming.cpp.o"
+  "CMakeFiles/fig13_streaming.dir/fig13_streaming.cpp.o.d"
+  "fig13_streaming"
+  "fig13_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_arch_comparison.dir/fig14_arch_comparison.cpp.o"
+  "CMakeFiles/fig14_arch_comparison.dir/fig14_arch_comparison.cpp.o.d"
+  "fig14_arch_comparison"
+  "fig14_arch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_arch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcn_streaming.dir/gcn_streaming.cpp.o"
+  "CMakeFiles/gcn_streaming.dir/gcn_streaming.cpp.o.d"
+  "gcn_streaming"
+  "gcn_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcn_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

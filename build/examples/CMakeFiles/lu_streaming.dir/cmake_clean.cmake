@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_streaming.dir/lu_streaming.cpp.o"
+  "CMakeFiles/lu_streaming.dir/lu_streaming.cpp.o.d"
+  "lu_streaming"
+  "lu_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cgra.cpp" "src/CMakeFiles/iced.dir/arch/cgra.cpp.o" "gcc" "src/CMakeFiles/iced.dir/arch/cgra.cpp.o.d"
+  "/root/repo/src/arch/dvfs.cpp" "src/CMakeFiles/iced.dir/arch/dvfs.cpp.o" "gcc" "src/CMakeFiles/iced.dir/arch/dvfs.cpp.o.d"
+  "/root/repo/src/arch/spm.cpp" "src/CMakeFiles/iced.dir/arch/spm.cpp.o" "gcc" "src/CMakeFiles/iced.dir/arch/spm.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/iced.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/iced.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/iced.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/iced.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/iced.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/iced.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table_writer.cpp" "src/CMakeFiles/iced.dir/common/table_writer.cpp.o" "gcc" "src/CMakeFiles/iced.dir/common/table_writer.cpp.o.d"
+  "/root/repo/src/dfg/cycle_analysis.cpp" "src/CMakeFiles/iced.dir/dfg/cycle_analysis.cpp.o" "gcc" "src/CMakeFiles/iced.dir/dfg/cycle_analysis.cpp.o.d"
+  "/root/repo/src/dfg/dfg.cpp" "src/CMakeFiles/iced.dir/dfg/dfg.cpp.o" "gcc" "src/CMakeFiles/iced.dir/dfg/dfg.cpp.o.d"
+  "/root/repo/src/dfg/dot_export.cpp" "src/CMakeFiles/iced.dir/dfg/dot_export.cpp.o" "gcc" "src/CMakeFiles/iced.dir/dfg/dot_export.cpp.o.d"
+  "/root/repo/src/dfg/interpreter.cpp" "src/CMakeFiles/iced.dir/dfg/interpreter.cpp.o" "gcc" "src/CMakeFiles/iced.dir/dfg/interpreter.cpp.o.d"
+  "/root/repo/src/dfg/opcode.cpp" "src/CMakeFiles/iced.dir/dfg/opcode.cpp.o" "gcc" "src/CMakeFiles/iced.dir/dfg/opcode.cpp.o.d"
+  "/root/repo/src/kernels/builder_util.cpp" "src/CMakeFiles/iced.dir/kernels/builder_util.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/builder_util.cpp.o.d"
+  "/root/repo/src/kernels/embedded.cpp" "src/CMakeFiles/iced.dir/kernels/embedded.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/embedded.cpp.o.d"
+  "/root/repo/src/kernels/gcn.cpp" "src/CMakeFiles/iced.dir/kernels/gcn.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/gcn.cpp.o.d"
+  "/root/repo/src/kernels/hpc.cpp" "src/CMakeFiles/iced.dir/kernels/hpc.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/hpc.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/CMakeFiles/iced.dir/kernels/lu.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/lu.cpp.o.d"
+  "/root/repo/src/kernels/ml.cpp" "src/CMakeFiles/iced.dir/kernels/ml.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/ml.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/iced.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/synthetic.cpp" "src/CMakeFiles/iced.dir/kernels/synthetic.cpp.o" "gcc" "src/CMakeFiles/iced.dir/kernels/synthetic.cpp.o.d"
+  "/root/repo/src/mapper/labeling.cpp" "src/CMakeFiles/iced.dir/mapper/labeling.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mapper/labeling.cpp.o.d"
+  "/root/repo/src/mapper/mapper.cpp" "src/CMakeFiles/iced.dir/mapper/mapper.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mapper/mapper.cpp.o.d"
+  "/root/repo/src/mapper/mapping.cpp" "src/CMakeFiles/iced.dir/mapper/mapping.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mapper/mapping.cpp.o.d"
+  "/root/repo/src/mapper/per_tile_dvfs.cpp" "src/CMakeFiles/iced.dir/mapper/per_tile_dvfs.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mapper/per_tile_dvfs.cpp.o.d"
+  "/root/repo/src/mapper/power_gating.cpp" "src/CMakeFiles/iced.dir/mapper/power_gating.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mapper/power_gating.cpp.o.d"
+  "/root/repo/src/mapper/validate.cpp" "src/CMakeFiles/iced.dir/mapper/validate.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mapper/validate.cpp.o.d"
+  "/root/repo/src/mrrg/mrrg.cpp" "src/CMakeFiles/iced.dir/mrrg/mrrg.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mrrg/mrrg.cpp.o.d"
+  "/root/repo/src/mrrg/router.cpp" "src/CMakeFiles/iced.dir/mrrg/router.cpp.o" "gcc" "src/CMakeFiles/iced.dir/mrrg/router.cpp.o.d"
+  "/root/repo/src/power/area_model.cpp" "src/CMakeFiles/iced.dir/power/area_model.cpp.o" "gcc" "src/CMakeFiles/iced.dir/power/area_model.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/iced.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/iced.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/power/report.cpp" "src/CMakeFiles/iced.dir/power/report.cpp.o" "gcc" "src/CMakeFiles/iced.dir/power/report.cpp.o.d"
+  "/root/repo/src/sim/activity.cpp" "src/CMakeFiles/iced.dir/sim/activity.cpp.o" "gcc" "src/CMakeFiles/iced.dir/sim/activity.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/iced.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/iced.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/streaming/datasets.cpp" "src/CMakeFiles/iced.dir/streaming/datasets.cpp.o" "gcc" "src/CMakeFiles/iced.dir/streaming/datasets.cpp.o.d"
+  "/root/repo/src/streaming/drips.cpp" "src/CMakeFiles/iced.dir/streaming/drips.cpp.o" "gcc" "src/CMakeFiles/iced.dir/streaming/drips.cpp.o.d"
+  "/root/repo/src/streaming/dvfs_controller.cpp" "src/CMakeFiles/iced.dir/streaming/dvfs_controller.cpp.o" "gcc" "src/CMakeFiles/iced.dir/streaming/dvfs_controller.cpp.o.d"
+  "/root/repo/src/streaming/partitioner.cpp" "src/CMakeFiles/iced.dir/streaming/partitioner.cpp.o" "gcc" "src/CMakeFiles/iced.dir/streaming/partitioner.cpp.o.d"
+  "/root/repo/src/streaming/pipeline.cpp" "src/CMakeFiles/iced.dir/streaming/pipeline.cpp.o" "gcc" "src/CMakeFiles/iced.dir/streaming/pipeline.cpp.o.d"
+  "/root/repo/src/streaming/stream_sim.cpp" "src/CMakeFiles/iced.dir/streaming/stream_sim.cpp.o" "gcc" "src/CMakeFiles/iced.dir/streaming/stream_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for iced.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrrg_test.dir/mrrg_test.cpp.o"
+  "CMakeFiles/mrrg_test.dir/mrrg_test.cpp.o.d"
+  "mrrg_test"
+  "mrrg_test.pdb"
+  "mrrg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrrg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_adjust_test.dir/pipeline_adjust_test.cpp.o"
+  "CMakeFiles/pipeline_adjust_test.dir/pipeline_adjust_test.cpp.o.d"
+  "pipeline_adjust_test"
+  "pipeline_adjust_test.pdb"
+  "pipeline_adjust_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_adjust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

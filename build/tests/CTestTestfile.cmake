@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dfg_test[1]_include.cmake")
+include("/root/repo/build/tests/cycle_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_test[1]_include.cmake")
+include("/root/repo/build/tests/mrrg_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_test[1]_include.cmake")
+include("/root/repo/build/tests/mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_adjust_test[1]_include.cmake")

@@ -7,6 +7,14 @@
  * the corresponding paper table/figure as an aligned text table
  * (honest model outputs side by side with the published values where
  * the paper states them).
+ *
+ * All mappings of a binary's figure/table sections flow through one
+ * process-wide `MappingCache`, so a kernel mapped both by a benchmark
+ * fixture and by the figure body (or by several sections) is computed
+ * once; `ICED_BENCH_MAIN` prints the cache's hit/miss tally after the
+ * tables. Benchmark *timing loops* that intend to measure the mapper
+ * itself must bypass the cache (pass `nullptr` to `MappedKernel`, or
+ * call `Mapper` directly).
  */
 #ifndef ICED_BENCH_BENCH_UTIL_HPP
 #define ICED_BENCH_BENCH_UTIL_HPP
@@ -18,6 +26,7 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/table_writer.hpp"
+#include "exec/experiment_runner.hpp"
 #include "kernels/registry.hpp"
 #include "mapper/mapper.hpp"
 #include "mapper/validate.hpp"
@@ -37,24 +46,69 @@ makeCgra(int n = 6, int island_rows = 2, int island_cols = 2)
     return Cgra(c);
 }
 
-/** Both mappings of one kernel, validated. */
+/** The paper's conventional (DVFS-unaware) mapper configuration. */
+inline MapperOptions
+conventionalOptions()
+{
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    return conv;
+}
+
+/** Mapping cache shared by every section of one bench binary. */
+inline MappingCache &
+cache()
+{
+    static MappingCache shared(1024);
+    return shared;
+}
+
+namespace detail {
+
+/** Map through `cache` (or directly when null); fatal when unmapped. */
+inline std::shared_ptr<const MappingEntry>
+mapKernel(MappingCache *cache, const Cgra &cgra, const Kernel &kernel,
+          int uf, const MapperOptions &options)
+{
+    const Dfg dfg = kernel.build(uf);
+    auto entry = cache
+                     ? cache->map(cgra.config(), dfg, options)
+                     : computeMappingEntry(cgra.config(), dfg, options);
+    fatalIf(!entry->mapped(), "bench: kernel '", kernel.name, "' x", uf,
+            " failed to map on ", cgra.describe(), ": ",
+            entry->failed() ? entry->error : "no fit");
+    return entry;
+}
+
+} // namespace detail
+
+/**
+ * Both mappings of one kernel, validated.
+ *
+ * Pulled from the shared bench cache by default; pass `cache =
+ * nullptr` inside benchmark timing loops that must measure the mapper.
+ * The reference members point into the (shared) cache entries, which
+ * the entry pointers keep alive.
+ */
 struct MappedKernel
 {
+    std::shared_ptr<const MappingEntry> conventionalEntry;
+    std::shared_ptr<const MappingEntry> icedEntry;
     std::string name;
-    Dfg dfg;
-    Mapping conventional;
-    Mapping iced;
+    const Dfg &dfg;
+    const Mapping &conventional;
+    const Mapping &iced;
 
-    MappedKernel(const Cgra &cgra, const Kernel &kernel, int uf)
-        : name(kernel.name),
-          dfg(kernel.build(uf)),
-          conventional(
-              [&] {
-                  MapperOptions conv;
-                  conv.dvfsAware = false;
-                  return Mapper(cgra, conv).map(dfg);
-              }()),
-          iced(Mapper(cgra, MapperOptions{}).map(dfg))
+    MappedKernel(const Cgra &cgra, const Kernel &kernel, int uf,
+                 MappingCache *cache = &bench::cache())
+        : conventionalEntry(detail::mapKernel(cache, cgra, kernel, uf,
+                                              conventionalOptions())),
+          icedEntry(detail::mapKernel(cache, cgra, kernel, uf,
+                                      MapperOptions{})),
+          name(kernel.name),
+          dfg(icedEntry->dfg),
+          conventional(*conventionalEntry->mapping),
+          iced(*icedEntry->mapping)
     {
         validateMapping(conventional);
         validateMapping(iced);
@@ -70,6 +124,26 @@ forEachSingleKernel(Fn &&body)
         body(*k);
 }
 
+/** Names of the ten single-kernel workloads, registry order. */
+inline std::vector<std::string>
+singleKernelNames()
+{
+    std::vector<std::string> names;
+    for (const Kernel *k : singleKernels())
+        names.push_back(k->name);
+    return names;
+}
+
+/** Print the shared cache's tally (the ICED_BENCH_MAIN footer). */
+inline void
+printCacheStats(std::ostream &os)
+{
+    const MappingCacheStats cs = cache().stats();
+    os << "\nmapping cache: " << cs.hits << " hits / " << cs.misses
+       << " misses (" << TableWriter::num(100 * cs.hitRate(), 1)
+       << "% hit rate)\n";
+}
+
 /** Standard boilerplate main: run benchmarks, then the table. */
 #define ICED_BENCH_MAIN(experiment_fn)                                  \
     int main(int argc, char **argv)                                     \
@@ -78,6 +152,7 @@ forEachSingleKernel(Fn &&body)
         ::benchmark::RunSpecifiedBenchmarks();                          \
         ::benchmark::Shutdown();                                        \
         experiment_fn();                                                \
+        ::iced::bench::printCacheStats(std::cout);                      \
         return 0;                                                       \
     }
 

@@ -4,6 +4,10 @@
  * II) on an 8x8 CGRA for DVFS island sizes 1x1, 2x2, 3x3, 4x4. The
  * paper reports no degradation at 2x2 and increasing slowdowns for
  * larger islands (bigger islands constrain placement).
+ *
+ * The sweep (10 kernels x 5 mapper runs) is dispatched through the
+ * exec ExperimentRunner: cells map in parallel, the table is emitted
+ * in grid order, so the output is identical at any thread count.
  */
 #include "bench_util.hpp"
 
@@ -12,28 +16,54 @@ namespace iced {
 void
 runFigure()
 {
+    const std::vector<int> island_sizes{1, 2, 3, 4};
+
+    // Grid: per kernel, the no-DVFS baseline followed by the four
+    // island geometries, all on the 8x8 fabric.
+    std::vector<JobSpec> grid;
+    for (const Kernel *k : singleKernels()) {
+        JobSpec base;
+        base.kernel = k->name;
+        base.fabric = bench::makeCgra(8).config();
+        base.options = bench::conventionalOptions();
+        base.variant = "baseline";
+        grid.push_back(base);
+        for (int island : island_sizes) {
+            JobSpec cell;
+            cell.kernel = k->name;
+            cell.fabric = bench::makeCgra(8, island, island).config();
+            cell.variant = std::to_string(island) + "x" +
+                           std::to_string(island);
+            grid.push_back(cell);
+        }
+    }
+
+    ExperimentRunner runner;
+    const std::vector<JobResult> results = runner.run(grid);
+
     TableWriter table({"kernel", "no-DVFS II", "1x1", "2x2", "3x3",
                        "4x4"});
     Summary geo[4];
-    for (const Kernel *k : singleKernels()) {
-        Dfg dfg = k->build(1);
-        Cgra base = bench::makeCgra(8);
-        MapperOptions conv;
-        conv.dvfsAware = false;
-        const int base_ii = Mapper(base, conv).map(dfg).ii();
-        std::vector<std::string> row{k->name,
-                                     std::to_string(base_ii)};
-        int idx = 0;
-        for (int island : {1, 2, 3, 4}) {
-            Cgra cgra = bench::makeCgra(8, island, island);
-            Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
-            validateMapping(m);
+    const std::size_t stride = 1 + island_sizes.size();
+    for (std::size_t row = 0; row * stride < results.size(); ++row) {
+        const JobResult &base = results[row * stride];
+        fatalIf(!base.mapped(), "fig04: baseline map of '",
+                base.spec.kernel, "' failed: ", base.error);
+        const int base_ii = base.mapping().ii();
+        std::vector<std::string> cells{base.spec.kernel,
+                                       std::to_string(base_ii)};
+        for (std::size_t j = 0; j < island_sizes.size(); ++j) {
+            const JobResult &cell = results[row * stride + 1 + j];
+            fatalIf(!cell.mapped(), "fig04: ICED map of '",
+                    cell.spec.kernel, "' (", cell.spec.variant,
+                    ") failed: ", cell.error);
+            validateMapping(cell.mapping());
             const double normalized =
-                static_cast<double>(base_ii) / m.ii();
-            row.push_back(TableWriter::num(normalized, 2));
-            geo[idx++].add(normalized);
+                static_cast<double>(base_ii) / cell.mapping().ii();
+            cells.push_back(TableWriter::num(normalized, 2));
+            geo[j].add(normalized);
         }
-        table.addRow(std::move(row));
+        table.addRow(std::move(cells));
     }
     std::cout << "\n=== Figure 4: normalized performance vs DVFS "
                  "island size (8x8 CGRA) ===\n";

@@ -56,7 +56,8 @@ BM_FullEvaluation(benchmark::State &state)
     Cgra cgra = bench::makeCgra();
     const Kernel &k = *singleKernels()[state.range(0)];
     for (auto _ : state) {
-        bench::MappedKernel mk(cgra, k, 1);
+        // Bypass the bench cache: this case times the mapper itself.
+        bench::MappedKernel mk(cgra, k, 1, nullptr);
         const auto iced = evaluateIced(mk.iced, model);
         benchmark::DoNotOptimize(iced.stats.avgUtilization);
     }

@@ -4,6 +4,10 @@
  * (2x2 islands) across CGRA sizes 2x2, 4x4, 6x6, 8x8. The paper's
  * point: islandization tracks the per-tile solution as fabrics grow
  * (small kernels leave more islands to gate on large fabrics).
+ *
+ * The sweep (4 sizes x 10 kernels x {conventional, iced}) runs on the
+ * exec ExperimentRunner; per-cell no-fits (tiny fabrics) are isolated
+ * as NoFit results and skipped exactly like the serial version did.
  */
 #include "bench_util.hpp"
 
@@ -12,36 +16,48 @@ namespace iced {
 void
 runFigure()
 {
+    const std::vector<int> sizes{2, 4, 6, 8};
+
+    MapperOptions conv = bench::conventionalOptions();
+    conv.maxIiSteps = 24;
+    MapperOptions io;
+    io.maxIiSteps = 24;
+
+    std::vector<CgraConfig> fabrics;
+    for (int size : sizes)
+        fabrics.push_back(bench::makeCgra(size).config());
+    const std::vector<JobSpec> grid = ExperimentRunner::makeGrid(
+        bench::singleKernelNames(), {1}, fabrics,
+        {{"conventional", conv}, {"iced", io}});
+
+    ExperimentRunner runner;
+    const std::vector<JobResult> results = runner.run(grid);
+
+    // makeGrid nests kernel > fabric > variant: cell index =
+    // ((kernel * sizes + size) * 2 + variant).
     PowerModel model;
     TableWriter table({"CGRA", "per-tile dvfs", "iced (2x2)",
                        "kernels"});
-    for (int size : {2, 4, 6, 8}) {
-        Cgra cgra = bench::makeCgra(size);
+    const std::size_t kernel_count = bench::singleKernelNames().size();
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
         Summary tile_sum, iced_sum;
         int mapped = 0;
-        for (const Kernel *k : singleKernels()) {
+        for (std::size_t k = 0; k < kernel_count; ++k) {
+            const std::size_t base = (k * sizes.size() + s) * 2;
+            const JobResult &conventional = results[base];
+            const JobResult &iced_cell = results[base + 1];
             // On tiny fabrics some kernels do not fit; skip those.
-            Dfg dfg = k->build(1);
-            MapperOptions conv;
-            conv.dvfsAware = false;
-            conv.maxIiSteps = 24;
-            auto conventional = Mapper(cgra, conv).tryMap(dfg);
-            if (!conventional)
-                continue;
-            MapperOptions io;
-            io.maxIiSteps = 24;
-            auto iced_map = Mapper(cgra, io).tryMap(dfg);
-            if (!iced_map)
+            if (!conventional.mapped() || !iced_cell.mapped())
                 continue;
             const auto tile =
-                evaluatePerTileDvfs(*conventional, model);
-            const auto iced = evaluateIced(*iced_map, model);
+                evaluatePerTileDvfs(conventional.mapping(), model);
+            const auto iced = evaluateIced(iced_cell.mapping(), model);
             tile_sum.add(tile.stats.avgDvfsFraction);
             iced_sum.add(iced.stats.avgDvfsFraction);
             ++mapped;
         }
-        table.addRow({std::to_string(size) + "x" +
-                          std::to_string(size),
+        table.addRow({std::to_string(sizes[s]) + "x" +
+                          std::to_string(sizes[s]),
                       TableWriter::num(100 * tile_sum.mean(), 1) + "%",
                       TableWriter::num(100 * iced_sum.mean(), 1) + "%",
                       std::to_string(mapped) + "/10"});

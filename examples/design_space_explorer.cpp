@@ -1,28 +1,56 @@
 /**
  * @file
  * Design-space exploration with the public API: sweep fabric sizes
- * and DVFS island sizes for a kernel given on the command line and
- * print the II / utilization / power frontier. This is the "ICED
- * compiler can take in any island size for compilation and DVFS
- * co-design" workflow.
+ * and DVFS island sizes for one kernel (or every single-kernel
+ * workload) and print the II / utilization / power frontier. This is
+ * the "ICED compiler can take in any island size for compilation and
+ * DVFS co-design" workflow.
  *
- *   ./design_space_explorer [kernel=gemm] [unroll=1]
+ *   ./design_space_explorer [kernel=gemm|all] [unroll=1]
+ *
+ * The sweep grid is dispatched through the src/exec engine: cells map
+ * in parallel on `ICED_THREADS` workers (default: hardware threads),
+ * duplicate cells are served by the mapping cache, and results are
+ * collected in grid order — stdout is byte-identical at any thread
+ * count. Progress/ETA and the runtime summary go to stderr.
  */
 #include <iostream>
 
+#include "common/logging.hpp"
 #include "common/table_writer.hpp"
+#include "exec/experiment_runner.hpp"
 #include "kernels/registry.hpp"
-#include "mapper/mapper.hpp"
 #include "mapper/validate.hpp"
 #include "power/report.hpp"
 
 using namespace iced;
 
-int
-main(int argc, char **argv)
+namespace {
+
+/** The (fabric, island) frontier evaluated per kernel. */
+std::vector<CgraConfig>
+sweepFabrics()
 {
-    const std::string name = argc > 1 ? argv[1] : "gemm";
-    const int unroll = argc > 2 ? std::atoi(argv[2]) : 1;
+    std::vector<CgraConfig> fabrics;
+    for (int size : {4, 6, 8}) {
+        for (int island : {1, 2, 3}) {
+            if (size % island != 0)
+                continue;
+            CgraConfig config;
+            config.rows = size;
+            config.cols = size;
+            config.islandRows = island;
+            config.islandCols = island;
+            fabrics.push_back(config);
+        }
+    }
+    return fabrics;
+}
+
+void
+printKernelTable(const std::string &name, int unroll,
+                 const std::vector<JobResult> &cells)
+{
     const Kernel &kernel = findKernel(name);
     const Dfg dfg = kernel.build(unroll);
     PowerModel model;
@@ -33,38 +61,81 @@ main(int argc, char **argv)
 
     TableWriter table({"fabric", "islands", "II", "avg util",
                        "avg DVFS", "power (mW)", "mW x II"});
-    for (int size : {4, 6, 8}) {
-        for (int island : {1, 2, 3}) {
-            if (size % island != 0)
-                continue;
-            CgraConfig config;
-            config.rows = size;
-            config.cols = size;
-            config.islandRows = island;
-            config.islandCols = island;
-            Cgra cgra(config);
-            auto mapping = Mapper(cgra, MapperOptions{}).tryMap(dfg);
-            if (!mapping) {
-                table.addRow({cgra.describe(), "-", "no fit", "-",
-                              "-", "-", "-"});
-                continue;
-            }
-            validateMapping(*mapping);
-            const auto eval = evaluateIced(*mapping, model);
-            table.addRow(
-                {cgra.describe(),
-                 std::to_string(cgra.islandCount()),
-                 std::to_string(eval.ii),
-                 TableWriter::num(100 * eval.stats.avgUtilization, 1) +
-                     "%",
-                 TableWriter::num(100 * eval.stats.avgDvfsFraction, 1) +
-                     "%",
-                 TableWriter::num(eval.power.totalMw, 1),
-                 TableWriter::num(eval.power.totalMw * eval.ii, 0)});
+    for (const JobResult &cell : cells) {
+        const Cgra cgra(cell.spec.fabric);
+        if (!cell.mapped()) {
+            table.addRow({cgra.describe(), "-", cell.error, "-", "-",
+                          "-", "-"});
+            continue;
         }
+        validateMapping(cell.mapping());
+        const auto eval = evaluateIced(cell.mapping(), model);
+        table.addRow(
+            {cgra.describe(),
+             std::to_string(cgra.islandCount()),
+             std::to_string(eval.ii),
+             TableWriter::num(100 * eval.stats.avgUtilization, 1) +
+                 "%",
+             TableWriter::num(100 * eval.stats.avgDvfsFraction, 1) +
+                 "%",
+             TableWriter::num(eval.power.totalMw, 1),
+             TableWriter::num(eval.power.totalMw * eval.ii, 0)});
     }
     table.print(std::cout);
     std::cout << "\n'mW x II' is an energy-per-iteration proxy: lower "
                  "is better at equal throughput requirements.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "gemm";
+    const int unroll = argc > 2 ? std::atoi(argv[2]) : 1;
+
+    std::vector<std::string> kernels;
+    if (name == "all") {
+        for (const Kernel *k : singleKernels())
+            kernels.push_back(k->name);
+    } else {
+        kernels.push_back(name);
+    }
+
+    // Reject bad arguments before dispatching the sweep: the runner
+    // would dutifully fail every cell, and the table header rebuilds
+    // the DFG anyway.
+    try {
+        for (const std::string &k : kernels)
+            findKernel(k).build(unroll);
+    } catch (const FatalError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+
+    const std::vector<CgraConfig> fabrics = sweepFabrics();
+    const std::vector<JobSpec> grid = ExperimentRunner::makeGrid(
+        kernels, {unroll}, fabrics, {{"iced", MapperOptions{}}});
+
+    RunnerOptions ropts;
+    ropts.progress = true;
+    ExperimentRunner runner(ropts);
+    const std::vector<JobResult> results = runner.run(grid);
+
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+        if (k > 0)
+            std::cout << "\n";
+        const auto first = results.begin() +
+                           static_cast<std::ptrdiff_t>(k * fabrics.size());
+        printKernelTable(
+            kernels[k], unroll,
+            std::vector<JobResult>(first,
+                                   first + static_cast<std::ptrdiff_t>(
+                                               fabrics.size())));
+    }
+
+    std::cerr << "exec: sweep of " << grid.size() << " cells on "
+              << runner.threads() << " threads; cache "
+              << runner.cache().describeStats() << "\n";
     return 0;
 }

@@ -61,6 +61,9 @@ struct CgraConfig
 /**
  * Immutable description of a CGRA fabric: geometry, island layout,
  * neighbor connectivity, memory-capable tiles.
+ *
+ * Immutable after construction, so freely shared across threads; the
+ * parallel experiment runner maps against one Cgra from many workers.
  */
 class Cgra
 {

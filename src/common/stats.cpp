@@ -6,6 +6,18 @@
 
 namespace iced {
 
+std::string
+describeCounters(const std::vector<const StatCounter *> &counters)
+{
+    std::string out;
+    for (const StatCounter *c : counters) {
+        if (!out.empty())
+            out += " ";
+        out += c->name() + "=" + std::to_string(c->value());
+    }
+    return out;
+}
+
 void
 Summary::add(double value)
 {

@@ -5,10 +5,46 @@
 #ifndef ICED_COMMON_STATS_HPP
 #define ICED_COMMON_STATS_HPP
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace iced {
+
+/**
+ * A named, monotonically increasing event counter.
+ *
+ * Increments are atomic (relaxed), so counters may be bumped from
+ * worker threads of the execution engine without synchronization;
+ * reads taken while workers are still running are approximate.
+ */
+class StatCounter
+{
+  public:
+    explicit StatCounter(std::string name) : label(std::move(name)) {}
+
+    /** Bump the counter by `by` events. */
+    void increment(std::uint64_t by = 1)
+    {
+        count.fetch_add(by, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return label; }
+
+  private:
+    std::string label;
+    std::atomic<std::uint64_t> count{0};
+};
+
+/** "name=value" rendering of a counter set, for log lines. */
+std::string describeCounters(const std::vector<const StatCounter *> &counters);
 
 /**
  * Streaming accumulator of a scalar sample series.

@@ -1,0 +1,146 @@
+#include "exec/experiment_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "kernels/registry.hpp"
+
+namespace iced {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+const Mapping &
+JobResult::mapping() const
+{
+    panicIfNot(status == Status::Mapped && entry && entry->mapping,
+               "JobResult::mapping on a cell that did not map");
+    return *entry->mapping;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : opts(options),
+      mappingCache(options.cacheCapacity),
+      pool(options.threads > 0 ? options.threads
+                               : ThreadPool::defaultThreadCount())
+{
+}
+
+std::vector<JobSpec>
+ExperimentRunner::makeGrid(
+    const std::vector<std::string> &kernels,
+    const std::vector<int> &unrolls,
+    const std::vector<CgraConfig> &fabrics,
+    const std::vector<std::pair<std::string, MapperOptions>> &variants)
+{
+    std::vector<JobSpec> grid;
+    grid.reserve(kernels.size() * unrolls.size() * fabrics.size() *
+                 variants.size());
+    for (const std::string &kernel : kernels)
+        for (int unroll : unrolls)
+            for (const CgraConfig &fabric : fabrics)
+                for (const auto &[tag, options] : variants) {
+                    JobSpec spec;
+                    spec.kernel = kernel;
+                    spec.unroll = unroll;
+                    spec.fabric = fabric;
+                    spec.options = options;
+                    spec.variant = tag;
+                    grid.push_back(std::move(spec));
+                }
+    return grid;
+}
+
+JobResult
+ExperimentRunner::runJob(const JobSpec &spec)
+{
+    JobResult result;
+    result.spec = spec;
+    const auto start = Clock::now();
+    try {
+        const Kernel &kernel = findKernel(spec.kernel);
+        const Dfg dfg = kernel.build(spec.unroll);
+        result.entry =
+            mappingCache.map(spec.fabric, dfg, spec.options);
+        if (result.entry->mapped()) {
+            result.status = JobResult::Status::Mapped;
+        } else if (result.entry->noFit()) {
+            result.status = JobResult::Status::NoFit;
+            result.error = "no fit";
+        } else {
+            result.status = JobResult::Status::Failed;
+            result.error = result.entry->error;
+        }
+    } catch (const FatalError &err) {
+        // Unknown kernel, unsupported unroll factor, ...
+        result.status = JobResult::Status::Failed;
+        result.error = err.what();
+    }
+    result.millis = millisSince(start);
+    return result;
+}
+
+std::vector<JobResult>
+ExperimentRunner::run(const std::vector<JobSpec> &grid)
+{
+    const std::size_t total = grid.size();
+    std::vector<std::future<JobResult>> futures;
+    futures.reserve(total);
+    std::atomic<std::size_t> completed{0};
+    const auto sweep_start = Clock::now();
+
+    for (const JobSpec &spec : grid) {
+        futures.push_back(pool.submit([this, &spec, &completed] {
+            JobResult r = runJob(spec);
+            completed.fetch_add(1, std::memory_order_relaxed);
+            return r;
+        }));
+    }
+
+    // Collect in submission (= grid) order; a deterministic result
+    // sequence falls out regardless of which worker ran what. The
+    // main thread doubles as the progress reporter.
+    std::vector<JobResult> results;
+    results.reserve(total);
+    const int every = std::max(1, opts.progressEvery);
+    for (std::size_t i = 0; i < total; ++i) {
+        results.push_back(futures[i].get());
+        if (opts.progress &&
+            (results.size() % static_cast<std::size_t>(every) == 0 ||
+             results.size() == total)) {
+            const std::size_t done =
+                std::max(results.size(),
+                         completed.load(std::memory_order_relaxed));
+            const double elapsed_ms = millisSince(sweep_start);
+            const double eta_ms =
+                done == 0 ? 0.0
+                          : elapsed_ms *
+                                (static_cast<double>(total - done) /
+                                 static_cast<double>(done));
+            std::ostringstream line;
+            line << "exec: " << done << "/" << total << " jobs, "
+                 << static_cast<long>(elapsed_ms) << " ms elapsed, eta "
+                 << static_cast<long>(eta_ms) << " ms ("
+                 << pool.threadCount() << " threads, cache "
+                 << mappingCache.describeStats() << ")";
+            std::cerr << line.str() << "\n";
+        }
+    }
+    return results;
+}
+
+} // namespace iced

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parallel execution of declarative experiment grids.
+ *
+ * Every figure, ablation, and the design-space explorer is a sweep:
+ * kernel x unroll x fabric x island geometry x mapper options, each
+ * cell an independent, deterministic mapper run. `ExperimentRunner`
+ * expands such a grid into jobs, dispatches them across a `ThreadPool`
+ * through a shared `MappingCache`, and returns results **in grid
+ * order** regardless of thread schedule, so drivers emit byte-identical
+ * tables at any parallelism level.
+ *
+ * Failure isolation: a cell that does not fit (`no fit`) or whose
+ * mapper raises `FatalError` records a failed result; the sweep always
+ * completes. Only `PanicError`-class bugs propagate.
+ *
+ * Progress/ETA lines go to stderr (never stdout, which carries the
+ * result tables) when enabled.
+ */
+#ifndef ICED_EXEC_EXPERIMENT_RUNNER_HPP
+#define ICED_EXEC_EXPERIMENT_RUNNER_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/mapping_cache.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace iced {
+
+/** One cell of an experiment grid. */
+struct JobSpec
+{
+    std::string kernel; ///< registry name, resolved at run time
+    int unroll = 1;
+    CgraConfig fabric;
+    MapperOptions options;
+    /** Driver-chosen variant tag (e.g. "baseline" / "iced"). */
+    std::string variant;
+};
+
+/** Outcome of one grid cell. */
+struct JobResult
+{
+    enum class Status {
+        Mapped, ///< entry->mapping holds the schedule
+        NoFit,  ///< no II in range succeeded
+        Failed, ///< FatalError (message in `error`)
+    };
+
+    JobSpec spec;
+    Status status = Status::Failed;
+    std::shared_ptr<const MappingEntry> entry; ///< set when not Failed
+    std::string error;
+    double millis = 0.0; ///< wall time of this cell (0 on cache hits)
+
+    bool mapped() const { return status == Status::Mapped; }
+    /** The mapping. @pre mapped() */
+    const Mapping &mapping() const;
+};
+
+/** Knobs of the execution engine. */
+struct RunnerOptions
+{
+    /** Worker threads; <= 0 means ThreadPool::defaultThreadCount(). */
+    int threads = 0;
+    /** Completed mapping results kept by the cache. */
+    std::size_t cacheCapacity = 512;
+    /** Emit progress/ETA lines to stderr while the sweep runs. */
+    bool progress = false;
+    /** Progress line granularity: every Nth completed job. */
+    int progressEvery = 1;
+};
+
+/** Dispatches experiment grids across a thread pool with memoization. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    /**
+     * Run every job of `grid`; the result vector is index-aligned
+     * with the input regardless of scheduling.
+     */
+    std::vector<JobResult> run(const std::vector<JobSpec> &grid);
+
+    /** The cache shared by all jobs of this runner. */
+    MappingCache &cache() { return mappingCache; }
+    const MappingCache &cache() const { return mappingCache; }
+
+    int threads() const { return pool.threadCount(); }
+
+    /**
+     * Cartesian grid helper: kernels x unrolls x fabrics x option
+     * variants, in that nesting order (kernel outermost).
+     */
+    static std::vector<JobSpec> makeGrid(
+        const std::vector<std::string> &kernels,
+        const std::vector<int> &unrolls,
+        const std::vector<CgraConfig> &fabrics,
+        const std::vector<std::pair<std::string, MapperOptions>>
+            &variants);
+
+  private:
+    JobResult runJob(const JobSpec &spec);
+
+    RunnerOptions opts;
+    MappingCache mappingCache;
+    ThreadPool pool;
+};
+
+} // namespace iced
+
+#endif // ICED_EXEC_EXPERIMENT_RUNNER_HPP

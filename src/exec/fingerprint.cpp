@@ -1,0 +1,125 @@
+#include "exec/fingerprint.hpp"
+
+#include <bit>
+
+namespace iced {
+
+namespace {
+
+constexpr std::uint64_t fnvPrime = 0x100000001b3ULL;
+
+/** Tag bytes separating field kinds so adjacent fields cannot alias. */
+enum class Tag : std::uint8_t {
+    Word = 0x1,
+    Real = 0x2,
+    Text = 0x3,
+    Node = 0x4,
+    Edge = 0x5,
+    Section = 0x6,
+};
+
+} // namespace
+
+void
+Fingerprint::mixByte(std::uint8_t byte)
+{
+    lane0 = (lane0 ^ byte) * fnvPrime;
+    lane1 = (lane1 ^ byte) * fnvPrime;
+    lane1 ^= lane1 >> 29; // extra diffusion decorrelates the lanes
+}
+
+void
+Fingerprint::mix(std::uint64_t value)
+{
+    mixByte(static_cast<std::uint8_t>(Tag::Word));
+    for (int shift = 0; shift < 64; shift += 8)
+        mixByte(static_cast<std::uint8_t>(value >> shift));
+}
+
+void
+Fingerprint::mix(double value)
+{
+    mixByte(static_cast<std::uint8_t>(Tag::Real));
+    mix(std::bit_cast<std::uint64_t>(value));
+}
+
+void
+Fingerprint::mix(std::string_view text)
+{
+    mixByte(static_cast<std::uint8_t>(Tag::Text));
+    mix(static_cast<std::uint64_t>(text.size()));
+    for (char c : text)
+        mixByte(static_cast<std::uint8_t>(c));
+}
+
+void
+mixDfg(Fingerprint &fp, const Dfg &dfg)
+{
+    fp.mix(std::string_view("dfg"));
+    fp.mix(dfg.name());
+    fp.mix(dfg.nodeCount());
+    fp.mix(dfg.edgeCount());
+    for (const DfgNode &n : dfg.nodes()) {
+        fp.mix(static_cast<std::uint64_t>(Tag::Node));
+        fp.mix(static_cast<int>(n.op));
+        fp.mix(n.imm);
+        fp.mix(n.name);
+    }
+    for (const DfgEdge &e : dfg.edges()) {
+        fp.mix(static_cast<std::uint64_t>(Tag::Edge));
+        fp.mix(e.src);
+        fp.mix(e.dst);
+        fp.mix(e.operandIndex);
+        fp.mix(e.distance);
+        fp.mix(e.initValue);
+    }
+}
+
+void
+mixCgraConfig(Fingerprint &fp, const CgraConfig &config)
+{
+    fp.mix(std::string_view("cgra"));
+    fp.mix(config.rows);
+    fp.mix(config.cols);
+    fp.mix(config.islandRows);
+    fp.mix(config.islandCols);
+    fp.mix(config.registersPerTile);
+    fp.mix(config.spmBanks);
+    fp.mix(config.spmBytes);
+    fp.mix(config.memLeftColumnOnly);
+}
+
+void
+mixMapperOptions(Fingerprint &fp, const MapperOptions &options)
+{
+    fp.mix(std::string_view("mapper"));
+    fp.mix(options.dvfsAware);
+    fp.mix(options.maxIiSteps);
+    fp.mix(options.candidateTiles);
+    fp.mix(options.viableCandidates);
+    fp.mix(options.levelMismatchCost);
+    fp.mix(options.newIslandCost);
+    fp.mix(options.latenessCost);
+    fp.mix(options.fanoutTilePenalty);
+    fp.mix(options.useClusters);
+    fp.mix(std::string_view("labeling"));
+    fp.mix(options.labeling.fillFactor);
+    fp.mix(static_cast<int>(options.labeling.lowestLabel));
+    fp.mix(std::string_view("router"));
+    fp.mix(options.router.hopCost);
+    fp.mix(options.router.waitCost);
+    fp.mix(options.router.coldTilePenalty);
+}
+
+Digest
+fingerprintMappingRequest(const Dfg &dfg, const CgraConfig &config,
+                          const MapperOptions &options)
+{
+    Fingerprint fp;
+    mixDfg(fp, dfg);
+    mixCgraConfig(fp, config);
+    mixMapperOptions(fp, options);
+    return fp.digest();
+}
+
+} // namespace iced

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Content fingerprinting for experiment memoization.
+ *
+ * The mapper is deterministic and RNG-free: identical (DFG structure,
+ * CgraConfig, MapperOptions) inputs produce identical mappings. A
+ * `Fingerprint` reduces those inputs to a 128-bit digest the
+ * `MappingCache` uses as its key. Two independent 64-bit FNV-1a
+ * streams over the same field sequence make accidental collisions
+ * across a sweep grid (at most a few thousand distinct jobs)
+ * negligible.
+ *
+ * Every semantically relevant field must be mixed in: when a new
+ * tunable is added to `MapperOptions` (or its nested option structs),
+ * `mixMapperOptions` must mix it too, or stale cache hits will cross
+ * option variants.
+ */
+#ifndef ICED_EXEC_FINGERPRINT_HPP
+#define ICED_EXEC_FINGERPRINT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "arch/cgra.hpp"
+#include "dfg/dfg.hpp"
+#include "mapper/mapper.hpp"
+
+namespace iced {
+
+/** 128-bit content digest, usable as an unordered_map key. */
+struct Digest
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool operator==(const Digest &other) const
+    {
+        return lo == other.lo && hi == other.hi;
+    }
+};
+
+/** Hash functor for Digest keys. */
+struct DigestHash
+{
+    std::size_t operator()(const Digest &d) const
+    {
+        // lo is already a well-mixed 64-bit hash.
+        return static_cast<std::size_t>(d.lo ^ (d.hi >> 1));
+    }
+};
+
+/** Incremental two-lane FNV-1a hasher over typed fields. */
+class Fingerprint
+{
+  public:
+    void mix(std::uint64_t value);
+    void mix(std::int64_t value) { mix(static_cast<std::uint64_t>(value)); }
+    void mix(int value) { mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(value))); }
+    void mix(bool value) { mix(static_cast<std::uint64_t>(value ? 1 : 2)); }
+    void mix(double value);
+    void mix(std::string_view text);
+
+    Digest digest() const { return Digest{lane0, lane1}; }
+
+  private:
+    void mixByte(std::uint8_t byte);
+
+    // FNV-1a offset bases; lane1 starts from a decorrelated seed.
+    std::uint64_t lane0 = 0xcbf29ce484222325ULL;
+    std::uint64_t lane1 = 0x1CEDC0DE9E3779B9ULL;
+};
+
+/** Mix the full structure of a DFG (nodes, edges, names). */
+void mixDfg(Fingerprint &fp, const Dfg &dfg);
+
+/** Mix every field of a fabric configuration. */
+void mixCgraConfig(Fingerprint &fp, const CgraConfig &config);
+
+/** Mix every tunable of the mapper (including nested options). */
+void mixMapperOptions(Fingerprint &fp, const MapperOptions &options);
+
+/** Digest of one complete mapping request. */
+Digest fingerprintMappingRequest(const Dfg &dfg, const CgraConfig &config,
+                                 const MapperOptions &options);
+
+} // namespace iced
+
+#endif // ICED_EXEC_FINGERPRINT_HPP

@@ -1,0 +1,144 @@
+#include "exec/mapping_cache.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+std::shared_ptr<const MappingEntry>
+computeMappingEntry(const CgraConfig &config, const Dfg &dfg,
+                    const MapperOptions &options)
+{
+    auto entry = std::make_shared<MappingEntry>(config, dfg, options);
+    try {
+        entry->mapping =
+            Mapper(entry->cgra, options).tryMap(entry->dfg);
+    } catch (const FatalError &err) {
+        entry->error = err.what();
+    }
+    return entry;
+}
+
+MappingCache::MappingCache(std::size_t capacity)
+    : capacity(std::max<std::size_t>(1, capacity))
+{
+}
+
+void
+MappingCache::touchLocked(Slot &slot, const Digest &key)
+{
+    lru.erase(slot.lruPos);
+    lru.push_front(key);
+    slot.lruPos = lru.begin();
+}
+
+void
+MappingCache::evictLocked()
+{
+    while (lru.size() > capacity) {
+        const Digest victim = lru.back();
+        lru.pop_back();
+        table.erase(victim);
+        evictionCounter.increment();
+    }
+}
+
+std::shared_ptr<const MappingEntry>
+MappingCache::map(const CgraConfig &config, const Dfg &dfg,
+                  const MapperOptions &options)
+{
+    const Digest key = fingerprintMappingRequest(dfg, config, options);
+
+    std::shared_future<EntryPtr> pending;
+    std::promise<EntryPtr> mine;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = table.find(key);
+        if (it != table.end()) {
+            hitCounter.increment();
+            if (it->second.ready)
+                touchLocked(it->second, key);
+            pending = it->second.result;
+        } else {
+            missCounter.increment();
+            compute = true;
+            Slot slot;
+            slot.result = mine.get_future().share();
+            slot.lruPos = lru.end();
+            pending = slot.result;
+            table.emplace(key, std::move(slot));
+        }
+    }
+
+    if (!compute)
+        return pending.get(); // ready, or blocks on the computing thread
+
+    // Compute outside the lock so distinct keys map concurrently.
+    EntryPtr entry;
+    try {
+        entry = computeMappingEntry(config, dfg, options);
+    } catch (...) {
+        // Unexpected (PanicError etc.): propagate to every waiter and
+        // drop the slot so the bug is not memoized.
+        mine.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mtx);
+        table.erase(key);
+        throw;
+    }
+    mine.set_value(entry);
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = table.find(key);
+        if (it != table.end()) {
+            it->second.ready = true;
+            lru.push_front(key);
+            it->second.lruPos = lru.begin();
+            evictLocked();
+        }
+    }
+    return entry;
+}
+
+MappingCacheStats
+MappingCache::stats() const
+{
+    MappingCacheStats s;
+    s.hits = hitCounter.value();
+    s.misses = missCounter.value();
+    s.evictions = evictionCounter.value();
+    return s;
+}
+
+std::string
+MappingCache::describeStats() const
+{
+    return describeCounters(
+        {&hitCounter, &missCounter, &evictionCounter});
+}
+
+void
+MappingCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    // Keep in-flight slots: their computing threads still expect to
+    // find them when publishing.
+    for (auto it = table.begin(); it != table.end();) {
+        if (it->second.ready) {
+            lru.erase(it->second.lruPos);
+            it = table.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t
+MappingCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return table.size();
+}
+
+} // namespace iced

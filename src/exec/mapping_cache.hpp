@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Memoization of mapper runs keyed by a content fingerprint.
+ *
+ * Sweep grids (figures, ablations, the design-space explorer) map the
+ * same (kernel DFG, fabric, mapper options) triple many times — across
+ * a driver's table section and its google-benchmark setup, and across
+ * variants that only differ in post-mapping evaluation. The mapper is
+ * deterministic, so those runs are pure recomputation. `MappingCache`
+ * stores the result of each distinct request behind a 128-bit content
+ * fingerprint (see exec/fingerprint.hpp).
+ *
+ * Each cache entry owns private copies of the Cgra and Dfg it was
+ * mapped against, because `Mapping` references (does not copy) both.
+ * Callers therefore hold entries by `shared_ptr` and read the mapping
+ * through the entry; an entry stays valid after eviction for as long
+ * as someone holds it.
+ *
+ * Thread safety: fully thread-safe. Concurrent requests for the same
+ * key are deduplicated — one thread computes, the rest wait on the
+ * same shared future. Hit/miss/eviction counts are exposed as
+ * `StatCounter`s from common/stats.
+ */
+#ifndef ICED_EXEC_MAPPING_CACHE_HPP
+#define ICED_EXEC_MAPPING_CACHE_HPP
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "exec/fingerprint.hpp"
+
+namespace iced {
+
+/**
+ * One memoized mapper run: the inputs (owned copies) and the outcome.
+ *
+ * Exactly one of the three outcomes holds:
+ *  - `mapping` has a value: the map succeeded;
+ *  - `mapping` empty, `error` empty: no fit within the II range;
+ *  - `error` non-empty: the mapper raised a FatalError.
+ */
+struct MappingEntry
+{
+    MappingEntry(const CgraConfig &config, Dfg graph,
+                 const MapperOptions &opts)
+        : cgra(config), dfg(std::move(graph)), options(opts)
+    {
+    }
+
+    Cgra cgra;
+    Dfg dfg;
+    MapperOptions options;
+    std::optional<Mapping> mapping; ///< references this entry's cgra/dfg
+    std::string error;
+
+    bool mapped() const { return mapping.has_value(); }
+    bool noFit() const { return !mapping && error.empty(); }
+    bool failed() const { return !error.empty(); }
+};
+
+/**
+ * Run one mapping request without a cache.
+ *
+ * This is the compute path the cache memoizes; it is exposed so
+ * callers that must not be memoized (benchmark timing loops) share
+ * the exact same semantics. FatalError is captured into the entry;
+ * PanicError (framework bug) propagates.
+ */
+std::shared_ptr<const MappingEntry> computeMappingEntry(
+    const CgraConfig &config, const Dfg &dfg,
+    const MapperOptions &options);
+
+/** Aggregated cache statistics snapshot. */
+struct MappingCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    double hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/** LRU-bounded, thread-safe memoization of `Mapper::map` results. */
+class MappingCache
+{
+  public:
+    /** Keep at most `capacity` completed entries (>= 1). */
+    explicit MappingCache(std::size_t capacity = 512);
+
+    /**
+     * Return the memoized result for this request, computing it on
+     * first use. Blocks if another thread is already computing the
+     * same key (counted as a hit: the work was shared).
+     */
+    std::shared_ptr<const MappingEntry> map(const CgraConfig &config,
+                                            const Dfg &dfg,
+                                            const MapperOptions &options);
+
+    /** Snapshot of hit/miss/eviction counts. */
+    MappingCacheStats stats() const;
+
+    /** "hits=... misses=... evictions=..." for log lines. */
+    std::string describeStats() const;
+
+    /** Drop all completed entries (outstanding shared_ptrs stay valid). */
+    void clear();
+
+    std::size_t size() const;
+
+  private:
+    using EntryPtr = std::shared_ptr<const MappingEntry>;
+
+    struct Slot
+    {
+        std::shared_future<EntryPtr> result;
+        /** Recency list position; valid once the compute finished. */
+        std::list<Digest>::iterator lruPos;
+        bool ready = false;
+    };
+
+    void touchLocked(Slot &slot, const Digest &key);
+    void evictLocked();
+
+    mutable std::mutex mtx;
+    std::size_t capacity;
+    std::unordered_map<Digest, Slot, DigestHash> table;
+    /** Completed keys, most recently used first. */
+    std::list<Digest> lru;
+
+    StatCounter hitCounter{"mapping_cache.hits"};
+    StatCounter missCounter{"mapping_cache.misses"};
+    StatCounter evictionCounter{"mapping_cache.evictions"};
+};
+
+} // namespace iced
+
+#endif // ICED_EXEC_MAPPING_CACHE_HPP

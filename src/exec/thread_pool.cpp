@@ -1,0 +1,81 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace iced {
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("ICED_THREADS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<int>(
+                std::min<long>(parsed, 4096)); // sanity cap
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
+    : capacity(std::max<std::size_t>(1, queue_capacity))
+{
+    const int n = std::max(1, threads);
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        slotFree.wait(lock, [this] {
+            return queue.size() < capacity || stopping;
+        });
+        // Submitting to a stopping pool would race the join; the only
+        // way to get here stopping is a submit() during destruction,
+        // which is a caller bug.
+        if (stopping)
+            throw std::runtime_error("ThreadPool: submit after shutdown");
+        queue.push_back(std::move(task));
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            taskReady.wait(lock, [this] {
+                return !queue.empty() || stopping;
+            });
+            if (queue.empty())
+                return; // stopping and fully drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        slotFree.notify_one();
+        task(); // exceptions land in the task's future
+    }
+}
+
+} // namespace iced

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-size worker pool with a bounded work queue.
+ *
+ * `submit()` returns a `std::future` for the task's result; exceptions
+ * thrown by a task are captured in its future and rethrown at `get()`,
+ * never on a worker thread. When the queue is at capacity, `submit()`
+ * blocks until a worker frees a slot, which bounds the memory held by
+ * a large sweep grid. The destructor drains the queue: every task
+ * already submitted runs to completion before the workers join.
+ *
+ * The pool size defaults to `ICED_THREADS` from the environment when
+ * set to a positive integer, and to `std::thread::hardware_concurrency`
+ * otherwise.
+ */
+#ifndef ICED_EXEC_THREAD_POOL_HPP
+#define ICED_EXEC_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace iced {
+
+/** Bounded-queue thread pool for experiment jobs. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers (clamped to >= 1) feeding from a queue
+     * of at most `queue_capacity` pending tasks.
+     */
+    explicit ThreadPool(int threads = defaultThreadCount(),
+                        std::size_t queue_capacity = 1024);
+
+    /** Drains all pending tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue `fn` for execution; blocks while the queue is full.
+     *
+     * @return future holding the task's result or captured exception.
+     */
+    template <typename Fn>
+    std::future<std::invoke_result_t<std::decay_t<Fn>>> submit(Fn &&fn)
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> result = task->get_future();
+        enqueue([task] { (*task)(); });
+        return result;
+    }
+
+    int threadCount() const { return static_cast<int>(workers.size()); }
+
+    /**
+     * `ICED_THREADS` when set to a positive integer, else
+     * `hardware_concurrency()` (at least 1).
+     */
+    static int defaultThreadCount();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable taskReady; ///< queue gained a task / stopping
+    std::condition_variable slotFree;  ///< queue lost a task
+    std::deque<std::function<void()>> queue;
+    std::size_t capacity;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace iced
+
+#endif // ICED_EXEC_THREAD_POOL_HPP

@@ -8,6 +8,7 @@
  *   arch/     CGRA fabric, DVFS islands, scratchpad
  *   mrrg/     modulo routing resource graph + router
  *   mapper/   Algorithm 1 labeling, Algorithm 2 mapping, baselines
+ *   exec/     thread pool, mapping cache, parallel experiment runner
  *   sim/      cycle-accurate execution + activity statistics
  *   power/    calibrated power/area models + per-design evaluation
  *   streaming/ pipelines, partitioner, DVFS controller, DRIPS
@@ -27,6 +28,10 @@
 #include "dfg/dfg.hpp"
 #include "dfg/dot_export.hpp"
 #include "dfg/interpreter.hpp"
+#include "exec/experiment_runner.hpp"
+#include "exec/fingerprint.hpp"
+#include "exec/mapping_cache.hpp"
+#include "exec/thread_pool.hpp"
 #include "kernels/builder_util.hpp"
 #include "kernels/registry.hpp"
 #include "mapper/labeling.hpp"

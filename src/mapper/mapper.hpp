@@ -67,7 +67,17 @@ struct MapperOptions
     RouterOptions router;
 };
 
-/** Maps DFGs onto one CGRA instance. */
+/**
+ * Maps DFGs onto one CGRA instance.
+ *
+ * Thread safety: all mapping entry points are const and touch only
+ * call-local state (every attempt builds its own Mapping/Mrrg; debug
+ * env vars are read-only), so concurrent `map()`/`tryMap()` calls on
+ * one Mapper — or on distinct Mappers sharing a Cgra — are safe. This
+ * contract is what `src/exec` relies on and is covered by the
+ * TSan-built exec tests; keep new mapper state call-local or document
+ * the change there.
+ */
 class Mapper
 {
   public:

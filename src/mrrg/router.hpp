@@ -83,6 +83,11 @@ struct RouterOptions
  *
  * The router never mutates the Mrrg during search; call commit() to
  * occupy the resources of a found route.
+ *
+ * Thread safety: findRoute() is const and allocates all search state
+ * per call, so one Router may serve concurrent searches over distinct
+ * Mrrgs. commit() mutates the passed Mrrg and inherits its owner's
+ * synchronization (in practice: each mapping attempt owns its Mrrg).
  */
 class Router
 {

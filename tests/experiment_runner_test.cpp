@@ -1,0 +1,200 @@
+#include "exec/experiment_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "common/table_writer.hpp"
+#include "power/report.hpp"
+
+namespace iced {
+namespace {
+
+CgraConfig
+fabric(int n, int island)
+{
+    CgraConfig config;
+    config.rows = n;
+    config.cols = n;
+    config.islandRows = island;
+    config.islandCols = island;
+    return config;
+}
+
+/** A small but non-trivial sweep grid. */
+std::vector<JobSpec>
+sampleGrid()
+{
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    return ExperimentRunner::makeGrid(
+        {"relu", "fir", "mvt"}, {1},
+        {fabric(4, 2), fabric(6, 2), fabric(6, 3)},
+        {{"conventional", conv}, {"iced", MapperOptions{}}});
+}
+
+/**
+ * Render a sweep the way drivers do: one CSV row per grid cell with
+ * the schedule's externally visible metrics.
+ */
+std::string
+renderResultTable(const std::vector<JobResult> &results)
+{
+    PowerModel model;
+    TableWriter table({"kernel", "fabric", "variant", "status", "II",
+                       "util", "power"});
+    for (const JobResult &r : results) {
+        std::string status, ii = "-", util = "-", power = "-";
+        switch (r.status) {
+        case JobResult::Status::Mapped: {
+            status = "mapped";
+            const auto eval = evaluateIced(r.mapping(), model);
+            ii = std::to_string(eval.ii);
+            util = TableWriter::num(eval.stats.avgUtilization, 4);
+            power = TableWriter::num(eval.power.totalMw, 3);
+            break;
+        }
+        case JobResult::Status::NoFit:
+            status = "no fit";
+            break;
+        case JobResult::Status::Failed:
+            status = "failed: " + r.error;
+            break;
+        }
+        table.addRow({r.spec.kernel, Cgra(r.spec.fabric).describe(),
+                      r.spec.variant, status, ii, util, power});
+    }
+    std::ostringstream out;
+    table.printCsv(out);
+    return out.str();
+}
+
+TEST(ExperimentRunnerTest, MakeGridEnumeratesInDeterministicOrder)
+{
+    const std::vector<JobSpec> grid = sampleGrid();
+    ASSERT_EQ(grid.size(), 3u * 3u * 2u);
+    // Kernel is the outermost dimension, variant the innermost.
+    EXPECT_EQ(grid[0].kernel, "relu");
+    EXPECT_EQ(grid[0].variant, "conventional");
+    EXPECT_EQ(grid[1].kernel, "relu");
+    EXPECT_EQ(grid[1].variant, "iced");
+    EXPECT_EQ(grid[6].kernel, "fir");
+    EXPECT_EQ(grid.back().kernel, "mvt");
+    EXPECT_EQ(grid.back().variant, "iced");
+}
+
+TEST(ExperimentRunnerTest, ResultsAlignWithGridOrder)
+{
+    RunnerOptions opts;
+    opts.threads = 4;
+    ExperimentRunner runner(opts);
+    const std::vector<JobSpec> grid = sampleGrid();
+    const std::vector<JobResult> results = runner.run(grid);
+    ASSERT_EQ(results.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(results[i].spec.kernel, grid[i].kernel);
+        EXPECT_EQ(results[i].spec.variant, grid[i].variant);
+        EXPECT_TRUE(results[i].mapped()) << grid[i].kernel;
+    }
+}
+
+TEST(ExperimentRunnerTest, OneThreadAndManyThreadsEmitIdenticalTables)
+{
+    // The determinism contract of the whole evaluation stack: a sweep
+    // at any parallelism level produces byte-identical result tables.
+    const std::vector<JobSpec> grid = sampleGrid();
+
+    RunnerOptions serial;
+    serial.threads = 1;
+    ExperimentRunner serial_runner(serial);
+    const std::string serial_table =
+        renderResultTable(serial_runner.run(grid));
+
+    RunnerOptions parallel;
+    parallel.threads = static_cast<int>(
+        std::max(4u, std::thread::hardware_concurrency()));
+    ExperimentRunner parallel_runner(parallel);
+    const std::string parallel_table =
+        renderResultTable(parallel_runner.run(grid));
+
+    EXPECT_EQ(serial_table, parallel_table);
+}
+
+TEST(ExperimentRunnerTest, IsolatesPerCellFailures)
+{
+    std::vector<JobSpec> grid;
+
+    JobSpec good;
+    good.kernel = "relu";
+    good.fabric = fabric(4, 2);
+    grid.push_back(good);
+
+    JobSpec unknown;
+    unknown.kernel = "definitely-not-a-kernel";
+    unknown.fabric = fabric(4, 2);
+    grid.push_back(unknown);
+
+    JobSpec no_fit;
+    no_fit.kernel = "gemm";
+    no_fit.unroll = 2;
+    no_fit.fabric = fabric(2, 1);
+    no_fit.options.maxIiSteps = 0;
+    grid.push_back(no_fit);
+
+    JobSpec bad_unroll;
+    bad_unroll.kernel = "relu";
+    bad_unroll.unroll = 99;
+    bad_unroll.fabric = fabric(4, 2);
+    grid.push_back(bad_unroll);
+
+    RunnerOptions opts;
+    opts.threads = 2;
+    ExperimentRunner runner(opts);
+    const std::vector<JobResult> results = runner.run(grid);
+
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].status, JobResult::Status::Mapped);
+    EXPECT_EQ(results[1].status, JobResult::Status::Failed);
+    EXPECT_FALSE(results[1].error.empty());
+    EXPECT_EQ(results[2].status, JobResult::Status::NoFit);
+    EXPECT_EQ(results[3].status, JobResult::Status::Failed);
+}
+
+TEST(ExperimentRunnerTest, SharesTheCacheAcrossDuplicateCells)
+{
+    std::vector<JobSpec> grid;
+    JobSpec cell;
+    cell.kernel = "fir";
+    cell.fabric = fabric(4, 2);
+    for (int i = 0; i < 6; ++i)
+        grid.push_back(cell); // six identical cells
+
+    RunnerOptions opts;
+    opts.threads = 3;
+    ExperimentRunner runner(opts);
+    const std::vector<JobResult> results = runner.run(grid);
+    for (const JobResult &r : results) {
+        ASSERT_TRUE(r.mapped());
+        // Deduplicated: every cell shares the one memoized entry.
+        EXPECT_EQ(r.entry.get(), results[0].entry.get());
+    }
+    const MappingCacheStats s = runner.cache().stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 5u);
+}
+
+TEST(ExperimentRunnerTest, ProgressLoggingDoesNotPerturbResults)
+{
+    RunnerOptions opts;
+    opts.threads = 2;
+    opts.progress = true;
+    opts.progressEvery = 2;
+    ExperimentRunner runner(opts);
+    const std::vector<JobResult> results = runner.run(sampleGrid());
+    for (const JobResult &r : results)
+        EXPECT_TRUE(r.mapped());
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,227 @@
+#include "exec/mapping_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "kernels/registry.hpp"
+
+namespace iced {
+namespace {
+
+CgraConfig
+smallFabric()
+{
+    CgraConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.islandRows = 2;
+    config.islandCols = 2;
+    return config;
+}
+
+TEST(FingerprintTest, IdenticalInputsProduceIdenticalDigests)
+{
+    const Dfg dfg = findKernel("relu").build(1);
+    const Digest a = fingerprintMappingRequest(dfg, smallFabric(),
+                                               MapperOptions{});
+    const Digest b = fingerprintMappingRequest(
+        findKernel("relu").build(1), smallFabric(), MapperOptions{});
+    EXPECT_EQ(a, b);
+}
+
+TEST(FingerprintTest, EveryComponentChangesTheDigest)
+{
+    const Dfg dfg = findKernel("relu").build(1);
+    const Digest base = fingerprintMappingRequest(dfg, smallFabric(),
+                                                  MapperOptions{});
+
+    // DFG structure.
+    EXPECT_FALSE(base == fingerprintMappingRequest(
+                             findKernel("relu").build(2), smallFabric(),
+                             MapperOptions{}));
+
+    // Each fabric field.
+    for (int field = 0; field < 6; ++field) {
+        CgraConfig config = smallFabric();
+        switch (field) {
+        case 0: config.rows = 6; break;
+        case 1: config.cols = 6; break;
+        case 2: config.islandRows = 1; break;
+        case 3: config.registersPerTile += 1; break;
+        case 4: config.spmBanks += 1; break;
+        case 5: config.memLeftColumnOnly = false; break;
+        }
+        EXPECT_FALSE(base == fingerprintMappingRequest(
+                                 dfg, config, MapperOptions{}))
+            << "fabric field " << field;
+    }
+
+    // Mapper option fields, including the nested option structs.
+    for (int field = 0; field < 7; ++field) {
+        MapperOptions options;
+        switch (field) {
+        case 0: options.dvfsAware = false; break;
+        case 1: options.maxIiSteps += 1; break;
+        case 2: options.candidateTiles += 1; break;
+        case 3: options.levelMismatchCost += 0.5; break;
+        case 4: options.useClusters = false; break;
+        case 5: options.labeling.fillFactor += 0.01; break;
+        case 6: options.router.hopCost += 0.25; break;
+        }
+        EXPECT_FALSE(base == fingerprintMappingRequest(
+                                 dfg, smallFabric(), options))
+            << "option field " << field;
+    }
+}
+
+TEST(MappingCacheTest, HitsOnIdenticalRequest)
+{
+    MappingCache cache;
+    const Dfg dfg = findKernel("relu").build(1);
+    auto first = cache.map(smallFabric(), dfg, MapperOptions{});
+    auto second = cache.map(smallFabric(), dfg, MapperOptions{});
+    ASSERT_TRUE(first->mapped());
+    EXPECT_EQ(first.get(), second.get()); // the same memoized entry
+    const MappingCacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+}
+
+TEST(MappingCacheTest, EntryOwnsItsInputsAndMappingReferencesThem)
+{
+    MappingCache cache;
+    auto entry = cache.map(smallFabric(), findKernel("relu").build(1),
+                           MapperOptions{});
+    ASSERT_TRUE(entry->mapped());
+    // The memoized Mapping must reference the entry's own copies so
+    // it stays valid after the request-time objects die.
+    EXPECT_EQ(&entry->mapping->cgra(), &entry->cgra);
+    EXPECT_EQ(&entry->mapping->dfg(), &entry->dfg);
+}
+
+TEST(MappingCacheTest, MissesWhenAnyFingerprintComponentChanges)
+{
+    MappingCache cache;
+    const Dfg dfg = findKernel("relu").build(1);
+    cache.map(smallFabric(), dfg, MapperOptions{});
+
+    cache.map(smallFabric(), findKernel("relu").build(2),
+              MapperOptions{}); // different DFG
+    CgraConfig bigger = smallFabric();
+    bigger.rows = bigger.cols = 6;
+    cache.map(bigger, dfg, MapperOptions{}); // different fabric
+    MapperOptions conv;
+    conv.dvfsAware = false;
+    cache.map(smallFabric(), dfg, conv); // different options
+
+    const MappingCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(MappingCacheTest, CachesNoFitOutcomes)
+{
+    MappingCache cache;
+    CgraConfig tiny;
+    tiny.rows = tiny.cols = 2;
+    tiny.islandRows = tiny.islandCols = 1;
+    MapperOptions options;
+    options.maxIiSteps = 0; // gemm x2 cannot fit a 2x2 at its start II
+    const Dfg dfg = findKernel("gemm").build(2);
+    auto first = cache.map(tiny, dfg, options);
+    EXPECT_TRUE(first->noFit());
+    EXPECT_FALSE(first->mapped());
+    EXPECT_FALSE(first->failed());
+    auto second = cache.map(tiny, dfg, options);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(MappingCacheTest, CapturesFatalErrorsAsFailedEntries)
+{
+    MappingCache cache;
+    // A malformed DFG (operand 1 of the Add is unfed) makes the
+    // mapper's Dfg::validate raise FatalError, which must be captured
+    // into the entry instead of escaping a worker thread.
+    Dfg broken("broken");
+    const NodeId a = broken.addNode(Opcode::Add, "a");
+    broken.addEdge(a, a, 0, 1);
+    // operand 1 of the Add is unfed -> validate() throws FatalError.
+    auto failed = cache.map(smallFabric(), broken, MapperOptions{});
+    EXPECT_TRUE(failed->failed());
+    EXPECT_FALSE(failed->mapped());
+    EXPECT_FALSE(failed->error.empty());
+    // And the failure itself is memoized.
+    auto again = cache.map(smallFabric(), broken, MapperOptions{});
+    EXPECT_EQ(failed.get(), again.get());
+}
+
+TEST(MappingCacheTest, EvictsLeastRecentlyUsedBeyondCapacity)
+{
+    MappingCache cache(2);
+    const Dfg relu = findKernel("relu").build(1);
+    const Dfg fir = findKernel("fir").build(1);
+    const Dfg mvt = findKernel("mvt").build(1);
+
+    auto first = cache.map(smallFabric(), relu, MapperOptions{});
+    cache.map(smallFabric(), fir, MapperOptions{});
+    cache.map(smallFabric(), relu, MapperOptions{}); // refresh relu
+    cache.map(smallFabric(), mvt, MapperOptions{});  // evicts fir
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    // relu survived (was most recently used before the eviction).
+    auto again = cache.map(smallFabric(), relu, MapperOptions{});
+    EXPECT_EQ(again.get(), first.get());
+    // fir was evicted: mapping it again is a miss.
+    const std::uint64_t misses_before = cache.stats().misses;
+    cache.map(smallFabric(), fir, MapperOptions{});
+    EXPECT_EQ(cache.stats().misses, misses_before + 1);
+    // Evicted-but-held entries stay alive and valid.
+    EXPECT_TRUE(first->mapped());
+}
+
+TEST(MappingCacheTest, ConcurrentIdenticalRequestsComputeOnce)
+{
+    MappingCache cache;
+    const Dfg dfg = findKernel("fir").build(1);
+    constexpr int requesters = 8;
+    std::vector<std::shared_ptr<const MappingEntry>> entries(
+        requesters);
+    {
+        ThreadPool pool(requesters);
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < requesters; ++i)
+            futures.push_back(pool.submit([&, i] {
+                entries[static_cast<std::size_t>(i)] =
+                    cache.map(smallFabric(), dfg, MapperOptions{});
+            }));
+        for (auto &f : futures)
+            f.get();
+    }
+    for (int i = 1; i < requesters; ++i)
+        EXPECT_EQ(entries[0].get(),
+                  entries[static_cast<std::size_t>(i)].get());
+    const MappingCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, static_cast<std::uint64_t>(requesters - 1));
+}
+
+TEST(MappingCacheTest, ClearDropsEntriesButKeepsHeldOnesValid)
+{
+    MappingCache cache;
+    auto held = cache.map(smallFabric(), findKernel("relu").build(1),
+                          MapperOptions{});
+    EXPECT_EQ(cache.size(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(held->mapped()); // still alive through the shared_ptr
+}
+
+} // namespace
+} // namespace iced

@@ -1,0 +1,107 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace iced {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskToCompletion)
+{
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 100; ++i)
+            futures.push_back(pool.submit(
+                [&counter] { counter.fetch_add(1); }));
+        for (auto &f : futures)
+            f.get();
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsTaskValuesThroughFutures)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, CapturesExceptionsInTheTaskFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto boom = pool.submit(
+        []() -> int { throw std::runtime_error("task exploded"); });
+    EXPECT_EQ(ok.get(), 7);
+    try {
+        boom.get();
+        FAIL() << "expected the task's exception";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "task exploded");
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotKillTheWorker)
+{
+    ThreadPool pool(1); // the single worker must survive the throw
+    auto boom =
+        pool.submit([] { throw std::runtime_error("first"); });
+    EXPECT_THROW(boom.get(), std::runtime_error);
+    auto after = pool.submit([] { return 42; });
+    EXPECT_EQ(after.get(), 42);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingQueue)
+{
+    std::atomic<int> counter{0};
+    {
+        // One worker and a large burst: most tasks are still queued
+        // when the destructor runs, and must still execute.
+        ThreadPool pool(1, 256);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, BoundedQueueBlocksAndCompletes)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2, 2); // far more tasks than queue slots
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsIcedThreadsEnv)
+{
+    ASSERT_EQ(setenv("ICED_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3);
+    ASSERT_EQ(setenv("ICED_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+    ASSERT_EQ(setenv("ICED_THREADS", "-2", 1), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+    ASSERT_EQ(unsetenv("ICED_THREADS"), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, ThreadCountIsClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+    EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+} // namespace
+} // namespace iced

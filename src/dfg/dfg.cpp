@@ -95,6 +95,18 @@ Dfg::validate() const
                     " operand ", i, " is unconnected");
     }
 
+    // A constant has no per-iteration history, so a loop-carried edge
+    // out of one is ill-defined: the interpreter would deliver the
+    // edge's init value for warm-up iterations while the simulator's
+    // operand fetch always reads the immediate. Reject the construct
+    // outright instead of letting the models disagree.
+    for (const DfgEdge &e : edgeList)
+        fatalIf(e.distance > 0 && !e.isOrdering() &&
+                    node(e.src).op == Opcode::Const,
+                "DFG '", graphName, "': loop-carried edge from constant ",
+                node(e.src).name, " to ", node(e.dst).name,
+                " (distance ", e.distance, ")");
+
     // The distance-0 subgraph must be acyclic.
     std::vector<int> indeg(nodeList.size(), 0);
     for (const DfgEdge &e : edgeList)

@@ -1,0 +1,83 @@
+#include "fuzz/driver.hpp"
+
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+
+namespace iced {
+
+FuzzSummary
+runFuzz(const FuzzRunOptions &opt)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const bool budgeted = opt.timeBudget.count() > 0;
+    const auto deadline = start + opt.timeBudget;
+
+    FuzzSummary summary;
+    std::vector<std::future<OracleResult>> results;
+    results.reserve(static_cast<std::size_t>(std::max(0, opt.cases)));
+    {
+        ThreadPool pool(opt.threads > 0 ? opt.threads
+                                        : ThreadPool::defaultThreadCount());
+        for (int i = 0; i < opt.cases; ++i) {
+            if (budgeted && std::chrono::steady_clock::now() >= deadline) {
+                summary.timedOut = true;
+                break;
+            }
+            const std::uint64_t seed = caseSeed(opt.baseSeed, i);
+            const GeneratorOptions gen = opt.generator;
+            const OracleOptions oracle = opt.oracle;
+            results.push_back(pool.submit([seed, gen, oracle] {
+                return runCase(makeCase(seed, gen), oracle);
+            }));
+        }
+        // Pool destructor drains the queue; futures below are ready or
+        // become ready while we walk them in submission order.
+    }
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        OracleResult r = results[i].get();
+        ++summary.casesRun;
+        if (r.failed()) {
+            FuzzFailure f;
+            f.index = static_cast<int>(i);
+            f.seed = caseSeed(opt.baseSeed, static_cast<int>(i));
+            f.result = std::move(r);
+            summary.failures.push_back(std::move(f));
+        } else if (r.skipped()) {
+            ++summary.skipped;
+        } else {
+            ++summary.passed;
+        }
+    }
+
+    // Shrink serially: deterministic, and failures should be rare.
+    for (std::size_t i = 0; i < summary.failures.size(); ++i) {
+        FuzzFailure &f = summary.failures[i];
+        const FuzzCase original = makeCase(f.seed, opt.generator);
+        if (opt.shrink && static_cast<int>(i) < opt.maxShrinks) {
+            ShrinkResult s = shrinkCase(original, opt.oracle, opt.shrinker);
+            f.shrunk = std::move(s.shrunk);
+            f.shrunkResult = std::move(s.failure);
+            f.reductions = s.reductions;
+        } else {
+            f.shrunk = original;
+            f.shrunkResult = f.result;
+        }
+    }
+    return summary;
+}
+
+std::string
+reproLine(const FuzzRunOptions &opt, std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << "iced_fuzz --repro 0x" << std::hex << seed << std::dec;
+    if (opt.oracle.fault == InjectedFault::SimOffByOne)
+        os << " --inject-fault sim-off-by-one";
+    return os.str();
+}
+
+} // namespace iced

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Corpus driver: generate → oracle over a thread pool, then shrink.
+ *
+ * Derives one independent seed per case index from a base seed, runs
+ * every case through the differential oracle on the src/exec
+ * ThreadPool, and greedily shrinks the first few failures. Results are
+ * collected in submission order, so a run's report is deterministic
+ * for a fixed (base seed, case count) regardless of thread count.
+ */
+#ifndef ICED_FUZZ_DRIVER_HPP
+#define ICED_FUZZ_DRIVER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/shrink.hpp"
+
+namespace iced {
+
+/** Knobs for one corpus run. */
+struct FuzzRunOptions
+{
+    /** Base seed; case i runs with caseSeed(baseSeed, i). */
+    std::uint64_t baseSeed = 1;
+    /** Number of cases to attempt. */
+    int cases = 1000;
+    /** Stop submitting new cases past this wall-clock budget
+     *  (zero = no budget). In-flight cases still finish. */
+    std::chrono::milliseconds timeBudget{0};
+    /** Worker threads; 0 uses the ThreadPool default (ICED_THREADS). */
+    int threads = 0;
+    GeneratorOptions generator;
+    OracleOptions oracle;
+    /** Minimize failures before reporting them. */
+    bool shrink = true;
+    ShrinkOptions shrinker;
+    /** Only the first this-many failures are shrunk (the rest are
+     *  still reported with their seeds). */
+    int maxShrinks = 10;
+};
+
+/** One failing case, with its minimized form when shrinking ran. */
+struct FuzzFailure
+{
+    /** Case index within the run. */
+    int index = 0;
+    /** Exact seed; makeCase(seed) rebuilds the case byte-for-byte. */
+    std::uint64_t seed = 0;
+    /** Failure of the original, unshrunk case. */
+    OracleResult result;
+    /** Minimized case (== makeCase(seed) when shrinking was off). */
+    FuzzCase shrunk;
+    /** Failure the minimized case produces. */
+    OracleResult shrunkResult;
+    /** Reductions the shrinker accepted (0 when shrinking was off). */
+    int reductions = 0;
+};
+
+/** Aggregate result of a corpus run. */
+struct FuzzSummary
+{
+    int casesRun = 0;
+    int passed = 0;
+    int skipped = 0;
+    std::vector<FuzzFailure> failures;
+    /** True when the time budget cut the run short. */
+    bool timedOut = false;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Run the corpus. Deterministic report for fixed options. */
+FuzzSummary runFuzz(const FuzzRunOptions &options);
+
+/** Copy-pasteable `iced_fuzz` invocation reproducing `seed`. */
+std::string reproLine(const FuzzRunOptions &options, std::uint64_t seed);
+
+} // namespace iced
+
+#endif // ICED_FUZZ_DRIVER_HPP

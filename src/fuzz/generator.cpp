@@ -1,0 +1,406 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+namespace {
+
+/**
+ * Magnitude bound of "small" producers. Loop-carried state and
+ * multiplier operands are restricted to small producers, which keeps
+ * every intermediate value of a generated kernel far below 2^63:
+ * non-small nodes grow at most additively (one small operand per
+ * Add/Sub), and Mul/Shl results are masked before being exposed.
+ */
+constexpr std::int64_t valueMask = 0xFFFF;
+
+/** Read-only load segment size; power of two so And(addr, R-1) wraps. */
+constexpr int readSegWords = 16;
+
+struct Producer
+{
+    NodeId id = -1;
+    bool small = false;
+};
+
+/** Tracks generation state: the DFG plus the usable value producers. */
+struct Builder
+{
+    Rng &rng;
+    Dfg dfg;
+    std::vector<Producer> producers;
+    std::vector<Producer> smallProducers;
+    std::vector<NodeId> constPool;
+
+    explicit Builder(Rng &r, std::string name) : rng(r), dfg(std::move(name))
+    {
+    }
+
+    NodeId imm(std::int64_t value)
+    {
+        // No dedup map: a linear scan keeps iteration order (and thus
+        // the RNG stream) deterministic and the pool is tiny.
+        for (NodeId c : constPool)
+            if (dfg.node(c).imm == value)
+                return c;
+        const NodeId id = dfg.addNode(Opcode::Const, {}, value);
+        constPool.push_back(id);
+        return id;
+    }
+
+    void expose(NodeId id, bool small)
+    {
+        producers.push_back({id, small});
+        if (small)
+            smallProducers.push_back({id, small});
+    }
+
+    Producer pickAny() { return pick(producers); }
+    Producer pickSmall() { return pick(smallProducers); }
+
+    Producer pick(const std::vector<Producer> &pool)
+    {
+        panicIfNot(!pool.empty(), "fuzz generator: empty producer pool");
+        return pool[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    }
+
+    /**
+     * Wire operand `slot` of `dst` from `src`, possibly loop-carried.
+     * Carried edges require a small, non-const source so cross-iteration
+     * state stays bounded and Const edges stay distance-0.
+     */
+    void wire(NodeId dst, int slot, const Producer &src, bool allow_carried,
+              const GeneratorOptions &opt)
+    {
+        int distance = 0;
+        std::int64_t init = 0;
+        const bool carried = allow_carried && src.small &&
+                             dfg.node(src.id).op != Opcode::Const &&
+                             rng.chance(opt.carriedEdgeProb);
+        if (carried) {
+            distance = static_cast<int>(
+                rng.uniformInt(1, std::max(1, opt.maxDistance)));
+            init = rng.uniformInt(-16, 16);
+        }
+        dfg.addEdge(src.id, dst, slot, distance, init);
+    }
+};
+
+/** Wrapping induction skeleton: phi -> add -> cmplt -> select -> phi. */
+NodeId
+addCounter(Builder &b, std::int64_t start, std::int64_t step,
+           std::int64_t bound, const std::string &name)
+{
+    const NodeId phi = b.dfg.addNode(Opcode::Phi, name);
+    const NodeId next = b.dfg.addNode(Opcode::Add, name + ".next");
+    const NodeId cond = b.dfg.addNode(Opcode::CmpLt, name + ".lt");
+    const NodeId sel = b.dfg.addNode(Opcode::Select, name + ".sel");
+    b.dfg.addEdge(b.imm(start), phi, 0);
+    b.dfg.addEdge(sel, phi, 1, 1, start);
+    b.dfg.addEdge(phi, next, 0);
+    b.dfg.addEdge(b.imm(step), next, 1);
+    b.dfg.addEdge(next, cond, 0);
+    b.dfg.addEdge(b.imm(bound), cond, 1);
+    b.dfg.addEdge(cond, sel, 0);
+    b.dfg.addEdge(next, sel, 1);
+    b.dfg.addEdge(b.imm(0), sel, 2);
+    b.expose(phi, true);
+    b.expose(cond, true);
+    return phi;
+}
+
+/** Load from the read-only segment at And(src, readSegWords - 1). */
+void
+addMaskedLoad(Builder &b, const GeneratorOptions &opt)
+{
+    const Producer src = b.pickAny();
+    const NodeId mask = b.dfg.addNode(Opcode::And);
+    b.wire(mask, 0, src, true, opt);
+    b.dfg.addEdge(b.imm(readSegWords - 1), mask, 1);
+    const NodeId load = b.dfg.addNode(Opcode::Load);
+    b.dfg.addEdge(mask, load, 0);
+    b.expose(mask, true);
+    b.expose(load, true);
+}
+
+/**
+ * Read-modify-write accumulator on one dedicated cell: the store→load
+ * ordering edge (distance 1) makes the memory dependency explicit, so
+ * interpreter and simulator must see the same access order.
+ */
+void
+addRmwCell(Builder &b, std::int64_t cell_addr)
+{
+    const NodeId zero = b.imm(0);
+    const NodeId load = b.dfg.addNode(Opcode::Load, {}, cell_addr);
+    b.dfg.addEdge(zero, load, 0);
+    const NodeId upd = b.dfg.addNode(Opcode::Add);
+    b.dfg.addEdge(load, upd, 0);
+    const Producer delta = b.pickSmall();
+    b.dfg.addEdge(delta.id, upd, 1);
+    const NodeId masked = b.dfg.addNode(Opcode::And);
+    b.dfg.addEdge(upd, masked, 0);
+    b.dfg.addEdge(b.imm(valueMask), masked, 1);
+    const NodeId store = b.dfg.addNode(Opcode::Store, {}, cell_addr);
+    b.dfg.addEdge(zero, store, 0);
+    b.dfg.addEdge(masked, store, 1);
+    b.dfg.addEdge(store, load, orderingOperand, 1);
+    b.expose(load, true);
+    b.expose(masked, true);
+}
+
+/** One random ALU node; returns the node count added. */
+void
+addAluNode(Builder &b, const GeneratorOptions &opt)
+{
+    static constexpr Opcode ops[] = {
+        Opcode::Add,   Opcode::Sub,   Opcode::Mul,   Opcode::Div,
+        Opcode::Rem,   Opcode::And,   Opcode::Or,    Opcode::Xor,
+        Opcode::Shl,   Opcode::Shr,   Opcode::Min,   Opcode::Max,
+        Opcode::Abs,   Opcode::Neg,   Opcode::CmpEq, Opcode::CmpNe,
+        Opcode::CmpLt, Opcode::CmpLe, Opcode::CmpGt, Opcode::CmpGe,
+        Opcode::Select};
+    const Opcode op = ops[b.rng.uniformInt(
+        0, static_cast<std::int64_t>(std::size(ops)) - 1)];
+    const NodeId id = b.dfg.addNode(op);
+    const int n_ops = arity(op);
+    const bool needs_small_inputs = op == Opcode::Mul || op == Opcode::Shl;
+    bool all_small = true;
+    bool have_small_operand = false;
+    for (int slot = 0; slot < n_ops; ++slot) {
+        if (op == Opcode::Shl && slot == 1) {
+            // Constant shift count: a small base shifted by at most 12
+            // stays far below 2^63 (evalAlu only masks by 63, which
+            // still lets a variable count overflow the product).
+            b.dfg.addEdge(b.imm(b.rng.uniformInt(0, 12)), id, 1);
+            continue;
+        }
+        // Adders/subtractors take at most one unbounded operand, so
+        // value magnitude grows additively, never exponentially.
+        const bool force_small =
+            needs_small_inputs ||
+            ((op == Opcode::Add || op == Opcode::Sub) &&
+             slot == n_ops - 1 && !have_small_operand);
+        const Producer src = force_small ? b.pickSmall() : b.pickAny();
+        all_small = all_small && src.small;
+        have_small_operand = have_small_operand || src.small;
+        b.wire(id, slot, src, true, opt);
+    }
+
+    switch (op) {
+      case Opcode::Mul:
+      case Opcode::Shl: {
+        // Mask before exposing: the raw product/shift may be large.
+        const NodeId masked = b.dfg.addNode(Opcode::And);
+        b.dfg.addEdge(id, masked, 0);
+        b.dfg.addEdge(b.imm(valueMask), masked, 1);
+        b.expose(masked, true);
+        break;
+      }
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpGt:
+      case Opcode::CmpGe:
+        b.expose(id, true);
+        break;
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::Select:
+      case Opcode::Abs:
+      case Opcode::Neg:
+        b.expose(id, all_small);
+        break;
+      default:
+        // Add/Sub/Div/Rem/And/Or/Xor/Shr: conservatively unbounded.
+        b.expose(id, false);
+        break;
+    }
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+caseSeed(std::uint64_t base, int index)
+{
+    return splitmix64(base + 0x9E3779B97F4A7C15ULL *
+                                 (static_cast<std::uint64_t>(index) + 1));
+}
+
+FuzzCase
+makeCase(std::uint64_t seed, const GeneratorOptions &opt)
+{
+    Rng rng(seed);
+    FuzzCase fc;
+    fc.seed = seed;
+
+    // --- Fabric -------------------------------------------------------
+    fc.fabric.rows = static_cast<int>(
+        rng.uniformInt(opt.minFabricDim, opt.maxFabricDim));
+    fc.fabric.cols = static_cast<int>(
+        rng.uniformInt(opt.minFabricDim, opt.maxFabricDim));
+    fc.fabric.islandRows = static_cast<int>(
+        rng.uniformInt(1, std::min(fc.fabric.rows, 4)));
+    fc.fabric.islandCols = static_cast<int>(
+        rng.uniformInt(1, std::min(fc.fabric.cols, 4)));
+    fc.fabric.registersPerTile = static_cast<int>(rng.uniformInt(4, 10));
+    fc.fabric.spmBanks = 1 << rng.uniformInt(1, 3);
+    fc.fabric.memLeftColumnOnly = !rng.chance(0.15);
+
+    // --- Mapper -------------------------------------------------------
+    fc.mapper.dvfsAware = rng.chance(opt.dvfsAwareProb);
+    fc.mapper.useClusters = rng.chance(0.9);
+    fc.mapper.maxIiSteps = opt.maxIiSteps;
+
+    fc.iterations = static_cast<int>(
+        rng.uniformInt(opt.minIterations, opt.maxIterations));
+
+    // --- Memory layout ------------------------------------------------
+    const int n_rmw = opt.allowRmw
+                          ? static_cast<int>(rng.uniformInt(0, 2))
+                          : 0;
+    const int n_stores =
+        static_cast<int>(rng.uniformInt(0, std::max(0, opt.maxStores)));
+    std::vector<int> seg_len(static_cast<std::size_t>(n_stores));
+    for (int &len : seg_len)
+        len = rng.chance(0.5) ? 4 : 8;
+    const int mem_words =
+        readSegWords + n_rmw +
+        std::accumulate(seg_len.begin(), seg_len.end(), 0);
+    fc.memory.assign(static_cast<std::size_t>(mem_words), 0);
+    for (int i = 0; i < readSegWords; ++i)
+        fc.memory[static_cast<std::size_t>(i)] = rng.uniformInt(-64, 64);
+    for (int i = 0; i < n_rmw; ++i)
+        fc.memory[static_cast<std::size_t>(readSegWords + i)] =
+            rng.uniformInt(0, 255);
+
+    // --- Graph --------------------------------------------------------
+    std::ostringstream name;
+    name << "fuzz_" << std::hex << seed;
+    Builder b(rng, name.str());
+
+    const int n_consts = static_cast<int>(rng.uniformInt(2, 4));
+    for (int i = 0; i < n_consts; ++i)
+        b.expose(b.imm(rng.uniformInt(-8, 8)), true);
+
+    // Hoisted: C++ leaves function-argument evaluation order
+    // unspecified, and the RNG draw order must be deterministic.
+    const std::int64_t cnt_step = rng.uniformInt(1, 2);
+    const std::int64_t cnt_bound = rng.uniformInt(3, 9);
+    addCounter(b, 0, cnt_step, cnt_bound, "cnt");
+
+    for (int i = 0; i < n_rmw; ++i)
+        addRmwCell(b, readSegWords + i);
+
+    int loads_left =
+        static_cast<int>(rng.uniformInt(0, std::max(0, opt.maxLoads)));
+    const int n_alu = static_cast<int>(
+        rng.uniformInt(opt.minAluNodes, opt.maxAluNodes));
+    for (int i = 0; i < n_alu; ++i) {
+        if (loads_left > 0 && rng.chance(0.25)) {
+            addMaskedLoad(b, opt);
+            --loads_left;
+        }
+        addAluNode(b, opt);
+    }
+    while (loads_left-- > 0)
+        addMaskedLoad(b, opt);
+
+    int seg_base = readSegWords + n_rmw;
+    for (int i = 0; i < n_stores; ++i) {
+        // Disjoint segment per store node: no two stores ever alias,
+        // and loads never read stored cells, so access order between
+        // different memory nodes cannot matter.
+        const NodeId idx = addCounter(b, rng.uniformInt(0, seg_len[i] - 1),
+                                      1, seg_len[i],
+                                      "st" + std::to_string(i) + ".idx");
+        const NodeId store =
+            b.dfg.addNode(Opcode::Store, "st" + std::to_string(i), seg_base);
+        b.dfg.addEdge(idx, store, 0);
+        b.dfg.addEdge(b.pickAny().id, store, 1);
+        seg_base += seg_len[i];
+    }
+
+    const int n_outputs =
+        static_cast<int>(rng.uniformInt(1, std::max(1, opt.maxOutputs)));
+    for (int i = 0; i < n_outputs; ++i) {
+        const NodeId out = b.dfg.addNode(Opcode::Output);
+        b.dfg.addEdge(b.pickAny().id, out, 0);
+    }
+
+    // A couple of pure ordering dependencies to stress the router.
+    const int n_order = static_cast<int>(rng.uniformInt(0, 2));
+    for (int i = 0; i < n_order; ++i) {
+        std::vector<NodeId> placed;
+        for (const DfgNode &n : b.dfg.nodes())
+            if (n.op != Opcode::Const)
+                placed.push_back(n.id);
+        if (placed.size() < 2)
+            break;
+        const NodeId src = placed[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(placed.size()) - 1))];
+        const NodeId dst = placed[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(placed.size()) - 1))];
+        if (src == dst)
+            continue;
+        // Forward (creation-order) edges may be intra-iteration; a
+        // backward distance-0 edge would close a combinational loop.
+        const int min_d = src < dst ? 0 : 1;
+        b.dfg.addEdge(src, dst, orderingOperand,
+                      static_cast<int>(rng.uniformInt(
+                          min_d, std::max(min_d, opt.maxDistance))));
+    }
+
+    fc.dfg = std::move(b.dfg);
+    fc.dfg.validate();
+    return fc;
+}
+
+std::string
+describeCase(const FuzzCase &fc)
+{
+    std::ostringstream os;
+    os << "case seed=0x" << std::hex << fc.seed << std::dec << "\n";
+    os << "fabric " << fc.fabric.rows << "x" << fc.fabric.cols << "("
+       << fc.fabric.islandRows << "x" << fc.fabric.islandCols << ")"
+       << " regs=" << fc.fabric.registersPerTile
+       << " banks=" << fc.fabric.spmBanks << " spm=" << fc.fabric.spmBytes
+       << " memLeft=" << (fc.fabric.memLeftColumnOnly ? 1 : 0) << "\n";
+    os << "mapper dvfs=" << (fc.mapper.dvfsAware ? 1 : 0)
+       << " clusters=" << (fc.mapper.useClusters ? 1 : 0)
+       << " maxIiSteps=" << fc.mapper.maxIiSteps << "\n";
+    os << "iterations " << fc.iterations << "\n";
+    os << "memory[" << fc.memory.size() << "] =";
+    for (std::int64_t v : fc.memory)
+        os << " " << v;
+    os << "\n";
+    os << "dfg " << fc.dfg.name() << " nodes=" << fc.dfg.nodeCount()
+       << " edges=" << fc.dfg.edgeCount() << "\n";
+    for (const DfgNode &n : fc.dfg.nodes())
+        os << "  node " << n.id << " " << toString(n.op) << " imm=" << n.imm
+           << " '" << n.name << "'\n";
+    for (const DfgEdge &e : fc.dfg.edges())
+        os << "  edge " << e.id << " " << e.src << "->" << e.dst
+           << " op=" << e.operandIndex << " d=" << e.distance
+           << " init=" << e.initValue << "\n";
+    return os.str();
+}
+
+} // namespace iced

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Seed-deterministic random test-case generator for the fuzzer.
+ *
+ * A FuzzCase bundles everything one differential run needs: a
+ * well-formed DFG, a fabric configuration, mapper options, an initial
+ * memory image, and an iteration count — all derived from a single
+ * 64-bit seed, so a failure reproduces from its seed alone.
+ *
+ * Generated DFGs are correct by construction:
+ *  - every operand slot is wired exactly once and the distance-0
+ *    subgraph is acyclic (Dfg::validate() always passes);
+ *  - memory accesses stay in bounds: loads address a power-of-two
+ *    read-only segment through an And mask, stores write per-node
+ *    disjoint segments through bounded counters;
+ *  - memory dependencies are always *expressed*: the only
+ *    read-after-write cells are read-modify-write accumulators whose
+ *    store→load ordering edge (distance 1) sequences the accesses, so
+ *    the overlap-free golden interpreter and the software-pipelined
+ *    cycle simulator must agree (divergence = bug, never "expected");
+ *  - arithmetic cannot overflow: loop-carried edges and multiplier
+ *    operands only source nodes with statically bounded magnitude
+ *    ("small" producers), keeping every intermediate far from 2^63.
+ */
+#ifndef ICED_FUZZ_GENERATOR_HPP
+#define ICED_FUZZ_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cgra.hpp"
+#include "common/rng.hpp"
+#include "dfg/dfg.hpp"
+#include "mapper/mapper.hpp"
+
+namespace iced {
+
+/** Tunables of the random case generator. */
+struct GeneratorOptions
+{
+    /** Random ALU nodes on top of the structural skeleton. */
+    int minAluNodes = 4;
+    int maxAluNodes = 16;
+    /** Probability that an operand edge is loop-carried. */
+    double carriedEdgeProb = 0.2;
+    /** Maximum loop-carried distance (>= 1). */
+    int maxDistance = 3;
+    /** Memory-op population caps. */
+    int maxLoads = 3;
+    int maxStores = 2;
+    /** Emit read-modify-write accumulator cells (store→load ordering). */
+    bool allowRmw = true;
+    /** Output nodes per case (at least 1). */
+    int maxOutputs = 3;
+    /** Loop trip count range. */
+    int minIterations = 1;
+    int maxIterations = 24;
+    /** Fabric geometry range; min == max pins the size. */
+    int minFabricDim = 4;
+    int maxFabricDim = 8;
+    /** Probability of a DVFS-aware mapper (else conventional). */
+    double dvfsAwareProb = 0.75;
+    /** Mapper II search range (smaller than the default: fuzz cases
+     *  that need many II steps are better classified as no-fit). */
+    int maxIiSteps = 12;
+};
+
+/** One complete differential test case, derived from `seed`. */
+struct FuzzCase
+{
+    std::uint64_t seed = 0;
+    Dfg dfg;
+    CgraConfig fabric;
+    MapperOptions mapper;
+    std::vector<std::int64_t> memory;
+    int iterations = 0;
+};
+
+/**
+ * Deterministically build the case for `seed`: equal (seed, options)
+ * pairs produce byte-identical cases (see describeCase()).
+ */
+FuzzCase makeCase(std::uint64_t seed, const GeneratorOptions &options = {});
+
+/**
+ * Case seed of corpus index `index` under base seed `base`
+ * (splitmix64 over base + index; collision-free per base).
+ */
+std::uint64_t caseSeed(std::uint64_t base, int index);
+
+/**
+ * Canonical textual form of a case: fabric, mapper options, memory
+ * image, iteration count, and the full node/edge list. Stable across
+ * runs and platforms — used by tests to assert byte-for-byte
+ * reproducibility and by the CLI to dump shrunk repros.
+ */
+std::string describeCase(const FuzzCase &fuzz_case);
+
+} // namespace iced
+
+#endif // ICED_FUZZ_GENERATOR_HPP

@@ -1,0 +1,157 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "dfg/interpreter.hpp"
+#include "mapper/power_gating.hpp"
+#include "mapper/validate.hpp"
+#include "sim/simulator.hpp"
+
+namespace iced {
+
+namespace {
+
+OracleResult
+failAt(OraclePhase phase, std::string message, int ii = 0)
+{
+    OracleResult r;
+    r.verdict = OracleResult::Verdict::Fail;
+    r.phase = phase;
+    r.message = std::move(message);
+    r.ii = ii;
+    return r;
+}
+
+/** First index where the two sequences differ, formatted for humans. */
+template <typename T>
+std::string
+firstMismatch(const char *what, const std::vector<T> &sim,
+              const std::vector<T> &ref)
+{
+    std::ostringstream os;
+    os << what << " diverges";
+    if (sim.size() != ref.size()) {
+        os << ": simulator produced " << sim.size() << " entries, "
+           << "interpreter " << ref.size();
+        return os.str();
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        if (sim[i] != ref[i]) {
+            os << " at index " << i << ": simulator " << sim[i]
+               << ", interpreter " << ref[i];
+            return os.str();
+        }
+    os << " (unlocated)";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+toString(OraclePhase phase)
+{
+    switch (phase) {
+      case OraclePhase::Map: return "map";
+      case OraclePhase::Validate: return "validate";
+      case OraclePhase::Simulate: return "simulate";
+      case OraclePhase::Interpret: return "interpret";
+      case OraclePhase::Compare: return "compare";
+      case OraclePhase::Done: return "done";
+    }
+    panic("toString: unknown oracle phase");
+}
+
+OracleResult
+runCase(const FuzzCase &fc, const OracleOptions &opt)
+{
+    const Cgra cgra(fc.fabric);
+    const Mapper mapper(cgra, fc.mapper);
+
+    std::optional<Mapping> mapping;
+    try {
+        mapping = mapper.tryMap(fc.dfg);
+    } catch (const std::exception &e) {
+        return failAt(OraclePhase::Map,
+                      std::string("mapper raised: ") + e.what());
+    }
+    if (!mapping) {
+        OracleResult r;
+        r.verdict = OracleResult::Verdict::Skip;
+        r.message = "no fit";
+        return r;
+    }
+    const int ii = mapping->ii();
+
+    // Exercise the power-gating pass: the validator and the simulator
+    // must both accept mappings with gated islands.
+    try {
+        gateUnusedIslands(*mapping);
+    } catch (const std::exception &e) {
+        return failAt(OraclePhase::Map,
+                      std::string("power gating raised: ") + e.what(), ii);
+    }
+
+    std::vector<std::string> issues;
+    try {
+        issues = checkMapping(*mapping);
+    } catch (const std::exception &e) {
+        return failAt(OraclePhase::Validate,
+                      std::string("validator raised: ") + e.what(), ii);
+    }
+    if (!issues.empty()) {
+        std::ostringstream os;
+        os << issues.front();
+        if (issues.size() > 1)
+            os << " (+" << issues.size() - 1 << " more)";
+        return failAt(OraclePhase::Validate, os.str(), ii);
+    }
+
+    SimResult sim;
+    try {
+        sim = simulate(*mapping, fc.memory, SimOptions{fc.iterations});
+    } catch (const std::exception &e) {
+        return failAt(OraclePhase::Simulate,
+                      std::string("simulator raised: ") + e.what(), ii);
+    }
+    if (opt.fault == InjectedFault::SimOffByOne)
+        for (std::int64_t &v : sim.outputs)
+            v += 1;
+
+    InterpResult ref;
+    try {
+        ref = interpretDfg(fc.dfg, fc.memory, fc.iterations, false);
+    } catch (const std::exception &e) {
+        return failAt(OraclePhase::Interpret,
+                      std::string("interpreter raised: ") + e.what(), ii);
+    }
+
+    if (sim.outputs != ref.outputs)
+        return failAt(OraclePhase::Compare,
+                      firstMismatch("output stream", sim.outputs,
+                                    ref.outputs),
+                      ii);
+    if (sim.memory.size() < ref.memory.size())
+        return failAt(OraclePhase::Compare,
+                      "simulator memory smaller than the golden image",
+                      ii);
+    if (!std::equal(ref.memory.begin(), ref.memory.end(),
+                    sim.memory.begin())) {
+        std::vector<std::int64_t> prefix(
+            sim.memory.begin(),
+            sim.memory.begin() +
+                static_cast<std::ptrdiff_t>(ref.memory.size()));
+        return failAt(OraclePhase::Compare,
+                      firstMismatch("final memory", prefix, ref.memory),
+                      ii);
+    }
+
+    OracleResult r;
+    r.verdict = OracleResult::Verdict::Pass;
+    r.ii = ii;
+    return r;
+}
+
+} // namespace iced

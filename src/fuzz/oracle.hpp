@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Differential oracle: one fuzz case through the whole stack.
+ *
+ * Per case: map → independently validate (checkMapping) → power-gate
+ * unused islands → re-validate → cycle-accurately simulate, then
+ * compare the simulator's output stream and final memory against the
+ * functional DFG interpreter (the golden model). A case that does not
+ * fit the fabric is a *skip*, never a failure; any disagreement
+ * between the three models, or an unexpected exception, is a failure
+ * tagged with the phase that broke.
+ */
+#ifndef ICED_FUZZ_ORACLE_HPP
+#define ICED_FUZZ_ORACLE_HPP
+
+#include <string>
+
+#include "fuzz/generator.hpp"
+
+namespace iced {
+
+/** Deliberate model corruptions, used to prove the oracle catches
+ *  and the shrinker minimizes real bugs (tests and --inject-fault). */
+enum class InjectedFault {
+    None,
+    /** Off-by-one on every simulator output token. */
+    SimOffByOne,
+};
+
+/** Pipeline stage a failure is attributed to. */
+enum class OraclePhase {
+    Map,      ///< mapper raised instead of returning no-fit
+    Validate, ///< checkMapping reported violations
+    Simulate, ///< simulator raised
+    Interpret,///< golden model raised (generator contract broken)
+    Compare,  ///< simulator and interpreter disagree
+    Done,     ///< no failure
+};
+
+std::string toString(OraclePhase phase);
+
+/** Oracle knobs. */
+struct OracleOptions
+{
+    InjectedFault fault = InjectedFault::None;
+};
+
+/** Outcome of one differential run. */
+struct OracleResult
+{
+    enum class Verdict { Pass, Skip, Fail };
+
+    Verdict verdict = Verdict::Pass;
+    OraclePhase phase = OraclePhase::Done;
+    std::string message;
+    /** II of the mapping (when one was found). */
+    int ii = 0;
+
+    bool failed() const { return verdict == Verdict::Fail; }
+    bool skipped() const { return verdict == Verdict::Skip; }
+};
+
+/**
+ * Run `fuzz_case` through map → validate → simulate and compare with
+ * interpretDfg. Deterministic: equal cases yield equal results.
+ */
+OracleResult runCase(const FuzzCase &fuzz_case,
+                     const OracleOptions &options = {});
+
+} // namespace iced
+
+#endif // ICED_FUZZ_ORACLE_HPP

@@ -1,0 +1,278 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+namespace {
+
+/** A structural reduction of one DFG. */
+struct Reduction
+{
+    std::vector<char> freeze;   ///< node → Const(0), in-edges dropped
+    std::vector<char> dropNode; ///< node removed entirely
+    std::vector<char> dropEdge; ///< edge removed (ordering edges)
+
+    explicit Reduction(const Dfg &d)
+        : freeze(static_cast<std::size_t>(d.nodeCount()), 0),
+          dropNode(static_cast<std::size_t>(d.nodeCount()), 0),
+          dropEdge(static_cast<std::size_t>(d.edgeCount()), 0)
+    {
+    }
+};
+
+bool
+edgeKept(const Dfg &d, const DfgEdge &e, const Reduction &r)
+{
+    if (r.dropEdge[e.id] || r.dropNode[e.src] || r.dropNode[e.dst])
+        return false;
+    // A frozen node is a Const: it needs no inputs, and ordering
+    // edges at a Const are meaningless (it is never placed).
+    if (r.freeze[e.dst])
+        return false;
+    if (r.freeze[e.src] && e.isOrdering())
+        return false;
+    if (d.node(e.src).op == Opcode::Const && e.isOrdering())
+        return false;
+    return true;
+}
+
+/**
+ * Extend `r.dropNode` with dead code: anything that is not a Store or
+ * Output and feeds no kept data edge into a live node. Returns the
+ * number of additionally dropped nodes.
+ */
+int
+eliminateDeadCode(const Dfg &d, Reduction &r)
+{
+    int dropped = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const DfgNode &n : d.nodes()) {
+            if (r.dropNode[n.id])
+                continue;
+            if (!r.freeze[n.id] &&
+                (n.op == Opcode::Store || n.op == Opcode::Output))
+                continue;
+            bool live = false;
+            for (EdgeId eid : d.outEdges(n.id)) {
+                const DfgEdge &e = d.edge(eid);
+                if (edgeKept(d, e, r) && !e.isOrdering()) {
+                    live = true;
+                    break;
+                }
+            }
+            if (!live) {
+                r.dropNode[n.id] = 1;
+                ++dropped;
+                changed = true;
+            }
+        }
+    }
+    return dropped;
+}
+
+/** Materialize the reduced DFG with compacted node/edge ids. */
+Dfg
+applyReduction(const Dfg &d, const Reduction &r)
+{
+    Dfg out(d.name());
+    std::vector<NodeId> remap(static_cast<std::size_t>(d.nodeCount()), -1);
+    for (const DfgNode &n : d.nodes()) {
+        if (r.dropNode[n.id])
+            continue;
+        if (r.freeze[n.id])
+            remap[n.id] = out.addNode(Opcode::Const, n.name + "!", 0);
+        else
+            remap[n.id] = out.addNode(n.op, n.name, n.imm);
+    }
+    for (const DfgEdge &e : d.edges()) {
+        if (!edgeKept(d, e, r))
+            continue;
+        // Data edges out of a frozen node lose their loop-carried
+        // distance: a constant has no per-iteration history.
+        const bool from_const = r.freeze[e.src];
+        out.addEdge(remap[e.src], remap[e.dst], e.operandIndex,
+                    from_const ? 0 : e.distance,
+                    from_const ? 0 : e.initValue);
+    }
+    return out;
+}
+
+/** True when `id` may be dropped outright: every data out-edge is
+ *  already gone (sinks like Store/Output, or fully dead fan-out). */
+bool
+droppable(const Dfg &d, NodeId id)
+{
+    for (EdgeId eid : d.outEdges(id))
+        if (!d.edge(eid).isOrdering())
+            return false;
+    return true;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const FuzzCase &failing, const OracleOptions &oracle,
+           const ShrinkOptions &opt)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + opt.timeBudget;
+
+    ShrinkResult res;
+    res.shrunk = failing;
+    res.failure = runCase(failing, oracle);
+    if (!res.failure.failed())
+        return res; // nothing to shrink; caller asserts on failure
+
+    const OraclePhase phase = res.failure.phase;
+    auto exhausted = [&] {
+        return res.attempts >= opt.maxAttempts ||
+               std::chrono::steady_clock::now() >= deadline;
+    };
+
+    // Accepts `cand` when the same-phase failure still reproduces.
+    auto accept = [&](FuzzCase cand) {
+        if (exhausted())
+            return false;
+        ++res.attempts;
+        try {
+            cand.dfg.validate();
+        } catch (const FatalError &) {
+            return false; // structurally inapplicable reduction
+        }
+        OracleResult r = runCase(cand, oracle);
+        if (r.failed() && r.phase == phase) {
+            res.shrunk = std::move(cand);
+            res.failure = std::move(r);
+            ++res.reductions;
+            return true;
+        }
+        return false;
+    };
+
+    auto reducedDfg = [&](const FuzzCase &base,
+                          Reduction r) -> std::optional<FuzzCase> {
+        eliminateDeadCode(base.dfg, r);
+        const bool any =
+            std::any_of(r.dropNode.begin(), r.dropNode.end(),
+                        [](char c) { return c != 0; }) ||
+            std::any_of(r.freeze.begin(), r.freeze.end(),
+                        [](char c) { return c != 0; }) ||
+            std::any_of(r.dropEdge.begin(), r.dropEdge.end(),
+                        [](char c) { return c != 0; });
+        if (!any)
+            return std::nullopt;
+        FuzzCase cand = base;
+        cand.dfg = applyReduction(base.dfg, r);
+        return cand;
+    };
+
+    bool improved = true;
+    while (improved && !exhausted()) {
+        improved = false;
+        const FuzzCase &cur = res.shrunk;
+
+        // 1. Plain dead-code elimination (random graphs carry a lot).
+        if (auto cand = reducedDfg(cur, Reduction(cur.dfg)))
+            if (accept(std::move(*cand))) {
+                improved = true;
+                continue;
+            }
+
+        // 2. Freeze one node into a constant (largest id first: later
+        //    nodes sit atop the graph, freezing them unlocks big DCE).
+        for (NodeId id = cur.dfg.nodeCount() - 1; id >= 0 && !improved;
+             --id) {
+            if (cur.dfg.node(id).op == Opcode::Const)
+                continue;
+            if (exhausted())
+                break;
+            Reduction r(cur.dfg);
+            r.freeze[id] = 1;
+            if (auto cand = reducedDfg(cur, std::move(r)))
+                improved = accept(std::move(*cand));
+        }
+        if (improved)
+            continue;
+
+        // 3. Drop observable sinks (Store/Output) outright.
+        for (NodeId id = cur.dfg.nodeCount() - 1; id >= 0 && !improved;
+             --id) {
+            const Opcode op = cur.dfg.node(id).op;
+            if ((op != Opcode::Store && op != Opcode::Output) ||
+                !droppable(cur.dfg, id))
+                continue;
+            if (exhausted())
+                break;
+            Reduction r(cur.dfg);
+            r.dropNode[id] = 1;
+            if (auto cand = reducedDfg(cur, std::move(r)))
+                improved = accept(std::move(*cand));
+        }
+        if (improved)
+            continue;
+
+        // 4. Drop ordering edges.
+        for (EdgeId eid = cur.dfg.edgeCount() - 1; eid >= 0 && !improved;
+             --eid) {
+            if (!cur.dfg.edge(eid).isOrdering())
+                continue;
+            if (exhausted())
+                break;
+            Reduction r(cur.dfg);
+            r.dropEdge[eid] = 1;
+            if (auto cand = reducedDfg(cur, std::move(r)))
+                improved = accept(std::move(*cand));
+        }
+        if (improved)
+            continue;
+
+        // 5. Fewer iterations.
+        if (cur.iterations > 1) {
+            FuzzCase cand = cur;
+            cand.iterations = std::max(1, cur.iterations / 2);
+            if (accept(std::move(cand))) {
+                improved = true;
+                continue;
+            }
+            cand = cur;
+            cand.iterations = cur.iterations - 1;
+            if (accept(std::move(cand))) {
+                improved = true;
+                continue;
+            }
+        }
+
+        // 6. Smaller fabric.
+        for (const bool shrink_rows : {true, false}) {
+            const int dim =
+                shrink_rows ? cur.fabric.rows : cur.fabric.cols;
+            if (dim <= 2 || improved)
+                continue;
+            FuzzCase cand = cur;
+            (shrink_rows ? cand.fabric.rows : cand.fabric.cols) = dim - 1;
+            cand.fabric.islandRows =
+                std::min(cand.fabric.islandRows, cand.fabric.rows);
+            cand.fabric.islandCols =
+                std::min(cand.fabric.islandCols, cand.fabric.cols);
+            improved = accept(std::move(cand));
+        }
+        if (improved)
+            continue;
+
+        // 7. Smaller memory image.
+        if (cur.memory.size() > 1) {
+            FuzzCase cand = cur;
+            cand.memory.resize(cur.memory.size() / 2);
+            improved = accept(std::move(cand));
+        }
+    }
+    return res;
+}
+
+} // namespace iced

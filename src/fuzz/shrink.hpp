@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Greedy minimizer for failing fuzz cases.
+ *
+ * Starting from a failing (DFG, fabric, iterations) case, repeatedly
+ * tries structure-preserving reductions — freezing a node into a
+ * constant (plus dead-code elimination), dropping sink nodes and
+ * ordering edges, halving the trip count, shrinking the fabric — and
+ * keeps a reduction whenever the *same-phase* failure still
+ * reproduces. The result is the small repro a human debugs instead of
+ * the original random soup.
+ */
+#ifndef ICED_FUZZ_SHRINK_HPP
+#define ICED_FUZZ_SHRINK_HPP
+
+#include <chrono>
+
+#include "fuzz/oracle.hpp"
+
+namespace iced {
+
+/** Shrinking budget knobs. */
+struct ShrinkOptions
+{
+    /** Wall-clock budget; shrinking stops at the deadline and returns
+     *  the best case found so far. */
+    std::chrono::milliseconds timeBudget{30000};
+    /** Hard cap on oracle invocations. */
+    int maxAttempts = 4000;
+};
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    /** Smallest case that still fails in the original phase. */
+    FuzzCase shrunk;
+    /** The failure the shrunk case produces. */
+    OracleResult failure;
+    /** Oracle invocations spent. */
+    int attempts = 0;
+    /** Accepted reductions. */
+    int reductions = 0;
+};
+
+/**
+ * Minimize `failing`; @pre runCase(failing, oracle).failed().
+ * Deterministic: no randomness, candidate order is fixed.
+ */
+ShrinkResult shrinkCase(const FuzzCase &failing,
+                        const OracleOptions &oracle = {},
+                        const ShrinkOptions &options = {});
+
+} // namespace iced
+
+#endif // ICED_FUZZ_SHRINK_HPP

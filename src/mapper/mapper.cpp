@@ -430,6 +430,20 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii) const
             if (unit.cluster &&
                 static_cast<int>(unit.members.size()) * s > ii)
                 continue; // cannot share this tile's FU at this level
+            // Cluster offsets are distinct mod II at slowdown 1, but
+            // member k actually fires at t0 + s * offset(k): scaling
+            // by s can fold two offsets onto one modulo FU slot
+            // (s * delta ≡ 0 mod II), so this level cannot host the
+            // unit on any tile at any t0.
+            bool offsets_alias = false;
+            for (std::size_t k = 1;
+                 !offsets_alias && k < unit.offsets.size(); ++k)
+                for (std::size_t p = 0; !offsets_alias && p < k; ++p)
+                    offsets_alias =
+                        (s * (unit.offsets[k] - unit.offsets[p])) % ii ==
+                        0;
+            if (offsets_alias)
+                continue;
 
             // Bounds: modulo-ASAP floor plus placed-neighbor
             // constraints (per member).

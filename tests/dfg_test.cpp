@@ -94,6 +94,18 @@ TEST(Dfg, ValidateRejectsCombinationalLoop)
     EXPECT_THROW(dfg.validate(), FatalError);
 }
 
+TEST(Dfg, ValidateRejectsLoopCarriedConstEdge)
+{
+    // A constant has no per-iteration history: the interpreter would
+    // substitute the edge's init value during warm-up while the
+    // simulator always reads the immediate, so the construct is banned.
+    Dfg dfg("t");
+    dfg.addNode(Opcode::Const, "c", 7);
+    dfg.addNode(Opcode::Abs, "a");
+    dfg.addEdge(0, 1, 0, 1, 3);
+    EXPECT_THROW(dfg.validate(), FatalError);
+}
+
 TEST(Dfg, OrderingEdgesAreExemptFromArity)
 {
     Dfg dfg("t");

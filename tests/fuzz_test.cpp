@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the randomized differential-verification stack: generator
+ * determinism and well-formedness, the oracle's clean corpus, fault
+ * injection + shrinking, and repro-line determinism.
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dfg/interpreter.hpp"
+#include "fuzz/driver.hpp"
+#include "test_util.hpp"
+
+namespace iced {
+namespace {
+
+TEST(FuzzGenerator, DeterministicByteForByte)
+{
+    const std::uint64_t seed = testutil::envSeed(0xD5);
+    ICED_SEED_TRACE(seed);
+    for (int i = 0; i < 10; ++i) {
+        const std::uint64_t s = caseSeed(seed, i);
+        EXPECT_EQ(describeCase(makeCase(s)), describeCase(makeCase(s)));
+    }
+}
+
+TEST(FuzzGenerator, DistinctSeedsGiveDistinctCases)
+{
+    EXPECT_NE(describeCase(makeCase(caseSeed(1, 0))),
+              describeCase(makeCase(caseSeed(1, 1))));
+}
+
+TEST(FuzzGenerator, CasesAreWellFormed)
+{
+    // makeCase() validates the DFG itself; additionally the golden
+    // interpreter must accept every case (memory accesses in bounds).
+    const std::uint64_t seed = testutil::envSeed(0xBEEF);
+    ICED_SEED_TRACE(seed);
+    for (int i = 0; i < 50; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(seed, i));
+        EXPECT_GE(fc.dfg.nodeCount(), 5);
+        EXPECT_GE(fc.iterations, 1);
+        EXPECT_FALSE(fc.memory.empty());
+        EXPECT_NO_THROW(
+            interpretDfg(fc.dfg, fc.memory, fc.iterations, false))
+            << "case " << i;
+    }
+}
+
+TEST(FuzzOracle, SmokeCorpusIsClean)
+{
+    // Bounded smoke corpus for CI: every mappable case must agree
+    // between validator, simulator, and interpreter.
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    FuzzRunOptions opt;
+    opt.baseSeed = seed;
+    opt.cases = 200;
+    const FuzzSummary summary = runFuzz(opt);
+    EXPECT_EQ(summary.casesRun, 200);
+    EXPECT_GT(summary.passed, summary.skipped);
+    for (const FuzzFailure &f : summary.failures)
+        ADD_FAILURE() << "seed 0x" << std::hex << f.seed << std::dec
+                      << " [" << toString(f.result.phase) << "] "
+                      << f.result.message << "\n"
+                      << describeCase(f.shrunk);
+}
+
+TEST(FuzzOracle, RegressionClusterOffsetAliasing)
+{
+    // Found by the fuzzer (10k-case corpus, base seed 42): a
+    // recurrence cluster whose est-derived offsets are distinct mod II
+    // at slowdown 1 but fold onto one modulo FU slot once scaled by a
+    // slow island's slowdown. The mapper used to panic inside
+    // occupyFu instead of rejecting the candidate level.
+    const FuzzCase fc = makeCase(0xd12be5be7b6b4ef4ULL);
+    const OracleResult r = runCase(fc);
+    EXPECT_FALSE(r.failed())
+        << toString(r.phase) << ": " << r.message;
+}
+
+TEST(FuzzOracle, InjectedFaultIsCaughtAndShrunk)
+{
+    // An off-by-one planted in the simulator's outputs must be caught
+    // by the comparison and minimized to a tiny repro.
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    OracleOptions oracle;
+    oracle.fault = InjectedFault::SimOffByOne;
+    for (int i = 0; i < 50; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(seed, i));
+        const OracleResult r = runCase(fc, oracle);
+        if (r.skipped())
+            continue; // unmappable case never reaches the comparison
+        ASSERT_TRUE(r.failed()) << "fault escaped on case " << i;
+        ASSERT_EQ(r.phase, OraclePhase::Compare);
+
+        const ShrinkResult s = shrinkCase(fc, oracle);
+        EXPECT_TRUE(s.failure.failed());
+        EXPECT_EQ(s.failure.phase, OraclePhase::Compare);
+        EXPECT_LE(s.shrunk.dfg.nodeCount(), 8)
+            << "shrinker left " << s.shrunk.dfg.nodeCount()
+            << " nodes after " << s.attempts << " attempts";
+        return; // one mappable case is enough for the smoke tier
+    }
+    FAIL() << "no mappable case in 50 seeds";
+}
+
+TEST(FuzzShrink, IsDeterministic)
+{
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    OracleOptions oracle;
+    oracle.fault = InjectedFault::SimOffByOne;
+    for (int i = 0; i < 50; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(seed, i));
+        if (runCase(fc, oracle).skipped())
+            continue;
+        const ShrinkResult a = shrinkCase(fc, oracle);
+        const ShrinkResult b = shrinkCase(fc, oracle);
+        EXPECT_EQ(describeCase(a.shrunk), describeCase(b.shrunk));
+        EXPECT_EQ(a.failure.message, b.failure.message);
+        return;
+    }
+    FAIL() << "no mappable case in 50 seeds";
+}
+
+TEST(FuzzDriver, ReportIsThreadCountIndependent)
+{
+    FuzzRunOptions opt;
+    opt.baseSeed = 3;
+    opt.cases = 40;
+    opt.threads = 1;
+    const FuzzSummary serial = runFuzz(opt);
+    opt.threads = 4;
+    const FuzzSummary parallel = runFuzz(opt);
+    EXPECT_EQ(serial.passed, parallel.passed);
+    EXPECT_EQ(serial.skipped, parallel.skipped);
+    EXPECT_EQ(serial.failures.size(), parallel.failures.size());
+}
+
+TEST(FuzzDriver, ReproLineNamesTheSeed)
+{
+    FuzzRunOptions opt;
+    opt.oracle.fault = InjectedFault::SimOffByOne;
+    const std::string line = reproLine(opt, 0xabcdefULL);
+    EXPECT_NE(line.find("--repro 0xabcdef"), std::string::npos);
+    EXPECT_NE(line.find("--inject-fault sim-off-by-one"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace iced

@@ -125,6 +125,55 @@ TEST(Interpreter, OrderingEdgesSequenceMemoryOps)
     EXPECT_EQ(r.memory[0], 5);
 }
 
+TEST(Interpreter, TwoCarriedEdgesWithDistinctInits)
+{
+    // diff(i) = next(i-2)|init 10  -  next(i-3)|init 20, next(i) = i+1:
+    // each edge must use its own distance AND its own init value.
+    Dfg dfg("t");
+    const NodeId zero = dfg.addNode(Opcode::Const, "z", 0);
+    const NodeId one = dfg.addNode(Opcode::Const, "one", 1);
+    const NodeId phi = dfg.addNode(Opcode::Phi, "p");
+    const NodeId next = dfg.addNode(Opcode::Add, "next");
+    const NodeId diff = dfg.addNode(Opcode::Sub, "diff");
+    const NodeId out = dfg.addNode(Opcode::Output, "out");
+    dfg.addEdge(zero, phi, 0);
+    dfg.addEdge(next, phi, 1, 1, 0);
+    dfg.addEdge(phi, next, 0);
+    dfg.addEdge(one, next, 1);
+    dfg.addEdge(next, diff, 0, 2, 10);
+    dfg.addEdge(next, diff, 1, 3, 20);
+    dfg.addEdge(diff, out, 0);
+    const auto r = interpretDfg(dfg, {}, 5);
+    EXPECT_EQ(r.outputs,
+              (std::vector<std::int64_t>{-10, -10, -19, 1, 1}));
+}
+
+TEST(Interpreter, StoreThenLoadAliasWithinOneIteration)
+{
+    // Same cell written and read in the same iteration: the ordering
+    // edge (distance 0) makes the load observe this iteration's store.
+    KernelBuilder b("t");
+    const auto cnt = b.counter(0, 1, 1 << 20, 0);
+    const NodeId st = b.store(b.imm(0), cnt.value, 0, "st");
+    const NodeId ld = b.load(b.imm(0), 0, "ld");
+    b.order(st, ld, 0);
+    b.output(ld);
+    const auto r = interpretDfg(b.take(), {99}, 3);
+    EXPECT_EQ(r.outputs, (std::vector<std::int64_t>{0, 1, 2}));
+    EXPECT_EQ(r.memory[0], 2);
+}
+
+TEST(Interpreter, OutOfBoundsAtLaterIterationIsFatal)
+{
+    // The address only walks out of bounds on the third iteration.
+    KernelBuilder b("t");
+    const auto cnt = b.counter(0, 1, 1 << 20, 0);
+    b.output(b.load(cnt.value, 0));
+    Dfg dfg = b.take();
+    EXPECT_NO_THROW(interpretDfg(dfg, {1, 2}, 2));
+    EXPECT_THROW(interpretDfg(dfg, {1, 2}, 3), FatalError);
+}
+
 TEST(Interpreter, CounterWrapsAtBound)
 {
     KernelBuilder b("t");

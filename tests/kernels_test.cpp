@@ -10,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "dfg/cycle_analysis.hpp"
+#include "test_util.hpp"
 #include "dfg/interpreter.hpp"
 #include "kernels/registry.hpp"
 
@@ -76,7 +77,9 @@ TEST_P(KernelSweep, UnrollByTwoDoublesWork)
 TEST_P(KernelSweep, UnrolledGraphComputesTheSameResult)
 {
     const Kernel &k = kernel();
-    Rng rng(99);
+    const std::uint64_t seed = testutil::envSeed(99);
+    ICED_SEED_TRACE(seed);
+    Rng rng(seed);
     const Workload w = k.workload(rng);
     ASSERT_EQ(w.iterations % 2, 0);
     const auto r1 =

@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "dfg/interpreter.hpp"
 #include "kernels/registry.hpp"
+#include "test_util.hpp"
 #include "mapper/mapper.hpp"
 #include "sim/activity.hpp"
 #include "sim/simulator.hpp"
@@ -50,7 +51,9 @@ TEST_P(SimulatorSweep, MatchesInterpreter)
 {
     const auto &p = GetParam();
     const Kernel &kernel = findKernel(p.kernel);
-    Rng rng(0x5EED);
+    const std::uint64_t seed = testutil::envSeed(0x5EED);
+    ICED_SEED_TRACE(seed);
+    Rng rng(seed);
     const Workload w = kernel.workload(rng);
     const int iters = unrolledIterations(w, p.unroll);
 
@@ -72,7 +75,9 @@ TEST_P(SimulatorSweep, ExecCyclesCoverPipeline)
 {
     const auto &p = GetParam();
     const Kernel &kernel = findKernel(p.kernel);
-    Rng rng(0x5EED);
+    const std::uint64_t seed = testutil::envSeed(0x5EED);
+    ICED_SEED_TRACE(seed);
+    Rng rng(seed);
     const Workload w = kernel.workload(rng);
     const int iters = unrolledIterations(w, p.unroll);
     Dfg dfg = kernel.build(p.unroll);

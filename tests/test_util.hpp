@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for randomized tests: seed override + seed tracing.
+ *
+ * Property-style tests draw their seed through envSeed() and announce
+ * it with ICED_SEED_TRACE, so every gtest failure message carries the
+ * exact `ICED_SEED=...` needed to re-run the failing configuration
+ * (see tests/README.md).
+ */
+#ifndef ICED_TESTS_TEST_UTIL_HPP
+#define ICED_TESTS_TEST_UTIL_HPP
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace iced::testutil {
+
+/**
+ * Seed for a randomized test: the `ICED_SEED` environment variable
+ * (decimal or 0x-prefixed hex) when set, else `fallback`. Pair every
+ * use with ICED_SEED_TRACE so failures are reproducible.
+ */
+inline std::uint64_t
+envSeed(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("ICED_SEED"))
+        return std::stoull(env, nullptr, 0);
+    return fallback;
+}
+
+} // namespace iced::testutil
+
+/** Stamp the active seed onto every assertion failure in this scope. */
+#define ICED_SEED_TRACE(seed)                                           \
+    SCOPED_TRACE(::testing::Message()                                   \
+                 << "re-run with ICED_SEED=" << (seed))
+
+#endif // ICED_TESTS_TEST_UTIL_HPP

@@ -175,6 +175,51 @@ TEST(Validate, CatchesMisleveledIsland)
     }
 }
 
+TEST(Validate, CatchesDroppedRouteStep)
+{
+    Mapping m = goodMapping();
+    for (const DfgEdge &e : dfg().edges()) {
+        Route r = m.route(e.id);
+        if (r.edge == -1 || r.steps.empty())
+            continue;
+        // Losing any step breaks either the hop chain or the arrival
+        // cycle; the validator must notice both variants.
+        r.steps.erase(r.steps.begin() + r.steps.size() / 2);
+        m.setRoute(e.id, r);
+        EXPECT_FALSE(checkMapping(m).empty());
+        return;
+    }
+    GTEST_SKIP() << "no routes with steps in mapping";
+}
+
+TEST(Validate, CatchesRegisterFileOverflow)
+{
+    Mapping m = goodMapping();
+    const int cap = cgra().config().registersPerTile;
+    for (const DfgEdge &e : dfg().edges()) {
+        Route r = m.route(e.id);
+        if (r.edge == -1)
+            continue;
+        // Park the value in the destination tile's register file for
+        // more than cap * II cycles: some modulo cycle must then hold
+        // over `cap` live values.
+        RouteStep wait;
+        wait.kind = RouteStep::Kind::Wait;
+        wait.tile = r.dstTile;
+        wait.start = r.targetTime;
+        wait.duration = (cap + 1) * m.ii();
+        r.steps.push_back(wait);
+        m.setRoute(e.id, r);
+        const auto issues = checkMapping(m);
+        bool flagged = false;
+        for (const auto &i : issues)
+            flagged |= i.find("register pressure") != std::string::npos;
+        EXPECT_TRUE(flagged);
+        return;
+    }
+    FAIL() << "no routes at all";
+}
+
 TEST(Validate, CatchesGatedIslandWithWork)
 {
     Mapping m = goodMapping();

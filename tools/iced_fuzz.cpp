@@ -1,0 +1,224 @@
+/**
+ * @file
+ * `iced_fuzz` — randomized differential verification CLI.
+ *
+ * Runs a corpus of seed-derived cases through map → validate →
+ * simulate and compares each against the functional interpreter. A
+ * case that does not fit its fabric is skipped; any disagreement or
+ * unexpected exception is a failure, which is greedily shrunk and
+ * reported with a copy-pasteable repro line.
+ *
+ * Exit status: 0 all cases passed (or skipped), 1 failures found,
+ * 2 usage error.
+ */
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "fuzz/driver.hpp"
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: iced_fuzz [options]\n"
+          "\n"
+          "  --seed N           base seed (default: ICED_SEED env or 1)\n"
+          "  --cases N          number of cases to run (default 1000)\n"
+          "  --time-budget SEC  stop submitting new cases after SEC seconds\n"
+          "  --threads N        worker threads (default: ICED_THREADS env\n"
+          "                     or hardware concurrency)\n"
+          "  --repro SEED       run exactly one case from its printed seed\n"
+          "                     and dump it in full\n"
+          "  --inject-fault F   deliberately corrupt a model to exercise\n"
+          "                     the oracle; F: sim-off-by-one\n"
+          "  --no-shrink        report failures without minimizing them\n"
+          "  --shrink-budget SEC  per-failure shrink budget (default 30)\n"
+          "  --out-dir DIR      write one <seed>.txt dump per shrunk failure\n"
+          "  --verbose          print per-case verdicts\n"
+          "  --help             this text\n";
+}
+
+std::uint64_t
+parseSeed(const std::string &text)
+{
+    return std::stoull(text, nullptr, 0); // accepts 0x... and decimal
+}
+
+struct CliArgs
+{
+    iced::FuzzRunOptions run;
+    std::optional<std::uint64_t> repro;
+    std::string outDir;
+    bool verbose = false;
+};
+
+int
+parse(int argc, char **argv, CliArgs &cli)
+{
+    auto need_value = [&](int i) {
+        if (i + 1 >= argc) {
+            std::cerr << "iced_fuzz: " << argv[i] << " needs a value\n";
+            return false;
+        }
+        return true;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return -1;
+        } else if (arg == "--seed") {
+            if (!need_value(i))
+                return 2;
+            cli.run.baseSeed = parseSeed(argv[++i]);
+        } else if (arg == "--cases") {
+            if (!need_value(i))
+                return 2;
+            cli.run.cases = std::atoi(argv[++i]);
+        } else if (arg == "--time-budget") {
+            if (!need_value(i))
+                return 2;
+            cli.run.timeBudget =
+                std::chrono::seconds(std::atoi(argv[++i]));
+        } else if (arg == "--threads") {
+            if (!need_value(i))
+                return 2;
+            cli.run.threads = std::atoi(argv[++i]);
+        } else if (arg == "--repro") {
+            if (!need_value(i))
+                return 2;
+            cli.repro = parseSeed(argv[++i]);
+        } else if (arg == "--inject-fault") {
+            if (!need_value(i))
+                return 2;
+            const std::string fault = argv[++i];
+            if (fault == "sim-off-by-one") {
+                cli.run.oracle.fault = iced::InjectedFault::SimOffByOne;
+            } else {
+                std::cerr << "iced_fuzz: unknown fault '" << fault
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--no-shrink") {
+            cli.run.shrink = false;
+        } else if (arg == "--shrink-budget") {
+            if (!need_value(i))
+                return 2;
+            cli.run.shrinker.timeBudget =
+                std::chrono::seconds(std::atoi(argv[++i]));
+        } else if (arg == "--out-dir") {
+            if (!need_value(i))
+                return 2;
+            cli.outDir = argv[++i];
+        } else if (arg == "--verbose") {
+            cli.verbose = true;
+        } else {
+            std::cerr << "iced_fuzz: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    return 0;
+}
+
+/** Run one seed end to end and dump everything a bug report needs. */
+int
+runRepro(const CliArgs &cli, std::uint64_t seed)
+{
+    const iced::FuzzCase fc = iced::makeCase(seed, cli.run.generator);
+    std::cout << iced::describeCase(fc);
+    const iced::OracleResult r = iced::runCase(fc, cli.run.oracle);
+    if (r.failed()) {
+        std::cout << "FAIL [" << iced::toString(r.phase)
+                  << "] " << r.message << "\n";
+        if (cli.run.shrink) {
+            const iced::ShrinkResult s =
+                iced::shrinkCase(fc, cli.run.oracle, cli.run.shrinker);
+            std::cout << "shrunk to " << s.shrunk.dfg.nodeCount()
+                      << " nodes after " << s.attempts << " attempts ("
+                      << s.reductions << " reductions):\n"
+                      << iced::describeCase(s.shrunk)
+                      << "FAIL [" << iced::toString(s.failure.phase)
+                      << "] " << s.failure.message << "\n";
+        }
+        return 1;
+    }
+    std::cout << (r.skipped() ? "SKIP " + r.message
+                              : "PASS ii=" + std::to_string(r.ii))
+              << "\n";
+    return 0;
+}
+
+void
+dumpFailure(const std::string &dir, const iced::FuzzFailure &f)
+{
+    std::ostringstream name;
+    name << dir << "/0x" << std::hex << f.seed << ".txt";
+    std::ofstream out(name.str());
+    if (!out) {
+        std::cerr << "iced_fuzz: cannot write " << name.str() << "\n";
+        return;
+    }
+    out << "original failure [" << iced::toString(f.result.phase) << "] "
+        << f.result.message << "\n"
+        << "shrunk failure [" << iced::toString(f.shrunkResult.phase)
+        << "] " << f.shrunkResult.message << "\n"
+        << iced::describeCase(f.shrunk);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs cli;
+    if (const char *env = std::getenv("ICED_SEED"))
+        cli.run.baseSeed = parseSeed(env);
+    const int rc = parse(argc, argv, cli);
+    if (rc == -1)
+        return 0;
+    if (rc != 0)
+        return rc;
+
+    try {
+        if (cli.repro)
+            return runRepro(cli, *cli.repro);
+
+        const iced::FuzzSummary summary = iced::runFuzz(cli.run);
+        std::cout << "iced_fuzz: " << summary.casesRun << " cases, "
+                  << summary.passed << " passed, " << summary.skipped
+                  << " skipped (no fit), " << summary.failures.size()
+                  << " failed"
+                  << (summary.timedOut ? " [time budget reached]" : "")
+                  << "\n";
+        for (const iced::FuzzFailure &f : summary.failures) {
+            std::cout << "FAIL case " << f.index << " seed 0x" << std::hex
+                      << f.seed << std::dec << " ["
+                      << iced::toString(f.result.phase) << "] "
+                      << f.result.message << "\n";
+            if (f.reductions > 0)
+                std::cout << "  shrunk to " << f.shrunk.dfg.nodeCount()
+                          << " nodes / " << f.shrunk.iterations
+                          << " iterations ["
+                          << iced::toString(f.shrunkResult.phase) << "] "
+                          << f.shrunkResult.message << "\n";
+            std::cout << "  repro: " << iced::reproLine(cli.run, f.seed)
+                      << "\n";
+            if (cli.verbose)
+                std::cout << iced::describeCase(f.shrunk);
+            if (!cli.outDir.empty())
+                dumpFailure(cli.outDir, f);
+        }
+        return summary.ok() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "iced_fuzz: " << e.what() << "\n";
+        return 2;
+    }
+}

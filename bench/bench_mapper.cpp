@@ -1,0 +1,354 @@
+/**
+ * @file
+ * `bench_mapper` — mapper-throughput microbenchmark.
+ *
+ * Maps the Table I kernel suite (both mapper modes, unroll 1 and 2 on
+ * the 6x6 prototype fabric) plus a 12x12 scalability point, and
+ * reports maps/sec, routes/sec (committed routes of the produced
+ * mappings), heap allocation counts (global operator new interposer),
+ * and peak RSS. Results are written as `BENCH_mapper.json` — the
+ * repo's bench-JSON shape consumed by the perf trajectory
+ * (`bench/results/`).
+ *
+ * Unlike the fig* binaries this tool deliberately bypasses the
+ * mapping cache and google-benchmark: every map() call is a cold,
+ * single-threaded run so allocation counts are exact and
+ * reproducible.
+ *
+ * Exit status: 0 on success, 1 on mapping failure or (with --verify)
+ * an optimized-vs-reference mapping mismatch, 2 on usage error.
+ */
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/validate.hpp"
+
+// ---------------------------------------------------------------------
+// Global allocation interposer: counts every heap allocation of the
+// process. Counters are relaxed atomics so the interposer itself does
+// not serialize anything; bench_mapper maps single-threaded.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *operator new(std::size_t size) { return countedAlloc(size); }
+void *operator new[](std::size_t size) { return countedAlloc(size); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace iced {
+namespace {
+
+struct CaseResult
+{
+    std::string kernel;
+    int uf = 1;
+    std::string mode; // "conventional" | "iced"
+    std::string fabric;
+    int ii = 0;
+    int routes = 0;
+    double wallMs = 0.0;
+    std::uint64_t allocs = 0;
+    std::uint64_t allocBytes = 0;
+};
+
+struct BenchCase
+{
+    const Kernel *kernel;
+    int uf;
+    bool dvfsAware;
+    int fabricDim;
+};
+
+Cgra
+makeFabric(int n)
+{
+    CgraConfig c;
+    c.rows = n;
+    c.cols = n;
+    c.islandRows = 2;
+    c.islandCols = 2;
+    return Cgra(c);
+}
+
+int
+routedEdges(const Mapping &m)
+{
+    int routes = 0;
+    for (EdgeId e = 0; e < m.dfg().edgeCount(); ++e)
+        if (m.route(e).edge != -1)
+            ++routes;
+    return routes;
+}
+
+long
+peakRssKb()
+{
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return os.str();
+}
+
+/**
+ * Map once with production options and once with the copy-based
+ * reference candidate evaluation; any structural difference between
+ * the two mappings is a bug in the transactional fast path.
+ * Runs outside the timed region. Returns true on mismatch.
+ */
+bool
+verifyAgainstReference(const Cgra &cgra, const Dfg &dfg,
+                       const MapperOptions &opts)
+{
+    MapperOptions ref = opts;
+    ref.referenceEvaluation = true;
+    const auto optimized = Mapper(cgra, opts).tryMap(dfg);
+    const auto reference = Mapper(cgra, ref).tryMap(dfg);
+    if (optimized.has_value() != reference.has_value()) {
+        std::cerr << "bench_mapper: VERIFY MISMATCH " << dfg.name()
+                  << ": one evaluation mapped, the other did not\n";
+        return true;
+    }
+    if (optimized && !equalMappings(*optimized, *reference)) {
+        std::cerr << "bench_mapper: VERIFY MISMATCH " << dfg.name()
+                  << ": optimized and reference mappings differ\n";
+        return true;
+    }
+    return false;
+}
+
+/** The suite: Table I kernels x uf x mode on 6x6, plus 12x12 point. */
+std::vector<BenchCase>
+buildSuite(bool quick)
+{
+    std::vector<BenchCase> suite;
+    for (const Kernel &k : kernelRegistry())
+        for (int uf : {1, 2}) {
+            if (quick && uf != 1)
+                continue;
+            for (bool dvfs : {false, true}) {
+                if (quick && !dvfs)
+                    continue;
+                suite.push_back({&k, uf, dvfs, 6});
+            }
+        }
+    if (!quick) {
+        // Scalability point: a large fabric stresses candidate
+        // enumeration and route spans (paper Fig. 12 direction).
+        for (bool dvfs : {false, true})
+            suite.push_back({&findKernel("fft"), 2, dvfs, 12});
+    }
+    return suite;
+}
+
+int
+run(int repeat, bool quick, bool verify, const std::string &out_path)
+{
+    const std::vector<BenchCase> suite = buildSuite(quick);
+
+    // Fabrics are shared per size (construction is not measured).
+    Cgra cgra6 = makeFabric(6);
+    Cgra cgra12 = makeFabric(12);
+
+    std::vector<CaseResult> results;
+    int total_routes = 0;
+    double total_ms = 0.0;
+    std::uint64_t total_allocs = 0;
+    std::uint64_t total_bytes = 0;
+    int mismatches = 0;
+
+    for (const BenchCase &bc : suite) {
+        const Cgra &cgra = bc.fabricDim == 6 ? cgra6 : cgra12;
+        const Dfg dfg = bc.kernel->build(bc.uf);
+        MapperOptions opts;
+        opts.dvfsAware = bc.dvfsAware;
+
+        CaseResult r;
+        r.kernel = bc.kernel->name;
+        r.uf = bc.uf;
+        r.mode = bc.dvfsAware ? "iced" : "conventional";
+        r.fabric = std::to_string(bc.fabricDim) + "x" +
+                   std::to_string(bc.fabricDim);
+
+        // Best-of-N wall time; allocations are deterministic per map,
+        // so the per-repeat delta is constant and reported once.
+        double best_ms = 0.0;
+        for (int rep = 0; rep < repeat; ++rep) {
+            const std::uint64_t calls0 =
+                g_alloc_calls.load(std::memory_order_relaxed);
+            const std::uint64_t bytes0 =
+                g_alloc_bytes.load(std::memory_order_relaxed);
+            const auto t0 = std::chrono::steady_clock::now();
+            const Mapping m = Mapper(cgra, opts).map(dfg);
+            const auto t1 = std::chrono::steady_clock::now();
+            const double ms =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            if (rep == 0 || ms < best_ms)
+                best_ms = ms;
+            r.allocs = g_alloc_calls.load(std::memory_order_relaxed) -
+                       calls0;
+            r.allocBytes =
+                g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+            r.ii = m.ii();
+            r.routes = routedEdges(m);
+        }
+        r.wallMs = best_ms;
+
+        if (verify && verifyAgainstReference(cgra, dfg, opts))
+            ++mismatches;
+
+        total_routes += r.routes;
+        total_ms += r.wallMs;
+        total_allocs += r.allocs;
+        total_bytes += r.allocBytes;
+        results.push_back(std::move(r));
+        std::cerr << "bench_mapper: " << results.back().kernel << " x"
+                  << results.back().uf << " " << results.back().mode
+                  << " " << results.back().fabric << ": II "
+                  << results.back().ii << ", "
+                  << jsonNum(results.back().wallMs) << " ms, "
+                  << results.back().allocs << " allocs\n";
+    }
+
+    const int maps = static_cast<int>(results.size());
+    const double total_s = total_ms / 1000.0;
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_mapper: cannot write " << out_path << "\n";
+        return 2;
+    }
+    out << "{\n"
+        << "  \"tool\": \"bench_mapper\",\n"
+        << "  \"suite\": \"" << (quick ? "table1-quick" : "table1+scale12")
+        << "\",\n"
+        << "  \"repeat\": " << repeat << ",\n"
+        << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        out << "    {\"kernel\": \"" << r.kernel << "\", \"uf\": " << r.uf
+            << ", \"mode\": \"" << r.mode << "\", \"fabric\": \""
+            << r.fabric << "\", \"ii\": " << r.ii
+            << ", \"routes\": " << r.routes
+            << ", \"wallMs\": " << jsonNum(r.wallMs)
+            << ", \"allocs\": " << r.allocs
+            << ", \"allocBytes\": " << r.allocBytes << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"totals\": {\n"
+        << "    \"maps\": " << maps << ",\n"
+        << "    \"routes\": " << total_routes << ",\n"
+        << "    \"wallMs\": " << jsonNum(total_ms) << ",\n"
+        << "    \"mapsPerSec\": "
+        << jsonNum(total_s > 0 ? maps / total_s : 0.0) << ",\n"
+        << "    \"routesPerSec\": "
+        << jsonNum(total_s > 0 ? total_routes / total_s : 0.0) << ",\n"
+        << "    \"allocs\": " << total_allocs << ",\n"
+        << "    \"allocBytes\": " << total_bytes << ",\n"
+        << "    \"peakRssKb\": " << peakRssKb() << "\n"
+        << "  }\n"
+        << "}\n";
+
+    std::cout << "bench_mapper: " << maps << " maps, " << total_routes
+              << " routes in " << jsonNum(total_ms) << " ms ("
+              << jsonNum(total_s > 0 ? maps / total_s : 0.0)
+              << " maps/s, "
+              << jsonNum(total_s > 0 ? total_routes / total_s : 0.0)
+              << " routes/s), " << total_allocs << " allocations, peak RSS "
+              << peakRssKb() << " KB -> " << out_path << "\n";
+    if (mismatches > 0) {
+        std::cerr << "bench_mapper: " << mismatches
+                  << " optimized-vs-reference mapping mismatches\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace iced
+
+int
+main(int argc, char **argv)
+{
+    int repeat = 1;
+    bool quick = false;
+    bool verify = false;
+    std::string out_path = "BENCH_mapper.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: bench_mapper [--quick] [--verify]"
+                   " [--repeat N] [--out FILE]\n"
+                   "\n"
+                   "  --quick    uf1 / ICED-mode subset (CI perf-smoke)\n"
+                   "  --verify   cross-check optimized vs reference\n"
+                   "             candidate evaluation (exit 1 on any\n"
+                   "             mapping mismatch)\n"
+                   "  --repeat   best-of-N wall time per case (default 1)\n"
+                   "  --out      output JSON path (default"
+                   " BENCH_mapper.json)\n";
+            return 0;
+        } else {
+            std::cerr << "bench_mapper: unknown option '" << arg << "'\n";
+            return 2;
+        }
+    }
+    if (repeat < 1) {
+        std::cerr << "bench_mapper: --repeat must be >= 1\n";
+        return 2;
+    }
+    try {
+        return iced::run(repeat, quick, verify, out_path);
+    } catch (const std::exception &e) {
+        std::cerr << "bench_mapper: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -102,6 +102,11 @@ mixMapperOptions(Fingerprint &fp, const MapperOptions &options)
     fp.mix(options.latenessCost);
     fp.mix(options.fanoutTilePenalty);
     fp.mix(options.useClusters);
+    // Verification knobs do not change the chosen mapping, but a cache
+    // entry must still replay the exact request (a stress run's panic
+    // semantics differ), so they are part of the key.
+    fp.mix(options.referenceEvaluation);
+    fp.mix(options.stressRollback);
     fp.mix(std::string_view("labeling"));
     fp.mix(options.labeling.fillFactor);
     fp.mix(static_cast<int>(options.labeling.lowestLabel));

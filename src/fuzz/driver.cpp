@@ -77,6 +77,8 @@ reproLine(const FuzzRunOptions &opt, std::uint64_t seed)
     os << "iced_fuzz --repro 0x" << std::hex << seed << std::dec;
     if (opt.oracle.fault == InjectedFault::SimOffByOne)
         os << " --inject-fault sim-off-by-one";
+    if (opt.oracle.stressRollback)
+        os << " --stress-rollback";
     return os.str();
 }
 

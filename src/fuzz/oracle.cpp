@@ -68,7 +68,10 @@ OracleResult
 runCase(const FuzzCase &fc, const OracleOptions &opt)
 {
     const Cgra cgra(fc.fabric);
-    const Mapper mapper(cgra, fc.mapper);
+    MapperOptions mapper_opts = fc.mapper;
+    mapper_opts.stressRollback =
+        mapper_opts.stressRollback || opt.stressRollback;
+    const Mapper mapper(cgra, mapper_opts);
 
     std::optional<Mapping> mapping;
     try {

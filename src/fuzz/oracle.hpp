@@ -43,6 +43,13 @@ std::string toString(OraclePhase phase);
 struct OracleOptions
 {
     InjectedFault fault = InjectedFault::None;
+    /**
+     * Force the mapper's stress-rollback verification: every placement
+     * candidate is evaluated twice with a transaction rollback in
+     * between, panicking (surfaced as a Map-phase failure) on any
+     * divergence (`iced_fuzz --stress-rollback`).
+     */
+    bool stressRollback = false;
 };
 
 /** Outcome of one differential run. */

@@ -54,7 +54,12 @@ Mapper::Mapper(const Cgra &cgra, MapperOptions options)
 int
 Mapper::startIi(const Dfg &dfg) const
 {
-    const int rec = computeRecMii(dfg);
+    return startIi(dfg, computeRecMii(dfg));
+}
+
+int
+Mapper::startIi(const Dfg &dfg, int recMii) const
+{
     const int res =
         std::max(1, (dfg.mappableNodeCount() + fabric->tileCount() - 1) /
                         fabric->tileCount());
@@ -68,7 +73,7 @@ Mapper::startIi(const Dfg &dfg) const
                 "has no SPM-connected tiles");
         mem_res = (mem_ops + mem_tiles - 1) / mem_tiles;
     }
-    return std::max({rec, res, mem_res});
+    return std::max({recMii, res, mem_res});
 }
 
 Mapping
@@ -107,10 +112,20 @@ Mapper::strategyLadder() const
 std::optional<Mapping>
 Mapper::tryMap(const Dfg &dfg) const
 {
-    const int start = startIi(dfg);
+    // Everything invariant across the II loop is computed once:
+    // validation, the RecMII, and the strategy ladder's Mapper
+    // instances (each attempt used to re-derive all three).
+    dfg.validate();
+    const int rec = computeRecMii(dfg);
+    std::vector<Mapper> ladder;
+    for (const MapperOptions &variant : strategyLadder())
+        ladder.emplace_back(*fabric, variant);
+    const int start = startIi(dfg, rec);
     for (int ii = start; ii <= start + opts.maxIiSteps; ++ii) {
-        if (auto mapping = tryMapAtIi(dfg, ii))
-            return mapping;
+        for (const Mapper &m : ladder) {
+            if (auto mapping = m.attemptAtIi(dfg, ii, rec))
+                return mapping;
+        }
     }
     return std::nullopt;
 }
@@ -118,19 +133,20 @@ Mapper::tryMap(const Dfg &dfg) const
 std::optional<Mapping>
 Mapper::tryMapAtIi(const Dfg &dfg, int ii) const
 {
+    dfg.validate();
+    const int rec = computeRecMii(dfg);
     for (const MapperOptions &variant : strategyLadder()) {
         if (auto mapping =
-                Mapper(*fabric, variant).attemptAtIi(dfg, ii))
+                Mapper(*fabric, variant).attemptAtIi(dfg, ii, rec))
             return mapping;
     }
     return std::nullopt;
 }
 
 std::optional<Mapping>
-Mapper::attemptAtIi(const Dfg &dfg, int ii) const
+Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
 {
-    dfg.validate();
-    if (ii < computeRecMii(dfg))
+    if (ii < recMii)
         return std::nullopt; // recurrences cannot wrap below RecMII
     Mapping mapping(*fabric, dfg, ii);
     Mrrg &mrrg = mapping.mrrg();
@@ -302,6 +318,18 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii) const
     std::vector<bool> placed(static_cast<std::size_t>(dfg.nodeCount()),
                              false);
 
+    // Candidate-evaluation mode. The fast path mutates the live MRRG
+    // under a transaction and rolls back; the reference path copies the
+    // tables per candidate (the pre-optimization algorithm). Both pick
+    // byte-identical mappings — mapper_determinism_test proves it.
+    const bool reference = opts.referenceEvaluation;
+    const bool stress = opts.stressRollback && !reference;
+    // One workspace per attempt: router searches of this attempt reuse
+    // its buffers (attempts stay call-local, so no sharing). The seeds
+    // scratch is likewise rebuilt (not reallocated) per routed edge.
+    Router::Workspace workspace;
+    std::vector<std::pair<TileId, int>> seeds_scratch;
+
     // Place one unit (one or more nodes on a single tile).
     auto place_unit = [&](const Unit &unit) -> bool {
         // Collect edges to route now. Intra-unit edges are routed as
@@ -408,6 +436,39 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii) const
         std::optional<Candidate> best;
         int viable = 0;
 
+        // Fanout sharing: a route may branch off any point of an
+        // already-committed route of the same producer.
+        auto seeds_for =
+            [&](const std::vector<std::pair<EdgeId, Route>> &routes,
+                NodeId src_node)
+            -> const std::vector<std::pair<TileId, int>> & {
+            seeds_scratch.clear();
+            for (EdgeId oe : dfg.outEdges(src_node)) {
+                const Route *r = nullptr;
+                for (const auto &[ceid, cr] : routes)
+                    if (ceid == oe) {
+                        r = &cr;
+                        break;
+                    }
+                if (!r) {
+                    const Route &mr = mapping.route(oe);
+                    if (mr.edge != -1)
+                        r = &mr;
+                }
+                if (!r)
+                    continue;
+                r->points(*fabric, seeds_scratch);
+            }
+            return seeds_scratch;
+        };
+
+        // Fast path: one transaction for the whole unit. Candidates
+        // mutate the live tables and roll back to `mark`; only the
+        // winning snapshot is copied.
+        std::optional<Mrrg::Txn> txn;
+        if (!reference)
+            txn.emplace(mrrg);
+
         for (const TileRank &tr : ranked) {
             const TileId tile = tr.tile;
             const IslandId island = fabric->islandOf(tile);
@@ -488,117 +549,168 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii) const
                 if (!slots_free)
                     continue;
 
-                Candidate cand(mrrg);
-                cand.tile = tile;
-                cand.time = t0;
-                cand.level = level;
-                if (opens_island)
-                    cand.mrrg.assignIsland(island, level);
                 auto time_of = [&](NodeId v) {
                     return t0 + s * offset_of(v);
                 };
-                for (NodeId v : unit.members)
-                    cand.mrrg.occupyFu(tile, time_of(v), s, v);
 
-                double cost =
-                    opts.levelMismatchCost *
-                        (static_cast<int>(level) -
-                         static_cast<int>(unit_label)) +
-                    (opens_island ? opts.newIslandCost : 0.0) +
-                    opts.latenessCost * (t0 - earliest) +
-                    fanout_penalty(tile);
+                // Occupy the unit's resources on `eval` and route
+                // every pending edge, accumulating the candidate cost
+                // in a fixed order (both evaluation modes run this
+                // same code, so their costs compare bitwise-equal).
+                auto evaluate =
+                    [&](Mrrg &eval, double &cost,
+                        std::vector<std::pair<EdgeId, Route>> &routes)
+                    -> bool {
+                    if (opens_island)
+                        eval.assignIsland(island, level);
+                    for (NodeId v : unit.members)
+                        eval.occupyFu(tile, time_of(v), s, v);
 
-                bool ok = true;
-                // Fanout sharing: a route may branch off any point of
-                // an already-committed route of the same producer.
-                auto seeds_for = [&](NodeId src_node) {
-                    std::vector<std::pair<TileId, int>> seeds;
-                    for (EdgeId oe : dfg.outEdges(src_node)) {
-                        const Route *r = nullptr;
-                        for (const auto &[ceid, cr] : cand.routes)
-                            if (ceid == oe) {
-                                r = &cr;
-                                break;
+                    cost = opts.levelMismatchCost *
+                               (static_cast<int>(level) -
+                                static_cast<int>(unit_label)) +
+                           (opens_island ? opts.newIslandCost : 0.0) +
+                           opts.latenessCost * (t0 - earliest) +
+                           fanout_penalty(tile);
+
+                    auto route_edge = [&](EdgeId eid, NodeId src_node,
+                                          TileId src_tile, int ready,
+                                          TileId dst_tile, int target) {
+                        double rc = 0.0;
+                        const auto &seeds = seeds_for(routes, src_node);
+                        std::optional<Route> route;
+                        if (reference) {
+                            route = router.findRoute(eval, src_tile,
+                                                     ready, dst_tile,
+                                                     target, rc, seeds);
+                        } else {
+                            // Branch-and-bound: a route costlier than
+                            // the incumbent's remaining budget cannot
+                            // produce a new best, so the search may
+                            // abandon states beyond it.
+                            const double slack =
+                                best ? best->cost - cost
+                                     : Router::unbounded;
+                            bool was_pruned = false;
+                            route = router.findRoute(
+                                eval, src_tile, ready, dst_tile,
+                                target, rc, seeds, &workspace,
+                                slack >= 0.0 ? slack
+                                             : Router::unbounded,
+                                &was_pruned);
+                            if (!route && was_pruned) {
+                                // A costlier route may still exist,
+                                // and both this candidate's viability
+                                // (the `viable` counter) and the exact
+                                // committed route matter downstream:
+                                // rerun without the bound.
+                                route = router.findRoute(
+                                    eval, src_tile, ready, dst_tile,
+                                    target, rc, seeds, &workspace);
                             }
-                        if (!r) {
-                            const Route &mr = mapping.route(oe);
-                            if (mr.edge != -1)
-                                r = &mr;
                         }
-                        if (!r)
-                            continue;
-                        const auto pts = r->points(*fabric);
-                        seeds.insert(seeds.end(), pts.begin(),
-                                     pts.end());
-                    }
-                    return seeds;
-                };
-                auto route_edge = [&](EdgeId eid, NodeId src_node,
-                                      TileId src_tile, int ready,
-                                      TileId dst_tile, int target) {
-                    double rc = 0.0;
-                    auto route = router.findRoute(
-                        cand.mrrg, src_tile, ready, dst_tile, target,
-                        rc, seeds_for(src_node));
-                    if (!route ||
-                        !router.commit(cand.mrrg, *route, eid)) {
-                        if (std::getenv("ICED_MAPPER_DEBUG2")) {
-                            warn("  route fail edge ", eid, " tile",
-                                 src_tile, "@", ready, " -> tile",
-                                 dst_tile, "@", target,
-                                 (route ? " (commit)" : " (search)"));
+                        if (!route ||
+                            !router.commit(eval, *route, eid)) {
+                            if (std::getenv("ICED_MAPPER_DEBUG2")) {
+                                warn("  route fail edge ", eid,
+                                     " tile", src_tile, "@", ready,
+                                     " -> tile", dst_tile, "@", target,
+                                     (route ? " (commit)"
+                                            : " (search)"));
+                            }
+                            return false;
                         }
-                        return false;
+                        route->edge = eid;
+                        cost += rc;
+                        routes.emplace_back(eid, std::move(*route));
+                        return true;
+                    };
+
+                    for (EdgeId eid : intra) {
+                        const DfgEdge &e = dfg.edge(eid);
+                        if (!route_edge(eid, e.src, tile,
+                                        time_of(e.src) + s, tile,
+                                        time_of(e.dst) +
+                                            e.distance * ii))
+                            return false;
                     }
-                    route->edge = eid;
-                    cost += rc;
-                    cand.routes.emplace_back(eid, std::move(*route));
+                    for (EdgeId eid : pending_in) {
+                        const DfgEdge &e = dfg.edge(eid);
+                        const Placement &p = mapping.placement(e.src);
+                        if (!route_edge(eid, e.src, p.tile,
+                                        p.time +
+                                            eval.tileSlowdown(p.tile),
+                                        tile,
+                                        time_of(e.dst) +
+                                            e.distance * ii))
+                            return false;
+                    }
+                    for (EdgeId eid : pending_out) {
+                        const DfgEdge &e = dfg.edge(eid);
+                        const Placement &c = mapping.placement(e.dst);
+                        if (!route_edge(eid, e.src, tile,
+                                        time_of(e.src) + s, c.tile,
+                                        c.time + e.distance * ii))
+                            return false;
+                    }
                     return true;
                 };
 
-                for (EdgeId eid : intra) {
-                    const DfgEdge &e = dfg.edge(eid);
-                    if (!route_edge(eid, e.src, tile,
-                                    time_of(e.src) + s, tile,
-                                    time_of(e.dst) + e.distance * ii)) {
-                        ok = false;
-                        break;
-                    }
+                if (reference) {
+                    Candidate cand(mrrg);
+                    cand.tile = tile;
+                    cand.time = t0;
+                    cand.level = level;
+                    double cost = 0.0;
+                    if (!evaluate(cand.mrrg, cost, cand.routes))
+                        continue;
+                    cand.cost = cost;
+                    for (NodeId v : unit.members)
+                        cand.placements.emplace_back(v, time_of(v));
+                    if (!best || cand.cost < best->cost)
+                        best = std::move(cand);
+                    ++viable;
+                    break; // first viable slot on this tile
                 }
-                for (EdgeId eid : pending_in) {
-                    if (!ok)
-                        break;
-                    const DfgEdge &e = dfg.edge(eid);
-                    const Placement &p = mapping.placement(e.src);
-                    if (!route_edge(eid, e.src, p.tile,
-                                    p.time +
-                                        cand.mrrg.tileSlowdown(p.tile),
-                                    tile,
-                                    time_of(e.dst) + e.distance * ii)) {
-                        ok = false;
-                        break;
-                    }
-                }
-                for (EdgeId eid : pending_out) {
-                    if (!ok)
-                        break;
-                    const DfgEdge &e = dfg.edge(eid);
-                    const Placement &c = mapping.placement(e.dst);
-                    if (!route_edge(eid, e.src, tile,
-                                    time_of(e.src) + s, c.tile,
-                                    c.time + e.distance * ii)) {
-                        ok = false;
-                        break;
-                    }
-                }
-                if (!ok)
-                    continue;
 
-                cand.cost = cost;
-                for (NodeId v : unit.members)
-                    cand.placements.emplace_back(v, time_of(v));
-                if (!best || cand.cost < best->cost)
+                const std::size_t mark = txn->mark();
+                double cost = 0.0;
+                std::vector<std::pair<EdgeId, Route>> routes;
+                const bool ok = evaluate(mrrg, cost, routes);
+                if (stress) {
+                    // Re-evaluate from the rolled-back state and insist
+                    // on an exact reproduction: proves the undo log and
+                    // the reused router workspace leak no state into
+                    // the second pass.
+                    txn->rollbackTo(mark);
+                    double cost2 = 0.0;
+                    std::vector<std::pair<EdgeId, Route>> routes2;
+                    const bool ok2 = evaluate(mrrg, cost2, routes2);
+                    panicIfNot(ok == ok2 && cost == cost2 &&
+                                   routes == routes2,
+                               "stress-rollback: candidate evaluation "
+                               "diverged after rollback (unit head ",
+                               unit.members.front(), ", tile ", tile,
+                               ", t0 ", t0, ")");
+                }
+                if (!ok) {
+                    txn->rollbackTo(mark);
+                    continue;
+                }
+                if (!best || cost < best->cost) {
+                    // Snapshot the mutated tables as the new incumbent
+                    // (the only per-candidate table copy left).
+                    Candidate cand(mrrg);
+                    cand.tile = tile;
+                    cand.time = t0;
+                    cand.level = level;
+                    cand.cost = cost;
+                    for (NodeId v : unit.members)
+                        cand.placements.emplace_back(v, time_of(v));
+                    cand.routes = std::move(routes);
                     best = std::move(cand);
+                }
+                txn->rollbackTo(mark);
                 ++viable;
                 break; // first viable slot on this tile
             }
@@ -616,6 +728,7 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii) const
             }
             return false;
         }
+        txn.reset(); // detach (log already empty) before assigning
         mrrg = std::move(best->mrrg);
         for (const auto &[v, t] : best->placements) {
             mapping.setPlacement(v, best->tile, t);

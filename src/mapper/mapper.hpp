@@ -63,6 +63,23 @@ struct MapperOptions
      *  as a fallback strategy for graphs whose interlocked cycles do
      *  not decompose into single-tile clusters. */
     bool useClusters = true;
+    /**
+     * Verification knob: evaluate placement candidates on copied
+     * occupancy tables (the pre-optimization algorithm) instead of the
+     * transactional mutate-then-rollback fast path. Selects byte-
+     * identical mappings either way — `bench_mapper --verify` and
+     * `mapper_determinism_test` prove it — at several times the
+     * allocation cost. Not a tuning knob; leave off outside tests.
+     */
+    bool referenceEvaluation = false;
+    /**
+     * Verification knob (fuzzing): evaluate every candidate twice,
+     * rolling the transaction back in between, and panic unless the
+     * second evaluation reproduces the first exactly. Exercises the
+     * undo-log and router-workspace reuse on every unit placement
+     * (`iced_fuzz --stress-rollback`).
+     */
+    bool stressRollback = false;
     LabelOptions labeling;
     RouterOptions router;
 };
@@ -103,8 +120,16 @@ class Mapper
     const Cgra &cgra() const { return *fabric; }
 
   private:
-    /** One placement attempt with exactly these options (no ladder). */
-    std::optional<Mapping> attemptAtIi(const Dfg &dfg, int ii) const;
+    /**
+     * One placement attempt with exactly these options (no ladder).
+     * `recMii` is the caller-computed RecMII of `dfg`, hoisted out of
+     * the II loop; `dfg` must already be validated.
+     */
+    std::optional<Mapping> attemptAtIi(const Dfg &dfg, int ii,
+                                       int recMii) const;
+
+    /** startIi() with the RecMII already computed. */
+    int startIi(const Dfg &dfg, int recMii) const;
 
     /** The per-II fallback ladder derived from `opts`. */
     std::vector<MapperOptions> strategyLadder() const;

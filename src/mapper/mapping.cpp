@@ -117,4 +117,47 @@ Mapping::describe() const
     return os.str();
 }
 
+namespace {
+
+bool
+equalRoutes(const Route &a, const Route &b)
+{
+    if (a.edge != b.edge || a.srcTile != b.srcTile ||
+        a.dstTile != b.dstTile || a.readyTime != b.readyTime ||
+        a.targetTime != b.targetTime || a.startTile != b.startTile ||
+        a.startTime != b.startTime || a.steps.size() != b.steps.size())
+        return false;
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+        const RouteStep &x = a.steps[i];
+        const RouteStep &y = b.steps[i];
+        if (x.kind != y.kind || x.tile != y.tile || x.dir != y.dir ||
+            x.start != y.start || x.duration != y.duration)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+equalMappings(const Mapping &a, const Mapping &b)
+{
+    if (a.ii() != b.ii() || &a.dfg() != &b.dfg() ||
+        a.dfg().nodeCount() != b.dfg().nodeCount() ||
+        a.dfg().edgeCount() != b.dfg().edgeCount())
+        return false;
+    for (NodeId v = 0; v < a.dfg().nodeCount(); ++v) {
+        if (a.placement(v).tile != b.placement(v).tile ||
+            a.placement(v).time != b.placement(v).time)
+            return false;
+    }
+    for (EdgeId e = 0; e < a.dfg().edgeCount(); ++e)
+        if (!equalRoutes(a.route(e), b.route(e)))
+            return false;
+    for (IslandId i = 0; i < a.cgra().islandCount(); ++i)
+        if (a.islandLevel(i) != b.islandLevel(i))
+            return false;
+    return true;
+}
+
 } // namespace iced

@@ -87,6 +87,15 @@ class Mapping
     Mrrg resources;
 };
 
+/**
+ * Structural equality of two mappings built from the same Dfg/Cgra
+ * pair: II, every placement, every route (field-for-field, including
+ * step lists and branch points), and every island level. Used by the
+ * optimized-vs-reference determinism checks (`bench_mapper --verify`,
+ * `mapper_determinism_test`).
+ */
+bool equalMappings(const Mapping &a, const Mapping &b);
+
 } // namespace iced
 
 #endif // ICED_MAPPER_MAPPING_HPP

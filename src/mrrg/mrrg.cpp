@@ -1,5 +1,7 @@
 #include "mrrg/mrrg.hpp"
 
+#include <utility>
+
 #include "common/logging.hpp"
 
 namespace iced {
@@ -13,6 +15,109 @@ Mrrg::Mrrg(const Cgra &cgra, int ii) : fabric(&cgra), interval(ii)
     fuOwners.assign(tiles * ii, -1);
     portOwners.assign(tiles * dirCount * ii, -1);
     regCounts.assign(tiles * ii, 0);
+}
+
+Mrrg::Mrrg(const Mrrg &other)
+    : fabric(other.fabric),
+      interval(other.interval),
+      islandState(other.islandState),
+      fuOwners(other.fuOwners),
+      portOwners(other.portOwners),
+      regCounts(other.regCounts)
+{
+    // A snapshot copies the current tables only; the source's
+    // transaction (if any) keeps logging against the source.
+}
+
+Mrrg::Mrrg(Mrrg &&other) noexcept
+    : fabric(other.fabric),
+      interval(other.interval),
+      islandState(std::move(other.islandState)),
+      fuOwners(std::move(other.fuOwners)),
+      portOwners(std::move(other.portOwners)),
+      regCounts(std::move(other.regCounts))
+{
+    // Moving from under an attached transaction would leave the log
+    // pointing at gutted tables; panic (terminates under noexcept).
+    panicIfNot(other.txn == nullptr,
+               "moved-from Mrrg has an active transaction");
+}
+
+Mrrg &
+Mrrg::operator=(const Mrrg &other)
+{
+    panicIfNot(txn == nullptr,
+               "assignment into an Mrrg with an active transaction");
+    if (this == &other)
+        return *this;
+    fabric = other.fabric;
+    interval = other.interval;
+    islandState = other.islandState;
+    fuOwners = other.fuOwners;
+    portOwners = other.portOwners;
+    regCounts = other.regCounts;
+    return *this;
+}
+
+Mrrg &
+Mrrg::operator=(Mrrg &&other)
+{
+    panicIfNot(txn == nullptr && other.txn == nullptr,
+               "move-assignment with an active transaction");
+    if (this == &other)
+        return *this;
+    fabric = other.fabric;
+    interval = other.interval;
+    islandState = std::move(other.islandState);
+    fuOwners = std::move(other.fuOwners);
+    portOwners = std::move(other.portOwners);
+    regCounts = std::move(other.regCounts);
+    return *this;
+}
+
+Mrrg::Txn::Txn(Mrrg &m) : target(&m)
+{
+    panicIfNot(m.txn == nullptr,
+               "Mrrg already has an attached transaction");
+    m.txn = this;
+}
+
+Mrrg::Txn::~Txn()
+{
+    rollbackTo(0);
+    target->txn = nullptr;
+}
+
+void
+Mrrg::Txn::rollbackTo(std::size_t mark)
+{
+    panicIfNot(mark <= log.size(), "rollbackTo: mark ", mark,
+               " beyond log depth ", log.size());
+    while (log.size() > mark) {
+        const Entry &e = log.back();
+        switch (e.table) {
+          case Table::Fu:
+            target->fuOwners[e.index] = e.prev;
+            break;
+          case Table::Port:
+            target->portOwners[e.index] = e.prev;
+            break;
+          case Table::Reg:
+            target->regCounts[e.index] = e.prev;
+            break;
+          case Table::Island:
+            target->islandState[e.index] = e.prev;
+            break;
+        }
+        log.pop_back();
+    }
+}
+
+void
+Mrrg::note(Txn::Table table, int index, int prev)
+{
+    if (txn)
+        txn->log.push_back(Txn::Entry{table, index, prev});
 }
 
 bool
@@ -40,6 +145,7 @@ Mrrg::assignIsland(IslandId island, DvfsLevel level)
                "bad island id ", island);
     panicIfNot(levelUsable(level), "assignIsland: level ",
                toString(level), " unusable at II=", interval);
+    note(Txn::Table::Island, island, islandState[island]);
     islandState[island] = static_cast<int>(level);
 }
 
@@ -97,8 +203,11 @@ Mrrg::occupyFu(TileId tile, int t, int s, NodeId owner)
     panicIfNot(fuFree(tile, t, s), "occupyFu: conflict on tile ", tile,
                " at cycle ", t);
     const int start = alignDown(t, s);
-    for (int k = 0; k < s; ++k)
-        fuOwners[slotIndex(tile, start + k)] = owner;
+    for (int k = 0; k < s; ++k) {
+        const int idx = slotIndex(tile, start + k);
+        note(Txn::Table::Fu, idx, fuOwners[idx]);
+        fuOwners[idx] = owner;
+    }
 }
 
 NodeId
@@ -131,6 +240,7 @@ Mrrg::occupyPort(TileId tile, Dir d, int t, int s, EdgeId owner)
         const int idx =
             (tile * dirCount + static_cast<int>(d)) * interval +
             (start + k) % interval;
+        note(Txn::Table::Port, idx, portOwners[idx]);
         portOwners[idx] = owner;
     }
 }
@@ -172,8 +282,11 @@ Mrrg::occupyReg(TileId tile, int from, int to)
 {
     panicIfNot(regAvailable(tile, from, to),
                "occupyReg: register pressure exceeded on tile ", tile);
-    for (int t = from; t < to; ++t)
-        ++regCounts[slotIndex(tile, t)];
+    for (int t = from; t < to; ++t) {
+        const int idx = slotIndex(tile, t);
+        note(Txn::Table::Reg, idx, regCounts[idx]);
+        ++regCounts[idx];
+    }
 }
 
 int

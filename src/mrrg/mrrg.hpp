@@ -22,6 +22,8 @@
 #ifndef ICED_MRRG_MRRG_HPP
 #define ICED_MRRG_MRRG_HPP
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "arch/cgra.hpp"
@@ -33,13 +35,73 @@ namespace iced {
 inline constexpr int islandUnassigned = -1;
 
 /**
- * Occupancy tables of one mapping attempt. Copyable so the mapper can
- * snapshot/rollback trial placements cheaply.
+ * Occupancy tables of one mapping attempt.
+ *
+ * Two ways to explore trial placements:
+ *  - copy the whole table set (copyable; the mapper snapshots the
+ *    *winning* candidate this way), or
+ *  - attach a `Txn` and mutate in place: every occupy/assign records
+ *    an undo entry, and `rollbackTo()` restores the exact prior state
+ *    in O(entries) — the mapper's hot path, which evaluates up to
+ *    `candidateTiles` candidates per unit without copying the tables.
  */
 class Mrrg
 {
   public:
+    /**
+     * Undo log over one Mrrg. While alive, every mutation of the
+     * target (occupyFu/occupyPort/occupyReg/assignIsland) records the
+     * overwritten cell; `rollbackTo(mark)` restores all cells mutated
+     * since `mark()` in reverse order, byte-exactly. At most one Txn
+     * may be attached to an Mrrg at a time; the destructor rolls back
+     * anything not yet rolled back and detaches.
+     *
+     * Copying the target while a Txn is attached snapshots the
+     * *current* (mutated) tables; the copy has no transaction.
+     * Assigning *into* an Mrrg with an attached Txn panics — destroy
+     * or roll back the transaction first.
+     */
+    class Txn
+    {
+      public:
+        explicit Txn(Mrrg &target);
+        ~Txn();
+        Txn(const Txn &) = delete;
+        Txn &operator=(const Txn &) = delete;
+
+        /** Position marking the current log depth. */
+        std::size_t mark() const { return log.size(); }
+
+        /** Undo every mutation recorded after `mark`, newest first. */
+        void rollbackTo(std::size_t mark);
+
+        /** Undo everything recorded by this transaction. */
+        void rollback() { rollbackTo(0); }
+
+      private:
+        friend class Mrrg;
+        enum class Table : std::uint8_t { Fu, Port, Reg, Island };
+        struct Entry
+        {
+            Table table;
+            int index;
+            int prev;
+        };
+        Mrrg *target;
+        std::vector<Entry> log;
+    };
+
     Mrrg(const Cgra &cgra, int ii);
+    /** Copies tables only; the copy never inherits a transaction. */
+    Mrrg(const Mrrg &other);
+    Mrrg(Mrrg &&other) noexcept;
+    /** @pre neither side has an attached transaction. */
+    Mrrg &operator=(const Mrrg &other);
+    Mrrg &operator=(Mrrg &&other);
+    ~Mrrg() = default;
+
+    /** Transaction currently attached, or nullptr. */
+    Txn *transaction() const { return txn; }
 
     int ii() const { return interval; }
     const Cgra &cgra() const { return *fabric; }
@@ -114,6 +176,8 @@ class Mrrg
     int slotIndex(TileId tile, int t) const;
     /** Aligned window [start, start + s) containing t. */
     static int alignDown(int t, int s);
+    /** Record `prev` for undo when a transaction is attached. */
+    void note(Txn::Table table, int index, int prev);
 
     const Cgra *fabric;
     int interval;
@@ -121,6 +185,7 @@ class Mrrg
     std::vector<NodeId> fuOwners;           // [tile * ii + cycle]
     std::vector<EdgeId> portOwners;         // [(tile*4 + dir) * ii + cyc]
     std::vector<int> regCounts;             // [tile * ii + cycle]
+    Txn *txn = nullptr;                     // attached undo log, if any
 };
 
 } // namespace iced

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
+#include <utility>
 
 #include "common/logging.hpp"
 
@@ -32,35 +32,73 @@ std::vector<std::pair<TileId, int>>
 Route::points(const Cgra &cgra) const
 {
     std::vector<std::pair<TileId, int>> pts;
+    points(cgra, pts);
+    return pts;
+}
+
+void
+Route::points(const Cgra &cgra,
+              std::vector<std::pair<TileId, int>> &out) const
+{
     TileId tile = startTile;
     int time = startTime;
-    pts.emplace_back(tile, time);
+    out.emplace_back(tile, time);
     for (const RouteStep &s : steps) {
         if (s.kind == RouteStep::Kind::Hop)
             tile = cgra.neighbor(s.tile, s.dir);
         time += s.duration;
-        pts.emplace_back(tile, time);
+        out.emplace_back(tile, time);
     }
-    return pts;
+}
+
+void
+Router::Workspace::beginSearch(std::size_t states)
+{
+    if (dist.size() < states) {
+        dist.resize(states);
+        parent.resize(states);
+        stamp.resize(states, 0);
+    }
+    if (++epoch == 0) {
+        // Epoch counter wrapped: every stale stamp could alias the new
+        // epoch, so pay one full clear and restart the versioning.
+        std::fill(stamp.begin(), stamp.end(), 0);
+        epoch = 1;
+    }
+    heap.clear();
 }
 
 namespace {
 
-struct SearchState
+/**
+ * Min-heap order on (cost, time, tile) — a *total* order, so the pop
+ * sequence of surviving states is independent of how many states a
+ * cost bound pruned. That is what makes the bounded search return the
+ * byte-identical route whenever one exists within the bound.
+ */
+bool
+heapAfter(const Router::Workspace &, // tag for locality of reasoning
+          double a_cost, TileId a_tile, int a_time, double b_cost,
+          TileId b_tile, int b_time)
 {
-    double cost;
-    TileId tile;
-    int time;
-    bool operator>(const SearchState &o) const { return cost > o.cost; }
-};
+    if (a_cost != b_cost)
+        return a_cost > b_cost;
+    if (a_time != b_time)
+        return a_time > b_time;
+    return a_tile > b_tile;
+}
 
 } // namespace
 
 std::optional<Route>
 Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
                   int target, double &cost,
-                  const std::vector<std::pair<TileId, int>> &seeds) const
+                  const std::vector<std::pair<TileId, int>> &seeds,
+                  Workspace *workspace, double costBound,
+                  bool *pruned) const
 {
+    if (pruned)
+        *pruned = false;
     if (target < ready)
         return std::nullopt;
 
@@ -69,27 +107,49 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
     const int tiles = cgra.tileCount();
     const double inf = std::numeric_limits<double>::infinity();
 
+    Workspace local;
+    Workspace &ws = workspace ? *workspace : local;
     // dist/parent indexed by tile * span + (time - ready).
-    std::vector<double> dist(static_cast<std::size_t>(tiles) * span, inf);
-    // parent: encodes (prevTile, prevTime, viaDir or -1 for wait).
-    struct Parent { TileId tile = -1; int time = -1; int dir = -1; };
-    std::vector<Parent> parent(static_cast<std::size_t>(tiles) * span);
+    ws.beginSearch(static_cast<std::size_t>(tiles) * span);
+    using Parent = Workspace::Parent;
+    using HeapNode = Workspace::HeapNode;
 
     auto idx = [&](TileId t, int time) {
         return static_cast<std::size_t>(t) * span + (time - ready);
     };
+    /** Live distance of a slot under the current epoch. */
+    auto dist_at = [&](std::size_t i) {
+        return ws.stamp[i] == ws.epoch ? ws.dist[i] : inf;
+    };
+    auto heap_cmp = [&](const HeapNode &a, const HeapNode &b) {
+        return heapAfter(ws, a.cost, a.tile, a.time, b.cost, b.tile,
+                         b.time);
+    };
+    auto push = [&](double c, TileId tile, int time) {
+        ws.heap.push_back(HeapNode{c, tile, time});
+        std::push_heap(ws.heap.begin(), ws.heap.end(), heap_cmp);
+    };
+    /** Relax slot i to (nc, p); prunes (and flags) beyond the bound. */
+    auto relax = [&](std::size_t i, double nc, Parent p) {
+        if (nc > costBound) {
+            if (pruned)
+                *pruned = true;
+            return;
+        }
+        if (nc < dist_at(i)) {
+            ws.stamp[i] = ws.epoch;
+            ws.dist[i] = nc;
+            ws.parent[i] = p;
+            push(nc, static_cast<TileId>(i / span),
+                 ready + static_cast<int>(i % span));
+        }
+    };
 
-    std::priority_queue<SearchState, std::vector<SearchState>,
-                        std::greater<>> frontier;
-    dist[idx(src, ready)] = 0.0;
-    frontier.push({0.0, src, ready});
+    relax(idx(src, ready), 0.0, Parent{});
     for (const auto &[seed_tile, seed_time] : seeds) {
         if (seed_time < ready || seed_time > target || seed_tile < 0)
             continue;
-        if (dist[idx(seed_tile, seed_time)] > 0.0) {
-            dist[idx(seed_tile, seed_time)] = 0.0;
-            frontier.push({0.0, seed_tile, seed_time});
-        }
+        relax(idx(seed_tile, seed_time), 0.0, Parent{});
     }
 
     auto cold = [&](TileId tile) {
@@ -99,10 +159,11 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
                    : 0.0;
     };
 
-    while (!frontier.empty()) {
-        const SearchState cur = frontier.top();
-        frontier.pop();
-        if (cur.cost > dist[idx(cur.tile, cur.time)])
+    while (!ws.heap.empty()) {
+        std::pop_heap(ws.heap.begin(), ws.heap.end(), heap_cmp);
+        const HeapNode cur = ws.heap.back();
+        ws.heap.pop_back();
+        if (cur.cost > dist_at(idx(cur.tile, cur.time)))
             continue;
         if (cur.tile == dst && cur.time == target)
             break;
@@ -110,13 +171,9 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
         // Wait in place for one base cycle (register hold).
         if (cur.time + 1 <= target &&
             mrrg.regAvailable(cur.tile, cur.time, cur.time + 1)) {
-            const double nc = cur.cost + opts.waitCost + cold(cur.tile);
-            if (nc < dist[idx(cur.tile, cur.time + 1)]) {
-                dist[idx(cur.tile, cur.time + 1)] = nc;
-                parent[idx(cur.tile, cur.time + 1)] =
-                    Parent{cur.tile, cur.time, -1};
-                frontier.push({nc, cur.tile, cur.time + 1});
-            }
+            relax(idx(cur.tile, cur.time + 1),
+                  cur.cost + opts.waitCost + cold(cur.tile),
+                  Parent{cur.tile, cur.time, -1});
         }
 
         // Hop to a neighbor: launches on the sender's local-cycle
@@ -133,17 +190,13 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
                 continue;
             if (!mrrg.portFree(cur.tile, dir, cur.time, s))
                 continue;
-            const double nc = cur.cost + opts.hopCost + cold(cur.tile);
-            if (nc < dist[idx(next, cur.time + s)]) {
-                dist[idx(next, cur.time + s)] = nc;
-                parent[idx(next, cur.time + s)] =
-                    Parent{cur.tile, cur.time, d};
-                frontier.push({nc, next, cur.time + s});
-            }
+            relax(idx(next, cur.time + s),
+                  cur.cost + opts.hopCost + cold(cur.tile),
+                  Parent{cur.tile, cur.time, d});
         }
     }
 
-    if (dist[idx(dst, target)] == inf)
+    if (dist_at(idx(dst, target)) == inf)
         return std::nullopt;
 
     Route route;
@@ -156,9 +209,10 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
     // state the search grew from.
     TileId t = dst;
     int time = target;
-    std::vector<RouteStep> reversed;
-    while (parent[idx(t, time)].time >= 0) {
-        const Parent &p = parent[idx(t, time)];
+    std::vector<RouteStep> &reversed = ws.path;
+    reversed.clear();
+    while (ws.parent[idx(t, time)].time >= 0) {
+        const Parent &p = ws.parent[idx(t, time)];
         RouteStep step;
         if (p.dir < 0) {
             step.kind = RouteStep::Kind::Wait;
@@ -179,31 +233,56 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
     route.startTile = t;
     route.startTime = time;
     route.steps.assign(reversed.rbegin(), reversed.rend());
-    cost = dist[idx(dst, target)];
+    cost = dist_at(idx(dst, target));
     return route;
 }
+
+namespace {
+
+/** Apply route steps to `m`, checking each; false on a collision. */
+bool
+applySteps(Mrrg &m, const Route &route, EdgeId owner)
+{
+    for (const RouteStep &step : route.steps) {
+        if (step.kind == RouteStep::Kind::Hop) {
+            if (!m.portFree(step.tile, step.dir, step.start,
+                            step.duration))
+                return false;
+            m.occupyPort(step.tile, step.dir, step.start,
+                         step.duration, owner);
+        } else {
+            if (!m.regAvailable(step.tile, step.start,
+                                step.start + step.duration))
+                return false;
+            m.occupyReg(step.tile, step.start,
+                        step.start + step.duration);
+        }
+    }
+    return true;
+}
+
+} // namespace
 
 bool
 Router::commit(Mrrg &mrrg, const Route &route, EdgeId owner) const
 {
-    // Dry-run on a scratch copy so a mid-route self-collision (possible
-    // when the route spans more than one II) cannot corrupt the MRRG.
-    Mrrg scratch = mrrg;
-    for (const RouteStep &step : route.steps) {
-        if (step.kind == RouteStep::Kind::Hop) {
-            if (!scratch.portFree(step.tile, step.dir, step.start,
-                                  step.duration))
-                return false;
-            scratch.occupyPort(step.tile, step.dir, step.start,
-                               step.duration, owner);
-        } else {
-            if (!scratch.regAvailable(step.tile, step.start,
-                                      step.start + step.duration))
-                return false;
-            scratch.occupyReg(step.tile, step.start,
-                              step.start + step.duration);
-        }
+    // A mid-route self-collision (possible when the route spans more
+    // than one II) is only visible to the aggregate occupancy, so the
+    // steps are applied with per-step checks and unwound on conflict.
+    if (Mrrg::Txn *txn = mrrg.transaction()) {
+        // Allocation-free: the attached undo log restores the exact
+        // pre-commit state on conflict.
+        const std::size_t mark = txn->mark();
+        if (applySteps(mrrg, route, owner))
+            return true;
+        txn->rollbackTo(mark);
+        return false;
     }
+    // No transaction: dry-run on a scratch copy so a conflict cannot
+    // corrupt the MRRG.
+    Mrrg scratch = mrrg;
+    if (!applySteps(scratch, route, owner))
+        return false;
     mrrg = std::move(scratch);
     return true;
 }

@@ -12,7 +12,10 @@
 #ifndef ICED_MRRG_ROUTER_HPP
 #define ICED_MRRG_ROUTER_HPP
 
+#include <cstdint>
+#include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "mrrg/mrrg.hpp"
@@ -32,6 +35,8 @@ struct RouteStep
     int start = 0;
     /** Base cycles the step lasts (Hop: sender slowdown; Wait: 1). */
     int duration = 1;
+
+    bool operator==(const RouteStep &) const = default;
 };
 
 /** A committed or candidate route for one DFG edge. */
@@ -63,6 +68,12 @@ struct Route
     /** All (tile, time) points the value visits along this route,
      *  starting at the branch point. */
     std::vector<std::pair<TileId, int>> points(const Cgra &cgra) const;
+
+    /** Append the same points to `out` (reusable-buffer variant). */
+    void points(const Cgra &cgra,
+                std::vector<std::pair<TileId, int>> &out) const;
+
+    bool operator==(const Route &) const = default;
 };
 
 /** Routing cost weights. */
@@ -84,14 +95,65 @@ struct RouterOptions
  * The router never mutates the Mrrg during search; call commit() to
  * occupy the resources of a found route.
  *
- * Thread safety: findRoute() is const and allocates all search state
- * per call, so one Router may serve concurrent searches over distinct
- * Mrrgs. commit() mutates the passed Mrrg and inherits its owner's
+ * Thread safety: findRoute() is const; without a workspace it
+ * allocates all search state per call, so one Router may serve
+ * concurrent searches over distinct Mrrgs. A `Workspace` is the
+ * caller-owned, reusable variant of that state: it must not be shared
+ * between concurrent searches — keep one workspace per mapping
+ * attempt, attempts stay call-local (the contract `src/exec` relies
+ * on). commit() mutates the passed Mrrg and inherits its owner's
  * synchronization (in practice: each mapping attempt owns its Mrrg).
  */
 class Router
 {
   public:
+    /**
+     * Reusable search buffers for repeated findRoute() calls.
+     *
+     * The dist/parent tables are epoch-versioned: each search bumps
+     * one counter instead of clearing the arrays, and a slot is live
+     * only when its stamp matches the current epoch. Buffers grow to
+     * the largest (tiles x span) state space seen and are then
+     * allocation-free across calls.
+     */
+    class Workspace
+    {
+      public:
+        Workspace() = default;
+        Workspace(const Workspace &) = delete;
+        Workspace &operator=(const Workspace &) = delete;
+
+      private:
+        friend class Router;
+        /** Back-pointer: (prevTile, prevTime, viaDir or -1 = wait). */
+        struct Parent
+        {
+            TileId tile = -1;
+            int time = -1;
+            int dir = -1;
+        };
+        struct HeapNode
+        {
+            double cost;
+            TileId tile;
+            int time;
+        };
+
+        /** Start a search over `states` slots: grow + bump epoch. */
+        void beginSearch(std::size_t states);
+
+        std::vector<double> dist;
+        std::vector<Parent> parent;
+        std::vector<std::uint32_t> stamp;
+        std::vector<HeapNode> heap;
+        std::vector<RouteStep> path; // backtrack scratch, reversed
+        std::uint32_t epoch = 0;
+    };
+
+    /** `costBound` value disabling branch-and-bound pruning. */
+    static constexpr double unbounded =
+        std::numeric_limits<double>::infinity();
+
     explicit Router(RouterOptions options = {}) : opts(options) {}
 
     /**
@@ -103,12 +165,26 @@ class Router
      *        points on already-committed routes of the same producer
      *        the new route may branch from.
      * @param[out] cost filled with the route cost on success.
-     * @return the route, or nullopt when no legal route exists.
+     * @param workspace reusable search buffers (see Workspace); when
+     *        null, call-local buffers are allocated as before.
+     * @param costBound branch-and-bound incumbent: search states whose
+     *        accumulated cost exceeds the bound are abandoned. When a
+     *        route with cost <= costBound exists, the result is
+     *        byte-identical to the unbounded search; otherwise the
+     *        search returns nullopt and sets *pruned when any state
+     *        was abandoned (i.e. a costlier route may still exist —
+     *        rerun unbounded when viability matters).
+     * @param[out] pruned set true when the bound abandoned any state;
+     *        untouched-false otherwise. May be null.
+     * @return the route, or nullopt when no legal route exists within
+     *         the bound.
      */
     std::optional<Route> findRoute(
         const Mrrg &mrrg, TileId src, int ready, TileId dst, int target,
         double &cost,
-        const std::vector<std::pair<TileId, int>> &seeds = {}) const;
+        const std::vector<std::pair<TileId, int>> &seeds = {},
+        Workspace *workspace = nullptr, double costBound = unbounded,
+        bool *pruned = nullptr) const;
 
     /**
      * Occupy the resources of `route` on behalf of edge `owner`.
@@ -117,6 +193,10 @@ class Router
      * than one II may collide with itself modulo II, which the search
      * (which checks steps independently) cannot see. Returns false and
      * leaves the Mrrg untouched in that case.
+     *
+     * With a transaction attached to `mrrg`, validation happens by
+     * mutate-then-rollback through the undo log (allocation-free);
+     * otherwise a scratch copy of the tables is used, as before.
      */
     bool commit(Mrrg &mrrg, const Route &route, EdgeId owner) const;
 

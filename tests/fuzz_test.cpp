@@ -66,6 +66,28 @@ TEST(FuzzOracle, SmokeCorpusIsClean)
                       << describeCase(f.shrunk);
 }
 
+TEST(FuzzOracle, StressRollbackCorpusIsClean)
+{
+    // Same smoke corpus with the mapper's stress-rollback verification
+    // forced on: every placement candidate is evaluated twice with a
+    // transaction rollback in between, so any state leaked by the undo
+    // log or the reused router workspace fails the case in Map phase.
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    FuzzRunOptions opt;
+    opt.baseSeed = seed;
+    opt.cases = 150;
+    opt.oracle.stressRollback = true;
+    const FuzzSummary summary = runFuzz(opt);
+    EXPECT_EQ(summary.casesRun, 150);
+    EXPECT_GT(summary.passed, summary.skipped);
+    for (const FuzzFailure &f : summary.failures)
+        ADD_FAILURE() << "seed 0x" << std::hex << f.seed << std::dec
+                      << " [" << toString(f.result.phase) << "] "
+                      << f.result.message << "\n"
+                      << describeCase(f.shrunk);
+}
+
 TEST(FuzzOracle, RegressionClusterOffsetAliasing)
 {
     // Found by the fuzzer (10k-case corpus, base seed 42): a

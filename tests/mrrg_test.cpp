@@ -145,5 +145,78 @@ TEST(Mrrg, CopyableForBacktracking)
     EXPECT_FALSE(b.fuFree(0, 1, 1));
 }
 
+TEST(MrrgTxn, RollbackRestoresEveryTable)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    mrrg.occupyFu(1, 0, 1, 8); // pre-transaction state must survive
+    {
+        Mrrg::Txn txn(mrrg);
+        EXPECT_EQ(mrrg.transaction(), &txn);
+        mrrg.assignIsland(0, DvfsLevel::Relax);
+        mrrg.occupyFu(0, 2, 2, 3);
+        mrrg.occupyPort(0, Dir::East, 0, 2, 5);
+        mrrg.occupyReg(0, 1, 3);
+        EXPECT_TRUE(mrrg.islandAssigned(0));
+        EXPECT_FALSE(mrrg.fuFree(0, 2, 1));
+        txn.rollback();
+        EXPECT_FALSE(mrrg.islandAssigned(0));
+        EXPECT_TRUE(mrrg.fuFree(0, 2, 2));
+        EXPECT_TRUE(mrrg.portFree(0, Dir::East, 0, 2));
+        EXPECT_EQ(mrrg.regUse(0, 1), 0);
+        EXPECT_EQ(mrrg.regUse(0, 2), 0);
+        EXPECT_EQ(mrrg.fuOwner(1, 0), 8);
+    }
+    EXPECT_EQ(mrrg.transaction(), nullptr);
+}
+
+TEST(MrrgTxn, MarksNestPerCandidate)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    Mrrg::Txn txn(mrrg);
+    mrrg.occupyFu(0, 0, 1, 1); // survives the partial rollback
+    const std::size_t mark = txn.mark();
+    mrrg.occupyFu(0, 1, 1, 2);
+    mrrg.occupyReg(0, 1, 2);
+    txn.rollbackTo(mark);
+    EXPECT_EQ(mrrg.fuOwner(0, 0), 1);
+    EXPECT_TRUE(mrrg.fuFree(0, 1, 1));
+    EXPECT_EQ(mrrg.regUse(0, 1), 0);
+    // Re-mutating after a partial rollback keeps logging correctly.
+    mrrg.occupyFu(0, 1, 1, 4);
+    txn.rollback();
+    EXPECT_TRUE(mrrg.fuFree(0, 0, 1));
+    EXPECT_TRUE(mrrg.fuFree(0, 1, 1));
+}
+
+TEST(MrrgTxn, DestructorRollsBackAndDetaches)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    {
+        Mrrg::Txn txn(mrrg);
+        mrrg.occupyFu(0, 0, 1, 1);
+        mrrg.assignIsland(1, DvfsLevel::Normal);
+    }
+    EXPECT_TRUE(mrrg.fuFree(0, 0, 1));
+    EXPECT_FALSE(mrrg.islandAssigned(1));
+    EXPECT_EQ(mrrg.transaction(), nullptr);
+}
+
+TEST(MrrgTxn, CopyUnderTxnSnapshotsMutatedTables)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    Mrrg::Txn txn(mrrg);
+    mrrg.occupyFu(0, 0, 1, 7);
+    Mrrg snapshot = mrrg; // copies the mutated state, no transaction
+    EXPECT_EQ(snapshot.transaction(), nullptr);
+    EXPECT_EQ(snapshot.fuOwner(0, 0), 7);
+    txn.rollback();
+    EXPECT_TRUE(mrrg.fuFree(0, 0, 1));     // source rolled back...
+    EXPECT_EQ(snapshot.fuOwner(0, 0), 7);  // ...snapshot unaffected
+}
+
 } // namespace
 } // namespace iced

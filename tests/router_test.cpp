@@ -177,5 +177,79 @@ TEST(Router, CostPrefersFewerHops)
     EXPECT_EQ(direct->hopCount(), padded->hopCount());
 }
 
+TEST(Router, WorkspaceReuseMatchesFreshSearches)
+{
+    // Back-to-back searches through one workspace (epoch bumps, no
+    // clears) must return exactly what per-call allocation returns.
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    mrrg.occupyPort(0, Dir::East, 0, 1, 9); // perturb one path
+    Router router;
+    Router::Workspace ws;
+    const std::pair<TileId, int> cases[] = {
+        {5, 3}, {15, 9}, {3, 6}, {12, 7}, {5, 3}};
+    for (const auto &[dst, target] : cases) {
+        double ws_cost = -1, fresh_cost = -1;
+        auto with_ws =
+            router.findRoute(mrrg, 0, 0, dst, target, ws_cost, {}, &ws);
+        auto fresh = router.findRoute(mrrg, 0, 0, dst, target, fresh_cost);
+        ASSERT_EQ(with_ws.has_value(), fresh.has_value());
+        if (with_ws) {
+            EXPECT_EQ(ws_cost, fresh_cost);
+            EXPECT_TRUE(*with_ws == *fresh);
+        }
+    }
+}
+
+TEST(Router, GenerousBoundIsByteIdentical)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    Router router;
+    double unbounded_cost = -1;
+    auto unbounded = router.findRoute(mrrg, 0, 0, 15, 8, unbounded_cost);
+    ASSERT_TRUE(unbounded.has_value());
+
+    Router::Workspace ws;
+    double bounded_cost = -1;
+    bool pruned = true;
+    auto bounded = router.findRoute(mrrg, 0, 0, 15, 8, bounded_cost, {},
+                                    &ws, unbounded_cost, &pruned);
+    ASSERT_TRUE(bounded.has_value());
+    EXPECT_EQ(bounded_cost, unbounded_cost);
+    EXPECT_TRUE(*bounded == *unbounded);
+}
+
+TEST(Router, TightBoundPrunesAndFlags)
+{
+    Cgra cgra = makeCgra();
+    Mrrg mrrg(cgra, 4);
+    Router router;
+    double cost = -1;
+    auto full = router.findRoute(mrrg, 0, 0, 15, 8, cost);
+    ASSERT_TRUE(full.has_value());
+    ASSERT_GT(cost, 0.0);
+
+    // A bound below the true cost must fail the search and set the
+    // pruned flag (the caller's cue that a costlier route may exist).
+    double bounded_cost = -1;
+    bool pruned = false;
+    auto bounded = router.findRoute(mrrg, 0, 0, 15, 8, bounded_cost, {},
+                                    nullptr, cost / 2.0, &pruned);
+    EXPECT_FALSE(bounded.has_value());
+    EXPECT_TRUE(pruned);
+
+    // Truly unreachable targets fail without pruning: nothing beyond
+    // the bound was ever abandoned, so no unbounded rerun is needed.
+    Mrrg blocked(cgra, 1);
+    for (int d = 0; d < dirCount; ++d)
+        blocked.occupyPort(0, static_cast<Dir>(d), 0, 1, 7);
+    pruned = true;
+    auto none = router.findRoute(blocked, 0, 0, 15, 0, bounded_cost, {},
+                                 nullptr, 100.0, &pruned);
+    EXPECT_FALSE(none.has_value());
+    EXPECT_FALSE(pruned);
+}
+
 } // namespace
 } // namespace iced

@@ -38,6 +38,9 @@ usage(std::ostream &os)
           "                     and dump it in full\n"
           "  --inject-fault F   deliberately corrupt a model to exercise\n"
           "                     the oracle; F: sim-off-by-one\n"
+          "  --stress-rollback  evaluate every placement candidate twice\n"
+          "                     with a transaction rollback in between;\n"
+          "                     any divergence is a Map-phase failure\n"
           "  --no-shrink        report failures without minimizing them\n"
           "  --shrink-budget SEC  per-failure shrink budget (default 30)\n"
           "  --out-dir DIR      write one <seed>.txt dump per shrunk failure\n"
@@ -106,6 +109,8 @@ parse(int argc, char **argv, CliArgs &cli)
                           << "'\n";
                 return 2;
             }
+        } else if (arg == "--stress-rollback") {
+            cli.run.oracle.stressRollback = true;
         } else if (arg == "--no-shrink") {
             cli.run.shrink = false;
         } else if (arg == "--shrink-budget") {

@@ -31,9 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "kernels/registry.hpp"
 #include "mapper/mapper.hpp"
 #include "mapper/validate.hpp"
+#include "trace/trace_cli.hpp"
 
 // ---------------------------------------------------------------------
 // Global allocation interposer: counts every heap allocation of the
@@ -274,6 +276,8 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ],\n"
+        << "  \"metrics\": " << MetricsRegistry::global().toJson()
+        << ",\n"
         << "  \"totals\": {\n"
         << "    \"maps\": " << maps << ",\n"
         << "    \"routes\": " << total_routes << ",\n"
@@ -309,6 +313,9 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
 int
 main(int argc, char **argv)
 {
+    iced::TraceCli trace;
+    if (!trace.parse(argc, argv))
+        return 2;
     int repeat = 1;
     bool quick = false;
     bool verify = false;
@@ -334,7 +341,8 @@ main(int argc, char **argv)
                    "             mapping mismatch)\n"
                    "  --repeat   best-of-N wall time per case (default 1)\n"
                    "  --out      output JSON path (default"
-                   " BENCH_mapper.json)\n";
+                   " BENCH_mapper.json)\n"
+                << iced::TraceCli::usageText();
             return 0;
         } else {
             std::cerr << "bench_mapper: unknown option '" << arg << "'\n";
@@ -346,7 +354,9 @@ main(int argc, char **argv)
         return 2;
     }
     try {
-        return iced::run(repeat, quick, verify, out_path);
+        trace.begin();
+        const int rc = iced::run(repeat, quick, verify, out_path);
+        return trace.finish() ? rc : 2;
     } catch (const std::exception &e) {
         std::cerr << "bench_mapper: " << e.what() << "\n";
         return 1;

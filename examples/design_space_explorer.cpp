@@ -22,6 +22,7 @@
 #include "kernels/registry.hpp"
 #include "mapper/validate.hpp"
 #include "power/report.hpp"
+#include "trace/trace_cli.hpp"
 
 using namespace iced;
 
@@ -91,6 +92,9 @@ printKernelTable(const std::string &name, int unroll,
 int
 main(int argc, char **argv)
 {
+    TraceCli trace;
+    if (!trace.parse(argc, argv))
+        return 2;
     const std::string name = argc > 1 ? argv[1] : "gemm";
     const int unroll = argc > 2 ? std::atoi(argv[2]) : 1;
 
@@ -113,6 +117,7 @@ main(int argc, char **argv)
         return 1;
     }
 
+    trace.begin();
     const std::vector<CgraConfig> fabrics = sweepFabrics();
     const std::vector<JobSpec> grid = ExperimentRunner::makeGrid(
         kernels, {unroll}, fabrics, {{"iced", MapperOptions{}}});
@@ -137,5 +142,5 @@ main(int argc, char **argv)
     std::cerr << "exec: sweep of " << grid.size() << " cells on "
               << runner.threads() << " threads; cache "
               << runner.cache().describeStats() << "\n";
-    return 0;
+    return trace.finish() ? 0 : 1;
 }

@@ -4,18 +4,23 @@
  * fabric across the six pipeline stages, stream 150 ENZYMES-like
  * graphs, and watch the DVFS Controller chase the moving bottleneck.
  *
- *   ./gcn_streaming
+ *   ./gcn_streaming [--trace-out FILE] [--metrics-out FILE]
  */
 #include <iostream>
 
 #include "common/table_writer.hpp"
 #include "streaming/stream_sim.hpp"
+#include "trace/trace_cli.hpp"
 
 using namespace iced;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TraceCli trace;
+    if (!trace.parse(argc, argv))
+        return 2;
+    trace.begin();
     Cgra cgra(CgraConfig{});
     PowerModel model;
     Rng rng(2024);
@@ -64,5 +69,5 @@ main()
                      100.0 * iced.makespanCycles / fixed.makespanCycles,
                      1)
               << "% of the static makespan\n";
-    return 0;
+    return trace.finish() ? 0 : 1;
 }

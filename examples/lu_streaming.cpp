@@ -5,18 +5,23 @@
  * "6 kernels organized in 4 pipeline stages"), partitioned over the
  * fabric's islands, and streamed under the three runtime policies.
  *
- *   ./lu_streaming [inputs=150]
+ *   ./lu_streaming [inputs=150] [--trace-out FILE] [--metrics-out FILE]
  */
 #include <iostream>
 
 #include "common/table_writer.hpp"
 #include "streaming/stream_sim.hpp"
+#include "trace/trace_cli.hpp"
 
 using namespace iced;
 
 int
 main(int argc, char **argv)
 {
+    TraceCli trace;
+    if (!trace.parse(argc, argv))
+        return 2;
+    trace.begin();
     const int inputs = argc > 1 ? std::atoi(argv[1]) : 150;
     Cgra cgra(CgraConfig{});
     PowerModel model;
@@ -64,5 +69,5 @@ main(int argc, char **argv)
                                       rows[1].stats.inputsPerUj,
                                   3)
               << "x\n";
-    return 0;
+    return trace.finish() ? 0 : 1;
 }

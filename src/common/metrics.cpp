@@ -1,0 +1,173 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace iced {
+
+namespace {
+
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return os.str();
+}
+
+} // namespace
+
+std::uint64_t
+MetricsRegistry::Gauge::encode(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+double
+MetricsRegistry::Gauge::decode(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+MetricsRegistry::Histogram::Histogram(std::vector<double> bucket_edges)
+    : bounds(std::move(bucket_edges)),
+      buckets(bounds.size() + 1)
+{
+    // Sorted edges make bucket lookup a single upper_bound.
+    std::sort(bounds.begin(), bounds.end());
+}
+
+void
+MetricsRegistry::Histogram::observe(double v)
+{
+    const std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), v) -
+        bounds.begin());
+    buckets[i].fetch_add(1, std::memory_order_relaxed);
+    total.fetch_add(1, std::memory_order_relaxed);
+    // Double accumulation via CAS: contention is negligible (metrics
+    // are bumped at subsystem granularity, not per inner-loop step).
+    std::uint64_t expected = sumBits.load(std::memory_order_relaxed);
+    for (;;) {
+        double cur;
+        std::memcpy(&cur, &expected, sizeof cur);
+        const double next = cur + v;
+        std::uint64_t next_bits;
+        std::memcpy(&next_bits, &next, sizeof next_bits);
+        if (sumBits.compare_exchange_weak(expected, next_bits,
+                                          std::memory_order_relaxed))
+            return;
+    }
+}
+
+std::uint64_t
+MetricsRegistry::Histogram::bucketCount(std::size_t i) const
+{
+    return buckets[i].load(std::memory_order_relaxed);
+}
+
+double
+MetricsRegistry::Histogram::sum() const
+{
+    const std::uint64_t bits = sumBits.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+MetricsRegistry::Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+MetricsRegistry::Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+MetricsRegistry::Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> edges)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(edges));
+    return *slot;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os, int indent) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string pad1 = pad + "  ";
+    const std::string pad2 = pad1 + "  ";
+
+    os << "{\n" << pad1 << "\"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        os << (first ? "\n" : ",\n") << pad2 << "\"" << name
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : "\n" + pad1) << "},\n";
+
+    os << pad1 << "\"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges) {
+        os << (first ? "\n" : ",\n") << pad2 << "\"" << name
+           << "\": " << jsonNumber(g->value());
+        first = false;
+    }
+    os << (first ? "" : "\n" + pad1) << "},\n";
+
+    os << pad1 << "\"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        os << (first ? "\n" : ",\n") << pad2 << "\"" << name
+           << "\": {\"edges\": [";
+        for (std::size_t i = 0; i < h->edges().size(); ++i)
+            os << (i ? ", " : "") << jsonNumber(h->edges()[i]);
+        os << "], \"counts\": [";
+        for (std::size_t i = 0; i <= h->edges().size(); ++i)
+            os << (i ? ", " : "") << h->bucketCount(i);
+        os << "], \"count\": " << h->count()
+           << ", \"sum\": " << jsonNumber(h->sum()) << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n" + pad1) << "}\n" << pad << "}";
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace iced

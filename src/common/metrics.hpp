@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unified metrics registry: counters, gauges, and histograms.
+ *
+ * Generalizes `StatCounter` (common/stats) into one named registry
+ * that every subsystem reports into, snapshot-able as a machine-
+ * readable JSON blob — the `--metrics-out` flag of the drivers and
+ * the `"metrics"` section of bench JSONs (DESIGN.md section 9).
+ *
+ * Thread safety: metric creation takes the registry mutex once per
+ * distinct name; updates on the returned handles are relaxed atomics
+ * (safe from worker threads; reads taken while workers run are
+ * approximate, exactly like `StatCounter`). Handles stay valid for
+ * the registry's lifetime — subsystems cache them in function-local
+ * statics.
+ *
+ * Determinism: metric *values* of a deterministic workload are
+ * run-deterministic at any thread count (increments commute); the
+ * JSON snapshot orders metrics by name, so two runs produce identical
+ * blobs.
+ */
+#ifndef ICED_COMMON_METRICS_HPP
+#define ICED_COMMON_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iced {
+
+/** Named registry of counters, gauges, and histograms. */
+class MetricsRegistry
+{
+  public:
+    /** Monotonically increasing event count. */
+    class Counter
+    {
+      public:
+        void increment(std::uint64_t by = 1)
+        {
+            count.fetch_add(by, std::memory_order_relaxed);
+        }
+        std::uint64_t value() const
+        {
+            return count.load(std::memory_order_relaxed);
+        }
+
+      private:
+        std::atomic<std::uint64_t> count{0};
+    };
+
+    /** Last-written scalar (set wins, no accumulation). */
+    class Gauge
+    {
+      public:
+        void set(double v)
+        {
+            bits.store(encode(v), std::memory_order_relaxed);
+        }
+        double value() const
+        {
+            return decode(bits.load(std::memory_order_relaxed));
+        }
+
+      private:
+        static std::uint64_t encode(double v);
+        static double decode(std::uint64_t bits);
+        std::atomic<std::uint64_t> bits{0};
+    };
+
+    /**
+     * Sample distribution over fixed bucket edges.
+     *
+     * Buckets are [..,e0), [e0,e1), ..., [eN,inf) — edges are chosen
+     * at creation and immutable, so two runs bucket identically.
+     */
+    class Histogram
+    {
+      public:
+        explicit Histogram(std::vector<double> bucket_edges);
+
+        void observe(double v);
+
+        std::uint64_t count() const
+        {
+            return total.load(std::memory_order_relaxed);
+        }
+        const std::vector<double> &edges() const { return bounds; }
+        /** Count of bucket `i` (edges().size() + 1 buckets). */
+        std::uint64_t bucketCount(std::size_t i) const;
+        double sum() const;
+
+      private:
+        std::vector<double> bounds;
+        std::vector<std::atomic<std::uint64_t>> buckets;
+        std::atomic<std::uint64_t> total{0};
+        std::atomic<std::uint64_t> sumBits{0}; ///< CAS-accumulated double
+    };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The handle for `name`, created on first use. Names follow the
+     *  span convention `<subsystem>.<metric>` (DESIGN.md section 9). */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @pre a histogram re-requested by name keeps its original edges
+     *  (the `edges` argument is ignored on lookup). */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> edges);
+
+    /**
+     * JSON snapshot: `{"counters": {..}, "gauges": {..},
+     * "histograms": {..}}`, metrics sorted by name.
+     */
+    void writeJson(std::ostream &os, int indent = 0) const;
+    std::string toJson() const;
+
+    /** Process-wide registry all built-in instrumentation reports to. */
+    static MetricsRegistry &global();
+
+  private:
+    mutable std::mutex mtx;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+} // namespace iced
+
+#endif // ICED_COMMON_METRICS_HPP

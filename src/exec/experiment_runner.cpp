@@ -3,10 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "kernels/registry.hpp"
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -65,9 +68,43 @@ ExperimentRunner::makeGrid(
     return grid;
 }
 
-JobResult
-ExperimentRunner::runJob(const JobSpec &spec)
+namespace {
+
+/** Deterministic per-cell track name: grid position + cell content. */
+std::string
+cellTrackName(const JobSpec &spec, std::size_t index)
 {
+    std::string num = std::to_string(index);
+    if (num.size() < 4)
+        num.insert(0, 4 - num.size(), '0');
+    return "exec/cell-" + num + " " + spec.kernel + " x" +
+           std::to_string(spec.unroll) + " " + spec.variant;
+}
+
+} // namespace
+
+JobResult
+ExperimentRunner::runJob(const JobSpec &spec, std::size_t index)
+{
+    // Bind the whole cell — including the mapper/router events it
+    // triggers — to its grid-indexed track, not the worker's lane.
+    std::optional<TraceTrack> cell_track;
+    std::optional<TraceScope> cell_span;
+    if (TraceSession::active()) {
+        cell_track.emplace(cellTrackName(spec, index));
+        cell_span.emplace("exec", "runJob");
+    }
+    static MetricsRegistry::Counter &m_jobs =
+        MetricsRegistry::global().counter("exec.jobs");
+    static MetricsRegistry::Counter &m_mapped =
+        MetricsRegistry::global().counter("exec.jobs_mapped");
+    static MetricsRegistry::Counter &m_failed =
+        MetricsRegistry::global().counter("exec.jobs_failed");
+    static MetricsRegistry::Histogram &h_ms =
+        MetricsRegistry::global().histogram(
+            "exec.job_ms", {1.0, 10.0, 100.0, 1000.0, 10000.0});
+    m_jobs.increment();
+
     JobResult result;
     result.spec = spec;
     const auto start = Clock::now();
@@ -91,6 +128,11 @@ ExperimentRunner::runJob(const JobSpec &spec)
         result.error = err.what();
     }
     result.millis = millisSince(start);
+    if (result.status == JobResult::Status::Mapped)
+        m_mapped.increment();
+    else if (result.status == JobResult::Status::Failed)
+        m_failed.increment();
+    h_ms.observe(result.millis);
     return result;
 }
 
@@ -103,9 +145,10 @@ ExperimentRunner::run(const std::vector<JobSpec> &grid)
     std::atomic<std::size_t> completed{0};
     const auto sweep_start = Clock::now();
 
-    for (const JobSpec &spec : grid) {
-        futures.push_back(pool.submit([this, &spec, &completed] {
-            JobResult r = runJob(spec);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const JobSpec &spec = grid[i];
+        futures.push_back(pool.submit([this, &spec, i, &completed] {
+            JobResult r = runJob(spec, i);
             completed.fetch_add(1, std::memory_order_relaxed);
             return r;
         }));

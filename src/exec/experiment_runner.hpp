@@ -104,7 +104,13 @@ class ExperimentRunner
             &variants);
 
   private:
-    JobResult runJob(const JobSpec &spec);
+    /**
+     * Run one grid cell. `index` is the cell's position in the grid —
+     * deterministic across runs — and names the cell's trace track, so
+     * every event of the cell lands on the same Perfetto row no matter
+     * which worker thread executed it (DESIGN.md section 9).
+     */
+    JobResult runJob(const JobSpec &spec, std::size_t index);
 
     RunnerOptions opts;
     MappingCache mappingCache;

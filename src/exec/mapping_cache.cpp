@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -58,11 +59,19 @@ MappingCache::map(const CgraConfig &config, const Dfg &dfg,
         auto it = table.find(key);
         if (it != table.end()) {
             hitCounter.increment();
+            // Which request hits depends on the schedule (first-come
+            // computes), so the instants are opt-in.
+            if (TraceSession *ts = TraceSession::active();
+                ts && ts->schedulerEvents())
+                ts->instant("exec", "cache-hit");
             if (it->second.ready)
                 touchLocked(it->second, key);
             pending = it->second.result;
         } else {
             missCounter.increment();
+            if (TraceSession *ts = TraceSession::active();
+                ts && ts->schedulerEvents())
+                ts->instant("exec", "cache-miss");
             compute = true;
             Slot slot;
             slot.result = mine.get_future().share();

@@ -19,7 +19,10 @@
  * Thread safety: fully thread-safe. Concurrent requests for the same
  * key are deduplicated — one thread computes, the rest wait on the
  * same shared future. Hit/miss/eviction counts are exposed as
- * `StatCounter`s from common/stats.
+ * `StatCounter`s from common/stats; when tracing is active with
+ * `--trace-scheduler-events`, each hit/miss additionally emits a
+ * `cache-hit`/`cache-miss` instant (gated because hit-or-miss depends
+ * on job interleaving — DESIGN.md section 9).
  */
 #ifndef ICED_EXEC_MAPPING_CACHE_HPP
 #define ICED_EXEC_MAPPING_CACHE_HPP

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
+
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -26,7 +29,14 @@ ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
     const int n = std::max(1, threads);
     workers.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] {
+            // Default track of this worker. Which tasks land here is
+            // scheduler-dependent, so tasks that need deterministic
+            // placement bind a TraceTrack (see ExperimentRunner).
+            TraceSession::setThreadName("exec/worker-" +
+                                        std::to_string(i));
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -74,7 +84,15 @@ ThreadPool::workerLoop()
             queue.pop_front();
         }
         slotFree.notify_one();
-        task(); // exceptions land in the task's future
+        // Worker-lane task spans are scheduler-dependent content, so
+        // they are opt-in (TraceOptions::schedulerEvents).
+        if (TraceSession *ts = TraceSession::active();
+            ts && ts->schedulerEvents()) {
+            TraceScope span("exec", "task");
+            task(); // exceptions land in the task's future
+        } else {
+            task(); // exceptions land in the task's future
+        }
     }
 }
 

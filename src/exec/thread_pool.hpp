@@ -12,6 +12,12 @@
  * The pool size defaults to `ICED_THREADS` from the environment when
  * set to a positive integer, and to `std::thread::hardware_concurrency`
  * otherwise.
+ *
+ * Observability: each worker names its trace track `exec/worker-N` at
+ * startup, and task execution is wrapped in an `exec/task` span only
+ * when `--trace-scheduler-events` is on — which task runs on which
+ * worker is a scheduling accident and would break the trace
+ * determinism contract (DESIGN.md section 9).
  */
 #ifndef ICED_EXEC_THREAD_POOL_HPP
 #define ICED_EXEC_THREAD_POOL_HPP

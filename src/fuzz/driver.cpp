@@ -1,10 +1,13 @@
 #include "fuzz/driver.hpp"
 
 #include <future>
+#include <optional>
 #include <sstream>
+#include <string>
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -29,7 +32,15 @@ runFuzz(const FuzzRunOptions &opt)
             const std::uint64_t seed = caseSeed(opt.baseSeed, i);
             const GeneratorOptions gen = opt.generator;
             const OracleOptions oracle = opt.oracle;
-            results.push_back(pool.submit([seed, gen, oracle] {
+            results.push_back(pool.submit([seed, gen, oracle, i] {
+                // Per-case track: every event of case i lands on
+                // "fuzz/case-i" regardless of the worker that ran it.
+                std::optional<TraceTrack> track;
+                std::optional<TraceScope> span;
+                if (TraceSession::active()) {
+                    track.emplace("fuzz/case-" + std::to_string(i));
+                    span.emplace("fuzz", "runCase");
+                }
                 return runCase(makeCase(seed, gen), oracle);
             }));
         }

@@ -6,7 +6,9 @@
 #include <cstdlib>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "dfg/cycle_analysis.hpp"
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -112,6 +114,7 @@ Mapper::strategyLadder() const
 std::optional<Mapping>
 Mapper::tryMap(const Dfg &dfg) const
 {
+    ICED_TRACE_SCOPE("mapper", "tryMap");
     // Everything invariant across the II loop is computed once:
     // validation, the RecMII, and the strategy ladder's Mapper
     // instances (each attempt used to re-derive all three).
@@ -148,6 +151,10 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
 {
     if (ii < recMii)
         return std::nullopt; // recurrences cannot wrap below RecMII
+    ICED_TRACE_SCOPE_I("mapper", "attemptAtIi", "ii", ii);
+    static MetricsRegistry::Counter &m_attempts =
+        MetricsRegistry::global().counter("mapper.attempts");
+    m_attempts.increment();
     Mapping mapping(*fabric, dfg, ii);
     Mrrg &mrrg = mapping.mrrg();
 
@@ -329,6 +336,11 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
     // scratch is likewise rebuilt (not reallocated) per routed edge.
     Router::Workspace workspace;
     std::vector<std::pair<TileId, int>> seeds_scratch;
+    // Attempt-local observability counters, folded into the metrics
+    // registry / trace counter tracks once per attempt (never inside
+    // the candidate loop).
+    std::uint64_t n_candidates = 0;
+    std::uint64_t n_rollbacks = 0;
 
     // Place one unit (one or more nodes on a single tile).
     auto place_unit = [&](const Unit &unit) -> bool {
@@ -604,6 +616,7 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
                                 // (the `viable` counter) and the exact
                                 // committed route matter downstream:
                                 // rerun without the bound.
+                                ++workspace.stats.unboundedReruns;
                                 route = router.findRoute(
                                     eval, src_tile, ready, dst_tile,
                                     target, rc, seeds, &workspace);
@@ -662,6 +675,7 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
                     cand.time = t0;
                     cand.level = level;
                     double cost = 0.0;
+                    ++n_candidates;
                     if (!evaluate(cand.mrrg, cost, cand.routes))
                         continue;
                     cand.cost = cost;
@@ -676,6 +690,7 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
                 const std::size_t mark = txn->mark();
                 double cost = 0.0;
                 std::vector<std::pair<EdgeId, Route>> routes;
+                ++n_candidates;
                 const bool ok = evaluate(mrrg, cost, routes);
                 if (stress) {
                     // Re-evaluate from the rolled-back state and insist
@@ -695,6 +710,7 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
                 }
                 if (!ok) {
                     txn->rollbackTo(mark);
+                    ++n_rollbacks;
                     continue;
                 }
                 if (!best || cost < best->cost) {
@@ -711,6 +727,7 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
                     best = std::move(cand);
                 }
                 txn->rollbackTo(mark);
+                ++n_rollbacks;
                 ++viable;
                 break; // first viable slot on this tile
             }
@@ -739,10 +756,62 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
         return true;
     };
 
+    bool attempt_ok = true;
     for (int u : unit_order) {
-        if (!place_unit(units[u]))
-            return std::nullopt;
+        if (!place_unit(units[u])) {
+            attempt_ok = false;
+            break;
+        }
     }
+
+    // Fold the attempt-local counters into the process-wide registry
+    // and (when a session is active) the trace counter tracks. Values
+    // are deterministic per attempt; the emission order follows the
+    // caller's track, so traces stay deterministic too.
+    {
+        static MetricsRegistry::Counter &m_mapped =
+            MetricsRegistry::global().counter("mapper.attempts_mapped");
+        static MetricsRegistry::Counter &m_candidates =
+            MetricsRegistry::global().counter("mapper.candidates");
+        static MetricsRegistry::Counter &m_rollbacks =
+            MetricsRegistry::global().counter(
+                "mapper.candidate_rollbacks");
+        static MetricsRegistry::Counter &m_searches =
+            MetricsRegistry::global().counter("router.searches");
+        static MetricsRegistry::Counter &m_pruned =
+            MetricsRegistry::global().counter("router.pruned_searches");
+        static MetricsRegistry::Counter &m_reruns =
+            MetricsRegistry::global().counter(
+                "router.unbounded_reruns");
+        static MetricsRegistry::Histogram &h_ii =
+            MetricsRegistry::global().histogram(
+                "mapper.ii", {2.0, 4.0, 8.0, 16.0, 32.0});
+        m_candidates.increment(n_candidates);
+        m_rollbacks.increment(n_rollbacks);
+        m_searches.increment(workspace.stats.searches);
+        m_pruned.increment(workspace.stats.prunedSearches);
+        m_reruns.increment(workspace.stats.unboundedReruns);
+        if (attempt_ok) {
+            m_mapped.increment();
+            h_ii.observe(static_cast<double>(ii));
+        }
+        if (TraceSession *ts = TraceSession::active()) {
+            ts->counter("mapper", "mapper/candidates",
+                        static_cast<double>(n_candidates));
+            ts->counter("mapper", "mapper/rollbacks",
+                        static_cast<double>(n_rollbacks));
+            ts->counter("router", "router/searches",
+                        static_cast<double>(workspace.stats.searches));
+            ts->counter(
+                "router", "router/pruned",
+                static_cast<double>(workspace.stats.prunedSearches));
+            ts->counter(
+                "router", "router/reruns",
+                static_cast<double>(workspace.stats.unboundedReruns));
+        }
+    }
+    if (!attempt_ok)
+        return std::nullopt;
 
     for (IslandId island = 0; island < fabric->islandCount(); ++island) {
         if (mrrg.islandAssigned(island))

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -97,6 +99,13 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
                   Workspace *workspace, double costBound,
                   bool *pruned) const
 {
+    // Verbose-only span: a sweep runs millions of searches, so the
+    // per-search event is opt-in (TraceOptions::verbose).
+    std::optional<TraceScope> trace_span;
+    if (TraceSession *ts = TraceSession::active(); ts && ts->verbose())
+        trace_span.emplace("router", "findRoute");
+
+    bool did_prune = false;
     if (pruned)
         *pruned = false;
     if (target < ready)
@@ -109,6 +118,7 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
 
     Workspace local;
     Workspace &ws = workspace ? *workspace : local;
+    ++ws.stats.searches;
     // dist/parent indexed by tile * span + (time - ready).
     ws.beginSearch(static_cast<std::size_t>(tiles) * span);
     using Parent = Workspace::Parent;
@@ -132,6 +142,7 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
     /** Relax slot i to (nc, p); prunes (and flags) beyond the bound. */
     auto relax = [&](std::size_t i, double nc, Parent p) {
         if (nc > costBound) {
+            did_prune = true;
             if (pruned)
                 *pruned = true;
             return;
@@ -196,6 +207,8 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
         }
     }
 
+    if (did_prune)
+        ++ws.stats.prunedSearches;
     if (dist_at(idx(dst, target)) == inf)
         return std::nullopt;
 

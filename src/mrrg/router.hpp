@@ -123,6 +123,26 @@ class Router
         Workspace(const Workspace &) = delete;
         Workspace &operator=(const Workspace &) = delete;
 
+        /**
+         * Aggregate counters over every search run through this
+         * workspace. Plain (non-atomic) fields: a workspace is owned
+         * by one mapping attempt and never shared between concurrent
+         * searches, so the owner reads them race-free and folds them
+         * into the `MetricsRegistry` / trace counter tracks at
+         * attempt granularity (see mapper.cpp). Deterministic for a
+         * deterministic attempt.
+         */
+        struct Stats
+        {
+            std::uint64_t searches = 0;
+            /** Searches in which the cost bound abandoned >= 1 state. */
+            std::uint64_t prunedSearches = 0;
+            /** Bounded passes that failed pruned and were rerun
+             *  unbounded (incremented by the caller). */
+            std::uint64_t unboundedReruns = 0;
+        };
+        Stats stats;
+
       private:
         friend class Router;
         /** Back-pointer: (prevTile, prevTime, viaDir or -1 = wait). */

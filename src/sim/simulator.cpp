@@ -5,6 +5,8 @@
 #include <map>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -31,6 +33,10 @@ simulate(const Mapping &mapping,
     const int ii = mapping.ii();
     const int n_iter = options.iterations;
     fatalIf(n_iter < 0, "simulate: negative iteration count");
+    ICED_TRACE_SCOPE_I("sim", "simulate", "iterations", n_iter);
+    static MetricsRegistry::Counter &m_runs =
+        MetricsRegistry::global().counter("sim.runs");
+    m_runs.increment();
 
     Spm spm(cgra.config().spmBytes, cgra.config().spmBanks);
     spm.loadImage(memory_image);
@@ -185,6 +191,12 @@ simulate(const Mapping &mapping,
 
     result.memory = spm.image();
     result.execCycles = last_event_end;
+    static MetricsRegistry::Counter &m_cycles =
+        MetricsRegistry::global().counter("sim.exec_cycles");
+    m_cycles.increment(static_cast<std::uint64_t>(result.execCycles));
+    if (TraceSession *ts = TraceSession::active())
+        ts->counter("sim", "sim/exec_cycles",
+                    static_cast<double>(result.execCycles));
     return result;
 }
 

@@ -1,8 +1,11 @@
 #include "streaming/stream_sim.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace iced {
 
@@ -56,6 +59,29 @@ simulateStream(const AppDef &app, Partitioner &partitioner,
         return policy == StreamPolicy::IcedDvfs ? controller.level(s)
                                                 : DvfsLevel::Normal;
     };
+
+    // Streaming events live on the *simulated-cycle* timeline: every
+    // ts below is a model time, so streaming tracks are deterministic
+    // including timestamps. One track per stage = one per DVFS island
+    // group, plus one track for the adjustment windows.
+    TraceSession *trace = TraceSession::active();
+    TraceSession::TrackId window_track = -1;
+    std::vector<TraceSession::TrackId> stage_tracks;
+    if (trace) {
+        window_track = trace->track("stream/" + app.name + "/windows");
+        for (int s = 0; s < n_stages; ++s)
+            stage_tracks.push_back(trace->track(
+                "stream/" + app.name + "/stage-" + std::to_string(s) +
+                " " + app.stages[static_cast<std::size_t>(s)].label));
+    }
+    static MetricsRegistry::Counter &m_inputs =
+        MetricsRegistry::global().counter("stream.inputs");
+    static MetricsRegistry::Counter &m_windows =
+        MetricsRegistry::global().counter("stream.windows");
+    static MetricsRegistry::Counter &m_level_changes =
+        MetricsRegistry::global().counter("stream.level_changes");
+    std::vector<DvfsLevel> prev_levels(
+        static_cast<std::size_t>(n_stages), DvfsLevel::Normal);
 
     StreamStats stats;
     std::vector<double> done_prev(static_cast<std::size_t>(n_stages),
@@ -113,6 +139,26 @@ simulateStream(const AppDef &app, Partitioner &partitioner,
         rec.inputsPerUj = inputs / energy;
         stats.windows.push_back(rec);
         stats.energyUj += energy;
+        m_windows.increment();
+
+        if (trace) {
+            trace->completeAt(
+                window_track, "stream", "window", window_start_wall,
+                wall_now - window_start_wall,
+                TraceScope::argJson("firstInput", rec.firstInput) +
+                    ", " +
+                    TraceScope::argJson("lastInput", rec.lastInput));
+            for (int s = 0; s < n_stages; ++s) {
+                const std::string tag =
+                    "stream/stage-" + std::to_string(s);
+                trace->counterAt("stream", tag + "/busy_cycles",
+                                 wall_now, window_busy[s]);
+                trace->counterAt(
+                    "stream", tag + "/level", wall_now,
+                    levelFraction(rec.stageLevels[
+                        static_cast<std::size_t>(s)]));
+            }
+        }
 
         window_start_wall = wall_now;
         window_first_input = last_input + 1;
@@ -148,7 +194,26 @@ simulateStream(const AppDef &app, Partitioner &partitioner,
             if (policy == StreamPolicy::Drips)
                 drips.rebalance(busy_snapshot);
         }
-        controller.inputConsumed();
+        const bool adjusted = controller.inputConsumed();
+        m_inputs.increment();
+        // Per-island V/F-change instants on the stage's own track, at
+        // the simulated cycle the controller switched.
+        if (adjusted && policy == StreamPolicy::IcedDvfs) {
+            for (int s = 0; s < n_stages; ++s) {
+                const DvfsLevel now_level = controller.level(s);
+                if (now_level ==
+                    prev_levels[static_cast<std::size_t>(s)])
+                    continue;
+                m_level_changes.increment();
+                if (trace)
+                    trace->instantAt(
+                        stage_tracks[static_cast<std::size_t>(s)],
+                        "stream", "vf-change", wall_now,
+                        TraceScope::argJson("level",
+                                            toString(now_level)));
+                prev_levels[static_cast<std::size_t>(s)] = now_level;
+            }
+        }
     }
     if (window_first_input < n_inputs)
         flush_window(n_inputs - 1, done_prev[n_stages - 1]);

@@ -1,0 +1,361 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+std::atomic<TraceSession *> TraceSession::activeSession{nullptr};
+
+namespace {
+
+/**
+ * Per-thread emission state. `session` tags which session the cached
+ * buffer/track belong to, so a thread outliving one session re-binds
+ * cleanly to the next.
+ */
+struct ThreadState
+{
+    TraceSession *session = nullptr;
+    std::uint64_t gen = 0; ///< generation of `session` when cached
+    TraceSession::Buffer *buffer = nullptr;
+    TraceSession::TrackId currentTrack = -1;
+};
+
+thread_local ThreadState t_state;
+thread_local std::string t_threadName;
+
+std::atomic<std::uint64_t> g_sessionGen{1};
+
+/** Minimal JSON string escaping (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double v)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed << v;
+    return os.str();
+}
+
+} // namespace
+
+TraceSession::TraceSession(TraceOptions options)
+    : opts(options), epoch(std::chrono::steady_clock::now()),
+      gen(g_sessionGen.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+TraceSession::~TraceSession()
+{
+    if (active() == this)
+        stop();
+}
+
+void
+TraceSession::start()
+{
+    TraceSession *expected = nullptr;
+    panicIfNot(activeSession.compare_exchange_strong(
+                   expected, this, std::memory_order_acq_rel),
+               "TraceSession::start: another session is already active");
+}
+
+void
+TraceSession::stop()
+{
+    TraceSession *expected = this;
+    activeSession.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel);
+}
+
+void
+TraceSession::setThreadName(std::string name)
+{
+    t_threadName = std::move(name);
+    // A buffer already bound under the old name keeps its track; the
+    // name applies from the next buffer creation on.
+}
+
+TraceSession::TrackId
+TraceSession::track(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = trackIds.find(name);
+    if (it != trackIds.end())
+        return it->second;
+    const TrackId id = static_cast<TrackId>(trackNames.size());
+    trackNames.push_back(name);
+    trackIds.emplace(name, id);
+    return id;
+}
+
+TraceSession::Buffer &
+TraceSession::buffer()
+{
+    ThreadState &st = t_state;
+    if (st.session == this && st.gen == gen && st.buffer)
+        return *st.buffer;
+    auto owned = std::make_unique<Buffer>();
+    Buffer *raw = owned.get();
+    std::string name = t_threadName;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (name.empty())
+            name = "thread/" + std::to_string(unnamedThreads++);
+        buffers.push_back(std::move(owned));
+    }
+    raw->defaultTrack = track(name);
+    st.session = this;
+    st.gen = gen;
+    st.buffer = raw;
+    st.currentTrack = raw->defaultTrack;
+    return *raw;
+}
+
+double
+TraceSession::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void
+TraceSession::push(Buffer &b, char phase, TrackId trackId,
+                   const char *cat, std::string name, std::string args,
+                   double ts, double dur)
+{
+    b.events.push_back(Event{phase, trackId, cat, std::move(name),
+                             std::move(args), ts, dur});
+}
+
+TraceSession::TrackId
+TraceSession::begin(const char *cat, const char *name,
+                    std::string argsJson)
+{
+    Buffer &b = buffer();
+    const TrackId t = t_state.currentTrack;
+    push(b, 'B', t, cat, name, std::move(argsJson), nowUs());
+    return t;
+}
+
+void
+TraceSession::end(TrackId trackId, const char *cat, const char *name)
+{
+    push(buffer(), 'E', trackId, cat, name, {}, nowUs());
+}
+
+void
+TraceSession::instant(const char *cat, const char *name,
+                      std::string argsJson)
+{
+    Buffer &b = buffer();
+    push(b, 'i', t_state.currentTrack, cat, name, std::move(argsJson),
+         nowUs());
+}
+
+void
+TraceSession::counter(const char *cat, const std::string &name,
+                      double value)
+{
+    counterAt(cat, name, nowUs(), value);
+}
+
+void
+TraceSession::counterAt(const char *cat, const std::string &name,
+                        double ts, double value)
+{
+    Buffer &b = buffer();
+    push(b, 'C', t_state.currentTrack, cat, name,
+         "\"" + jsonEscape(name) + "\": " + formatNumber(value), ts);
+}
+
+void
+TraceSession::completeAt(TrackId trackId, const char *cat,
+                         const char *name, double ts, double dur,
+                         std::string argsJson)
+{
+    push(buffer(), 'X', trackId, cat, name, std::move(argsJson), ts,
+         dur);
+}
+
+void
+TraceSession::instantAt(TrackId trackId, const char *cat,
+                        const char *name, double ts,
+                        std::string argsJson)
+{
+    push(buffer(), 'i', trackId, cat, name, std::move(argsJson), ts);
+}
+
+std::size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::size_t n = 0;
+    for (const auto &b : buffers)
+        n += b->events.size();
+    return n;
+}
+
+void
+TraceSession::write(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+
+    // Canonical track numbering: sort registered names, remap ids.
+    // Two runs that register the same track names (in any order) emit
+    // identical tid assignments.
+    std::vector<int> order(trackNames.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return trackNames[static_cast<std::size_t>(a)] <
+               trackNames[static_cast<std::size_t>(b)];
+    });
+    std::vector<int> remap(trackNames.size(), 0);
+    for (std::size_t pos = 0; pos < order.size(); ++pos)
+        remap[static_cast<std::size_t>(order[pos])] =
+            static_cast<int>(pos);
+
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    auto emit = [&](const std::string &line) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << line;
+    };
+
+    // Track-name metadata first, in canonical (sorted-name) order.
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const std::string &name =
+            trackNames[static_cast<std::size_t>(order[pos])];
+        emit("{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+             "\"tid\": " +
+             std::to_string(pos) + ", \"args\": {\"name\": \"" +
+             jsonEscape(name) + "\"}}");
+        emit("{\"ph\": \"M\", \"name\": \"thread_sort_index\", "
+             "\"pid\": 1, \"tid\": " +
+             std::to_string(pos) + ", \"args\": {\"sort_index\": " +
+             std::to_string(pos) + "}}");
+    }
+
+    // Events ordered by (canonical track, emission order). Each track
+    // has a single writing thread under the determinism contract, so
+    // per-track buffer order is program order.
+    std::vector<const Event *> sorted;
+    for (const auto &b : buffers)
+        for (const Event &e : b->events)
+            sorted.push_back(&e);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](const Event *a, const Event *b) {
+                         return remap[static_cast<std::size_t>(
+                                    a->track)] <
+                                remap[static_cast<std::size_t>(
+                                    b->track)];
+                     });
+
+    for (const Event *e : sorted) {
+        std::string line = "{\"ph\": \"";
+        line += e->phase;
+        line += "\", \"cat\": \"";
+        line += e->cat;
+        line += "\", \"name\": \"" + jsonEscape(e->name) +
+                "\", \"pid\": 1, \"tid\": " +
+                std::to_string(
+                    remap[static_cast<std::size_t>(e->track)]) +
+                ", \"ts\": " + formatNumber(e->ts);
+        if (e->phase == 'X')
+            line += ", \"dur\": " + formatNumber(e->dur);
+        if (e->phase == 'i')
+            line += ", \"s\": \"t\""; // thread-scoped instant
+        if (!e->args.empty())
+            line += ", \"args\": {" + e->args + "}";
+        line += "}";
+        emit(line);
+    }
+
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool
+TraceSession::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    write(out);
+    return out.good();
+}
+
+TraceTrack::TraceTrack(const std::string &name)
+{
+    TraceSession *s = TraceSession::active();
+    if (!s)
+        return;
+    session = s;
+    gen = s->gen;
+    s->buffer(); // ensure the thread is bound before reading the state
+    previous = t_state.currentTrack;
+    t_state.currentTrack = s->track(name);
+}
+
+TraceTrack::~TraceTrack()
+{
+    if (session && t_state.session == session && t_state.gen == gen)
+        t_state.currentTrack = previous;
+}
+
+std::string
+TraceScope::argJson(const char *key, std::int64_t value)
+{
+    return "\"" + std::string(key) + "\": " + std::to_string(value);
+}
+
+std::string
+TraceScope::argJson(const char *key, const std::string &value)
+{
+    return "\"" + std::string(key) + "\": \"" + jsonEscape(value) +
+           "\"";
+}
+
+void
+TraceScope::open(TraceSession *s, const char *cat, const char *name,
+                 std::string args)
+{
+    session = s;
+    category = cat;
+    label = name;
+    track = s->begin(cat, name, std::move(args));
+}
+
+} // namespace iced

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Structured event tracing: Chrome trace-event / Perfetto output.
+ *
+ * `TraceSession` is an explicitly-enabled, process-wide event sink.
+ * Instrumented code emits begin/end duration events, instant events,
+ * and counter samples through the `ICED_TRACE_*` macros; a session
+ * collects them into per-thread buffers (appends never take a lock)
+ * and flushes one Chrome trace-event JSON file that loads directly in
+ * `chrome://tracing` or https://ui.perfetto.dev.
+ *
+ * Disabled-path cost: when no session is active every macro is a
+ * single relaxed atomic load plus one branch — no event is built, no
+ * string is touched. `bench_mapper` pins the resulting overhead at
+ * <1% (see bench/results/ and DESIGN.md section 9).
+ *
+ * Tracks. Events land on *virtual tracks* (named timelines rendered
+ * as one row each in Perfetto), not on OS threads. A thread has a
+ * default track (its registered thread name); `TraceTrack` rebinds
+ * the calling thread to a named track for a scope. This is what makes
+ * traces *deterministic*: the execution engine binds each grid cell
+ * to its own content-named track, so the event sequence per track is
+ * a pure function of the workload, not of the thread schedule.
+ *
+ * Determinism contract (DESIGN.md section 9): with default options,
+ * event payloads — track names, categories, names, args, counter
+ * values, and per-track event order — are identical across runs of a
+ * deterministic workload; only the `ts`/`dur` fields vary. Events
+ * whose *content* depends on the thread schedule (worker-lane task
+ * spans, cache hit/miss instants) are only emitted when
+ * `TraceOptions::schedulerEvents` is set. Flushing assigns track ids
+ * by sorted track name and orders events by (track, emission order),
+ * never by wall time.
+ *
+ * Thread safety: emission is thread-safe and lock-free after a
+ * thread's first event (per-thread buffers; track registration takes
+ * a mutex once per new name). start()/stop()/write() must be called
+ * from one thread, with no concurrent emitters still running inside
+ * instrumented code at write() time (in practice: after worker pools
+ * drained). The session must outlive every thread that traced into
+ * it.
+ *
+ * Ownership: the session owns all buffers and event storage; nothing
+ * escapes. Events reference only static strings for category/name
+ * plus small owned arg strings.
+ */
+#ifndef ICED_TRACE_TRACE_HPP
+#define ICED_TRACE_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iced {
+
+/** Knobs of a trace session. */
+struct TraceOptions
+{
+    /**
+     * Also emit events whose content depends on the thread schedule:
+     * per-worker task spans (`exec/worker-N` lanes) and mapping-cache
+     * hit/miss instants. Off by default — the default trace is
+     * run-deterministic modulo timestamps.
+     */
+    bool schedulerEvents = false;
+    /**
+     * Also emit high-volume verbose spans (per-search router spans).
+     * Off by default: a full sweep performs millions of searches.
+     */
+    bool verbose = false;
+};
+
+/** Process-wide trace-event sink; see the file comment. */
+class TraceSession
+{
+  public:
+    /** Handle of a registered virtual track. */
+    using TrackId = int;
+
+    explicit TraceSession(TraceOptions options = {});
+    /** Stops the session if it is still the active one. */
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Install as the process-wide active session. @pre none active */
+    void start();
+
+    /** Deactivate; emission through held pointers stays valid. */
+    void stop();
+
+    /** The active session, or nullptr. One relaxed load — this is the
+     *  whole disabled-path cost of every ICED_TRACE_* macro. */
+    static TraceSession *active()
+    {
+        return activeSession.load(std::memory_order_acquire);
+    }
+
+    bool schedulerEvents() const { return opts.schedulerEvents; }
+    bool verbose() const { return opts.verbose; }
+
+    /** Register (or look up) a virtual track by name. */
+    TrackId track(const std::string &name);
+
+    /** @name Event emission (thread-safe; see file comment) */
+    ///@{
+    /** Open a duration event on the calling thread's current track.
+     *  `argsJson` is a pre-rendered JSON object body ("\"ii\": 4") or
+     *  empty. @return the track the matching end() must target. */
+    TrackId begin(const char *cat, const char *name,
+                  std::string argsJson = {});
+    /** Close the innermost duration event opened on `track`. */
+    void end(TrackId track, const char *cat, const char *name);
+    /** Zero-duration marker on the current track. */
+    void instant(const char *cat, const char *name,
+                 std::string argsJson = {});
+    /** Counter sample; counter tracks are keyed by `name` alone, so
+     *  embed the subsystem ("mapper/candidates"). */
+    void counter(const char *cat, const std::string &name, double value);
+
+    /** Counter sample at an explicit timestamp (e.g. simulated
+     *  cycles), for tracks that live on a model timeline. */
+    void counterAt(const char *cat, const std::string &name, double ts,
+                   double value);
+    /** Complete (begin+duration) event at explicit model time. */
+    void completeAt(TrackId track, const char *cat, const char *name,
+                    double ts, double dur, std::string argsJson = {});
+    /** Instant at explicit model time on an explicit track. */
+    void instantAt(TrackId track, const char *cat, const char *name,
+                   double ts, std::string argsJson = {});
+    ///@}
+
+    /**
+     * Write the collected events as Chrome trace-event JSON.
+     *
+     * Canonical form: tracks are numbered by sorted track name, events
+     * are ordered by (track, emission order), metadata events come
+     * first — so two runs of a deterministic workload differ only in
+     * the `ts`/`dur` values. @pre no concurrent emitters
+     */
+    void write(std::ostream &os) const;
+
+    /** write() to a file. @return false when the file cannot open. */
+    bool writeFile(const std::string &path) const;
+
+    /** Total events collected so far (test hook; counts all buffers).
+     *  @pre no concurrent emitters */
+    std::size_t eventCount() const;
+
+    /**
+     * Name the calling thread's *default* track (takes effect when the
+     * thread next starts emitting into a session without a `TraceTrack`
+     * binding). Worker pools call this at thread start; unnamed
+     * threads get "thread/<registration index>", which is
+     * scheduler-dependent — bind explicit tracks for determinism.
+     */
+    static void setThreadName(std::string name);
+
+    /** @name Implementation detail (public only for the per-thread
+     *  emission state in trace.cpp; not part of the stable API) */
+    ///@{
+    struct Event
+    {
+        char phase;        // 'B', 'E', 'i', 'C', 'X'
+        TrackId track;
+        const char *cat;   // static string
+        std::string name;  // counter names can be dynamic
+        std::string args;  // pre-rendered JSON object body, or empty
+        double ts;         // microseconds (wall) or model units
+        double dur;        // 'X' events only
+    };
+
+    struct Buffer
+    {
+        std::vector<Event> events;
+        TrackId defaultTrack = -1;
+    };
+    ///@}
+
+  private:
+    friend class TraceTrack;
+    friend class TraceScope;
+
+    /** The calling thread's buffer, created on first use. */
+    Buffer &buffer();
+    double nowUs() const;
+    void push(Buffer &b, char phase, TrackId track, const char *cat,
+              std::string name, std::string args, double ts,
+              double dur = 0.0);
+
+    static std::atomic<TraceSession *> activeSession;
+
+    TraceOptions opts;
+    std::chrono::steady_clock::time_point epoch;
+    /** Process-unique id: per-thread cached state is validated against
+     *  this, not the session address, so a new session allocated at a
+     *  dead one's address never revives its stale buffers. */
+    std::uint64_t gen = 0;
+
+    mutable std::mutex mtx; ///< guards buffers + track registry
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    std::unordered_map<std::string, TrackId> trackIds;
+    std::vector<std::string> trackNames;
+    int unnamedThreads = 0;
+};
+
+/**
+ * RAII rebinding of the calling thread's current track.
+ *
+ * While alive, events emitted by this thread land on the named track;
+ * the previous binding is restored on destruction. No-op when no
+ * session is active at construction.
+ */
+class TraceTrack
+{
+  public:
+    explicit TraceTrack(const std::string &name);
+    ~TraceTrack();
+
+    TraceTrack(const TraceTrack &) = delete;
+    TraceTrack &operator=(const TraceTrack &) = delete;
+
+  private:
+    TraceSession *session = nullptr;
+    std::uint64_t gen = 0;
+    TraceSession::TrackId previous = -1;
+};
+
+/**
+ * RAII duration event: begin at construction, end at destruction.
+ *
+ * Captures its track at construction, so the end event stays balanced
+ * even if the scope crosses a `TraceTrack` rebinding. Constructed
+ * through the ICED_TRACE_SCOPE macros; a disabled session costs one
+ * branch.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(const char *cat, const char *name)
+    {
+        if (TraceSession *s = TraceSession::active())
+            open(s, cat, name, {});
+    }
+    /** Variant with one integer argument. */
+    TraceScope(const char *cat, const char *name, const char *key,
+               std::int64_t value)
+    {
+        if (TraceSession *s = TraceSession::active())
+            open(s, cat, name, argJson(key, value));
+    }
+    ~TraceScope()
+    {
+        if (session)
+            session->end(track, category, label);
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** "\"key\": value" JSON body helpers for the args parameter. */
+    static std::string argJson(const char *key, std::int64_t value);
+    static std::string argJson(const char *key, const std::string &value);
+
+  private:
+    void open(TraceSession *s, const char *cat, const char *name,
+              std::string args);
+
+    TraceSession *session = nullptr;
+    TraceSession::TrackId track = -1;
+    const char *category = nullptr;
+    const char *label = nullptr;
+};
+
+} // namespace iced
+
+// ---------------------------------------------------------------------
+// Instrumentation macros. Disabled path: one relaxed atomic load and
+// one branch (inside TraceSession::active()); nothing else runs.
+// ---------------------------------------------------------------------
+
+#define ICED_TRACE_CONCAT2(a, b) a##b
+#define ICED_TRACE_CONCAT(a, b) ICED_TRACE_CONCAT2(a, b)
+
+/** Duration span covering the enclosing scope. */
+#define ICED_TRACE_SCOPE(cat, name)                                     \
+    ::iced::TraceScope ICED_TRACE_CONCAT(iced_trace_scope_,             \
+                                         __LINE__)(cat, name)
+
+/** Duration span with one integer argument. */
+#define ICED_TRACE_SCOPE_I(cat, name, key, value)                       \
+    ::iced::TraceScope ICED_TRACE_CONCAT(iced_trace_scope_, __LINE__)(  \
+        cat, name, key, static_cast<std::int64_t>(value))
+
+/** Instant event (zero duration marker). */
+#define ICED_TRACE_INSTANT(cat, name)                                   \
+    do {                                                                \
+        if (::iced::TraceSession *iced_trace_s =                        \
+                ::iced::TraceSession::active())                         \
+            iced_trace_s->instant(cat, name);                           \
+    } while (0)
+
+/** Counter sample (counter tracks are keyed by name). */
+#define ICED_TRACE_COUNTER(cat, name, value)                            \
+    do {                                                                \
+        if (::iced::TraceSession *iced_trace_s =                        \
+                ::iced::TraceSession::active())                         \
+            iced_trace_s->counter(cat, name,                            \
+                                  static_cast<double>(value));          \
+    } while (0)
+
+#endif // ICED_TRACE_TRACE_HPP

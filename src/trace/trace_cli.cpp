@@ -1,0 +1,89 @@
+#include "trace/trace_cli.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "common/metrics.hpp"
+
+namespace iced {
+
+bool
+TraceCli::parse(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto take_value = [&](std::string &dst) {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": " << arg
+                          << " needs a value\n";
+                return false;
+            }
+            dst = argv[++i];
+            return true;
+        };
+        if (arg == "--trace-out") {
+            if (!take_value(traceOut))
+                return false;
+        } else if (arg == "--metrics-out") {
+            if (!take_value(metricsOut))
+                return false;
+        } else if (arg == "--trace-scheduler-events") {
+            options.schedulerEvents = true;
+        } else if (arg == "--trace-verbose") {
+            options.verbose = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return true;
+}
+
+void
+TraceCli::begin()
+{
+    if (traceOut.empty())
+        return;
+    TraceSession::setThreadName("main");
+    session = std::make_unique<TraceSession>(options);
+    session->start();
+}
+
+bool
+TraceCli::finish()
+{
+    bool ok = true;
+    if (session) {
+        session->stop();
+        if (!session->writeFile(traceOut)) {
+            std::cerr << "trace: cannot write " << traceOut << "\n";
+            ok = false;
+        }
+    }
+    if (!metricsOut.empty()) {
+        std::ofstream os(metricsOut);
+        if (!os) {
+            std::cerr << "metrics: cannot write " << metricsOut << "\n";
+            ok = false;
+        } else {
+            MetricsRegistry::global().writeJson(os, 2);
+            os << "\n";
+        }
+    }
+    return ok;
+}
+
+const char *
+TraceCli::usageText()
+{
+    return "  --trace-out FILE   write a Chrome trace-event JSON "
+           "(ui.perfetto.dev)\n"
+           "  --metrics-out FILE write the metrics-registry JSON "
+           "snapshot\n"
+           "  --trace-scheduler-events / --trace-verbose\n"
+           "                     include scheduler-dependent / "
+           "high-volume events\n";
+}
+
+} // namespace iced

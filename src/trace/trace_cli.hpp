@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared CLI glue for the observability flags (docs/TRACING.md).
+ *
+ * Every driver that links `iced` gets the same four flags by routing
+ * its raw argv through a `TraceCli` before its own parsing:
+ *
+ *   --trace-out FILE          enable tracing; write Chrome trace-event
+ *                             JSON (load in ui.perfetto.dev) on exit
+ *   --trace-scheduler-events  also emit scheduler-dependent events
+ *                             (worker-lane task spans, cache hit/miss
+ *                             instants) — trace is no longer
+ *                             run-deterministic
+ *   --trace-verbose           also emit high-volume spans (per-search
+ *                             router spans)
+ *   --metrics-out FILE        write the global MetricsRegistry JSON
+ *                             snapshot on exit
+ *
+ * `parse()` strips the recognized flags from argv so the driver's own
+ * parser never sees them. The calling (main) thread is registered as
+ * the "main" track.
+ */
+#ifndef ICED_TRACE_TRACE_CLI_HPP
+#define ICED_TRACE_TRACE_CLI_HPP
+
+#include <memory>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace iced {
+
+/** Owns the optional `TraceSession` of one driver process. */
+class TraceCli
+{
+  public:
+    /**
+     * Strip the observability flags out of (argc, argv), leaving the
+     * remaining arguments contiguous. @return false (after printing
+     * to stderr) when a flag is missing its value.
+     */
+    bool parse(int &argc, char **argv);
+
+    /**
+     * Start the trace session when --trace-out was given; names the
+     * calling thread's track "main". Call once, before the
+     * instrumented work starts.
+     */
+    void begin();
+
+    /**
+     * Stop the session and write the requested files. Safe to call
+     * when neither flag was given (does nothing). @return false when
+     * an output file cannot be written. @pre no concurrent emitters
+     * are still running inside instrumented code.
+     */
+    bool finish();
+
+    bool tracing() const { return !traceOut.empty(); }
+
+    /** Usage text block describing the flags (for --help output). */
+    static const char *usageText();
+
+  private:
+    std::string traceOut;
+    std::string metricsOut;
+    TraceOptions options;
+    std::unique_ptr<TraceSession> session;
+};
+
+} // namespace iced
+
+#endif // ICED_TRACE_TRACE_CLI_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * MetricsRegistry: counters, gauges, histograms, JSON snapshots.
+ */
+#include "common/metrics.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iced {
+namespace {
+
+TEST(Metrics, CounterAccumulates)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Counter &c = reg.counter("x.count");
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.increment(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, HandlesAreStablePerName)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Counter &a = reg.counter("same");
+    MetricsRegistry::Counter &b = reg.counter("same");
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &reg.counter("other"));
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Gauge &g = reg.gauge("x.gauge");
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(2.5);
+    g.set(-7.25);
+    EXPECT_EQ(g.value(), -7.25);
+}
+
+TEST(Metrics, HistogramBucketsAndSum)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Histogram &h =
+        reg.histogram("x.hist", {1.0, 10.0, 100.0});
+    // Buckets: [-inf,1) [1,10) [10,100) [100,inf)
+    h.observe(0.5);
+    h.observe(1.0); // on the edge -> second bucket
+    h.observe(5.0);
+    h.observe(50.0);
+    h.observe(1e6);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 50.0 + 1e6);
+}
+
+TEST(Metrics, HistogramKeepsOriginalEdgesOnLookup)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Histogram &h = reg.histogram("x.hist", {1.0, 2.0});
+    MetricsRegistry::Histogram &again =
+        reg.histogram("x.hist", {99.0});
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(again.edges(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Counter &c = reg.counter("x.count");
+    MetricsRegistry::Histogram &h = reg.histogram("x.hist", {0.5});
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.increment();
+                h.observe(1.0);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) *
+                             kPerThread);
+    EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) *
+                             kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(), 1.0 * kThreads * kPerThread);
+}
+
+TEST(Metrics, JsonSnapshotSortedAndDeterministic)
+{
+    MetricsRegistry reg;
+    reg.counter("b.second").increment(2);
+    reg.counter("a.first").increment(1);
+    reg.gauge("g.value").set(1.5);
+    reg.histogram("h.dist", {1.0}).observe(0.25);
+
+    const std::string json = reg.toJson();
+    // Sorted by name: a.first before b.second.
+    EXPECT_LT(json.find("a.first"), json.find("b.second"));
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    // Two snapshots of the same state are byte-identical.
+    EXPECT_EQ(json, reg.toJson());
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+} // namespace
+} // namespace iced

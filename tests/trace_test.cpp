@@ -1,0 +1,378 @@
+/**
+ * @file
+ * TraceSession: Chrome trace-event output, determinism contract,
+ * balanced spans, multi-threaded emission, disabled-path no-op.
+ */
+#include "trace/trace.hpp"
+
+#include <cctype>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/cgra.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+
+namespace iced {
+namespace {
+
+// ------------------------------------------------------------------
+// Minimal JSON well-formedness checker (objects, arrays, strings,
+// numbers, literals). Not a full parser — enough to catch unbalanced
+// braces, broken escaping, and trailing commas in the trace output.
+// ------------------------------------------------------------------
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return i == s.size();
+    }
+
+  private:
+    void skipWs()
+    {
+        while (i < s.size() && std::isspace(
+                                   static_cast<unsigned char>(s[i])))
+            ++i;
+    }
+    bool literal(const char *lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (s.compare(i, n, lit) != 0)
+            return false;
+        i += n;
+        return true;
+    }
+    bool string()
+    {
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size())
+                    return false;
+            }
+            ++i;
+        }
+        if (i >= s.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    }
+    bool number()
+    {
+        const std::size_t start = i;
+        if (i < s.size() && (s[i] == '-' || s[i] == '+'))
+            ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                s[i] == '-' || s[i] == '+'))
+            ++i;
+        return i > start;
+    }
+    bool object()
+    {
+        ++i; // '{'
+        skipWs();
+        if (i < s.size() && s[i] == '}') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (i >= s.size() || s[i] != ':')
+                return false;
+            ++i;
+            if (!value())
+                return false;
+            skipWs();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != '}')
+            return false;
+        ++i;
+        return true;
+    }
+    bool array()
+    {
+        ++i; // '['
+        skipWs();
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != ']')
+            return false;
+        ++i;
+        return true;
+    }
+    bool value()
+    {
+        skipWs();
+        if (i >= s.size())
+            return false;
+        switch (s[i]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    const std::string &s;
+    std::size_t i = 0;
+};
+
+std::string
+dump(const TraceSession &session)
+{
+    std::ostringstream os;
+    session.write(os);
+    return os.str();
+}
+
+/** Zero out every ts/dur value: the determinism-contract projection. */
+std::string
+stripTimestamps(const std::string &json)
+{
+    static const std::regex ts_re(
+        "\"(ts|dur)\": -?[0-9]+(\\.[0-9]+)?");
+    return std::regex_replace(json, ts_re, "\"$1\": 0");
+}
+
+TEST(Trace, NoSessionActiveByDefault)
+{
+    EXPECT_EQ(TraceSession::active(), nullptr);
+}
+
+TEST(Trace, DisabledMacrosAreNoOps)
+{
+    // No active session: macros must not emit (or crash).
+    {
+        ICED_TRACE_SCOPE("test", "scope");
+        ICED_TRACE_SCOPE_I("test", "scope_i", "k", 1);
+        ICED_TRACE_INSTANT("test", "instant");
+        ICED_TRACE_COUNTER("test", "counter", 7);
+    }
+    // A constructed-but-not-started session collects nothing either.
+    TraceSession session;
+    {
+        ICED_TRACE_SCOPE("test", "scope");
+        ICED_TRACE_COUNTER("test", "counter", 7);
+    }
+    EXPECT_EQ(session.eventCount(), 0u);
+}
+
+TEST(Trace, StartStopInstallsAndClears)
+{
+    TraceSession session;
+    session.start();
+    EXPECT_EQ(TraceSession::active(), &session);
+    session.stop();
+    EXPECT_EQ(TraceSession::active(), nullptr);
+}
+
+TEST(Trace, ScopesEmitBalancedBeginEnd)
+{
+    TraceSession session;
+    session.start();
+    {
+        ICED_TRACE_SCOPE("test", "outer");
+        {
+            ICED_TRACE_SCOPE_I("test", "inner", "ii", 4);
+        }
+        ICED_TRACE_INSTANT("test", "marker");
+    }
+    session.stop();
+    EXPECT_EQ(session.eventCount(), 5u); // 2xB, 2xE, 1xi
+
+    const std::string json = dump(session);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+
+    // Per-tid B/E counts balance and nesting never goes negative.
+    std::map<std::string, int> depth;
+    static const std::regex ev_re(
+        "\\{\"ph\": \"([BE])\".*?\"tid\": ([0-9]+)");
+    for (std::sregex_iterator it(json.begin(), json.end(), ev_re), end;
+         it != end; ++it) {
+        int &d = depth[(*it)[2]];
+        d += (*it)[1] == "B" ? 1 : -1;
+        EXPECT_GE(d, 0);
+    }
+    for (const auto &[tid, d] : depth)
+        EXPECT_EQ(d, 0) << "unbalanced spans on tid " << tid;
+}
+
+TEST(Trace, CounterEventsCarryNameAndValue)
+{
+    TraceSession session;
+    session.start();
+    ICED_TRACE_COUNTER("test", "queue/depth", 3);
+    ICED_TRACE_COUNTER("test", "queue/depth", 5);
+    session.stop();
+
+    const std::string json = dump(session);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"queue/depth\": 3.000"), std::string::npos);
+    EXPECT_NE(json.find("\"queue/depth\": 5.000"), std::string::npos);
+}
+
+TEST(Trace, ExplicitModelTimestampsPreserved)
+{
+    TraceSession session;
+    session.start();
+    const TraceSession::TrackId t = session.track("model/stage");
+    session.counterAt("test", "stage/level", 1000.0, 0.5);
+    session.completeAt(t, "test", "window", 2000.0, 500.0);
+    session.instantAt(t, "test", "vf-change", 2500.0);
+    session.stop();
+
+    const std::string json = dump(session);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"ts\": 1000.000"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 2000.000, \"dur\": 500.000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 2500.000"), std::string::npos);
+}
+
+TEST(Trace, ThreadNameBecomesTrackMetadata)
+{
+    std::thread([] {
+        TraceSession::setThreadName("worker/test-name");
+        TraceSession session;
+        session.start();
+        ICED_TRACE_INSTANT("test", "hello");
+        session.stop();
+        const std::string json = dump(session);
+        EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+        EXPECT_NE(json.find("worker/test-name"), std::string::npos);
+    }).join();
+}
+
+/**
+ * The deterministic multi-thread workload of the determinism tests:
+ * every thread binds its own content-named track and emits the same
+ * event sequence. `stagger` shifts thread start order to force a
+ * different buffer-registration order between runs.
+ */
+std::string
+runDeterministicWorkload(bool stagger)
+{
+    TraceSession session;
+    session.start();
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        const int id = stagger ? kThreads - 1 - t : t;
+        threads.emplace_back([id, &session] {
+            TraceTrack track("case/" + std::to_string(id));
+            for (int j = 0; j < 3; ++j) {
+                ICED_TRACE_SCOPE_I("test", "work", "step", j);
+                session.counter("test",
+                                "case-" + std::to_string(id) + "/steps",
+                                j);
+            }
+        });
+        if (stagger)
+            threads.back().join(); // serialize in reversed order
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+    session.stop();
+    return dump(session);
+}
+
+TEST(Trace, TwoRunsIdenticalModuloTimestamps)
+{
+    const std::string a = runDeterministicWorkload(false);
+    const std::string b = runDeterministicWorkload(true);
+    EXPECT_TRUE(JsonChecker(a).valid()) << a;
+    EXPECT_EQ(stripTimestamps(a), stripTimestamps(b));
+    EXPECT_NE(a.find("case/3"), std::string::npos);
+}
+
+TEST(Trace, MultiThreadedEmissionFlushesEveryEvent)
+{
+    TraceSession session;
+    session.start();
+    constexpr int kThreads = 8;
+    constexpr int kEvents = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([t, &session] {
+            TraceTrack track("stress/" + std::to_string(t));
+            for (int j = 0; j < kEvents; ++j) {
+                ICED_TRACE_SCOPE("test", "tick");
+            }
+            (void)session;
+        });
+    for (std::thread &t : threads)
+        t.join();
+    session.stop();
+    EXPECT_EQ(session.eventCount(),
+              static_cast<std::size_t>(kThreads) * kEvents * 2);
+    EXPECT_TRUE(JsonChecker(dump(session)).valid());
+}
+
+TEST(Trace, MapperInstrumentationProducesValidTrace)
+{
+    TraceSession session;
+    session.start();
+    CgraConfig config;
+    config.rows = 6;
+    config.cols = 6;
+    config.islandRows = 2;
+    config.islandCols = 2;
+    const Cgra cgra(config);
+    const Dfg dfg = findKernel("gemm").build(1);
+    const auto mapping = Mapper(cgra).tryMap(dfg);
+    session.stop();
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_GT(session.eventCount(), 0u);
+    const std::string json = dump(session);
+    EXPECT_TRUE(JsonChecker(json).valid());
+    EXPECT_NE(json.find("attemptAtIi"), std::string::npos);
+    EXPECT_NE(json.find("mapper/candidates"), std::string::npos);
+    EXPECT_NE(json.find("router/searches"), std::string::npos);
+}
+
+} // namespace
+} // namespace iced

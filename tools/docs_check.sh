@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# docs_check.sh — documentation consistency gate (CI `docs-check` job).
+#
+# Fails when:
+#   1. an intra-repo Markdown link ([text](relative/path)) points at a
+#      file that does not exist, or
+#   2. DESIGN.md / README.md / docs/*.md reference a repo path (a
+#      `src/...`-style token with a file extension, or a `src/<dir>`
+#      module directory) that does not exist — the "stale section 7"
+#      failure mode.
+#
+# Run from anywhere: the script cds to the repository root.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+    echo "docs_check: $*" >&2
+    fail=1
+}
+
+md_files=$(find . -name '*.md' -not -path './build*/*' \
+                -not -path './.git/*')
+
+# --- 1. Relative Markdown links -------------------------------------
+for md in $md_files; do
+    dir=$(dirname "$md")
+    # Extract (target) of [text](target); keep relative paths only.
+    grep -oE '\]\([^)#?]+\)' "$md" 2>/dev/null |
+        sed -e 's/^](//' -e 's/)$//' |
+        grep -vE '^(https?|mailto):' |
+        while read -r target; do
+            [ -z "$target" ] && continue
+            if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+                echo "BROKEN $md -> $target"
+            fi
+        done
+done > /tmp/docs_check_links.$$
+if [ -s /tmp/docs_check_links.$$ ]; then
+    cat /tmp/docs_check_links.$$ >&2
+    err "broken intra-repo Markdown link(s)"
+fi
+rm -f /tmp/docs_check_links.$$
+
+# --- 2. Repo-path references in the design docs ---------------------
+doc_set="DESIGN.md README.md ROADMAP.md"
+for d in docs/*.md; do
+    [ -e "$d" ] && doc_set="$doc_set $d"
+done
+
+for doc in $doc_set; do
+    [ -e "$doc" ] || continue
+    # Files with an extension, e.g. src/trace/trace.hpp, tools/x.sh.
+    grep -oE '(src|tests|tools|docs|bench|examples)/[A-Za-z0-9_/.-]+\.(hpp|cpp|md|sh|yml|json)' \
+        "$doc" | sort -u | while read -r ref; do
+        [ -e "$ref" ] || echo "STALE $doc -> $ref"
+    done
+    # Module directories, e.g. src/exec, src/trace.
+    grep -oE '`?src/[a-z_]+`?' "$doc" | tr -d '\140' | sort -u |
+        while read -r ref; do
+            [ -d "$ref" ] || echo "STALE $doc -> $ref (no such module)"
+        done
+done > /tmp/docs_check_refs.$$
+if [ -s /tmp/docs_check_refs.$$ ]; then
+    cat /tmp/docs_check_refs.$$ >&2
+    err "stale repository path reference(s) in the docs"
+fi
+rm -f /tmp/docs_check_refs.$$
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs_check: OK"
+fi
+exit "$fail"

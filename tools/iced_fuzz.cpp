@@ -21,6 +21,7 @@
 
 #include "common/logging.hpp"
 #include "fuzz/driver.hpp"
+#include "trace/trace_cli.hpp"
 
 namespace {
 
@@ -45,7 +46,8 @@ usage(std::ostream &os)
           "  --shrink-budget SEC  per-failure shrink budget (default 30)\n"
           "  --out-dir DIR      write one <seed>.txt dump per shrunk failure\n"
           "  --verbose          print per-case verdicts\n"
-          "  --help             this text\n";
+          "  --help             this text\n"
+       << iced::TraceCli::usageText();
 }
 
 std::uint64_t
@@ -183,6 +185,9 @@ dumpFailure(const std::string &dir, const iced::FuzzFailure &f)
 int
 main(int argc, char **argv)
 {
+    iced::TraceCli trace;
+    if (!trace.parse(argc, argv))
+        return 2;
     CliArgs cli;
     if (const char *env = std::getenv("ICED_SEED"))
         cli.run.baseSeed = parseSeed(env);
@@ -191,10 +196,13 @@ main(int argc, char **argv)
         return 0;
     if (rc != 0)
         return rc;
+    trace.begin();
 
     try {
-        if (cli.repro)
-            return runRepro(cli, *cli.repro);
+        if (cli.repro) {
+            const int repro_rc = runRepro(cli, *cli.repro);
+            return trace.finish() ? repro_rc : 2;
+        }
 
         const iced::FuzzSummary summary = iced::runFuzz(cli.run);
         std::cout << "iced_fuzz: " << summary.casesRun << " cases, "
@@ -221,6 +229,8 @@ main(int argc, char **argv)
             if (!cli.outDir.empty())
                 dumpFailure(cli.outDir, f);
         }
+        if (!trace.finish())
+            return 2;
         return summary.ok() ? 0 : 1;
     } catch (const std::exception &e) {
         std::cerr << "iced_fuzz: " << e.what() << "\n";

@@ -11,9 +11,14 @@
  * (`bench/results/`).
  *
  * Unlike the fig* binaries this tool deliberately bypasses the
- * mapping cache and google-benchmark: every map() call is a cold,
- * single-threaded run so allocation counts are exact and
- * reproducible.
+ * mapping cache and google-benchmark: every map() call is a cold run
+ * so allocation counts are exact and reproducible. By default maps
+ * are sequential; `--map-threads N` switches the mapper to the
+ * speculative portfolio search (same mappings byte-for-byte, see
+ * DESIGN.md section 8) and reports per-case speculation stats —
+ * attempts launched / cancelled / wasted. Allocation counts under the
+ * portfolio include speculative work and are only reproducible in the
+ * sequential default.
  *
  * Exit status: 0 on success, 1 on mapping failure or (with --verify)
  * an optimized-vs-reference mapping mismatch, 2 on usage error.
@@ -40,7 +45,7 @@
 // ---------------------------------------------------------------------
 // Global allocation interposer: counts every heap allocation of the
 // process. Counters are relaxed atomics so the interposer itself does
-// not serialize anything; bench_mapper maps single-threaded.
+// not serialize anything (portfolio workers allocate concurrently).
 // ---------------------------------------------------------------------
 
 namespace {
@@ -81,6 +86,12 @@ struct CaseResult
     double wallMs = 0.0;
     std::uint64_t allocs = 0;
     std::uint64_t allocBytes = 0;
+    // Portfolio speculation stats of the last repeat (deltas of the
+    // mapper.portfolio.* counters around the timed map; all zero when
+    // mapping sequentially).
+    std::uint64_t specLaunched = 0;
+    std::uint64_t specCancelled = 0;
+    std::uint64_t specWasted = 0;
 };
 
 struct BenchCase
@@ -156,6 +167,33 @@ verifyAgainstReference(const Cgra &cgra, const Dfg &dfg,
     return false;
 }
 
+/**
+ * Portfolio determinism check: the parallel portfolio search must pick
+ * the byte-identical mapping the sequential scan picks (outside the
+ * timed region). Returns true on mismatch.
+ */
+bool
+verifyPortfolioAgainstSequential(const Cgra &cgra, const Dfg &dfg,
+                                 const MapperOptions &opts)
+{
+    MapperOptions seq = opts;
+    seq.mapThreads = 1;
+    const auto parallel = Mapper(cgra, opts).tryMap(dfg);
+    const auto sequential = Mapper(cgra, seq).tryMap(dfg);
+    if (parallel.has_value() != sequential.has_value()) {
+        std::cerr << "bench_mapper: VERIFY MISMATCH " << dfg.name()
+                  << ": portfolio and sequential disagree on"
+                     " mappability\n";
+        return true;
+    }
+    if (parallel && !equalMappings(*parallel, *sequential)) {
+        std::cerr << "bench_mapper: VERIFY MISMATCH " << dfg.name()
+                  << ": portfolio and sequential mappings differ\n";
+        return true;
+    }
+    return false;
+}
+
 /** The suite: Table I kernels x uf x mode on 6x6, plus 12x12 point. */
 std::vector<BenchCase>
 buildSuite(bool quick)
@@ -181,9 +219,19 @@ buildSuite(bool quick)
 }
 
 int
-run(int repeat, bool quick, bool verify, const std::string &out_path)
+run(int repeat, bool quick, bool verify, int map_threads,
+    const std::string &out_path)
 {
     const std::vector<BenchCase> suite = buildSuite(quick);
+    MetricsRegistry::Counter &spec_launched =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_launched");
+    MetricsRegistry::Counter &spec_cancelled =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_cancelled");
+    MetricsRegistry::Counter &spec_wasted =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_wasted");
 
     // Fabrics are shared per size (construction is not measured).
     Cgra cgra6 = makeFabric(6);
@@ -201,6 +249,7 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
         const Dfg dfg = bc.kernel->build(bc.uf);
         MapperOptions opts;
         opts.dvfsAware = bc.dvfsAware;
+        opts.mapThreads = map_threads;
 
         CaseResult r;
         r.kernel = bc.kernel->name;
@@ -217,6 +266,9 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
                 g_alloc_calls.load(std::memory_order_relaxed);
             const std::uint64_t bytes0 =
                 g_alloc_bytes.load(std::memory_order_relaxed);
+            const std::uint64_t launched0 = spec_launched.value();
+            const std::uint64_t cancelled0 = spec_cancelled.value();
+            const std::uint64_t wasted0 = spec_wasted.value();
             const auto t0 = std::chrono::steady_clock::now();
             const Mapping m = Mapper(cgra, opts).map(dfg);
             const auto t1 = std::chrono::steady_clock::now();
@@ -229,12 +281,18 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
                        calls0;
             r.allocBytes =
                 g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+            r.specLaunched = spec_launched.value() - launched0;
+            r.specCancelled = spec_cancelled.value() - cancelled0;
+            r.specWasted = spec_wasted.value() - wasted0;
             r.ii = m.ii();
             r.routes = routedEdges(m);
         }
         r.wallMs = best_ms;
 
         if (verify && verifyAgainstReference(cgra, dfg, opts))
+            ++mismatches;
+        if (verify && map_threads > 1 &&
+            verifyPortfolioAgainstSequential(cgra, dfg, opts))
             ++mismatches;
 
         total_routes += r.routes;
@@ -258,11 +316,21 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
         std::cerr << "bench_mapper: cannot write " << out_path << "\n";
         return 2;
     }
+    std::uint64_t total_spec_launched = 0;
+    std::uint64_t total_spec_cancelled = 0;
+    std::uint64_t total_spec_wasted = 0;
+    for (const CaseResult &r : results) {
+        total_spec_launched += r.specLaunched;
+        total_spec_cancelled += r.specCancelled;
+        total_spec_wasted += r.specWasted;
+    }
+
     out << "{\n"
         << "  \"tool\": \"bench_mapper\",\n"
         << "  \"suite\": \"" << (quick ? "table1-quick" : "table1+scale12")
         << "\",\n"
         << "  \"repeat\": " << repeat << ",\n"
+        << "  \"mapThreads\": " << map_threads << ",\n"
         << "  \"cases\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const CaseResult &r = results[i];
@@ -272,8 +340,12 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
             << ", \"routes\": " << r.routes
             << ", \"wallMs\": " << jsonNum(r.wallMs)
             << ", \"allocs\": " << r.allocs
-            << ", \"allocBytes\": " << r.allocBytes << "}"
-            << (i + 1 < results.size() ? "," : "") << "\n";
+            << ", \"allocBytes\": " << r.allocBytes;
+        if (map_threads > 1)
+            out << ", \"specLaunched\": " << r.specLaunched
+                << ", \"specCancelled\": " << r.specCancelled
+                << ", \"specWasted\": " << r.specWasted;
+        out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ],\n"
         << "  \"metrics\": " << MetricsRegistry::global().toJson()
@@ -288,6 +360,9 @@ run(int repeat, bool quick, bool verify, const std::string &out_path)
         << jsonNum(total_s > 0 ? total_routes / total_s : 0.0) << ",\n"
         << "    \"allocs\": " << total_allocs << ",\n"
         << "    \"allocBytes\": " << total_bytes << ",\n"
+        << "    \"specLaunched\": " << total_spec_launched << ",\n"
+        << "    \"specCancelled\": " << total_spec_cancelled << ",\n"
+        << "    \"specWasted\": " << total_spec_wasted << ",\n"
         << "    \"peakRssKb\": " << peakRssKb() << "\n"
         << "  }\n"
         << "}\n";
@@ -319,6 +394,7 @@ main(int argc, char **argv)
     int repeat = 1;
     bool quick = false;
     bool verify = false;
+    int map_threads = 1;
     std::string out_path = "BENCH_mapper.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -328,19 +404,28 @@ main(int argc, char **argv)
             verify = true;
         } else if (arg == "--repeat" && i + 1 < argc) {
             repeat = std::atoi(argv[++i]);
+        } else if (arg == "--map-threads" && i + 1 < argc) {
+            map_threads = std::atoi(argv[++i]);
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: bench_mapper [--quick] [--verify]"
-                   " [--repeat N] [--out FILE]\n"
+                   " [--repeat N] [--map-threads N] [--out FILE]\n"
                    "\n"
-                   "  --quick    uf1 / ICED-mode subset (CI perf-smoke)\n"
-                   "  --verify   cross-check optimized vs reference\n"
-                   "             candidate evaluation (exit 1 on any\n"
-                   "             mapping mismatch)\n"
-                   "  --repeat   best-of-N wall time per case (default 1)\n"
-                   "  --out      output JSON path (default"
+                   "  --quick        uf1 / ICED-mode subset (CI"
+                   " perf-smoke)\n"
+                   "  --verify       cross-check optimized vs reference\n"
+                   "                 candidate evaluation — and, with\n"
+                   "                 --map-threads > 1, portfolio vs\n"
+                   "                 sequential byte-equality (exit 1 on\n"
+                   "                 any mapping mismatch)\n"
+                   "  --repeat       best-of-N wall time per case"
+                   " (default 1)\n"
+                   "  --map-threads  portfolio worker threads per map\n"
+                   "                 (default 1 = sequential; adds\n"
+                   "                 speculation stats to the JSON)\n"
+                   "  --out          output JSON path (default"
                    " BENCH_mapper.json)\n"
                 << iced::TraceCli::usageText();
             return 0;
@@ -353,9 +438,14 @@ main(int argc, char **argv)
         std::cerr << "bench_mapper: --repeat must be >= 1\n";
         return 2;
     }
+    if (map_threads < 1) {
+        std::cerr << "bench_mapper: --map-threads must be >= 1\n";
+        return 2;
+    }
     try {
         trace.begin();
-        const int rc = iced::run(repeat, quick, verify, out_path);
+        const int rc =
+            iced::run(repeat, quick, verify, map_threads, out_path);
         return trace.finish() ? rc : 2;
     } catch (const std::exception &e) {
         std::cerr << "bench_mapper: " << e.what() << "\n";

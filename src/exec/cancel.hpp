@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Cooperative cancellation and task groups for the execution engine.
+ *
+ * `CancelSource` owns a single atomic flag; `CancelToken` is a cheap,
+ * copyable observer of it. A hot loop polls `token.cancelled()` — one
+ * pointer test when the token is null (the default), one extra relaxed
+ * atomic load when it is armed, following the `src/trace`
+ * enabled-flag pattern (DESIGN.md section 9): the uncancellable path
+ * must stay within noise of not having the check at all.
+ *
+ * Cancellation is *cooperative*: requesting it never interrupts
+ * anything, it only makes future `cancelled()` polls return true. A
+ * computation that observed its token fire must be treated as
+ * truncated — its partial result is not the deterministic one and has
+ * to be discarded by the caller (the portfolio mapper's contract,
+ * DESIGN.md section 8).
+ *
+ * `TaskGroup` is the structured-concurrency companion: it spawns tasks
+ * onto an existing `ThreadPool`, tracks how many are still in flight,
+ * exposes a shared group token, and `wait()`s for all of them —
+ * rethrowing the first captured task exception. Used by the portfolio
+ * mapper; reusable by the fuzz driver and experiment runner wherever a
+ * bounded batch of pool tasks needs cancel-and-drain semantics.
+ */
+#ifndef ICED_EXEC_CANCEL_HPP
+#define ICED_EXEC_CANCEL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+
+namespace iced {
+
+class CancelSource;
+
+/**
+ * Observer half of a cancellation flag.
+ *
+ * Default-constructed tokens are *null*: `cancelled()` is a single
+ * pointer test that always fails, so threading a token through a hot
+ * path costs nothing until someone arms it. Copies share the flag.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** One relaxed load; false forever for a null token. */
+    bool cancelled() const noexcept
+    {
+        return flag && flag->load(std::memory_order_relaxed);
+    }
+
+    /** True when the token is connected to a source at all. */
+    bool cancellable() const noexcept { return flag != nullptr; }
+
+  private:
+    friend class CancelSource;
+    explicit CancelToken(
+        std::shared_ptr<const std::atomic<bool>> shared_flag)
+        : flag(std::move(shared_flag))
+    {
+    }
+
+    std::shared_ptr<const std::atomic<bool>> flag;
+};
+
+/**
+ * Owner half of a cancellation flag. Copies share the flag (a copy is
+ * another handle to the same request, not a new flag). Tokens remain
+ * valid after every source handle is gone.
+ */
+class CancelSource
+{
+  public:
+    CancelSource() : flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /** Make all connected tokens report cancelled. Idempotent. */
+    void requestCancel() noexcept
+    {
+        flag->store(true, std::memory_order_relaxed);
+    }
+
+    bool cancelRequested() const noexcept
+    {
+        return flag->load(std::memory_order_relaxed);
+    }
+
+    CancelToken token() const { return CancelToken(flag); }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag;
+};
+
+/**
+ * A batch of tasks on a shared `ThreadPool` with cancel-and-drain
+ * semantics.
+ *
+ * `spawn(fn)` submits `fn` (callable with either no argument or a
+ * `const CancelToken &` — the group token). `wait()` blocks until all
+ * spawned tasks finished and rethrows the first exception any of them
+ * threw. The destructor cancels and drains, so a group can never
+ * outlive the state its tasks capture by reference.
+ *
+ * Thread safety: spawn/cancel/wait may be called from one controlling
+ * thread while tasks run; tasks only touch the group through their
+ * completion hook.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &thread_pool)
+        : pool(&thread_pool), groupToken(source.token())
+    {
+    }
+
+    /** Cancels the group token, then drains. Never throws. */
+    ~TaskGroup()
+    {
+        cancel();
+        try {
+            wait();
+        } catch (...) {
+            // wait() rethrows task exceptions; a destructor has no
+            // caller to hand them to. waitNoThrow() callers who care
+            // should call wait() explicitly first.
+        }
+    }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /**
+     * Submit one task. Blocks like `ThreadPool::submit` when the pool
+     * queue is full. The task's exceptions are captured and rethrown
+     * (first one wins) by `wait()`.
+     */
+    template <typename Fn>
+    void spawn(Fn &&fn)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            ++pending;
+        }
+        try {
+            pool->submit(
+                [this, task = std::forward<Fn>(fn)]() mutable {
+                    std::exception_ptr error;
+                    try {
+                        if constexpr (std::is_invocable_v<
+                                          std::decay_t<Fn> &,
+                                          const CancelToken &>)
+                            task(groupToken);
+                        else
+                            task();
+                    } catch (...) {
+                        error = std::current_exception();
+                    }
+                    finish(error);
+                });
+        } catch (...) {
+            finish(nullptr); // undo the pending increment
+            throw;
+        }
+    }
+
+    /** Request cancellation of the group token. Tasks keep running
+     *  until they poll it; wait() still waits for them. */
+    void cancel() noexcept { source.requestCancel(); }
+
+    /** The token spawn() hands to token-aware tasks. */
+    const CancelToken &token() const { return groupToken; }
+
+    /** Tasks spawned but not yet finished (racy snapshot). */
+    std::size_t pendingTasks() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return pending;
+    }
+
+    /**
+     * Block until every spawned task finished; rethrow the first task
+     * exception captured (later ones are dropped, like
+     * `ThreadPool::submit` futures that are never `get()`).
+     */
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        idle.wait(lock, [this] { return pending == 0; });
+        if (firstError) {
+            std::exception_ptr error = std::exchange(firstError, nullptr);
+            lock.unlock();
+            std::rethrow_exception(error);
+        }
+    }
+
+  private:
+    void finish(std::exception_ptr error)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (error && !firstError)
+            firstError = std::move(error);
+        --pending;
+        if (pending == 0)
+            idle.notify_all();
+    }
+
+    ThreadPool *pool;
+    CancelSource source;
+    CancelToken groupToken;
+    mutable std::mutex mtx;
+    std::condition_variable idle;
+    std::size_t pending = 0;
+    std::exception_ptr firstError;
+};
+
+} // namespace iced
+
+#endif // ICED_EXEC_CANCEL_HPP

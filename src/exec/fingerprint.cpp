@@ -107,6 +107,12 @@ mixMapperOptions(Fingerprint &fp, const MapperOptions &options)
     // semantics differ), so they are part of the key.
     fp.mix(options.referenceEvaluation);
     fp.mix(options.stressRollback);
+    // Deliberately NOT mixed: mapThreads, speculationWindow, cancel.
+    // The portfolio search returns a mapping byte-identical to the
+    // sequential scan at every thread count / window setting
+    // (portfolio_mapper_test pins it), so runs at different
+    // parallelism levels must share cache entries; and a cancellation
+    // token is a per-call control channel, not part of the request.
     fp.mix(std::string_view("labeling"));
     fp.mix(options.labeling.fillFactor);
     fp.mix(static_cast<int>(options.labeling.lowestLabel));

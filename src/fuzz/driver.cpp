@@ -90,6 +90,8 @@ reproLine(const FuzzRunOptions &opt, std::uint64_t seed)
         os << " --inject-fault sim-off-by-one";
     if (opt.oracle.stressRollback)
         os << " --stress-rollback";
+    if (opt.oracle.mapThreads > 1)
+        os << " --map-threads " << opt.oracle.mapThreads;
     return os.str();
 }
 

@@ -80,6 +80,31 @@ runCase(const FuzzCase &fc, const OracleOptions &opt)
         return failAt(OraclePhase::Map,
                       std::string("mapper raised: ") + e.what());
     }
+
+    // Portfolio differential: the speculative parallel search must
+    // reach the byte-identical verdict before the mapping is mutated
+    // by the power-gating pass below.
+    if (opt.mapThreads > 1) {
+        MapperOptions portfolio_opts = mapper_opts;
+        portfolio_opts.mapThreads = opt.mapThreads;
+        std::optional<Mapping> parallel;
+        try {
+            parallel = Mapper(cgra, portfolio_opts).tryMap(fc.dfg);
+        } catch (const std::exception &e) {
+            return failAt(OraclePhase::Map,
+                          std::string("portfolio mapper raised: ") +
+                              e.what());
+        }
+        if (parallel.has_value() != mapping.has_value())
+            return failAt(OraclePhase::Map,
+                          "portfolio and sequential mapper disagree on"
+                          " mappability");
+        if (mapping && !equalMappings(*mapping, *parallel))
+            return failAt(OraclePhase::Map,
+                          "portfolio mapping differs from sequential",
+                          mapping->ii());
+    }
+
     if (!mapping) {
         OracleResult r;
         r.verdict = OracleResult::Verdict::Skip;

@@ -50,6 +50,14 @@ struct OracleOptions
      * divergence (`iced_fuzz --stress-rollback`).
      */
     bool stressRollback = false;
+    /**
+     * Portfolio differential mode: when > 1, each case is additionally
+     * mapped with the speculative parallel portfolio search at this
+     * many worker threads, and any divergence from the sequential
+     * mapping — mappability or byte-level (`equalMappings`) — is a
+     * Map-phase failure (`iced_fuzz --map-threads N`).
+     */
+    int mapThreads = 1;
 };
 
 /** Outcome of one differential run. */

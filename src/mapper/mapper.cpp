@@ -1,13 +1,19 @@
 #include "mapper/mapper.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <queue>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "dfg/cycle_analysis.hpp"
+#include "exec/thread_pool.hpp"
 #include "trace/trace.hpp"
 
 namespace iced {
@@ -48,9 +54,72 @@ struct Unit
 
 } // namespace
 
-Mapper::Mapper(const Cgra &cgra, MapperOptions options)
-    : fabric(&cgra), opts(options), router(options.router)
+/**
+ * Lazily built strategy ladder of one Mapper: the variant Mapper
+ * instances every `tryMap`/`tryMapAtIi` call iterates. Heap-allocated
+ * so the owning Mapper stays movable (`std::once_flag` is neither
+ * movable nor copyable); `call_once` makes concurrent first calls on
+ * one const Mapper safe, and the vector is read-only afterwards.
+ */
+struct Mapper::LadderCache
 {
+    std::once_flag once;
+    std::vector<Mapper> mappers;
+};
+
+Mapper::Mapper(const Cgra &cgra, MapperOptions options)
+    : fabric(&cgra), opts(options), router(options.router),
+      ladder(std::make_unique<LadderCache>())
+{
+}
+
+Mapper::Mapper(const Mapper &other)
+    : fabric(other.fabric), opts(other.opts), router(other.router),
+      ladder(std::make_unique<LadderCache>())
+{
+}
+
+Mapper::Mapper(Mapper &&other) noexcept = default;
+
+Mapper &
+Mapper::operator=(const Mapper &other)
+{
+    if (this != &other) {
+        fabric = other.fabric;
+        opts = other.opts;
+        router = other.router;
+        ladder = std::make_unique<LadderCache>();
+    }
+    return *this;
+}
+
+Mapper &Mapper::operator=(Mapper &&other) noexcept = default;
+
+Mapper::~Mapper() = default;
+
+const std::vector<Mapper> &
+Mapper::ladderMappers() const
+{
+    std::call_once(ladder->once, [this] {
+        for (const MapperOptions &variant : strategyLadder())
+            ladder->mappers.emplace_back(*fabric, variant);
+    });
+    return ladder->mappers;
+}
+
+int
+Mapper::effectiveMapThreads() const
+{
+    if (opts.mapThreads > 0)
+        return opts.mapThreads;
+    if (const char *env = std::getenv("ICED_MAP_THREADS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<int>(
+                std::min<long>(parsed, 1024)); // sanity cap
+    }
+    return 1;
 }
 
 int
@@ -100,7 +169,16 @@ Mapper::strategyLadder() const
         no_clusters.useClusters = false;
         ladder.push_back(no_clusters);
     }
-    if (opts.dvfsAware) {
+    // The all-normal fallbacks exist to retry a *failed* DVFS-aware
+    // attempt without DVFS constraints. They can only differ from the
+    // base variants when the labeling may actually propose a level
+    // below Normal: with `labeling.lowestLabel == Normal` every label
+    // is already Normal and a fallback attempt would redo
+    // byte-identical work, so the ladder is not doubled then
+    // (mapper_test pins the ladder contents for all combinations).
+    const bool labels_can_differ =
+        opts.labeling.lowestLabel != DvfsLevel::Normal;
+    if (opts.dvfsAware && labels_can_differ) {
         const std::size_t base_variants = ladder.size();
         for (std::size_t i = 0; i < base_variants; ++i) {
             MapperOptions normal = ladder[i];
@@ -117,40 +195,237 @@ Mapper::tryMap(const Dfg &dfg) const
     ICED_TRACE_SCOPE("mapper", "tryMap");
     // Everything invariant across the II loop is computed once:
     // validation, the RecMII, and the strategy ladder's Mapper
-    // instances (each attempt used to re-derive all three).
+    // instances (cached across calls, see ladderMappers()).
     dfg.validate();
     const int rec = computeRecMii(dfg);
-    std::vector<Mapper> ladder;
-    for (const MapperOptions &variant : strategyLadder())
-        ladder.emplace_back(*fabric, variant);
-    const int start = startIi(dfg, rec);
+    const int threads = effectiveMapThreads();
+    if (threads > 1)
+        return tryMapPortfolio(dfg, rec, threads);
+    return tryMapSequential(dfg, rec);
+}
+
+std::optional<Mapping>
+Mapper::tryMapSequential(const Dfg &dfg, int recMii) const
+{
+    const std::vector<Mapper> &ladder = ladderMappers();
+    const int start = startIi(dfg, recMii);
     for (int ii = start; ii <= start + opts.maxIiSteps; ++ii) {
         for (const Mapper &m : ladder) {
-            if (auto mapping = m.attemptAtIi(dfg, ii, rec))
+            if (auto mapping =
+                    m.attemptAtIi(dfg, ii, recMii, opts.cancel))
                 return mapping;
         }
     }
     return std::nullopt;
 }
 
+namespace {
+
+/** Book-keeping of one (II, ladder-index) cell of the portfolio. */
+struct PortfolioSlot
+{
+    CancelSource cancel;
+    bool launched = false;
+    bool done = false;
+    std::optional<Mapping> result;
+};
+
+} // namespace
+
+std::optional<Mapping>
+Mapper::tryMapPortfolio(const Dfg &dfg, int recMii, int threads) const
+{
+    ICED_TRACE_SCOPE("mapper", "tryMapPortfolio");
+    static MetricsRegistry::Counter &m_runs =
+        MetricsRegistry::global().counter("mapper.portfolio.runs");
+    static MetricsRegistry::Counter &m_launched =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_launched");
+    static MetricsRegistry::Counter &m_cancelled =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_cancelled");
+    static MetricsRegistry::Counter &m_wasted =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_wasted");
+    static MetricsRegistry::Counter &m_wins =
+        MetricsRegistry::global().counter("mapper.portfolio.wins");
+    m_runs.increment();
+
+    // The attempt grid in sequential scan order: rank r = (II level,
+    // ladder index) with II inner-major, exactly the order
+    // tryMapSequential probes. The winner is the smallest successful
+    // rank, which is what makes the portfolio byte-identical to the
+    // sequential result: every rank below the winner ran to completion
+    // un-cancelled and genuinely failed.
+    const std::vector<Mapper> &ladder = ladderMappers();
+    const int lanes = static_cast<int>(ladder.size());
+    const int start = startIi(dfg, recMii);
+    const int levels = opts.maxIiSteps + 1;
+    const int total = levels * lanes;
+    auto ii_of = [&](int rank) { return start + rank / lanes; };
+    auto lane_of = [&](int rank) { return rank % lanes; };
+
+    // Speculation window: attempts launch strictly in rank order, and
+    // an II level may only have attempts in flight while it is at most
+    // `window - 1` levels past the lowest unresolved II. Auto mode
+    // keeps roughly all workers busy plus one level of slack.
+    int window = opts.speculationWindow;
+    if (window <= 0)
+        window = std::max(2, (threads + lanes - 1) / lanes + 1);
+
+    std::mutex mtx;
+    std::condition_variable progress;
+    std::vector<PortfolioSlot> slots(static_cast<std::size_t>(total));
+    int incumbent = total; // smallest successful rank so far
+    int frontier = 0;      // smallest rank not yet done
+
+    ThreadPool pool(threads);
+    TaskGroup group(pool);
+    std::uint64_t n_launched = 0;
+
+    auto launch = [&](int rank) {
+        PortfolioSlot &slot = slots[static_cast<std::size_t>(rank)];
+        slot.launched = true;
+        ++n_launched;
+        const int ii = ii_of(rank);
+        const int lane = lane_of(rank);
+        const Mapper &m = ladder[static_cast<std::size_t>(lane)];
+        CancelToken token = slot.cancel.token();
+        group.spawn([&dfg, &mtx, &progress, &slots, &incumbent, &m,
+                     rank, ii, lane, recMii, total, token] {
+            // Deterministic per-cell track: events of this attempt
+            // follow the grid cell, not the worker that ran it
+            // (which attempts run at all is still timing-dependent in
+            // portfolio mode — see the DESIGN.md section 8 caveat).
+            std::optional<TraceTrack> track;
+            if (TraceSession::active())
+                track.emplace("mapper/portfolio/ii" +
+                              std::to_string(ii) + "-v" +
+                              std::to_string(lane));
+            std::optional<Mapping> attempt;
+            try {
+                if (!token.cancelled())
+                    attempt = m.attemptAtIi(dfg, ii, recMii, token);
+            } catch (...) {
+                // Mark the slot resolved so the driver loop cannot
+                // wait forever; TaskGroup::wait rethrows.
+                std::lock_guard<std::mutex> lock(mtx);
+                slots[static_cast<std::size_t>(rank)].done = true;
+                progress.notify_all();
+                throw;
+            }
+            std::lock_guard<std::mutex> lock(mtx);
+            PortfolioSlot &slot =
+                slots[static_cast<std::size_t>(rank)];
+            slot.done = true;
+            // A fired token may have truncated the attempt, so its
+            // verdict is not the deterministic one; such results are
+            // discarded. Only ranks worse than the incumbent are ever
+            // cancelled, so discarding cannot change the winner.
+            if (attempt && !slot.cancel.cancelRequested()) {
+                slot.result = std::move(attempt);
+                if (rank < incumbent) {
+                    incumbent = rank;
+                    for (int worse = rank + 1; worse < total; ++worse) {
+                        PortfolioSlot &w =
+                            slots[static_cast<std::size_t>(worse)];
+                        if (w.launched && !w.done)
+                            w.cancel.requestCancel();
+                    }
+                }
+            }
+            progress.notify_all();
+        });
+    };
+
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        int next = 0;
+        for (;;) {
+            while (frontier < total &&
+                   slots[static_cast<std::size_t>(frontier)].done)
+                ++frontier;
+            // A user-initiated cancel of the whole tryMap call stops
+            // the portfolio; the truncated verdict is nullopt.
+            if (opts.cancel.cancelled())
+                break;
+            while (next < incumbent && next < total &&
+                   ii_of(next) <
+                       ii_of(std::min(frontier, total - 1)) + window) {
+                launch(next);
+                ++next;
+            }
+            if (frontier >= std::min(incumbent, total))
+                break; // decided: winner fixed, or the whole grid failed
+            if (opts.cancel.cancellable()) {
+                // An external whole-call cancel cannot notify this cv,
+                // so poll it instead of parking indefinitely.
+                progress.wait_for(lock, std::chrono::milliseconds(5));
+            } else {
+                progress.wait(lock);
+            }
+        }
+        // Everything still in flight is ranked worse than the winner
+        // (or the call was cancelled): ask it to stop.
+        for (PortfolioSlot &slot : slots)
+            if (slot.launched && !slot.done)
+                slot.cancel.requestCancel();
+    }
+    group.wait(); // drain; rethrows the first attempt exception
+
+    std::optional<Mapping> winner;
+    if (incumbent < total && !opts.cancel.cancelled()) {
+        winner =
+            std::move(slots[static_cast<std::size_t>(incumbent)].result);
+        m_wins.increment();
+    }
+    std::uint64_t n_cancelled = 0;
+    std::uint64_t n_wasted = 0;
+    for (int rank = 0; rank < total; ++rank) {
+        const PortfolioSlot &slot =
+            slots[static_cast<std::size_t>(rank)];
+        if (!slot.launched)
+            continue;
+        if (slot.cancel.cancelRequested())
+            ++n_cancelled;
+        if (rank > incumbent)
+            ++n_wasted; // speculative work the decision never needed
+    }
+    m_launched.increment(n_launched);
+    m_cancelled.increment(n_cancelled);
+    m_wasted.increment(n_wasted);
+    if (TraceSession *ts = TraceSession::active()) {
+        ts->counter("mapper", "mapper/portfolio-launched",
+                    static_cast<double>(n_launched));
+        ts->counter("mapper", "mapper/portfolio-wasted",
+                    static_cast<double>(n_wasted));
+    }
+    return winner;
+}
+
 std::optional<Mapping>
 Mapper::tryMapAtIi(const Dfg &dfg, int ii) const
 {
+    // Invariants hoisted out of the ladder loop, mirroring tryMap:
+    // one validation, one RecMII computation, and the cached ladder
+    // Mapper instances instead of a fresh Mapper per variant.
     dfg.validate();
     const int rec = computeRecMii(dfg);
-    for (const MapperOptions &variant : strategyLadder()) {
-        if (auto mapping =
-                Mapper(*fabric, variant).attemptAtIi(dfg, ii, rec))
+    for (const Mapper &m : ladderMappers()) {
+        if (auto mapping = m.attemptAtIi(dfg, ii, rec, opts.cancel))
             return mapping;
     }
     return std::nullopt;
 }
 
 std::optional<Mapping>
-Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
+Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii,
+                    const CancelToken &cancel) const
 {
     if (ii < recMii)
         return std::nullopt; // recurrences cannot wrap below RecMII
+    if (cancel.cancelled())
+        return std::nullopt; // truncated, not a "no fit" verdict
     ICED_TRACE_SCOPE_I("mapper", "attemptAtIi", "ii", ii);
     static MetricsRegistry::Counter &m_attempts =
         MetricsRegistry::global().counter("mapper.attempts");
@@ -335,6 +610,9 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
     // its buffers (attempts stay call-local, so no sharing). The seeds
     // scratch is likewise rebuilt (not reallocated) per routed edge.
     Router::Workspace workspace;
+    // The attempt's token also truncates router searches from inside
+    // (one pointer test per heap pop when the token is null).
+    workspace.cancel = cancel;
     std::vector<std::pair<TileId, int>> seeds_scratch;
     // Attempt-local observability counters, folded into the metrics
     // registry / trace counter tracks once per attempt (never inside
@@ -482,6 +760,12 @@ Mapper::attemptAtIi(const Dfg &dfg, int ii, int recMii) const
             txn.emplace(mrrg);
 
         for (const TileRank &tr : ranked) {
+            // Cancellation point of the candidate loop: a fired token
+            // abandons the unit, which fails the whole attempt. The
+            // caller discards a cancelled attempt's verdict entirely,
+            // so the early-out cannot masquerade as "no fit".
+            if (cancel.cancelled())
+                return false;
             const TileId tile = tr.tile;
             const IslandId island = fabric->islandOf(tile);
 

@@ -25,10 +25,12 @@
 #ifndef ICED_MAPPER_MAPPER_HPP
 #define ICED_MAPPER_MAPPER_HPP
 
+#include <memory>
 #include <optional>
 
 #include "arch/cgra.hpp"
 #include "dfg/dfg.hpp"
+#include "exec/cancel.hpp"
 #include "mapper/labeling.hpp"
 #include "mapper/mapping.hpp"
 #include "mrrg/router.hpp"
@@ -80,6 +82,35 @@ struct MapperOptions
      * (`iced_fuzz --stress-rollback`).
      */
     bool stressRollback = false;
+    /**
+     * Worker threads for the speculative portfolio search in
+     * `tryMap()`: 1 = sequential, N > 1 = the (II x ladder-index)
+     * attempt grid races on N `src/exec` pool workers, 0 (default) =
+     * consult `ICED_MAP_THREADS` from the environment and fall back to
+     * sequential when it is unset. The chosen mapping is byte-identical
+     * (`equalMappings()`) to the sequential result at every setting —
+     * `portfolio_mapper_test` pins it — so the mapping-cache
+     * fingerprint deliberately excludes this knob. Only wall clock and
+     * speculation metrics change.
+     */
+    int mapThreads = 0;
+    /**
+     * Speculation window of the portfolio search: how many II levels
+     * may have attempts in flight beyond the lowest unresolved II.
+     * Bounds wasted speculative work (an II far beyond the eventual
+     * winner is never tried). 0 (default) = auto-scale with
+     * `mapThreads`; values >= 1 are used as-is.
+     */
+    int speculationWindow = 0;
+    /**
+     * Cooperative cancellation of a whole `map()`/`tryMap()` call:
+     * the token is polled in `attemptAtIi`'s candidate loop and the
+     * router's Dijkstra pop loop, and a fired token makes the call
+     * return nullopt promptly (a truncated run, not a "no fit"
+     * verdict). The default null token never fires and costs one
+     * pointer test per check.
+     */
+    CancelToken cancel;
     LabelOptions labeling;
     RouterOptions router;
 };
@@ -93,12 +124,25 @@ struct MapperOptions
  * one Mapper — or on distinct Mappers sharing a Cgra — are safe. This
  * contract is what `src/exec` relies on and is covered by the
  * TSan-built exec tests; keep new mapper state call-local or document
- * the change there.
+ * the change there. (The lazily built strategy-ladder cache is the one
+ * shared mutable member; it is initialized under `std::call_once` and
+ * read-only afterwards. The portfolio search spawns its own pool and
+ * keeps every attempt's state attempt-local, so the contract holds at
+ * any `mapThreads` setting — enforced by the TSan run of
+ * `portfolio_mapper_test`.)
  */
 class Mapper
 {
   public:
     explicit Mapper(const Cgra &cgra, MapperOptions options = {});
+
+    /** Copies/moves start with a fresh (empty) ladder cache; it is
+     *  rebuilt lazily on first use. */
+    Mapper(const Mapper &other);
+    Mapper(Mapper &&other) noexcept;
+    Mapper &operator=(const Mapper &other);
+    Mapper &operator=(Mapper &&other) noexcept;
+    ~Mapper();
 
     /** Map `dfg`, throwing FatalError when no II in range succeeds. */
     Mapping map(const Dfg &dfg) const;
@@ -116,27 +160,74 @@ class Mapper
     /** Lower bound II: max(RecMII, ResMII, memory ResMII). */
     int startIi(const Dfg &dfg) const;
 
+    /**
+     * The per-II fallback ladder derived from `opts`: the base options
+     * first, then (when clustering is on) a no-clusters variant, then
+     * — only when the DVFS-aware variants can actually label below
+     * Normal — the all-normal fallbacks of each. Every `tryMap` II
+     * step runs this ladder in order before the II is incremented, so
+     * DVFS awareness never costs performance (paper IV-A). Public so
+     * tests can pin the ladder contents and portfolio consumers can
+     * size the attempt grid.
+     */
+    std::vector<MapperOptions> strategyLadder() const;
+
     const MapperOptions &options() const { return opts; }
     const Cgra &cgra() const { return *fabric; }
+
+    /**
+     * Worker count `tryMap` will actually use: `opts.mapThreads` when
+     * positive, else `ICED_MAP_THREADS` from the environment, else 1
+     * (sequential).
+     */
+    int effectiveMapThreads() const;
 
   private:
     /**
      * One placement attempt with exactly these options (no ladder).
      * `recMii` is the caller-computed RecMII of `dfg`, hoisted out of
-     * the II loop; `dfg` must already be validated.
+     * the II loop; `dfg` must already be validated. `cancel` is polled
+     * in the candidate loop and the router search; when it fires the
+     * attempt returns nullopt (truncated — the caller must discard
+     * the verdict, not record it as "no fit").
      */
     std::optional<Mapping> attemptAtIi(const Dfg &dfg, int ii,
-                                       int recMii) const;
+                                       int recMii,
+                                       const CancelToken &cancel) const;
 
     /** startIi() with the RecMII already computed. */
     int startIi(const Dfg &dfg, int recMii) const;
 
-    /** The per-II fallback ladder derived from `opts`. */
-    std::vector<MapperOptions> strategyLadder() const;
+    /**
+     * The strategy ladder as ready-to-use Mapper instances, built once
+     * per Mapper under `std::call_once` and shared by every subsequent
+     * `tryMap`/`tryMapAtIi` call (sequential and portfolio alike) —
+     * the invariant-hoisting PR 3 gave `tryMap`'s II loop, extended
+     * across calls.
+     */
+    const std::vector<Mapper> &ladderMappers() const;
+
+    /** Sequential II x ladder scan (the pre-portfolio tryMap body). */
+    std::optional<Mapping> tryMapSequential(const Dfg &dfg,
+                                            int recMii) const;
+
+    /**
+     * Speculative parallel portfolio search over the (II,
+     * ladder-index) attempt grid; deterministically returns the
+     * success of the lexicographically smallest rank, byte-identical
+     * to the sequential scan (DESIGN.md section 8, "Portfolio
+     * search").
+     */
+    std::optional<Mapping> tryMapPortfolio(const Dfg &dfg, int recMii,
+                                           int threads) const;
+
+    struct LadderCache;
 
     const Cgra *fabric;
     MapperOptions opts;
     Router router;
+    /** Lazily built strategyLadder() Mapper instances (never null). */
+    std::unique_ptr<LadderCache> ladder;
 };
 
 } // namespace iced

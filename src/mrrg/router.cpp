@@ -171,6 +171,14 @@ Router::findRoute(const Mrrg &mrrg, TileId src, int ready, TileId dst,
     };
 
     while (!ws.heap.empty()) {
+        // Cooperative cancellation: one pointer test per pop with the
+        // default null token, one extra relaxed load when armed. A
+        // cancelled search is truncated work — the caller discards
+        // the whole attempt, so returning nullopt here is safe.
+        if (ws.cancel.cancelled()) {
+            ++ws.stats.cancelledSearches;
+            return std::nullopt;
+        }
         std::pop_heap(ws.heap.begin(), ws.heap.end(), heap_cmp);
         const HeapNode cur = ws.heap.back();
         ws.heap.pop_back();

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/cancel.hpp"
 #include "mrrg/mrrg.hpp"
 
 namespace iced {
@@ -140,8 +141,21 @@ class Router
             /** Bounded passes that failed pruned and were rerun
              *  unbounded (incremented by the caller). */
             std::uint64_t unboundedReruns = 0;
+            /** Searches abandoned by a fired cancellation token. */
+            std::uint64_t cancelledSearches = 0;
         };
         Stats stats;
+
+        /**
+         * Cooperative cancellation token polled once per Dijkstra heap
+         * pop. A null token (the default) costs one pointer test per
+         * pop; when the token fires mid-search, findRoute() returns
+         * nullopt immediately. A search that may be cancelled no
+         * longer has deterministic output — the caller (the portfolio
+         * mapper's speculative attempts) must discard the whole
+         * attempt's result, see DESIGN.md section 8.
+         */
+        CancelToken cancel;
 
       private:
         friend class Router;

@@ -168,6 +168,53 @@ TEST(Mapper, StartIiBounds)
     EXPECT_GE(mapper.startIi(spmv), 4);     // ceil(15/4) = 4 too
 }
 
+/** Flag sequence of a ladder as "D/C" pairs, e.g. "DC dc". */
+std::string
+ladderSignature(const std::vector<MapperOptions> &ladder)
+{
+    std::string sig;
+    for (const MapperOptions &v : ladder) {
+        if (!sig.empty())
+            sig += ' ';
+        sig += v.dvfsAware ? 'D' : 'd';
+        sig += v.useClusters ? 'C' : 'c';
+    }
+    return sig;
+}
+
+TEST(Mapper, StrategyLadderContents)
+{
+    // Pin the ladder for every dvfsAware x useClusters combination.
+    // The all-normal fallbacks double the ladder only when the
+    // DVFS-aware variants can label below Normal; otherwise the
+    // fallback attempts would be byte-identical rework.
+    Cgra cgra = makeCgra();
+
+    MapperOptions opts; // dvfsAware=true, useClusters=true, lowest=Rest
+    EXPECT_EQ(ladderSignature(Mapper(cgra, opts).strategyLadder()),
+              "DC Dc dC dc");
+
+    opts.useClusters = false;
+    EXPECT_EQ(ladderSignature(Mapper(cgra, opts).strategyLadder()),
+              "Dc dc");
+
+    opts = MapperOptions{};
+    opts.dvfsAware = false;
+    EXPECT_EQ(ladderSignature(Mapper(cgra, opts).strategyLadder()),
+              "dC dc");
+
+    opts.useClusters = false;
+    EXPECT_EQ(ladderSignature(Mapper(cgra, opts).strategyLadder()),
+              "dc");
+
+    // lowestLabel == Normal degenerates labeling to all-Normal: the
+    // fallback variants could not differ, so none are generated.
+    opts = MapperOptions{};
+    opts.labeling.lowestLabel = DvfsLevel::Normal;
+    EXPECT_EQ(ladderSignature(Mapper(cgra, opts).strategyLadder()),
+              "DC Dc");
+}
+
 TEST(Mapper, TryMapAtInfeasibleIiFails)
 {
     Cgra cgra = makeCgra(6);

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Determinism proof of the speculative parallel portfolio search plus
+ * unit coverage of the cancellation primitives it is built on.
+ *
+ * The portfolio contract (DESIGN.md section 8): at every thread count
+ * and speculation window, `tryMap` returns a mapping byte-identical
+ * (`equalMappings`) to the sequential scan — speculation and
+ * cooperative cancellation only change wall clock and wasted-work
+ * metrics, never the result. Pinned here on the Table I suite, the
+ * fuzz-generator corpus, and explicit thread/window sweeps; the TSan
+ * CI job reruns this binary to enforce the attempt-local state
+ * contract.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+#include "exec/cancel.hpp"
+#include "exec/thread_pool.hpp"
+#include "fuzz/generator.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/mapping.hpp"
+#include "mapper/validate.hpp"
+#include "mrrg/router.hpp"
+
+namespace iced {
+namespace {
+
+Cgra
+makeFabric(int n)
+{
+    CgraConfig c;
+    c.rows = n;
+    c.cols = n;
+    c.islandRows = 2;
+    c.islandCols = 2;
+    return Cgra(c);
+}
+
+/**
+ * Map `dfg` sequentially and with the portfolio at each of `threads`,
+ * requiring identical outcomes: same fit/no-fit, and equalMappings()
+ * on success.
+ */
+void
+expectPortfolioMatchesSequential(const Cgra &cgra, const Dfg &dfg,
+                                 const MapperOptions &options,
+                                 std::initializer_list<int> threads,
+                                 const std::string &what)
+{
+    MapperOptions seq = options;
+    seq.mapThreads = 1;
+    const auto sequential = Mapper(cgra, seq).tryMap(dfg);
+    for (int n : threads) {
+        MapperOptions par = options;
+        par.mapThreads = n;
+        const auto parallel = Mapper(cgra, par).tryMap(dfg);
+        ASSERT_EQ(parallel.has_value(), sequential.has_value())
+            << what << " @" << n << " threads";
+        if (sequential) {
+            EXPECT_TRUE(equalMappings(*parallel, *sequential))
+                << what << " @" << n << " threads";
+        }
+    }
+}
+
+TEST(PortfolioMapper, TableOneKernelsMatchSequential)
+{
+    const Cgra cgra = makeFabric(6);
+    for (const Kernel &kernel : kernelRegistry()) {
+        for (int uf = 1; uf <= 2; ++uf) {
+            const Dfg dfg = kernel.build(uf);
+            for (bool dvfs : {false, true}) {
+                MapperOptions options;
+                options.dvfsAware = dvfs;
+                expectPortfolioMatchesSequential(
+                    cgra, dfg, options, {2, 8},
+                    kernel.name + " x" + std::to_string(uf) +
+                        (dvfs ? " iced" : " conventional"));
+            }
+        }
+    }
+}
+
+TEST(PortfolioMapper, FuzzCorpusMatchesSequential)
+{
+    // Same corpus as mapper_determinism_test: 32 generator cases; the
+    // generator flips dvfsAware itself, so both mapper modes must be
+    // exercised — asserted below so a generator change cannot silently
+    // shrink the coverage.
+    constexpr int cases = 32;
+    int dvfs_aware = 0;
+    int conventional = 0;
+    for (int i = 0; i < cases; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(0xD15EA5E, i));
+        (fc.mapper.dvfsAware ? dvfs_aware : conventional) += 1;
+        const Cgra cgra(fc.fabric);
+        expectPortfolioMatchesSequential(
+            cgra, fc.dfg, fc.mapper, {2, 8},
+            "fuzz seed " + std::to_string(fc.seed));
+    }
+    EXPECT_GT(dvfs_aware, 0);
+    EXPECT_GT(conventional, 0);
+}
+
+TEST(PortfolioMapper, DeterministicAcrossThreadsAndWindows)
+{
+    // The chosen mapping must not depend on the parallelism shape:
+    // sweep thread counts and speculation windows on one kernel whose
+    // sequential scan fails several attempts before succeeding.
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("spmv").build(2);
+    const auto sequential = Mapper(cgra, MapperOptions{}).tryMap(dfg);
+    ASSERT_TRUE(sequential.has_value());
+    for (int threads : {2, 3, 8}) {
+        for (int window : {1, 2, 64}) {
+            MapperOptions par;
+            par.mapThreads = threads;
+            par.speculationWindow = window;
+            const auto parallel = Mapper(cgra, par).tryMap(dfg);
+            ASSERT_TRUE(parallel.has_value())
+                << threads << " threads, window " << window;
+            EXPECT_TRUE(equalMappings(*parallel, *sequential))
+                << threads << " threads, window " << window;
+        }
+    }
+}
+
+TEST(PortfolioMapper, PortfolioModeActuallyRuns)
+{
+    // Guard against the portfolio silently degrading to the sequential
+    // path: the runs counter must advance when mapThreads > 1.
+    MetricsRegistry::Counter &runs =
+        MetricsRegistry::global().counter("mapper.portfolio.runs");
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("fir").build(1);
+    MapperOptions par;
+    par.mapThreads = 2;
+    const std::uint64_t before = runs.value();
+    ASSERT_TRUE(Mapper(cgra, par).tryMap(dfg).has_value());
+    EXPECT_GT(runs.value(), before);
+}
+
+TEST(PortfolioMapper, EffectiveMapThreadsResolution)
+{
+    const Cgra cgra = makeFabric(4);
+
+    // Option wins over environment; default (0) consults ICED_MAP_THREADS;
+    // garbage or absent environment falls back to sequential.
+    MapperOptions opts;
+    opts.mapThreads = 3;
+    ASSERT_EQ(setenv("ICED_MAP_THREADS", "7", 1), 0);
+    EXPECT_EQ(Mapper(cgra, opts).effectiveMapThreads(), 3);
+    opts.mapThreads = 0;
+    EXPECT_EQ(Mapper(cgra, opts).effectiveMapThreads(), 7);
+    ASSERT_EQ(setenv("ICED_MAP_THREADS", "banana", 1), 0);
+    EXPECT_EQ(Mapper(cgra, opts).effectiveMapThreads(), 1);
+    ASSERT_EQ(setenv("ICED_MAP_THREADS", "-4", 1), 0);
+    EXPECT_EQ(Mapper(cgra, opts).effectiveMapThreads(), 1);
+    ASSERT_EQ(unsetenv("ICED_MAP_THREADS"), 0);
+    EXPECT_EQ(Mapper(cgra, opts).effectiveMapThreads(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Cancellation primitives.
+// ---------------------------------------------------------------------
+
+TEST(Cancel, TokenObservesSource)
+{
+    CancelToken null_token;
+    EXPECT_FALSE(null_token.cancellable());
+    EXPECT_FALSE(null_token.cancelled());
+
+    CancelSource source;
+    CancelToken token = source.token();
+    EXPECT_TRUE(token.cancellable());
+    EXPECT_FALSE(token.cancelled());
+    source.requestCancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(source.cancelRequested());
+
+    // Tokens outlive every source handle.
+    CancelToken survivor;
+    {
+        CancelSource scoped;
+        survivor = scoped.token();
+        scoped.requestCancel();
+    }
+    EXPECT_TRUE(survivor.cancelled());
+}
+
+TEST(Cancel, RouterSearchObservesToken)
+{
+    // A trivially routable request (one hop to the neighbor) must
+    // fail — and count as cancelled — when the workspace token has
+    // already fired: the token is polled before the first heap pop.
+    const Cgra cgra = makeFabric(2);
+    const Mrrg mrrg(cgra, 2);
+    const Router router;
+    const TileId src = 0;
+    const TileId dst = cgra.neighbor(src, Dir::East);
+    ASSERT_GE(dst, 0);
+
+    double cost = 0.0;
+    Router::Workspace ws;
+    ASSERT_TRUE(router
+                    .findRoute(mrrg, src, 0, dst, 1, cost, {}, &ws)
+                    .has_value());
+    EXPECT_EQ(ws.stats.cancelledSearches, 0u);
+
+    CancelSource source;
+    source.requestCancel();
+    ws.cancel = source.token();
+    EXPECT_FALSE(router
+                     .findRoute(mrrg, src, 0, dst, 1, cost, {}, &ws)
+                     .has_value());
+    EXPECT_EQ(ws.stats.cancelledSearches, 1u);
+}
+
+TEST(Cancel, MapperObservesToken)
+{
+    // A pre-fired whole-call token truncates tryMap on a kernel that
+    // maps fine otherwise: nullopt, promptly, instead of a mapping.
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("fir").build(1);
+    ASSERT_TRUE(Mapper(cgra, MapperOptions{}).tryMap(dfg).has_value());
+
+    CancelSource source;
+    source.requestCancel();
+    MapperOptions opts;
+    opts.cancel = source.token();
+    EXPECT_FALSE(Mapper(cgra, opts).tryMap(dfg).has_value());
+
+    // Same for the portfolio path.
+    opts.mapThreads = 4;
+    EXPECT_FALSE(Mapper(cgra, opts).tryMap(dfg).has_value());
+}
+
+TEST(Cancel, TaskGroupWaitsAndRethrows)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    {
+        TaskGroup group(pool);
+        for (int i = 0; i < 16; ++i)
+            group.spawn([&ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        group.wait();
+        EXPECT_EQ(ran.load(), 16);
+        EXPECT_EQ(group.pendingTasks(), 0u);
+    }
+
+    TaskGroup throwing(pool);
+    throwing.spawn([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(throwing.wait(), std::runtime_error);
+}
+
+TEST(Cancel, TaskGroupTokenReachesTasks)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.cancel();
+    std::atomic<bool> observed{false};
+    group.spawn([&observed](const CancelToken &token) {
+        observed.store(token.cancelled(), std::memory_order_relaxed);
+    });
+    group.wait();
+    EXPECT_TRUE(observed.load());
+}
+
+} // namespace
+} // namespace iced

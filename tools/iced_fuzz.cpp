@@ -42,6 +42,11 @@ usage(std::ostream &os)
           "  --stress-rollback  evaluate every placement candidate twice\n"
           "                     with a transaction rollback in between;\n"
           "                     any divergence is a Map-phase failure\n"
+          "  --map-threads N    portfolio differential: additionally map\n"
+          "                     each case with the parallel portfolio\n"
+          "                     search at N threads; any divergence from\n"
+          "                     the sequential mapping is a Map-phase\n"
+          "                     failure\n"
           "  --no-shrink        report failures without minimizing them\n"
           "  --shrink-budget SEC  per-failure shrink budget (default 30)\n"
           "  --out-dir DIR      write one <seed>.txt dump per shrunk failure\n"
@@ -113,6 +118,14 @@ parse(int argc, char **argv, CliArgs &cli)
             }
         } else if (arg == "--stress-rollback") {
             cli.run.oracle.stressRollback = true;
+        } else if (arg == "--map-threads") {
+            if (!need_value(i))
+                return 2;
+            cli.run.oracle.mapThreads = std::atoi(argv[++i]);
+            if (cli.run.oracle.mapThreads < 1) {
+                std::cerr << "iced_fuzz: --map-threads must be >= 1\n";
+                return 2;
+            }
         } else if (arg == "--no-shrink") {
             cli.run.shrink = false;
         } else if (arg == "--shrink-budget") {

@@ -13,6 +13,12 @@
  * duplicate cells are served by the mapping cache, and results are
  * collected in grid order — stdout is byte-identical at any thread
  * count. Progress/ETA and the runtime summary go to stderr.
+ *
+ * With `--server SOCKET` the grid is offloaded to a running
+ * `iced_serve` instead: one SweepRequest ships every cell, the server
+ * shards it across its pool and serves repeats from its persistent
+ * store, and the result tables are byte-identical to the in-process
+ * path (the codec round-trip preserves `equalMappings` identity).
  */
 #include <iostream>
 
@@ -22,6 +28,7 @@
 #include "kernels/registry.hpp"
 #include "mapper/validate.hpp"
 #include "power/report.hpp"
+#include "service/client.hpp"
 #include "trace/trace_cli.hpp"
 
 using namespace iced;
@@ -87,6 +94,45 @@ printKernelTable(const std::string &name, int unroll,
                  "is better at equal throughput requirements.\n";
 }
 
+/** Run `grid` on a remote iced_serve; results stay in grid order. */
+std::vector<JobResult>
+runOnServer(const std::string &socket_path,
+            const std::vector<JobSpec> &grid)
+{
+    std::vector<RequestCell> cells;
+    cells.reserve(grid.size());
+    for (const JobSpec &spec : grid) {
+        RequestCell cell;
+        cell.config = spec.fabric;
+        cell.options = spec.options;
+        cell.dfg = findKernel(spec.kernel).build(spec.unroll);
+        cells.push_back(std::move(cell));
+    }
+    ServiceClient client(socket_path);
+    const std::vector<MapReplyMsg> replies = client.sweep(cells);
+
+    std::vector<JobResult> results(grid.size());
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+        JobResult &result = results[i];
+        result.spec = grid[i];
+        result.entry = decodeReplyEntry(replies[i]);
+        result.error = replies[i].error;
+        switch (replies[i].status) {
+        case ReplyStatus::Mapped:
+            result.status = JobResult::Status::Mapped;
+            break;
+        case ReplyStatus::NoFit:
+            result.status = JobResult::Status::NoFit;
+            result.error = "no fit";
+            break;
+        default:
+            result.status = JobResult::Status::Failed;
+            break;
+        }
+    }
+    return results;
+}
+
 } // namespace
 
 int
@@ -95,8 +141,18 @@ main(int argc, char **argv)
     TraceCli trace;
     if (!trace.parse(argc, argv))
         return 2;
-    const std::string name = argc > 1 ? argv[1] : "gemm";
-    const int unroll = argc > 2 ? std::atoi(argv[2]) : 1;
+    std::string serverSocket;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--server" && i + 1 < argc)
+            serverSocket = argv[++i];
+        else
+            positional.push_back(arg);
+    }
+    const std::string name = !positional.empty() ? positional[0] : "gemm";
+    const int unroll =
+        positional.size() > 1 ? std::atoi(positional[1].c_str()) : 1;
 
     std::vector<std::string> kernels;
     if (name == "all") {
@@ -122,10 +178,21 @@ main(int argc, char **argv)
     const std::vector<JobSpec> grid = ExperimentRunner::makeGrid(
         kernels, {unroll}, fabrics, {{"iced", MapperOptions{}}});
 
+    std::vector<JobResult> results;
+    if (!serverSocket.empty()) {
+        try {
+            results = runOnServer(serverSocket, grid);
+        } catch (const FatalError &err) {
+            std::cerr << "error: " << err.what() << "\n";
+            return 1;
+        }
+    }
+
     RunnerOptions ropts;
     ropts.progress = true;
     ExperimentRunner runner(ropts);
-    const std::vector<JobResult> results = runner.run(grid);
+    if (serverSocket.empty())
+        results = runner.run(grid);
 
     for (std::size_t k = 0; k < kernels.size(); ++k) {
         if (k > 0)
@@ -139,8 +206,12 @@ main(int argc, char **argv)
                                                fabrics.size())));
     }
 
-    std::cerr << "exec: sweep of " << grid.size() << " cells on "
-              << runner.threads() << " threads; cache "
-              << runner.cache().describeStats() << "\n";
+    if (serverSocket.empty())
+        std::cerr << "exec: sweep of " << grid.size() << " cells on "
+                  << runner.threads() << " threads; cache "
+                  << runner.cache().describeStats() << "\n";
+    else
+        std::cerr << "exec: sweep of " << grid.size()
+                  << " cells served by " << serverSocket << "\n";
     return trace.finish() ? 0 : 1;
 }

@@ -1,0 +1,431 @@
+#include "exec/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+namespace {
+
+constexpr char codecMagic[4] = {'I', 'C', 'M', '\x01'};
+
+/** Outcome discriminator of an encoded entry. */
+enum class Outcome : std::uint8_t { Mapped = 0, NoFit = 1, Error = 2 };
+
+void
+checkIndex(bool ok, const char *what)
+{
+    if (!ok)
+        fatal("codec: inconsistent blob (bad ", what, ")");
+}
+
+} // namespace
+
+void
+Encoder::u32(std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buf.push_back(static_cast<char>(v >> shift));
+}
+
+void
+Encoder::u64(std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buf.push_back(static_cast<char>(v >> shift));
+}
+
+void
+Encoder::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+Encoder::str(std::string_view s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf.append(s.data(), s.size());
+}
+
+void
+Decoder::need(std::size_t n) const
+{
+    if (data.size() - pos < n)
+        fatal("codec: truncated blob (need ", n, " bytes, have ",
+              data.size() - pos, ")");
+}
+
+std::uint8_t
+Decoder::u8()
+{
+    need(1);
+    return static_cast<std::uint8_t>(data[pos++]);
+}
+
+std::uint32_t
+Decoder::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data[pos++]))
+             << shift;
+    return v;
+}
+
+std::uint64_t
+Decoder::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data[pos++]))
+             << shift;
+    return v;
+}
+
+double
+Decoder::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+Decoder::str()
+{
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(data.substr(pos, len));
+    pos += len;
+    return s;
+}
+
+void
+encodeCgraConfig(Encoder &enc, const CgraConfig &config)
+{
+    enc.i32(config.rows);
+    enc.i32(config.cols);
+    enc.i32(config.islandRows);
+    enc.i32(config.islandCols);
+    enc.i32(config.registersPerTile);
+    enc.i32(config.spmBanks);
+    enc.i32(config.spmBytes);
+    enc.boolean(config.memLeftColumnOnly);
+}
+
+CgraConfig
+decodeCgraConfig(Decoder &dec)
+{
+    CgraConfig config;
+    config.rows = dec.i32();
+    config.cols = dec.i32();
+    config.islandRows = dec.i32();
+    config.islandCols = dec.i32();
+    config.registersPerTile = dec.i32();
+    config.spmBanks = dec.i32();
+    config.spmBytes = dec.i32();
+    config.memLeftColumnOnly = dec.boolean();
+    return config;
+}
+
+void
+encodeMapperOptions(Encoder &enc, const MapperOptions &options)
+{
+    enc.boolean(options.dvfsAware);
+    enc.i32(options.maxIiSteps);
+    enc.i32(options.candidateTiles);
+    enc.i32(options.viableCandidates);
+    enc.f64(options.levelMismatchCost);
+    enc.f64(options.newIslandCost);
+    enc.f64(options.latenessCost);
+    enc.f64(options.fanoutTilePenalty);
+    enc.boolean(options.useClusters);
+    enc.boolean(options.referenceEvaluation);
+    enc.boolean(options.stressRollback);
+    enc.i32(options.mapThreads);
+    enc.i32(options.speculationWindow);
+    enc.f64(options.labeling.fillFactor);
+    enc.i32(static_cast<int>(options.labeling.lowestLabel));
+    enc.f64(options.router.hopCost);
+    enc.f64(options.router.waitCost);
+    enc.f64(options.router.coldTilePenalty);
+}
+
+MapperOptions
+decodeMapperOptions(Decoder &dec)
+{
+    MapperOptions options;
+    options.dvfsAware = dec.boolean();
+    options.maxIiSteps = dec.i32();
+    options.candidateTiles = dec.i32();
+    options.viableCandidates = dec.i32();
+    options.levelMismatchCost = dec.f64();
+    options.newIslandCost = dec.f64();
+    options.latenessCost = dec.f64();
+    options.fanoutTilePenalty = dec.f64();
+    options.useClusters = dec.boolean();
+    options.referenceEvaluation = dec.boolean();
+    options.stressRollback = dec.boolean();
+    options.mapThreads = dec.i32();
+    options.speculationWindow = dec.i32();
+    options.labeling.fillFactor = dec.f64();
+    options.labeling.lowestLabel = static_cast<DvfsLevel>(dec.i32());
+    options.router.hopCost = dec.f64();
+    options.router.waitCost = dec.f64();
+    options.router.coldTilePenalty = dec.f64();
+    return options;
+}
+
+void
+encodeDfg(Encoder &enc, const Dfg &dfg)
+{
+    enc.str(dfg.name());
+    enc.u32(static_cast<std::uint32_t>(dfg.nodeCount()));
+    for (const DfgNode &n : dfg.nodes()) {
+        enc.u8(static_cast<std::uint8_t>(n.op));
+        enc.i64(n.imm);
+        enc.str(n.name);
+    }
+    enc.u32(static_cast<std::uint32_t>(dfg.edgeCount()));
+    for (const DfgEdge &e : dfg.edges()) {
+        enc.i32(e.src);
+        enc.i32(e.dst);
+        enc.i32(e.operandIndex);
+        enc.i32(e.distance);
+        enc.i64(e.initValue);
+    }
+}
+
+Dfg
+decodeDfg(Decoder &dec)
+{
+    Dfg dfg(dec.str());
+    const std::uint32_t nodes = dec.u32();
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+        const std::uint8_t op = dec.u8();
+        const std::int64_t imm = dec.i64();
+        std::string name = dec.str();
+        checkIndex(op <= static_cast<std::uint8_t>(Opcode::Route),
+                   "opcode");
+        dfg.addNode(static_cast<Opcode>(op), std::move(name), imm);
+    }
+    const std::uint32_t edges = dec.u32();
+    for (std::uint32_t i = 0; i < edges; ++i) {
+        const NodeId src = dec.i32();
+        const NodeId dst = dec.i32();
+        const int operand = dec.i32();
+        const int distance = dec.i32();
+        const std::int64_t init = dec.i64();
+        checkIndex(src >= 0 && src < dfg.nodeCount() && dst >= 0 &&
+                       dst < dfg.nodeCount(),
+                   "edge endpoint");
+        dfg.addEdge(src, dst, operand, distance, init);
+    }
+    return dfg;
+}
+
+namespace {
+
+void
+encodeRoute(Encoder &enc, const Route &route)
+{
+    enc.i32(route.edge);
+    enc.i32(route.srcTile);
+    enc.i32(route.dstTile);
+    enc.i32(route.readyTime);
+    enc.i32(route.targetTime);
+    enc.i32(route.startTile);
+    enc.i32(route.startTime);
+    enc.u32(static_cast<std::uint32_t>(route.steps.size()));
+    for (const RouteStep &step : route.steps) {
+        enc.u8(step.kind == RouteStep::Kind::Hop ? 1 : 0);
+        enc.i32(step.tile);
+        enc.u8(static_cast<std::uint8_t>(step.dir));
+        enc.i32(step.start);
+        enc.i32(step.duration);
+    }
+}
+
+Route
+decodeRoute(Decoder &dec, int tile_count)
+{
+    Route route;
+    route.edge = dec.i32();
+    route.srcTile = dec.i32();
+    route.dstTile = dec.i32();
+    route.readyTime = dec.i32();
+    route.targetTime = dec.i32();
+    route.startTile = dec.i32();
+    route.startTime = dec.i32();
+    const std::uint32_t steps = dec.u32();
+    route.steps.reserve(steps);
+    for (std::uint32_t i = 0; i < steps; ++i) {
+        RouteStep step;
+        step.kind = dec.u8() != 0 ? RouteStep::Kind::Hop
+                                  : RouteStep::Kind::Wait;
+        step.tile = dec.i32();
+        const std::uint8_t dir = dec.u8();
+        checkIndex(dir < dirCount, "route direction");
+        step.dir = static_cast<Dir>(dir);
+        step.start = dec.i32();
+        step.duration = dec.i32();
+        checkIndex(step.tile >= 0 && step.tile < tile_count &&
+                       step.start >= 0 && step.duration >= 1,
+                   "route step");
+        route.steps.push_back(step);
+    }
+    return route;
+}
+
+/**
+ * Rebuild the mapping's MRRG occupancy by replaying commitments the
+ * way the mapper made them: one FU window per placed node (scaled by
+ * its island's slowdown), one port window per hop, one register hold
+ * per wait. Island levels below Normal are re-assigned so the tables
+ * scale identically; untouched/Normal islands stay unassigned, which
+ * no consumer of a *final* mapping distinguishes (see codec.hpp).
+ */
+void
+replayOccupancy(Mapping &mapping)
+{
+    Mrrg &mrrg = mapping.mrrg();
+    const Cgra &cgra = mapping.cgra();
+    for (IslandId island = 0; island < cgra.islandCount(); ++island) {
+        const DvfsLevel level = mapping.islandLevel(island);
+        if (level != DvfsLevel::Normal) {
+            checkIndex(mrrg.levelUsable(level), "island level");
+            mrrg.assignIsland(island, level);
+        }
+    }
+    for (const DfgNode &n : mapping.dfg().nodes()) {
+        const Placement &p = mapping.placement(n.id);
+        if (!p.valid())
+            continue;
+        checkIndex(p.tile < cgra.tileCount(), "placement tile");
+        const int s = slowdown(mapping.tileLevel(p.tile));
+        checkIndex(mrrg.fuFree(p.tile, p.time, s), "FU occupancy");
+        mrrg.occupyFu(p.tile, p.time, s, n.id);
+    }
+    for (const DfgEdge &e : mapping.dfg().edges()) {
+        const Route &route = mapping.route(e.id);
+        if (route.edge < 0)
+            continue; // unrouted (const input / ordering edge)
+        for (const RouteStep &step : route.steps) {
+            if (step.kind == RouteStep::Kind::Hop) {
+                checkIndex(mrrg.portFree(step.tile, step.dir, step.start,
+                                         step.duration),
+                           "port occupancy");
+                mrrg.occupyPort(step.tile, step.dir, step.start,
+                                step.duration, e.id);
+            } else {
+                checkIndex(mrrg.regAvailable(step.tile, step.start,
+                                             step.start + step.duration),
+                           "register occupancy");
+                mrrg.occupyReg(step.tile, step.start,
+                               step.start + step.duration);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+encodeMappingEntry(const MappingEntry &entry)
+{
+    Encoder enc;
+    enc.str(std::string_view(codecMagic, sizeof codecMagic));
+    enc.u32(codecFormatVersion);
+    encodeCgraConfig(enc, entry.cgra.config());
+    encodeMapperOptions(enc, entry.options);
+    encodeDfg(enc, entry.dfg);
+
+    if (entry.mapped()) {
+        const Mapping &m = *entry.mapping;
+        enc.u8(static_cast<std::uint8_t>(Outcome::Mapped));
+        enc.i32(m.ii());
+        for (NodeId v = 0; v < entry.dfg.nodeCount(); ++v) {
+            enc.i32(m.placement(v).tile);
+            enc.i32(m.placement(v).time);
+        }
+        for (EdgeId e = 0; e < entry.dfg.edgeCount(); ++e)
+            encodeRoute(enc, m.route(e));
+        for (IslandId i = 0; i < entry.cgra.islandCount(); ++i)
+            enc.u8(static_cast<std::uint8_t>(m.islandLevel(i)));
+    } else if (entry.noFit()) {
+        enc.u8(static_cast<std::uint8_t>(Outcome::NoFit));
+    } else {
+        enc.u8(static_cast<std::uint8_t>(Outcome::Error));
+        enc.str(entry.error);
+    }
+    return enc.take();
+}
+
+std::shared_ptr<const MappingEntry>
+decodeMappingEntry(std::string_view bytes)
+{
+    Decoder dec(bytes);
+    const std::string magic = dec.str();
+    if (magic != std::string_view(codecMagic, sizeof codecMagic))
+        fatal("codec: bad magic (not a mapping-entry blob)");
+    const std::uint32_t version = dec.u32();
+    if (version != codecFormatVersion)
+        fatal("codec: format version ", version, " (this build reads ",
+              codecFormatVersion, ")");
+
+    const CgraConfig config = decodeCgraConfig(dec);
+    const MapperOptions options = decodeMapperOptions(dec);
+    Dfg dfg = decodeDfg(dec);
+
+    auto entry =
+        std::make_shared<MappingEntry>(config, std::move(dfg), options);
+    const auto outcome = static_cast<Outcome>(dec.u8());
+    switch (outcome) {
+    case Outcome::NoFit:
+        break;
+    case Outcome::Error:
+        entry->error = dec.str();
+        checkIndex(!entry->error.empty(), "empty error outcome");
+        break;
+    case Outcome::Mapped: {
+        const int ii = dec.i32();
+        checkIndex(ii >= 1, "II");
+        Mapping mapping(entry->cgra, entry->dfg, ii);
+        for (NodeId v = 0; v < entry->dfg.nodeCount(); ++v) {
+            const TileId tile = dec.i32();
+            const int time = dec.i32();
+            if (tile >= 0) {
+                checkIndex(tile < entry->cgra.tileCount() && time >= 0,
+                           "placement");
+                mapping.setPlacement(v, tile, time);
+            }
+        }
+        for (EdgeId e = 0; e < entry->dfg.edgeCount(); ++e)
+            mapping.setRoute(
+                e, decodeRoute(dec, entry->cgra.tileCount()));
+        for (IslandId i = 0; i < entry->cgra.islandCount(); ++i) {
+            const std::uint8_t level = dec.u8();
+            checkIndex(
+                level <= static_cast<std::uint8_t>(DvfsLevel::Normal),
+                "island level");
+            mapping.setIslandLevel(i, static_cast<DvfsLevel>(level));
+        }
+        replayOccupancy(mapping);
+        entry->mapping.emplace(std::move(mapping));
+        break;
+    }
+    default:
+        fatal("codec: unknown outcome tag ",
+              static_cast<int>(outcome));
+    }
+    if (!dec.atEnd())
+        fatal("codec: ", dec.remaining(), " trailing bytes");
+    return entry;
+}
+
+} // namespace iced

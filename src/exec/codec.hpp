@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Versioned binary serialization of mapping requests and results.
+ *
+ * The codec turns a `MappingEntry` — the owned (CgraConfig, Dfg,
+ * MapperOptions) request plus its outcome (mapping / no-fit / error) —
+ * into a self-describing byte blob and back. It is the foundation of
+ * the `PersistentMappingStore` (exec/persistent_store.hpp) and of the
+ * `iced_serve` wire protocol (src/service/wire.hpp): both persist and
+ * ship the same payload format.
+ *
+ * Format: a 4-byte magic ("ICM\1"), a `codecFormatVersion` word, then
+ * tagged little-endian fields written by `Encoder`. Decoding is strict:
+ * a wrong magic, an unknown version, truncation, or any out-of-range
+ * index raises `FatalError` — callers (the store, the server) treat
+ * that as "entry unusable, recompute", never as a crash.
+ *
+ * The decoded `Mapping` is rebuilt by *replay*: placements, routes and
+ * island levels are restored verbatim, and the MRRG occupancy tables
+ * are re-derived by re-occupying every FU window and route step exactly
+ * the way the mapper committed them. Downstream consumers of
+ * `Mapping::mrrg()` (activity stats, power gating, per-tile DVFS) read
+ * only those tables, so a decoded mapping evaluates identically to the
+ * in-process original; the MRRG's internal island-*assignment* state is
+ * not round-tripped (only levels below Normal are re-assigned).
+ *
+ * Versioning: bump `codecFormatVersion` on any wire-format change, and
+ * bump `mappingSchemaVersion` (exec/fingerprint.hpp) with it so on-disk
+ * entries self-invalidate — the bump rule is documented there.
+ */
+#ifndef ICED_EXEC_CODEC_HPP
+#define ICED_EXEC_CODEC_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "exec/mapping_cache.hpp"
+
+namespace iced {
+
+/** Serialization format generation accepted by `decodeMappingEntry`. */
+inline constexpr std::uint32_t codecFormatVersion = 1;
+
+/** Append-only little-endian byte writer. */
+class Encoder
+{
+  public:
+    void u8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v);
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    /** u32 length + raw bytes. */
+    void str(std::string_view s);
+
+    const std::string &bytes() const { return buf; }
+    std::string take() { return std::move(buf); }
+
+  private:
+    std::string buf;
+};
+
+/** Bounds-checked reader over an Encoder-produced buffer.
+ *  @throws FatalError on truncation. */
+class Decoder
+{
+  public:
+    explicit Decoder(std::string_view bytes) : data(bytes) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    bool boolean() { return u8() != 0; }
+    std::string str();
+
+    bool atEnd() const { return pos == data.size(); }
+    std::size_t remaining() const { return data.size() - pos; }
+
+  private:
+    void need(std::size_t n) const;
+
+    std::string_view data;
+    std::size_t pos = 0;
+};
+
+/** @name Component codecs (shared by the store and the wire protocol) */
+///@{
+void encodeCgraConfig(Encoder &enc, const CgraConfig &config);
+CgraConfig decodeCgraConfig(Decoder &dec);
+
+/** Every field except the `cancel` token (a per-call control channel,
+ *  not part of the request — same rationale as the fingerprint). */
+void encodeMapperOptions(Encoder &enc, const MapperOptions &options);
+MapperOptions decodeMapperOptions(Decoder &dec);
+
+void encodeDfg(Encoder &enc, const Dfg &dfg);
+Dfg decodeDfg(Decoder &dec);
+///@}
+
+/** Serialize one memoized result (request + outcome) to a blob. */
+std::string encodeMappingEntry(const MappingEntry &entry);
+
+/**
+ * Rebuild an entry from `bytes` (validating magic/version/structure).
+ * The returned entry owns its Cgra/Dfg; a mapped outcome holds a
+ * replayed `Mapping` whose MRRG occupancy matches the original.
+ *
+ * @throws FatalError when the blob is truncated, version-mismatched,
+ *         or structurally inconsistent with its own request.
+ */
+std::shared_ptr<const MappingEntry> decodeMappingEntry(
+    std::string_view bytes);
+
+} // namespace iced
+
+#endif // ICED_EXEC_CODEC_HPP

@@ -127,6 +127,10 @@ fingerprintMappingRequest(const Dfg &dfg, const CgraConfig &config,
                           const MapperOptions &options)
 {
     Fingerprint fp;
+    // Schema tag first: persisted entries from an older serialization
+    // or mapper generation must self-invalidate (fingerprint.hpp).
+    fp.mix(std::string_view("schema"));
+    fp.mix(static_cast<std::uint64_t>(mappingSchemaVersion));
     mixDfg(fp, dfg);
     mixCgraConfig(fp, config);
     mixMapperOptions(fp, options);

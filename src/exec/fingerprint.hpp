@@ -28,6 +28,24 @@
 
 namespace iced {
 
+/**
+ * Version of the mapping-request/-result semantics, mixed into every
+ * request fingerprint. Because the `PersistentMappingStore` keys
+ * on-disk entries by that fingerprint, bumping this constant makes
+ * every existing entry unreachable (a clean miss, not a corruption):
+ * old files simply stop being looked up and are recomputed.
+ *
+ * Bump rule — increment whenever either changes in a way that alters
+ * results for identical inputs:
+ *  - the binary serialization of `Mapping`/`MappingEntry`
+ *    (`exec/codec.hpp`, see `codecFormatVersion` there), or
+ *  - mapper semantics: any change that can select a different mapping
+ *    for the same (DFG, CgraConfig, MapperOptions) request, including
+ *    new `MapperOptions` fields (which must also be mixed in
+ *    `mixMapperOptions` and serialized in the codec).
+ */
+inline constexpr std::uint32_t mappingSchemaVersion = 1;
+
 /** 128-bit content digest, usable as an unordered_map key. */
 struct Digest
 {

@@ -3,9 +3,48 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace iced {
+
+namespace {
+
+/** Registry mirrors of the memory-tier counters (DESIGN.md §9/§10);
+ *  handles resolved once and cached, per the metrics.hpp contract. */
+struct MemoryTierCounters
+{
+    MetricsRegistry::Counter &hits;
+    MetricsRegistry::Counter &misses;
+    MetricsRegistry::Counter &evictions;
+};
+
+MemoryTierCounters &
+memoryCounters()
+{
+    static MemoryTierCounters counters{
+        MetricsRegistry::global().counter("cache.memory.hits"),
+        MetricsRegistry::global().counter("cache.memory.misses"),
+        MetricsRegistry::global().counter("cache.memory.evictions"),
+    };
+    return counters;
+}
+
+} // namespace
+
+std::string
+toString(CacheSource source)
+{
+    switch (source) {
+    case CacheSource::Memory:
+        return "memory";
+    case CacheSource::Persistent:
+        return "persistent";
+    case CacheSource::Computed:
+        return "computed";
+    }
+    return "?";
+}
 
 std::shared_ptr<const MappingEntry>
 computeMappingEntry(const CgraConfig &config, const Dfg &dfg,
@@ -42,12 +81,13 @@ MappingCache::evictLocked()
         lru.pop_back();
         table.erase(victim);
         evictionCounter.increment();
+        memoryCounters().evictions.increment();
     }
 }
 
 std::shared_ptr<const MappingEntry>
 MappingCache::map(const CgraConfig &config, const Dfg &dfg,
-                  const MapperOptions &options)
+                  const MapperOptions &options, CacheSource *source)
 {
     const Digest key = fingerprintMappingRequest(dfg, config, options);
 
@@ -59,6 +99,7 @@ MappingCache::map(const CgraConfig &config, const Dfg &dfg,
         auto it = table.find(key);
         if (it != table.end()) {
             hitCounter.increment();
+            memoryCounters().hits.increment();
             // Which request hits depends on the schedule (first-come
             // computes), so the instants are opt-in.
             if (TraceSession *ts = TraceSession::active();
@@ -69,6 +110,7 @@ MappingCache::map(const CgraConfig &config, const Dfg &dfg,
             pending = it->second.result;
         } else {
             missCounter.increment();
+            memoryCounters().misses.increment();
             if (TraceSession *ts = TraceSession::active();
                 ts && ts->schedulerEvents())
                 ts->instant("exec", "cache-miss");
@@ -81,13 +123,22 @@ MappingCache::map(const CgraConfig &config, const Dfg &dfg,
         }
     }
 
-    if (!compute)
+    if (!compute) {
+        if (source)
+            *source = CacheSource::Memory;
         return pending.get(); // ready, or blocks on the computing thread
+    }
 
-    // Compute outside the lock so distinct keys map concurrently.
+    // Read through the backing store, then compute, outside the lock
+    // so distinct keys progress concurrently.
     EntryPtr entry;
+    bool fetched = false;
     try {
-        entry = computeMappingEntry(config, dfg, options);
+        if (store)
+            if ((entry = store->fetch(key)))
+                fetched = true;
+        if (!entry)
+            entry = computeMappingEntry(config, dfg, options);
     } catch (...) {
         // Unexpected (PanicError etc.): propagate to every waiter and
         // drop the slot so the bug is not memoized.
@@ -96,17 +147,36 @@ MappingCache::map(const CgraConfig &config, const Dfg &dfg,
         table.erase(key);
         throw;
     }
+    if (source)
+        *source = fetched ? CacheSource::Persistent
+                          : CacheSource::Computed;
+
+    // A compute whose cancellation token fired is truncated: its
+    // verdict (typically "no fit") is not the deterministic answer.
+    // Hand it to the waiters of this one in-flight request, but never
+    // memoize or persist it.
+    const bool truncated = !fetched && options.cancel.cancelled();
+
     mine.set_value(entry);
     {
         std::lock_guard<std::mutex> lock(mtx);
         auto it = table.find(key);
         if (it != table.end()) {
-            it->second.ready = true;
-            lru.push_front(key);
-            it->second.lruPos = lru.begin();
-            evictLocked();
+            if (truncated) {
+                table.erase(it);
+            } else {
+                it->second.ready = true;
+                lru.push_front(key);
+                it->second.lruPos = lru.begin();
+                evictLocked();
+            }
         }
     }
+
+    // Write behind: the result is already published; persisting a
+    // freshly computed entry costs the request path nothing.
+    if (store && !fetched && !truncated)
+        store->store(key, entry);
     return entry;
 }
 

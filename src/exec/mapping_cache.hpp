@@ -19,10 +19,23 @@
  * Thread safety: fully thread-safe. Concurrent requests for the same
  * key are deduplicated — one thread computes, the rest wait on the
  * same shared future. Hit/miss/eviction counts are exposed as
- * `StatCounter`s from common/stats; when tracing is active with
- * `--trace-scheduler-events`, each hit/miss additionally emits a
- * `cache-hit`/`cache-miss` instant (gated because hit-or-miss depends
- * on job interleaving — DESIGN.md section 9).
+ * `StatCounter`s from common/stats *and* mirrored into the
+ * `MetricsRegistry` as `cache.memory.{hits,misses,evictions}`; when
+ * tracing is active with `--trace-scheduler-events`, each hit/miss
+ * additionally emits a `cache-hit`/`cache-miss` instant (gated because
+ * hit-or-miss depends on job interleaving — DESIGN.md section 9).
+ *
+ * Backing store: `attachStore()` plugs a `MappingStore` (in practice
+ * the on-disk `PersistentMappingStore`) underneath the memory tier.
+ * Misses read through it before computing, and freshly computed
+ * entries are written behind — after the result has been published to
+ * every waiter, so disk latency never sits on the request path.
+ *
+ * Cancellation: a compute whose `MapperOptions::cancel` token fired is
+ * *truncated*, not authoritative (DESIGN.md section 8). Its result is
+ * still handed to the deduplicated waiters of that one in-flight
+ * request, but it is never memoized or persisted — the next request
+ * for the key recomputes.
  */
 #ifndef ICED_EXEC_MAPPING_CACHE_HPP
 #define ICED_EXEC_MAPPING_CACHE_HPP
@@ -80,6 +93,42 @@ std::shared_ptr<const MappingEntry> computeMappingEntry(
     const CgraConfig &config, const Dfg &dfg,
     const MapperOptions &options);
 
+/**
+ * Second-level storage tier under the in-memory cache.
+ *
+ * Implementations must be thread-safe: the cache calls `fetch`/`store`
+ * concurrently from whichever threads miss. A fetch that cannot
+ * produce a usable entry (absent, corrupt, version-mismatched) returns
+ * nullptr — never throws — so the cache can always fall back to
+ * recomputing. `PersistentMappingStore` (exec/persistent_store.hpp) is
+ * the on-disk implementation.
+ */
+class MappingStore
+{
+  public:
+    virtual ~MappingStore() = default;
+
+    /** The stored entry for `key`, or nullptr to force a recompute. */
+    virtual std::shared_ptr<const MappingEntry> fetch(
+        const Digest &key) = 0;
+
+    /** Persist `entry` under `key` (best-effort; errors are logged). */
+    virtual void store(const Digest &key,
+                       const std::shared_ptr<const MappingEntry> &entry)
+        = 0;
+};
+
+/** Which tier satisfied a `MappingCache::map` call. */
+enum class CacheSource
+{
+    Memory,     ///< in-memory hit, or deduplicated onto an in-flight
+                ///< compute of the same key
+    Persistent, ///< read through the attached MappingStore
+    Computed,   ///< mapper ran
+};
+
+std::string toString(CacheSource source);
+
 /** Aggregated cache statistics snapshot. */
 struct MappingCacheStats
 {
@@ -106,11 +155,21 @@ class MappingCache
     /**
      * Return the memoized result for this request, computing it on
      * first use. Blocks if another thread is already computing the
-     * same key (counted as a hit: the work was shared).
+     * same key (counted as a hit: the work was shared). When `source`
+     * is non-null it is filled with the tier that produced the result.
      */
     std::shared_ptr<const MappingEntry> map(const CgraConfig &config,
                                             const Dfg &dfg,
-                                            const MapperOptions &options);
+                                            const MapperOptions &options,
+                                            CacheSource *source = nullptr);
+
+    /**
+     * Attach (or detach, with nullptr) the second-level store misses
+     * read through and computed entries are written behind to. The
+     * store must outlive the cache. Not synchronized against in-flight
+     * `map` calls — attach before serving traffic.
+     */
+    void attachStore(MappingStore *backing) { store = backing; }
 
     /** Snapshot of hit/miss/eviction counts. */
     MappingCacheStats stats() const;
@@ -142,6 +201,7 @@ class MappingCache
     std::unordered_map<Digest, Slot, DigestHash> table;
     /** Completed keys, most recently used first. */
     std::list<Digest> lru;
+    MappingStore *store = nullptr;
 
     StatCounter hitCounter{"mapping_cache.hits"};
     StatCounter missCounter{"mapping_cache.misses"};

@@ -1,0 +1,270 @@
+#include "exec/persistent_store.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "exec/codec.hpp"
+
+namespace fs = std::filesystem;
+
+namespace iced {
+
+namespace {
+
+constexpr char storeMagic[4] = {'I', 'C', 'M', 'S'};
+constexpr std::uint32_t storeFormatVersion = 1;
+/** Header: magic + version + payload length + payload checksum. */
+constexpr std::size_t headerBytes = 4 + 4 + 8 + 8;
+
+struct PersistentTierCounters
+{
+    MetricsRegistry::Counter &hits;
+    MetricsRegistry::Counter &misses;
+    MetricsRegistry::Counter &corrupt;
+    MetricsRegistry::Counter &writes;
+};
+
+PersistentTierCounters &
+persistentCounters()
+{
+    static PersistentTierCounters counters{
+        MetricsRegistry::global().counter("cache.persistent.hits"),
+        MetricsRegistry::global().counter("cache.persistent.misses"),
+        MetricsRegistry::global().counter("cache.persistent.corrupt"),
+        MetricsRegistry::global().counter("cache.persistent.writes"),
+    };
+    return counters;
+}
+
+/** FNV-1a over the payload; the corruption detector of entry files. */
+std::uint64_t
+payloadChecksum(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hexDigest(const Digest &key)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string hex(32, '0');
+    for (int i = 0; i < 16; ++i) {
+        const std::uint64_t word = i < 8 ? key.lo : key.hi;
+        const int byte = i % 8;
+        const std::uint8_t v =
+            static_cast<std::uint8_t>(word >> (byte * 8));
+        hex[static_cast<std::size_t>(2 * i)] = digits[v >> 4];
+        hex[static_cast<std::size_t>(2 * i + 1)] = digits[v & 0xf];
+    }
+    return hex;
+}
+
+bool
+isTempFile(const fs::path &path)
+{
+    return path.filename().string().find(".tmp.") != std::string::npos;
+}
+
+long
+processId()
+{
+#ifdef __unix__
+    return static_cast<long>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+} // namespace
+
+PersistentMappingStore::PersistentMappingStore(
+    PersistentStoreOptions options)
+    : opts(std::move(options))
+{
+    fatalIf(opts.directory.empty(),
+            "persistent store: empty directory path");
+    std::error_code ec;
+    fs::create_directories(opts.directory, ec);
+    fatalIf(!fs::is_directory(opts.directory, ec),
+            "persistent store: cannot create directory '",
+            opts.directory, "'");
+    sweepStaleTemps();
+}
+
+fs::path
+PersistentMappingStore::entryPath(const Digest &key) const
+{
+    const std::string hex = hexDigest(key);
+    return fs::path(opts.directory) / hex.substr(0, 2) / (hex + ".icm");
+}
+
+std::shared_ptr<const MappingEntry>
+PersistentMappingStore::fetch(const Digest &key)
+{
+    const fs::path path = entryPath(key);
+    std::string file;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            persistentCounters().misses.increment();
+            return nullptr;
+        }
+        file.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+        if (!in.good() && !in.eof()) {
+            persistentCounters().misses.increment();
+            return nullptr;
+        }
+    }
+
+    auto corrupt = [&](const char *why) {
+        persistentCounters().corrupt.increment();
+        warn("persistent store: dropping corrupt entry ",
+             path.string(), " (", why, ")");
+        std::error_code ec;
+        fs::remove(path, ec);
+        return nullptr;
+    };
+
+    try {
+        Decoder dec(file);
+        if (dec.remaining() < headerBytes)
+            return corrupt("short header");
+        char magic[4];
+        for (char &c : magic)
+            c = static_cast<char>(dec.u8());
+        if (std::string_view(magic, 4) !=
+            std::string_view(storeMagic, 4))
+            return corrupt("bad magic");
+        const std::uint32_t version = dec.u32();
+        if (version != storeFormatVersion)
+            return corrupt("store version mismatch");
+        const std::uint64_t length = dec.u64();
+        const std::uint64_t checksum = dec.u64();
+        if (length != dec.remaining())
+            return corrupt("length mismatch");
+        const std::string_view payload(file.data() + headerBytes,
+                                       static_cast<std::size_t>(length));
+        if (payloadChecksum(payload) != checksum)
+            return corrupt("checksum mismatch");
+        auto entry = decodeMappingEntry(payload);
+        persistentCounters().hits.increment();
+        return entry;
+    } catch (const FatalError &err) {
+        return corrupt(err.what());
+    }
+}
+
+void
+PersistentMappingStore::store(
+    const Digest &key, const std::shared_ptr<const MappingEntry> &entry)
+{
+    const std::string payload = encodeMappingEntry(*entry);
+
+    Encoder enc;
+    for (char c : storeMagic)
+        enc.u8(static_cast<std::uint8_t>(c));
+    enc.u32(storeFormatVersion);
+    enc.u64(payload.size());
+    enc.u64(payloadChecksum(payload));
+
+    const fs::path path = entryPath(key);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+
+    // Unique same-directory temp name: atomically rename()-able, and
+    // never mistaken for an entry by readers.
+    const fs::path tmp =
+        path.string() + ".tmp." + std::to_string(processId()) + "." +
+        std::to_string(
+            tempSeq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("persistent store: cannot write ", tmp.string());
+            return;
+        }
+        out.write(enc.bytes().data(),
+                  static_cast<std::streamsize>(enc.bytes().size()));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        out.flush();
+        if (!out.good()) {
+            warn("persistent store: short write to ", tmp.string());
+            out.close();
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+#ifdef __unix__
+    if (opts.syncWrites) {
+        const int fd = ::open(tmp.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            ::fsync(fd);
+            ::close(fd);
+        }
+    }
+#endif
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("persistent store: rename to ", path.string(),
+             " failed: ", ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+    persistentCounters().writes.increment();
+}
+
+bool
+PersistentMappingStore::contains(const Digest &key) const
+{
+    std::error_code ec;
+    return fs::is_regular_file(entryPath(key), ec);
+}
+
+std::size_t
+PersistentMappingStore::entryCount() const
+{
+    std::size_t count = 0;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(opts.directory, ec),
+         end;
+         !ec && it != end; it.increment(ec))
+        if (it->is_regular_file(ec) && it->path().extension() == ".icm")
+            ++count;
+    return count;
+}
+
+int
+PersistentMappingStore::sweepStaleTemps()
+{
+    int removed = 0;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(opts.directory, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && isTempFile(it->path())) {
+            std::error_code rm;
+            if (fs::remove(it->path(), rm))
+                ++removed;
+        }
+    }
+    return removed;
+}
+
+} // namespace iced

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * On-disk, content-addressed store of memoized mapping results.
+ *
+ * Entries live under a store directory as
+ * `<dir>/<hh>/<32-hex-digest>.icm`, where `<hh>` is the first hex byte
+ * of the digest (256-way sharding keeps directory listings small at
+ * millions of entries). The digest is the request fingerprint from
+ * exec/fingerprint.hpp — which mixes `mappingSchemaVersion`, so a
+ * schema bump makes every old entry an unreachable file rather than a
+ * decode hazard.
+ *
+ * File format: a fixed header (magic "ICMS", store format version,
+ * payload length, FNV-1a checksum of the payload) followed by the
+ * codec blob from `encodeMappingEntry`. Reads verify the header and
+ * checksum and fully decode before returning; any mismatch counts as
+ * *corrupt*, removes the file, and reports a miss so the caller
+ * recomputes — a damaged store degrades to a cold cache, never to
+ * wrong results.
+ *
+ * Write atomicity: `store()` writes to a same-directory temp file
+ * (`.tmp.<pid>.<seq>` suffix) and `rename()`s it into place, so
+ * concurrent readers — including other processes sharing the
+ * directory — observe either the complete entry or none. A crash
+ * mid-write leaves only a `.tmp.` file, which `sweepStaleTemps()`
+ * (run at construction) removes.
+ *
+ * Thread safety: fully thread-safe; the filesystem provides the
+ * synchronization (rename is atomic within a filesystem). Multiple
+ * processes may share one directory; last-writer-wins races write
+ * byte-identical content because the mapper is deterministic.
+ *
+ * Observability: `cache.persistent.{hits,misses,corrupt,writes}`
+ * counters in the global `MetricsRegistry`.
+ */
+#ifndef ICED_EXEC_PERSISTENT_STORE_HPP
+#define ICED_EXEC_PERSISTENT_STORE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "exec/mapping_cache.hpp"
+
+namespace iced {
+
+/** Knobs of the on-disk store. */
+struct PersistentStoreOptions
+{
+    /** Root directory; created (with parents) when missing. */
+    std::string directory;
+    /** fsync entry files before rename (durability vs. latency). */
+    bool syncWrites = false;
+};
+
+/** Content-addressed `MappingStore` backed by a directory tree. */
+class PersistentMappingStore : public MappingStore
+{
+  public:
+    /**
+     * Open (creating if needed) the store at `options.directory` and
+     * sweep leftover temp files from crashed writers.
+     *
+     * @throws FatalError when the directory cannot be created.
+     */
+    explicit PersistentMappingStore(PersistentStoreOptions options);
+
+    /** Decoded entry for `key`, or nullptr (absent or corrupt). */
+    std::shared_ptr<const MappingEntry> fetch(const Digest &key) override;
+
+    /** Atomically persist `entry` under `key` (best-effort). */
+    void store(const Digest &key,
+               const std::shared_ptr<const MappingEntry> &entry) override;
+
+    /** True when a (plausible) entry file exists for `key`. */
+    bool contains(const Digest &key) const;
+
+    /** Number of entry files currently in the store (full scan). */
+    std::size_t entryCount() const;
+
+    /** Remove `.tmp.` leftovers of crashed writers; returns count. */
+    int sweepStaleTemps();
+
+    /** Entry file path for `key` (for tests and tooling). */
+    std::filesystem::path entryPath(const Digest &key) const;
+
+    const std::string &directory() const { return opts.directory; }
+
+  private:
+    PersistentStoreOptions opts;
+    std::atomic<std::uint64_t> tempSeq{0};
+};
+
+} // namespace iced
+
+#endif // ICED_EXEC_PERSISTENT_STORE_HPP

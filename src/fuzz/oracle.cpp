@@ -71,7 +71,17 @@ runCase(const FuzzCase &fc, const OracleOptions &opt)
     MapperOptions mapper_opts = fc.mapper;
     mapper_opts.stressRollback =
         mapper_opts.stressRollback || opt.stressRollback;
+    mapper_opts.cancel = opt.cancel;
     const Mapper mapper(cgra, mapper_opts);
+
+    // A truncated map (the token fired before a verdict) is a skip:
+    // "no fit" from a cancelled run is not authoritative.
+    auto cancelled = [&] {
+        OracleResult r;
+        r.verdict = OracleResult::Verdict::Skip;
+        r.message = "cancelled";
+        return r;
+    };
 
     std::optional<Mapping> mapping;
     try {
@@ -80,6 +90,8 @@ runCase(const FuzzCase &fc, const OracleOptions &opt)
         return failAt(OraclePhase::Map,
                       std::string("mapper raised: ") + e.what());
     }
+    if (!mapping && opt.cancel.cancelled())
+        return cancelled();
 
     // Portfolio differential: the speculative parallel search must
     // reach the byte-identical verdict before the mapping is mutated
@@ -95,6 +107,8 @@ runCase(const FuzzCase &fc, const OracleOptions &opt)
                           std::string("portfolio mapper raised: ") +
                               e.what());
         }
+        if (opt.cancel.cancelled())
+            return cancelled(); // either run may have been truncated
         if (parallel.has_value() != mapping.has_value())
             return failAt(OraclePhase::Map,
                           "portfolio and sequential mapper disagree on"

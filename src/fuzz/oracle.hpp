@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "exec/cancel.hpp"
 #include "fuzz/generator.hpp"
 
 namespace iced {
@@ -58,6 +59,14 @@ struct OracleOptions
      * Map-phase failure (`iced_fuzz --map-threads N`).
      */
     int mapThreads = 1;
+    /**
+     * Cooperative abort, threaded into `MapperOptions::cancel` of every
+     * mapper run. A case whose map was truncated by the token is a
+     * *skip*, never a failure — the verdict is not authoritative (the
+     * same non-memoization rule as exec/mapping_cache.hpp). Used by the
+     * shrinker's time budget to abort a slow in-flight case promptly.
+     */
+    CancelToken cancel;
 };
 
 /** Outcome of one differential run. */

@@ -1,7 +1,10 @@
 #include "fuzz/shrink.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
+#include <thread>
 
 #include "common/logging.hpp"
 
@@ -114,6 +117,52 @@ droppable(const Dfg &d, NodeId id)
     return true;
 }
 
+/**
+ * Fires a CancelSource when a deadline passes or an external token
+ * cancels, polling every few milliseconds; disarmed on destruction.
+ * This is what lets the shrink budget abort the *in-flight* oracle run
+ * instead of only being checked between candidates.
+ */
+class BudgetWatchdog
+{
+  public:
+    BudgetWatchdog(std::chrono::steady_clock::time_point deadline,
+                   CancelToken external)
+        : worker([this, deadline, external] {
+              std::unique_lock<std::mutex> lock(mtx);
+              while (!done) {
+                  if (std::chrono::steady_clock::now() >= deadline ||
+                      external.cancelled()) {
+                      source.requestCancel();
+                      return;
+                  }
+                  cv.wait_for(lock, std::chrono::milliseconds(20),
+                              [this] { return done; });
+              }
+          })
+    {
+    }
+
+    ~BudgetWatchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            done = true;
+        }
+        cv.notify_all();
+        worker.join();
+    }
+
+    CancelToken token() const { return source.token(); }
+
+  private:
+    CancelSource source;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool done = false;
+    std::thread worker;
+};
+
 } // namespace
 
 ShrinkResult
@@ -122,16 +171,20 @@ shrinkCase(const FuzzCase &failing, const OracleOptions &oracle,
 {
     const auto deadline =
         std::chrono::steady_clock::now() + opt.timeBudget;
+    BudgetWatchdog watchdog(deadline, opt.cancel);
+    OracleOptions shrink_oracle = oracle;
+    shrink_oracle.cancel = watchdog.token();
 
     ShrinkResult res;
     res.shrunk = failing;
-    res.failure = runCase(failing, oracle);
+    res.failure = runCase(failing, shrink_oracle);
     if (!res.failure.failed())
         return res; // nothing to shrink; caller asserts on failure
 
     const OraclePhase phase = res.failure.phase;
     auto exhausted = [&] {
         return res.attempts >= opt.maxAttempts ||
+               opt.cancel.cancelled() ||
                std::chrono::steady_clock::now() >= deadline;
     };
 
@@ -145,7 +198,7 @@ shrinkCase(const FuzzCase &failing, const OracleOptions &oracle,
         } catch (const FatalError &) {
             return false; // structurally inapplicable reduction
         }
-        OracleResult r = runCase(cand, oracle);
+        OracleResult r = runCase(cand, shrink_oracle);
         if (r.failed() && r.phase == phase) {
             res.shrunk = std::move(cand);
             res.failure = std::move(r);

@@ -23,10 +23,15 @@ namespace iced {
 struct ShrinkOptions
 {
     /** Wall-clock budget; shrinking stops at the deadline and returns
-     *  the best case found so far. */
+     *  the best case found so far. The deadline also cancels the
+     *  *in-flight* oracle run (via `OracleOptions::cancel`), so one
+     *  slow mapper call cannot overshoot the budget unboundedly. */
     std::chrono::milliseconds timeBudget{30000};
     /** Hard cap on oracle invocations. */
     int maxAttempts = 4000;
+    /** External abort: stops the shrink loop at the next candidate and
+     *  cancels the in-flight oracle run, returning the best-so-far. */
+    CancelToken cancel;
 };
 
 /** Outcome of a shrink run. */

@@ -137,14 +137,41 @@ equalRoutes(const Route &a, const Route &b)
     return true;
 }
 
+/** Field-for-field DFG identity: the "same graph" requirement of
+ *  equalMappings without demanding one shared Dfg instance, so
+ *  decoded/remote mappings compare against in-process ones. */
+bool
+sameDfgStructure(const Dfg &a, const Dfg &b)
+{
+    if (&a == &b)
+        return true;
+    if (a.nodeCount() != b.nodeCount() ||
+        a.edgeCount() != b.edgeCount())
+        return false;
+    for (NodeId v = 0; v < a.nodeCount(); ++v) {
+        const DfgNode &x = a.node(v);
+        const DfgNode &y = b.node(v);
+        if (x.op != y.op || x.imm != y.imm || x.name != y.name)
+            return false;
+    }
+    for (EdgeId e = 0; e < a.edgeCount(); ++e) {
+        const DfgEdge &x = a.edge(e);
+        const DfgEdge &y = b.edge(e);
+        if (x.src != y.src || x.dst != y.dst ||
+            x.operandIndex != y.operandIndex ||
+            x.distance != y.distance || x.initValue != y.initValue)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 bool
 equalMappings(const Mapping &a, const Mapping &b)
 {
-    if (a.ii() != b.ii() || &a.dfg() != &b.dfg() ||
-        a.dfg().nodeCount() != b.dfg().nodeCount() ||
-        a.dfg().edgeCount() != b.dfg().edgeCount())
+    if (a.ii() != b.ii() || !sameDfgStructure(a.dfg(), b.dfg()) ||
+        a.cgra().islandCount() != b.cgra().islandCount())
         return false;
     for (NodeId v = 0; v < a.dfg().nodeCount(); ++v) {
         if (a.placement(v).tile != b.placement(v).tile ||

@@ -88,11 +88,14 @@ class Mapping
 };
 
 /**
- * Structural equality of two mappings built from the same Dfg/Cgra
- * pair: II, every placement, every route (field-for-field, including
- * step lists and branch points), and every island level. Used by the
+ * Structural equality of two mappings of the same graph (the same Dfg
+ * instance, or a field-for-field identical copy — e.g. one decoded
+ * from the exec codec or received over the mapping service): II, every
+ * placement, every route (field-for-field, including step lists and
+ * branch points), and every island level. Used by the
  * optimized-vs-reference determinism checks (`bench_mapper --verify`,
- * `mapper_determinism_test`).
+ * `mapper_determinism_test`) and the service byte-identity gates
+ * (`iced_client --verify`, service-smoke CI).
  */
 bool equalMappings(const Mapping &a, const Mapping &b);
 

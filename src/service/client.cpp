@@ -1,0 +1,91 @@
+#include "service/client.hpp"
+
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+ServiceClient::ServiceClient(const std::string &socket_path)
+    : fd(connectUnix(socket_path))
+{
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Decoder
+ServiceClient::roundTrip(const std::string &request,
+                         MessageType expected_reply)
+{
+    fatalIf(!writeFrame(fd, request),
+            "client: server hung up while sending the request");
+    fatalIf(!readFrame(fd, replyBuf),
+            "client: server hung up before replying");
+    Decoder dec(replyBuf);
+    const std::uint8_t type = dec.u8();
+    if (type == static_cast<std::uint8_t>(MessageType::ErrorResponse))
+        fatal("server error: ", dec.str());
+    fatalIf(type != static_cast<std::uint8_t>(expected_reply),
+            "client: unexpected reply type ", static_cast<int>(type));
+    return dec;
+}
+
+MapReplyMsg
+ServiceClient::map(const RequestCell &cell, std::uint32_t deadline_ms)
+{
+    Decoder dec = roundTrip(buildMapRequest(cell, deadline_ms),
+                            MessageType::MapResponse);
+    MapReplyMsg reply = decodeMapReply(dec);
+    fatalIf(!dec.atEnd(), "client: trailing bytes after MapResponse");
+    return reply;
+}
+
+std::vector<MapReplyMsg>
+ServiceClient::sweep(const std::vector<RequestCell> &cells,
+                     std::uint32_t deadline_ms)
+{
+    Decoder dec = roundTrip(buildSweepRequest(cells, deadline_ms),
+                            MessageType::SweepResponse);
+    const std::uint32_t count = dec.u32();
+    fatalIf(count != cells.size(), "client: sweep reply count ", count,
+            " != request count ", cells.size());
+    std::vector<MapReplyMsg> replies;
+    replies.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        replies.push_back(decodeMapReply(dec));
+    fatalIf(!dec.atEnd(), "client: trailing bytes after SweepResponse");
+    return replies;
+}
+
+std::string
+ServiceClient::stats()
+{
+    Decoder dec =
+        roundTrip(buildStatsRequest(), MessageType::StatsResponse);
+    std::string json = dec.str();
+    fatalIf(!dec.atEnd(), "client: trailing bytes after StatsResponse");
+    return json;
+}
+
+void
+ServiceClient::shutdownServer()
+{
+    Decoder dec =
+        roundTrip(buildShutdownRequest(), MessageType::ShutdownResponse);
+    fatalIf(!dec.atEnd(),
+            "client: trailing bytes after ShutdownResponse");
+}
+
+std::shared_ptr<const MappingEntry>
+decodeReplyEntry(const MapReplyMsg &reply)
+{
+    if (reply.entryBlob.empty())
+        return nullptr;
+    return decodeMappingEntry(reply.entryBlob);
+}
+
+} // namespace iced

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * In-process client for the mapping service.
+ *
+ * `ServiceClient` holds one connection to an `iced_serve` socket and
+ * exposes the protocol as blocking calls: `map` one cell, `sweep` a
+ * batch (the server shards it across its pool), `stats` (the server's
+ * MetricsRegistry JSON), and `shutdownServer` (acknowledged graceful
+ * drain). An `ErrorResponse` from the server is rethrown locally as
+ * `FatalError` with the server's message.
+ *
+ * `decodeReplyEntry` turns a reply's `entryBlob` back into a
+ * `MappingEntry`, whose `Mapping` is `equalMappings`-comparable to a
+ * direct in-process `tryMap` of the same request — the byte-identity
+ * check behind `iced_client --verify` and the service-smoke CI job.
+ *
+ * One client = one connection = one thread. For concurrent traffic,
+ * open one client per thread; the server dedups identical in-flight
+ * requests across connections in its MappingCache.
+ */
+#ifndef ICED_SERVICE_CLIENT_HPP
+#define ICED_SERVICE_CLIENT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace iced {
+
+/** Blocking single-connection client for `iced_serve`. */
+class ServiceClient
+{
+  public:
+    /** Connect to the server socket. @throws FatalError */
+    explicit ServiceClient(const std::string &socket_path);
+
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Map one cell; `deadline_ms` 0 = no deadline. */
+    MapReplyMsg map(const RequestCell &cell,
+                    std::uint32_t deadline_ms = 0);
+
+    /** Map a batch; replies come back in request order. */
+    std::vector<MapReplyMsg> sweep(const std::vector<RequestCell> &cells,
+                                   std::uint32_t deadline_ms = 0);
+
+    /** The server's MetricsRegistry snapshot as JSON. */
+    std::string stats();
+
+    /** Ask the server to drain and exit; returns after the ack. */
+    void shutdownServer();
+
+  private:
+    /** Send one frame, read one frame; unwraps ErrorResponse. */
+    Decoder roundTrip(const std::string &request,
+                      MessageType expected_reply);
+
+    int fd = -1;
+    std::string replyBuf;
+};
+
+/** Decode a reply's `entryBlob` (empty blob → nullptr). */
+std::shared_ptr<const MappingEntry> decodeReplyEntry(
+    const MapReplyMsg &reply);
+
+} // namespace iced
+
+#endif // ICED_SERVICE_CLIENT_HPP

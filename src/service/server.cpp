@@ -1,0 +1,356 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "exec/cancel.hpp"
+
+namespace iced {
+
+namespace {
+
+struct ServiceCounters
+{
+    MetricsRegistry::Counter &mapRequests;
+    MetricsRegistry::Counter &sweepRequests;
+    MetricsRegistry::Counter &statsRequests;
+    MetricsRegistry::Counter &cells;
+    MetricsRegistry::Counter &servedMemory;
+    MetricsRegistry::Counter &servedPersistent;
+    MetricsRegistry::Counter &servedComputed;
+    MetricsRegistry::Counter &deadlineExceeded;
+    MetricsRegistry::Counter &connections;
+    MetricsRegistry::Counter &protocolErrors;
+};
+
+ServiceCounters &
+serviceCounters()
+{
+    static ServiceCounters counters{
+        MetricsRegistry::global().counter("service.requests.map"),
+        MetricsRegistry::global().counter("service.requests.sweep"),
+        MetricsRegistry::global().counter("service.requests.stats"),
+        MetricsRegistry::global().counter("service.cells.total"),
+        MetricsRegistry::global().counter("service.served.memory"),
+        MetricsRegistry::global().counter("service.served.persistent"),
+        MetricsRegistry::global().counter("service.served.computed"),
+        MetricsRegistry::global().counter("service.deadline_exceeded"),
+        MetricsRegistry::global().counter("service.connections"),
+        MetricsRegistry::global().counter("service.protocol_errors"),
+    };
+    return counters;
+}
+
+/**
+ * Arms a CancelSource when `deadline_ms` elapses before destruction.
+ * deadline_ms == 0 means "no deadline" — no watchdog thread at all, so
+ * the common undeadlined request costs nothing extra.
+ */
+class DeadlineGuard
+{
+  public:
+    explicit DeadlineGuard(std::uint32_t deadline_ms)
+    {
+        if (deadline_ms == 0)
+            return;
+        watchdog = std::thread([this, deadline_ms] {
+            std::unique_lock<std::mutex> lock(mtx);
+            const bool finished = cv.wait_for(
+                lock, std::chrono::milliseconds(deadline_ms),
+                [this] { return done; });
+            if (!finished)
+                source.requestCancel();
+        });
+    }
+
+    ~DeadlineGuard()
+    {
+        if (!watchdog.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            done = true;
+        }
+        cv.notify_all();
+        watchdog.join();
+    }
+
+    CancelToken token() const { return source.token(); }
+
+  private:
+    CancelSource source;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool done = false;
+    std::thread watchdog;
+};
+
+void
+countServed(CacheSource source)
+{
+    switch (source) {
+    case CacheSource::Memory:
+        serviceCounters().servedMemory.increment();
+        break;
+    case CacheSource::Persistent:
+        serviceCounters().servedPersistent.increment();
+        break;
+    case CacheSource::Computed:
+        serviceCounters().servedComputed.increment();
+        break;
+    }
+}
+
+} // namespace
+
+MappingServer::MappingServer(ServerOptions options)
+    : opts(std::move(options)),
+      cache(opts.cacheCapacity),
+      pool(opts.threads > 0 ? opts.threads
+                            : ThreadPool::defaultThreadCount())
+{
+    fatalIf(opts.socketPath.empty(), "server: socketPath is required");
+    if (!opts.storeDir.empty()) {
+        diskStore = std::make_unique<PersistentMappingStore>(
+            PersistentStoreOptions{opts.storeDir, opts.syncWrites});
+        cache.attachStore(diskStore.get());
+    }
+    fatalIf(::pipe(wakePipe) != 0, "pipe(): ", std::strerror(errno));
+    listenFd = listenUnix(opts.socketPath, /*backlog=*/16);
+}
+
+MappingServer::~MappingServer()
+{
+    requestStop();
+    wait();
+    if (listenFd >= 0)
+        ::close(listenFd);
+    for (int i = 0; i < 2; ++i)
+        if (wakePipe[i] >= 0)
+            ::close(wakePipe[i]);
+}
+
+void
+MappingServer::start()
+{
+    panicIfNot(!started.load(), "server: start() called twice");
+    started.store(true);
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+MappingServer::requestStop() noexcept
+{
+    if (stopping.exchange(true))
+        return;
+    // Only async-signal-safe calls: iced_serve invokes this from its
+    // SIGTERM handler.
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+}
+
+void
+MappingServer::wait()
+{
+    if (acceptThread.joinable())
+        acceptThread.join();
+    for (;;) {
+        Connection *conn = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(connMtx);
+            for (Connection &c : connections)
+                if (c.worker.joinable()) {
+                    conn = &c;
+                    break;
+                }
+        }
+        if (!conn)
+            break;
+        conn->worker.join();
+    }
+}
+
+std::size_t
+MappingServer::persistentEntryCount() const
+{
+    return diskStore ? diskStore->entryCount() : 0;
+}
+
+void
+MappingServer::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{wakePipe[0], POLLIN, 0}, {listenFd, POLLIN, 0}};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("server: poll(): ", std::strerror(errno));
+            break;
+        }
+        if (fds[0].revents != 0 || stopping.load())
+            break;
+        if ((fds[1].revents & POLLIN) == 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("server: accept(): ", std::strerror(errno));
+            continue;
+        }
+        serviceCounters().connections.increment();
+        std::lock_guard<std::mutex> lock(connMtx);
+        connections.emplace_back();
+        Connection *conn = &connections.back();
+        conn->fd = fd;
+        conn->worker =
+            std::thread([this, conn] { serveConnection(conn); });
+    }
+    // Drain: close the listener (no new connections), remove the
+    // socket file, and wake every connection reader so idle
+    // connections see EOF. In-flight requests still finish and reply:
+    // SHUT_RD only stops further reads.
+    ::close(listenFd);
+    listenFd = -1;
+    ::unlink(opts.socketPath.c_str());
+    std::lock_guard<std::mutex> lock(connMtx);
+    for (Connection &c : connections)
+        if (c.fd >= 0)
+            ::shutdown(c.fd, SHUT_RD);
+}
+
+void
+MappingServer::serveConnection(Connection *conn)
+{
+    const int fd = conn->fd;
+    try {
+        std::string payload;
+        while (readFrame(fd, payload)) {
+            std::string response;
+            try {
+                response = dispatch(payload);
+            } catch (const FatalError &err) {
+                serviceCounters().protocolErrors.increment();
+                response = buildErrorResponse(err.what());
+            }
+            if (!writeFrame(fd, response))
+                break; // peer is gone; nothing left to say
+        }
+    } catch (const FatalError &err) {
+        // Truncated frame or oversized length: the stream is
+        // unparseable from here on, so hang up.
+        serviceCounters().protocolErrors.increment();
+        warn("server: dropping connection: ", err.what());
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        conn->fd = -1;
+    }
+    ::close(fd);
+}
+
+MapReplyMsg
+MappingServer::handleCell(const RequestCell &cell,
+                          const CancelToken &cancel)
+{
+    serviceCounters().cells.increment();
+    MapperOptions options = cell.options;
+    options.cancel = cancel;
+    MapReplyMsg reply;
+    CacheSource source = CacheSource::Computed;
+    const std::shared_ptr<const MappingEntry> entry =
+        cache.map(cell.config, cell.dfg, options, &source);
+    reply.source = source;
+    countServed(source);
+    if (source == CacheSource::Computed && cancel.cancelled() &&
+        !entry->mapped()) {
+        // The compute observed the deadline fire: its no-fit/error
+        // verdict is truncated, not authoritative.
+        serviceCounters().deadlineExceeded.increment();
+        reply.status = ReplyStatus::DeadlineExceeded;
+        reply.error = "deadline exceeded before a verdict";
+        return reply;
+    }
+    if (entry->mapped())
+        reply.status = ReplyStatus::Mapped;
+    else if (entry->failed())
+        reply.status = ReplyStatus::Failed;
+    else
+        reply.status = ReplyStatus::NoFit;
+    reply.error = entry->error;
+    reply.entryBlob = encodeMappingEntry(*entry);
+    return reply;
+}
+
+std::string
+MappingServer::dispatch(const std::string &payload)
+{
+    Decoder dec(payload);
+    const std::uint8_t typeByte = dec.u8();
+    const MessageType type = static_cast<MessageType>(typeByte);
+    const std::uint32_t version = dec.u32();
+    fatalIf(version != wireProtocolVersion,
+            "wire: protocol version mismatch (client v", version,
+            ", server v", wireProtocolVersion, ")");
+    const std::uint32_t deadlineMs = dec.u32();
+
+    switch (type) {
+    case MessageType::MapRequest: {
+        serviceCounters().mapRequests.increment();
+        const RequestCell cell = decodeRequestCell(dec);
+        fatalIf(!dec.atEnd(), "wire: trailing bytes after MapRequest");
+        DeadlineGuard deadline(deadlineMs);
+        return buildMapResponse(handleCell(cell, deadline.token()));
+    }
+    case MessageType::SweepRequest: {
+        serviceCounters().sweepRequests.increment();
+        const std::uint32_t count = dec.u32();
+        std::vector<RequestCell> cells;
+        cells.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            cells.push_back(decodeRequestCell(dec));
+        fatalIf(!dec.atEnd(), "wire: trailing bytes after SweepRequest");
+        DeadlineGuard deadline(deadlineMs);
+        const CancelToken cancel = deadline.token();
+        // Shard the cells across the server pool; replies keep request
+        // order. Identical cells within one sweep (and across
+        // concurrent sweeps) dedup in the MappingCache — only the
+        // first computes, the rest count as Memory.
+        std::vector<MapReplyMsg> replies(cells.size());
+        {
+            TaskGroup group(pool);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                group.spawn([this, &cells, &replies, &cancel, i] {
+                    replies[i] = handleCell(cells[i], cancel);
+                });
+            group.wait();
+        }
+        return buildSweepResponse(replies);
+    }
+    case MessageType::StatsRequest: {
+        serviceCounters().statsRequests.increment();
+        fatalIf(!dec.atEnd(), "wire: trailing bytes after StatsRequest");
+        return buildStatsResponse(MetricsRegistry::global().toJson());
+    }
+    case MessageType::ShutdownRequest: {
+        fatalIf(!dec.atEnd(),
+                "wire: trailing bytes after ShutdownRequest");
+        requestStop();
+        return buildShutdownResponse();
+    }
+    default:
+        fatal("wire: unknown request type ", static_cast<int>(typeByte));
+    }
+}
+
+} // namespace iced

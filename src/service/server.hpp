@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Long-lived mapping server behind `iced_serve`.
+ *
+ * The server owns the full serving stack: a `MappingCache` (request
+ * dedup + in-memory LRU), an optional `PersistentMappingStore`
+ * underneath it (content-addressed on-disk tier, shared across server
+ * restarts), and a `ThreadPool` that sweep requests shard their cells
+ * across. Each client connection gets a handler thread; frames on one
+ * connection are answered in order, so clients may pipeline.
+ *
+ * Deadlines: a request frame carrying `deadlineMs > 0` gets a watchdog
+ * that fires a `CancelSource` when the budget expires; the token is
+ * threaded into `MapperOptions::cancel` for every cell of the frame. A
+ * cell whose compute was truncated answers `DeadlineExceeded` and is
+ * never memoized (exec/mapping_cache.hpp).
+ *
+ * Shutdown: `requestStop()` is async-signal-safe (one pipe write), so
+ * `iced_serve` calls it straight from its SIGTERM/SIGINT handler. The
+ * drain is graceful — the listener closes, in-flight requests run to
+ * completion and their replies are written, then connection readers
+ * are woken with `shutdown(SHUT_RD)` and everything joins in `wait()`.
+ *
+ * Metrics (`service.*`): requests.map / requests.sweep / requests.stats,
+ * cells.total, served.memory / served.persistent / served.computed
+ * (the dedup/persistence observability the smoke test reads),
+ * deadline_exceeded, connections, protocol_errors.
+ */
+#ifndef ICED_SERVICE_SERVER_HPP
+#define ICED_SERVICE_SERVER_HPP
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/mapping_cache.hpp"
+#include "exec/persistent_store.hpp"
+#include "exec/thread_pool.hpp"
+#include "service/wire.hpp"
+
+namespace iced {
+
+struct ServerOptions
+{
+    std::string socketPath;
+    /** Persistent store directory; empty = memory-only serving. */
+    std::string storeDir;
+    /** Sweep-sharding pool size; 0 = ThreadPool::defaultThreadCount. */
+    int threads = 0;
+    std::size_t cacheCapacity = 512;
+    bool syncWrites = false;
+};
+
+/** The `iced_serve` accept/dispatch engine. */
+class MappingServer
+{
+  public:
+    /** Opens the store (when configured) and binds the socket.
+     *  @throws FatalError when either fails. */
+    explicit MappingServer(ServerOptions options);
+
+    /** Stops and drains (blocking) if still running. */
+    ~MappingServer();
+
+    MappingServer(const MappingServer &) = delete;
+    MappingServer &operator=(const MappingServer &) = delete;
+
+    /** Start the accept loop. Returns immediately. */
+    void start();
+
+    /**
+     * Begin a graceful drain: stop accepting, let in-flight requests
+     * finish and reply, then hang up. Async-signal-safe (a single
+     * `write` on an internal pipe); idempotent.
+     */
+    void requestStop() noexcept;
+
+    /** Block until the drain completed and every thread joined. */
+    void wait();
+
+    const std::string &socketPath() const { return opts.socketPath; }
+
+    /** Entries in the persistent tier (0 when memory-only). */
+    std::size_t persistentEntryCount() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread worker;
+    };
+
+    void acceptLoop();
+    void serveConnection(Connection *conn);
+    /** Handle one request frame; returns the response payload. */
+    std::string dispatch(const std::string &payload);
+    MapReplyMsg handleCell(const RequestCell &cell,
+                           const CancelToken &cancel);
+
+    ServerOptions opts;
+    std::unique_ptr<PersistentMappingStore> diskStore;
+    MappingCache cache;
+    ThreadPool pool;
+
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1};
+    std::thread acceptThread;
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> started{false};
+
+    std::mutex connMtx;
+    std::list<Connection> connections;
+};
+
+} // namespace iced
+
+#endif // ICED_SERVICE_SERVER_HPP

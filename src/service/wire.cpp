@@ -1,0 +1,293 @@
+#include "service/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace iced {
+
+std::string
+toString(ReplyStatus status)
+{
+    switch (status) {
+    case ReplyStatus::Mapped:
+        return "mapped";
+    case ReplyStatus::NoFit:
+        return "no-fit";
+    case ReplyStatus::Failed:
+        return "failed";
+    case ReplyStatus::DeadlineExceeded:
+        return "deadline-exceeded";
+    }
+    return "?";
+}
+
+void
+encodeRequestCell(Encoder &enc, const RequestCell &cell)
+{
+    encodeCgraConfig(enc, cell.config);
+    encodeMapperOptions(enc, cell.options);
+    encodeDfg(enc, cell.dfg);
+}
+
+RequestCell
+decodeRequestCell(Decoder &dec)
+{
+    RequestCell cell;
+    cell.config = decodeCgraConfig(dec);
+    cell.options = decodeMapperOptions(dec);
+    cell.dfg = decodeDfg(dec);
+    return cell;
+}
+
+namespace {
+
+Encoder
+requestHeader(MessageType type, std::uint32_t deadline_ms)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(type));
+    enc.u32(wireProtocolVersion);
+    enc.u32(deadline_ms);
+    return enc;
+}
+
+} // namespace
+
+std::string
+buildMapRequest(const RequestCell &cell, std::uint32_t deadline_ms)
+{
+    Encoder enc = requestHeader(MessageType::MapRequest, deadline_ms);
+    encodeRequestCell(enc, cell);
+    return enc.take();
+}
+
+std::string
+buildSweepRequest(const std::vector<RequestCell> &cells,
+                  std::uint32_t deadline_ms)
+{
+    Encoder enc = requestHeader(MessageType::SweepRequest, deadline_ms);
+    enc.u32(static_cast<std::uint32_t>(cells.size()));
+    for (const RequestCell &cell : cells)
+        encodeRequestCell(enc, cell);
+    return enc.take();
+}
+
+std::string
+buildStatsRequest()
+{
+    return requestHeader(MessageType::StatsRequest, 0).take();
+}
+
+std::string
+buildShutdownRequest()
+{
+    return requestHeader(MessageType::ShutdownRequest, 0).take();
+}
+
+void
+encodeMapReply(Encoder &enc, const MapReplyMsg &reply)
+{
+    enc.u8(static_cast<std::uint8_t>(reply.status));
+    enc.u8(static_cast<std::uint8_t>(reply.source));
+    enc.str(reply.error);
+    enc.str(reply.entryBlob);
+}
+
+MapReplyMsg
+decodeMapReply(Decoder &dec)
+{
+    MapReplyMsg reply;
+    const std::uint8_t status = dec.u8();
+    fatalIf(status >
+                static_cast<std::uint8_t>(ReplyStatus::DeadlineExceeded),
+            "wire: bad reply status ", static_cast<int>(status));
+    reply.status = static_cast<ReplyStatus>(status);
+    const std::uint8_t source = dec.u8();
+    fatalIf(source > static_cast<std::uint8_t>(CacheSource::Computed),
+            "wire: bad reply source ", static_cast<int>(source));
+    reply.source = static_cast<CacheSource>(source);
+    reply.error = dec.str();
+    reply.entryBlob = dec.str();
+    return reply;
+}
+
+std::string
+buildMapResponse(const MapReplyMsg &reply)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::MapResponse));
+    encodeMapReply(enc, reply);
+    return enc.take();
+}
+
+std::string
+buildSweepResponse(const std::vector<MapReplyMsg> &replies)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::SweepResponse));
+    enc.u32(static_cast<std::uint32_t>(replies.size()));
+    for (const MapReplyMsg &reply : replies)
+        encodeMapReply(enc, reply);
+    return enc.take();
+}
+
+std::string
+buildStatsResponse(const std::string &metrics_json)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::StatsResponse));
+    enc.str(metrics_json);
+    return enc.take();
+}
+
+std::string
+buildShutdownResponse()
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::ShutdownResponse));
+    return enc.take();
+}
+
+std::string
+buildErrorResponse(const std::string &message)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::ErrorResponse));
+    enc.str(message);
+    return enc.take();
+}
+
+namespace {
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    fatalIf(path.size() + 1 > sizeof addr.sun_path,
+            "unix socket path too long (", path.size(), " > ",
+            sizeof addr.sun_path - 1, "): ", path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** Write all of `data`; false when the peer vanished. */
+bool
+writeFull(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        // MSG_NOSIGNAL: a vanished peer is a return value, not SIGPIPE.
+        const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** 1 = read all, 0 = clean EOF at the first byte, -1 = mid-way EOF. */
+int
+readFull(int fd, char *data, std::size_t size)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd, data + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return got == 0 ? 0 : -1;
+        }
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<std::size_t>(n);
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, int backlog)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "socket(): ", std::strerror(errno));
+    const sockaddr_un addr = unixAddress(path);
+    // A previous server instance that crashed leaves the socket file
+    // behind; a live one holds the bind, which we then report.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) < 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        fatal("bind(", path, "): ", reason);
+    }
+    if (::listen(fd, backlog) < 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        ::unlink(path.c_str());
+        fatal("listen(", path, "): ", reason);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "socket(): ", std::strerror(errno));
+    const sockaddr_un addr = unixAddress(path);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        fatal("connect(", path, "): ", reason,
+              " — is iced_serve running?");
+    }
+    return fd;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    fatalIf(payload.size() > maxFramePayload,
+            "wire: frame payload of ", payload.size(),
+            " bytes exceeds the ", maxFramePayload, " cap");
+    Encoder prefix;
+    prefix.u32(static_cast<std::uint32_t>(payload.size()));
+    return writeFull(fd, prefix.bytes().data(), prefix.bytes().size()) &&
+           writeFull(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    char prefix[4];
+    const int got = readFull(fd, prefix, sizeof prefix);
+    if (got == 0)
+        return false;
+    fatalIf(got < 0, "wire: connection closed inside a frame header");
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(
+                      static_cast<std::uint8_t>(prefix[i]))
+                  << (i * 8);
+    fatalIf(length > maxFramePayload, "wire: frame length ", length,
+            " exceeds the ", maxFramePayload, " cap");
+    payload.resize(length);
+    if (length > 0)
+        fatalIf(readFull(fd, payload.data(), length) != 1,
+                "wire: connection closed inside a frame body");
+    return true;
+}
+
+} // namespace iced

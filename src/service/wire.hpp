@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Wire protocol of the mapping service (`iced_serve`).
+ *
+ * Transport: a SOCK_STREAM Unix-domain socket carrying *frames*. Each
+ * frame is a 4-byte little-endian payload length followed by that many
+ * payload bytes (capped at `maxFramePayload` as a protocol-error
+ * backstop). One request frame yields exactly one response frame, in
+ * order, so a client may pipeline requests on one connection.
+ *
+ * Payload: one `MessageType` byte, then — for requests — a
+ * `wireProtocolVersion` word, then the message body built from the
+ * exec codec primitives (exec/codec.hpp). Request bodies ship the
+ * *full request content* (CgraConfig + MapperOptions + DFG), never a
+ * name: the server is kernel-registry-agnostic and fingerprints
+ * exactly what it receives, so client and server agree on the cache
+ * key by construction.
+ *
+ * Deadlines: requests carry `deadlineMs` (0 = none), the server-side
+ * compute budget for the whole frame. A request whose budget expires
+ * mid-compute answers `ReplyStatus::DeadlineExceeded`; the truncated
+ * verdict is never cached (exec/mapping_cache.hpp).
+ *
+ * See docs/SERVICE.md for the full walkthrough with byte layouts.
+ */
+#ifndef ICED_SERVICE_WIRE_HPP
+#define ICED_SERVICE_WIRE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/codec.hpp"
+
+namespace iced {
+
+/** Bump on any incompatible framing/message change. */
+inline constexpr std::uint32_t wireProtocolVersion = 1;
+
+/** Sanity cap on one frame's payload (64 MiB). */
+inline constexpr std::uint32_t maxFramePayload = 64u << 20;
+
+/** First payload byte of every frame. */
+enum class MessageType : std::uint8_t
+{
+    MapRequest = 0x01,
+    SweepRequest = 0x02,
+    StatsRequest = 0x03,
+    ShutdownRequest = 0x04,
+    MapResponse = 0x81,
+    SweepResponse = 0x82,
+    StatsResponse = 0x83,
+    ShutdownResponse = 0x84,
+    ErrorResponse = 0xff,
+};
+
+/** One mapping request: everything the fingerprint covers. */
+struct RequestCell
+{
+    CgraConfig config;
+    MapperOptions options; ///< `cancel` is never transmitted
+    Dfg dfg;
+};
+
+/** Outcome class of one served cell. */
+enum class ReplyStatus : std::uint8_t
+{
+    Mapped = 0,           ///< reply carries a mapping
+    NoFit = 1,            ///< deterministic "no II in range fits"
+    Failed = 2,           ///< mapper FatalError (message in `error`)
+    DeadlineExceeded = 3, ///< budget expired before a verdict
+};
+
+std::string toString(ReplyStatus status);
+
+/** One served cell: outcome, serving tier, and the entry blob. */
+struct MapReplyMsg
+{
+    ReplyStatus status = ReplyStatus::Failed;
+    CacheSource source = CacheSource::Computed;
+    std::string error;     ///< set for Failed / DeadlineExceeded
+    std::string entryBlob; ///< encodeMappingEntry payload; may be empty
+                           ///< for DeadlineExceeded
+};
+
+/** @name Request/response payload builders and parsers
+ *
+ * Builders return a complete frame *payload* (type byte included);
+ * parsers consume one and throw `FatalError` on malformed input.
+ * `decodeRequestCell`/`encodeRequestCell` are shared by both message
+ * kinds.
+ */
+///@{
+void encodeRequestCell(Encoder &enc, const RequestCell &cell);
+RequestCell decodeRequestCell(Decoder &dec);
+
+std::string buildMapRequest(const RequestCell &cell,
+                            std::uint32_t deadline_ms);
+std::string buildSweepRequest(const std::vector<RequestCell> &cells,
+                              std::uint32_t deadline_ms);
+std::string buildStatsRequest();
+std::string buildShutdownRequest();
+
+std::string buildMapResponse(const MapReplyMsg &reply);
+std::string buildSweepResponse(const std::vector<MapReplyMsg> &replies);
+std::string buildStatsResponse(const std::string &metrics_json);
+std::string buildShutdownResponse();
+std::string buildErrorResponse(const std::string &message);
+
+void encodeMapReply(Encoder &enc, const MapReplyMsg &reply);
+MapReplyMsg decodeMapReply(Decoder &dec);
+///@}
+
+/** @name Socket plumbing (POSIX) */
+///@{
+/** Bind + listen on a Unix socket at `path`. @throws FatalError */
+int listenUnix(const std::string &path, int backlog);
+
+/** Connect to the Unix socket at `path`. @throws FatalError */
+int connectUnix(const std::string &path);
+
+/**
+ * Write one frame (length prefix + payload). Returns false when the
+ * peer is gone (EPIPE/reset); throws FatalError on oversized payloads.
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one frame's payload. Returns false on clean EOF before a frame
+ * starts; throws FatalError on truncated frames or oversized lengths.
+ */
+bool readFrame(int fd, std::string &payload);
+///@}
+
+} // namespace iced
+
+#endif // ICED_SERVICE_WIRE_HPP

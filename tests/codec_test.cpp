@@ -1,0 +1,191 @@
+#include "exec/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/validate.hpp"
+
+namespace iced {
+namespace {
+
+CgraConfig
+smallFabric()
+{
+    CgraConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.islandRows = 2;
+    config.islandCols = 2;
+    return config;
+}
+
+TEST(CodecPrimitivesTest, RoundTripsEveryScalarKind)
+{
+    Encoder enc;
+    enc.u8(0xab);
+    enc.u32(0xdeadbeef);
+    enc.u64(0x0123456789abcdefull);
+    enc.i32(-42);
+    enc.i64(-1234567890123ll);
+    enc.f64(3.25);
+    enc.boolean(true);
+    enc.str("hello");
+    enc.str("");
+
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.u8(), 0xab);
+    EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+    EXPECT_EQ(dec.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(dec.i32(), -42);
+    EXPECT_EQ(dec.i64(), -1234567890123ll);
+    EXPECT_DOUBLE_EQ(dec.f64(), 3.25);
+    EXPECT_TRUE(dec.boolean());
+    EXPECT_EQ(dec.str(), "hello");
+    EXPECT_EQ(dec.str(), "");
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(CodecPrimitivesTest, DecoderThrowsOnTruncation)
+{
+    Encoder enc;
+    enc.u32(7);
+    Decoder dec(enc.bytes());
+    dec.u32();
+    EXPECT_THROW(dec.u8(), FatalError);
+}
+
+TEST(CodecComponentTest, RoundTripsCgraConfig)
+{
+    CgraConfig config = smallFabric();
+    config.registersPerTile = 7;
+    config.spmBanks = 3;
+    config.spmBytes = 8192;
+    config.memLeftColumnOnly = false;
+    Encoder enc;
+    encodeCgraConfig(enc, config);
+    Decoder dec(enc.bytes());
+    const CgraConfig back = decodeCgraConfig(dec);
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(back.rows, config.rows);
+    EXPECT_EQ(back.cols, config.cols);
+    EXPECT_EQ(back.islandRows, config.islandRows);
+    EXPECT_EQ(back.islandCols, config.islandCols);
+    EXPECT_EQ(back.registersPerTile, config.registersPerTile);
+    EXPECT_EQ(back.spmBanks, config.spmBanks);
+    EXPECT_EQ(back.spmBytes, config.spmBytes);
+    EXPECT_EQ(back.memLeftColumnOnly, config.memLeftColumnOnly);
+}
+
+TEST(CodecComponentTest, RoundTrippedOptionsKeepTheFingerprint)
+{
+    MapperOptions options;
+    options.dvfsAware = false;
+    options.maxIiSteps = 9;
+    options.levelMismatchCost = 1.75;
+    options.labeling.fillFactor += 0.125;
+    options.router.hopCost += 0.5;
+    Encoder enc;
+    encodeMapperOptions(enc, options);
+    Decoder dec(enc.bytes());
+    const MapperOptions back = decodeMapperOptions(dec);
+    EXPECT_TRUE(dec.atEnd());
+
+    const Dfg dfg = findKernel("relu").build(1);
+    EXPECT_EQ(fingerprintMappingRequest(dfg, smallFabric(), options),
+              fingerprintMappingRequest(dfg, smallFabric(), back));
+}
+
+TEST(CodecComponentTest, RoundTrippedDfgKeepsTheFingerprint)
+{
+    const Dfg dfg = findKernel("gemm").build(2);
+    Encoder enc;
+    encodeDfg(enc, dfg);
+    Decoder dec(enc.bytes());
+    const Dfg back = decodeDfg(dec);
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(back.nodeCount(), dfg.nodeCount());
+    EXPECT_EQ(back.edgeCount(), dfg.edgeCount());
+    EXPECT_EQ(back.name(), dfg.name());
+    EXPECT_EQ(
+        fingerprintMappingRequest(dfg, smallFabric(), MapperOptions{}),
+        fingerprintMappingRequest(back, smallFabric(), MapperOptions{}));
+}
+
+TEST(CodecEntryTest, RoundTripsAMappedEntryByteIdentically)
+{
+    const Dfg dfg = findKernel("fir").build(1);
+    const auto entry =
+        computeMappingEntry(smallFabric(), dfg, MapperOptions{});
+    ASSERT_TRUE(entry->mapped());
+
+    const std::string blob = encodeMappingEntry(*entry);
+    const auto back = decodeMappingEntry(blob);
+    ASSERT_TRUE(back->mapped());
+    EXPECT_TRUE(equalMappings(*entry->mapping, *back->mapping));
+    // The decoded mapping references the decoded entry's own copies.
+    EXPECT_EQ(&back->mapping->cgra(), &back->cgra);
+    EXPECT_EQ(&back->mapping->dfg(), &back->dfg);
+    // Replayed occupancy passes the independent validator, so the
+    // decoded mapping evaluates like the original downstream.
+    EXPECT_TRUE(checkMapping(*back->mapping).empty());
+    // Encoding is deterministic: the same entry yields the same bytes.
+    EXPECT_EQ(blob, encodeMappingEntry(*back));
+}
+
+TEST(CodecEntryTest, RoundTripsNoFitAndFailedOutcomes)
+{
+    CgraConfig tiny;
+    tiny.rows = tiny.cols = 2;
+    tiny.islandRows = tiny.islandCols = 1;
+    MapperOptions options;
+    options.maxIiSteps = 0;
+    const auto nofit = computeMappingEntry(
+        tiny, findKernel("gemm").build(2), options);
+    ASSERT_TRUE(nofit->noFit());
+    const auto nofitBack = decodeMappingEntry(encodeMappingEntry(*nofit));
+    EXPECT_TRUE(nofitBack->noFit());
+
+    Dfg broken("broken");
+    const NodeId a = broken.addNode(Opcode::Add, "a");
+    broken.addEdge(a, a, 0, 1);
+    const auto failed =
+        computeMappingEntry(smallFabric(), broken, MapperOptions{});
+    ASSERT_TRUE(failed->failed());
+    const auto failedBack =
+        decodeMappingEntry(encodeMappingEntry(*failed));
+    EXPECT_TRUE(failedBack->failed());
+    EXPECT_EQ(failedBack->error, failed->error);
+}
+
+TEST(CodecEntryTest, RejectsCorruptBlobs)
+{
+    const Dfg dfg = findKernel("relu").build(1);
+    const auto entry =
+        computeMappingEntry(smallFabric(), dfg, MapperOptions{});
+    const std::string blob = encodeMappingEntry(*entry);
+
+    // Bad magic.
+    std::string bad = blob;
+    bad[0] = 'X';
+    EXPECT_THROW(decodeMappingEntry(bad), FatalError);
+
+    // Unknown version.
+    bad = blob;
+    bad[4] = static_cast<char>(0x7f);
+    EXPECT_THROW(decodeMappingEntry(bad), FatalError);
+
+    // Truncation at every prefix must throw, never crash.
+    for (std::size_t len : {std::size_t{0}, std::size_t{3},
+                            std::size_t{8}, blob.size() / 2,
+                            blob.size() - 1})
+        EXPECT_THROW(decodeMappingEntry(blob.substr(0, len)),
+                     FatalError)
+            << "prefix length " << len;
+
+    // Trailing garbage is inconsistent, not silently ignored.
+    EXPECT_THROW(decodeMappingEntry(blob + "zz"), FatalError);
+}
+
+} // namespace
+} // namespace iced

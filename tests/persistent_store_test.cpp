@@ -1,0 +1,229 @@
+#include "exec/persistent_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/metrics.hpp"
+#include "exec/codec.hpp"
+#include "kernels/registry.hpp"
+
+namespace iced {
+namespace {
+
+namespace fs = std::filesystem;
+
+CgraConfig
+smallFabric()
+{
+    CgraConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.islandRows = 2;
+    config.islandCols = 2;
+    return config;
+}
+
+/** Fresh per-test store directory under the build tree. */
+class PersistentStoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = fs::temp_directory_path() /
+              ("iced_store_test_" +
+               std::string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name()));
+        fs::remove_all(dir);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    PersistentStoreOptions options() const
+    {
+        return PersistentStoreOptions{dir.string(), false};
+    }
+
+    fs::path dir;
+};
+
+Digest
+requestKey(const CgraConfig &config, const Dfg &dfg,
+           const MapperOptions &options)
+{
+    return fingerprintMappingRequest(dfg, config, options);
+}
+
+TEST_F(PersistentStoreTest, StoreThenFetchRoundTripsByteIdentically)
+{
+    PersistentMappingStore store(options());
+    const Dfg dfg = findKernel("fir").build(1);
+    const auto entry =
+        computeMappingEntry(smallFabric(), dfg, MapperOptions{});
+    ASSERT_TRUE(entry->mapped());
+    const Digest key = requestKey(smallFabric(), dfg, MapperOptions{});
+
+    EXPECT_FALSE(store.contains(key));
+    store.store(key, entry);
+    EXPECT_TRUE(store.contains(key));
+    EXPECT_EQ(store.entryCount(), 1u);
+
+    const auto back = store.fetch(key);
+    ASSERT_NE(back, nullptr);
+    ASSERT_TRUE(back->mapped());
+    EXPECT_TRUE(equalMappings(*entry->mapping, *back->mapping));
+    EXPECT_EQ(encodeMappingEntry(*entry), encodeMappingEntry(*back));
+}
+
+TEST_F(PersistentStoreTest, SecondStoreInstanceSharesEntries)
+{
+    // Two instances on one directory model two processes sharing the
+    // store: what one wrote the other serves, byte-identically.
+    const Dfg dfg = findKernel("relu").build(1);
+    const auto entry =
+        computeMappingEntry(smallFabric(), dfg, MapperOptions{});
+    const Digest key = requestKey(smallFabric(), dfg, MapperOptions{});
+    {
+        PersistentMappingStore writer(options());
+        writer.store(key, entry);
+    }
+    PersistentMappingStore reader(options());
+    const auto back = reader.fetch(key);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(encodeMappingEntry(*entry), encodeMappingEntry(*back));
+}
+
+TEST_F(PersistentStoreTest, FetchMissesOnAbsentKey)
+{
+    PersistentMappingStore store(options());
+    const Dfg dfg = findKernel("relu").build(1);
+    EXPECT_EQ(store.fetch(requestKey(smallFabric(), dfg,
+                                     MapperOptions{})),
+              nullptr);
+}
+
+TEST_F(PersistentStoreTest, SweepsCrashedWriterTempFilesAtStartup)
+{
+    // A crash mid-write leaves a .tmp. file and no entry. A new store
+    // on the directory must clean it up and still report a cold miss.
+    const Dfg dfg = findKernel("relu").build(1);
+    const Digest key = requestKey(smallFabric(), dfg, MapperOptions{});
+    fs::path entry;
+    {
+        PersistentMappingStore store(options());
+        entry = store.entryPath(key);
+    }
+    fs::create_directories(entry.parent_path());
+    const fs::path stale =
+        entry.parent_path() / "deadbeef.icm.tmp.123.7";
+    std::ofstream(stale) << "partial write";
+    ASSERT_TRUE(fs::exists(stale));
+
+    PersistentMappingStore store(options());
+    EXPECT_FALSE(fs::exists(stale)); // swept at construction
+    EXPECT_EQ(store.entryCount(), 0u);
+    EXPECT_EQ(store.fetch(key), nullptr);
+}
+
+TEST_F(PersistentStoreTest, CorruptEntryIsRejectedRemovedAndCounted)
+{
+    PersistentMappingStore store(options());
+    const Dfg dfg = findKernel("fir").build(1);
+    const auto entry =
+        computeMappingEntry(smallFabric(), dfg, MapperOptions{});
+    const Digest key = requestKey(smallFabric(), dfg, MapperOptions{});
+    store.store(key, entry);
+
+    // Flip one payload byte on disk.
+    const fs::path path = store.entryPath(key);
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(-1, std::ios::end);
+    const char flipped = static_cast<char>(~file.peek());
+    file.write(&flipped, 1);
+    file.close();
+
+    const std::uint64_t corrupt_before =
+        MetricsRegistry::global().counter("cache.persistent.corrupt")
+            .value();
+    EXPECT_EQ(store.fetch(key), nullptr);
+    EXPECT_EQ(MetricsRegistry::global()
+                  .counter("cache.persistent.corrupt")
+                  .value(),
+              corrupt_before + 1);
+    EXPECT_FALSE(fs::exists(path)); // quarantined by deletion
+
+    // The cache path degrades to a recompute, not a wrong result.
+    MappingCache cache;
+    cache.attachStore(&store);
+    CacheSource source = CacheSource::Memory;
+    const auto recomputed =
+        cache.map(smallFabric(), dfg, MapperOptions{}, &source);
+    EXPECT_EQ(source, CacheSource::Computed);
+    ASSERT_TRUE(recomputed->mapped());
+    EXPECT_TRUE(equalMappings(*entry->mapping, *recomputed->mapping));
+    EXPECT_TRUE(store.contains(key)); // write-behind repaired the file
+}
+
+TEST_F(PersistentStoreTest, CacheReadsThroughAndWritesBehind)
+{
+    const Dfg dfg = findKernel("gemm").build(1);
+    PersistentMappingStore store(options());
+
+    // Cold cache + cold store: compute, then write behind.
+    MappingCache first;
+    first.attachStore(&store);
+    CacheSource source = CacheSource::Memory;
+    const auto computed =
+        first.map(smallFabric(), dfg, MapperOptions{}, &source);
+    EXPECT_EQ(source, CacheSource::Computed);
+    EXPECT_EQ(store.entryCount(), 1u);
+
+    // Same cache again: memory tier.
+    first.map(smallFabric(), dfg, MapperOptions{}, &source);
+    EXPECT_EQ(source, CacheSource::Memory);
+
+    // Fresh cache on the same store (a "restarted server"): the entry
+    // is served from disk and is byte-identical to the computed one.
+    MappingCache second;
+    second.attachStore(&store);
+    const auto fetched =
+        second.map(smallFabric(), dfg, MapperOptions{}, &source);
+    EXPECT_EQ(source, CacheSource::Persistent);
+    ASSERT_TRUE(fetched->mapped());
+    EXPECT_TRUE(equalMappings(*computed->mapping, *fetched->mapping));
+    EXPECT_EQ(encodeMappingEntry(*computed),
+              encodeMappingEntry(*fetched));
+}
+
+TEST_F(PersistentStoreTest, CancelledComputeIsNeverPersisted)
+{
+    PersistentMappingStore store(options());
+    MappingCache cache;
+    cache.attachStore(&store);
+
+    CancelSource source;
+    source.requestCancel(); // fires before the mapper starts
+    MapperOptions options;
+    options.cancel = source.token();
+    const Dfg dfg = findKernel("fir").build(1);
+    CacheSource tier = CacheSource::Memory;
+    const auto truncated = cache.map(smallFabric(), dfg, options, &tier);
+    EXPECT_EQ(tier, CacheSource::Computed);
+    EXPECT_FALSE(truncated->mapped());
+
+    // Truncated verdicts are not memoized in any tier: the store stays
+    // empty and an uncancelled retry computes the real mapping.
+    EXPECT_EQ(store.entryCount(), 0u);
+    const auto real =
+        cache.map(smallFabric(), dfg, MapperOptions{}, &tier);
+    EXPECT_EQ(tier, CacheSource::Computed);
+    EXPECT_TRUE(real->mapped());
+    EXPECT_EQ(store.entryCount(), 1u);
+}
+
+} // namespace
+} // namespace iced

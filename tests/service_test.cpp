@@ -1,0 +1,263 @@
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "kernels/registry.hpp"
+#include "service/client.hpp"
+
+namespace iced {
+namespace {
+
+namespace fs = std::filesystem;
+
+CgraConfig
+smallFabric()
+{
+    CgraConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.islandRows = 2;
+    config.islandCols = 2;
+    return config;
+}
+
+RequestCell
+firCell()
+{
+    RequestCell cell;
+    cell.config = smallFabric();
+    cell.dfg = findKernel("fir").build(1);
+    return cell;
+}
+
+/** Per-test socket (and optional store) under the temp directory. */
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::temp_directory_path() /
+               ("iced_svc_" + std::string(::testing::UnitTest::
+                                              GetInstance()
+                                                  ->current_test_info()
+                                                  ->name()));
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+
+    void TearDown() override { fs::remove_all(root); }
+
+    ServerOptions serverOptions(bool with_store = false) const
+    {
+        ServerOptions opts;
+        opts.socketPath = (root / "iced.sock").string();
+        if (with_store)
+            opts.storeDir = (root / "store").string();
+        opts.threads = 4;
+        return opts;
+    }
+
+    fs::path root;
+};
+
+TEST_F(ServiceTest, MapRequestRoundTripsByteIdentically)
+{
+    MappingServer server(serverOptions());
+    server.start();
+    ServiceClient client(server.socketPath());
+
+    const RequestCell cell = firCell();
+    const MapReplyMsg reply = client.map(cell);
+    EXPECT_EQ(reply.status, ReplyStatus::Mapped);
+    EXPECT_EQ(reply.source, CacheSource::Computed);
+
+    const auto served = decodeReplyEntry(reply);
+    ASSERT_NE(served, nullptr);
+    ASSERT_TRUE(served->mapped());
+    const auto local =
+        computeMappingEntry(cell.config, cell.dfg, cell.options);
+    ASSERT_TRUE(local->mapped());
+    EXPECT_TRUE(equalMappings(*local->mapping, *served->mapping));
+
+    // The repeat is a memory-tier hit with the same bytes.
+    const MapReplyMsg again = client.map(cell);
+    EXPECT_EQ(again.status, ReplyStatus::Mapped);
+    EXPECT_EQ(again.source, CacheSource::Memory);
+    EXPECT_EQ(again.entryBlob, reply.entryBlob);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST_F(ServiceTest, SweepDedupsIdenticalCellsToOneCompute)
+{
+    MappingServer server(serverOptions());
+    server.start();
+    ServiceClient client(server.socketPath());
+
+    MetricsRegistry &registry = MetricsRegistry::global();
+    const std::uint64_t memory_before =
+        registry.counter("service.served.memory").value();
+    const std::uint64_t computed_before =
+        registry.counter("service.served.computed").value();
+
+    // Eight identical cells sharded across the pool: the cache dedups
+    // them onto one compute; the other seven share it as Memory.
+    const std::vector<RequestCell> cells(8, firCell());
+    const std::vector<MapReplyMsg> replies = client.sweep(cells);
+    ASSERT_EQ(replies.size(), cells.size());
+    int computed = 0, memory = 0;
+    for (const MapReplyMsg &reply : replies) {
+        EXPECT_EQ(reply.status, ReplyStatus::Mapped);
+        EXPECT_EQ(reply.entryBlob, replies[0].entryBlob);
+        computed += reply.source == CacheSource::Computed;
+        memory += reply.source == CacheSource::Memory;
+    }
+    EXPECT_EQ(computed, 1);
+    EXPECT_EQ(memory, 7);
+
+    // The dedup is observable in the service.* metrics.
+    EXPECT_EQ(registry.counter("service.served.computed").value(),
+              computed_before + 1);
+    EXPECT_EQ(registry.counter("service.served.memory").value(),
+              memory_before + 7);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST_F(ServiceTest, PersistentStoreServesAcrossServerRestart)
+{
+    const RequestCell cell = firCell();
+    std::string firstBlob;
+    {
+        MappingServer server(serverOptions(/*with_store=*/true));
+        server.start();
+        ServiceClient client(server.socketPath());
+        const MapReplyMsg reply = client.map(cell);
+        EXPECT_EQ(reply.source, CacheSource::Computed);
+        firstBlob = reply.entryBlob;
+        server.requestStop();
+        server.wait();
+        EXPECT_EQ(server.persistentEntryCount(), 1u);
+    }
+    // A fresh server (cold memory cache) on the same store directory
+    // serves the identical bytes from disk.
+    MappingServer server(serverOptions(/*with_store=*/true));
+    server.start();
+    ServiceClient client(server.socketPath());
+    const MapReplyMsg reply = client.map(cell);
+    EXPECT_EQ(reply.status, ReplyStatus::Mapped);
+    EXPECT_EQ(reply.source, CacheSource::Persistent);
+    EXPECT_EQ(reply.entryBlob, firstBlob);
+    server.requestStop();
+    server.wait();
+}
+
+TEST_F(ServiceTest, DeadlineCancelsTheComputeWithoutPoisoningTheCache)
+{
+    MappingServer server(serverOptions());
+    server.start();
+    ServiceClient client(server.socketPath());
+
+    // Many distinct heavy cells under one 1 ms frame deadline: the
+    // budget cannot cover the whole sweep, so the watchdog reliably
+    // truncates the cells still computing when it fires.
+    std::vector<RequestCell> cells;
+    for (int size : {6, 8})
+        for (int island : {1, 2})
+            for (int unroll : {1, 2})
+                for (const char *kernel : {"gemm", "conv", "mvt"}) {
+                    RequestCell cell;
+                    cell.config.rows = cell.config.cols = size;
+                    cell.config.islandRows = cell.config.islandCols =
+                        island;
+                    cell.dfg = findKernel(kernel).build(unroll);
+                    cells.push_back(std::move(cell));
+                }
+    const std::vector<MapReplyMsg> replies =
+        client.sweep(cells, /*deadline_ms=*/1);
+    ASSERT_EQ(replies.size(), cells.size());
+    int truncated = -1;
+    for (std::size_t i = 0; i < replies.size(); ++i)
+        if (replies[i].status == ReplyStatus::DeadlineExceeded) {
+            truncated = static_cast<int>(i);
+            EXPECT_FALSE(replies[i].error.empty());
+        }
+    ASSERT_GE(truncated, 0) << "no cell hit the 1 ms deadline";
+
+    // A truncated verdict was not memoized in any tier: the retry
+    // without a deadline computes (not Memory!) and reaches a real
+    // verdict instead of the truncated pseudo-"no fit".
+    const MapReplyMsg full =
+        client.map(cells[static_cast<std::size_t>(truncated)]);
+    EXPECT_NE(full.status, ReplyStatus::DeadlineExceeded);
+    EXPECT_EQ(full.source, CacheSource::Computed);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST_F(ServiceTest, StatsAndShutdownRequestsWork)
+{
+    ServerOptions opts = serverOptions();
+    MappingServer server(opts);
+    server.start();
+    {
+        ServiceClient client(server.socketPath());
+        client.map(firCell());
+        const std::string json = client.stats();
+        EXPECT_NE(json.find("service.requests.map"), std::string::npos);
+        EXPECT_NE(json.find("cache.memory.hits"), std::string::npos);
+        client.shutdownServer(); // acknowledged drain
+    }
+    server.wait();
+    // The socket file is gone after the drain.
+    EXPECT_FALSE(fs::exists(opts.socketPath));
+}
+
+TEST_F(ServiceTest, MalformedRequestYieldsErrorResponseNotACrash)
+{
+    MappingServer server(serverOptions());
+    server.start();
+
+    // A protocol-version mismatch surfaces as a server-side error
+    // message, and the connection keeps serving afterwards.
+    const int fd = connectUnix(server.socketPath());
+    Encoder bad;
+    bad.u8(static_cast<std::uint8_t>(MessageType::MapRequest));
+    bad.u32(wireProtocolVersion + 1);
+    bad.u32(0);
+    ASSERT_TRUE(writeFrame(fd, bad.bytes()));
+    std::string payload;
+    ASSERT_TRUE(readFrame(fd, payload));
+    Decoder dec(payload);
+    EXPECT_EQ(dec.u8(),
+              static_cast<std::uint8_t>(MessageType::ErrorResponse));
+    EXPECT_NE(dec.str().find("version mismatch"), std::string::npos);
+
+    // Unknown message types are also answered, not fatal.
+    Encoder unknown;
+    unknown.u8(0x42);
+    unknown.u32(wireProtocolVersion);
+    unknown.u32(0);
+    ASSERT_TRUE(writeFrame(fd, unknown.bytes()));
+    ASSERT_TRUE(readFrame(fd, payload));
+    EXPECT_EQ(static_cast<std::uint8_t>(payload[0]),
+              static_cast<std::uint8_t>(MessageType::ErrorResponse));
+    ::close(fd);
+
+    ServiceClient client(server.socketPath());
+    EXPECT_EQ(client.map(firCell()).status, ReplyStatus::Mapped);
+    server.requestStop();
+    server.wait();
+}
+
+} // namespace
+} // namespace iced

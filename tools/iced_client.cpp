@@ -1,0 +1,225 @@
+/**
+ * @file
+ * CLI client for `iced_serve`.
+ *
+ *   ./iced_client --socket PATH map <kernel> [unroll] [--deadline-ms N]
+ *                 [--verify]
+ *   ./iced_client --socket PATH sweep <kernel|all> [unroll]
+ *                 [--deadline-ms N] [--verify]
+ *   ./iced_client --socket PATH stats
+ *   ./iced_client --socket PATH shutdown
+ *
+ * `map` sends one cell (the kernel on the default fabric); `sweep`
+ * sends the design-space explorer's (fabric x island) grid for the
+ * kernel (or every single-kernel workload) as one SweepRequest the
+ * server shards across its pool. Each reply line shows the outcome and
+ * the serving tier (memory / persistent / computed), and a final
+ * `served: ...` summary aggregates the tiers — the line the
+ * service-smoke CI job parses to assert persistent-store hits.
+ *
+ * `--verify` recomputes every cell in-process with the exact same
+ * request and requires the served mapping to be `equalMappings`-equal
+ * (byte-identity via the codec) — exit 1 on any divergence.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapping.hpp"
+#include "service/client.hpp"
+
+using namespace iced;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: iced_client --socket PATH map <kernel> [unroll]\n"
+           "                   [--deadline-ms N] [--verify]\n"
+           "       iced_client --socket PATH sweep <kernel|all> [unroll]\n"
+           "                   [--deadline-ms N] [--verify]\n"
+           "       iced_client --socket PATH stats\n"
+           "       iced_client --socket PATH shutdown\n";
+    return 2;
+}
+
+/** The design_space_explorer fabric frontier (kept in sync). */
+std::vector<CgraConfig>
+sweepFabrics()
+{
+    std::vector<CgraConfig> fabrics;
+    for (int size : {4, 6, 8}) {
+        for (int island : {1, 2, 3}) {
+            if (size % island != 0)
+                continue;
+            CgraConfig config;
+            config.rows = size;
+            config.cols = size;
+            config.islandRows = island;
+            config.islandCols = island;
+            fabrics.push_back(config);
+        }
+    }
+    return fabrics;
+}
+
+struct CellLabel
+{
+    std::string kernel;
+    std::string fabric;
+};
+
+/** Served result vs. a local in-process compute of the same request. */
+bool
+verifyCell(const CellLabel &label, const RequestCell &cell,
+           const MapReplyMsg &reply)
+{
+    const auto local =
+        computeMappingEntry(cell.config, cell.dfg, cell.options);
+    const auto remote = decodeReplyEntry(reply);
+    if (!remote) {
+        std::cerr << "verify FAIL " << label.kernel << " "
+                  << label.fabric << ": reply carried no entry\n";
+        return false;
+    }
+    if (local->mapped() != remote->mapped() ||
+        local->failed() != remote->failed()) {
+        std::cerr << "verify FAIL " << label.kernel << " "
+                  << label.fabric << ": outcome diverges (local "
+                  << (local->mapped() ? "mapped" : "unmapped")
+                  << ", served "
+                  << (remote->mapped() ? "mapped" : "unmapped") << ")\n";
+        return false;
+    }
+    if (local->mapped() &&
+        !equalMappings(*local->mapping, *remote->mapping)) {
+        std::cerr << "verify FAIL " << label.kernel << " "
+                  << label.fabric
+                  << ": served mapping differs from local tryMap\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string command;
+    std::vector<std::string> positional;
+    std::uint32_t deadlineMs = 0;
+    bool verify = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--socket" && hasValue) {
+            socketPath = argv[++i];
+        } else if (arg == "--deadline-ms" && hasValue) {
+            deadlineMs =
+                static_cast<std::uint32_t>(std::atoll(argv[++i]));
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (socketPath.empty() || command.empty())
+        return usage();
+
+    try {
+        ServiceClient client(socketPath);
+
+        if (command == "stats") {
+            std::cout << client.stats() << "\n";
+            return 0;
+        }
+        if (command == "shutdown") {
+            client.shutdownServer();
+            std::cerr << "iced_client: server acknowledged shutdown\n";
+            return 0;
+        }
+        if (command != "map" && command != "sweep")
+            return usage();
+        if (positional.empty())
+            return usage();
+
+        const std::string name = positional[0];
+        const int unroll =
+            positional.size() > 1 ? std::atoi(positional[1].c_str()) : 1;
+
+        std::vector<std::string> kernels;
+        if (command == "sweep" && name == "all") {
+            for (const Kernel *k : singleKernels())
+                kernels.push_back(k->name);
+        } else {
+            kernels.push_back(name);
+        }
+
+        const std::vector<CgraConfig> fabrics =
+            command == "map" ? std::vector<CgraConfig>{CgraConfig{}}
+                             : sweepFabrics();
+
+        std::vector<RequestCell> cells;
+        std::vector<CellLabel> labels;
+        for (const std::string &kernel : kernels) {
+            const Dfg dfg = findKernel(kernel).build(unroll);
+            for (const CgraConfig &fabric : fabrics) {
+                RequestCell cell;
+                cell.config = fabric;
+                cell.dfg = dfg;
+                cells.push_back(std::move(cell));
+                labels.push_back({kernel, Cgra(fabric).describe()});
+            }
+        }
+
+        const std::vector<MapReplyMsg> replies =
+            command == "map"
+                ? std::vector<MapReplyMsg>{client.map(cells[0],
+                                                      deadlineMs)}
+                : client.sweep(cells, deadlineMs);
+
+        std::size_t byTier[3] = {0, 0, 0};
+        bool verified = true;
+        for (std::size_t i = 0; i < replies.size(); ++i) {
+            const MapReplyMsg &reply = replies[i];
+            std::cout << labels[i].kernel << " x" << unroll << " "
+                      << labels[i].fabric << ": "
+                      << toString(reply.status) << " ["
+                      << toString(reply.source) << "]";
+            if (reply.status == ReplyStatus::Failed)
+                std::cout << " (" << reply.error << ")";
+            std::cout << "\n";
+            byTier[static_cast<int>(reply.source)]++;
+            if (verify && reply.status != ReplyStatus::DeadlineExceeded)
+                verified = verifyCell(labels[i], cells[i], reply) &&
+                           verified;
+        }
+        std::cout << "served: memory=" << byTier[0]
+                  << " persistent=" << byTier[1]
+                  << " computed=" << byTier[2]
+                  << " total=" << replies.size() << "\n";
+        if (verify) {
+            std::cout << "verify: "
+                      << (verified ? "all served mappings byte-identical "
+                                     "to local tryMap"
+                                   : "MISMATCH")
+                      << "\n";
+            if (!verified)
+                return 1;
+        }
+    } catch (const FatalError &err) {
+        std::cerr << "iced_client: error: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

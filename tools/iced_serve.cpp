@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Long-lived mapping server: `iced_client` (or any wire-protocol
+ * speaker, e.g. `design_space_explorer --server`) connects over a Unix
+ * socket and gets mapping requests served through the in-memory
+ * MappingCache backed by the on-disk PersistentMappingStore.
+ *
+ *   ./iced_serve --socket /tmp/iced.sock --store /var/cache/iced \
+ *                [--threads N] [--cache-capacity N] [--sync-writes] \
+ *                [--metrics-out FILE]
+ *
+ * SIGTERM/SIGINT trigger a graceful drain: the listener closes,
+ * in-flight requests run to completion and reply, then the process
+ * exits 0 (the contract the service-smoke CI job asserts). The final
+ * MetricsRegistry snapshot goes to `--metrics-out` (or stderr as a
+ * summary line) on the way out.
+ */
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "service/server.hpp"
+
+using namespace iced;
+
+namespace {
+
+MappingServer *g_server = nullptr;
+
+extern "C" void
+handleSignal(int)
+{
+    if (g_server)
+        g_server->requestStop(); // async-signal-safe: one pipe write
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: iced_serve --socket PATH [--store DIR] [--threads N]\n"
+           "                  [--cache-capacity N] [--sync-writes]\n"
+           "                  [--metrics-out FILE]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerOptions opts;
+    std::string metricsOut;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--socket" && hasValue) {
+            opts.socketPath = argv[++i];
+        } else if (arg == "--store" && hasValue) {
+            opts.storeDir = argv[++i];
+        } else if (arg == "--threads" && hasValue) {
+            opts.threads = std::atoi(argv[++i]);
+        } else if (arg == "--cache-capacity" && hasValue) {
+            opts.cacheCapacity =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--sync-writes") {
+            opts.syncWrites = true;
+        } else if (arg == "--metrics-out" && hasValue) {
+            metricsOut = argv[++i];
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return usage();
+        }
+    }
+    if (opts.socketPath.empty())
+        return usage();
+
+    try {
+        MappingServer server(opts);
+        g_server = &server;
+        struct sigaction action{};
+        action.sa_handler = handleSignal;
+        sigaction(SIGTERM, &action, nullptr);
+        sigaction(SIGINT, &action, nullptr);
+        signal(SIGPIPE, SIG_IGN);
+
+        server.start();
+        std::cerr << "iced_serve: listening on " << opts.socketPath;
+        if (!opts.storeDir.empty())
+            std::cerr << ", store " << opts.storeDir << " ("
+                      << server.persistentEntryCount() << " entries)";
+        std::cerr << "\n";
+        server.wait();
+        g_server = nullptr;
+
+        if (!metricsOut.empty()) {
+            std::ofstream out(metricsOut);
+            fatalIf(!out, "cannot write ", metricsOut);
+            out << MetricsRegistry::global().toJson() << "\n";
+        }
+        std::cerr << "iced_serve: drained";
+        if (!opts.storeDir.empty())
+            std::cerr << "; store now holds "
+                      << server.persistentEntryCount() << " entries";
+        std::cerr << "\n";
+    } catch (const FatalError &err) {
+        std::cerr << "iced_serve: error: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the mapping service (the CI `service-smoke` job):
+#
+#  1. start iced_serve on a fresh persistent store and run a --verify
+#     sweep (every served mapping byte-identical to a local tryMap);
+#  2. SIGTERM the server and require a graceful drain (exit 0);
+#  3. restart the server on the same store, run the identical sweep
+#     again, and require >= 95% of the cells to be served from the
+#     persistent tier — still byte-identical under --verify.
+#
+# Usage: service_smoke.sh <build-dir> [kernel] [unroll]
+set -euo pipefail
+
+build_dir=${1:?usage: service_smoke.sh <build-dir> [kernel] [unroll]}
+kernel=${2:-gemm}
+unroll=${3:-1}
+
+serve=$build_dir/tools/iced_serve
+client=$build_dir/tools/iced_client
+work=$(mktemp -d)
+socket=$work/iced.sock
+store=$work/store
+trap 'kill "$server_pid" 2>/dev/null; rm -rf "$work"' EXIT
+
+wait_for_socket() {
+    for _ in $(seq 1 100); do
+        [ -S "$socket" ] && return 0
+        sleep 0.1
+    done
+    echo "service_smoke: server did not create $socket" >&2
+    return 1
+}
+
+echo "== first run: cold store, every cell computed =="
+"$serve" --socket "$socket" --store "$store" &
+server_pid=$!
+wait_for_socket
+"$client" --socket "$socket" sweep "$kernel" "$unroll" --verify \
+    | tee "$work/run1.txt"
+
+echo "== graceful drain on SIGTERM =="
+kill -TERM "$server_pid"
+wait "$server_pid" # non-zero exit fails the job via set -e
+echo "service_smoke: drain exit 0"
+
+echo "== second run: restarted server, persistent-tier serving =="
+"$serve" --socket "$socket" --store "$store" &
+server_pid=$!
+wait_for_socket
+"$client" --socket "$socket" sweep "$kernel" "$unroll" --verify \
+    | tee "$work/run2.txt"
+"$client" --socket "$socket" shutdown
+wait "$server_pid"
+
+# The two runs must produce identical per-cell outcome tables (only
+# the serving tier may differ).
+if ! diff <(grep -v '^served:' "$work/run1.txt" | sed 's/\[[a-z]*\]//') \
+          <(grep -v '^served:' "$work/run2.txt" | sed 's/\[[a-z]*\]//'); then
+    echo "service_smoke: FAIL — outcomes differ across restart" >&2
+    exit 1
+fi
+
+grep -q "verify: all served mappings byte-identical" "$work/run1.txt"
+grep -q "verify: all served mappings byte-identical" "$work/run2.txt"
+
+# >= 95% of the restarted run must come from the persistent store.
+summary=$(grep '^served:' "$work/run2.txt")
+persistent=$(sed -E 's/.*persistent=([0-9]+).*/\1/' <<<"$summary")
+total=$(sed -E 's/.*total=([0-9]+).*/\1/' <<<"$summary")
+if [ $((persistent * 100)) -lt $((total * 95)) ]; then
+    echo "service_smoke: FAIL — only $persistent/$total cells" \
+         "persistent-served (need >= 95%)" >&2
+    exit 1
+fi
+echo "service_smoke: PASS — $persistent/$total cells served from the" \
+     "persistent store, byte-identical across restart"

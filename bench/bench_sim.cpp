@@ -1,0 +1,322 @@
+/**
+ * @file
+ * `bench_sim` — cycle-simulator engine microbenchmark.
+ *
+ * Simulates one fixed small kernel (fir, unroll 1) mapped onto a
+ * sweep of fabric sizes (6x6 up to 32x32) with both engines — the
+ * event/interval core and the dense busy-bitmap reference — and
+ * reports per-run wall time, busy-structure footprint, and the
+ * event/dense speedup. Because the kernel (and hence the mapped work)
+ * is fixed while the fabric grows, the sweep separates the two cost
+ * models: the dense engine allocates and scans a tileCount x horizon
+ * bitmap, so its cost tracks fabric area; the event engine touches
+ * only the tiles the mapping uses, so its cost tracks mapped work.
+ *
+ * Results are written as `BENCH_sim.json` (the repo's bench-JSON
+ * shape, see bench/results/). `--verify` additionally cross-checks
+ * the two engines' SimResults for byte-identity at every size.
+ *
+ * Exit status: 0 on success, 1 on a cross-engine divergence under
+ * --verify, 2 on usage error.
+ */
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace_cli.hpp"
+
+namespace iced {
+namespace {
+
+struct SizeResult
+{
+    int dim = 0;
+    int tiles = 0;
+    int ii = 0;
+    long execCycles = 0;
+    double eventMs = 0.0;
+    double denseMs = 0.0;
+    double speedup = 0.0;
+    std::uint64_t eventBusyBytes = 0;
+    std::uint64_t denseBusyBytes = 0;
+    std::uint64_t eventIntervals = 0;
+};
+
+Cgra
+makeFabric(int n)
+{
+    CgraConfig c;
+    c.rows = n;
+    c.cols = n;
+    c.islandRows = 2;
+    c.islandCols = 2;
+    return Cgra(c);
+}
+
+long
+peakRssKb()
+{
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return os.str();
+}
+
+/**
+ * Best-of-N wall time of one simulate() configuration, in ms per run.
+ * Each timed sample batches enough runs to stay well above the clock
+ * granularity (batch size calibrated once from a warmup run).
+ */
+double
+timeEngine(const Mapping &m, const std::vector<std::int64_t> &memory,
+           const SimOptions &opts, int repeat)
+{
+    using clock = std::chrono::steady_clock;
+    const auto w0 = clock::now();
+    (void)simulate(m, memory, opts);
+    const double warm_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - w0)
+            .count();
+    const int batch = std::max(
+        1, std::min(200, static_cast<int>(2.0 / std::max(
+                                                    warm_ms, 1e-6))));
+    double best_ms = 0.0;
+    for (int rep = 0; rep < repeat; ++rep) {
+        const auto t0 = clock::now();
+        for (int i = 0; i < batch; ++i)
+            (void)simulate(m, memory, opts);
+        const double ms =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count() /
+            batch;
+        if (rep == 0 || ms < best_ms)
+            best_ms = ms;
+    }
+    return best_ms;
+}
+
+int
+run(int repeat, bool quick, bool verify, const std::string &engines,
+    const std::string &out_path)
+{
+    // "both" times the two engines and reports per-size speedups;
+    // "event"/"dense" time one engine only (the before/after snapshots
+    // committed under bench/results/ — the dense engine is the
+    // pre-event simulate() algorithm verbatim, so a dense-only run is
+    // the honest "before" cost).
+    const bool time_event = engines != "dense";
+    const bool time_dense = engines != "event";
+    const std::vector<int> sizes =
+        quick ? std::vector<int>{6, 16}
+              : std::vector<int>{6, 8, 12, 16, 24, 32};
+
+    // Fixed kernel and workload: the mapped work is identical at every
+    // size, so any cost growth along the sweep is pure fabric scaling.
+    // The trip count is kept small (never above the workload's own, so
+    // memory accesses stay in bounds): the functional core is shared
+    // by both engines, and a long run would drown the accounting
+    // contrast the sweep exists to measure.
+    const Kernel &kernel = findKernel("fir");
+    Rng rng(1);
+    const Workload w = kernel.workload(rng);
+    const int iterations = std::min(8, w.iterations);
+
+    MetricsRegistry::Counter &event_bytes =
+        MetricsRegistry::global().counter("sim.engine.event.busy_bytes");
+    MetricsRegistry::Counter &dense_bytes =
+        MetricsRegistry::global().counter("sim.engine.dense.busy_bytes");
+    MetricsRegistry::Counter &event_intervals =
+        MetricsRegistry::global().counter("sim.engine.event.intervals");
+
+    std::vector<SizeResult> results;
+    int mismatches = 0;
+    for (int dim : sizes) {
+        const Cgra cgra = makeFabric(dim);
+        Dfg dfg = kernel.build(1);
+        const Mapping m = Mapper(cgra, MapperOptions{}).map(dfg);
+
+        const SimOptions event_opts{iterations, SimEngine::Event};
+        const SimOptions dense_opts{iterations,
+                                    SimEngine::DenseReference};
+
+        SizeResult r;
+        r.dim = dim;
+        r.tiles = cgra.tileCount();
+        r.ii = m.ii();
+
+        // One instrumented run per engine: per-run busy-structure
+        // footprint from the metrics deltas, plus the --verify gate.
+        const std::uint64_t eb0 = event_bytes.value();
+        const std::uint64_t ei0 = event_intervals.value();
+        const SimResult event = simulate(m, w.memory, event_opts);
+        r.eventBusyBytes = event_bytes.value() - eb0;
+        r.eventIntervals = event_intervals.value() - ei0;
+        const std::uint64_t db0 = dense_bytes.value();
+        const SimResult dense = simulate(m, w.memory, dense_opts);
+        r.denseBusyBytes = dense_bytes.value() - db0;
+        r.execCycles = event.execCycles;
+        if (verify && !(event == dense)) {
+            std::cerr << "bench_sim: VERIFY MISMATCH at " << dim << "x"
+                      << dim << ": "
+                      << describeDivergence(event, dense) << "\n";
+            ++mismatches;
+        }
+
+        if (time_event)
+            r.eventMs = timeEngine(m, w.memory, event_opts, repeat);
+        if (time_dense)
+            r.denseMs = timeEngine(m, w.memory, dense_opts, repeat);
+        r.speedup = time_event && time_dense && r.eventMs > 0
+                        ? r.denseMs / r.eventMs
+                        : 0.0;
+        results.push_back(r);
+        std::cerr << "bench_sim: " << dim << "x" << dim << " (II "
+                  << r.ii << "): event " << jsonNum(r.eventMs)
+                  << " ms, dense " << jsonNum(r.denseMs) << " ms ("
+                  << jsonNum(r.speedup) << "x), busy bytes "
+                  << r.eventBusyBytes << " vs " << r.denseBusyBytes
+                  << "\n";
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_sim: cannot write " << out_path << "\n";
+        return 2;
+    }
+    out << "{\n"
+        << "  \"tool\": \"bench_sim\",\n"
+        << "  \"suite\": \"" << (quick ? "scale-quick" : "scale")
+        << "\",\n"
+        << "  \"kernel\": \"" << kernel.name << "\",\n"
+        << "  \"iterations\": " << iterations << ",\n"
+        << "  \"repeat\": " << repeat << ",\n"
+        << "  \"engines\": \"" << engines << "\",\n"
+        << "  \"verified\": " << (verify ? "true" : "false") << ",\n"
+        << "  \"sizes\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SizeResult &r = results[i];
+        out << "    {\"fabric\": \"" << r.dim << "x" << r.dim
+            << "\", \"tiles\": " << r.tiles << ", \"ii\": " << r.ii
+            << ", \"execCycles\": " << r.execCycles
+            << ", \"eventMs\": " << jsonNum(r.eventMs)
+            << ", \"denseMs\": " << jsonNum(r.denseMs)
+            << ", \"speedup\": " << jsonNum(r.speedup)
+            << ", \"eventBusyBytes\": " << r.eventBusyBytes
+            << ", \"denseBusyBytes\": " << r.denseBusyBytes
+            << ", \"eventIntervals\": " << r.eventIntervals << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    const SizeResult &largest = results.back();
+    out << "  ],\n"
+        << "  \"metrics\": " << MetricsRegistry::global().toJson()
+        << ",\n"
+        << "  \"totals\": {\n"
+        << "    \"sizes\": " << results.size() << ",\n"
+        << "    \"largestFabric\": \"" << largest.dim << "x"
+        << largest.dim << "\",\n"
+        << "    \"largestSpeedup\": " << jsonNum(largest.speedup)
+        << ",\n"
+        << "    \"mismatches\": " << mismatches << ",\n"
+        << "    \"peakRssKb\": " << peakRssKb() << "\n"
+        << "  }\n"
+        << "}\n";
+
+    std::cout << "bench_sim: " << results.size() << " sizes, "
+              << largest.dim << "x" << largest.dim << " speedup "
+              << jsonNum(largest.speedup) << "x -> " << out_path
+              << "\n";
+    if (mismatches > 0) {
+        std::cerr << "bench_sim: " << mismatches
+                  << " cross-engine divergences\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace iced
+
+int
+main(int argc, char **argv)
+{
+    iced::TraceCli trace;
+    if (!trace.parse(argc, argv))
+        return 2;
+    int repeat = 5;
+    bool quick = false;
+    bool verify = false;
+    std::string engines = "both";
+    std::string out_path = "BENCH_sim.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+        } else if (arg == "--engine" && i + 1 < argc) {
+            engines = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: bench_sim [--quick] [--verify] [--repeat N]"
+                   " [--engine E] [--out FILE]\n"
+                   "\n"
+                   "  --quick    6x6 + 16x16 subset (CI sim-equiv"
+                   " smoke)\n"
+                   "  --verify   cross-check event vs dense-reference\n"
+                   "             SimResults at every size (exit 1 on\n"
+                   "             any divergence)\n"
+                   "  --repeat   best-of-N wall time per engine"
+                   " (default 5)\n"
+                   "  --engine   which engine(s) to time: both\n"
+                   "             (default, adds per-size speedups),\n"
+                   "             event, or dense\n"
+                   "  --out      output JSON path (default"
+                   " BENCH_sim.json)\n"
+                << iced::TraceCli::usageText();
+            return 0;
+        } else {
+            std::cerr << "bench_sim: unknown option '" << arg << "'\n";
+            return 2;
+        }
+    }
+    if (repeat < 1) {
+        std::cerr << "bench_sim: --repeat must be >= 1\n";
+        return 2;
+    }
+    if (engines != "both" && engines != "event" && engines != "dense") {
+        std::cerr << "bench_sim: --engine must be both, event, or"
+                     " dense\n";
+        return 2;
+    }
+    try {
+        trace.begin();
+        const int rc =
+            iced::run(repeat, quick, verify, engines, out_path);
+        return trace.finish() ? rc : 2;
+    } catch (const std::exception &e) {
+        std::cerr << "bench_sim: " << e.what() << "\n";
+        return 1;
+    }
+}

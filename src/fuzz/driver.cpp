@@ -88,10 +88,16 @@ reproLine(const FuzzRunOptions &opt, std::uint64_t seed)
     os << "iced_fuzz --repro 0x" << std::hex << seed << std::dec;
     if (opt.oracle.fault == InjectedFault::SimOffByOne)
         os << " --inject-fault sim-off-by-one";
+    if (opt.oracle.fault == InjectedFault::SimEngineDrift)
+        os << " --inject-fault sim-engine-drift";
     if (opt.oracle.stressRollback)
         os << " --stress-rollback";
     if (opt.oracle.mapThreads > 1)
         os << " --map-threads " << opt.oracle.mapThreads;
+    if (opt.oracle.simEngine == SimEngineMode::Both)
+        os << " --sim-engine both";
+    else if (opt.oracle.simEngine == SimEngineMode::Dense)
+        os << " --sim-engine dense";
     return os.str();
 }
 

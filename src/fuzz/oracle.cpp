@@ -57,6 +57,7 @@ toString(OraclePhase phase)
       case OraclePhase::Map: return "map";
       case OraclePhase::Validate: return "validate";
       case OraclePhase::Simulate: return "simulate";
+      case OraclePhase::SimEngineDiverged: return "sim_engine_diverged";
       case OraclePhase::Interpret: return "interpret";
       case OraclePhase::Compare: return "compare";
       case OraclePhase::Done: return "done";
@@ -151,13 +152,43 @@ runCase(const FuzzCase &fc, const OracleOptions &opt)
         return failAt(OraclePhase::Validate, os.str(), ii);
     }
 
+    SimOptions sim_opts{fc.iterations};
+    sim_opts.engine = opt.simEngine == SimEngineMode::Dense
+                          ? SimEngine::DenseReference
+                          : SimEngine::Event;
     SimResult sim;
     try {
-        sim = simulate(*mapping, fc.memory, SimOptions{fc.iterations});
+        sim = simulate(*mapping, fc.memory, sim_opts);
     } catch (const std::exception &e) {
         return failAt(OraclePhase::Simulate,
                       std::string("simulator raised: ") + e.what(), ii);
     }
+
+    // Engine-differential lane: the dense reference engine must agree
+    // field-for-field before any semantic comparison happens, so an
+    // accounting bug is attributed to the engine, not the kernel.
+    if (opt.simEngine == SimEngineMode::Both) {
+        SimOptions ref_opts{fc.iterations, SimEngine::DenseReference};
+        SimResult ref_sim;
+        try {
+            ref_sim = simulate(*mapping, fc.memory, ref_opts);
+        } catch (const std::exception &e) {
+            return failAt(OraclePhase::Simulate,
+                          std::string("reference engine raised: ") +
+                              e.what(),
+                          ii);
+        }
+        SimResult probe = sim;
+        if (opt.fault == InjectedFault::SimEngineDrift &&
+            !probe.tileBusyCycles.empty())
+            probe.tileBusyCycles.front() += 1;
+        if (!(probe == ref_sim))
+            return failAt(OraclePhase::SimEngineDiverged,
+                          "sim engines diverge: " +
+                              describeDivergence(probe, ref_sim),
+                          ii);
+    }
+
     if (opt.fault == InjectedFault::SimOffByOne)
         for (std::int64_t &v : sim.outputs)
             v += 1;

@@ -26,6 +26,19 @@ enum class InjectedFault {
     None,
     /** Off-by-one on every simulator output token. */
     SimOffByOne,
+    /** Perturb the event engine's busy accounting by one cycle; only
+     *  observable through the engine-differential lane (SimEngineMode::
+     *  Both), which must flag it as sim_engine_diverged. */
+    SimEngineDrift,
+};
+
+/** Which cycle-simulator engine(s) the oracle drives. */
+enum class SimEngineMode {
+    Event, ///< event engine only (the production default)
+    Dense, ///< dense reference engine only
+    /** Run both engines per case and fail on any `SimResult`
+     *  divergence (`iced_fuzz --sim-engine both`). */
+    Both,
 };
 
 /** Pipeline stage a failure is attributed to. */
@@ -33,6 +46,7 @@ enum class OraclePhase {
     Map,      ///< mapper raised instead of returning no-fit
     Validate, ///< checkMapping reported violations
     Simulate, ///< simulator raised
+    SimEngineDiverged, ///< event and dense-reference engines disagree
     Interpret,///< golden model raised (generator contract broken)
     Compare,  ///< simulator and interpreter disagree
     Done,     ///< no failure
@@ -59,6 +73,14 @@ struct OracleOptions
      * Map-phase failure (`iced_fuzz --map-threads N`).
      */
     int mapThreads = 1;
+    /**
+     * Engine-differential mode: with `Both`, every simulated case runs
+     * the event engine *and* the dense reference engine, and any
+     * field-level `SimResult` difference is its own failure phase
+     * (sim_engine_diverged) — before the interpreter comparison, so an
+     * accounting bug is attributed to the engine, not the semantics.
+     */
+    SimEngineMode simEngine = SimEngineMode::Event;
     /**
      * Cooperative abort, threaded into `MapperOptions::cancel` of every
      * mapper run. A case whose map was truncated by the token is a

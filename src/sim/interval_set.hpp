@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Coalescing interval set — the event simulator's busy-time core.
+ *
+ * Holds a set of half-open intervals [begin, end) over an ordered
+ * scalar type, merged so the stored representation is always sorted,
+ * disjoint, and non-adjacent (touching intervals coalesce). The
+ * measure (total covered length) equals the popcount of the dense
+ * busy bitmap the DenseReference simulator engine scans — the
+ * interval_set property tests assert exactly that identity — while
+ * storage and query cost scale with the number of *coalesced busy
+ * runs*, i.e. with mapped work, never with the (tiles × horizon)
+ * area a bitmap occupies.
+ *
+ * insert() is amortized: out-of-order insertions land in a pending
+ * buffer that is sorted and merged into the canonical representation
+ * in batches, so N insertions in any order cost O(N log N) total.
+ * Time-sorted insertion (the simulator's common case — firings are
+ * drained from a time-sorted event list) bypasses the buffer and is
+ * O(1) per interval. The observable state (intervals(), measure(),
+ * contains()) is independent of insertion order.
+ *
+ * Thread safety: none. Queries flush the pending buffer through
+ * mutable members, so even const access must not race.
+ */
+#ifndef ICED_SIM_INTERVAL_SET_HPP
+#define ICED_SIM_INTERVAL_SET_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace iced {
+
+/** Sorted, coalescing set of half-open intervals [begin, end). */
+template <typename T>
+class BasicIntervalSet
+{
+  public:
+    struct Interval
+    {
+        T begin{};
+        T end{};
+
+        bool operator==(const Interval &) const = default;
+    };
+
+    /** Add [begin, end); empty intervals (begin >= end) are ignored. */
+    void insert(T begin, T end)
+    {
+        if (begin >= end)
+            return;
+        // Fast path: time-sorted insertion appends or extends the last
+        // canonical run without touching the pending buffer.
+        if (pending.empty() && !runs.empty() &&
+            begin >= runs.back().begin) {
+            Interval &back = runs.back();
+            if (begin > back.end) {
+                runs.push_back({begin, end});
+                total += end - begin;
+            } else if (end > back.end) {
+                total += end - back.end;
+                back.end = end;
+            }
+            return;
+        }
+        if (pending.empty() && runs.empty()) {
+            runs.push_back({begin, end});
+            total += end - begin;
+            return;
+        }
+        pending.push_back({begin, end});
+        if (pending.size() >=
+            std::max<std::size_t>(kMinBatch, runs.size() / 4))
+            flush();
+    }
+
+    /** Total covered length — the dense bitmap's popcount. */
+    T measure() const
+    {
+        flush();
+        return total;
+    }
+
+    /** Number of coalesced busy runs. */
+    std::size_t intervalCount() const
+    {
+        flush();
+        return runs.size();
+    }
+
+    /** Canonical representation: sorted, disjoint, non-adjacent. */
+    const std::vector<Interval> &intervals() const
+    {
+        flush();
+        return runs;
+    }
+
+    /** True when `point` lies inside some interval. */
+    bool contains(T point) const
+    {
+        flush();
+        // First run strictly past `point`, then check its predecessor.
+        auto it = std::upper_bound(
+            runs.begin(), runs.end(), point,
+            [](T p, const Interval &iv) { return p < iv.begin; });
+        return it != runs.begin() && point < std::prev(it)->end;
+    }
+
+    bool empty() const { return runs.empty() && pending.empty(); }
+
+    void clear()
+    {
+        runs.clear();
+        pending.clear();
+        total = T{};
+    }
+
+  private:
+    static constexpr std::size_t kMinBatch = 64;
+
+    /** Sort the pending buffer and merge it into the canonical runs. */
+    void flush() const
+    {
+        if (pending.empty())
+            return;
+        std::sort(pending.begin(), pending.end(),
+                  [](const Interval &a, const Interval &b) {
+                      if (a.begin != b.begin)
+                          return a.begin < b.begin;
+                      return a.end < b.end;
+                  });
+        scratch.clear();
+        scratch.reserve(runs.size() + pending.size());
+        auto a = runs.begin();
+        auto b = pending.begin();
+        T sum{};
+        auto emit = [&](const Interval &iv) {
+            if (!scratch.empty() && iv.begin <= scratch.back().end) {
+                if (iv.end > scratch.back().end) {
+                    sum += iv.end - scratch.back().end;
+                    scratch.back().end = iv.end;
+                }
+            } else {
+                scratch.push_back(iv);
+                sum += iv.end - iv.begin;
+            }
+        };
+        while (a != runs.end() || b != pending.end()) {
+            if (b == pending.end() ||
+                (a != runs.end() && a->begin <= b->begin))
+                emit(*a++);
+            else
+                emit(*b++);
+        }
+        runs.swap(scratch);
+        pending.clear();
+        total = sum;
+    }
+
+    mutable std::vector<Interval> runs;    ///< canonical, coalesced
+    mutable std::vector<Interval> pending; ///< unsorted insert buffer
+    mutable std::vector<Interval> scratch; ///< flush merge target
+    mutable T total{};                     ///< measure of `runs`
+};
+
+/** The simulator's base-cycle interval set. */
+using IntervalSet = BasicIntervalSet<long>;
+
+} // namespace iced
+
+#endif // ICED_SIM_INTERVAL_SET_HPP

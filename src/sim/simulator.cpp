@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <map>
+#include <sstream>
+#include <unordered_map>
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "sim/interval_set.hpp"
 #include "trace/trace.hpp"
 
 namespace iced {
@@ -21,22 +24,125 @@ struct Firing
     int iter;
 };
 
-} // namespace
+/**
+ * Event-engine accounting: per-tile coalescing interval sets and a
+ * hash of touched (cycle, bank) keys. Cost and memory scale with the
+ * number of busy runs / touched cycles — the mapped work — never with
+ * tileCount × horizon.
+ */
+struct EventAccounting
+{
+    EventAccounting(int tiles, long horizon_)
+        : horizon(horizon_),
+          busy(static_cast<std::size_t>(tiles))
+    {
+    }
 
+    void markBusy(TileId tile, long from, long len)
+    {
+        // Same [0, horizon) truncation rule as the dense bitmap, so
+        // the two engines agree even on (hypothetical) events past the
+        // dynamic horizon.
+        const long begin = std::max(from, 0L);
+        const long end = std::min(from + len, horizon);
+        busy[static_cast<std::size_t>(tile)].insert(begin, end);
+    }
+
+    void recordBankAccess(int cycle, int bank)
+    {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                 cycle))
+             << 32) |
+            static_cast<std::uint32_t>(bank);
+        ++bankAccess[key];
+    }
+
+    void finalize(SimResult &result)
+    {
+        for (std::size_t t = 0; t < busy.size(); ++t) {
+            result.tileBusyCycles[t] = busy[t].measure();
+            intervals += busy[t].intervalCount();
+        }
+        for (const auto &[key, count] : bankAccess)
+            if (count > 1)
+                ++result.bankConflictCycles;
+        busyStructBytes =
+            intervals * sizeof(IntervalSet::Interval) +
+            bankAccess.size() * (sizeof(std::uint64_t) + sizeof(int));
+    }
+
+    long horizon;
+    std::vector<IntervalSet> busy;
+    std::unordered_map<std::uint64_t, int> bankAccess;
+    std::uint64_t intervals = 0;
+    std::uint64_t busyStructBytes = 0;
+};
+
+/**
+ * Reference accounting: the pre-event algorithm, verbatim — a dense
+ * per-(tile, cycle) busy bitmap scanned at the end, and an ordered
+ * (cycle, bank) access map. Cost scales with fabric area × horizon;
+ * kept as the differential oracle for the event engine.
+ */
+struct DenseAccounting
+{
+    DenseAccounting(int tiles, long horizon_)
+        : horizon(horizon_),
+          busy(static_cast<std::size_t>(tiles),
+               std::vector<bool>(static_cast<std::size_t>(horizon_),
+                                 false))
+    {
+    }
+
+    void markBusy(TileId tile, long from, long len)
+    {
+        for (long t = from; t < from + len && t < horizon; ++t)
+            if (t >= 0)
+                busy[static_cast<std::size_t>(tile)]
+                    [static_cast<std::size_t>(t)] = true;
+    }
+
+    void recordBankAccess(int cycle, int bank)
+    {
+        ++bankAccess[{cycle, bank}];
+    }
+
+    void finalize(SimResult &result)
+    {
+        for (std::size_t t = 0; t < busy.size(); ++t)
+            result.tileBusyCycles[t] = static_cast<long>(
+                std::count(busy[t].begin(), busy[t].end(), true));
+        for (const auto &[key, count] : bankAccess)
+            if (count > 1)
+                ++result.bankConflictCycles;
+        busyStructBytes =
+            busy.size() * (static_cast<std::uint64_t>(horizon) + 7) / 8;
+    }
+
+    long horizon;
+    std::vector<std::vector<bool>> busy;
+    std::map<std::pair<int, int>, int> bankAccess;
+    std::uint64_t busyStructBytes = 0;
+};
+
+/**
+ * The functional core, shared by both engines: firing enumeration,
+ * operand resolution, ALU/memory semantics, and output assembly are
+ * literally the same code, so outputs and the memory image cannot
+ * depend on the engine; only the `acct` calls differ. The engines'
+ * equality contract therefore rests on the accounting structures —
+ * exactly the part the event rework changed.
+ */
+template <typename Accounting>
 SimResult
-simulate(const Mapping &mapping,
-         const std::vector<std::int64_t> &memory_image,
-         const SimOptions &options)
+runEngine(const Mapping &mapping,
+          const std::vector<std::int64_t> &memory_image, int n_iter,
+          Accounting &acct)
 {
     const Dfg &dfg = mapping.dfg();
     const Cgra &cgra = mapping.cgra();
     const int ii = mapping.ii();
-    const int n_iter = options.iterations;
-    fatalIf(n_iter < 0, "simulate: negative iteration count");
-    ICED_TRACE_SCOPE_I("sim", "simulate", "iterations", n_iter);
-    static MetricsRegistry::Counter &m_runs =
-        MetricsRegistry::global().counter("sim.runs");
-    m_runs.increment();
 
     Spm spm(cgra.config().spmBytes, cgra.config().spmBanks);
     spm.loadImage(memory_image);
@@ -45,10 +151,6 @@ simulate(const Mapping &mapping,
     result.iterations = n_iter;
     result.tileBusyCycles.assign(
         static_cast<std::size_t>(cgra.tileCount()), 0);
-    if (n_iter == 0) {
-        result.memory = spm.image();
-        return result;
-    }
 
     const auto order = dfg.topologicalOrder();
     std::vector<int> topo_pos(static_cast<std::size_t>(dfg.nodeCount()));
@@ -85,23 +187,7 @@ simulate(const Mapping &mapping,
     for (auto &v : val)
         v.assign(static_cast<std::size_t>(n_iter), 0);
 
-    // SPM accesses per (base cycle, bank) for conflict accounting.
-    std::map<std::pair<int, int>, int> bank_access;
-
     long last_event_end = 0;
-
-    // Per-tile busy bitmap over the dynamic horizon.
-    const long horizon =
-        static_cast<long>(mapping.scheduleSpan()) +
-        static_cast<long>(n_iter + 1) * ii + 8;
-    std::vector<std::vector<bool>> busy(
-        static_cast<std::size_t>(cgra.tileCount()),
-        std::vector<bool>(static_cast<std::size_t>(horizon), false));
-    auto mark_busy = [&](TileId tile, long from, long len) {
-        for (long t = from; t < from + len && t < horizon; ++t)
-            if (t >= 0)
-                busy[tile][static_cast<std::size_t>(t)] = true;
-    };
 
     auto resolve_operand = [&](const DfgEdge &e,
                                int iter) -> std::int64_t {
@@ -137,14 +223,14 @@ simulate(const Mapping &mapping,
           case Opcode::Load: {
             const std::int64_t addr = ops[0] + node.imm;
             out = spm.read(addr);
-            ++bank_access[{f.time, spm.bankOf(addr)}];
+            acct.recordBankAccess(f.time, spm.bankOf(addr));
             break;
           }
           case Opcode::Store: {
             const std::int64_t addr = ops[0] + node.imm;
             spm.write(addr, ops[1]);
             out = ops[1];
-            ++bank_access[{f.time, spm.bankOf(addr)}];
+            acct.recordBankAccess(f.time, spm.bankOf(addr));
             break;
           }
           default:
@@ -153,7 +239,7 @@ simulate(const Mapping &mapping,
             break;
         }
         val[f.node][f.iter] = out;
-        mark_busy(p.tile, f.time, s);
+        acct.markBusy(p.tile, f.time, s);
         last_event_end = std::max(last_event_end,
                                   static_cast<long>(f.time) + s);
     }
@@ -165,9 +251,9 @@ simulate(const Mapping &mapping,
         const Route &route = mapping.route(e.id);
         for (int i = 0; i < n_iter; ++i) {
             for (const RouteStep &step : route.steps) {
-                mark_busy(step.tile,
-                          static_cast<long>(step.start) + i * ii,
-                          step.duration);
+                acct.markBusy(step.tile,
+                              static_cast<long>(step.start) + i * ii,
+                              step.duration);
                 last_event_end = std::max(
                     last_event_end, static_cast<long>(step.start) +
                                         i * ii + step.duration);
@@ -175,13 +261,7 @@ simulate(const Mapping &mapping,
         }
     }
 
-    for (TileId tile = 0; tile < cgra.tileCount(); ++tile)
-        result.tileBusyCycles[tile] = static_cast<long>(
-            std::count(busy[tile].begin(), busy[tile].end(), true));
-
-    for (const auto &[key, count] : bank_access)
-        if (count > 1)
-            ++result.bankConflictCycles;
+    acct.finalize(result);
 
     // Assemble outputs in interpreter order.
     for (int i = 0; i < n_iter; ++i)
@@ -191,6 +271,140 @@ simulate(const Mapping &mapping,
 
     result.memory = spm.image();
     result.execCycles = last_event_end;
+    return result;
+}
+
+} // namespace
+
+const char *
+toString(SimEngine engine)
+{
+    switch (engine) {
+      case SimEngine::Event: return "event";
+      case SimEngine::DenseReference: return "dense";
+    }
+    panic("toString: unknown sim engine");
+}
+
+std::optional<SimEngine>
+parseSimEngine(const std::string &name)
+{
+    if (name == "event")
+        return SimEngine::Event;
+    if (name == "dense")
+        return SimEngine::DenseReference;
+    return std::nullopt;
+}
+
+std::string
+describeDivergence(const SimResult &a, const SimResult &b)
+{
+    std::ostringstream os;
+    auto scalar = [&](const char *what, auto va, auto vb) {
+        os << what << ": event " << va << ", reference " << vb;
+        return os.str();
+    };
+    if (a.iterations != b.iterations)
+        return scalar("iterations", a.iterations, b.iterations);
+    if (a.outputs != b.outputs) {
+        if (a.outputs.size() != b.outputs.size())
+            return scalar("outputs size", a.outputs.size(),
+                          b.outputs.size());
+        for (std::size_t i = 0; i < a.outputs.size(); ++i)
+            if (a.outputs[i] != b.outputs[i]) {
+                os << "outputs[" << i << "]";
+                return scalar("", a.outputs[i], b.outputs[i]);
+            }
+    }
+    if (a.memory != b.memory) {
+        if (a.memory.size() != b.memory.size())
+            return scalar("memory size", a.memory.size(),
+                          b.memory.size());
+        for (std::size_t i = 0; i < a.memory.size(); ++i)
+            if (a.memory[i] != b.memory[i]) {
+                os << "memory[" << i << "]";
+                return scalar("", a.memory[i], b.memory[i]);
+            }
+    }
+    if (a.execCycles != b.execCycles)
+        return scalar("execCycles", a.execCycles, b.execCycles);
+    if (a.tileBusyCycles != b.tileBusyCycles) {
+        if (a.tileBusyCycles.size() != b.tileBusyCycles.size())
+            return scalar("tileBusyCycles size",
+                          a.tileBusyCycles.size(),
+                          b.tileBusyCycles.size());
+        for (std::size_t t = 0; t < a.tileBusyCycles.size(); ++t)
+            if (a.tileBusyCycles[t] != b.tileBusyCycles[t]) {
+                os << "tileBusyCycles[" << t << "]";
+                return scalar("", a.tileBusyCycles[t],
+                              b.tileBusyCycles[t]);
+            }
+    }
+    if (a.bankConflictCycles != b.bankConflictCycles)
+        return scalar("bankConflictCycles", a.bankConflictCycles,
+                      b.bankConflictCycles);
+    return "";
+}
+
+SimResult
+simulate(const Mapping &mapping,
+         const std::vector<std::int64_t> &memory_image,
+         const SimOptions &options)
+{
+    const int n_iter = options.iterations;
+    fatalIf(n_iter < 0, "simulate: negative iteration count");
+    const bool event = options.engine == SimEngine::Event;
+    ICED_TRACE_SCOPE_I("sim",
+                       event ? "simulate/event" : "simulate/dense",
+                       "iterations", n_iter);
+    static MetricsRegistry::Counter &m_runs =
+        MetricsRegistry::global().counter("sim.runs");
+    static MetricsRegistry::Counter &m_event_runs =
+        MetricsRegistry::global().counter("sim.engine.event.runs");
+    static MetricsRegistry::Counter &m_dense_runs =
+        MetricsRegistry::global().counter("sim.engine.dense.runs");
+    static MetricsRegistry::Counter &m_event_intervals =
+        MetricsRegistry::global().counter("sim.engine.event.intervals");
+    static MetricsRegistry::Counter &m_event_bytes =
+        MetricsRegistry::global().counter(
+            "sim.engine.event.busy_bytes");
+    static MetricsRegistry::Counter &m_dense_bytes =
+        MetricsRegistry::global().counter(
+            "sim.engine.dense.busy_bytes");
+    m_runs.increment();
+
+    const Cgra &cgra = mapping.cgra();
+    if (n_iter == 0) {
+        // Engine-independent by construction: no firings, no activity.
+        Spm spm(cgra.config().spmBytes, cgra.config().spmBanks);
+        spm.loadImage(memory_image);
+        SimResult result;
+        result.iterations = 0;
+        result.tileBusyCycles.assign(
+            static_cast<std::size_t>(cgra.tileCount()), 0);
+        result.memory = spm.image();
+        return result;
+    }
+
+    // Dynamic horizon both engines truncate activity to.
+    const long horizon =
+        static_cast<long>(mapping.scheduleSpan()) +
+        static_cast<long>(n_iter + 1) * mapping.ii() + 8;
+
+    SimResult result;
+    if (event) {
+        m_event_runs.increment();
+        EventAccounting acct(cgra.tileCount(), horizon);
+        result = runEngine(mapping, memory_image, n_iter, acct);
+        m_event_intervals.increment(acct.intervals);
+        m_event_bytes.increment(acct.busyStructBytes);
+    } else {
+        m_dense_runs.increment();
+        DenseAccounting acct(cgra.tileCount(), horizon);
+        result = runEngine(mapping, memory_image, n_iter, acct);
+        m_dense_bytes.increment(acct.busyStructBytes);
+    }
+
     static MetricsRegistry::Counter &m_cycles =
         MetricsRegistry::global().counter("sim.exec_cycles");
     m_cycles.increment(static_cast<std::uint64_t>(result.execCycles));

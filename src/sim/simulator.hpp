@@ -16,11 +16,25 @@
  * dependencies will genuinely diverge from the sequential golden model
  * - that is the point of checking the simulator against the DFG
  * interpreter.
+ *
+ * Two engines share one functional core and differ only in activity
+ * accounting (DESIGN.md section 11):
+ *  - Event (default): per-tile busy time is a coalescing IntervalSet
+ *    and bank-conflict accounting a hash of touched (cycle, bank)
+ *    keys, so cost scales with mapped work;
+ *  - DenseReference: the original per-(tile, cycle) busy bitmap and
+ *    ordered bank map, kept as the differential oracle — cost scales
+ *    with fabric area × horizon.
+ * The two must produce equal SimResults on every input; the
+ * sim_equiv_test suite, `iced_fuzz --sim-engine both`, and
+ * `bench_sim --verify` enforce it.
  */
 #ifndef ICED_SIM_SIMULATOR_HPP
 #define ICED_SIM_SIMULATOR_HPP
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "arch/spm.hpp"
@@ -28,11 +42,37 @@
 
 namespace iced {
 
+/** Which activity-accounting engine executes the run. */
+enum class SimEngine {
+    /** Interval/event core: cost tracks mapped work (default). */
+    Event,
+    /**
+     * Dense per-(tile, cycle) busy bitmap — the pre-event algorithm,
+     * kept as the correctness oracle (same pattern as the mapper's
+     * `referenceEvaluation`). Not a tuning knob; use it only to
+     * cross-check the event engine.
+     */
+    DenseReference,
+};
+
+const char *toString(SimEngine engine);
+
+/** Parse "event" / "dense"; nullopt on anything else. */
+std::optional<SimEngine> parseSimEngine(const std::string &name);
+
 /** Simulation parameters. */
 struct SimOptions
 {
     /** Loop iterations to execute. */
     int iterations = 16;
+    /**
+     * Accounting engine. Results are engine-independent by contract;
+     * the knob exists so differential harnesses can run both. It is
+     * deliberately absent from the exec mapping-cache fingerprint:
+     * simulation happens downstream of mapping and SimResults are
+     * never cached.
+     */
+    SimEngine engine = SimEngine::Event;
 };
 
 /** Outcome of one simulation run. */
@@ -50,7 +90,17 @@ struct SimResult
     /** Base cycles on which some SPM bank saw more than one access. */
     long bankConflictCycles = 0;
     int iterations = 0;
+
+    /** Field-by-field equality — the engine-equivalence contract. */
+    bool operator==(const SimResult &) const = default;
 };
+
+/**
+ * First field in which two results differ, formatted for humans
+ * ("tileBusyCycles[3]: event 12, reference 11"); empty when equal.
+ * `a` is reported as the event side, `b` as the reference side.
+ */
+std::string describeDivergence(const SimResult &a, const SimResult &b);
 
 /**
  * Execute `mapping` for `options.iterations` iterations.

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "sim/interval_set.hpp"
 #include "trace/trace.hpp"
 
 namespace iced {
@@ -88,6 +89,11 @@ simulateStream(const AppDef &app, Partitioner &partitioner,
                                   0.0); // completion of input i-1
     std::vector<double> window_busy(static_cast<std::size_t>(n_stages),
                                     0.0);
+    // Union of stage processing intervals on the simulated timeline
+    // (the event simulator's coalescing core): per window and whole
+    // run, the measure over wall time is the pipeline's occupancy.
+    BasicIntervalSet<double> window_active;
+    BasicIntervalSet<double> run_active;
     double window_start_wall = 0.0;
     int window_first_input = 0;
 
@@ -137,6 +143,9 @@ simulateStream(const AppDef &app, Partitioner &partitioner,
         rec.energyUj = energy;
         const int inputs = rec.lastInput - rec.firstInput + 1;
         rec.inputsPerUj = inputs / energy;
+        rec.activeFraction =
+            window_active.measure() / rec.wallCycles;
+        window_active.clear();
         stats.windows.push_back(rec);
         stats.energyUj += energy;
         m_windows.increment();
@@ -180,6 +189,8 @@ simulateStream(const AppDef &app, Partitioner &partitioner,
             done_prev[s] = end;
             upstream_done = end;
             window_busy[s] += t;
+            window_active.insert(start, end);
+            run_active.insert(start, end);
             controller.recordCompletion(s, t);
         }
         const double wall_now = done_prev[n_stages - 1];
@@ -219,6 +230,13 @@ simulateStream(const AppDef &app, Partitioner &partitioner,
         flush_window(n_inputs - 1, done_prev[n_stages - 1]);
 
     stats.makespanCycles = done_prev[n_stages - 1];
+    stats.pipelineActiveFraction =
+        stats.makespanCycles > 0.0
+            ? run_active.measure() / stats.makespanCycles
+            : 0.0;
+    if (trace)
+        trace->counter("stream", "stream/pipeline_active_fraction",
+                       stats.pipelineActiveFraction);
     stats.avgPowerMw =
         stats.energyUj /
         (stats.makespanCycles / model.config().nominalFreqMhz / 1000.0);

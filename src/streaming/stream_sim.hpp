@@ -35,6 +35,14 @@ struct WindowRecord
     double energyUj = 0.0;
     /** Inputs per microjoule: the per-window energy-efficiency. */
     double inputsPerUj = 0.0;
+    /**
+     * Fraction of the window's wall time during which at least one
+     * stage was processing — the coalesced-interval measure of the
+     * window's stage busy intervals (sim/interval_set) over wall
+     * cycles. Can slightly exceed 1 when stage work of adjacent
+     * windows overlaps the boundary (pipelining).
+     */
+    double activeFraction = 0.0;
     std::vector<DvfsLevel> stageLevels;
 };
 
@@ -45,6 +53,13 @@ struct StreamStats
     double energyUj = 0.0;
     double avgPowerMw = 0.0;
     double inputsPerUj = 0.0;
+    /**
+     * Fraction of the makespan with >= 1 stage busy: the union of all
+     * stage processing intervals (coalesced by the event simulator's
+     * interval core) over the makespan. 1.0 = the pipeline never
+     * drains; low values reveal bubbles between stages.
+     */
+    double pipelineActiveFraction = 0.0;
     std::vector<WindowRecord> windows;
 };
 

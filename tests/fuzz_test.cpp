@@ -88,6 +88,73 @@ TEST(FuzzOracle, StressRollbackCorpusIsClean)
                       << describeCase(f.shrunk);
 }
 
+TEST(FuzzOracle, EngineDifferentialCorpusIsClean)
+{
+    // Engine-differential lane: every mappable case is simulated by
+    // both the event engine and the dense reference engine, and any
+    // SimResult divergence fails in its own sim_engine_diverged phase.
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    FuzzRunOptions opt;
+    opt.baseSeed = seed;
+    opt.cases = 150;
+    opt.oracle.simEngine = SimEngineMode::Both;
+    const FuzzSummary summary = runFuzz(opt);
+    EXPECT_EQ(summary.casesRun, 150);
+    EXPECT_GT(summary.passed, summary.skipped);
+    for (const FuzzFailure &f : summary.failures)
+        ADD_FAILURE() << "seed 0x" << std::hex << f.seed << std::dec
+                      << " [" << toString(f.result.phase) << "] "
+                      << f.result.message << "\n"
+                      << describeCase(f.shrunk);
+}
+
+TEST(FuzzOracle, EngineDriftIsCaughtAsDivergence)
+{
+    // A one-cycle perturbation planted in the event engine's busy
+    // accounting must be caught by the engine comparison — and
+    // attributed to SimEngineDiverged, not to a semantic Compare
+    // failure (outputs/memory are untouched by the fault).
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    OracleOptions oracle;
+    oracle.fault = InjectedFault::SimEngineDrift;
+    oracle.simEngine = SimEngineMode::Both;
+    for (int i = 0; i < 50; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(seed, i));
+        const OracleResult r = runCase(fc, oracle);
+        if (r.skipped())
+            continue;
+        ASSERT_TRUE(r.failed()) << "drift escaped on case " << i;
+        ASSERT_EQ(r.phase, OraclePhase::SimEngineDiverged);
+        EXPECT_NE(r.message.find("tileBusyCycles"), std::string::npos)
+            << r.message;
+        return;
+    }
+    FAIL() << "no mappable case in 50 seeds";
+}
+
+TEST(FuzzOracle, EngineDriftIsInvisibleOutsideBothMode)
+{
+    // The drift fault only perturbs the engine comparison's probe; a
+    // single-engine run must still pass, proving the differential lane
+    // is what catches it.
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    OracleOptions oracle;
+    oracle.fault = InjectedFault::SimEngineDrift;
+    for (int i = 0; i < 50; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(seed, i));
+        const OracleResult r = runCase(fc, oracle);
+        if (r.skipped())
+            continue;
+        EXPECT_FALSE(r.failed())
+            << toString(r.phase) << ": " << r.message;
+        return;
+    }
+    FAIL() << "no mappable case in 50 seeds";
+}
+
 TEST(FuzzOracle, RegressionClusterOffsetAliasing)
 {
     // Found by the fuzzer (10k-case corpus, base seed 42): a
@@ -168,6 +235,26 @@ TEST(FuzzDriver, ReproLineNamesTheSeed)
     const std::string line = reproLine(opt, 0xabcdefULL);
     EXPECT_NE(line.find("--repro 0xabcdef"), std::string::npos);
     EXPECT_NE(line.find("--inject-fault sim-off-by-one"),
+              std::string::npos);
+}
+
+TEST(FuzzDriver, ReproLineNamesTheEngineMode)
+{
+    FuzzRunOptions opt;
+    opt.oracle.simEngine = SimEngineMode::Both;
+    opt.oracle.fault = InjectedFault::SimEngineDrift;
+    const std::string line = reproLine(opt, 0x42ULL);
+    EXPECT_NE(line.find("--sim-engine both"), std::string::npos);
+    EXPECT_NE(line.find("--inject-fault sim-engine-drift"),
+              std::string::npos);
+
+    opt.oracle.fault = InjectedFault::None;
+    opt.oracle.simEngine = SimEngineMode::Dense;
+    EXPECT_NE(reproLine(opt, 0x42ULL).find("--sim-engine dense"),
+              std::string::npos);
+
+    opt.oracle.simEngine = SimEngineMode::Event;
+    EXPECT_EQ(reproLine(opt, 0x42ULL).find("--sim-engine"),
               std::string::npos);
 }
 

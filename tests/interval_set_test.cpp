@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit and property tests for the coalescing interval set — the event
+ * simulator engine's busy-time primitive (sim/interval_set.hpp).
+ *
+ * The load-bearing properties: the canonical representation (and thus
+ * the measure) is independent of insertion order, and the measure
+ * equals the popcount of the dense busy bitmap the DenseReference
+ * engine scans — the identity the engine-equivalence suite rests on.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/interval_set.hpp"
+#include "test_util.hpp"
+
+namespace iced {
+namespace {
+
+using Interval = IntervalSet::Interval;
+
+std::vector<Interval>
+canonical(const IntervalSet &set)
+{
+    return set.intervals();
+}
+
+TEST(IntervalSet, StartsEmpty)
+{
+    IntervalSet set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.measure(), 0);
+    EXPECT_EQ(set.intervalCount(), 0u);
+    EXPECT_FALSE(set.contains(0));
+}
+
+TEST(IntervalSet, EmptyIntervalsAreIgnored)
+{
+    IntervalSet set;
+    set.insert(5, 5);
+    set.insert(7, 3);
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.measure(), 0);
+}
+
+TEST(IntervalSet, DisjointIntervalsStayDisjoint)
+{
+    IntervalSet set;
+    set.insert(0, 2);
+    set.insert(4, 6);
+    EXPECT_EQ(set.intervalCount(), 2u);
+    EXPECT_EQ(set.measure(), 4);
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_TRUE(set.contains(1));
+    EXPECT_FALSE(set.contains(2));
+    EXPECT_FALSE(set.contains(3));
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_FALSE(set.contains(6));
+}
+
+TEST(IntervalSet, AdjacentIntervalsMerge)
+{
+    IntervalSet set;
+    set.insert(0, 2);
+    set.insert(2, 4);
+    EXPECT_EQ(set.intervalCount(), 1u);
+    EXPECT_EQ(canonical(set), (std::vector<Interval>{{0, 4}}));
+    EXPECT_EQ(set.measure(), 4);
+}
+
+TEST(IntervalSet, OverlappingIntervalsCoalesce)
+{
+    IntervalSet set;
+    set.insert(0, 5);
+    set.insert(3, 8);
+    set.insert(7, 9);
+    EXPECT_EQ(set.intervalCount(), 1u);
+    EXPECT_EQ(canonical(set), (std::vector<Interval>{{0, 9}}));
+    EXPECT_EQ(set.measure(), 9);
+}
+
+TEST(IntervalSet, ContainedInsertChangesNothing)
+{
+    IntervalSet set;
+    set.insert(0, 10);
+    set.insert(3, 7);
+    EXPECT_EQ(canonical(set), (std::vector<Interval>{{0, 10}}));
+    EXPECT_EQ(set.measure(), 10);
+}
+
+TEST(IntervalSet, BridgingInsertMergesNeighbours)
+{
+    IntervalSet set;
+    set.insert(0, 2);
+    set.insert(6, 8);
+    set.insert(1, 7); // out of order: lands in the pending buffer
+    EXPECT_EQ(canonical(set), (std::vector<Interval>{{0, 8}}));
+    EXPECT_EQ(set.measure(), 8);
+}
+
+TEST(IntervalSet, ClearResets)
+{
+    IntervalSet set;
+    set.insert(0, 4);
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.measure(), 0);
+    set.insert(2, 3);
+    EXPECT_EQ(set.measure(), 1);
+}
+
+TEST(IntervalSet, DoubleInstantiationCoalesces)
+{
+    // The streaming pipeline-occupancy stats run the set over doubles.
+    BasicIntervalSet<double> set;
+    set.insert(0.0, 1.5);
+    set.insert(1.5, 2.0);
+    set.insert(10.0, 11.0);
+    EXPECT_EQ(set.intervalCount(), 2u);
+    EXPECT_DOUBLE_EQ(set.measure(), 3.0);
+    EXPECT_TRUE(set.contains(1.5));
+    EXPECT_FALSE(set.contains(5.0));
+}
+
+/** Random interval soup over [0, domain). */
+std::vector<Interval>
+randomSoup(Rng &rng, int count, long domain)
+{
+    std::vector<Interval> soup;
+    for (int i = 0; i < count; ++i) {
+        const long begin = rng.uniformInt(0, domain - 1);
+        const long len = rng.uniformInt(1, domain / 8);
+        soup.push_back({begin, std::min(begin + len, domain)});
+    }
+    return soup;
+}
+
+TEST(IntervalSetProperty, MeasureEqualsDenseBitmapPopcount)
+{
+    const std::uint64_t seed = testutil::envSeed(0x1E7);
+    ICED_SEED_TRACE(seed);
+    Rng rng(seed);
+    for (int trial = 0; trial < 50; ++trial) {
+        const long domain = rng.uniformInt(16, 2048);
+        const int count = static_cast<int>(rng.uniformInt(1, 300));
+        const auto soup = randomSoup(rng, count, domain);
+
+        IntervalSet set;
+        std::vector<bool> bitmap(static_cast<std::size_t>(domain),
+                                 false);
+        for (const Interval &iv : soup) {
+            set.insert(iv.begin, iv.end);
+            for (long t = iv.begin; t < iv.end; ++t)
+                bitmap[static_cast<std::size_t>(t)] = true;
+        }
+        const long popcount = static_cast<long>(
+            std::count(bitmap.begin(), bitmap.end(), true));
+        ASSERT_EQ(set.measure(), popcount) << "trial " << trial;
+
+        // Every coalesced run matches the bitmap exactly, including
+        // the gaps separating runs (non-adjacency of the canonical
+        // representation).
+        long covered = 0;
+        for (const Interval &iv : set.intervals()) {
+            ASSERT_LT(iv.begin, iv.end);
+            for (long t = iv.begin; t < iv.end; ++t)
+                ASSERT_TRUE(bitmap[static_cast<std::size_t>(t)]);
+            if (iv.begin > 0) {
+                ASSERT_FALSE(
+                    bitmap[static_cast<std::size_t>(iv.begin - 1)])
+                    << "run not maximal at " << iv.begin;
+            }
+            if (iv.end < domain) {
+                ASSERT_FALSE(bitmap[static_cast<std::size_t>(iv.end)])
+                    << "run not maximal at " << iv.end;
+            }
+            covered += iv.end - iv.begin;
+        }
+        ASSERT_EQ(covered, popcount);
+    }
+}
+
+TEST(IntervalSetProperty, InsertionOrderIsIrrelevant)
+{
+    const std::uint64_t seed = testutil::envSeed(0x0DDE);
+    ICED_SEED_TRACE(seed);
+    Rng rng(seed);
+    for (int trial = 0; trial < 30; ++trial) {
+        // Enough intervals to force multiple pending-buffer flushes.
+        const auto soup = randomSoup(rng, 400, 1024);
+
+        IntervalSet forward, backward, shuffled, sorted;
+        for (const Interval &iv : soup)
+            forward.insert(iv.begin, iv.end);
+        for (auto it = soup.rbegin(); it != soup.rend(); ++it)
+            backward.insert(it->begin, it->end);
+
+        std::vector<Interval> perm = soup;
+        for (std::size_t i = perm.size(); i > 1; --i)
+            std::swap(perm[i - 1],
+                      perm[static_cast<std::size_t>(
+                          rng.uniformInt(0, static_cast<long>(i) - 1))]);
+        for (const Interval &iv : perm)
+            shuffled.insert(iv.begin, iv.end);
+
+        // Time-sorted insertion exercises the O(1) append fast path.
+        std::sort(perm.begin(), perm.end(),
+                  [](const Interval &a, const Interval &b) {
+                      if (a.begin != b.begin)
+                          return a.begin < b.begin;
+                      return a.end < b.end;
+                  });
+        for (const Interval &iv : perm)
+            sorted.insert(iv.begin, iv.end);
+
+        ASSERT_EQ(canonical(forward), canonical(backward))
+            << "trial " << trial;
+        ASSERT_EQ(canonical(forward), canonical(shuffled))
+            << "trial " << trial;
+        ASSERT_EQ(canonical(forward), canonical(sorted))
+            << "trial " << trial;
+        ASSERT_EQ(forward.measure(), sorted.measure());
+    }
+}
+
+TEST(IntervalSetProperty, InterleavedQueriesDoNotPerturbState)
+{
+    // measure()/contains() flush the pending buffer; interleaving
+    // them with inserts must not change the final canonical form.
+    const std::uint64_t seed = testutil::envSeed(0xF1A5);
+    ICED_SEED_TRACE(seed);
+    Rng rng(seed);
+    const auto soup = randomSoup(rng, 200, 512);
+    IntervalSet plain, probed;
+    for (const Interval &iv : soup)
+        plain.insert(iv.begin, iv.end);
+    for (std::size_t i = 0; i < soup.size(); ++i) {
+        probed.insert(soup[i].begin, soup[i].end);
+        if (i % 7 == 0)
+            (void)probed.measure();
+        if (i % 13 == 0)
+            (void)probed.contains(static_cast<long>(i));
+    }
+    EXPECT_EQ(canonical(plain), canonical(probed));
+}
+
+} // namespace
+} // namespace iced

@@ -38,7 +38,13 @@ usage(std::ostream &os)
           "  --repro SEED       run exactly one case from its printed seed\n"
           "                     and dump it in full\n"
           "  --inject-fault F   deliberately corrupt a model to exercise\n"
-          "                     the oracle; F: sim-off-by-one\n"
+          "                     the oracle; F: sim-off-by-one,\n"
+          "                     sim-engine-drift\n"
+          "  --sim-engine E     cycle-simulator engine(s) per case:\n"
+          "                     event (default), dense (reference\n"
+          "                     engine only), or both — run both and\n"
+          "                     report any SimResult divergence as a\n"
+          "                     sim_engine_diverged failure\n"
           "  --stress-rollback  evaluate every placement candidate twice\n"
           "                     with a transaction rollback in between;\n"
           "                     any divergence is a Map-phase failure\n"
@@ -111,9 +117,27 @@ parse(int argc, char **argv, CliArgs &cli)
             const std::string fault = argv[++i];
             if (fault == "sim-off-by-one") {
                 cli.run.oracle.fault = iced::InjectedFault::SimOffByOne;
+            } else if (fault == "sim-engine-drift") {
+                cli.run.oracle.fault =
+                    iced::InjectedFault::SimEngineDrift;
             } else {
                 std::cerr << "iced_fuzz: unknown fault '" << fault
                           << "'\n";
+                return 2;
+            }
+        } else if (arg == "--sim-engine") {
+            if (!need_value(i))
+                return 2;
+            const std::string engine = argv[++i];
+            if (engine == "event") {
+                cli.run.oracle.simEngine = iced::SimEngineMode::Event;
+            } else if (engine == "dense") {
+                cli.run.oracle.simEngine = iced::SimEngineMode::Dense;
+            } else if (engine == "both") {
+                cli.run.oracle.simEngine = iced::SimEngineMode::Both;
+            } else {
+                std::cerr << "iced_fuzz: unknown sim engine '" << engine
+                          << "' (event|dense|both)\n";
                 return 2;
             }
         } else if (arg == "--stress-rollback") {

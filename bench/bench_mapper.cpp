@@ -20,6 +20,15 @@
  * portfolio include speculative work and are only reproducible in the
  * sequential default.
  *
+ * `--prescreen` enables the multi-fidelity pre-screen (DESIGN.md
+ * section 12) with one negative-attempt memo shared across the whole
+ * run: the first repeat of a case records its attempt failures, later
+ * repeats prune them, so with `--repeat >= 2` the best-of-N wall time
+ * measures the *warm* negative-cache path. specPruned and
+ * prescreenScoreUs land in the JSON; `--verify --prescreen`
+ * additionally byte-compares every screened mapping against the
+ * unscreened sequential scan and exits 1 on mismatch.
+ *
  * Exit status: 0 on success, 1 on mapping failure or (with --verify)
  * an optimized-vs-reference mapping mismatch, 2 on usage error.
  */
@@ -32,11 +41,14 @@
 #include <fstream>
 #include <iostream>
 #include <new>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "exec/attempt_memo.hpp"
+#include "exec/mapping_cache.hpp"
 #include "kernels/registry.hpp"
 #include "mapper/mapper.hpp"
 #include "mapper/validate.hpp"
@@ -92,6 +104,10 @@ struct CaseResult
     std::uint64_t specLaunched = 0;
     std::uint64_t specCancelled = 0;
     std::uint64_t specWasted = 0;
+    // Pre-screen stats of the last repeat (deltas of
+    // mapper.portfolio.attempts_pruned / mapper.prescreen.score_us).
+    std::uint64_t specPruned = 0;
+    std::uint64_t prescreenScoreUs = 0;
 };
 
 struct BenchCase
@@ -194,6 +210,35 @@ verifyPortfolioAgainstSequential(const Cgra &cgra, const Dfg &dfg,
     return false;
 }
 
+/**
+ * Pre-screen admissibility check: the screened mapper (ranked
+ * launches + warm negative memo from the timed repeats) must pick the
+ * byte-identical mapping the unscreened sequential scan picks
+ * (outside the timed region). Returns true on mismatch.
+ */
+bool
+verifyPrescreenAgainstUnscreened(const Cgra &cgra, const Dfg &dfg,
+                                 const MapperOptions &opts)
+{
+    MapperOptions plain = opts;
+    plain.mapThreads = 1;
+    plain.prescreen = {};
+    const auto screened = Mapper(cgra, opts).tryMap(dfg);
+    const auto unscreened = Mapper(cgra, plain).tryMap(dfg);
+    if (screened.has_value() != unscreened.has_value()) {
+        std::cerr << "bench_mapper: VERIFY MISMATCH " << dfg.name()
+                  << ": screened and unscreened disagree on"
+                     " mappability\n";
+        return true;
+    }
+    if (screened && !equalMappings(*screened, *unscreened)) {
+        std::cerr << "bench_mapper: VERIFY MISMATCH " << dfg.name()
+                  << ": screened and unscreened mappings differ\n";
+        return true;
+    }
+    return false;
+}
+
 /** The suite: Table I kernels x uf x mode on 6x6, plus 12x12 point. */
 std::vector<BenchCase>
 buildSuite(bool quick)
@@ -220,7 +265,7 @@ buildSuite(bool quick)
 
 int
 run(int repeat, bool quick, bool verify, int map_threads,
-    const std::string &out_path)
+    bool prescreen, const std::string &out_path)
 {
     const std::vector<BenchCase> suite = buildSuite(quick);
     MetricsRegistry::Counter &spec_launched =
@@ -232,10 +277,20 @@ run(int repeat, bool quick, bool verify, int map_threads,
     MetricsRegistry::Counter &spec_wasted =
         MetricsRegistry::global().counter(
             "mapper.portfolio.attempts_wasted");
+    MetricsRegistry::Counter &spec_pruned =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_pruned");
+    MetricsRegistry::Counter &prescreen_score_us =
+        MetricsRegistry::global().counter("mapper.prescreen.score_us");
 
     // Fabrics are shared per size (construction is not measured).
     Cgra cgra6 = makeFabric(6);
     Cgra cgra12 = makeFabric(12);
+
+    // One negative-attempt memo for the whole run (--prescreen): the
+    // first repeat of each case records failures, later repeats prune
+    // them — the warm negative-cache path.
+    MappingCache negative_cache(4);
 
     std::vector<CaseResult> results;
     int total_routes = 0;
@@ -250,6 +305,12 @@ run(int repeat, bool quick, bool verify, int map_threads,
         MapperOptions opts;
         opts.dvfsAware = bc.dvfsAware;
         opts.mapThreads = map_threads;
+        std::optional<NegativeAttemptMemo> memo;
+        if (prescreen) {
+            memo.emplace(negative_cache, dfg, cgra.config());
+            opts.prescreen.enabled = true;
+            opts.prescreen.memo = &*memo;
+        }
 
         CaseResult r;
         r.kernel = bc.kernel->name;
@@ -269,6 +330,8 @@ run(int repeat, bool quick, bool verify, int map_threads,
             const std::uint64_t launched0 = spec_launched.value();
             const std::uint64_t cancelled0 = spec_cancelled.value();
             const std::uint64_t wasted0 = spec_wasted.value();
+            const std::uint64_t pruned0 = spec_pruned.value();
+            const std::uint64_t score0 = prescreen_score_us.value();
             const auto t0 = std::chrono::steady_clock::now();
             const Mapping m = Mapper(cgra, opts).map(dfg);
             const auto t1 = std::chrono::steady_clock::now();
@@ -284,6 +347,8 @@ run(int repeat, bool quick, bool verify, int map_threads,
             r.specLaunched = spec_launched.value() - launched0;
             r.specCancelled = spec_cancelled.value() - cancelled0;
             r.specWasted = spec_wasted.value() - wasted0;
+            r.specPruned = spec_pruned.value() - pruned0;
+            r.prescreenScoreUs = prescreen_score_us.value() - score0;
             r.ii = m.ii();
             r.routes = routedEdges(m);
         }
@@ -293,6 +358,9 @@ run(int repeat, bool quick, bool verify, int map_threads,
             ++mismatches;
         if (verify && map_threads > 1 &&
             verifyPortfolioAgainstSequential(cgra, dfg, opts))
+            ++mismatches;
+        if (verify && prescreen &&
+            verifyPrescreenAgainstUnscreened(cgra, dfg, opts))
             ++mismatches;
 
         total_routes += r.routes;
@@ -319,10 +387,14 @@ run(int repeat, bool quick, bool verify, int map_threads,
     std::uint64_t total_spec_launched = 0;
     std::uint64_t total_spec_cancelled = 0;
     std::uint64_t total_spec_wasted = 0;
+    std::uint64_t total_spec_pruned = 0;
+    std::uint64_t total_score_us = 0;
     for (const CaseResult &r : results) {
         total_spec_launched += r.specLaunched;
         total_spec_cancelled += r.specCancelled;
         total_spec_wasted += r.specWasted;
+        total_spec_pruned += r.specPruned;
+        total_score_us += r.prescreenScoreUs;
     }
 
     out << "{\n"
@@ -331,6 +403,7 @@ run(int repeat, bool quick, bool verify, int map_threads,
         << "\",\n"
         << "  \"repeat\": " << repeat << ",\n"
         << "  \"mapThreads\": " << map_threads << ",\n"
+        << "  \"prescreen\": " << (prescreen ? "true" : "false") << ",\n"
         << "  \"cases\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const CaseResult &r = results[i];
@@ -345,6 +418,9 @@ run(int repeat, bool quick, bool verify, int map_threads,
             out << ", \"specLaunched\": " << r.specLaunched
                 << ", \"specCancelled\": " << r.specCancelled
                 << ", \"specWasted\": " << r.specWasted;
+        if (prescreen)
+            out << ", \"specPruned\": " << r.specPruned
+                << ", \"prescreenScoreUs\": " << r.prescreenScoreUs;
         out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ],\n"
@@ -363,6 +439,8 @@ run(int repeat, bool quick, bool verify, int map_threads,
         << "    \"specLaunched\": " << total_spec_launched << ",\n"
         << "    \"specCancelled\": " << total_spec_cancelled << ",\n"
         << "    \"specWasted\": " << total_spec_wasted << ",\n"
+        << "    \"specPruned\": " << total_spec_pruned << ",\n"
+        << "    \"prescreenScoreUs\": " << total_score_us << ",\n"
         << "    \"peakRssKb\": " << peakRssKb() << "\n"
         << "  }\n"
         << "}\n";
@@ -394,6 +472,7 @@ main(int argc, char **argv)
     int repeat = 1;
     bool quick = false;
     bool verify = false;
+    bool prescreen = false;
     int map_threads = 1;
     std::string out_path = "BENCH_mapper.json";
     for (int i = 1; i < argc; ++i) {
@@ -402,6 +481,8 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--prescreen") {
+            prescreen = true;
         } else if (arg == "--repeat" && i + 1 < argc) {
             repeat = std::atoi(argv[++i]);
         } else if (arg == "--map-threads" && i + 1 < argc) {
@@ -411,15 +492,23 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: bench_mapper [--quick] [--verify]"
-                   " [--repeat N] [--map-threads N] [--out FILE]\n"
+                   " [--prescreen] [--repeat N] [--map-threads N]"
+                   " [--out FILE]\n"
                    "\n"
                    "  --quick        uf1 / ICED-mode subset (CI"
                    " perf-smoke)\n"
                    "  --verify       cross-check optimized vs reference\n"
                    "                 candidate evaluation — and, with\n"
                    "                 --map-threads > 1, portfolio vs\n"
-                   "                 sequential byte-equality (exit 1 on\n"
-                   "                 any mapping mismatch)\n"
+                   "                 sequential byte-equality; with\n"
+                   "                 --prescreen, screened vs unscreened\n"
+                   "                 byte-equality (exit 1 on any\n"
+                   "                 mapping mismatch)\n"
+                   "  --prescreen    enable the multi-fidelity pre-screen\n"
+                   "                 with a run-wide negative-attempt\n"
+                   "                 memo (repeat >= 2 measures the warm\n"
+                   "                 pruned path); adds specPruned /\n"
+                   "                 prescreenScoreUs to the JSON\n"
                    "  --repeat       best-of-N wall time per case"
                    " (default 1)\n"
                    "  --map-threads  portfolio worker threads per map\n"
@@ -444,8 +533,8 @@ main(int argc, char **argv)
     }
     try {
         trace.begin();
-        const int rc =
-            iced::run(repeat, quick, verify, map_threads, out_path);
+        const int rc = iced::run(repeat, quick, verify, map_threads,
+                                 prescreen, out_path);
         return trace.finish() ? rc : 2;
     } catch (const std::exception &e) {
         std::cerr << "bench_mapper: " << e.what() << "\n";

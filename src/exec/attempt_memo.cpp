@@ -1,0 +1,26 @@
+#include "exec/attempt_memo.hpp"
+
+namespace iced {
+
+NegativeAttemptMemo::NegativeAttemptMemo(MappingCache &cache,
+                                         const Dfg &dfg,
+                                         const CgraConfig &config)
+    : cache(&cache), base(attemptBaseFingerprint(dfg, config))
+{
+}
+
+bool
+NegativeAttemptMemo::knownFailed(const MapperOptions &variant, int ii)
+{
+    return cache->knownFailedAttempt(
+        fingerprintAttemptCell(base, variant, ii));
+}
+
+void
+NegativeAttemptMemo::noteFailed(const MapperOptions &variant, int ii)
+{
+    cache->noteFailedAttempt(
+        fingerprintAttemptCell(base, variant, ii));
+}
+
+} // namespace iced

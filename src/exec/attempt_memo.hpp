@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Canonical `AttemptMemo` implementation: attempt-cell failures keyed
+ * by content fingerprint into a `MappingCache`'s negative tier.
+ *
+ * The mapper layer defines the `AttemptMemo` interface
+ * (mapper/prescreen/prescreen.hpp) but cannot depend on exec; this
+ * adapter closes the loop. One memo is scoped to a single (dfg,
+ * fabric) pair — it precomputes the shared base fingerprint once and
+ * appends only the (lane-variant, II) cell per probe, so a probe is a
+ * few dozen FNV mixes plus one hash lookup. Thread-safe via the
+ * cache's own locking; copies of one memo share the same tier.
+ *
+ * Persistence rides the cache's attached `MappingStore`: with a
+ * `PersistentMappingStore` underneath, recorded failures survive
+ * process and `iced_serve` restarts as `.icn` entries, schema-
+ * versioned like positive `.icm` entries.
+ */
+#ifndef ICED_EXEC_ATTEMPT_MEMO_HPP
+#define ICED_EXEC_ATTEMPT_MEMO_HPP
+
+#include "exec/fingerprint.hpp"
+#include "exec/mapping_cache.hpp"
+#include "mapper/prescreen/prescreen.hpp"
+
+namespace iced {
+
+class NegativeAttemptMemo : public AttemptMemo
+{
+  public:
+    /** `cache` must outlive the memo; dfg/config are fingerprinted
+     *  immediately and not retained. */
+    NegativeAttemptMemo(MappingCache &cache, const Dfg &dfg,
+                        const CgraConfig &config);
+
+    bool knownFailed(const MapperOptions &variant, int ii) override;
+    void noteFailed(const MapperOptions &variant, int ii) override;
+
+  private:
+    MappingCache *cache;
+    Fingerprint base;
+};
+
+} // namespace iced
+
+#endif // ICED_EXEC_ATTEMPT_MEMO_HPP

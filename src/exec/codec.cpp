@@ -149,6 +149,10 @@ encodeMapperOptions(Encoder &enc, const MapperOptions &options)
     enc.boolean(options.stressRollback);
     enc.i32(options.mapThreads);
     enc.i32(options.speculationWindow);
+    // `cancel` and `prescreen` are deliberately not on the wire:
+    // per-call control-plane state (a token, a borrowed memo pointer,
+    // a fault-injection knob) that never changes the chosen mapping.
+    // Decoded options get the defaults (null token, prescreen off).
     enc.f64(options.labeling.fillFactor);
     enc.i32(static_cast<int>(options.labeling.lowestLabel));
     enc.f64(options.router.hopCost);

@@ -137,4 +137,53 @@ fingerprintMappingRequest(const Dfg &dfg, const CgraConfig &config,
     return fp.digest();
 }
 
+Fingerprint
+attemptBaseFingerprint(const Dfg &dfg, const CgraConfig &config,
+                       std::uint32_t version)
+{
+    Fingerprint fp;
+    fp.mix(std::string_view("attempt"));
+    fp.mix(static_cast<std::uint64_t>(version));
+    mixDfg(fp, dfg);
+    mixCgraConfig(fp, config);
+    return fp;
+}
+
+void
+mixAttemptVariant(Fingerprint &fp, const MapperOptions &variant)
+{
+    fp.mix(std::string_view("variant"));
+    fp.mix(variant.dvfsAware);
+    fp.mix(variant.candidateTiles);
+    fp.mix(variant.viableCandidates);
+    fp.mix(variant.levelMismatchCost);
+    fp.mix(variant.newIslandCost);
+    fp.mix(variant.latenessCost);
+    fp.mix(variant.fanoutTilePenalty);
+    fp.mix(variant.useClusters);
+    fp.mix(variant.referenceEvaluation);
+    fp.mix(variant.stressRollback);
+    // Deliberately NOT mixed: maxIiSteps (the cell key carries its own
+    // II), mapThreads/speculationWindow/cancel/prescreen (scan- and
+    // control-plane knobs; an attempt at a fixed II is the same
+    // deterministic function under all of them).
+    fp.mix(std::string_view("labeling"));
+    fp.mix(variant.labeling.fillFactor);
+    fp.mix(static_cast<int>(variant.labeling.lowestLabel));
+    fp.mix(std::string_view("router"));
+    fp.mix(variant.router.hopCost);
+    fp.mix(variant.router.waitCost);
+    fp.mix(variant.router.coldTilePenalty);
+}
+
+Digest
+fingerprintAttemptCell(Fingerprint base, const MapperOptions &variant,
+                       int ii)
+{
+    mixAttemptVariant(base, variant);
+    base.mix(std::string_view("ii"));
+    base.mix(ii);
+    return base.digest();
+}
+
 } // namespace iced

@@ -103,6 +103,31 @@ void mixMapperOptions(Fingerprint &fp, const MapperOptions &options);
 Digest fingerprintMappingRequest(const Dfg &dfg, const CgraConfig &config,
                                  const MapperOptions &options);
 
+/**
+ * Base fingerprint shared by every attempt cell of one (dfg, fabric)
+ * pair — the prescreen negative tier amortizes the DFG/config mixing
+ * across the whole (II x ladder-lane) grid by copying this and
+ * appending the per-cell variant. Keys are schema-versioned exactly
+ * like positive entries: a `mappingSchemaVersion` bump orphans them
+ * (the `version` parameter exists so tests can prove that).
+ */
+Fingerprint attemptBaseFingerprint(
+    const Dfg &dfg, const CgraConfig &config,
+    std::uint32_t version = mappingSchemaVersion);
+
+/**
+ * Mix the option fields that identify one strategy-ladder lane. A
+ * strict subset of `mixMapperOptions`: II-scan and control knobs
+ * (maxIiSteps, mapThreads, speculationWindow, cancel, prescreen) are
+ * excluded because an *attempt* at a fixed II is independent of how
+ * the scan around it is driven.
+ */
+void mixAttemptVariant(Fingerprint &fp, const MapperOptions &variant);
+
+/** Negative-tier key of one (dfg, fabric, lane-variant, II) cell. */
+Digest fingerprintAttemptCell(Fingerprint base,
+                              const MapperOptions &variant, int ii);
+
 } // namespace iced
 
 #endif // ICED_EXEC_FINGERPRINT_HPP

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "exec/attempt_memo.hpp"
 #include "trace/trace.hpp"
 
 namespace iced {
@@ -26,6 +27,25 @@ memoryCounters()
         MetricsRegistry::global().counter("cache.memory.hits"),
         MetricsRegistry::global().counter("cache.memory.misses"),
         MetricsRegistry::global().counter("cache.memory.evictions"),
+    };
+    return counters;
+}
+
+/** Negative-tier (attempt-cell failure) counters, same idiom. */
+struct NegativeTierCounters
+{
+    MetricsRegistry::Counter &hits;
+    MetricsRegistry::Counter &misses;
+    MetricsRegistry::Counter &writes;
+};
+
+NegativeTierCounters &
+negativeCounters()
+{
+    static NegativeTierCounters counters{
+        MetricsRegistry::global().counter("cache.negative.hits"),
+        MetricsRegistry::global().counter("cache.negative.misses"),
+        MetricsRegistry::global().counter("cache.negative.writes"),
     };
     return counters;
 }
@@ -57,6 +77,9 @@ computeMappingEntry(const CgraConfig &config, const Dfg &dfg,
     } catch (const FatalError &err) {
         entry->error = err.what();
     }
+    // The memo is per-call borrowed state (prescreen.hpp); entries
+    // outlive the call (cached, persisted), so never retain it.
+    entry->options.prescreen.memo = nullptr;
     return entry;
 }
 
@@ -137,8 +160,21 @@ MappingCache::map(const CgraConfig &config, const Dfg &dfg,
         if (store)
             if ((entry = store->fetch(key)))
                 fetched = true;
-        if (!entry)
-            entry = computeMappingEntry(config, dfg, options);
+        if (!entry) {
+            // A screened request with no caller-provided memo gets one
+            // backed by this cache's negative tier, so attempt-cell
+            // failures prune future computes (and persist via the
+            // attached store). Stack-scoped: computeMappingEntry
+            // scrubs the borrowed pointer from the entry it returns.
+            MapperOptions compute_opts = options;
+            std::optional<NegativeAttemptMemo> auto_memo;
+            if (compute_opts.prescreen.enabled
+                && !compute_opts.prescreen.memo) {
+                auto_memo.emplace(*this, dfg, config);
+                compute_opts.prescreen.memo = &*auto_memo;
+            }
+            entry = computeMappingEntry(config, dfg, compute_opts);
+        }
     } catch (...) {
         // Unexpected (PanicError etc.): propagate to every waiter and
         // drop the slot so the bug is not memoized.
@@ -178,6 +214,50 @@ MappingCache::map(const CgraConfig &config, const Dfg &dfg,
     if (store && !fetched && !truncated)
         store->store(key, entry);
     return entry;
+}
+
+bool
+MappingCache::knownFailedAttempt(const Digest &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (negative.count(key) != 0) {
+            negativeCounters().hits.increment();
+            return true;
+        }
+    }
+    // Read through the store outside the lock — a disk probe must not
+    // serialize unrelated map() publishes.
+    if (store && store->fetchNegative(key)) {
+        std::lock_guard<std::mutex> lock(mtx);
+        negative.insert(key);
+        negativeCounters().hits.increment();
+        return true;
+    }
+    negativeCounters().misses.increment();
+    return false;
+}
+
+void
+MappingCache::noteFailedAttempt(const Digest &key)
+{
+    bool fresh;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        fresh = negative.insert(key).second;
+    }
+    if (fresh) {
+        negativeCounters().writes.increment();
+        if (store)
+            store->storeNegative(key);
+    }
+}
+
+std::size_t
+MappingCache::negativeSize() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return negative.size();
 }
 
 MappingCacheStats

@@ -48,6 +48,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/stats.hpp"
 #include "exec/fingerprint.hpp"
@@ -116,6 +117,22 @@ class MappingStore
     virtual void store(const Digest &key,
                        const std::shared_ptr<const MappingEntry> &entry)
         = 0;
+
+    /**
+     * Negative tier: is `key` a recorded attempt-cell failure? Keys
+     * are `fingerprintAttemptCell` digests — one (dfg, fabric,
+     * ladder-lane, II) place-and-route attempt that deterministically
+     * found no fit — not whole-request keys. Default: no negative
+     * storage.
+     */
+    virtual bool fetchNegative(const Digest &key)
+    {
+        (void)key;
+        return false;
+    }
+
+    /** Record an attempt-cell failure (best-effort, like `store`). */
+    virtual void storeNegative(const Digest &key) { (void)key; }
 };
 
 /** Which tier satisfied a `MappingCache::map` call. */
@@ -171,6 +188,25 @@ class MappingCache
      */
     void attachStore(MappingStore *backing) { store = backing; }
 
+    /**
+     * Negative tier (prescreen, DESIGN.md §12): has `key` — a
+     * `fingerprintAttemptCell` digest — been recorded as a
+     * deterministic attempt failure? Misses read through the attached
+     * store (`.icn` entries) and cache the positive answer in memory.
+     */
+    bool knownFailedAttempt(const Digest &key);
+
+    /**
+     * Record one attempt-cell failure; first sighting is written
+     * behind to the attached store. Callers must never record
+     * cancelled/deadline-truncated attempts (not verdicts) — the
+     * mapper's recording sites enforce this.
+     */
+    void noteFailedAttempt(const Digest &key);
+
+    /** Number of in-memory negative entries. */
+    std::size_t negativeSize() const;
+
     /** Snapshot of hit/miss/eviction counts. */
     MappingCacheStats stats() const;
 
@@ -201,6 +237,14 @@ class MappingCache
     std::unordered_map<Digest, Slot, DigestHash> table;
     /** Completed keys, most recently used first. */
     std::list<Digest> lru;
+    /**
+     * Attempt-cell failure keys. Unbounded by design: entries are a
+     * 16-byte digest each, only deterministic failures land here, and
+     * a sweep's whole grid is a few thousand cells. Not dropped by
+     * clear() — a recorded failure never goes stale within one schema
+     * version.
+     */
+    std::unordered_set<Digest, DigestHash> negative;
     MappingStore *store = nullptr;
 
     StatCounter hitCounter{"mapping_cache.hits"};

@@ -24,6 +24,10 @@ constexpr std::uint32_t storeFormatVersion = 1;
 /** Header: magic + version + payload length + payload checksum. */
 constexpr std::size_t headerBytes = 4 + 4 + 8 + 8;
 
+/** Negative (`.icn`) marker: magic + version + echoed key, no payload. */
+constexpr char negativeMagic[4] = {'I', 'C', 'M', 'N'};
+constexpr std::size_t negativeBytes = 4 + 4 + 8 + 8;
+
 struct PersistentTierCounters
 {
     MetricsRegistry::Counter &hits;
@@ -40,6 +44,30 @@ persistentCounters()
         MetricsRegistry::global().counter("cache.persistent.misses"),
         MetricsRegistry::global().counter("cache.persistent.corrupt"),
         MetricsRegistry::global().counter("cache.persistent.writes"),
+    };
+    return counters;
+}
+
+struct NegativeStoreCounters
+{
+    MetricsRegistry::Counter &hits;
+    MetricsRegistry::Counter &misses;
+    MetricsRegistry::Counter &corrupt;
+    MetricsRegistry::Counter &writes;
+};
+
+NegativeStoreCounters &
+negativeStoreCounters()
+{
+    static NegativeStoreCounters counters{
+        MetricsRegistry::global().counter(
+            "cache.persistent.negative_hits"),
+        MetricsRegistry::global().counter(
+            "cache.persistent.negative_misses"),
+        MetricsRegistry::global().counter(
+            "cache.persistent.negative_corrupt"),
+        MetricsRegistry::global().counter(
+            "cache.persistent.negative_writes"),
     };
     return counters;
 }
@@ -228,6 +256,109 @@ PersistentMappingStore::store(
     persistentCounters().writes.increment();
 }
 
+fs::path
+PersistentMappingStore::negativePath(const Digest &key) const
+{
+    const std::string hex = hexDigest(key);
+    return fs::path(opts.directory) / hex.substr(0, 2) / (hex + ".icn");
+}
+
+bool
+PersistentMappingStore::fetchNegative(const Digest &key)
+{
+    const fs::path path = negativePath(key);
+    std::string file;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            negativeStoreCounters().misses.increment();
+            return false;
+        }
+        file.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+        if (!in.good() && !in.eof()) {
+            negativeStoreCounters().misses.increment();
+            return false;
+        }
+    }
+
+    auto corrupt = [&](const char *why) {
+        negativeStoreCounters().corrupt.increment();
+        warn("persistent store: dropping corrupt negative marker ",
+             path.string(), " (", why, ")");
+        std::error_code ec;
+        fs::remove(path, ec);
+        return false;
+    };
+
+    try {
+        Decoder dec(file);
+        if (dec.remaining() != negativeBytes)
+            return corrupt("size mismatch");
+        char magic[4];
+        for (char &c : magic)
+            c = static_cast<char>(dec.u8());
+        if (std::string_view(magic, 4) !=
+            std::string_view(negativeMagic, 4))
+            return corrupt("bad magic");
+        if (dec.u32() != storeFormatVersion)
+            return corrupt("store version mismatch");
+        // The echoed key guards against a marker renamed or hard-
+        // linked onto the wrong digest: a wrong marker would silently
+        // prune a *feasible* attempt, which the format must rule out.
+        if (dec.u64() != key.lo || dec.u64() != key.hi)
+            return corrupt("key mismatch");
+        negativeStoreCounters().hits.increment();
+        return true;
+    } catch (const FatalError &err) {
+        return corrupt(err.what());
+    }
+}
+
+void
+PersistentMappingStore::storeNegative(const Digest &key)
+{
+    Encoder enc;
+    for (char c : negativeMagic)
+        enc.u8(static_cast<std::uint8_t>(c));
+    enc.u32(storeFormatVersion);
+    enc.u64(key.lo);
+    enc.u64(key.hi);
+
+    const fs::path path = negativePath(key);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+
+    const fs::path tmp =
+        path.string() + ".tmp." + std::to_string(processId()) + "." +
+        std::to_string(
+            tempSeq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("persistent store: cannot write ", tmp.string());
+            return;
+        }
+        out.write(enc.bytes().data(),
+                  static_cast<std::streamsize>(enc.bytes().size()));
+        out.flush();
+        if (!out.good()) {
+            warn("persistent store: short write to ", tmp.string());
+            out.close();
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("persistent store: rename to ", path.string(),
+             " failed: ", ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+    negativeStoreCounters().writes.increment();
+}
+
 bool
 PersistentMappingStore::contains(const Digest &key) const
 {
@@ -245,6 +376,20 @@ PersistentMappingStore::entryCount() const
          end;
          !ec && it != end; it.increment(ec))
         if (it->is_regular_file(ec) && it->path().extension() == ".icm")
+            ++count;
+    return count;
+}
+
+std::size_t
+PersistentMappingStore::negativeEntryCount() const
+{
+    std::size_t count = 0;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(opts.directory, ec),
+         end;
+         !ec && it != end; it.increment(ec))
+        if (it->is_regular_file(ec) && it->path().extension() == ".icn")
             ++count;
     return count;
 }

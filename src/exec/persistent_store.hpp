@@ -31,7 +31,9 @@
  * byte-identical content because the mapper is deterministic.
  *
  * Observability: `cache.persistent.{hits,misses,corrupt,writes}`
- * counters in the global `MetricsRegistry`.
+ * counters in the global `MetricsRegistry`, plus
+ * `cache.persistent.negative_{hits,misses,corrupt,writes}` for the
+ * `.icn` negative tier (see fetchNegative below).
  */
 #ifndef ICED_EXEC_PERSISTENT_STORE_HPP
 #define ICED_EXEC_PERSISTENT_STORE_HPP
@@ -73,17 +75,36 @@ class PersistentMappingStore : public MappingStore
     void store(const Digest &key,
                const std::shared_ptr<const MappingEntry> &entry) override;
 
+    /**
+     * Negative tier (prescreen, DESIGN.md §12): attempt-cell failure
+     * markers as sibling `.icn` files (magic "ICMN", store format
+     * version, the key echoed back as self-check — no payload; the
+     * file's existence is the fact). The key is a
+     * `fingerprintAttemptCell` digest, which mixes
+     * `mappingSchemaVersion`, so a schema bump orphans old markers
+     * exactly like positive entries. Same atomic temp+rename writes;
+     * any validation mismatch removes the file and reports a miss.
+     */
+    bool fetchNegative(const Digest &key) override;
+    void storeNegative(const Digest &key) override;
+
     /** True when a (plausible) entry file exists for `key`. */
     bool contains(const Digest &key) const;
 
     /** Number of entry files currently in the store (full scan). */
     std::size_t entryCount() const;
 
+    /** Number of negative (`.icn`) markers in the store (full scan). */
+    std::size_t negativeEntryCount() const;
+
     /** Remove `.tmp.` leftovers of crashed writers; returns count. */
     int sweepStaleTemps();
 
     /** Entry file path for `key` (for tests and tooling). */
     std::filesystem::path entryPath(const Digest &key) const;
+
+    /** Negative-marker file path for `key` (for tests and tooling). */
+    std::filesystem::path negativePath(const Digest &key) const;
 
     const std::string &directory() const { return opts.directory; }
 

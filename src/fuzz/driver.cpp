@@ -90,8 +90,12 @@ reproLine(const FuzzRunOptions &opt, std::uint64_t seed)
         os << " --inject-fault sim-off-by-one";
     if (opt.oracle.fault == InjectedFault::SimEngineDrift)
         os << " --inject-fault sim-engine-drift";
+    if (opt.oracle.fault == InjectedFault::PrescreenMisprune)
+        os << " --inject-fault prescreen-misprune";
     if (opt.oracle.stressRollback)
         os << " --stress-rollback";
+    if (opt.oracle.prescreen)
+        os << " --prescreen";
     if (opt.oracle.mapThreads > 1)
         os << " --map-threads " << opt.oracle.mapThreads;
     if (opt.oracle.simEngine == SimEngineMode::Both)

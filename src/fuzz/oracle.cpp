@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "dfg/interpreter.hpp"
+#include "exec/attempt_memo.hpp"
 #include "mapper/power_gating.hpp"
 #include "mapper/validate.hpp"
 #include "sim/simulator.hpp"
@@ -58,6 +59,7 @@ toString(OraclePhase phase)
       case OraclePhase::Validate: return "validate";
       case OraclePhase::Simulate: return "simulate";
       case OraclePhase::SimEngineDiverged: return "sim_engine_diverged";
+      case OraclePhase::PrescreenMisprune: return "prescreen_misprune";
       case OraclePhase::Interpret: return "interpret";
       case OraclePhase::Compare: return "compare";
       case OraclePhase::Done: return "done";
@@ -118,6 +120,48 @@ runCase(const FuzzCase &fc, const OracleOptions &opt)
             return failAt(OraclePhase::Map,
                           "portfolio mapping differs from sequential",
                           mapping->ii());
+    }
+
+    // Pre-screen differential: the screened mapper (score-ranked
+    // portfolio launches + negative-attempt memo) must reach the
+    // unscreened verdict — including "no fit". Two passes share one
+    // memo: the first records every completed failure, the second
+    // actually prunes them, so an over-eager prune (the admissibility
+    // bug class this lane exists for) is exercised, not just possible.
+    if (opt.prescreen) {
+        MappingCache negative_cache(4);
+        NegativeAttemptMemo memo(negative_cache, fc.dfg, fc.fabric);
+        MapperOptions screened_opts = mapper_opts;
+        screened_opts.mapThreads = std::max(2, opt.mapThreads);
+        screened_opts.prescreen.enabled = true;
+        screened_opts.prescreen.memo = &memo;
+        screened_opts.prescreen.faultMisprune =
+            opt.fault == InjectedFault::PrescreenMisprune;
+        const Mapper screened_mapper(cgra, screened_opts);
+        for (int pass = 1; pass <= 2; ++pass) {
+            std::optional<Mapping> screened;
+            try {
+                screened = screened_mapper.tryMap(fc.dfg);
+            } catch (const std::exception &e) {
+                return failAt(OraclePhase::PrescreenMisprune,
+                              std::string("screened mapper raised: ") +
+                                  e.what());
+            }
+            if (opt.cancel.cancelled())
+                return cancelled();
+            if (screened.has_value() != mapping.has_value())
+                return failAt(
+                    OraclePhase::PrescreenMisprune,
+                    "screened and unscreened mapper disagree on"
+                    " mappability (pass " +
+                        std::to_string(pass) + ")");
+            if (mapping && !equalMappings(*mapping, *screened))
+                return failAt(OraclePhase::PrescreenMisprune,
+                              "screened mapping differs from"
+                              " unscreened (pass " +
+                                  std::to_string(pass) + ")",
+                              mapping->ii());
+        }
     }
 
     if (!mapping) {

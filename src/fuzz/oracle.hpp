@@ -30,6 +30,11 @@ enum class InjectedFault {
      *  observable through the engine-differential lane (SimEngineMode::
      *  Both), which must flag it as sim_engine_diverged. */
     SimEngineDrift,
+    /** Force the pre-screen to prune the first attempt-grid cell even
+     *  though it was never proven infeasible; only observable through
+     *  the prescreen lane (`--prescreen`), which must flag it as
+     *  prescreen_misprune whenever that cell would have won. */
+    PrescreenMisprune,
 };
 
 /** Which cycle-simulator engine(s) the oracle drives. */
@@ -47,6 +52,7 @@ enum class OraclePhase {
     Validate, ///< checkMapping reported violations
     Simulate, ///< simulator raised
     SimEngineDiverged, ///< event and dense-reference engines disagree
+    PrescreenMisprune, ///< screened and unscreened mapper disagree
     Interpret,///< golden model raised (generator contract broken)
     Compare,  ///< simulator and interpreter disagree
     Done,     ///< no failure
@@ -81,6 +87,16 @@ struct OracleOptions
      * accounting bug is attributed to the engine, not the semantics.
      */
     SimEngineMode simEngine = SimEngineMode::Event;
+    /**
+     * Pre-screen differential mode: each case is additionally mapped
+     * with the multi-fidelity pre-screen enabled (score-ranked
+     * portfolio launches plus a negative-attempt memo), twice over a
+     * shared memo so the second pass actually prunes the cells the
+     * first recorded — and any divergence from the unscreened mapping,
+     * mappability or byte-level (`equalMappings`), is a
+     * prescreen_misprune failure (`iced_fuzz --prescreen`).
+     */
+    bool prescreen = false;
     /**
      * Cooperative abort, threaded into `MapperOptions::cancel` of every
      * mapper run. A case whose map was truncated by the token is a

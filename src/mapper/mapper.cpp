@@ -207,13 +207,39 @@ Mapper::tryMap(const Dfg &dfg) const
 std::optional<Mapping>
 Mapper::tryMapSequential(const Dfg &dfg, int recMii) const
 {
+    static MetricsRegistry::Counter &m_pruned =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_pruned");
     const std::vector<Mapper> &ladder = ladderMappers();
     const int start = startIi(dfg, recMii);
+    // Pre-screen prune (DESIGN.md §12): the memo only ever contains
+    // cells whose attempt deterministically failed, so skipping one is
+    // equivalent to running it and watching it fail — the scan verdict
+    // cannot change. Score-ranking is pointless here (the scan is
+    // already strictly ordered), so the sequential path uses the memo
+    // alone.
+    AttemptMemo *memo =
+        opts.prescreen.enabled ? opts.prescreen.memo : nullptr;
     for (int ii = start; ii <= start + opts.maxIiSteps; ++ii) {
-        for (const Mapper &m : ladder) {
+        for (std::size_t lane = 0; lane < ladder.size(); ++lane) {
+            const Mapper &m = ladder[lane];
+            if (memo) {
+                const bool fault = opts.prescreen.faultMisprune &&
+                                   ii == start && lane == 0;
+                if (fault || memo->knownFailed(m.options(), ii)) {
+                    m_pruned.increment();
+                    if (TraceSession *ts = TraceSession::active())
+                        ts->instant("mapper", "portfolio-pruned");
+                    continue;
+                }
+            }
             if (auto mapping =
                     m.attemptAtIi(dfg, ii, recMii, opts.cancel))
                 return mapping;
+            // A completed no-fit is a deterministic verdict; a
+            // cancelled attempt is truncated and must not be recorded.
+            if (memo && !opts.cancel.cancelled())
+                memo->noteFailed(m.options(), ii);
         }
     }
     return std::nullopt;
@@ -249,6 +275,14 @@ Mapper::tryMapPortfolio(const Dfg &dfg, int recMii, int threads) const
             "mapper.portfolio.attempts_wasted");
     static MetricsRegistry::Counter &m_wins =
         MetricsRegistry::global().counter("mapper.portfolio.wins");
+    static MetricsRegistry::Counter &m_pruned =
+        MetricsRegistry::global().counter(
+            "mapper.portfolio.attempts_pruned");
+    static MetricsRegistry::Counter &m_score_us =
+        MetricsRegistry::global().counter("mapper.prescreen.score_us");
+    static MetricsRegistry::Counter &m_scored =
+        MetricsRegistry::global().counter(
+            "mapper.prescreen.cells_scored");
     m_runs.increment();
 
     // The attempt grid in sequential scan order: rank r = (II level,
@@ -265,19 +299,88 @@ Mapper::tryMapPortfolio(const Dfg &dfg, int recMii, int threads) const
     auto ii_of = [&](int rank) { return start + rank / lanes; };
     auto lane_of = [&](int rank) { return rank % lanes; };
 
+    // Multi-fidelity pre-screen (DESIGN.md §12), computed up front on
+    // the calling thread: analytical per-cell scores (microseconds,
+    // no MRRG) and the negative-memo consult. Both must be fixed
+    // before any attempt races — the prune set and launch order are
+    // then pure functions of the request plus memo state.
+    const bool screened = opts.prescreen.enabled;
+    AttemptMemo *memo = screened ? opts.prescreen.memo : nullptr;
+    std::vector<double> score;
+    std::vector<char> pruned_cell;
+    std::uint64_t n_pruned = 0;
+    KernelClass klass = KernelClass::Wide;
+    if (screened) {
+        const auto score_t0 = std::chrono::steady_clock::now();
+        const DfgStats stats = analyzeDfg(dfg, recMii);
+        klass = classifyKernel(stats);
+        score.resize(static_cast<std::size_t>(total));
+        for (int rank = 0; rank < total; ++rank)
+            score[static_cast<std::size_t>(rank)] = scoreAttemptCell(
+                stats, *fabric,
+                ladder[static_cast<std::size_t>(lane_of(rank))]
+                    .options(),
+                ii_of(rank));
+        m_scored.increment(static_cast<std::uint64_t>(total));
+        m_score_us.increment(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - score_t0)
+                .count()));
+        if (memo) {
+            pruned_cell.assign(static_cast<std::size_t>(total), 0);
+            for (int rank = 0; rank < total; ++rank) {
+                const bool fault =
+                    opts.prescreen.faultMisprune && rank == 0;
+                if (fault ||
+                    memo->knownFailed(
+                        ladder[static_cast<std::size_t>(lane_of(rank))]
+                            .options(),
+                        ii_of(rank))) {
+                    pruned_cell[static_cast<std::size_t>(rank)] = 1;
+                    ++n_pruned;
+                    if (TraceSession *ts = TraceSession::active()) {
+                        // Same per-cell track naming as the launched
+                        // attempts, so a prune is visible exactly
+                        // where the attempt would have run.
+                        TraceTrack track(
+                            "mapper/portfolio/ii" +
+                            std::to_string(ii_of(rank)) + "-v" +
+                            std::to_string(lane_of(rank)));
+                        ts->instant("mapper", "portfolio-pruned");
+                    }
+                }
+            }
+        }
+    }
+
     // Speculation window: attempts launch strictly in rank order, and
     // an II level may only have attempts in flight while it is at most
     // `window - 1` levels past the lowest unresolved II. Auto mode
-    // keeps roughly all workers busy plus one level of slack.
+    // keeps roughly all workers busy plus one level of slack; with the
+    // pre-screen on, the auto window is further adapted per kernel
+    // class from observed waste (scheduling-only — the smallest-
+    // winning-rank rule below is what fixes the result).
     int window = opts.speculationWindow;
-    if (window <= 0)
+    if (window <= 0) {
         window = std::max(2, (threads + lanes - 1) / lanes + 1);
+        if (screened)
+            window = AdaptiveWindowController::global().windowFor(
+                klass, window);
+    }
 
     std::mutex mtx;
     std::condition_variable progress;
     std::vector<PortfolioSlot> slots(static_cast<std::size_t>(total));
     int incumbent = total; // smallest successful rank so far
     int frontier = 0;      // smallest rank not yet done
+
+    // Pruned cells enter the grid pre-resolved: done with no result,
+    // exactly the state a completed failing attempt would leave. The
+    // frontier hops over them and the winner rule is untouched.
+    for (int rank = 0; rank < total; ++rank)
+        if (!pruned_cell.empty() &&
+            pruned_cell[static_cast<std::size_t>(rank)])
+            slots[static_cast<std::size_t>(rank)].done = true;
 
     ThreadPool pool(threads);
     TaskGroup group(pool);
@@ -341,6 +444,7 @@ Mapper::tryMapPortfolio(const Dfg &dfg, int recMii, int threads) const
     {
         std::unique_lock<std::mutex> lock(mtx);
         int next = 0;
+        std::vector<int> batch;
         for (;;) {
             while (frontier < total &&
                    slots[static_cast<std::size_t>(frontier)].done)
@@ -349,12 +453,27 @@ Mapper::tryMapPortfolio(const Dfg &dfg, int recMii, int threads) const
             // the portfolio; the truncated verdict is nullopt.
             if (opts.cancel.cancelled())
                 break;
+            // Gather the newly window-eligible ranks, then launch the
+            // batch in predicted-feasibility order (ranks on a score
+            // tie, via stable_sort). Which cells run and which rank
+            // wins are unchanged — the pre-screen only picks which
+            // eligible attempt gets a worker first.
+            batch.clear();
             while (next < incumbent && next < total &&
                    ii_of(next) <
                        ii_of(std::min(frontier, total - 1)) + window) {
-                launch(next);
+                if (!slots[static_cast<std::size_t>(next)].done)
+                    batch.push_back(next); // pruned cells pre-resolved
                 ++next;
             }
+            if (screened && batch.size() > 1)
+                std::stable_sort(
+                    batch.begin(), batch.end(), [&](int a, int b) {
+                        return score[static_cast<std::size_t>(a)] <
+                               score[static_cast<std::size_t>(b)];
+                    });
+            for (int rank : batch)
+                launch(rank);
             if (frontier >= std::min(incumbent, total))
                 break; // decided: winner fixed, or the whole grid failed
             if (opts.cancel.cancellable()) {
@@ -391,14 +510,42 @@ Mapper::tryMapPortfolio(const Dfg &dfg, int recMii, int threads) const
         if (rank > incumbent)
             ++n_wasted; // speculative work the decision never needed
     }
+
+    // Record deterministic failures into the negative memo, after the
+    // drain so every slot state is final. A slot is authoritative iff
+    // its attempt ran to completion with no cancel requested; a
+    // whole-call cancel skips recording entirely (its slots may have
+    // been truncated between the cancel and the drain).
+    if (memo && !opts.cancel.cancelled()) {
+        for (int rank = 0; rank < total; ++rank) {
+            const PortfolioSlot &slot =
+                slots[static_cast<std::size_t>(rank)];
+            if (slot.launched && slot.done && !slot.result &&
+                !slot.cancel.cancelRequested())
+                memo->noteFailed(
+                    ladder[static_cast<std::size_t>(lane_of(rank))]
+                        .options(),
+                    ii_of(rank));
+        }
+    }
+    if (screened && !opts.cancel.cancelled()) {
+        const int depth =
+            incumbent < total ? ii_of(incumbent) - start : levels;
+        AdaptiveWindowController::global().record(klass, n_launched,
+                                                  n_wasted, depth);
+    }
+
     m_launched.increment(n_launched);
     m_cancelled.increment(n_cancelled);
     m_wasted.increment(n_wasted);
+    m_pruned.increment(n_pruned);
     if (TraceSession *ts = TraceSession::active()) {
         ts->counter("mapper", "mapper/portfolio-launched",
                     static_cast<double>(n_launched));
         ts->counter("mapper", "mapper/portfolio-wasted",
                     static_cast<double>(n_wasted));
+        ts->counter("mapper", "mapper/portfolio-pruned",
+                    static_cast<double>(n_pruned));
     }
     return winner;
 }

@@ -33,6 +33,7 @@
 #include "exec/cancel.hpp"
 #include "mapper/labeling.hpp"
 #include "mapper/mapping.hpp"
+#include "mapper/prescreen/prescreen.hpp"
 #include "mrrg/router.hpp"
 
 namespace iced {
@@ -111,6 +112,18 @@ struct MapperOptions
      * pointer test per check.
      */
     CancelToken cancel;
+    /**
+     * Multi-fidelity pre-screen of the (II x ladder-lane) attempt
+     * grid (DESIGN.md §12): analytical scores rank launches, a
+     * negative-attempt memo prunes cells already proven infeasible,
+     * and the speculation window adapts per kernel class. Scheduling/
+     * control-plane only — the returned mapping stays byte-identical
+     * to the unscreened sequential scan (`prescreen_test`,
+     * `iced_fuzz --prescreen`), so like `mapThreads` and `cancel`
+     * these knobs are excluded from the mapping fingerprint and the
+     * codec.
+     */
+    PrescreenOptions prescreen;
     LabelOptions labeling;
     RouterOptions router;
 };

@@ -1,0 +1,173 @@
+#include "mapper/prescreen/prescreen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "arch/dvfs.hpp"
+#include "mapper/mapper.hpp"
+
+namespace iced {
+
+DfgStats
+analyzeDfg(const Dfg &dfg, int rec_mii)
+{
+    DfgStats s;
+    s.nodeCount = dfg.nodeCount();
+    s.mappableNodes = dfg.mappableNodeCount();
+    s.memOps = dfg.memoryOpCount();
+    s.edgeCount = dfg.edgeCount();
+    s.recMii = std::max(1, rec_mii);
+
+    for (NodeId id = 0; id < dfg.nodeCount(); ++id)
+        s.maxFanout = std::max(
+            s.maxFanout, static_cast<int>(dfg.outEdges(id).size()));
+
+    // Longest distance-0 path (unit latencies) via one topological
+    // pass; the order already excludes loop-carried back-edges.
+    std::vector<int> depth(dfg.nodeCount(), 1);
+    for (NodeId id : dfg.topologicalOrder()) {
+        for (EdgeId eid : dfg.inEdges(id)) {
+            const DfgEdge &e = dfg.edge(eid);
+            if (e.distance == 0)
+                depth[id] = std::max(depth[id], depth[e.src] + 1);
+        }
+        s.criticalPath = std::max(s.criticalPath, depth[id]);
+    }
+    return s;
+}
+
+KernelClass
+classifyKernel(const DfgStats &stats)
+{
+    if (stats.mappableNodes <= 12)
+        return KernelClass::Small;
+    if (stats.recMii >= 2)
+        return KernelClass::RecurrenceBound;
+    if (stats.memOps * 3 >= stats.nodeCount)
+        return KernelClass::MemoryBound;
+    return KernelClass::Wide;
+}
+
+std::string
+toString(KernelClass klass)
+{
+    switch (klass) {
+    case KernelClass::Small:
+        return "small";
+    case KernelClass::RecurrenceBound:
+        return "recurrence_bound";
+    case KernelClass::MemoryBound:
+        return "memory_bound";
+    case KernelClass::Wide:
+        return "wide";
+    }
+    return "unknown";
+}
+
+double
+scoreAttemptCell(const DfgStats &stats, const Cgra &cgra,
+                 const MapperOptions &variant, int ii)
+{
+    if (ii < stats.recMii)
+        return prescreenInfeasibleScore;
+
+    const double tiles = std::max(1, cgra.tileCount());
+    const double mem_tiles =
+        std::max<std::size_t>(1, cgra.memTiles().size());
+    const double slots = tiles * ii;
+
+    // Pressure terms, each ~1.0 at the point where the resource is
+    // exactly saturated. Weights are heuristic — they only order
+    // launches, never decide feasibility (see header).
+    const double fu_pressure = stats.mappableNodes / slots;
+    const double mem_pressure = (stats.memOps / mem_tiles) / ii;
+    const double rec_pressure = double(stats.recMii) / ii;
+    const double congestion = stats.edgeCount / slots;
+
+    double score = 4.0 * fu_pressure + 3.0 * mem_pressure
+                   + 1.5 * rec_pressure + 1.0 * congestion;
+
+    if (variant.dvfsAware) {
+        // Critical-path slack under DVFS: a node chain parked on an
+        // island at slowdown s needs ~s extra schedule depth per hop,
+        // paid as lateness. Islands whose slowdown does not divide the
+        // II cannot open slow at all (mapper.cpp alignment rule), so
+        // the DVFS-aware attempt degenerates and tends to redo the
+        // conventional one's work.
+        const int slow = slowdown(variant.labeling.lowestLabel);
+        if (slow > 1 && ii % slow != 0)
+            score += 0.5;
+        else if (slow > 1)
+            score += 0.1 * (double(stats.criticalPath) * (slow - 1))
+                     / double(ii);
+    }
+    // The cluster-free fallback lane exists for graphs whose
+    // recurrence clusters do not decompose; on ordinary recurrence
+    // kernels it mostly re-proves what the clustered lane proved.
+    if (!variant.useClusters && stats.recMii >= 2)
+        score += 0.25;
+    // High-fanout nodes strain routing once the fabric fills up.
+    if (stats.maxFanout > 4)
+        score += 0.1 * (stats.maxFanout - 4) * congestion;
+
+    return score;
+}
+
+AdaptiveWindowController &
+AdaptiveWindowController::global()
+{
+    static AdaptiveWindowController instance;
+    return instance;
+}
+
+int
+AdaptiveWindowController::windowFor(KernelClass klass,
+                                    int auto_window) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const ClassStats &s = stats[static_cast<int>(klass)];
+    if (s.runs == 0)
+        return auto_window;
+    int window = auto_window;
+    if (s.wasteEwma > 0.5) {
+        // Most speculative launches are beyond the eventual winner:
+        // the static window overshoots for this class.
+        window = std::max(1, auto_window / 2);
+    } else if (s.wasteEwma < 0.1 && s.depthEwma > auto_window) {
+        // Almost nothing wasted and winners sit deep in the grid:
+        // widen so the winning II level is reached sooner.
+        window = static_cast<int>(std::lround(s.depthEwma)) + 1;
+    }
+    return std::clamp(window, 1, std::max(1, 2 * auto_window));
+}
+
+void
+AdaptiveWindowController::record(KernelClass klass,
+                                 std::uint64_t launched,
+                                 std::uint64_t wasted, int winner_depth)
+{
+    if (launched == 0)
+        return;
+    const double waste_frac = double(wasted) / double(launched);
+    constexpr double alpha = 0.25;
+    std::lock_guard<std::mutex> lock(mtx);
+    ClassStats &s = stats[static_cast<int>(klass)];
+    if (s.runs == 0) {
+        s.wasteEwma = waste_frac;
+        s.depthEwma = winner_depth;
+    } else {
+        s.wasteEwma += alpha * (waste_frac - s.wasteEwma);
+        s.depthEwma += alpha * (winner_depth - s.depthEwma);
+    }
+    ++s.runs;
+}
+
+void
+AdaptiveWindowController::reset()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    stats.fill(ClassStats{});
+}
+
+} // namespace iced

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Multi-fidelity pre-screen for the portfolio mapper (DESIGN.md §12).
+ *
+ * A full place-and-route attempt costs milliseconds; this module
+ * scores a candidate (II, strategy-ladder lane) grid cell in
+ * microseconds from DFG statistics alone — op counts, RecMII/resource
+ * pressure, memory-port demand, critical-path slack under DVFS
+ * slowdowns — without ever touching the MRRG. The portfolio scan uses
+ * the scores three ways:
+ *
+ *  - **rank**: launch window-eligible attempts in predicted-
+ *    feasibility order. Scheduling only: the deterministic
+ *    smallest-winning-rank rule is untouched, so the returned mapping
+ *    stays byte-identical to the sequential scan.
+ *  - **prune**: consult an AttemptMemo (backed by the mapping cache's
+ *    negative tier) so grid cells already proven infeasible are never
+ *    launched again — across processes via the persistent store.
+ *  - **adapt**: size the speculation window per kernel class from the
+ *    observed `mapper.portfolio.attempts_wasted` feedback.
+ *
+ * Admissibility: the *score* is an arbitrary heuristic and may be
+ * wrong in any direction — it only reorders work. The *memo* is the
+ * one channel that can change which attempts run, and it may only
+ * record deterministic failures (never cancelled/truncated attempts),
+ * so a prune is always equivalent to re-running the attempt and
+ * watching it fail. `iced_fuzz --prescreen` and
+ * `bench_mapper --verify --prescreen` enforce this differentially.
+ */
+#ifndef ICED_MAPPER_PRESCREEN_PRESCREEN_HPP
+#define ICED_MAPPER_PRESCREEN_PRESCREEN_HPP
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "arch/cgra.hpp"
+#include "dfg/dfg.hpp"
+
+namespace iced {
+
+struct MapperOptions;
+
+/**
+ * Negative-attempt memo consulted by the mapper's II/lane scans.
+ *
+ * `knownFailed(variant, ii)` may only return true for cells whose
+ * attempt deterministically fails — attempts are pure functions of
+ * (DFG, fabric, variant options, II), so one observed genuine failure
+ * proves all future ones. `noteFailed` records such a failure; callers
+ * must never record attempts that were cancelled or deadline-truncated
+ * (those are not verdicts). Implementations must be thread-safe: the
+ * portfolio driver and concurrent map calls may probe one memo at
+ * once. The canonical implementation is `NegativeAttemptMemo`
+ * (src/exec/attempt_memo.hpp), which keys cells by content fingerprint
+ * into the MappingCache negative tier.
+ */
+class AttemptMemo
+{
+  public:
+    virtual ~AttemptMemo() = default;
+    virtual bool knownFailed(const MapperOptions &variant, int ii) = 0;
+    virtual void noteFailed(const MapperOptions &variant, int ii) = 0;
+};
+
+/** Pre-screen knobs carried inside MapperOptions. */
+struct PrescreenOptions
+{
+    /** Master switch: score-ranked launches + adaptive window. */
+    bool enabled = false;
+    /**
+     * Borrowed negative-attempt memo; null leaves rank/adapt active
+     * but disables pruning and failure recording. Not owned — must
+     * outlive the map call. Control-plane state like `cancel`: never
+     * serialized (codec) and never fingerprinted, so screened and
+     * unscreened requests share cache entries.
+     */
+    AttemptMemo *memo = nullptr;
+    /**
+     * Fault injection (fuzz oracle only): force-prune the first grid
+     * cell even though it was never proven infeasible. Proves the
+     * screened-vs-unscreened differential catches an over-eager prune.
+     */
+    bool faultMisprune = false;
+};
+
+/** DFG statistics the estimator consumes; one O(V+E) pass to build. */
+struct DfgStats
+{
+    int nodeCount = 0;
+    int mappableNodes = 0;
+    int memOps = 0;
+    int edgeCount = 0;
+    int maxFanout = 0;
+    /** Nodes on the longest distance-0 path (unit latencies). */
+    int criticalPath = 0;
+    int recMii = 1;
+};
+
+/** Compute DfgStats; recMii is passed in (the mapper already has it). */
+DfgStats analyzeDfg(const Dfg &dfg, int rec_mii);
+
+/**
+ * Coarse kernel classes the adaptive window controller learns per.
+ * Derived from DFG shape only, so the class is stable across fabrics.
+ */
+enum class KernelClass
+{
+    Small,           ///< few mappable ops; attempts are cheap anyway
+    RecurrenceBound, ///< recMii >= 2 dominates the II floor
+    MemoryBound,     ///< memory ops are a large fraction of the graph
+    Wide,            ///< everything else: resource/routing bound
+};
+
+inline constexpr int kernelClassCount = 4;
+
+KernelClass classifyKernel(const DfgStats &stats);
+std::string toString(KernelClass klass);
+
+/** Scores at or above this value mean "cannot possibly map". */
+inline constexpr double prescreenInfeasibleScore = 1e18;
+
+/**
+ * Analytical cost of attempting (variant, ii) on `cgra`: lower is
+ * more likely to map. `prescreenInfeasibleScore` when ii < RecMII.
+ * Pure arithmetic over DfgStats — microseconds, no MRRG. The value is
+ * only ever used to *order* launches; correctness never depends on it.
+ */
+double scoreAttemptCell(const DfgStats &stats, const Cgra &cgra,
+                        const MapperOptions &variant, int ii);
+
+/**
+ * Learns a speculation window per kernel class from portfolio
+ * outcomes. Only consulted when the user left `speculationWindow`
+ * auto (<= 0) and the pre-screen is enabled; scheduling-only, so it
+ * cannot change the winning mapping. Thread-safe.
+ */
+class AdaptiveWindowController
+{
+  public:
+    /** Process-wide instance fed by every screened portfolio run. */
+    static AdaptiveWindowController &global();
+
+    /**
+     * Window to use for `klass` given the static auto heuristic
+     * `auto_window`; equals `auto_window` until feedback arrives.
+     * Result is clamped to [1, 2 * auto_window].
+     */
+    int windowFor(KernelClass klass, int auto_window) const;
+
+    /**
+     * Feed back one portfolio run: attempts launched / wasted (ranks
+     * beyond the winner) and how many II levels past the start the
+     * winner sat (grid depth when nothing mapped).
+     */
+    void record(KernelClass klass, std::uint64_t launched,
+                std::uint64_t wasted, int winner_depth);
+
+    /** Forget all feedback (tests). */
+    void reset();
+
+  private:
+    struct ClassStats
+    {
+        std::uint64_t runs = 0;
+        double wasteEwma = 0.0;  ///< wasted/launched fraction
+        double depthEwma = 0.0;  ///< winner II depth past start
+    };
+    mutable std::mutex mtx;
+    std::array<ClassStats, kernelClassCount> stats;
+};
+
+} // namespace iced
+
+#endif // ICED_MAPPER_PRESCREEN_PRESCREEN_HPP

@@ -185,6 +185,12 @@ MappingServer::persistentEntryCount() const
     return diskStore ? diskStore->entryCount() : 0;
 }
 
+std::size_t
+MappingServer::persistentNegativeCount() const
+{
+    return diskStore ? diskStore->negativeEntryCount() : 0;
+}
+
 void
 MappingServer::acceptLoop()
 {
@@ -266,6 +272,11 @@ MappingServer::handleCell(const RequestCell &cell,
     serviceCounters().cells.increment();
     MapperOptions options = cell.options;
     options.cancel = cancel;
+    // Server-side policy, not part of the request: prescreen is not on
+    // the wire (codec.cpp) and not fingerprinted, so enabling it here
+    // neither splits cache keys nor changes the served mapping. The
+    // cache auto-attaches a NegativeAttemptMemo per compute.
+    options.prescreen.enabled = opts.prescreen;
     MapReplyMsg reply;
     CacheSource source = CacheSource::Computed;
     const std::shared_ptr<const MappingEntry> entry =
@@ -340,6 +351,11 @@ MappingServer::dispatch(const std::string &payload)
     case MessageType::StatsRequest: {
         serviceCounters().statsRequests.increment();
         fatalIf(!dec.atEnd(), "wire: trailing bytes after StatsRequest");
+        // Gauge snapshot of the negative tier so clients see prune
+        // state alongside the cache.negative.* counters.
+        MetricsRegistry::global()
+            .gauge("cache.negative.entries")
+            .set(static_cast<double>(cache.negativeSize()));
         return buildStatsResponse(MetricsRegistry::global().toJson());
     }
     case MessageType::ShutdownRequest: {

@@ -52,6 +52,16 @@ struct ServerOptions
     int threads = 0;
     std::size_t cacheCapacity = 512;
     bool syncWrites = false;
+    /**
+     * Enable the multi-fidelity pre-screen on every served compute
+     * (`iced_serve --prescreen`): the cache auto-attaches a negative-
+     * attempt memo backed by its own negative tier, so attempt-cell
+     * failures prune repeat work and — with a store configured —
+     * persist across restarts as `.icn` markers. Off by default; the
+     * served mappings are byte-identical either way (DESIGN.md §12),
+     * so the setting never splits the cache key space.
+     */
+    bool prescreen = false;
 };
 
 /** The `iced_serve` accept/dispatch engine. */
@@ -85,6 +95,9 @@ class MappingServer
 
     /** Entries in the persistent tier (0 when memory-only). */
     std::size_t persistentEntryCount() const;
+
+    /** Negative (`.icn`) markers in the persistent tier. */
+    std::size_t persistentNegativeCount() const;
 
   private:
     struct Connection

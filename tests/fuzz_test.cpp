@@ -155,6 +155,55 @@ TEST(FuzzOracle, EngineDriftIsInvisibleOutsideBothMode)
     FAIL() << "no mappable case in 50 seeds";
 }
 
+TEST(FuzzOracle, PrescreenCorpusIsClean)
+{
+    // Pre-screen differential lane: every case is additionally mapped
+    // with the multi-fidelity pre-screen (ranked portfolio launches +
+    // negative-attempt memo, two passes over one shared memo) and any
+    // divergence from the unscreened mapping — including a "no fit"
+    // disagreement — fails in its own prescreen_misprune phase.
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    FuzzRunOptions opt;
+    opt.baseSeed = seed;
+    opt.cases = 100;
+    opt.oracle.prescreen = true;
+    const FuzzSummary summary = runFuzz(opt);
+    EXPECT_EQ(summary.casesRun, 100);
+    EXPECT_GT(summary.passed, summary.skipped);
+    for (const FuzzFailure &f : summary.failures)
+        ADD_FAILURE() << "seed 0x" << std::hex << f.seed << std::dec
+                      << " [" << toString(f.result.phase) << "] "
+                      << f.result.message << "\n"
+                      << describeCase(f.shrunk);
+}
+
+TEST(FuzzOracle, PrescreenMispruneIsCaught)
+{
+    // The injected fault prunes the first grid cell without proof — an
+    // inadmissible prune. On any case whose winner sits in that cell
+    // the screened mapping diverges, and the differential must
+    // attribute it to PrescreenMisprune. Cases whose first attempt
+    // genuinely fails hide the fault (pruning a failing cell is
+    // exactly what an admissible memo would do), so scan until one
+    // case catches it.
+    const std::uint64_t seed = testutil::envSeed(1);
+    ICED_SEED_TRACE(seed);
+    OracleOptions oracle;
+    oracle.prescreen = true;
+    oracle.fault = InjectedFault::PrescreenMisprune;
+    for (int i = 0; i < 50; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(seed, i));
+        const OracleResult r = runCase(fc, oracle);
+        if (r.skipped() || !r.failed())
+            continue;
+        ASSERT_EQ(r.phase, OraclePhase::PrescreenMisprune)
+            << r.message;
+        return;
+    }
+    FAIL() << "misprune fault escaped 50 seeds";
+}
+
 TEST(FuzzOracle, RegressionClusterOffsetAliasing)
 {
     // Found by the fuzzer (10k-case corpus, base seed 42): a
@@ -255,6 +304,22 @@ TEST(FuzzDriver, ReproLineNamesTheEngineMode)
 
     opt.oracle.simEngine = SimEngineMode::Event;
     EXPECT_EQ(reproLine(opt, 0x42ULL).find("--sim-engine"),
+              std::string::npos);
+}
+
+TEST(FuzzDriver, ReproLineNamesThePrescreenLane)
+{
+    FuzzRunOptions opt;
+    opt.oracle.prescreen = true;
+    opt.oracle.fault = InjectedFault::PrescreenMisprune;
+    const std::string line = reproLine(opt, 0x7ULL);
+    EXPECT_NE(line.find("--prescreen"), std::string::npos);
+    EXPECT_NE(line.find("--inject-fault prescreen-misprune"),
+              std::string::npos);
+
+    opt.oracle.fault = InjectedFault::None;
+    opt.oracle.prescreen = false;
+    EXPECT_EQ(reproLine(opt, 0x7ULL).find("--prescreen"),
               std::string::npos);
 }
 

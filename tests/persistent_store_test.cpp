@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/metrics.hpp"
+#include "exec/attempt_memo.hpp"
 #include "exec/codec.hpp"
 #include "kernels/registry.hpp"
 
@@ -223,6 +224,132 @@ TEST_F(PersistentStoreTest, CancelledComputeIsNeverPersisted)
     EXPECT_EQ(tier, CacheSource::Computed);
     EXPECT_TRUE(real->mapped());
     EXPECT_EQ(store.entryCount(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Negative tier (.icn attempt-failure markers).
+// ---------------------------------------------------------------------
+
+/** Negative key of one attempt cell, at an explicit schema version. */
+Digest
+attemptKey(const CgraConfig &config, const Dfg &dfg, int ii,
+           std::uint32_t version = mappingSchemaVersion)
+{
+    return fingerprintAttemptCell(
+        attemptBaseFingerprint(dfg, config, version), MapperOptions{},
+        ii);
+}
+
+TEST_F(PersistentStoreTest, NegativeRoundTripsAcrossInstances)
+{
+    const Dfg dfg = findKernel("fir").build(1);
+    const Digest key = attemptKey(smallFabric(), dfg, 2);
+    {
+        PersistentMappingStore writer(options());
+        EXPECT_FALSE(writer.fetchNegative(key));
+        writer.storeNegative(key);
+        EXPECT_TRUE(writer.fetchNegative(key));
+        EXPECT_EQ(writer.negativeEntryCount(), 1u);
+        // Negative markers never shadow positive entries.
+        EXPECT_EQ(writer.entryCount(), 0u);
+    }
+    PersistentMappingStore reader(options());
+    EXPECT_TRUE(reader.fetchNegative(key));
+    EXPECT_FALSE(reader.fetchNegative(attemptKey(smallFabric(), dfg, 3)));
+}
+
+TEST_F(PersistentStoreTest, SchemaVersionBumpOrphansNegativeKeys)
+{
+    // Negative keys mix mappingSchemaVersion exactly like positive
+    // entries: after a bump, yesterday's failure markers are simply
+    // never asked for again (different digest), so a mapper change
+    // that could turn a failure into a success cannot be poisoned by
+    // stale markers.
+    const Dfg dfg = findKernel("fir").build(1);
+    const Digest current = attemptKey(smallFabric(), dfg, 2);
+    const Digest bumped =
+        attemptKey(smallFabric(), dfg, 2, mappingSchemaVersion + 1);
+    EXPECT_FALSE(current == bumped);
+
+    PersistentMappingStore store(options());
+    store.storeNegative(current);
+    EXPECT_TRUE(store.fetchNegative(current));
+    EXPECT_FALSE(store.fetchNegative(bumped));
+}
+
+TEST_F(PersistentStoreTest, CorruptNegativeIsRejectedRemovedAndCounted)
+{
+    PersistentMappingStore store(options());
+    const Dfg dfg = findKernel("fir").build(1);
+    const Digest key = attemptKey(smallFabric(), dfg, 2);
+    store.storeNegative(key);
+
+    // Truncate the marker: too short to carry the echoed key.
+    const fs::path path = store.negativePath(key);
+    ASSERT_TRUE(fs::exists(path));
+    fs::resize_file(path, 6);
+
+    const std::uint64_t corrupt_before =
+        MetricsRegistry::global()
+            .counter("cache.persistent.negative_corrupt")
+            .value();
+    EXPECT_FALSE(store.fetchNegative(key));
+    EXPECT_EQ(MetricsRegistry::global()
+                  .counter("cache.persistent.negative_corrupt")
+                  .value(),
+              corrupt_before + 1);
+    EXPECT_FALSE(fs::exists(path)); // quarantined by deletion
+
+    // A re-record repairs the marker.
+    store.storeNegative(key);
+    EXPECT_TRUE(store.fetchNegative(key));
+}
+
+TEST_F(PersistentStoreTest, CacheNegativeTierReadsThroughStore)
+{
+    // A failure recorded through one cache must prune in a fresh cache
+    // on the same store — the restarted-server path.
+    const Dfg dfg = findKernel("fir").build(1);
+    PersistentMappingStore store(options());
+    const CgraConfig config = smallFabric();
+    {
+        MappingCache first;
+        first.attachStore(&store);
+        NegativeAttemptMemo memo(first, dfg, config);
+        memo.noteFailed(MapperOptions{}, 2);
+        EXPECT_EQ(store.negativeEntryCount(), 1u); // write-behind
+    }
+    MappingCache second;
+    second.attachStore(&store);
+    NegativeAttemptMemo memo(second, dfg, config);
+    EXPECT_EQ(second.negativeSize(), 0u); // cold memory tier
+    EXPECT_TRUE(memo.knownFailed(MapperOptions{}, 2));
+    EXPECT_EQ(second.negativeSize(), 1u); // read-through memoized
+    EXPECT_FALSE(memo.knownFailed(MapperOptions{}, 3));
+}
+
+TEST_F(PersistentStoreTest, CancelledComputeWritesNoNegatives)
+{
+    // A deadline-truncated compute with the pre-screen enabled must
+    // not record any of its (cancelled) attempts: truncation is not a
+    // verdict, and a persisted marker would poison every later map of
+    // the kernel.
+    PersistentMappingStore store(options());
+    MappingCache cache;
+    cache.attachStore(&store);
+
+    CancelSource source;
+    source.requestCancel();
+    MapperOptions options;
+    options.cancel = source.token();
+    options.prescreen.enabled = true; // cache auto-attaches a memo
+    const Dfg dfg = findKernel("fir").build(1);
+    CacheSource tier = CacheSource::Memory;
+    const auto truncated = cache.map(smallFabric(), dfg, options, &tier);
+    EXPECT_EQ(tier, CacheSource::Computed);
+    EXPECT_FALSE(truncated->mapped());
+    EXPECT_EQ(store.negativeEntryCount(), 0u);
+    EXPECT_EQ(cache.negativeSize(), 0u);
 }
 
 } // namespace

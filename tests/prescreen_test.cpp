@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Unit + admissibility coverage of the multi-fidelity pre-screen
+ * (DESIGN.md section 12).
+ *
+ * The contract under test: scores only *reorder* attempt launches and
+ * the negative-attempt memo only ever prunes deterministically-failing
+ * cells, so a screened map — sequential or portfolio, cold or warm
+ * memo — returns a mapping byte-identical (`equalMappings`) to the
+ * unscreened sequential scan. Pinned on the Table I suite, the
+ * fuzz-generator corpus, and a two-pass shared-memo sweep; the
+ * injectable misprune fault proves the differential would catch an
+ * over-eager prune. The TSan CI job reruns this binary to check the
+ * memo's thread-safety under the portfolio driver.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/metrics.hpp"
+#include "exec/attempt_memo.hpp"
+#include "exec/cancel.hpp"
+#include "exec/fingerprint.hpp"
+#include "exec/mapping_cache.hpp"
+#include "fuzz/generator.hpp"
+#include "kernels/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/prescreen/prescreen.hpp"
+#include "mapper/validate.hpp"
+
+namespace iced {
+namespace {
+
+Cgra
+makeFabric(int n)
+{
+    CgraConfig c;
+    c.rows = n;
+    c.cols = n;
+    c.islandRows = 2;
+    c.islandCols = 2;
+    return Cgra(c);
+}
+
+MetricsRegistry::Counter &
+prunedCounter()
+{
+    return MetricsRegistry::global().counter(
+        "mapper.portfolio.attempts_pruned");
+}
+
+// ---------------------------------------------------------------------
+// Estimator.
+// ---------------------------------------------------------------------
+
+TEST(Prescreen, AnalyzeDfgStats)
+{
+    const Dfg dfg = findKernel("spmv").build(1);
+    const DfgStats s = analyzeDfg(dfg, 3);
+    EXPECT_EQ(s.nodeCount, dfg.nodeCount());
+    EXPECT_EQ(s.mappableNodes, dfg.mappableNodeCount());
+    EXPECT_EQ(s.memOps, dfg.memoryOpCount());
+    EXPECT_EQ(s.edgeCount, dfg.edgeCount());
+    EXPECT_EQ(s.recMii, 3);
+    EXPECT_GE(s.maxFanout, 1);
+    // The critical path is a simple path: at least 2 nodes on any
+    // graph with a distance-0 edge, at most nodeCount.
+    EXPECT_GE(s.criticalPath, 2);
+    EXPECT_LE(s.criticalPath, s.nodeCount);
+    // recMii is floored at 1 even if the caller passes junk.
+    EXPECT_EQ(analyzeDfg(dfg, 0).recMii, 1);
+}
+
+TEST(Prescreen, ScoreInfeasibleBelowRecMii)
+{
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("fir").build(1);
+    const DfgStats s = analyzeDfg(dfg, 4);
+    const MapperOptions opts;
+    for (int ii = 1; ii < 4; ++ii)
+        EXPECT_GE(scoreAttemptCell(s, cgra, opts, ii),
+                  prescreenInfeasibleScore)
+            << "ii " << ii;
+    EXPECT_LT(scoreAttemptCell(s, cgra, opts, 4),
+              prescreenInfeasibleScore);
+}
+
+TEST(Prescreen, ScoreRelaxesWithIi)
+{
+    // More slots per op at higher II: the feasible-II scores must be
+    // non-increasing in II for a fixed variant (that is what makes the
+    // ranked launch order sensible).
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("gemm").build(2);
+    const DfgStats s = analyzeDfg(dfg, 1);
+    MapperOptions opts; // dvfsAware=false: no alignment discontinuity
+    double prev = scoreAttemptCell(s, cgra, opts, 1);
+    for (int ii = 2; ii <= 8; ++ii) {
+        const double score = scoreAttemptCell(s, cgra, opts, ii);
+        EXPECT_LE(score, prev) << "ii " << ii;
+        prev = score;
+    }
+}
+
+TEST(Prescreen, ScorePenalizesMisalignedDvfs)
+{
+    // With a Rest-capable labeling (slowdown 4), an II the slowdown
+    // does not divide pays the flat "cannot open slow islands"
+    // penalty, ranking behind the same lane at an aligned II scaled
+    // for slack.
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("fir").build(1);
+    const DfgStats s = analyzeDfg(dfg, 1);
+    MapperOptions aware;
+    aware.dvfsAware = true;
+    MapperOptions plain;
+    plain.dvfsAware = false;
+    // Misaligned II: the DVFS-aware lane must rank strictly behind the
+    // conventional lane at the same II.
+    EXPECT_GT(scoreAttemptCell(s, cgra, aware, 3),
+              scoreAttemptCell(s, cgra, plain, 3));
+}
+
+TEST(Prescreen, ClassifyKernel)
+{
+    DfgStats s;
+    s.nodeCount = 40;
+    s.mappableNodes = 10;
+    EXPECT_EQ(classifyKernel(s), KernelClass::Small);
+    s.mappableNodes = 30;
+    s.recMii = 3;
+    EXPECT_EQ(classifyKernel(s), KernelClass::RecurrenceBound);
+    s.recMii = 1;
+    s.memOps = 20;
+    EXPECT_EQ(classifyKernel(s), KernelClass::MemoryBound);
+    s.memOps = 2;
+    EXPECT_EQ(classifyKernel(s), KernelClass::Wide);
+
+    EXPECT_EQ(toString(KernelClass::Small), "small");
+    EXPECT_EQ(toString(KernelClass::RecurrenceBound),
+              "recurrence_bound");
+    EXPECT_EQ(toString(KernelClass::MemoryBound), "memory_bound");
+    EXPECT_EQ(toString(KernelClass::Wide), "wide");
+}
+
+// ---------------------------------------------------------------------
+// Memo keys.
+// ---------------------------------------------------------------------
+
+TEST(Prescreen, MemoKeysDistinguishCells)
+{
+    // Every (II, lane-variant) grid cell must land on its own digest;
+    // collisions would prune cells that were never proven infeasible.
+    const Dfg dfg = findKernel("fir").build(1);
+    const CgraConfig config = makeFabric(6).config();
+    const Fingerprint base = attemptBaseFingerprint(dfg, config);
+
+    MapperOptions a;
+    MapperOptions b;
+    b.dvfsAware = !a.dvfsAware;
+    MapperOptions c = a;
+    c.useClusters = !a.useClusters;
+
+    const Digest a3 = fingerprintAttemptCell(base, a, 3);
+    EXPECT_FALSE(a3 == fingerprintAttemptCell(base, a, 4));
+    EXPECT_FALSE(a3 == fingerprintAttemptCell(base, b, 3));
+    EXPECT_FALSE(a3 == fingerprintAttemptCell(base, c, 3));
+    // Scan/control knobs are deliberately NOT part of the cell key:
+    // an attempt at a fixed II is independent of how the scan around
+    // it is driven, and keying them would split the negative tier.
+    MapperOptions d = a;
+    d.mapThreads = 8;
+    d.speculationWindow = 3;
+    d.maxIiSteps = 5;
+    EXPECT_TRUE(a3 == fingerprintAttemptCell(base, d, 3));
+}
+
+TEST(Prescreen, MemoRoundTrip)
+{
+    MappingCache cache(4);
+    const Dfg dfg = findKernel("fir").build(1);
+    const CgraConfig config = makeFabric(6).config();
+    NegativeAttemptMemo memo(cache, dfg, config);
+    const MapperOptions opts;
+    EXPECT_FALSE(memo.knownFailed(opts, 3));
+    memo.noteFailed(opts, 3);
+    EXPECT_TRUE(memo.knownFailed(opts, 3));
+    EXPECT_FALSE(memo.knownFailed(opts, 4));
+    EXPECT_EQ(cache.negativeSize(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Admissibility: screened == unscreened, cold and warm.
+// ---------------------------------------------------------------------
+
+/**
+ * Map `dfg` unscreened-sequentially, then screened at each of
+ * `threads` (1 = screened sequential scan) twice over one shared memo
+ * — the second pass exercises the warm pruned path. Every outcome
+ * must match the unscreened scan byte for byte.
+ */
+void
+expectScreenedMatchesUnscreened(const Cgra &cgra, const Dfg &dfg,
+                                const MapperOptions &options,
+                                std::initializer_list<int> threads,
+                                const std::string &what)
+{
+    MapperOptions plain = options;
+    plain.mapThreads = 1;
+    plain.prescreen = {};
+    const auto unscreened = Mapper(cgra, plain).tryMap(dfg);
+
+    MappingCache cache(4);
+    NegativeAttemptMemo memo(cache, dfg, cgra.config());
+    for (int n : threads) {
+        MapperOptions screened = options;
+        screened.mapThreads = n;
+        screened.prescreen.enabled = true;
+        screened.prescreen.memo = &memo;
+        for (int pass = 1; pass <= 2; ++pass) {
+            const auto got = Mapper(cgra, screened).tryMap(dfg);
+            ASSERT_EQ(got.has_value(), unscreened.has_value())
+                << what << " @" << n << " threads, pass " << pass;
+            if (unscreened) {
+                EXPECT_TRUE(equalMappings(*got, *unscreened))
+                    << what << " @" << n << " threads, pass " << pass;
+            }
+        }
+    }
+}
+
+TEST(Prescreen, SequentialWarmPassPrunesAndMatches)
+{
+    // latnrm x2 in ICED mode fails a dozen-plus attempts before
+    // settling: pass 1 records them, pass 2 must prune at least one
+    // (counter delta) and still return the identical mapping.
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("latnrm").build(2);
+    MapperOptions base;
+    base.dvfsAware = true;
+    const auto plain = Mapper(cgra, base).tryMap(dfg);
+    ASSERT_TRUE(plain.has_value());
+
+    MappingCache cache(4);
+    NegativeAttemptMemo memo(cache, dfg, cgra.config());
+    MapperOptions screened = base;
+    screened.prescreen.enabled = true;
+    screened.prescreen.memo = &memo;
+
+    const auto cold = Mapper(cgra, screened).tryMap(dfg);
+    ASSERT_TRUE(cold.has_value());
+    EXPECT_TRUE(equalMappings(*cold, *plain));
+    ASSERT_GT(cache.negativeSize(), 0u)
+        << "the failing attempts of the scan were not recorded";
+
+    const std::uint64_t pruned0 = prunedCounter().value();
+    const auto warm = Mapper(cgra, screened).tryMap(dfg);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_TRUE(equalMappings(*warm, *plain));
+    EXPECT_GT(prunedCounter().value(), pruned0)
+        << "warm pass relaunched known-failed attempts";
+}
+
+TEST(Prescreen, TableOneKernelsMatchUnscreened)
+{
+    const Cgra cgra = makeFabric(6);
+    for (const Kernel &kernel : kernelRegistry()) {
+        for (int uf = 1; uf <= 2; ++uf) {
+            const Dfg dfg = kernel.build(uf);
+            for (bool dvfs : {false, true}) {
+                MapperOptions options;
+                options.dvfsAware = dvfs;
+                expectScreenedMatchesUnscreened(
+                    cgra, dfg, options, {1, 2, 8},
+                    kernel.name + " x" + std::to_string(uf) +
+                        (dvfs ? " iced" : " conventional"));
+            }
+        }
+    }
+}
+
+TEST(Prescreen, FuzzCorpusMatchesUnscreened)
+{
+    // Same 32-case corpus as portfolio_mapper_test, so the two
+    // determinism proofs cover the same ground.
+    constexpr int cases = 32;
+    for (int i = 0; i < cases; ++i) {
+        const FuzzCase fc = makeCase(caseSeed(0xD15EA5E, i));
+        const Cgra cgra(fc.fabric);
+        expectScreenedMatchesUnscreened(
+            cgra, fc.dfg, fc.mapper, {2, 8},
+            "fuzz seed " + std::to_string(fc.seed));
+    }
+}
+
+TEST(Prescreen, WindowSweepMatchesUnscreened)
+{
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("spmv").build(2);
+    for (int window : {1, 2, 64}) {
+        MapperOptions options;
+        options.speculationWindow = window;
+        expectScreenedMatchesUnscreened(
+            cgra, dfg, options, {2, 3, 8},
+            "spmv x2 window " + std::to_string(window));
+    }
+}
+
+TEST(Prescreen, MispruneIsDetectable)
+{
+    // The injected fault prunes grid cell 0 on a cold memo — an
+    // *inadmissible* prune. lu_solver1 maps on its very first attempt
+    // (RecMII == the final II), so pruning that cell forces a
+    // different winner: the divergence the screened-vs-unscreened
+    // differential exists to catch, exercised end-to-end by the fuzz
+    // oracle's prescreen_misprune lane.
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("lu_solver1").build(1);
+    const auto plain = Mapper(cgra, MapperOptions{}).tryMap(dfg);
+    ASSERT_TRUE(plain.has_value());
+
+    MappingCache cache(4);
+    NegativeAttemptMemo memo(cache, dfg, cgra.config());
+    MapperOptions faulty;
+    faulty.prescreen.enabled = true;
+    faulty.prescreen.memo = &memo;
+    faulty.prescreen.faultMisprune = true;
+    const std::uint64_t pruned0 = prunedCounter().value();
+    const auto got = Mapper(cgra, faulty).tryMap(dfg);
+    EXPECT_GT(prunedCounter().value(), pruned0)
+        << "faultMisprune did not prune the first cell";
+    ASSERT_TRUE(got.has_value());
+    EXPECT_FALSE(equalMappings(*got, *plain))
+        << "pruning the winning cell should be detectable";
+}
+
+TEST(Prescreen, CancelledAttemptsAreNeverRecorded)
+{
+    // A pre-fired whole-call token truncates every attempt; none of
+    // them produced a verdict, so the negative tier must stay empty —
+    // recording them would poison future maps of the same kernel.
+    const Cgra cgra = makeFabric(6);
+    const Dfg dfg = findKernel("fir").build(1);
+    MappingCache cache(4);
+    NegativeAttemptMemo memo(cache, dfg, cgra.config());
+    CancelSource source;
+    source.requestCancel();
+    for (int threads : {1, 4}) {
+        MapperOptions opts;
+        opts.mapThreads = threads;
+        opts.cancel = source.token();
+        opts.prescreen.enabled = true;
+        opts.prescreen.memo = &memo;
+        EXPECT_FALSE(Mapper(cgra, opts).tryMap(dfg).has_value());
+        EXPECT_EQ(cache.negativeSize(), 0u) << threads << " threads";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive window controller.
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveWindow, NoFeedbackKeepsAutoWindow)
+{
+    AdaptiveWindowController ctl;
+    EXPECT_EQ(ctl.windowFor(KernelClass::Wide, 4), 4);
+}
+
+TEST(AdaptiveWindow, HighWasteShrinks)
+{
+    AdaptiveWindowController ctl;
+    for (int i = 0; i < 8; ++i)
+        ctl.record(KernelClass::Wide, /*launched=*/8, /*wasted=*/7,
+                   /*winner_depth=*/0);
+    EXPECT_EQ(ctl.windowFor(KernelClass::Wide, 4), 2);
+    // Floors at 1 even when the auto window is already tiny.
+    EXPECT_EQ(ctl.windowFor(KernelClass::Wide, 1), 1);
+    // Other classes are untouched.
+    EXPECT_EQ(ctl.windowFor(KernelClass::Small, 4), 4);
+}
+
+TEST(AdaptiveWindow, DeepWinnersGrowUpToClamp)
+{
+    AdaptiveWindowController ctl;
+    for (int i = 0; i < 8; ++i)
+        ctl.record(KernelClass::RecurrenceBound, /*launched=*/4,
+                   /*wasted=*/0, /*winner_depth=*/6);
+    // depthEwma converges to 6 -> window 7, clamped to 2 * auto.
+    EXPECT_EQ(ctl.windowFor(KernelClass::RecurrenceBound, 4), 7);
+    EXPECT_EQ(ctl.windowFor(KernelClass::RecurrenceBound, 3), 6);
+    EXPECT_EQ(ctl.windowFor(KernelClass::RecurrenceBound, 2), 4);
+}
+
+TEST(AdaptiveWindow, ResetForgets)
+{
+    AdaptiveWindowController ctl;
+    ctl.record(KernelClass::Wide, 8, 7, 0);
+    EXPECT_NE(ctl.windowFor(KernelClass::Wide, 4), 4);
+    ctl.reset();
+    EXPECT_EQ(ctl.windowFor(KernelClass::Wide, 4), 4);
+    // Zero-launch feedback is ignored (no division by zero, no skew).
+    ctl.record(KernelClass::Wide, 0, 0, 9);
+    EXPECT_EQ(ctl.windowFor(KernelClass::Wide, 4), 4);
+}
+
+} // namespace
+} // namespace iced

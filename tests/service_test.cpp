@@ -222,6 +222,78 @@ TEST_F(ServiceTest, StatsAndShutdownRequestsWork)
     EXPECT_FALSE(fs::exists(opts.socketPath));
 }
 
+TEST_F(ServiceTest, PrescreenNegativesPersistAcrossServerRestart)
+{
+    // latnrm x2 in ICED mode on the 6x6 fabric fails a dozen-plus
+    // attempts before settling, so a prescreen-enabled server records
+    // `.icn` markers while computing it.
+    RequestCell cell;
+    cell.config.rows = cell.config.cols = 6;
+    cell.config.islandRows = cell.config.islandCols = 2;
+    cell.dfg = findKernel("latnrm").build(2);
+    cell.options.dvfsAware = true;
+
+    auto prescreenOptions = [&] {
+        ServerOptions opts = serverOptions(/*with_store=*/true);
+        opts.prescreen = true;
+        return opts;
+    };
+
+    std::shared_ptr<const MappingEntry> first;
+    {
+        MappingServer server(prescreenOptions());
+        server.start();
+        ServiceClient client(server.socketPath());
+        const MapReplyMsg reply = client.map(cell);
+        EXPECT_EQ(reply.status, ReplyStatus::Mapped);
+        EXPECT_EQ(reply.source, CacheSource::Computed);
+        first = decodeReplyEntry(reply);
+
+        // The negative-tier gauge is part of the stats snapshot.
+        EXPECT_NE(client.stats().find("cache.negative.entries"),
+                  std::string::npos);
+        server.requestStop();
+        server.wait();
+        EXPECT_GT(server.persistentNegativeCount(), 0u);
+    }
+
+    // A fresh server (cold memory tiers) on the same store: a request
+    // sharing every attempt cell but not the positive cache key
+    // (maxIiSteps is fingerprinted for positives, excluded from
+    // attempt cells) recomputes — and the recorded failures read
+    // through from disk and prune, with the identical mapping.
+    MappingServer server(prescreenOptions());
+    server.start();
+    ServiceClient client(server.socketPath());
+    MetricsRegistry &registry = MetricsRegistry::global();
+    const std::uint64_t disk_hits_before =
+        registry.counter("cache.persistent.negative_hits").value();
+    const std::uint64_t pruned_before =
+        registry.counter("mapper.portfolio.attempts_pruned").value();
+
+    RequestCell sibling = cell;
+    sibling.options.maxIiSteps += 1;
+    const MapReplyMsg reply = client.map(sibling);
+    EXPECT_EQ(reply.status, ReplyStatus::Mapped);
+    EXPECT_EQ(reply.source, CacheSource::Computed);
+    EXPECT_GT(registry.counter("cache.persistent.negative_hits").value(),
+              disk_hits_before)
+        << "restart lost the on-disk negative markers";
+    EXPECT_GT(
+        registry.counter("mapper.portfolio.attempts_pruned").value(),
+        pruned_before)
+        << "known-failed attempts were relaunched after the restart";
+
+    const auto second = decodeReplyEntry(reply);
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    ASSERT_TRUE(first->mapped());
+    ASSERT_TRUE(second->mapped());
+    EXPECT_TRUE(equalMappings(*first->mapping, *second->mapping));
+    server.requestStop();
+    server.wait();
+}
+
 TEST_F(ServiceTest, MalformedRequestYieldsErrorResponseNotACrash)
 {
     MappingServer server(serverOptions());

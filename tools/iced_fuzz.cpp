@@ -39,7 +39,7 @@ usage(std::ostream &os)
           "                     and dump it in full\n"
           "  --inject-fault F   deliberately corrupt a model to exercise\n"
           "                     the oracle; F: sim-off-by-one,\n"
-          "                     sim-engine-drift\n"
+          "                     sim-engine-drift, prescreen-misprune\n"
           "  --sim-engine E     cycle-simulator engine(s) per case:\n"
           "                     event (default), dense (reference\n"
           "                     engine only), or both — run both and\n"
@@ -48,6 +48,12 @@ usage(std::ostream &os)
           "  --stress-rollback  evaluate every placement candidate twice\n"
           "                     with a transaction rollback in between;\n"
           "                     any divergence is a Map-phase failure\n"
+          "  --prescreen        pre-screen differential: additionally map\n"
+          "                     each case with the multi-fidelity pre-\n"
+          "                     screen (ranked launches + negative-attempt\n"
+          "                     memo, two passes over a shared memo); any\n"
+          "                     divergence from the unscreened mapping is\n"
+          "                     a prescreen_misprune failure\n"
           "  --map-threads N    portfolio differential: additionally map\n"
           "                     each case with the parallel portfolio\n"
           "                     search at N threads; any divergence from\n"
@@ -120,6 +126,9 @@ parse(int argc, char **argv, CliArgs &cli)
             } else if (fault == "sim-engine-drift") {
                 cli.run.oracle.fault =
                     iced::InjectedFault::SimEngineDrift;
+            } else if (fault == "prescreen-misprune") {
+                cli.run.oracle.fault =
+                    iced::InjectedFault::PrescreenMisprune;
             } else {
                 std::cerr << "iced_fuzz: unknown fault '" << fault
                           << "'\n";
@@ -142,6 +151,8 @@ parse(int argc, char **argv, CliArgs &cli)
             }
         } else if (arg == "--stress-rollback") {
             cli.run.oracle.stressRollback = true;
+        } else if (arg == "--prescreen") {
+            cli.run.oracle.prescreen = true;
         } else if (arg == "--map-threads") {
             if (!need_value(i))
                 return 2;

@@ -7,7 +7,7 @@
  *
  *   ./iced_serve --socket /tmp/iced.sock --store /var/cache/iced \
  *                [--threads N] [--cache-capacity N] [--sync-writes] \
- *                [--metrics-out FILE]
+ *                [--prescreen] [--metrics-out FILE]
  *
  * SIGTERM/SIGINT trigger a graceful drain: the listener closes,
  * in-flight requests run to completion and reply, then the process
@@ -44,7 +44,13 @@ usage()
     std::cerr
         << "usage: iced_serve --socket PATH [--store DIR] [--threads N]\n"
            "                  [--cache-capacity N] [--sync-writes]\n"
-           "                  [--metrics-out FILE]\n";
+           "                  [--prescreen] [--metrics-out FILE]\n"
+           "\n"
+           "  --prescreen  enable the multi-fidelity pre-screen on\n"
+           "               served computes: attempt-cell failures are\n"
+           "               memoized (and persisted with --store) so\n"
+           "               repeat sweeps never relaunch known-failed\n"
+           "               (II, lane) attempts\n";
     return 2;
 }
 
@@ -69,6 +75,8 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(argv[++i]));
         } else if (arg == "--sync-writes") {
             opts.syncWrites = true;
+        } else if (arg == "--prescreen") {
+            opts.prescreen = true;
         } else if (arg == "--metrics-out" && hasValue) {
             metricsOut = argv[++i];
         } else {

@@ -14,13 +14,19 @@
  * collected in grid order — stdout is byte-identical at any thread
  * count. Progress/ETA and the runtime summary go to stderr.
  *
- * With `--server SOCKET` the grid is offloaded to a running
+ * With `--server ADDR` the grid is offloaded to a running
  * `iced_serve` instead: one SweepRequest ships every cell, the server
  * shards it across its pool and serves repeats from its persistent
  * store, and the result tables are byte-identical to the in-process
  * path (the codec round-trip preserves `equalMappings` identity).
+ * ADDR is a Unix socket path or TCP `host:port`; a comma-separated
+ * list (`--server hostA:7100,hostB:7100`) shards the grid across
+ * several back-ends with retry and failover
+ * (service/sharded_client.hpp) — stdout stays byte-identical to the
+ * local run even when a backend dies mid-sweep.
  */
 #include <iostream>
+#include <sstream>
 
 #include "common/logging.hpp"
 #include "common/table_writer.hpp"
@@ -28,7 +34,7 @@
 #include "kernels/registry.hpp"
 #include "mapper/validate.hpp"
 #include "power/report.hpp"
-#include "service/client.hpp"
+#include "service/sharded_client.hpp"
 #include "trace/trace_cli.hpp"
 
 using namespace iced;
@@ -94,9 +100,12 @@ printKernelTable(const std::string &name, int unroll,
                  "is better at equal throughput requirements.\n";
 }
 
-/** Run `grid` on a remote iced_serve; results stay in grid order. */
+/**
+ * Run `grid` on one or more remote iced_serve back-ends
+ * (comma-separated addresses → sharded); results stay in grid order.
+ */
 std::vector<JobResult>
-runOnServer(const std::string &socket_path,
+runOnServer(const std::string &server_list,
             const std::vector<JobSpec> &grid)
 {
     std::vector<RequestCell> cells;
@@ -108,8 +117,30 @@ runOnServer(const std::string &socket_path,
         cell.dfg = findKernel(spec.kernel).build(spec.unroll);
         cells.push_back(std::move(cell));
     }
-    ServiceClient client(socket_path);
-    const std::vector<MapReplyMsg> replies = client.sweep(cells);
+
+    std::vector<std::string> addresses;
+    {
+        std::stringstream stream(server_list);
+        std::string part;
+        while (std::getline(stream, part, ','))
+            if (!part.empty())
+                addresses.push_back(part);
+    }
+    fatalIf(addresses.empty(), "--server: empty address list");
+
+    std::vector<MapReplyMsg> replies;
+    if (addresses.size() == 1) {
+        ServiceClient client(addresses[0]);
+        replies = client.sweep(cells);
+    } else {
+        ShardedClient client(addresses);
+        replies = client.sweep(cells);
+        const ShardedClient::ShardStats &stats = client.lastStats();
+        std::cerr << "exec: shard backends=" << addresses.size()
+                  << " dead=" << stats.deadBackends
+                  << " failover=" << stats.failovers
+                  << " retries=" << stats.retries << "\n";
+    }
 
     std::vector<JobResult> results(grid.size());
     for (std::size_t i = 0; i < replies.size(); ++i) {

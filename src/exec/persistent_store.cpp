@@ -1,5 +1,6 @@
 #include "exec/persistent_store.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <system_error>
@@ -104,6 +105,31 @@ bool
 isTempFile(const fs::path &path)
 {
     return path.filename().string().find(".tmp.") != std::string::npos;
+}
+
+/** Inverse of hexDigest; false when `hex` is not a 32-hex digest. */
+bool
+parseHexDigest(const std::string &hex, Digest &key)
+{
+    if (hex.size() != 32)
+        return false;
+    std::uint64_t words[2] = {0, 0};
+    for (int i = 0; i < 32; ++i) {
+        const char c = hex[static_cast<std::size_t>(i)];
+        std::uint64_t v;
+        if (c >= '0' && c <= '9')
+            v = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v = static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+        const int byte = (i / 2) % 8;
+        const int shift = byte * 8 + (i % 2 == 0 ? 4 : 0);
+        words[i / 16] |= v << shift;
+    }
+    key.lo = words[0];
+    key.hi = words[1];
+    return true;
 }
 
 long
@@ -364,6 +390,48 @@ PersistentMappingStore::contains(const Digest &key) const
 {
     std::error_code ec;
     return fs::is_regular_file(entryPath(key), ec);
+}
+
+bool
+PersistentMappingStore::containsNegative(const Digest &key) const
+{
+    std::error_code ec;
+    return fs::is_regular_file(negativePath(key), ec);
+}
+
+std::vector<StoreListing>
+PersistentMappingStore::listEntries() const
+{
+    std::vector<StoreListing> listing;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(opts.directory, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const fs::path &path = it->path();
+        const std::string ext = path.extension().string();
+        const bool negative = ext == ".icn";
+        if (!negative && ext != ".icm")
+            continue;
+        StoreListing entry;
+        if (!parseHexDigest(path.stem().string(), entry.key))
+            continue;
+        entry.negative = negative;
+        listing.push_back(entry);
+    }
+    // Directory iteration order is filesystem-dependent; the listing
+    // contract is deterministic, so sort by (digest, kind).
+    std::sort(listing.begin(), listing.end(),
+              [](const StoreListing &a, const StoreListing &b) {
+                  if (a.key.hi != b.key.hi)
+                      return a.key.hi < b.key.hi;
+                  if (a.key.lo != b.key.lo)
+                      return a.key.lo < b.key.lo;
+                  return a.negative < b.negative;
+              });
+    return listing;
 }
 
 std::size_t

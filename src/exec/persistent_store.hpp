@@ -42,10 +42,27 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "exec/mapping_cache.hpp"
 
 namespace iced {
+
+/**
+ * One store entry named by its content digest: a positive `.icm`
+ * mapping entry or a negative `.icn` attempt marker. The unit of the
+ * fingerprint listing that `iced_client sync-store` replicates.
+ */
+struct StoreListing
+{
+    Digest key;
+    bool negative = false;
+
+    bool operator==(const StoreListing &other) const
+    {
+        return key == other.key && negative == other.negative;
+    }
+};
 
 /** Knobs of the on-disk store. */
 struct PersistentStoreOptions
@@ -90,6 +107,23 @@ class PersistentMappingStore : public MappingStore
 
     /** True when a (plausible) entry file exists for `key`. */
     bool contains(const Digest &key) const;
+
+    /** True when a (plausible) negative marker exists for `key`.
+     *  Unlike `fetchNegative`, a pure existence probe: no validation,
+     *  no counters — the store-sync "already present" check. */
+    bool containsNegative(const Digest &key) const;
+
+    /**
+     * Every entry and negative marker in the store, in a
+     * filesystem-order-independent deterministic order (ascending
+     * (hi, lo) digest, positives before negatives at equal digest).
+     * Files whose
+     * name is not a 32-hex digest — temp leftovers, stray files — are
+     * skipped. Contents are NOT validated here; a listed digest may
+     * still turn out corrupt on fetch. This is the fingerprint listing
+     * the store-sync wire messages serve.
+     */
+    std::vector<StoreListing> listEntries() const;
 
     /** Number of entry files currently in the store (full scan). */
     std::size_t entryCount() const;

@@ -3,11 +3,14 @@
 #include <unistd.h>
 
 #include "common/logging.hpp"
+#include "exec/fingerprint.hpp"
 
 namespace iced {
 
-ServiceClient::ServiceClient(const std::string &socket_path)
-    : fd(connectUnix(socket_path))
+ServiceClient::ServiceClient(const std::string &address,
+                             ClientOptions options)
+    : fd(connectEndpoint(Endpoint::parse(address),
+                         options.connectTimeoutMs))
 {
 }
 
@@ -71,6 +74,39 @@ ServiceClient::stats()
     return json;
 }
 
+std::vector<StoreListing>
+ServiceClient::storeList()
+{
+    Decoder dec =
+        roundTrip(buildStoreListRequest(), MessageType::StoreListResponse);
+    const std::uint32_t count = dec.u32();
+    std::vector<StoreListing> listing;
+    listing.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        StoreListing entry;
+        entry.key.lo = dec.u64();
+        entry.key.hi = dec.u64();
+        entry.negative = dec.boolean();
+        listing.push_back(entry);
+    }
+    fatalIf(!dec.atEnd(),
+            "client: trailing bytes after StoreListResponse");
+    return listing;
+}
+
+bool
+ServiceClient::storeFetch(const Digest &key, bool negative,
+                          std::string &blob)
+{
+    Decoder dec = roundTrip(buildStoreFetchRequest(key, negative),
+                            MessageType::StoreFetchResponse);
+    const bool found = dec.boolean();
+    blob = dec.str();
+    fatalIf(!dec.atEnd(),
+            "client: trailing bytes after StoreFetchResponse");
+    return found;
+}
+
 void
 ServiceClient::shutdownServer()
 {
@@ -86,6 +122,55 @@ decodeReplyEntry(const MapReplyMsg &reply)
     if (reply.entryBlob.empty())
         return nullptr;
     return decodeMappingEntry(reply.entryBlob);
+}
+
+StoreSyncResult
+syncStoreFromServer(ServiceClient &client, PersistentMappingStore &local)
+{
+    StoreSyncResult result;
+    const std::vector<StoreListing> listing = client.storeList();
+    result.listed = listing.size();
+    std::string blob;
+    for (const StoreListing &remote : listing) {
+        if (remote.negative ? local.containsNegative(remote.key)
+                            : local.contains(remote.key)) {
+            ++result.alreadyPresent;
+            continue;
+        }
+        if (!client.storeFetch(remote.key, remote.negative, blob)) {
+            // Gone on the server between list and fetch, or dropped
+            // there as corrupt/schema-orphaned — never replicated.
+            ++result.skipped;
+            continue;
+        }
+        if (remote.negative) {
+            local.storeNegative(remote.key);
+            ++result.pulledNegative;
+            continue;
+        }
+        std::shared_ptr<const MappingEntry> entry;
+        try {
+            entry = decodeMappingEntry(blob);
+        } catch (const FatalError &err) {
+            warn("sync-store: skipping undecodable entry: ", err.what());
+            ++result.skipped;
+            continue;
+        }
+        // The advertised digest must be the entry's own request
+        // fingerprint; a mismatch means the remote file was renamed or
+        // its content does not belong to this key.
+        const Digest recomputed = fingerprintMappingRequest(
+            entry->dfg, entry->cgra.config(), entry->options);
+        if (!(recomputed == remote.key)) {
+            warn("sync-store: skipping entry whose content does not "
+                 "match its advertised fingerprint");
+            ++result.skipped;
+            continue;
+        }
+        local.store(remote.key, entry);
+        ++result.pulled;
+    }
+    return result;
 }
 
 } // namespace iced

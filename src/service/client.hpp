@@ -2,12 +2,14 @@
  * @file
  * In-process client for the mapping service.
  *
- * `ServiceClient` holds one connection to an `iced_serve` socket and
+ * `ServiceClient` holds one connection to an `iced_serve` endpoint —
+ * a Unix socket path or a TCP `host:port` (`Endpoint::parse`) — and
  * exposes the protocol as blocking calls: `map` one cell, `sweep` a
  * batch (the server shards it across its pool), `stats` (the server's
- * MetricsRegistry JSON), and `shutdownServer` (acknowledged graceful
- * drain). An `ErrorResponse` from the server is rethrown locally as
- * `FatalError` with the server's message.
+ * MetricsRegistry JSON), `storeList`/`storeFetch` (the store-sync
+ * messages behind `syncStoreFromServer`), and `shutdownServer`
+ * (acknowledged graceful drain). An `ErrorResponse` from the server
+ * is rethrown locally as `FatalError` with the server's message.
  *
  * `decodeReplyEntry` turns a reply's `entryBlob` back into a
  * `MappingEntry`, whose `Mapping` is `equalMappings`-comparable to a
@@ -29,12 +31,25 @@
 
 namespace iced {
 
+/** Connection knobs of `ServiceClient`. */
+struct ClientOptions
+{
+    /**
+     * TCP connect budget in milliseconds (0 = block indefinitely).
+     * Unix-socket connects complete or fail immediately either way.
+     */
+    std::uint32_t connectTimeoutMs = 5000;
+};
+
 /** Blocking single-connection client for `iced_serve`. */
 class ServiceClient
 {
   public:
-    /** Connect to the server socket. @throws FatalError */
-    explicit ServiceClient(const std::string &socket_path);
+    /** Connect to the server address (Unix path or TCP host:port).
+     *  @throws FatalError with an actionable message when nothing is
+     *  listening there or the connect timeout expires. */
+    explicit ServiceClient(const std::string &address,
+                           ClientOptions options = {});
 
     ~ServiceClient();
 
@@ -52,6 +67,18 @@ class ServiceClient
     /** The server's MetricsRegistry snapshot as JSON. */
     std::string stats();
 
+    /** The server store's fingerprint listing (deterministic order).
+     *  @throws FatalError when the server has no persistent store. */
+    std::vector<StoreListing> storeList();
+
+    /**
+     * Fetch one store entry by digest. Returns false when the server
+     * no longer has it (evicted, or dropped as corrupt — a corrupt
+     * entry is never shipped). For positives `blob` receives the
+     * `encodeMappingEntry` payload; negatives carry no payload.
+     */
+    bool storeFetch(const Digest &key, bool negative, std::string &blob);
+
     /** Ask the server to drain and exit; returns after the ack. */
     void shutdownServer();
 
@@ -67,6 +94,30 @@ class ServiceClient
 /** Decode a reply's `entryBlob` (empty blob → nullptr). */
 std::shared_ptr<const MappingEntry> decodeReplyEntry(
     const MapReplyMsg &reply);
+
+/** Outcome tally of one `syncStoreFromServer` run. */
+struct StoreSyncResult
+{
+    std::size_t listed = 0;         ///< entries in the remote listing
+    std::size_t pulled = 0;         ///< positive entries written locally
+    std::size_t pulledNegative = 0; ///< negative markers written locally
+    std::size_t alreadyPresent = 0; ///< skipped: local store has them
+    std::size_t skipped = 0;        ///< skipped: corrupt/vanished/mismatched
+};
+
+/**
+ * Pull every store entry the local store is missing from the server
+ * (`iced_client sync-store`): list remote fingerprints, fetch absent
+ * ones, and write them through the local store's atomic temp+rename
+ * path. Every pulled positive is decode-validated *and* its request
+ * fingerprint is recomputed and required to equal the advertised
+ * digest, so a renamed/corrupted remote file can never poison the
+ * local store — it is counted in `skipped` instead. Negative markers
+ * are rewritten locally (the marker embeds its own key), never
+ * copied. Safe to run against a live server.
+ */
+StoreSyncResult syncStoreFromServer(ServiceClient &client,
+                                    PersistentMappingStore &local);
 
 } // namespace iced
 

@@ -23,6 +23,8 @@ struct ServiceCounters
     MetricsRegistry::Counter &mapRequests;
     MetricsRegistry::Counter &sweepRequests;
     MetricsRegistry::Counter &statsRequests;
+    MetricsRegistry::Counter &storeListRequests;
+    MetricsRegistry::Counter &storeFetchRequests;
     MetricsRegistry::Counter &cells;
     MetricsRegistry::Counter &servedMemory;
     MetricsRegistry::Counter &servedPersistent;
@@ -39,6 +41,8 @@ serviceCounters()
         MetricsRegistry::global().counter("service.requests.map"),
         MetricsRegistry::global().counter("service.requests.sweep"),
         MetricsRegistry::global().counter("service.requests.stats"),
+        MetricsRegistry::global().counter("service.requests.store_list"),
+        MetricsRegistry::global().counter("service.requests.store_fetch"),
         MetricsRegistry::global().counter("service.cells.total"),
         MetricsRegistry::global().counter("service.served.memory"),
         MetricsRegistry::global().counter("service.served.persistent"),
@@ -118,14 +122,16 @@ MappingServer::MappingServer(ServerOptions options)
       pool(opts.threads > 0 ? opts.threads
                             : ThreadPool::defaultThreadCount())
 {
-    fatalIf(opts.socketPath.empty(), "server: socketPath is required");
+    fatalIf(opts.listenAddress.empty(),
+            "server: listenAddress is required");
     if (!opts.storeDir.empty()) {
         diskStore = std::make_unique<PersistentMappingStore>(
             PersistentStoreOptions{opts.storeDir, opts.syncWrites});
         cache.attachStore(diskStore.get());
     }
     fatalIf(::pipe(wakePipe) != 0, "pipe(): ", std::strerror(errno));
-    listenFd = listenUnix(opts.socketPath, /*backlog=*/16);
+    listenFd = listenEndpoint(Endpoint::parse(opts.listenAddress),
+                              /*backlog=*/16, &boundEp);
 }
 
 MappingServer::~MappingServer()
@@ -223,12 +229,13 @@ MappingServer::acceptLoop()
             std::thread([this, conn] { serveConnection(conn); });
     }
     // Drain: close the listener (no new connections), remove the
-    // socket file, and wake every connection reader so idle
-    // connections see EOF. In-flight requests still finish and reply:
-    // SHUT_RD only stops further reads.
+    // socket file (Unix transport only), and wake every connection
+    // reader so idle connections see EOF. In-flight requests still
+    // finish and reply: SHUT_RD only stops further reads.
     ::close(listenFd);
     listenFd = -1;
-    ::unlink(opts.socketPath.c_str());
+    if (boundEp.kind == Endpoint::Kind::UnixSocket)
+        ::unlink(boundEp.path.c_str());
     std::lock_guard<std::mutex> lock(connMtx);
     for (Connection &c : connections)
         if (c.fd >= 0)
@@ -363,6 +370,38 @@ MappingServer::dispatch(const std::string &payload)
                 "wire: trailing bytes after ShutdownRequest");
         requestStop();
         return buildShutdownResponse();
+    }
+    case MessageType::StoreListRequest: {
+        serviceCounters().storeListRequests.increment();
+        fatalIf(!dec.atEnd(),
+                "wire: trailing bytes after StoreListRequest");
+        fatalIf(!diskStore,
+                "server has no persistent store (started without "
+                "--store); nothing to sync");
+        return buildStoreListResponse(diskStore->listEntries());
+    }
+    case MessageType::StoreFetchRequest: {
+        serviceCounters().storeFetchRequests.increment();
+        Digest key;
+        key.lo = dec.u64();
+        key.hi = dec.u64();
+        const bool negative = dec.boolean();
+        fatalIf(!dec.atEnd(),
+                "wire: trailing bytes after StoreFetchRequest");
+        fatalIf(!diskStore,
+                "server has no persistent store (started without "
+                "--store); nothing to sync");
+        if (negative)
+            // fetchNegative fully validates the marker (and deletes a
+            // corrupt one), so `found` is never a damaged entry.
+            return buildStoreFetchResponse(diskStore->fetchNegative(key),
+                                           "");
+        const std::shared_ptr<const MappingEntry> entry =
+            diskStore->fetch(key);
+        // A corrupt or schema-orphaned file decodes to nullptr (and is
+        // removed); it is reported absent, never shipped.
+        return buildStoreFetchResponse(
+            entry != nullptr, entry ? encodeMappingEntry(*entry) : "");
     }
     default:
         fatal("wire: unknown request type ", static_cast<int>(typeByte));

@@ -21,8 +21,16 @@
  * completion and their replies are written, then connection readers
  * are woken with `shutdown(SHUT_RD)` and everything joins in `wait()`.
  *
+ * Transport: the listener is an `Endpoint` — a Unix socket for
+ * same-host serving or a TCP `host:port` for cross-host serving and
+ * sharded sweeps (service/sharded_client.hpp). The frame protocol is
+ * transport-agnostic; with a persistent store configured the server
+ * also answers the store-sync messages (fingerprint listing + entry
+ * fetch) behind `iced_client sync-store`.
+ *
  * Metrics (`service.*`): requests.map / requests.sweep / requests.stats,
- * cells.total, served.memory / served.persistent / served.computed
+ * requests.store_list / requests.store_fetch, cells.total,
+ * served.memory / served.persistent / served.computed
  * (the dedup/persistence observability the smoke test reads),
  * deadline_exceeded, connections, protocol_errors.
  */
@@ -45,7 +53,14 @@ namespace iced {
 
 struct ServerOptions
 {
-    std::string socketPath;
+    /**
+     * Listen address in either form (`Endpoint::parse`): a Unix
+     * socket path or a TCP `host:port` (`127.0.0.1:0` for an
+     * ephemeral port — read the real one back via `boundAddress()`).
+     * The TCP listener speaks protocol v1 with no authentication:
+     * bind it on trusted networks only (docs/SERVICE.md).
+     */
+    std::string listenAddress;
     /** Persistent store directory; empty = memory-only serving. */
     std::string storeDir;
     /** Sweep-sharding pool size; 0 = ThreadPool::defaultThreadCount. */
@@ -91,7 +106,12 @@ class MappingServer
     /** Block until the drain completed and every thread joined. */
     void wait();
 
-    const std::string &socketPath() const { return opts.socketPath; }
+    /**
+     * The address the server actually listens on: the Unix socket
+     * path, or `host:port` with the kernel-assigned port when the
+     * request was for port 0. Valid from construction.
+     */
+    std::string boundAddress() const { return boundEp.describe(); }
 
     /** Entries in the persistent tier (0 when memory-only). */
     std::size_t persistentEntryCount() const;
@@ -114,6 +134,7 @@ class MappingServer
                            const CancelToken &cancel);
 
     ServerOptions opts;
+    Endpoint boundEp;
     std::unique_ptr<PersistentMappingStore> diskStore;
     MappingCache cache;
     ThreadPool pool;

@@ -1,0 +1,196 @@
+#include "service/sharded_client.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+
+namespace iced {
+
+namespace {
+
+struct ShardCounters
+{
+    MetricsRegistry::Counter &sweeps;
+    MetricsRegistry::Counter &cells;
+    MetricsRegistry::Counter &failovers;
+    MetricsRegistry::Counter &backendsDead;
+    MetricsRegistry::Counter &retryAttempts;
+    MetricsRegistry::Counter &retryExhausted;
+};
+
+ShardCounters &
+shardCounters()
+{
+    static ShardCounters counters{
+        MetricsRegistry::global().counter("service.shard.sweeps"),
+        MetricsRegistry::global().counter("service.shard.cells"),
+        MetricsRegistry::global().counter("service.shard.failovers"),
+        MetricsRegistry::global().counter("service.shard.backends_dead"),
+        MetricsRegistry::global().counter("service.retry.attempts"),
+        MetricsRegistry::global().counter("service.retry.exhausted"),
+    };
+    return counters;
+}
+
+} // namespace
+
+ShardedClient::ShardedClient(std::vector<std::string> backend_addresses,
+                             ShardedClientOptions options)
+    : backends(std::move(backend_addresses)), opts(options)
+{
+    fatalIf(backends.empty(), "sharded client: no backend addresses");
+    fatalIf(opts.maxAttempts < 1,
+            "sharded client: maxAttempts must be >= 1");
+    // Address strings are validated up front so a typo fails the
+    // construction, not the Nth shard mid-sweep.
+    for (const std::string &address : backends)
+        (void)Endpoint::parse(address);
+}
+
+std::vector<MapReplyMsg>
+ShardedClient::sweep(const std::vector<RequestCell> &cells,
+                     std::uint32_t deadline_ms)
+{
+    shardCounters().sweeps.increment();
+    shardCounters().cells.increment(cells.size());
+    last = ShardStats{};
+
+    std::vector<MapReplyMsg> replies(cells.size());
+    // Written only by the thread owning the index; read after join.
+    std::vector<char> served(cells.size(), 0);
+    std::vector<char> alive(backends.size(), 1);
+    std::atomic<std::uint64_t> retries{0};
+
+    std::vector<std::size_t> pending(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        pending[i] = i;
+
+    bool firstRound = true;
+    while (!pending.empty()) {
+        std::vector<std::size_t> aliveIdx;
+        for (std::size_t b = 0; b < backends.size(); ++b)
+            if (alive[b])
+                aliveIdx.push_back(b);
+        fatalIf(aliveIdx.empty(), "sharded sweep failed: all ",
+                backends.size(), " backends are unreachable");
+
+        // Deterministic partition of the pending cells: round-robin
+        // over the alive backends, in pending (= grid) order.
+        std::vector<std::vector<std::size_t>> shards(aliveIdx.size());
+        for (std::size_t k = 0; k < pending.size(); ++k)
+            shards[k % aliveIdx.size()].push_back(pending[k]);
+        if (!firstRound) {
+            // Every shard of a later round carries cells a dead
+            // backend still owed: count one failover per reassigned
+            // shard actually formed.
+            for (const std::vector<std::size_t> &shard : shards)
+                if (!shard.empty()) {
+                    last.failovers++;
+                    shardCounters().failovers.increment();
+                }
+        }
+
+        std::vector<std::thread> workers;
+        for (std::size_t s = 0; s < aliveIdx.size(); ++s) {
+            if (shards[s].empty())
+                continue;
+            workers.emplace_back([&, s] {
+                const std::size_t b = aliveIdx[s];
+                const std::vector<std::size_t> &shard = shards[s];
+                std::vector<RequestCell> shardCells;
+                shardCells.reserve(shard.size());
+                for (std::size_t idx : shard)
+                    shardCells.push_back(cells[idx]);
+                for (int attempt = 1; attempt <= opts.maxAttempts;
+                     ++attempt) {
+                    try {
+                        // A fresh connection per try: after a failure
+                        // the previous one may be half-dead.
+                        ServiceClient conn(backends[b], opts.connection);
+                        const std::vector<MapReplyMsg> shardReplies =
+                            conn.sweep(shardCells, deadline_ms);
+                        for (std::size_t k = 0; k < shard.size(); ++k) {
+                            replies[shard[k]] = shardReplies[k];
+                            served[shard[k]] = 1;
+                        }
+                        return;
+                    } catch (const FatalError &err) {
+                        if (attempt == opts.maxAttempts) {
+                            warn("sharded sweep: backend ", backends[b],
+                                 " dead after ", attempt,
+                                 " attempt(s): ", err.what());
+                            alive[b] = 0;
+                            shardCounters().retryExhausted.increment();
+                            return;
+                        }
+                        retries.fetch_add(1,
+                                          std::memory_order_relaxed);
+                        shardCounters().retryAttempts.increment();
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(
+                                opts.retryBackoffMs *
+                                static_cast<std::uint32_t>(attempt)));
+                    }
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+
+        std::vector<std::size_t> unserved;
+        for (std::size_t idx : pending)
+            if (!served[idx])
+                unserved.push_back(idx);
+        pending = std::move(unserved);
+        firstRound = false;
+    }
+
+    last.retries = retries.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < backends.size(); ++b)
+        if (!alive[b]) {
+            last.deadBackends++;
+            shardCounters().backendsDead.increment();
+        }
+    return replies;
+}
+
+MapReplyMsg
+ShardedClient::map(const RequestCell &cell, std::uint32_t deadline_ms)
+{
+    return sweep({cell}, deadline_ms)[0];
+}
+
+std::vector<std::pair<std::string, std::string>>
+ShardedClient::statsAll()
+{
+    std::vector<std::pair<std::string, std::string>> all;
+    for (const std::string &address : backends) {
+        try {
+            ServiceClient conn(address, opts.connection);
+            all.emplace_back(address, conn.stats());
+        } catch (const FatalError &err) {
+            warn("stats: skipping unreachable backend ", address, ": ",
+                 err.what());
+        }
+    }
+    return all;
+}
+
+void
+ShardedClient::shutdownAll()
+{
+    for (const std::string &address : backends) {
+        try {
+            ServiceClient conn(address, opts.connection);
+            conn.shutdownServer();
+        } catch (const FatalError &err) {
+            warn("shutdown: skipping unreachable backend ", address,
+                 ": ", err.what());
+        }
+    }
+}
+
+} // namespace iced

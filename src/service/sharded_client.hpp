@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sharded front-end over several `iced_serve` back-ends.
+ *
+ * `ShardedClient` takes N backend addresses (Unix paths or TCP
+ * `host:port`, mixed freely) and partitions every sweep's cells
+ * deterministically across them — cell i goes to backend
+ * `i % aliveBackends` of the current round — then merges the replies
+ * back into request order, so a caller's stdout is byte-identical to
+ * the single-server and the local in-process run (the mapper is
+ * deterministic, so *which* backend computes a cell never changes the
+ * result bytes).
+ *
+ * Failure model: each shard request gets `maxAttempts` tries against
+ * its backend with linear backoff (`retryBackoffMs * attempt`)
+ * between tries; a fresh connection per try, because the old one may
+ * be half-dead. A backend that exhausts its attempts is declared dead
+ * for the rest of the call, and the cells it still owed are
+ * re-partitioned across the survivors in the next round (*failover*).
+ * Only when every backend is dead does the sweep throw `FatalError`.
+ * Deadlines ride the existing wire field: `deadline_ms` is forwarded
+ * per shard request and bounds each backend's compute through the
+ * server-side CancelToken watchdog, exactly as for a direct client.
+ *
+ * A failed-over cell may have been *computed* twice (once by the dead
+ * backend before it died, once by the survivor) — that is wasted
+ * work, never wrong results, and the survivor may well serve it from
+ * its store. Dedup across backends is the store-sync job
+ * (`iced_client sync-store`), not the front-end's.
+ *
+ * Metrics: `service.shard.sweeps/cells/failovers/backends_dead`,
+ * `service.retry.attempts` (failed tries that were retried),
+ * `service.retry.exhausted` (shard requests whose backend died).
+ * Per-call numbers are also kept in `lastStats()` for CLI summaries.
+ *
+ * Thread safety: one ShardedClient per thread, like ServiceClient.
+ * Internally each round runs one thread per shard.
+ */
+#ifndef ICED_SERVICE_SHARDED_CLIENT_HPP
+#define ICED_SERVICE_SHARDED_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+
+namespace iced {
+
+/** Retry/failover knobs of the sharded front-end. */
+struct ShardedClientOptions
+{
+    /** Per-connection knobs (TCP connect timeout). */
+    ClientOptions connection;
+    /** Tries per shard request against one backend (>= 1). */
+    int maxAttempts = 3;
+    /** Backoff between tries: `retryBackoffMs * attempt` ms. */
+    std::uint32_t retryBackoffMs = 50;
+};
+
+/** Deterministic sharding, bounded retry, failover across back-ends. */
+class ShardedClient
+{
+  public:
+    /** Per-call failure-handling tally (also mirrored into metrics). */
+    struct ShardStats
+    {
+        std::uint64_t retries = 0;      ///< failed tries that were retried
+        std::uint64_t failovers = 0;    ///< shards reassigned off a dead backend
+        std::uint64_t deadBackends = 0; ///< backends declared dead this call
+    };
+
+    /** @throws FatalError when `backend_addresses` is empty. */
+    explicit ShardedClient(std::vector<std::string> backend_addresses,
+                           ShardedClientOptions options = {});
+
+    /**
+     * Map a batch across the backends; replies in request order.
+     * @throws FatalError when every backend is dead.
+     */
+    std::vector<MapReplyMsg> sweep(const std::vector<RequestCell> &cells,
+                                   std::uint32_t deadline_ms = 0);
+
+    /** One cell (single-element sweep: same retry/failover path). */
+    MapReplyMsg map(const RequestCell &cell,
+                    std::uint32_t deadline_ms = 0);
+
+    /** (address, metrics JSON) of every *reachable* backend. */
+    std::vector<std::pair<std::string, std::string>> statsAll();
+
+    /** Best-effort shutdown of every reachable backend. */
+    void shutdownAll();
+
+    const std::vector<std::string> &backendAddresses() const
+    {
+        return backends;
+    }
+
+    /** Failure-handling tally of the most recent sweep/map call. */
+    const ShardStats &lastStats() const { return last; }
+
+  private:
+    std::vector<std::string> backends;
+    ShardedClientOptions opts;
+    ShardStats last;
+};
+
+} // namespace iced
+
+#endif // ICED_SERVICE_SHARDED_CLIENT_HPP

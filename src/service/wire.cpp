@@ -1,8 +1,15 @@
 #include "service/wire.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -90,6 +97,22 @@ buildShutdownRequest()
     return requestHeader(MessageType::ShutdownRequest, 0).take();
 }
 
+std::string
+buildStoreListRequest()
+{
+    return requestHeader(MessageType::StoreListRequest, 0).take();
+}
+
+std::string
+buildStoreFetchRequest(const Digest &key, bool negative)
+{
+    Encoder enc = requestHeader(MessageType::StoreFetchRequest, 0);
+    enc.u64(key.lo);
+    enc.u64(key.hi);
+    enc.boolean(negative);
+    return enc.take();
+}
+
 void
 encodeMapReply(Encoder &enc, const MapReplyMsg &reply)
 {
@@ -155,6 +178,30 @@ buildShutdownResponse()
 }
 
 std::string
+buildStoreListResponse(const std::vector<StoreListing> &listing)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::StoreListResponse));
+    enc.u32(static_cast<std::uint32_t>(listing.size()));
+    for (const StoreListing &entry : listing) {
+        enc.u64(entry.key.lo);
+        enc.u64(entry.key.hi);
+        enc.boolean(entry.negative);
+    }
+    return enc.take();
+}
+
+std::string
+buildStoreFetchResponse(bool found, const std::string &blob)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::StoreFetchResponse));
+    enc.boolean(found);
+    enc.str(blob);
+    return enc.take();
+}
+
+std::string
 buildErrorResponse(const std::string &message)
 {
     Encoder enc;
@@ -215,6 +262,195 @@ readFull(int fd, char *data, std::size_t size)
 }
 
 } // namespace
+
+Endpoint
+Endpoint::parse(const std::string &address)
+{
+    fatalIf(address.empty(), "endpoint: empty address");
+    Endpoint ep;
+    const std::size_t colon = address.rfind(':');
+    const bool hasSlash = address.find('/') != std::string::npos;
+    if (!hasSlash && colon != std::string::npos &&
+        colon + 1 < address.size()) {
+        const std::string portText = address.substr(colon + 1);
+        bool digits = true;
+        for (char c : portText)
+            digits = digits && c >= '0' && c <= '9';
+        if (digits) {
+            const long port = std::atol(portText.c_str());
+            fatalIf(port < 0 || port > 65535,
+                    "endpoint: port out of range in '", address, "'");
+            ep.kind = Kind::Tcp;
+            ep.host = address.substr(0, colon);
+            if (ep.host.empty() || ep.host == "*")
+                ep.host = "0.0.0.0";
+            ep.port = static_cast<std::uint16_t>(port);
+            return ep;
+        }
+    }
+    ep.kind = Kind::UnixSocket;
+    ep.path = address;
+    return ep;
+}
+
+std::string
+Endpoint::describe() const
+{
+    if (kind == Kind::UnixSocket)
+        return path;
+    return host + ":" + std::to_string(port);
+}
+
+namespace {
+
+/** Resolved IPv4/IPv6 address list for host:port; caller frees. */
+addrinfo *
+resolveTcp(const Endpoint &endpoint, bool passive)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = passive ? AI_PASSIVE : 0;
+    const std::string portText = std::to_string(endpoint.port);
+    addrinfo *result = nullptr;
+    const int rc = ::getaddrinfo(endpoint.host.c_str(), portText.c_str(),
+                                 &hints, &result);
+    fatalIf(rc != 0, "cannot resolve '", endpoint.describe(),
+            "': ", ::gai_strerror(rc));
+    return result;
+}
+
+/** Ephemeral-port query after bind: the kernel-assigned port. */
+std::uint16_t
+boundTcpPort(int fd)
+{
+    sockaddr_storage addr{};
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        return 0;
+    if (addr.ss_family == AF_INET)
+        return ntohs(reinterpret_cast<sockaddr_in *>(&addr)->sin_port);
+    if (addr.ss_family == AF_INET6)
+        return ntohs(reinterpret_cast<sockaddr_in6 *>(&addr)->sin6_port);
+    return 0;
+}
+
+int
+listenTcp(const Endpoint &endpoint, int backlog, Endpoint *bound)
+{
+    addrinfo *addrs = resolveTcp(endpoint, /*passive=*/true);
+    std::string reason = "no usable address";
+    int fd = -1;
+    for (addrinfo *ai = addrs; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            reason = std::strerror(errno);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, backlog) == 0)
+            break;
+        reason = std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(addrs);
+    fatalIf(fd < 0, "cannot listen on ", endpoint.describe(), ": ",
+            reason);
+    if (bound) {
+        *bound = endpoint;
+        bound->port = boundTcpPort(fd);
+    }
+    return fd;
+}
+
+/**
+ * Non-blocking TCP connect bounded by `timeout_ms` (0 = no bound).
+ * Returns the connected fd (restored to blocking) or -1 with `reason`
+ * set — the caller aggregates per-address failures.
+ */
+int
+connectTcpOnce(const addrinfo *ai, std::uint32_t timeout_ms,
+               std::string &reason)
+{
+    const int fd =
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+        reason = std::strerror(errno);
+        return -1;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int timeout =
+            timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms);
+        do {
+            rc = ::poll(&pfd, 1, timeout);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0) {
+            reason = "timed out after " + std::to_string(timeout_ms) +
+                     " ms";
+            ::close(fd);
+            return -1;
+        }
+        int soError = 0;
+        socklen_t len = sizeof soError;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len);
+        rc = soError == 0 ? 0 : -1;
+        errno = soError;
+    }
+    if (rc != 0) {
+        reason = std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    // The protocol is request/response with small frames; latency
+    // beats batching.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+} // namespace
+
+int
+listenEndpoint(const Endpoint &endpoint, int backlog, Endpoint *bound)
+{
+    if (endpoint.kind == Endpoint::Kind::Tcp)
+        return listenTcp(endpoint, backlog, bound);
+    const int fd = listenUnix(endpoint.path, backlog);
+    if (bound)
+        *bound = endpoint;
+    return fd;
+}
+
+int
+connectEndpoint(const Endpoint &endpoint, std::uint32_t timeout_ms)
+{
+    if (endpoint.kind == Endpoint::Kind::UnixSocket) {
+        // Distinguish "nothing is listening here" from transient
+        // connect errors before the raw connect(2) can muddle them.
+        std::error_code ec;
+        fatalIf(!std::filesystem::exists(endpoint.path, ec),
+                "no server socket at ", endpoint.path,
+                " — is iced_serve running, and is the path right?");
+        return connectUnix(endpoint.path);
+    }
+    addrinfo *addrs = resolveTcp(endpoint, /*passive=*/false);
+    std::string reason = "no usable address";
+    int fd = -1;
+    for (addrinfo *ai = addrs; ai != nullptr && fd < 0; ai = ai->ai_next)
+        fd = connectTcpOnce(ai, timeout_ms, reason);
+    ::freeaddrinfo(addrs);
+    fatalIf(fd < 0, "cannot connect to ", endpoint.describe(), " (",
+            reason, ") — is iced_serve listening there?");
+    return fd;
+}
 
 int
 listenUnix(const std::string &path, int backlog)

@@ -2,11 +2,13 @@
  * @file
  * Wire protocol of the mapping service (`iced_serve`).
  *
- * Transport: a SOCK_STREAM Unix-domain socket carrying *frames*. Each
+ * Transport: a SOCK_STREAM socket — Unix-domain or TCP, selected by
+ * the address form (`Endpoint::parse`) — carrying *frames*. Each
  * frame is a 4-byte little-endian payload length followed by that many
  * payload bytes (capped at `maxFramePayload` as a protocol-error
- * backstop). One request frame yields exactly one response frame, in
- * order, so a client may pipeline requests on one connection.
+ * backstop). The frame format is byte-identical on both transports.
+ * One request frame yields exactly one response frame, in order, so a
+ * client may pipeline requests on one connection.
  *
  * Payload: one `MessageType` byte, then — for requests — a
  * `wireProtocolVersion` word, then the message body built from the
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "exec/codec.hpp"
+#include "exec/persistent_store.hpp"
 
 namespace iced {
 
@@ -47,11 +50,45 @@ enum class MessageType : std::uint8_t
     SweepRequest = 0x02,
     StatsRequest = 0x03,
     ShutdownRequest = 0x04,
+    StoreListRequest = 0x05,
+    StoreFetchRequest = 0x06,
     MapResponse = 0x81,
     SweepResponse = 0x82,
     StatsResponse = 0x83,
     ShutdownResponse = 0x84,
+    StoreListResponse = 0x85,
+    StoreFetchResponse = 0x86,
     ErrorResponse = 0xff,
+};
+
+/**
+ * A service address: a Unix-domain socket path or a TCP `host:port`.
+ *
+ * Address grammar (used by every `--socket`/`--listen`/`--server`
+ * flag): a string containing a `/` is always a Unix socket path;
+ * otherwise `host:port` (port all-digits) is TCP, and anything else
+ * is again a Unix path. `127.0.0.1:0` asks the kernel for an
+ * ephemeral port; the bound endpoint (via `listenEndpoint`'s `bound`
+ * out-param) carries the real one.
+ */
+struct Endpoint
+{
+    enum class Kind : std::uint8_t
+    {
+        UnixSocket,
+        Tcp,
+    };
+
+    Kind kind = Kind::UnixSocket;
+    std::string path;        ///< Unix socket path (Kind::UnixSocket)
+    std::string host;        ///< TCP host or numeric address (Kind::Tcp)
+    std::uint16_t port = 0;  ///< TCP port; 0 = ephemeral (listen only)
+
+    /** Parse an address string per the grammar above. @throws FatalError */
+    static Endpoint parse(const std::string &address);
+
+    /** The canonical address string (`path` or `host:port`). */
+    std::string describe() const;
 };
 
 /** One mapping request: everything the fingerprint covers. */
@@ -100,11 +137,16 @@ std::string buildSweepRequest(const std::vector<RequestCell> &cells,
                               std::uint32_t deadline_ms);
 std::string buildStatsRequest();
 std::string buildShutdownRequest();
+std::string buildStoreListRequest();
+std::string buildStoreFetchRequest(const Digest &key, bool negative);
 
 std::string buildMapResponse(const MapReplyMsg &reply);
 std::string buildSweepResponse(const std::vector<MapReplyMsg> &replies);
 std::string buildStatsResponse(const std::string &metrics_json);
 std::string buildShutdownResponse();
+std::string buildStoreListResponse(const std::vector<StoreListing> &listing);
+/** `blob` is the `encodeMappingEntry` payload; empty for negatives. */
+std::string buildStoreFetchResponse(bool found, const std::string &blob);
 std::string buildErrorResponse(const std::string &message);
 
 void encodeMapReply(Encoder &enc, const MapReplyMsg &reply);
@@ -118,6 +160,23 @@ int listenUnix(const std::string &path, int backlog);
 
 /** Connect to the Unix socket at `path`. @throws FatalError */
 int connectUnix(const std::string &path);
+
+/**
+ * Bind + listen on `endpoint` (either kind). When `bound` is non-null
+ * it receives the actual endpoint — for TCP port 0 that includes the
+ * kernel-assigned ephemeral port. @throws FatalError
+ */
+int listenEndpoint(const Endpoint &endpoint, int backlog,
+                   Endpoint *bound = nullptr);
+
+/**
+ * Connect to `endpoint`. `timeout_ms` bounds a TCP connect (0 = block
+ * indefinitely); Unix connects complete or fail immediately. Throws
+ * `FatalError` with an actionable message — "no server socket at
+ * PATH", "connection refused", "timed out after Nms" — never a bare
+ * errno string.
+ */
+int connectEndpoint(const Endpoint &endpoint, std::uint32_t timeout_ms);
 
 /**
  * Write one frame (length prefix + payload). Returns false when the

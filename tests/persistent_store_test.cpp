@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -350,6 +351,64 @@ TEST_F(PersistentStoreTest, CancelledComputeWritesNoNegatives)
     EXPECT_FALSE(truncated->mapped());
     EXPECT_EQ(store.negativeEntryCount(), 0u);
     EXPECT_EQ(cache.negativeSize(), 0u);
+}
+
+TEST_F(PersistentStoreTest, ListEntriesIsDeterministicAndSkipsStrays)
+{
+    PersistentMappingStore store(options());
+    const MapperOptions mapper_options;
+    std::vector<Digest> keys;
+    for (const char *name : {"gemm", "fir", "conv"}) {
+        const Dfg dfg = findKernel(name).build(1);
+        const Digest key =
+            requestKey(smallFabric(), dfg, mapper_options);
+        store.store(key,
+                    computeMappingEntry(smallFabric(), dfg,
+                                        mapper_options));
+        keys.push_back(key);
+    }
+    // One digest with both a positive entry and a negative marker,
+    // plus a pure negative.
+    store.storeNegative(keys[0]);
+    const Digest negativeOnly =
+        attemptKey(smallFabric(), findKernel("fir").build(1), 2);
+    store.storeNegative(negativeOnly);
+
+    // Stray files in the tree must not surface in the listing.
+    std::ofstream(dir / "README.txt") << "not an entry\n";
+    fs::create_directories(dir / "ab");
+    std::ofstream(dir / "ab" / "nothex.icm") << "stray\n";
+    std::ofstream(dir / "ab" / "short0123.icn") << "stray\n";
+
+    const std::vector<StoreListing> listing = store.listEntries();
+    ASSERT_EQ(listing.size(), 5u);
+
+    // Ascending (hi, lo) digest order, positives before negatives at
+    // the same digest — the order every replica and a fresh handle on
+    // the same directory reproduce exactly.
+    for (std::size_t i = 1; i < listing.size(); ++i) {
+        const Digest &prev = listing[i - 1].key;
+        const Digest &next = listing[i].key;
+        const bool ascending =
+            prev.hi < next.hi ||
+            (prev.hi == next.hi && prev.lo < next.lo) ||
+            (prev == next && !listing[i - 1].negative &&
+             listing[i].negative);
+        EXPECT_TRUE(ascending) << "listing position " << i;
+    }
+    for (const Digest &key : keys)
+        EXPECT_NE(std::find(listing.begin(), listing.end(),
+                            StoreListing{key, false}),
+                  listing.end());
+    EXPECT_NE(std::find(listing.begin(), listing.end(),
+                        StoreListing{keys[0], true}),
+              listing.end());
+    EXPECT_NE(std::find(listing.begin(), listing.end(),
+                        StoreListing{negativeOnly, true}),
+              listing.end());
+
+    PersistentMappingStore reopened(options());
+    EXPECT_EQ(reopened.listEntries(), listing);
 }
 
 } // namespace

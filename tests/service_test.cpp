@@ -56,7 +56,7 @@ class ServiceTest : public ::testing::Test
     ServerOptions serverOptions(bool with_store = false) const
     {
         ServerOptions opts;
-        opts.socketPath = (root / "iced.sock").string();
+        opts.listenAddress = (root / "iced.sock").string();
         if (with_store)
             opts.storeDir = (root / "store").string();
         opts.threads = 4;
@@ -70,7 +70,7 @@ TEST_F(ServiceTest, MapRequestRoundTripsByteIdentically)
 {
     MappingServer server(serverOptions());
     server.start();
-    ServiceClient client(server.socketPath());
+    ServiceClient client(server.boundAddress());
 
     const RequestCell cell = firCell();
     const MapReplyMsg reply = client.map(cell);
@@ -99,7 +99,7 @@ TEST_F(ServiceTest, SweepDedupsIdenticalCellsToOneCompute)
 {
     MappingServer server(serverOptions());
     server.start();
-    ServiceClient client(server.socketPath());
+    ServiceClient client(server.boundAddress());
 
     MetricsRegistry &registry = MetricsRegistry::global();
     const std::uint64_t memory_before =
@@ -139,7 +139,7 @@ TEST_F(ServiceTest, PersistentStoreServesAcrossServerRestart)
     {
         MappingServer server(serverOptions(/*with_store=*/true));
         server.start();
-        ServiceClient client(server.socketPath());
+        ServiceClient client(server.boundAddress());
         const MapReplyMsg reply = client.map(cell);
         EXPECT_EQ(reply.source, CacheSource::Computed);
         firstBlob = reply.entryBlob;
@@ -151,7 +151,7 @@ TEST_F(ServiceTest, PersistentStoreServesAcrossServerRestart)
     // serves the identical bytes from disk.
     MappingServer server(serverOptions(/*with_store=*/true));
     server.start();
-    ServiceClient client(server.socketPath());
+    ServiceClient client(server.boundAddress());
     const MapReplyMsg reply = client.map(cell);
     EXPECT_EQ(reply.status, ReplyStatus::Mapped);
     EXPECT_EQ(reply.source, CacheSource::Persistent);
@@ -164,7 +164,7 @@ TEST_F(ServiceTest, DeadlineCancelsTheComputeWithoutPoisoningTheCache)
 {
     MappingServer server(serverOptions());
     server.start();
-    ServiceClient client(server.socketPath());
+    ServiceClient client(server.boundAddress());
 
     // Many distinct heavy cells under one 1 ms frame deadline: the
     // budget cannot cover the whole sweep, so the watchdog reliably
@@ -210,7 +210,7 @@ TEST_F(ServiceTest, StatsAndShutdownRequestsWork)
     MappingServer server(opts);
     server.start();
     {
-        ServiceClient client(server.socketPath());
+        ServiceClient client(server.boundAddress());
         client.map(firCell());
         const std::string json = client.stats();
         EXPECT_NE(json.find("service.requests.map"), std::string::npos);
@@ -219,7 +219,7 @@ TEST_F(ServiceTest, StatsAndShutdownRequestsWork)
     }
     server.wait();
     // The socket file is gone after the drain.
-    EXPECT_FALSE(fs::exists(opts.socketPath));
+    EXPECT_FALSE(fs::exists(opts.listenAddress));
 }
 
 TEST_F(ServiceTest, PrescreenNegativesPersistAcrossServerRestart)
@@ -243,7 +243,7 @@ TEST_F(ServiceTest, PrescreenNegativesPersistAcrossServerRestart)
     {
         MappingServer server(prescreenOptions());
         server.start();
-        ServiceClient client(server.socketPath());
+        ServiceClient client(server.boundAddress());
         const MapReplyMsg reply = client.map(cell);
         EXPECT_EQ(reply.status, ReplyStatus::Mapped);
         EXPECT_EQ(reply.source, CacheSource::Computed);
@@ -264,7 +264,7 @@ TEST_F(ServiceTest, PrescreenNegativesPersistAcrossServerRestart)
     // through from disk and prune, with the identical mapping.
     MappingServer server(prescreenOptions());
     server.start();
-    ServiceClient client(server.socketPath());
+    ServiceClient client(server.boundAddress());
     MetricsRegistry &registry = MetricsRegistry::global();
     const std::uint64_t disk_hits_before =
         registry.counter("cache.persistent.negative_hits").value();
@@ -301,7 +301,7 @@ TEST_F(ServiceTest, MalformedRequestYieldsErrorResponseNotACrash)
 
     // A protocol-version mismatch surfaces as a server-side error
     // message, and the connection keeps serving afterwards.
-    const int fd = connectUnix(server.socketPath());
+    const int fd = connectUnix(server.boundAddress());
     Encoder bad;
     bad.u8(static_cast<std::uint8_t>(MessageType::MapRequest));
     bad.u32(wireProtocolVersion + 1);
@@ -325,7 +325,7 @@ TEST_F(ServiceTest, MalformedRequestYieldsErrorResponseNotACrash)
               static_cast<std::uint8_t>(MessageType::ErrorResponse));
     ::close(fd);
 
-    ServiceClient client(server.socketPath());
+    ServiceClient client(server.boundAddress());
     EXPECT_EQ(client.map(firCell()).status, ReplyStatus::Mapped);
     server.requestStop();
     server.wait();

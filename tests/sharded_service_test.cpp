@@ -1,0 +1,497 @@
+#include "service/sharded_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "exec/fingerprint.hpp"
+#include "kernels/registry.hpp"
+#include "service/server.hpp"
+
+namespace iced {
+namespace {
+
+namespace fs = std::filesystem;
+
+CgraConfig
+smallFabric()
+{
+    CgraConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.islandRows = 2;
+    config.islandCols = 2;
+    return config;
+}
+
+CgraConfig
+widerFabric()
+{
+    CgraConfig config;
+    config.rows = 6;
+    config.cols = 6;
+    config.islandRows = 3;
+    config.islandCols = 3;
+    return config;
+}
+
+RequestCell
+kernelCell(const std::string &kernel, const CgraConfig &config)
+{
+    RequestCell cell;
+    cell.config = config;
+    cell.dfg = findKernel(kernel).build(1);
+    return cell;
+}
+
+/** A small distinct-cell grid whose merge order the tests assert. */
+std::vector<RequestCell>
+testGrid()
+{
+    std::vector<RequestCell> cells;
+    for (const std::string &kernel : {"fir", "gemm"}) {
+        cells.push_back(kernelCell(kernel, smallFabric()));
+        cells.push_back(kernelCell(kernel, widerFabric()));
+    }
+    return cells;
+}
+
+/** Replies must carry, cell for cell, the local compute's mapping. */
+void
+expectGridOrderIdentity(const std::vector<RequestCell> &cells,
+                        const std::vector<MapReplyMsg> &replies)
+{
+    ASSERT_EQ(replies.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto local = computeMappingEntry(
+            cells[i].config, cells[i].dfg, cells[i].options);
+        const auto served = decodeReplyEntry(replies[i]);
+        ASSERT_NE(served, nullptr) << "cell " << i;
+        ASSERT_EQ(served->mapped(), local->mapped()) << "cell " << i;
+        if (local->mapped())
+            EXPECT_TRUE(
+                equalMappings(*local->mapping, *served->mapping))
+                << "cell " << i;
+    }
+}
+
+/** Negative key of one attempt cell (prescreen failure marker). */
+Digest
+attemptKey(const CgraConfig &config, const Dfg &dfg, int ii)
+{
+    return fingerprintAttemptCell(attemptBaseFingerprint(dfg, config),
+                                  MapperOptions{}, ii);
+}
+
+/** Fast-failing retry knobs so the failover tests stay quick. */
+ShardedClientOptions
+fastRetry(int max_attempts = 2)
+{
+    ShardedClientOptions opts;
+    opts.maxAttempts = max_attempts;
+    opts.retryBackoffMs = 1;
+    return opts;
+}
+
+/** Per-test scratch directory (server stores, local sync targets). */
+class ShardedServiceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::temp_directory_path() /
+               ("iced_shard_" + std::string(::testing::UnitTest::
+                                                GetInstance()
+                                                    ->current_test_info()
+                                                    ->name()));
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+
+    void TearDown() override { fs::remove_all(root); }
+
+    /** A TCP server on an ephemeral loopback port. */
+    ServerOptions tcpOptions(const std::string &store_name = "") const
+    {
+        ServerOptions opts;
+        opts.listenAddress = "127.0.0.1:0";
+        if (!store_name.empty())
+            opts.storeDir = (root / store_name).string();
+        opts.threads = 4;
+        return opts;
+    }
+
+    fs::path root;
+};
+
+/**
+ * A scripted fake backend: accepts one connection, hands it to
+ * `script`, then stops listening — every later connect is refused.
+ * This is how the tests kill a backend deterministically in the
+ * middle of a round-trip, which a graceful MappingServer drain (it
+ * always replies) cannot simulate.
+ */
+class FakeBackend
+{
+  public:
+    explicit FakeBackend(std::function<void(int)> script)
+    {
+        listenFd =
+            listenEndpoint(Endpoint::parse("127.0.0.1:0"), 4, &bound);
+        worker = std::thread([this, script = std::move(script)] {
+            const int conn = ::accept(listenFd, nullptr, nullptr);
+            if (conn >= 0) {
+                script(conn);
+                ::close(conn);
+            }
+            ::close(listenFd);
+        });
+    }
+
+    ~FakeBackend()
+    {
+        if (worker.joinable())
+            worker.join();
+    }
+
+    std::string address() const { return bound.describe(); }
+
+  private:
+    int listenFd = -1;
+    Endpoint bound;
+    std::thread worker;
+};
+
+TEST(EndpointParseTest, GrammarDisambiguatesUnixAndTcp)
+{
+    const Endpoint unix_path = Endpoint::parse("/tmp/iced.sock");
+    EXPECT_EQ(unix_path.kind, Endpoint::Kind::UnixSocket);
+    EXPECT_EQ(unix_path.path, "/tmp/iced.sock");
+    EXPECT_EQ(unix_path.describe(), "/tmp/iced.sock");
+
+    const Endpoint tcp = Endpoint::parse("127.0.0.1:7100");
+    EXPECT_EQ(tcp.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(tcp.host, "127.0.0.1");
+    EXPECT_EQ(tcp.port, 7100);
+    EXPECT_EQ(tcp.describe(), "127.0.0.1:7100");
+
+    // Empty or '*' host means "all interfaces"; port 0 is ephemeral.
+    EXPECT_EQ(Endpoint::parse(":0").host, "0.0.0.0");
+    EXPECT_EQ(Endpoint::parse("*:9000").host, "0.0.0.0");
+    EXPECT_EQ(Endpoint::parse(":0").port, 0);
+
+    // A '/' anywhere forces the Unix reading, even with a colon; a
+    // non-numeric suffix after the last ':' is a path too.
+    EXPECT_EQ(Endpoint::parse("/run/iced:1.sock").kind,
+              Endpoint::Kind::UnixSocket);
+    EXPECT_EQ(Endpoint::parse("relative.sock").kind,
+              Endpoint::Kind::UnixSocket);
+    EXPECT_EQ(Endpoint::parse("host:port").kind,
+              Endpoint::Kind::UnixSocket);
+
+    EXPECT_THROW(Endpoint::parse("host:70000"), FatalError);
+    EXPECT_THROW(Endpoint::parse(""), FatalError);
+}
+
+TEST_F(ShardedServiceTest, TcpRoundTripMatchesLocalCompute)
+{
+    MappingServer server(tcpOptions());
+    server.start();
+    // The bound address carries the real ephemeral port.
+    const Endpoint bound = Endpoint::parse(server.boundAddress());
+    ASSERT_EQ(bound.kind, Endpoint::Kind::Tcp);
+    ASSERT_NE(bound.port, 0);
+
+    ServiceClient client(server.boundAddress());
+    const std::vector<RequestCell> cells = testGrid();
+    expectGridOrderIdentity(cells, client.sweep(cells));
+    server.requestStop();
+    server.wait();
+}
+
+TEST_F(ShardedServiceTest, ShardedSweepMergesInGridOrder)
+{
+    MappingServer a(tcpOptions());
+    MappingServer b(tcpOptions());
+    a.start();
+    b.start();
+
+    ShardedClient client({a.boundAddress(), b.boundAddress()});
+    const std::vector<RequestCell> cells = testGrid();
+    const std::vector<MapReplyMsg> replies = client.sweep(cells);
+    expectGridOrderIdentity(cells, replies);
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_EQ(stats.deadBackends, 0u);
+    EXPECT_EQ(stats.failovers, 0u);
+    EXPECT_EQ(stats.retries, 0u);
+
+    // map() is a one-cell sweep through the same partition path.
+    const MapReplyMsg one = client.map(cells[0]);
+    EXPECT_EQ(one.status, ReplyStatus::Mapped);
+
+    a.requestStop();
+    b.requestStop();
+    a.wait();
+    b.wait();
+}
+
+TEST_F(ShardedServiceTest, DeadBackendFailsOverToSurvivor)
+{
+    MappingServer alive(tcpOptions());
+    alive.start();
+    // A second server is brought up then fully stopped: its port now
+    // refuses connects, the canonical "backend died before the sweep".
+    std::string deadAddress;
+    {
+        MappingServer dead(tcpOptions());
+        dead.start();
+        deadAddress = dead.boundAddress();
+        dead.requestStop();
+        dead.wait();
+    }
+
+    ShardedClient client({alive.boundAddress(), deadAddress},
+                         fastRetry());
+    const std::vector<RequestCell> cells = testGrid();
+    expectGridOrderIdentity(cells, client.sweep(cells));
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_EQ(stats.deadBackends, 1u);
+    EXPECT_GE(stats.failovers, 1u);
+    EXPECT_GE(stats.retries, 1u);
+
+    alive.requestStop();
+    alive.wait();
+}
+
+TEST_F(ShardedServiceTest, MidSweepHangupFailsOverDeterministically)
+{
+    MappingServer alive(tcpOptions());
+    alive.start();
+    // The fake accepts the shard's connection, swallows the request
+    // frame, and hangs up without replying — a crash in the middle of
+    // the round-trip. Retries then find the port closed.
+    FakeBackend flaky([](int conn) {
+        std::string request;
+        (void)readFrame(conn, request);
+    });
+
+    const std::uint64_t failover_before =
+        MetricsRegistry::global().counter("service.shard.failovers")
+            .value();
+    ShardedClient client({alive.boundAddress(), flaky.address()},
+                         fastRetry());
+    const std::vector<RequestCell> cells = testGrid();
+    expectGridOrderIdentity(cells, client.sweep(cells));
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_EQ(stats.deadBackends, 1u);
+    EXPECT_EQ(stats.failovers, 1u);
+    EXPECT_GE(stats.retries, 1u);
+    EXPECT_EQ(MetricsRegistry::global()
+                  .counter("service.shard.failovers")
+                  .value(),
+              failover_before + 1);
+
+    alive.requestStop();
+    alive.wait();
+}
+
+TEST_F(ShardedServiceTest, AllBackendsDeadThrowsAfterRetryExhaustion)
+{
+    const std::string ghostA = (root / "ghost_a.sock").string();
+    const std::string ghostB = (root / "ghost_b.sock").string();
+    MetricsRegistry &registry = MetricsRegistry::global();
+    const std::uint64_t exhausted_before =
+        registry.counter("service.retry.exhausted").value();
+    const std::uint64_t attempts_before =
+        registry.counter("service.retry.attempts").value();
+
+    ShardedClient client({ghostA, ghostB}, fastRetry());
+    EXPECT_THROW(client.sweep(testGrid()), FatalError);
+    // Each backend burned its retry budget before being declared dead.
+    EXPECT_EQ(registry.counter("service.retry.exhausted").value(),
+              exhausted_before + 2);
+    EXPECT_EQ(registry.counter("service.retry.attempts").value(),
+              attempts_before + 2);
+
+    // A bad address string fails construction, not the Nth shard.
+    EXPECT_THROW(ShardedClient({"host:70000"}), FatalError);
+    EXPECT_THROW(ShardedClient({}), FatalError);
+}
+
+TEST_F(ShardedServiceTest, MalformedReplyFramesAreRejectedNotHung)
+{
+    const auto drainRequest = [](int conn) {
+        std::string request;
+        ASSERT_TRUE(readFrame(conn, request));
+    };
+    const auto rawHeader = [](int conn, std::uint32_t length) {
+        const unsigned char header[4] = {
+            static_cast<unsigned char>(length & 0xff),
+            static_cast<unsigned char>((length >> 8) & 0xff),
+            static_cast<unsigned char>((length >> 16) & 0xff),
+            static_cast<unsigned char>((length >> 24) & 0xff)};
+        ASSERT_EQ(::send(conn, header, sizeof header, MSG_NOSIGNAL),
+                  static_cast<ssize_t>(sizeof header));
+    };
+
+    // A frame length beyond the cap is rejected before any allocation.
+    {
+        FakeBackend oversize([&](int conn) {
+            drainRequest(conn);
+            rawHeader(conn, maxFramePayload + 1);
+        });
+        ServiceClient client(oversize.address());
+        EXPECT_THROW(client.stats(), FatalError);
+    }
+    // A header promising more bytes than arrive (short read mid-frame).
+    {
+        FakeBackend truncated([&](int conn) {
+            drainRequest(conn);
+            rawHeader(conn, 100);
+            const char partial[10] = {};
+            ASSERT_EQ(::send(conn, partial, sizeof partial, MSG_NOSIGNAL),
+                      static_cast<ssize_t>(sizeof partial));
+        });
+        ServiceClient client(truncated.address());
+        EXPECT_THROW(client.stats(), FatalError);
+    }
+    // A hangup before any reply bytes.
+    {
+        FakeBackend mute([&](int conn) { drainRequest(conn); });
+        ServiceClient client(mute.address());
+        EXPECT_THROW(client.stats(), FatalError);
+    }
+    // A well-framed reply of the wrong type.
+    {
+        FakeBackend wrongType([&](int conn) {
+            drainRequest(conn);
+            Encoder enc;
+            enc.u8(static_cast<std::uint8_t>(MessageType::MapResponse));
+            ASSERT_TRUE(writeFrame(conn, enc.bytes()));
+        });
+        ServiceClient client(wrongType.address());
+        EXPECT_THROW(client.stats(), FatalError);
+    }
+}
+
+TEST_F(ShardedServiceTest, StoreSyncPullsMissingSkipsCorruptAndOrphaned)
+{
+    const Dfg fir = findKernel("fir").build(1);
+    const Dfg gemm = findKernel("gemm").build(1);
+    const Dfg conv = findKernel("conv").build(1);
+    const MapperOptions options;
+
+    const Digest firKey =
+        fingerprintMappingRequest(fir, smallFabric(), options);
+    const Digest gemmKey =
+        fingerprintMappingRequest(gemm, smallFabric(), options);
+    const Digest convKey =
+        fingerprintMappingRequest(conv, smallFabric(), options);
+    // An entry filed under a digest the current schema never computes
+    // — what a mappingSchemaVersion bump leaves behind.
+    const Digest orphanKey =
+        fingerprintMappingRequest(fir, widerFabric(), options);
+    const Digest negativeKey = attemptKey(smallFabric(), fir, 2);
+
+    // Seed the server-side store before the server opens it.
+    {
+        PersistentMappingStore seed(
+            PersistentStoreOptions{(root / "server_store").string(),
+                                   false});
+        seed.store(firKey,
+                   computeMappingEntry(smallFabric(), fir, options));
+        seed.store(gemmKey,
+                   computeMappingEntry(smallFabric(), gemm, options));
+        seed.store(convKey,
+                   computeMappingEntry(smallFabric(), conv, options));
+        seed.store(orphanKey,
+                   computeMappingEntry(smallFabric(), fir, options));
+        seed.storeNegative(negativeKey);
+
+        // Corrupt the conv entry on disk: one payload byte flipped.
+        std::fstream file(seed.entryPath(convKey),
+                          std::ios::in | std::ios::out |
+                              std::ios::binary);
+        ASSERT_TRUE(file.good());
+        file.seekp(-1, std::ios::end);
+        const char flipped = static_cast<char>(~file.peek());
+        file.write(&flipped, 1);
+    }
+
+    MappingServer server(tcpOptions("server_store"));
+    server.start();
+    ServiceClient client(server.boundAddress());
+
+    // The listing is deterministic and does not validate contents.
+    ASSERT_EQ(client.storeList().size(), 5u);
+    EXPECT_EQ(client.storeList(), client.storeList());
+
+    PersistentMappingStore local(
+        PersistentStoreOptions{(root / "local_store").string(), false});
+    const StoreSyncResult sync = syncStoreFromServer(client, local);
+    EXPECT_EQ(sync.listed, 5u);
+    EXPECT_EQ(sync.pulled, 2u);         // fir + gemm
+    EXPECT_EQ(sync.pulledNegative, 1u);
+    EXPECT_EQ(sync.alreadyPresent, 0u);
+    EXPECT_EQ(sync.skipped, 2u);        // corrupt conv + orphan
+
+    EXPECT_TRUE(local.contains(firKey));
+    EXPECT_TRUE(local.contains(gemmKey));
+    EXPECT_TRUE(local.fetchNegative(negativeKey));
+    // Neither poisoned entry made it across.
+    EXPECT_FALSE(local.contains(convKey));
+    EXPECT_FALSE(local.contains(orphanKey));
+
+    // A pulled entry round-trips to the same mapping.
+    const auto pulled = local.fetch(firKey);
+    ASSERT_NE(pulled, nullptr);
+    const auto localCompute =
+        computeMappingEntry(smallFabric(), fir, options);
+    EXPECT_TRUE(
+        equalMappings(*localCompute->mapping, *pulled->mapping));
+
+    // Re-sync is idempotent: the corrupt entry was quarantined by the
+    // server's own fetch validation, the orphan skips again.
+    const StoreSyncResult again = syncStoreFromServer(client, local);
+    EXPECT_EQ(again.listed, 4u);
+    EXPECT_EQ(again.pulled, 0u);
+    EXPECT_EQ(again.pulledNegative, 0u);
+    EXPECT_EQ(again.alreadyPresent, 3u);
+    EXPECT_EQ(again.skipped, 1u);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST_F(ShardedServiceTest, StoreSyncAgainstStorelessServerFails)
+{
+    MappingServer server(tcpOptions());
+    server.start();
+    ServiceClient client(server.boundAddress());
+    try {
+        client.storeList();
+        FAIL() << "storeList against a store-less server must throw";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("no persistent store"),
+                  std::string::npos);
+    }
+    // The connection keeps serving after the error reply.
+    EXPECT_EQ(client.map(kernelCell("fir", smallFabric())).status,
+              ReplyStatus::Mapped);
+    server.requestStop();
+    server.wait();
+}
+
+} // namespace
+} // namespace iced

@@ -7,7 +7,12 @@
 #   2. DESIGN.md / README.md / docs/*.md reference a repo path (a
 #      `src/...`-style token with a file extension, or a `src/<dir>`
 #      module directory) that does not exist — the "stale section 7"
-#      failure mode.
+#      failure mode, or
+#   3. a doc carrying a `<!-- docs-check: flags TOOL... -->` marker
+#      mentions a `--flag` that none of the listed tools parse (no
+#      matching "--flag" string literal in their sources) — the
+#      renamed-flag failure mode. Sources are grepped, not run: the
+#      CI docs-check job has no build step.
 #
 # Run from anywhere: the script cds to the repository root.
 set -u
@@ -67,6 +72,62 @@ if [ -s /tmp/docs_check_refs.$$ ]; then
     err "stale repository path reference(s) in the docs"
 fi
 rm -f /tmp/docs_check_refs.$$
+
+# --- 3. CLI flags mentioned in flag-checked docs ---------------------
+# A doc opts in with `<!-- docs-check: flags TOOL [TOOL...] -->`.
+# Every `--flag` token anywhere in that doc must then appear as a
+# "--flag" string literal in one of the listed tools' sources, or be
+# a build-system flag (cmake/ctest invocations quoted in the docs).
+build_flags="--build --output-on-failure --test-dir --parallel --target"
+
+tool_sources() {
+    case "$1" in
+    iced_serve)            echo "tools/iced_serve.cpp" ;;
+    iced_client)           echo "tools/iced_client.cpp" ;;
+    iced_fuzz)             echo "tools/iced_fuzz.cpp src/trace/trace_cli.cpp" ;;
+    design_space_explorer) echo "examples/design_space_explorer.cpp src/trace/trace_cli.cpp" ;;
+    bench_mapper)          echo "bench/bench_mapper.cpp src/trace/trace_cli.cpp" ;;
+    bench_sim)             echo "bench/bench_sim.cpp src/trace/trace_cli.cpp" ;;
+    *)                     echo "" ;;
+    esac
+}
+
+for doc in $doc_set; do
+    [ -e "$doc" ] || continue
+    marker=$(grep -oE '<!-- docs-check: flags [a-z_ ]+ -->' "$doc" | head -1)
+    [ -n "$marker" ] || continue
+    tools=$(echo "$marker" | sed -e 's/<!-- docs-check: flags //' \
+                                 -e 's/ -->//')
+    allowed=$build_flags
+    for tool in $tools; do
+        sources=$(tool_sources "$tool")
+        if [ -z "$sources" ]; then
+            echo "BAD-MARKER $doc -> unknown tool '$tool'"
+            continue
+        fi
+        for source in $sources; do
+            [ -e "$source" ] || echo "BAD-MARKER $doc -> $source missing"
+        done
+        allowed="$allowed $(grep -hoE '"--[a-z][a-z0-9-]*"' $sources |
+                            tr -d '"' | sort -u | tr '\n' ' ')"
+    done
+    # Strip Markdown link targets first: section anchors like
+    # (#10-mapping-service--persistent-store) contain `--` runs that
+    # are not flag references.
+    sed -E 's/\]\([^)]*\)/]/g' "$doc" |
+        grep -oE -- '--[a-z][a-z0-9-]+' | sort -u |
+        while read -r flag; do
+            case " $allowed " in
+            *" $flag "*) ;;
+            *) echo "STALE-FLAG $doc -> $flag (not parsed by: $tools)" ;;
+            esac
+        done
+done > /tmp/docs_check_flags.$$
+if [ -s /tmp/docs_check_flags.$$ ]; then
+    cat /tmp/docs_check_flags.$$ >&2
+    err "stale CLI flag reference(s) in the docs"
+fi
+rm -f /tmp/docs_check_flags.$$
 
 if [ "$fail" -eq 0 ]; then
     echo "docs_check: OK"

@@ -2,20 +2,36 @@
  * @file
  * CLI client for `iced_serve`.
  *
- *   ./iced_client --socket PATH map <kernel> [unroll] [--deadline-ms N]
+ *   ./iced_client --server ADDR map <kernel> [unroll] [--deadline-ms N]
  *                 [--verify]
- *   ./iced_client --socket PATH sweep <kernel|all> [unroll]
+ *   ./iced_client --server ADDR sweep <kernel|all> [unroll]
  *                 [--deadline-ms N] [--verify]
- *   ./iced_client --socket PATH stats
- *   ./iced_client --socket PATH shutdown
+ *   ./iced_client --backends A,B,... sweep <kernel|all> [unroll] ...
+ *   ./iced_client --server ADDR sync-store <local-store-dir>
+ *   ./iced_client --server ADDR stats
+ *   ./iced_client --server ADDR shutdown
+ *
+ * `--server` (alias: `--socket`) takes a Unix socket path or a TCP
+ * `host:port`. `--backends` takes a comma-separated list of addresses
+ * and shards sweeps across them (service/sharded_client.hpp):
+ * deterministic partition, bounded retry with backoff, failover off
+ * dead back-ends — the per-cell output stays in grid order, so stdout
+ * is byte-identical to the single-server run modulo the `[tier]` tag.
+ * A sharded run appends a `shard: ...` summary line with the
+ * retry/failover tally. `--connect-timeout-ms` bounds TCP connects
+ * (default 5000; 0 = wait forever).
  *
  * `map` sends one cell (the kernel on the default fabric); `sweep`
  * sends the design-space explorer's (fabric x island) grid for the
- * kernel (or every single-kernel workload) as one SweepRequest the
- * server shards across its pool. Each reply line shows the outcome and
- * the serving tier (memory / persistent / computed), and a final
- * `served: ...` summary aggregates the tiers — the line the
+ * kernel (or every single-kernel workload). Each reply line shows the
+ * outcome and the serving tier (memory / persistent / computed), and
+ * a final `served: ...` summary aggregates the tiers — the line the
  * service-smoke CI job parses to assert persistent-store hits.
+ *
+ * `sync-store DIR` pulls every `.icm` entry / `.icn` marker the local
+ * store at DIR is missing from the server's store (fingerprint
+ * listing + checksum-verified fetch, atomic local writes) — warm-cache
+ * replication between hosts.
  *
  * `--verify` recomputes every cell in-process with the exact same
  * request and requires the served mapping to be `equalMappings`-equal
@@ -23,13 +39,15 @@
  */
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "kernels/registry.hpp"
 #include "mapper/mapping.hpp"
-#include "service/client.hpp"
+#include "service/sharded_client.hpp"
 
 using namespace iced;
 
@@ -39,12 +57,20 @@ int
 usage()
 {
     std::cerr
-        << "usage: iced_client --socket PATH map <kernel> [unroll]\n"
+        << "usage: iced_client --server ADDR map <kernel> [unroll]\n"
            "                   [--deadline-ms N] [--verify]\n"
-           "       iced_client --socket PATH sweep <kernel|all> [unroll]\n"
+           "       iced_client --server ADDR sweep <kernel|all> [unroll]\n"
            "                   [--deadline-ms N] [--verify]\n"
-           "       iced_client --socket PATH stats\n"
-           "       iced_client --socket PATH shutdown\n";
+           "       iced_client --backends A,B,... <map|sweep|stats|"
+           "shutdown> ...\n"
+           "       iced_client --server ADDR sync-store <store-dir>\n"
+           "       iced_client --server ADDR stats\n"
+           "       iced_client --server ADDR shutdown\n"
+           "\n"
+           "  ADDR is a Unix socket path or host:port (TCP).\n"
+           "  --socket is an alias of --server.\n"
+           "  --connect-timeout-ms N  TCP connect budget (default 5000,\n"
+           "                          0 = wait forever)\n";
     return 2;
 }
 
@@ -106,24 +132,43 @@ verifyCell(const CellLabel &label, const RequestCell &cell,
     return true;
 }
 
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> parts;
+    std::stringstream stream(list);
+    std::string part;
+    while (std::getline(stream, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string socketPath;
+    std::string serverAddress;
+    std::vector<std::string> backendAddresses;
     std::string command;
     std::vector<std::string> positional;
     std::uint32_t deadlineMs = 0;
+    ClientOptions connection;
     bool verify = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool hasValue = i + 1 < argc;
-        if (arg == "--socket" && hasValue) {
-            socketPath = argv[++i];
+        if ((arg == "--server" || arg == "--socket") && hasValue) {
+            serverAddress = argv[++i];
+        } else if (arg == "--backends" && hasValue) {
+            backendAddresses = splitCommas(argv[++i]);
         } else if (arg == "--deadline-ms" && hasValue) {
             deadlineMs =
+                static_cast<std::uint32_t>(std::atoll(argv[++i]));
+        } else if (arg == "--connect-timeout-ms" && hasValue) {
+            connection.connectTimeoutMs =
                 static_cast<std::uint32_t>(std::atoll(argv[++i]));
         } else if (arg == "--verify") {
             verify = true;
@@ -133,19 +178,58 @@ main(int argc, char **argv)
             positional.push_back(arg);
         }
     }
-    if (socketPath.empty() || command.empty())
+    const bool sharded = !backendAddresses.empty();
+    if ((serverAddress.empty() && !sharded) || command.empty())
         return usage();
 
     try {
-        ServiceClient client(socketPath);
+        ShardedClientOptions shardOpts;
+        shardOpts.connection = connection;
+        // Single-server runs use a direct ServiceClient: one
+        // connection, no retry loop, and a connect failure surfaces
+        // as one actionable error instead of a failover post-mortem.
+        std::unique_ptr<ShardedClient> shardedClient;
+        std::unique_ptr<ServiceClient> directClient;
+        if (sharded)
+            shardedClient = std::make_unique<ShardedClient>(
+                backendAddresses, shardOpts);
 
         if (command == "stats") {
-            std::cout << client.stats() << "\n";
+            if (sharded) {
+                for (const auto &[address, json] :
+                     shardedClient->statsAll()) {
+                    std::cout << "# " << address << "\n";
+                    std::cout << json << "\n";
+                }
+            } else {
+                ServiceClient direct(serverAddress, connection);
+                std::cout << direct.stats() << "\n";
+            }
             return 0;
         }
         if (command == "shutdown") {
-            client.shutdownServer();
-            std::cerr << "iced_client: server acknowledged shutdown\n";
+            if (sharded) {
+                shardedClient->shutdownAll();
+            } else {
+                ServiceClient direct(serverAddress, connection);
+                direct.shutdownServer();
+            }
+            std::cerr << "iced_client: server(s) acknowledged shutdown\n";
+            return 0;
+        }
+        if (command == "sync-store") {
+            if (sharded || positional.empty())
+                return usage();
+            PersistentMappingStore local(
+                PersistentStoreOptions{positional[0], false});
+            ServiceClient direct(serverAddress, connection);
+            const StoreSyncResult sync =
+                syncStoreFromServer(direct, local);
+            std::cout << "sync-store: listed=" << sync.listed
+                      << " pulled=" << sync.pulled
+                      << " pulled-negative=" << sync.pulledNegative
+                      << " present=" << sync.alreadyPresent
+                      << " skipped=" << sync.skipped << "\n";
             return 0;
         }
         if (command != "map" && command != "sweep")
@@ -182,11 +266,18 @@ main(int argc, char **argv)
             }
         }
 
-        const std::vector<MapReplyMsg> replies =
-            command == "map"
-                ? std::vector<MapReplyMsg>{client.map(cells[0],
-                                                      deadlineMs)}
-                : client.sweep(cells, deadlineMs);
+        if (!sharded)
+            directClient = std::make_unique<ServiceClient>(
+                serverAddress, connection);
+        std::vector<MapReplyMsg> replies;
+        if (command == "map")
+            replies.push_back(
+                sharded ? shardedClient->map(cells[0], deadlineMs)
+                        : directClient->map(cells[0], deadlineMs));
+        else
+            replies = sharded
+                          ? shardedClient->sweep(cells, deadlineMs)
+                          : directClient->sweep(cells, deadlineMs);
 
         std::size_t byTier[3] = {0, 0, 0};
         bool verified = true;
@@ -208,6 +299,15 @@ main(int argc, char **argv)
                   << " persistent=" << byTier[1]
                   << " computed=" << byTier[2]
                   << " total=" << replies.size() << "\n";
+        if (sharded) {
+            const ShardedClient::ShardStats &stats =
+                shardedClient->lastStats();
+            std::cout << "shard: backends="
+                      << shardedClient->backendAddresses().size()
+                      << " dead=" << stats.deadBackends
+                      << " failover=" << stats.failovers
+                      << " retries=" << stats.retries << "\n";
+        }
         if (verify) {
             std::cout << "verify: "
                       << (verified ? "all served mappings byte-identical "

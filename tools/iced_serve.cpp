@@ -1,13 +1,19 @@
 /**
  * @file
  * Long-lived mapping server: `iced_client` (or any wire-protocol
- * speaker, e.g. `design_space_explorer --server`) connects over a Unix
- * socket and gets mapping requests served through the in-memory
- * MappingCache backed by the on-disk PersistentMappingStore.
+ * speaker, e.g. `design_space_explorer --server`) connects over a
+ * Unix socket or TCP and gets mapping requests served through the
+ * in-memory MappingCache backed by the on-disk PersistentMappingStore.
  *
- *   ./iced_serve --socket /tmp/iced.sock --store /var/cache/iced \
+ *   ./iced_serve --listen /tmp/iced.sock --store /var/cache/iced \
  *                [--threads N] [--cache-capacity N] [--sync-writes] \
- *                [--prescreen] [--metrics-out FILE]
+ *                [--prescreen] [--metrics-out FILE] [--addr-file FILE]
+ *
+ * `--listen` (alias: `--socket`) takes either address form: a Unix
+ * socket path, or `host:port` for TCP — `127.0.0.1:0` binds an
+ * ephemeral port, and `--addr-file` writes the actual bound address
+ * for scripts to pick up. The TCP listener speaks protocol v1 with no
+ * authentication: bind it on trusted networks only (docs/SERVICE.md).
  *
  * SIGTERM/SIGINT trigger a graceful drain: the listener closes,
  * in-flight requests run to completion and reply, then the process
@@ -42,10 +48,17 @@ int
 usage()
 {
     std::cerr
-        << "usage: iced_serve --socket PATH [--store DIR] [--threads N]\n"
+        << "usage: iced_serve --listen ADDR [--store DIR] [--threads N]\n"
            "                  [--cache-capacity N] [--sync-writes]\n"
            "                  [--prescreen] [--metrics-out FILE]\n"
+           "                  [--addr-file FILE]\n"
            "\n"
+           "  --listen     Unix socket path, or host:port for TCP\n"
+           "               (host:0 binds an ephemeral port; see\n"
+           "               --addr-file). --socket is an alias. The TCP\n"
+           "               listener has no auth: trusted networks only\n"
+           "  --addr-file  write the actual bound address (with the\n"
+           "               real port) to FILE once listening\n"
            "  --prescreen  enable the multi-fidelity pre-screen on\n"
            "               served computes: attempt-cell failures are\n"
            "               memoized (and persisted with --store) so\n"
@@ -61,11 +74,12 @@ main(int argc, char **argv)
 {
     ServerOptions opts;
     std::string metricsOut;
+    std::string addrFile;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool hasValue = i + 1 < argc;
-        if (arg == "--socket" && hasValue) {
-            opts.socketPath = argv[++i];
+        if ((arg == "--listen" || arg == "--socket") && hasValue) {
+            opts.listenAddress = argv[++i];
         } else if (arg == "--store" && hasValue) {
             opts.storeDir = argv[++i];
         } else if (arg == "--threads" && hasValue) {
@@ -79,12 +93,14 @@ main(int argc, char **argv)
             opts.prescreen = true;
         } else if (arg == "--metrics-out" && hasValue) {
             metricsOut = argv[++i];
+        } else if (arg == "--addr-file" && hasValue) {
+            addrFile = argv[++i];
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
             return usage();
         }
     }
-    if (opts.socketPath.empty())
+    if (opts.listenAddress.empty())
         return usage();
 
     try {
@@ -97,7 +113,12 @@ main(int argc, char **argv)
         signal(SIGPIPE, SIG_IGN);
 
         server.start();
-        std::cerr << "iced_serve: listening on " << opts.socketPath;
+        if (!addrFile.empty()) {
+            std::ofstream out(addrFile);
+            fatalIf(!out, "cannot write ", addrFile);
+            out << server.boundAddress() << "\n";
+        }
+        std::cerr << "iced_serve: listening on " << server.boundAddress();
         if (!opts.storeDir.empty())
             std::cerr << ", store " << opts.storeDir << " ("
                       << server.persistentEntryCount() << " entries)";

@@ -6,7 +6,15 @@
 #  2. SIGTERM the server and require a graceful drain (exit 0);
 #  3. restart the server on the same store, run the identical sweep
 #     again, and require >= 95% of the cells to be served from the
-#     persistent tier — still byte-identical under --verify.
+#     persistent tier — still byte-identical under --verify;
+#  4. sharded scenario: two TCP back-ends on loopback ephemeral
+#     ports, `design_space_explorer --server A,B` sweeping every
+#     kernel, one back-end SIGKILLed the moment its store proves it
+#     is mid-sweep — the sweep must complete through failover with
+#     stdout byte-identical to a local (serverless) explorer run.
+#
+# Per-backend MetricsRegistry snapshots land in $SMOKE_ARTIFACT_DIR
+# when that variable is set (the CI job uploads them as artifacts).
 #
 # Usage: service_smoke.sh <build-dir> [kernel] [unroll]
 set -euo pipefail
@@ -17,10 +25,18 @@ unroll=${3:-1}
 
 serve=$build_dir/tools/iced_serve
 client=$build_dir/tools/iced_client
+explorer=$build_dir/examples/design_space_explorer
 work=$(mktemp -d)
 socket=$work/iced.sock
 store=$work/store
-trap 'kill "$server_pid" 2>/dev/null; rm -rf "$work"' EXIT
+server_pid=""
+pid_a=""
+pid_b=""
+cleanup() {
+    kill "$server_pid" "$pid_a" "$pid_b" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT
 
 wait_for_socket() {
     for _ in $(seq 1 100); do
@@ -74,3 +90,75 @@ if [ $((persistent * 100)) -lt $((total * 95)) ]; then
 fi
 echo "service_smoke: PASS — $persistent/$total cells served from the" \
      "persistent store, byte-identical across restart"
+
+echo "== sharded run: two TCP back-ends, one killed mid-sweep =="
+# The reference: a serverless in-process sweep of every kernel. The
+# explorer's stdout is thread-count-invariant, so this is the exact
+# byte string the sharded run must reproduce.
+"$explorer" all "$unroll" > "$work/local.txt" 2>/dev/null
+
+"$serve" --listen 127.0.0.1:0 --store "$work/store_a" \
+    --addr-file "$work/a.addr" --metrics-out "$work/metrics_a.json" &
+pid_a=$!
+"$serve" --listen 127.0.0.1:0 --store "$work/store_b" \
+    --addr-file "$work/b.addr" --metrics-out "$work/metrics_b.json" &
+pid_b=$!
+for _ in $(seq 1 100); do
+    [ -s "$work/a.addr" ] && [ -s "$work/b.addr" ] && break
+    sleep 0.1
+done
+addr_a=$(cat "$work/a.addr")
+addr_b=$(cat "$work/b.addr")
+echo "service_smoke: back-ends on $addr_a and $addr_b"
+
+"$explorer" --server "$addr_a,$addr_b" all "$unroll" \
+    > "$work/sharded.txt" 2> "$work/sharded.err" &
+explorer_pid=$!
+# Kill back-end B the moment its store shows a write-behind entry:
+# proof it is serving its shard, long before the shard completes.
+for _ in $(seq 1 600); do
+    if find "$work/store_b" -name '*.ic[mn]' 2>/dev/null | grep -q .; then
+        break
+    fi
+    sleep 0.02
+done
+kill -KILL "$pid_b"
+echo "service_smoke: SIGKILLed back-end B ($addr_b) mid-sweep"
+if ! wait "$explorer_pid"; then
+    cat "$work/sharded.err" >&2
+    echo "service_smoke: FAIL — sharded sweep did not survive the kill" >&2
+    exit 1
+fi
+
+# Stdout must be byte-identical to the local run despite the failover.
+if ! diff "$work/local.txt" "$work/sharded.txt"; then
+    echo "service_smoke: FAIL — sharded stdout differs from the" \
+         "local run" >&2
+    exit 1
+fi
+
+# The sharded client must have recorded the death and the failover.
+shard_line=$(grep '^exec: shard ' "$work/sharded.err")
+echo "service_smoke: $shard_line"
+grep -q 'dead=1' <<<"$shard_line" || {
+    echo "service_smoke: FAIL — expected exactly one dead backend" >&2
+    exit 1
+}
+failovers=$(sed -E 's/.*failover=([0-9]+).*/\1/' <<<"$shard_line")
+if [ "$failovers" -lt 1 ]; then
+    echo "service_smoke: FAIL — kill landed but no failover counted" >&2
+    exit 1
+fi
+
+# Drain the survivor so its metrics snapshot hits the disk.
+"$client" --server "$addr_a" shutdown
+wait "$pid_a"
+pid_a=""
+pid_b=""
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$work"/metrics_*.json "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    cp "$work/sharded.err" "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+fi
+echo "service_smoke: PASS — sharded sweep survived a mid-sweep" \
+     "back-end kill with byte-identical output ($shard_line)"

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * `bench_service` — sharded-sweep scheduler benchmark.
+ *
+ * Measures the work-stealing lease scheduler (service/shard_scheduler)
+ * against the static round-robin deal it replaced, on a fleet with one
+ * deliberately skewed backend. The backends are in-process
+ * wire-protocol fakes whose per-cell service time is a scripted sleep:
+ * sleeps overlap freely across threads, so the measurement isolates
+ * *scheduling* quality and stays meaningful on a 1-CPU host where real
+ * mapper compute would serialize. One backend of the fleet sleeps
+ * `--skew` times longer per cell than the rest — the straggler that
+ * bounds a static deal's wall time.
+ *
+ * Round-robin baseline = the scheduler pinned to the PR-9 shape: steal
+ * off, probe off, pipeline depth 1, chunk = cells/backends (each
+ * backend gets its whole share as one lease up front).
+ *
+ * Writes two bench-JSON files (repo shape, see bench/results/):
+ * `--out-steal` with the work-stealing run + speedup, `--out-baseline`
+ * with the round-robin run. Exit 1 when `--min-speedup` (default 0 =
+ * no gate) is not met, 2 on usage error.
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "kernels/registry.hpp"
+#include "service/sharded_client.hpp"
+
+namespace iced {
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: bench_service [--backends N] [--cells N] [--repeat N]\n"
+           "                     [--delay-ms N] [--skew N]\n"
+           "                     [--min-speedup X]\n"
+           "                     [--out-steal FILE] [--out-baseline FILE]\n"
+           "\n"
+           "  --backends N     fake backends (default 4; one is slow)\n"
+           "  --cells N        sweep size (default 48)\n"
+           "  --repeat N       timed sweeps per mode, best wins (3)\n"
+           "  --delay-ms N     per-cell service sleep (default 20)\n"
+           "  --skew N         slow-backend multiplier (default 4)\n"
+           "  --min-speedup X  exit 1 if steal/baseline < X (default 0)\n";
+    return 2;
+}
+
+/**
+ * A wire-protocol backend whose whole service cost is sleep: answers
+ * `PingRequest` and serves each `SweepChunkRequest` cell with a canned
+ * Mapped reply after `perCellDelayMs` of sleep. Accepts connections
+ * sequentially for its whole life (probe + worker share one at a time,
+ * matching the scheduler's one-connection-per-backend model).
+ */
+class SleepBackend
+{
+  public:
+    explicit SleepBackend(std::uint32_t per_cell_delay_ms)
+        : delayMs(per_cell_delay_ms)
+    {
+        listenFd =
+            listenEndpoint(Endpoint::parse("127.0.0.1:0"), 8, &bound);
+        worker = std::thread([this] { acceptLoop(); });
+    }
+
+    ~SleepBackend()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!listenerDown) {
+                ::shutdown(listenFd, SHUT_RDWR);
+                listenerDown = true;
+            }
+        }
+        if (worker.joinable())
+            worker.join();
+    }
+
+    std::string address() const { return bound.describe(); }
+    std::uint64_t cellsServed() const { return served.load(); }
+
+  private:
+    void acceptLoop()
+    {
+        for (;;) {
+            const int conn = ::accept(listenFd, nullptr, nullptr);
+            if (conn < 0)
+                break;
+            serveConnection(conn);
+            ::close(conn);
+        }
+        ::close(listenFd);
+    }
+
+    void serveConnection(int conn)
+    {
+        std::string payload;
+        try {
+            while (readFrame(conn, payload)) {
+                Decoder dec(payload);
+                const auto type = static_cast<MessageType>(dec.u8());
+                (void)dec.u32(); // wire version
+                (void)dec.u32(); // deadline
+                if (type == MessageType::PingRequest) {
+                    if (!writeFrame(conn, buildPingResponse(
+                                              {served.load(), 0, 0})))
+                        break;
+                    continue;
+                }
+                if (type != MessageType::SweepChunkRequest) {
+                    if (!writeFrame(conn,
+                                    buildErrorResponse("unsupported")))
+                        break;
+                    continue;
+                }
+                const std::uint64_t leaseId = dec.u64();
+                const std::uint32_t count = dec.u32();
+                // The cell payloads themselves are irrelevant here:
+                // service time is the scripted sleep, the reply is
+                // canned.
+                MapReplyMsg canned;
+                canned.status = ReplyStatus::Mapped;
+                std::vector<MapReplyMsg> replies(count, canned);
+                for (std::uint32_t i = 0; i < count; ++i) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(delayMs));
+                    served.fetch_add(1);
+                }
+                if (!writeFrame(conn, buildSweepChunkResponse(leaseId,
+                                                              replies)))
+                    break;
+            }
+        } catch (const FatalError &) {
+            // Malformed frame: drop the connection, keep listening.
+        }
+    }
+
+    std::uint32_t delayMs;
+    int listenFd = -1;
+    Endpoint bound;
+    std::mutex mtx;
+    bool listenerDown = false;
+    std::atomic<std::uint64_t> served{0};
+    std::thread worker;
+};
+
+struct ModeResult
+{
+    std::vector<double> runsMs;
+    double bestMs = 0.0;
+    double meanMs = 0.0;
+    ShardedClient::ShardStats stats; ///< of the best run
+};
+
+ModeResult
+timeMode(const std::vector<std::string> &addresses,
+         const ShardedClientOptions &opts,
+         const std::vector<RequestCell> &cells, int repeat)
+{
+    using clock = std::chrono::steady_clock;
+    ModeResult result;
+    ShardedClient client(addresses, opts);
+    for (int rep = 0; rep < repeat; ++rep) {
+        const auto t0 = clock::now();
+        const std::vector<MapReplyMsg> replies = client.sweep(cells);
+        const double ms =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
+        fatalIf(replies.size() != cells.size(),
+                "bench_service: short sweep");
+        result.runsMs.push_back(ms);
+        result.meanMs += ms;
+        if (rep == 0 || ms < result.bestMs) {
+            result.bestMs = ms;
+            result.stats = client.lastStats();
+        }
+    }
+    result.meanMs /= static_cast<double>(repeat);
+    return result;
+}
+
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed << v;
+    return os.str();
+}
+
+void
+writeModeJson(const std::string &path, const std::string &mode,
+              int backends, int cells, int repeat,
+              std::uint32_t delay_ms, std::uint32_t skew,
+              const ModeResult &result, double speedup)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot write ", path);
+    out << "{\n"
+        << "  \"tool\": \"bench_service\",\n"
+        << "  \"mode\": \"" << mode << "\",\n"
+        << "  \"backends\": " << backends << ",\n"
+        << "  \"cells\": " << cells << ",\n"
+        << "  \"repeat\": " << repeat << ",\n"
+        << "  \"delayMsFast\": " << delay_ms << ",\n"
+        << "  \"delayMsSlow\": " << delay_ms * skew << ",\n"
+        << "  \"runsMs\": [";
+    for (std::size_t i = 0; i < result.runsMs.size(); ++i)
+        out << (i ? ", " : "") << jsonNum(result.runsMs[i]);
+    out << "],\n"
+        << "  \"bestMs\": " << jsonNum(result.bestMs) << ",\n"
+        << "  \"meanMs\": " << jsonNum(result.meanMs) << ",\n"
+        << "  \"stats\": {"
+        << "\"leases\": " << result.stats.leases
+        << ", \"leaseCellsMin\": " << result.stats.leaseCellsMin
+        << ", \"leaseCellsMax\": " << result.stats.leaseCellsMax
+        << ", \"steals\": " << result.stats.steals
+        << ", \"stolenCells\": " << result.stats.stolenCells
+        << ", \"duplicateReplies\": " << result.stats.duplicateReplies
+        << ", \"failovers\": " << result.stats.failovers
+        << ", \"deadBackends\": " << result.stats.deadBackends << "},\n";
+    if (speedup > 0.0)
+        out << "  \"speedupVsRoundRobin\": " << jsonNum(speedup)
+            << ",\n";
+    out << "  \"note\": \"sleep-based fake backends: scheduling cost "
+           "only, valid on 1-CPU hosts\"\n"
+        << "}\n";
+}
+
+int
+run(int backends, int cells, int repeat, std::uint32_t delay_ms,
+    std::uint32_t skew, double min_speedup,
+    const std::string &out_steal, const std::string &out_baseline)
+{
+    fatalIf(backends < 2, "bench_service: need at least 2 backends");
+    fatalIf(cells < backends, "bench_service: need cells >= backends");
+
+    // Backend 0 is the straggler: `skew` times the per-cell latency.
+    std::vector<std::unique_ptr<SleepBackend>> fleet;
+    std::vector<std::string> addresses;
+    for (int b = 0; b < backends; ++b) {
+        fleet.push_back(std::make_unique<SleepBackend>(
+            b == 0 ? delay_ms * skew : delay_ms));
+        addresses.push_back(fleet.back()->address());
+    }
+
+    // The cell content never matters to a SleepBackend; a real small
+    // kernel keeps the frames representative.
+    RequestCell cell;
+    cell.config = CgraConfig{};
+    cell.dfg = findKernel("fir").build(1);
+    const std::vector<RequestCell> grid(
+        static_cast<std::size_t>(cells), cell);
+
+    // Round-robin baseline: the PR-9 static deal expressed in
+    // scheduler knobs — whole contiguous share as one lease, no
+    // pipeline, no stealing, no probe.
+    ShardedClientOptions rr;
+    rr.workStealing = false;
+    rr.probeBackends = false;
+    rr.pipelineDepth = 1;
+    rr.minChunkCells = static_cast<std::uint32_t>(
+        (cells + backends - 1) / backends);
+    rr.maxChunkCells = rr.minChunkCells;
+    std::cerr << "bench_service: round-robin baseline ("
+              << backends << " backends, " << cells << " cells, slow x"
+              << skew << ")\n";
+    const ModeResult base = timeMode(addresses, rr, grid, repeat);
+    std::cerr << "  best " << jsonNum(base.bestMs) << " ms, mean "
+              << jsonNum(base.meanMs) << " ms\n";
+
+    ShardedClientOptions ws; // scheduler defaults: steal + probe on
+    std::cerr << "bench_service: work-stealing scheduler\n";
+    const ModeResult steal = timeMode(addresses, ws, grid, repeat);
+    std::cerr << "  best " << jsonNum(steal.bestMs) << " ms, mean "
+              << jsonNum(steal.meanMs) << " ms (leases "
+              << steal.stats.leases << ", steals " << steal.stats.steals
+              << ", duplicate replies "
+              << steal.stats.duplicateReplies << ")\n";
+
+    const double speedup =
+        steal.bestMs > 0.0 ? base.bestMs / steal.bestMs : 0.0;
+    std::cerr << "bench_service: speedup " << jsonNum(speedup)
+              << "x over round-robin\n";
+
+    writeModeJson(out_baseline, "roundrobin", backends, cells, repeat,
+                  delay_ms, skew, base, 0.0);
+    writeModeJson(out_steal, "worksteal", backends, cells, repeat,
+                  delay_ms, skew, steal, speedup);
+    std::cerr << "bench_service: wrote " << out_steal << " and "
+              << out_baseline << "\n";
+
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::cerr << "bench_service: FAIL speedup " << jsonNum(speedup)
+                  << " < required " << jsonNum(min_speedup) << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace iced
+
+int
+main(int argc, char **argv)
+{
+    int backends = 4;
+    int cells = 48;
+    int repeat = 3;
+    std::uint32_t delayMs = 20;
+    std::uint32_t skew = 4;
+    double minSpeedup = 0.0;
+    std::string outSteal = "BENCH_service_steal.json";
+    std::string outBaseline = "BENCH_service_roundrobin.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--backends" && hasValue)
+            backends = std::atoi(argv[++i]);
+        else if (arg == "--cells" && hasValue)
+            cells = std::atoi(argv[++i]);
+        else if (arg == "--repeat" && hasValue)
+            repeat = std::atoi(argv[++i]);
+        else if (arg == "--delay-ms" && hasValue)
+            delayMs = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+        else if (arg == "--skew" && hasValue)
+            skew = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+        else if (arg == "--min-speedup" && hasValue)
+            minSpeedup = std::atof(argv[++i]);
+        else if (arg == "--out-steal" && hasValue)
+            outSteal = argv[++i];
+        else if (arg == "--out-baseline" && hasValue)
+            outBaseline = argv[++i];
+        else
+            return iced::usage();
+    }
+    if (backends < 1 || cells < 1 || repeat < 1 || skew < 1)
+        return iced::usage();
+
+    try {
+        return iced::run(backends, cells, repeat, delayMs, skew,
+                         minSpeedup, outSteal, outBaseline);
+    } catch (const iced::FatalError &err) {
+        std::cerr << "bench_service: error: " << err.what() << "\n";
+        return 1;
+    }
+}

@@ -20,10 +20,11 @@
  * store, and the result tables are byte-identical to the in-process
  * path (the codec round-trip preserves `equalMappings` identity).
  * ADDR is a Unix socket path or TCP `host:port`; a comma-separated
- * list (`--server hostA:7100,hostB:7100`) shards the grid across
- * several back-ends with retry and failover
- * (service/sharded_client.hpp) — stdout stays byte-identical to the
- * local run even when a backend dies mid-sweep.
+ * list (`--server hostA:7100,hostB:7100`) serves the grid through the
+ * work-stealing lease scheduler across several back-ends — probing,
+ * retry, failover, idle backends stealing from slow ones
+ * (service/sharded_client.hpp) — and stdout stays byte-identical to
+ * the local run even when a backend is slow or dies mid-sweep.
  */
 #include <iostream>
 #include <sstream>
@@ -139,7 +140,11 @@ runOnServer(const std::string &server_list,
         std::cerr << "exec: shard backends=" << addresses.size()
                   << " dead=" << stats.deadBackends
                   << " failover=" << stats.failovers
-                  << " retries=" << stats.retries << "\n";
+                  << " retries=" << stats.retries
+                  << " leases=" << stats.leases
+                  << " steals=" << stats.steals
+                  << " stolen-cells=" << stats.stolenCells
+                  << " dup-replies=" << stats.duplicateReplies << "\n";
     }
 
     std::vector<JobResult> results(grid.size());

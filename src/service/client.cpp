@@ -74,6 +74,19 @@ ServiceClient::stats()
     return json;
 }
 
+PingReplyMsg
+ServiceClient::ping()
+{
+    Decoder dec =
+        roundTrip(buildPingRequest(), MessageType::PingResponse);
+    PingReplyMsg pong;
+    pong.cellsServed = dec.u64();
+    pong.storeEntries = dec.u64();
+    pong.storeNegatives = dec.u64();
+    fatalIf(!dec.atEnd(), "client: trailing bytes after PingResponse");
+    return pong;
+}
+
 std::vector<StoreListing>
 ServiceClient::storeList()
 {

@@ -67,6 +67,13 @@ class ServiceClient
     /** The server's MetricsRegistry snapshot as JSON. */
     std::string stats();
 
+    /**
+     * Liveness probe: round-trips a `PingRequest` and returns the
+     * server's stats digest. Round-trip latency is the caller's clock
+     * around this call (`iced_client ping` prints it).
+     */
+    PingReplyMsg ping();
+
     /** The server store's fingerprint listing (deterministic order).
      *  @throws FatalError when the server has no persistent store. */
     std::vector<StoreListing> storeList();

@@ -22,6 +22,8 @@ struct ServiceCounters
 {
     MetricsRegistry::Counter &mapRequests;
     MetricsRegistry::Counter &sweepRequests;
+    MetricsRegistry::Counter &sweepChunkRequests;
+    MetricsRegistry::Counter &pingRequests;
     MetricsRegistry::Counter &statsRequests;
     MetricsRegistry::Counter &storeListRequests;
     MetricsRegistry::Counter &storeFetchRequests;
@@ -40,6 +42,8 @@ serviceCounters()
     static ServiceCounters counters{
         MetricsRegistry::global().counter("service.requests.map"),
         MetricsRegistry::global().counter("service.requests.sweep"),
+        MetricsRegistry::global().counter("service.requests.sweep_chunk"),
+        MetricsRegistry::global().counter("service.requests.ping"),
         MetricsRegistry::global().counter("service.requests.stats"),
         MetricsRegistry::global().counter("service.requests.store_list"),
         MetricsRegistry::global().counter("service.requests.store_fetch"),
@@ -277,6 +281,9 @@ MappingServer::handleCell(const RequestCell &cell,
                           const CancelToken &cancel)
 {
     serviceCounters().cells.increment();
+    if (opts.debugCellDelayMs > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts.debugCellDelayMs));
     MapperOptions options = cell.options;
     options.cancel = cancel;
     // Server-side policy, not part of the request: prescreen is not on
@@ -354,6 +361,42 @@ MappingServer::dispatch(const std::string &payload)
             group.wait();
         }
         return buildSweepResponse(replies);
+    }
+    case MessageType::SweepChunkRequest: {
+        serviceCounters().sweepChunkRequests.increment();
+        const std::uint64_t leaseId = dec.u64();
+        const std::uint32_t count = dec.u32();
+        std::vector<RequestCell> cells;
+        cells.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            cells.push_back(decodeRequestCell(dec));
+        fatalIf(!dec.atEnd(),
+                "wire: trailing bytes after SweepChunkRequest");
+        // Same serving path as SweepRequest; the lease id is opaque
+        // here and echoed verbatim so the scheduler can match
+        // pipelined chunks. The deadline budget is per *chunk*: each
+        // lease gets its own watchdog (docs/SERVICE.md).
+        DeadlineGuard deadline(deadlineMs);
+        const CancelToken cancel = deadline.token();
+        std::vector<MapReplyMsg> replies(cells.size());
+        {
+            TaskGroup group(pool);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                group.spawn([this, &cells, &replies, &cancel, i] {
+                    replies[i] = handleCell(cells[i], cancel);
+                });
+            group.wait();
+        }
+        return buildSweepChunkResponse(leaseId, replies);
+    }
+    case MessageType::PingRequest: {
+        serviceCounters().pingRequests.increment();
+        fatalIf(!dec.atEnd(), "wire: trailing bytes after PingRequest");
+        PingReplyMsg pong;
+        pong.cellsServed = serviceCounters().cells.value();
+        pong.storeEntries = persistentEntryCount();
+        pong.storeNegatives = persistentNegativeCount();
+        return buildPingResponse(pong);
     }
     case MessageType::StatsRequest: {
         serviceCounters().statsRequests.increment();

@@ -77,6 +77,14 @@ struct ServerOptions
      * so the setting never splits the cache key space.
      */
     bool prescreen = false;
+    /**
+     * Test/benchmark knob (`iced_serve --debug-cell-delay-ms`): sleep
+     * this long before serving each cell, simulating a slow or
+     * overloaded backend. Used by the skewed-backend phase of
+     * `tools/service_smoke.sh` to provoke work stealing against real
+     * servers. 0 (the default) adds no code to the serving path.
+     */
+    std::uint32_t debugCellDelayMs = 0;
 };
 
 /** The `iced_serve` accept/dispatch engine. */

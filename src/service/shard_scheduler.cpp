@@ -1,0 +1,526 @@
+#include "service/shard_scheduler.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+
+namespace iced {
+
+namespace {
+
+struct SchedulerCounters
+{
+    MetricsRegistry::Counter &leaseIssued;
+    MetricsRegistry::Counter &leaseCells;
+    MetricsRegistry::Counter &stealLeases;
+    MetricsRegistry::Counter &stealCells;
+    MetricsRegistry::Counter &stealDuplicates;
+    MetricsRegistry::Counter &failovers;
+    MetricsRegistry::Counter &backendsDead;
+    MetricsRegistry::Counter &retryAttempts;
+    MetricsRegistry::Counter &retryExhausted;
+};
+
+SchedulerCounters &
+schedulerCounters()
+{
+    static SchedulerCounters counters{
+        MetricsRegistry::global().counter("service.lease.issued"),
+        MetricsRegistry::global().counter("service.lease.cells"),
+        MetricsRegistry::global().counter("service.steal.leases"),
+        MetricsRegistry::global().counter("service.steal.cells"),
+        MetricsRegistry::global().counter("service.steal.duplicates"),
+        MetricsRegistry::global().counter("service.shard.failovers"),
+        MetricsRegistry::global().counter("service.shard.backends_dead"),
+        MetricsRegistry::global().counter("service.retry.attempts"),
+        MetricsRegistry::global().counter("service.retry.exhausted"),
+    };
+    return counters;
+}
+
+double
+elapsedMsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::uint32_t
+retryDelayMs(std::uint32_t base_ms, std::size_t shard_index, int attempt,
+             bool jitter)
+{
+    const std::uint32_t linear =
+        base_ms * static_cast<std::uint32_t>(attempt < 1 ? 1 : attempt);
+    if (!jitter || base_ms == 0)
+        return linear;
+    Rng rng(0x51EA1C0DEULL ^
+            (static_cast<std::uint64_t>(shard_index) *
+                 0x9E3779B97F4A7C15ULL +
+             static_cast<std::uint64_t>(attempt)));
+    return linear +
+           static_cast<std::uint32_t>(rng.uniformInt(0, base_ms - 1));
+}
+
+bool
+probeBackend(const std::string &address, const ClientOptions &connection,
+             std::uint32_t timeout_ms)
+{
+    const std::uint32_t budget =
+        timeout_ms != 0 ? timeout_ms : connection.connectTimeoutMs;
+    int fd = -1;
+    try {
+        fd = connectEndpoint(Endpoint::parse(address), budget);
+    } catch (const FatalError &) {
+        return false;
+    }
+    if (budget != 0) {
+        // Bound the reply wait too: a zombie that accepts but never
+        // answers must not stall the whole sweep's probe phase.
+        timeval tv{};
+        tv.tv_sec = budget / 1000;
+        tv.tv_usec = static_cast<suseconds_t>((budget % 1000) * 1000);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
+    bool ok = false;
+    try {
+        std::string reply;
+        // Any well-framed reply proves liveness — including
+        // ErrorResponse from a pre-Ping v1 server, which does not know
+        // the opcode but is alive and will serve sweeps.
+        ok = writeFrame(fd, buildPingRequest()) &&
+             readFrame(fd, reply) && !reply.empty();
+    } catch (const FatalError &) {
+        ok = false;
+    }
+    ::close(fd);
+    return ok;
+}
+
+ShardScheduler::ShardScheduler(
+    const std::vector<std::string> &backend_addresses,
+    const std::vector<char> &alive, const ShardedClientOptions &options)
+    : addresses(backend_addresses), opts(options)
+{
+    fatalIf(opts.maxAttempts < 1,
+            "sharded client: maxAttempts must be >= 1");
+    fatalIf(opts.minChunkCells < 1,
+            "sharded client: minChunkCells must be >= 1");
+    fatalIf(opts.maxChunkCells < opts.minChunkCells,
+            "sharded client: maxChunkCells must be >= minChunkCells");
+    fatalIf(opts.pipelineDepth < 1,
+            "sharded client: pipelineDepth must be >= 1");
+    panicIfNot(alive.size() == addresses.size(),
+               "scheduler: alive mask size mismatch");
+    backends.resize(addresses.size());
+    bool anyAlive = false;
+    for (std::size_t b = 0; b < addresses.size(); ++b) {
+        backends[b].index = b;
+        backends[b].dead = alive[b] == 0;
+        anyAlive = anyAlive || alive[b] != 0;
+    }
+    fatalIf(!anyAlive, "sharded sweep failed: all ", addresses.size(),
+            " backends are unreachable");
+}
+
+std::vector<MapReplyMsg>
+ShardScheduler::run(const std::vector<RequestCell> &cells,
+                    std::uint32_t deadline_ms)
+{
+    cellsPtr = &cells;
+    deadlineMs = deadline_ms;
+    replies.assign(cells.size(), MapReplyMsg{});
+    served.assign(cells.size(), 0);
+    servedCount = 0;
+    done = cells.empty();
+    queue.clear();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        queue.push_back(i);
+
+    std::vector<std::thread> workers;
+    workers.reserve(backends.size());
+    for (const Backend &be : backends)
+        if (!be.dead)
+            workers.emplace_back(
+                [this, b = be.index] { worker(b); });
+    for (std::thread &w : workers)
+        w.join();
+
+    fatalIf(servedCount != cells.size(), "sharded sweep failed: all ",
+            addresses.size(), " backends are unreachable");
+    return std::move(replies);
+}
+
+std::size_t
+ShardScheduler::chunkCellsLocked(const Backend &be) const
+{
+    // No latency sample yet: start small so the first reply arrives —
+    // and calibrates the EWMA — quickly.
+    if (be.ewmaCellMs <= 0.0)
+        return opts.minChunkCells;
+    const double ideal =
+        static_cast<double>(opts.targetChunkMs) / be.ewmaCellMs;
+    const double clamped =
+        std::min(static_cast<double>(opts.maxChunkCells),
+                 std::max(static_cast<double>(opts.minChunkCells), ideal));
+    return static_cast<std::size_t>(clamped);
+}
+
+void
+ShardScheduler::noteLeaseLocked(std::size_t cell_count, bool is_steal)
+{
+    st.leases++;
+    schedulerCounters().leaseIssued.increment();
+    schedulerCounters().leaseCells.increment(cell_count);
+    if (st.leaseCellsMin == 0 || cell_count < st.leaseCellsMin)
+        st.leaseCellsMin = cell_count;
+    if (cell_count > st.leaseCellsMax)
+        st.leaseCellsMax = cell_count;
+    if (is_steal) {
+        st.steals++;
+        st.stolenCells += cell_count;
+        schedulerCounters().stealLeases.increment();
+        schedulerCounters().stealCells.increment(cell_count);
+    }
+}
+
+void
+ShardScheduler::refillLocked(Backend &be, std::vector<Lease> &to_send)
+{
+    while (be.inflight.size() + to_send.size() < opts.pipelineDepth &&
+           !queue.empty()) {
+        const std::size_t want = chunkCellsLocked(be);
+        Lease lease;
+        lease.id = nextLeaseId++;
+        while (lease.cells.size() < want && !queue.empty()) {
+            lease.cells.push_back(queue.front());
+            queue.pop_front();
+        }
+        noteLeaseLocked(lease.cells.size(), /*is_steal=*/false);
+        to_send.push_back(std::move(lease));
+    }
+    if (!opts.workStealing || !queue.empty() || !to_send.empty() ||
+        !be.inflight.empty())
+        return;
+    // Fully idle with a dry queue: duplicate the most valuable
+    // outstanding lease — most unserved cells, ties toward the
+    // slowest owner — and race the owner for it. A lease is stolen at
+    // most once and a stolen copy is never re-stolen, bounding the
+    // in-flight copies of any cell at two.
+    Lease *victim = nullptr;
+    std::size_t victimUnserved = 0;
+    double victimEwma = 0.0;
+    for (Backend &other : backends) {
+        if (other.index == be.index || other.dead)
+            continue;
+        for (Lease &lease : other.inflight) {
+            if (lease.stolen || lease.isSteal)
+                continue;
+            std::size_t unserved = 0;
+            for (std::size_t idx : lease.cells)
+                unserved += served[idx] ? 0u : 1u;
+            if (unserved == 0)
+                continue;
+            const bool better =
+                unserved > victimUnserved ||
+                (unserved == victimUnserved &&
+                 other.ewmaCellMs > victimEwma);
+            if (better) {
+                victim = &lease;
+                victimUnserved = unserved;
+                victimEwma = other.ewmaCellMs;
+            }
+        }
+    }
+    if (victim == nullptr)
+        return;
+    victim->stolen = true;
+    Lease dup;
+    dup.id = nextLeaseId++;
+    dup.isSteal = true;
+    for (std::size_t idx : victim->cells)
+        if (!served[idx])
+            dup.cells.push_back(idx);
+    noteLeaseLocked(dup.cells.size(), /*is_steal=*/true);
+    to_send.push_back(std::move(dup));
+}
+
+bool
+ShardScheduler::handleFailure(Backend &be, std::vector<Lease> &unsent,
+                              const std::string &detail)
+{
+    bool isDead = false;
+    std::uint32_t delay = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (be.fd >= 0) {
+            ::close(be.fd);
+            be.fd = -1;
+        }
+        if (done) {
+            // Teardown after completion, not a backend failure.
+            be.inflight.clear();
+            unsent.clear();
+            return false;
+        }
+        std::vector<std::size_t> back;
+        const auto reclaim = [&](const Lease &lease) {
+            for (std::size_t idx : lease.cells)
+                if (!served[idx])
+                    back.push_back(idx);
+        };
+        for (const Lease &lease : be.inflight)
+            reclaim(lease);
+        for (const Lease &lease : unsent)
+            reclaim(lease);
+        be.inflight.clear();
+        unsent.clear();
+        if (!back.empty()) {
+            // Failover: return to the queue *front* in grid order so
+            // survivors re-lease the owed cells before untouched tail
+            // cells.
+            std::sort(back.begin(), back.end());
+            for (std::size_t i = back.size(); i > 0; --i)
+                queue.push_front(back[i - 1]);
+            st.failovers++;
+            schedulerCounters().failovers.increment();
+        }
+        be.failures++;
+        isDead = be.failures >= opts.maxAttempts;
+        if (isDead) {
+            be.dead = true;
+            st.deadBackends++;
+            schedulerCounters().backendsDead.increment();
+            schedulerCounters().retryExhausted.increment();
+            warn("sharded sweep: backend ", addresses[be.index],
+                 " dead after ", be.failures, " failure(s): ", detail);
+        } else {
+            st.retries++;
+            schedulerCounters().retryAttempts.increment();
+            delay = retryDelayMs(opts.retryBackoffMs, be.index,
+                                 be.failures, opts.retryJitter);
+        }
+        cv.notify_all();
+    }
+    if (isDead)
+        return false;
+    if (delay > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    return true;
+}
+
+bool
+ShardScheduler::scatterReply(Backend &be, const std::string &payload)
+{
+    std::uint64_t leaseId = 0;
+    std::vector<MapReplyMsg> chunk;
+    try {
+        Decoder dec(payload);
+        const std::uint8_t type = dec.u8();
+        if (type ==
+            static_cast<std::uint8_t>(MessageType::ErrorResponse)) {
+            warn("sharded sweep: backend ", addresses[be.index],
+                 " rejected a chunk: ", dec.str());
+            return false;
+        }
+        if (type !=
+            static_cast<std::uint8_t>(MessageType::SweepChunkResponse))
+            return false;
+        leaseId = dec.u64();
+        const std::uint32_t count = dec.u32();
+        chunk.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            chunk.push_back(decodeMapReply(dec));
+        if (!dec.atEnd())
+            return false;
+    } catch (const FatalError &) {
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it =
+        std::find_if(be.inflight.begin(), be.inflight.end(),
+                     [&](const Lease &l) { return l.id == leaseId; });
+    if (it == be.inflight.end() || it->cells.size() != chunk.size())
+        return false;
+    const double cellMs = elapsedMsSince(it->sentAt) /
+                          static_cast<double>(it->cells.size());
+    be.ewmaCellMs = be.ewmaCellMs <= 0.0
+                        ? cellMs
+                        : 0.7 * be.ewmaCellMs + 0.3 * cellMs;
+    for (std::size_t k = 0; k < chunk.size(); ++k) {
+        const std::size_t idx = it->cells[k];
+        if (!served[idx]) {
+            replies[idx] = std::move(chunk[k]);
+            served[idx] = 1;
+            ++servedCount;
+        } else {
+            // First completed reply won this cell; discard the copy.
+            // Deterministic either way: the mapper guarantees both
+            // copies carry identical bytes.
+            ++st.duplicateReplies;
+            schedulerCounters().stealDuplicates.increment();
+        }
+    }
+    be.inflight.erase(it);
+    be.failures = 0;
+    if (servedCount == cellsPtr->size() && !done) {
+        done = true;
+        if (!opts.waitForStragglers)
+            shutdownSocketsLocked();
+    }
+    cv.notify_all();
+    return true;
+}
+
+void
+ShardScheduler::shutdownSocketsLocked()
+{
+    // Workers blocked in readFrame on a straggler connection wake with
+    // EOF, observe `done`, and exit — the owner closes the fd itself.
+    for (Backend &be : backends)
+        if (be.fd >= 0)
+            ::shutdown(be.fd, SHUT_RDWR);
+}
+
+void
+ShardScheduler::worker(std::size_t backend_index)
+{
+    Backend &be = backends[backend_index];
+    std::vector<Lease> toSend;
+    for (;;) {
+        bool drainOnly = false;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            for (;;) {
+                if (be.dead || (done && !opts.waitForStragglers)) {
+                    if (be.fd >= 0) {
+                        ::close(be.fd);
+                        be.fd = -1;
+                    }
+                    return;
+                }
+                if (done) {
+                    // waitForStragglers: drain outstanding replies.
+                    if (be.inflight.empty() || be.fd < 0) {
+                        if (be.fd >= 0) {
+                            ::close(be.fd);
+                            be.fd = -1;
+                        }
+                        return;
+                    }
+                    drainOnly = true;
+                    break;
+                }
+                refillLocked(be, toSend);
+                if (!toSend.empty() || !be.inflight.empty())
+                    break;
+                cv.wait(lock);
+            }
+        }
+
+        // Connect when needed. Leases in toSend are already ours
+        // (deal-before-connect), so a connect-dead backend returns
+        // them as a failover.
+        if (!drainOnly && be.fd < 0) {
+            int fd = -1;
+            std::string detail;
+            try {
+                fd = connectEndpoint(Endpoint::parse(addresses[be.index]),
+                                     opts.connection.connectTimeoutMs);
+            } catch (const FatalError &err) {
+                detail = err.what();
+            }
+            if (fd < 0) {
+                if (!handleFailure(be, toSend, detail))
+                    return;
+                continue;
+            }
+            std::lock_guard<std::mutex> lock(mtx);
+            be.fd = fd;
+            if (done && !opts.waitForStragglers)
+                ::shutdown(be.fd, SHUT_RDWR); // missed the broadcast
+        }
+
+        // Send every cut lease; a sent lease becomes stealable.
+        bool sendOk = true;
+        std::string sendDetail = "backend hung up while sending a chunk";
+        while (sendOk && !toSend.empty()) {
+            Lease lease = std::move(toSend.front());
+            toSend.erase(toSend.begin());
+            try {
+                const std::string frame = buildSweepChunkRequest(
+                    lease.id, *cellsPtr, lease.cells, deadlineMs);
+                lease.sentAt = std::chrono::steady_clock::now();
+                sendOk = writeFrame(be.fd, frame);
+            } catch (const FatalError &err) {
+                sendOk = false;
+                sendDetail = err.what();
+            }
+            if (sendOk) {
+                std::lock_guard<std::mutex> lock(mtx);
+                be.inflight.push_back(std::move(lease));
+                cv.notify_all();
+            } else {
+                toSend.insert(toSend.begin(), std::move(lease));
+            }
+        }
+        if (!sendOk) {
+            if (!handleFailure(be, toSend, sendDetail))
+                return;
+            continue;
+        }
+
+        // Read one reply when something is in flight.
+        bool haveInflight = false;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            haveInflight = !be.inflight.empty();
+        }
+        if (!haveInflight)
+            continue;
+        std::string payload;
+        bool gotFrame = false;
+        std::string readDetail = "backend hung up mid-sweep";
+        try {
+            gotFrame = readFrame(be.fd, payload);
+        } catch (const FatalError &err) {
+            readDetail = err.what();
+        }
+        if (!gotFrame) {
+            bool teardown = false;
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (done) {
+                    teardown = true;
+                    if (be.fd >= 0) {
+                        ::close(be.fd);
+                        be.fd = -1;
+                    }
+                }
+            }
+            if (teardown)
+                return;
+            if (!handleFailure(be, toSend, readDetail))
+                return;
+            continue;
+        }
+        if (!scatterReply(be, payload)) {
+            if (!handleFailure(be, toSend,
+                               "malformed or rejected chunk reply"))
+                return;
+            continue;
+        }
+    }
+}
+
+} // namespace iced

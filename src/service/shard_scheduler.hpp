@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Work-stealing sweep scheduler behind `ShardedClient`.
+ *
+ * The scheduler replaces PR 9's one-shot round-robin deal with a
+ * dynamic lease model. The full cell list sits in a deque in grid
+ * order; each backend's worker thread cuts bounded *chunks* (leases)
+ * off the front and keeps up to `pipelineDepth` of them in flight on
+ * its one connection as `SweepChunkRequest` frames — the server
+ * answers frames in order, so pipelining needs no reordering logic,
+ * but every lease still carries an id the server echoes back, so a
+ * reply is matched to its lease explicitly, never by position.
+ *
+ * Chunk sizing is adaptive: each backend keeps an EWMA of observed
+ * per-cell latency (lease round-trip time / cells in the lease), and
+ * the next chunk is sized to take about `targetChunkMs`, clamped to
+ * [`minChunkCells`, `maxChunkCells`]. A backend with no sample yet
+ * starts at `minChunkCells` so the first reply arrives (and calibrates
+ * the EWMA) quickly.
+ *
+ * Stealing: when the queue drains, a fully idle worker duplicates the
+ * most valuable outstanding lease — most unserved cells, ties broken
+ * toward the slowest (highest-EWMA) owner — and serves it itself. The
+ * victim's lease keeps running; whichever reply lands first wins each
+ * cell, and the loser's copy is discarded under the scheduler mutex
+ * (`duplicateReplies`). A lease is stolen at most once and a stolen
+ * copy is never re-stolen, so no cell is ever in flight more than
+ * twice. Because the mapper is deterministic, both copies carry
+ * byte-identical entry blobs — discarding either changes nothing.
+ *
+ * Failure model (delta vs PR 9, see docs/SERVICE.md): any
+ * connection-level failure immediately returns the backend's unserved
+ * in-flight cells to the queue front in grid order (a *failover* —
+ * other backends pick them up while the loser reconnects). A backend
+ * accumulating `maxAttempts` consecutive failures is dead for the
+ * rest of the call. Reconnect backoff is linear with deterministic
+ * jitter seeded from the backend index (`retryDelayMs`), so a fleet
+ * blip does not thundering-herd the reconnects yet runs reproduce.
+ * Only when every backend is dead with cells unserved does the sweep
+ * throw `FatalError`.
+ *
+ * Metrics: `service.lease.issued/cells`,
+ * `service.steal.leases/cells/duplicates`, plus the PR 9
+ * `service.shard.*` / `service.retry.*` families.
+ *
+ * Thread safety: one ShardScheduler per sweep call; internally one
+ * worker thread per alive backend, all shared state behind one mutex.
+ */
+#ifndef ICED_SERVICE_SHARD_SCHEDULER_HPP
+#define ICED_SERVICE_SHARD_SCHEDULER_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/sharded_client.hpp"
+
+namespace iced {
+
+/**
+ * Reconnect delay before attempt `attempt` (1-based) of the backend at
+ * `shard_index`: linear backoff `base_ms * attempt` plus — when
+ * `jitter` — a deterministic draw in [0, base_ms) seeded from
+ * (shard_index, attempt), so concurrent shards never reconnect in
+ * lockstep and the schedule is reproducible across runs.
+ */
+std::uint32_t retryDelayMs(std::uint32_t base_ms, std::size_t shard_index,
+                           int attempt, bool jitter);
+
+/**
+ * Liveness probe: connect (bounded by `timeout_ms`, falling back to
+ * `connection.connectTimeoutMs` when 0) and round-trip one
+ * `PingRequest`, with the reply wait bounded by the same budget. Any
+ * well-framed reply proves liveness — including `ErrorResponse` from
+ * a pre-Ping v1 server, which is alive even though it does not know
+ * the opcode. Never throws.
+ */
+bool probeBackend(const std::string &address,
+                  const ClientOptions &connection,
+                  std::uint32_t timeout_ms);
+
+/** One sweep's work-stealing execution across the alive backends. */
+class ShardScheduler
+{
+  public:
+    /**
+     * `alive[b]` masks out backends the caller's probe already
+     * excluded; at least one must be alive. Validates the chunk /
+     * pipeline knobs. @throws FatalError
+     */
+    ShardScheduler(const std::vector<std::string> &backend_addresses,
+                   const std::vector<char> &alive,
+                   const ShardedClientOptions &options);
+
+    /**
+     * Serve every cell; replies in grid (request) order.
+     * @throws FatalError when all backends die with cells unserved.
+     */
+    std::vector<MapReplyMsg> run(const std::vector<RequestCell> &cells,
+                                 std::uint32_t deadline_ms);
+
+    /** Tally of the run (lease/steal/retry/failover counts). */
+    const ShardedClient::ShardStats &stats() const { return st; }
+
+  private:
+    struct Lease
+    {
+        std::uint64_t id = 0;
+        /** Ascending sweep indices (grid order within the lease). */
+        std::vector<std::size_t> cells;
+        std::chrono::steady_clock::time_point sentAt{};
+        bool stolen = false;  ///< a thief already duplicated this lease
+        bool isSteal = false; ///< this lease duplicates another
+    };
+
+    struct Backend
+    {
+        std::size_t index = 0;
+        bool dead = false;
+        int fd = -1;
+        double ewmaCellMs = 0.0; ///< 0 = no sample yet
+        int failures = 0;        ///< consecutive connection failures
+        std::deque<Lease> inflight; ///< sent, awaiting replies (FIFO)
+    };
+
+    void worker(std::size_t backend_index);
+    /** Cut/steal leases so inflight+toSend reaches pipelineDepth. */
+    void refillLocked(Backend &be, std::vector<Lease> &to_send);
+    std::size_t chunkCellsLocked(const Backend &be) const;
+    /**
+     * Connection-level failure: return unserved cells, count
+     * retry/failover/death. Returns false when the backend is now
+     * dead (worker exits); sleeps the backoff otherwise.
+     */
+    bool handleFailure(Backend &be, std::vector<Lease> &unsent,
+                       const std::string &detail);
+    /** Scatter one chunk reply; returns false on a protocol error. */
+    bool scatterReply(Backend &be, const std::string &payload);
+    void noteLeaseLocked(std::size_t cell_count, bool is_steal);
+    void shutdownSocketsLocked();
+
+    const std::vector<std::string> &addresses;
+    const ShardedClientOptions &opts;
+    const std::vector<RequestCell> *cellsPtr = nullptr;
+    std::uint32_t deadlineMs = 0;
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<std::size_t> queue; ///< unleased cells, grid order
+    std::vector<MapReplyMsg> replies;
+    std::vector<char> served;
+    std::size_t servedCount = 0;
+    std::uint64_t nextLeaseId = 1;
+    bool done = false;
+    std::vector<Backend> backends;
+    ShardedClient::ShardStats st;
+};
+
+} // namespace iced
+
+#endif // ICED_SERVICE_SHARD_SCHEDULER_HPP

@@ -1,11 +1,10 @@
 #include "service/sharded_client.hpp"
 
-#include <atomic>
-#include <chrono>
 #include <thread>
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "service/shard_scheduler.hpp"
 
 namespace iced {
 
@@ -15,10 +14,9 @@ struct ShardCounters
 {
     MetricsRegistry::Counter &sweeps;
     MetricsRegistry::Counter &cells;
-    MetricsRegistry::Counter &failovers;
     MetricsRegistry::Counter &backendsDead;
-    MetricsRegistry::Counter &retryAttempts;
-    MetricsRegistry::Counter &retryExhausted;
+    MetricsRegistry::Counter &probeAttempts;
+    MetricsRegistry::Counter &probeDead;
 };
 
 ShardCounters &
@@ -27,10 +25,9 @@ shardCounters()
     static ShardCounters counters{
         MetricsRegistry::global().counter("service.shard.sweeps"),
         MetricsRegistry::global().counter("service.shard.cells"),
-        MetricsRegistry::global().counter("service.shard.failovers"),
         MetricsRegistry::global().counter("service.shard.backends_dead"),
-        MetricsRegistry::global().counter("service.retry.attempts"),
-        MetricsRegistry::global().counter("service.retry.exhausted"),
+        MetricsRegistry::global().counter("service.probe.attempts"),
+        MetricsRegistry::global().counter("service.probe.dead"),
     };
     return counters;
 }
@@ -44,6 +41,12 @@ ShardedClient::ShardedClient(std::vector<std::string> backend_addresses,
     fatalIf(backends.empty(), "sharded client: no backend addresses");
     fatalIf(opts.maxAttempts < 1,
             "sharded client: maxAttempts must be >= 1");
+    fatalIf(opts.minChunkCells < 1,
+            "sharded client: minChunkCells must be >= 1");
+    fatalIf(opts.maxChunkCells < opts.minChunkCells,
+            "sharded client: maxChunkCells must be >= minChunkCells");
+    fatalIf(opts.pipelineDepth < 1,
+            "sharded client: pipelineDepth must be >= 1");
     // Address strings are validated up front so a typo fails the
     // construction, not the Nth shard mid-sweep.
     for (const std::string &address : backends)
@@ -57,103 +60,55 @@ ShardedClient::sweep(const std::vector<RequestCell> &cells,
     shardCounters().sweeps.increment();
     shardCounters().cells.increment(cells.size());
     last = ShardStats{};
+    if (cells.empty())
+        return {};
 
-    std::vector<MapReplyMsg> replies(cells.size());
-    // Written only by the thread owning the index; read after join.
-    std::vector<char> served(cells.size(), 0);
+    // Probe phase: ping every backend concurrently and exclude the
+    // failures from the deal up front — one bounded ping per sweep,
+    // not a full retry cycle against a corpse mid-sweep. A backend
+    // excluded here is re-probed on the next sweep, so a restarted
+    // server rejoins automatically.
     std::vector<char> alive(backends.size(), 1);
-    std::atomic<std::uint64_t> retries{0};
-
-    std::vector<std::size_t> pending(cells.size());
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        pending[i] = i;
-
-    bool firstRound = true;
-    while (!pending.empty()) {
-        std::vector<std::size_t> aliveIdx;
+    if (opts.probeBackends) {
+        std::vector<std::thread> probes;
+        probes.reserve(backends.size());
         for (std::size_t b = 0; b < backends.size(); ++b)
-            if (alive[b])
-                aliveIdx.push_back(b);
-        fatalIf(aliveIdx.empty(), "sharded sweep failed: all ",
-                backends.size(), " backends are unreachable");
-
-        // Deterministic partition of the pending cells: round-robin
-        // over the alive backends, in pending (= grid) order.
-        std::vector<std::vector<std::size_t>> shards(aliveIdx.size());
-        for (std::size_t k = 0; k < pending.size(); ++k)
-            shards[k % aliveIdx.size()].push_back(pending[k]);
-        if (!firstRound) {
-            // Every shard of a later round carries cells a dead
-            // backend still owed: count one failover per reassigned
-            // shard actually formed.
-            for (const std::vector<std::size_t> &shard : shards)
-                if (!shard.empty()) {
-                    last.failovers++;
-                    shardCounters().failovers.increment();
-                }
-        }
-
-        std::vector<std::thread> workers;
-        for (std::size_t s = 0; s < aliveIdx.size(); ++s) {
-            if (shards[s].empty())
-                continue;
-            workers.emplace_back([&, s] {
-                const std::size_t b = aliveIdx[s];
-                const std::vector<std::size_t> &shard = shards[s];
-                std::vector<RequestCell> shardCells;
-                shardCells.reserve(shard.size());
-                for (std::size_t idx : shard)
-                    shardCells.push_back(cells[idx]);
-                for (int attempt = 1; attempt <= opts.maxAttempts;
-                     ++attempt) {
-                    try {
-                        // A fresh connection per try: after a failure
-                        // the previous one may be half-dead.
-                        ServiceClient conn(backends[b], opts.connection);
-                        const std::vector<MapReplyMsg> shardReplies =
-                            conn.sweep(shardCells, deadline_ms);
-                        for (std::size_t k = 0; k < shard.size(); ++k) {
-                            replies[shard[k]] = shardReplies[k];
-                            served[shard[k]] = 1;
-                        }
-                        return;
-                    } catch (const FatalError &err) {
-                        if (attempt == opts.maxAttempts) {
-                            warn("sharded sweep: backend ", backends[b],
-                                 " dead after ", attempt,
-                                 " attempt(s): ", err.what());
-                            alive[b] = 0;
-                            shardCounters().retryExhausted.increment();
-                            return;
-                        }
-                        retries.fetch_add(1,
-                                          std::memory_order_relaxed);
-                        shardCounters().retryAttempts.increment();
-                        std::this_thread::sleep_for(
-                            std::chrono::milliseconds(
-                                opts.retryBackoffMs *
-                                static_cast<std::uint32_t>(attempt)));
-                    }
-                }
+            probes.emplace_back([this, b, &alive] {
+                alive[b] = probeBackend(backends[b], opts.connection,
+                                        opts.probeTimeoutMs)
+                               ? 1
+                               : 0;
             });
-        }
-        for (std::thread &worker : workers)
-            worker.join();
-
-        std::vector<std::size_t> unserved;
-        for (std::size_t idx : pending)
-            if (!served[idx])
-                unserved.push_back(idx);
-        pending = std::move(unserved);
-        firstRound = false;
+        for (std::thread &probe : probes)
+            probe.join();
+        shardCounters().probeAttempts.increment(backends.size());
+        for (std::size_t b = 0; b < backends.size(); ++b)
+            if (!alive[b]) {
+                warn("sharded sweep: excluding backend ", backends[b],
+                     " (probe failed)");
+                last.probesFailed++;
+                last.deadBackends++;
+                shardCounters().probeDead.increment();
+                shardCounters().backendsDead.increment();
+            }
+        fatalIf(last.probesFailed == backends.size(),
+                "sharded sweep failed: all ", backends.size(),
+                " backends are unreachable");
     }
 
-    last.retries = retries.load(std::memory_order_relaxed);
-    for (std::size_t b = 0; b < backends.size(); ++b)
-        if (!alive[b]) {
-            last.deadBackends++;
-            shardCounters().backendsDead.increment();
-        }
+    ShardScheduler scheduler(backends, alive, opts);
+    std::vector<MapReplyMsg> replies = scheduler.run(cells, deadline_ms);
+
+    const ShardStats &run = scheduler.stats();
+    last.retries += run.retries;
+    last.failovers += run.failovers;
+    last.deadBackends += run.deadBackends;
+    last.leases = run.leases;
+    last.leaseCellsMin = run.leaseCellsMin;
+    last.leaseCellsMax = run.leaseCellsMax;
+    last.steals = run.steals;
+    last.stolenCells = run.stolenCells;
+    last.duplicateReplies = run.duplicateReplies;
     return replies;
 }
 

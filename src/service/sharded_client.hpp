@@ -3,38 +3,47 @@
  * Sharded front-end over several `iced_serve` back-ends.
  *
  * `ShardedClient` takes N backend addresses (Unix paths or TCP
- * `host:port`, mixed freely) and partitions every sweep's cells
- * deterministically across them — cell i goes to backend
- * `i % aliveBackends` of the current round — then merges the replies
- * back into request order, so a caller's stdout is byte-identical to
- * the single-server and the local in-process run (the mapper is
- * deterministic, so *which* backend computes a cell never changes the
- * result bytes).
+ * `host:port`, mixed freely) and serves every sweep through the
+ * work-stealing lease scheduler (service/shard_scheduler.hpp): cells
+ * sit in a grid-order deque, each backend pipelines adaptively sized
+ * chunks over its connection, idle backends steal outstanding leases
+ * from slow ones, and replies are merged back into request order — so
+ * a caller's stdout is byte-identical to the single-server and the
+ * local in-process run at any chunk size, pipeline depth, steal
+ * schedule, or backend skew (the mapper is deterministic, so *which*
+ * backend computes a cell never changes the result bytes, and the
+ * first reply for a cell wins while duplicates are discarded).
  *
- * Failure model: each shard request gets `maxAttempts` tries against
- * its backend with linear backoff (`retryBackoffMs * attempt`)
- * between tries; a fresh connection per try, because the old one may
- * be half-dead. A backend that exhausts its attempts is declared dead
- * for the rest of the call, and the cells it still owed are
- * re-partitioned across the survivors in the next round (*failover*).
- * Only when every backend is dead does the sweep throw `FatalError`.
- * Deadlines ride the existing wire field: `deadline_ms` is forwarded
- * per shard request and bounds each backend's compute through the
- * server-side CancelToken watchdog, exactly as for a direct client.
+ * Health probing: unless `probeBackends` is off, every sweep starts
+ * by pinging all backends concurrently (`PingRequest`, bounded by
+ * `probeTimeoutMs`). A backend that fails the probe is excluded from
+ * the deal up front — it costs one bounded ping, not a full retry
+ * cycle mid-sweep — and is re-probed on the next sweep, so a restarted
+ * backend rejoins automatically. Only when every backend is dead does
+ * a sweep throw `FatalError`.
  *
- * A failed-over cell may have been *computed* twice (once by the dead
- * backend before it died, once by the survivor) — that is wasted
- * work, never wrong results, and the survivor may well serve it from
- * its store. Dedup across backends is the store-sync job
+ * Failure model per backend: any connection-level failure returns its
+ * unserved in-flight cells to the queue (*failover* — survivors pick
+ * them up immediately) and the backend reconnects after a linear
+ * backoff with deterministic per-shard jitter; `maxAttempts`
+ * consecutive failures declare it dead for the rest of the call.
+ * Deadlines ride the existing wire field per chunk: each lease's
+ * server-side compute gets the full `deadline_ms` budget (a delta vs
+ * PR 9, where one shard's whole cell share shared one budget).
+ *
+ * A stolen or failed-over cell may have been *computed* twice — that
+ * is bounded wasted work (a lease is stolen at most once), never
+ * wrong results. Dedup across backends is the store-sync job
  * (`iced_client sync-store`), not the front-end's.
  *
  * Metrics: `service.shard.sweeps/cells/failovers/backends_dead`,
- * `service.retry.attempts` (failed tries that were retried),
- * `service.retry.exhausted` (shard requests whose backend died).
- * Per-call numbers are also kept in `lastStats()` for CLI summaries.
+ * `service.retry.attempts/exhausted`, `service.lease.issued/cells`,
+ * `service.steal.leases/cells/duplicates`,
+ * `service.probe.attempts/dead`. Per-call numbers are also kept in
+ * `lastStats()` for CLI summaries.
  *
  * Thread safety: one ShardedClient per thread, like ServiceClient.
- * Internally each round runs one thread per shard.
+ * Internally each sweep runs one worker thread per alive backend.
  */
 #ifndef ICED_SERVICE_SHARDED_CLIENT_HPP
 #define ICED_SERVICE_SHARDED_CLIENT_HPP
@@ -47,30 +56,65 @@
 
 namespace iced {
 
-/** Retry/failover knobs of the sharded front-end. */
+/** Scheduling and retry/failover knobs of the sharded front-end. */
 struct ShardedClientOptions
 {
     /** Per-connection knobs (TCP connect timeout). */
     ClientOptions connection;
-    /** Tries per shard request against one backend (>= 1). */
+    /** Consecutive failures before a backend is declared dead (>= 1). */
     int maxAttempts = 3;
-    /** Backoff between tries: `retryBackoffMs * attempt` ms. */
+    /** Backoff before reconnect attempt k: `retryBackoffMs * k` ms. */
     std::uint32_t retryBackoffMs = 50;
+    /**
+     * Add a deterministic jitter draw in [0, retryBackoffMs) to each
+     * backoff, seeded from the backend index — avoids thundering-herd
+     * reconnects after a fleet blip without losing reproducibility.
+     */
+    bool retryJitter = true;
+    /** Smallest lease; also the no-sample-yet calibration size (>= 1). */
+    std::uint32_t minChunkCells = 1;
+    /** Largest lease (>= minChunkCells). */
+    std::uint32_t maxChunkCells = 32;
+    /** Adaptive chunk sizing target: one lease ≈ this many ms. */
+    std::uint32_t targetChunkMs = 250;
+    /** Leases kept in flight per backend connection (>= 1). */
+    std::uint32_t pipelineDepth = 2;
+    /** Idle backends duplicate outstanding leases of slow ones. */
+    bool workStealing = true;
+    /** Ping all backends before dealing; failures are excluded. */
+    bool probeBackends = true;
+    /** Connect + reply budget of one probe ping (0 = connect default). */
+    std::uint32_t probeTimeoutMs = 1000;
+    /**
+     * After the last cell is served, wait for outstanding duplicate
+     * replies instead of tearing the connections down immediately.
+     * Off by default (teardown is what makes stealing pay on the
+     * tail); tests turn it on to make duplicate-discard counts exact.
+     */
+    bool waitForStragglers = false;
 };
 
-/** Deterministic sharding, bounded retry, failover across back-ends. */
+/** Work-stealing sharding, health probing, failover across back-ends. */
 class ShardedClient
 {
   public:
-    /** Per-call failure-handling tally (also mirrored into metrics). */
+    /** Per-call scheduling tally (also mirrored into metrics). */
     struct ShardStats
     {
-        std::uint64_t retries = 0;      ///< failed tries that were retried
-        std::uint64_t failovers = 0;    ///< shards reassigned off a dead backend
-        std::uint64_t deadBackends = 0; ///< backends declared dead this call
+        std::uint64_t retries = 0;      ///< failures that were retried
+        std::uint64_t failovers = 0;    ///< unserved-cell returns off a failed backend
+        std::uint64_t deadBackends = 0; ///< dead this call (probe or retry exhaustion)
+        std::uint64_t leases = 0;       ///< leases issued, steals included
+        std::uint64_t leaseCellsMin = 0; ///< smallest lease issued (0 = none)
+        std::uint64_t leaseCellsMax = 0; ///< largest lease issued
+        std::uint64_t steals = 0;        ///< leases duplicated off a busy backend
+        std::uint64_t stolenCells = 0;   ///< cells those steals re-leased
+        std::uint64_t duplicateReplies = 0; ///< second copies discarded
+        std::uint64_t probesFailed = 0;  ///< backends excluded by the probe
     };
 
-    /** @throws FatalError when `backend_addresses` is empty. */
+    /** @throws FatalError when `backend_addresses` is empty or an
+     *  option is out of range. */
     explicit ShardedClient(std::vector<std::string> backend_addresses,
                            ShardedClientOptions options = {});
 
@@ -81,7 +125,7 @@ class ShardedClient
     std::vector<MapReplyMsg> sweep(const std::vector<RequestCell> &cells,
                                    std::uint32_t deadline_ms = 0);
 
-    /** One cell (single-element sweep: same retry/failover path). */
+    /** One cell (single-element sweep: same scheduling path). */
     MapReplyMsg map(const RequestCell &cell,
                     std::uint32_t deadline_ms = 0);
 
@@ -96,7 +140,7 @@ class ShardedClient
         return backends;
     }
 
-    /** Failure-handling tally of the most recent sweep/map call. */
+    /** Scheduling tally of the most recent sweep/map call. */
     const ShardStats &lastStats() const { return last; }
 
   private:

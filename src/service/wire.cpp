@@ -86,6 +86,27 @@ buildSweepRequest(const std::vector<RequestCell> &cells,
 }
 
 std::string
+buildSweepChunkRequest(std::uint64_t lease_id,
+                       const std::vector<RequestCell> &all_cells,
+                       const std::vector<std::size_t> &cells,
+                       std::uint32_t deadline_ms)
+{
+    Encoder enc =
+        requestHeader(MessageType::SweepChunkRequest, deadline_ms);
+    enc.u64(lease_id);
+    enc.u32(static_cast<std::uint32_t>(cells.size()));
+    for (std::size_t idx : cells)
+        encodeRequestCell(enc, all_cells[idx]);
+    return enc.take();
+}
+
+std::string
+buildPingRequest()
+{
+    return requestHeader(MessageType::PingRequest, 0).take();
+}
+
+std::string
 buildStatsRequest()
 {
     return requestHeader(MessageType::StatsRequest, 0).take();
@@ -157,6 +178,30 @@ buildSweepResponse(const std::vector<MapReplyMsg> &replies)
     enc.u32(static_cast<std::uint32_t>(replies.size()));
     for (const MapReplyMsg &reply : replies)
         encodeMapReply(enc, reply);
+    return enc.take();
+}
+
+std::string
+buildSweepChunkResponse(std::uint64_t lease_id,
+                        const std::vector<MapReplyMsg> &replies)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::SweepChunkResponse));
+    enc.u64(lease_id);
+    enc.u32(static_cast<std::uint32_t>(replies.size()));
+    for (const MapReplyMsg &reply : replies)
+        encodeMapReply(enc, reply);
+    return enc.take();
+}
+
+std::string
+buildPingResponse(const PingReplyMsg &reply)
+{
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MessageType::PingResponse));
+    enc.u64(reply.cellsServed);
+    enc.u64(reply.storeEntries);
+    enc.u64(reply.storeNegatives);
     return enc.take();
 }
 

@@ -43,7 +43,14 @@ inline constexpr std::uint32_t wireProtocolVersion = 1;
 /** Sanity cap on one frame's payload (64 MiB). */
 inline constexpr std::uint32_t maxFramePayload = 64u << 20;
 
-/** First payload byte of every frame. */
+/**
+ * First payload byte of every frame.
+ *
+ * 0x07/0x08 are *additive* opcodes (no `wireProtocolVersion` bump): an
+ * old server answers them with `ErrorResponse` ("unknown request
+ * type") instead of hanging, and old clients never send them, so both
+ * directions stay compatible with v1 peers that predate them.
+ */
 enum class MessageType : std::uint8_t
 {
     MapRequest = 0x01,
@@ -52,12 +59,16 @@ enum class MessageType : std::uint8_t
     ShutdownRequest = 0x04,
     StoreListRequest = 0x05,
     StoreFetchRequest = 0x06,
+    SweepChunkRequest = 0x07, ///< lease-tagged cell batch (scheduler)
+    PingRequest = 0x08,       ///< liveness probe + stats digest
     MapResponse = 0x81,
     SweepResponse = 0x82,
     StatsResponse = 0x83,
     ShutdownResponse = 0x84,
     StoreListResponse = 0x85,
     StoreFetchResponse = 0x86,
+    SweepChunkResponse = 0x87,
+    PingResponse = 0x88,
     ErrorResponse = 0xff,
 };
 
@@ -120,6 +131,18 @@ struct MapReplyMsg
                            ///< for DeadlineExceeded
 };
 
+/**
+ * The server's answer to a `PingRequest`: a liveness ack plus a tiny
+ * stats digest (no JSON parse needed on the probing path). Round-trip
+ * latency is a client-side measurement around the exchange.
+ */
+struct PingReplyMsg
+{
+    std::uint64_t cellsServed = 0;   ///< service.cells.total so far
+    std::uint64_t storeEntries = 0;  ///< persistent positives (0 = none)
+    std::uint64_t storeNegatives = 0; ///< persistent `.icn` markers
+};
+
 /** @name Request/response payload builders and parsers
  *
  * Builders return a complete frame *payload* (type byte included);
@@ -135,6 +158,17 @@ std::string buildMapRequest(const RequestCell &cell,
                             std::uint32_t deadline_ms);
 std::string buildSweepRequest(const std::vector<RequestCell> &cells,
                               std::uint32_t deadline_ms);
+/**
+ * A scheduler lease: `lease_id` is an opaque client token echoed
+ * verbatim in the response so pipelined chunks match up even if a
+ * middlebox or future server reorders replies. `cells` indexes into
+ * `all_cells` (the chunk ships only its own cells' bytes).
+ */
+std::string buildSweepChunkRequest(std::uint64_t lease_id,
+                                   const std::vector<RequestCell> &all_cells,
+                                   const std::vector<std::size_t> &cells,
+                                   std::uint32_t deadline_ms);
+std::string buildPingRequest();
 std::string buildStatsRequest();
 std::string buildShutdownRequest();
 std::string buildStoreListRequest();
@@ -142,6 +176,9 @@ std::string buildStoreFetchRequest(const Digest &key, bool negative);
 
 std::string buildMapResponse(const MapReplyMsg &reply);
 std::string buildSweepResponse(const std::vector<MapReplyMsg> &replies);
+std::string buildSweepChunkResponse(std::uint64_t lease_id,
+                                    const std::vector<MapReplyMsg> &replies);
+std::string buildPingResponse(const PingReplyMsg &reply);
 std::string buildStatsResponse(const std::string &metrics_json);
 std::string buildShutdownResponse();
 std::string buildStoreListResponse(const std::vector<StoreListing> &listing);

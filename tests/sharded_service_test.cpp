@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include <sys/socket.h>
@@ -12,9 +17,11 @@
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "exec/codec.hpp"
 #include "exec/fingerprint.hpp"
 #include "kernels/registry.hpp"
 #include "service/server.hpp"
+#include "service/shard_scheduler.hpp"
 
 namespace iced {
 namespace {
@@ -44,11 +51,12 @@ widerFabric()
 }
 
 RequestCell
-kernelCell(const std::string &kernel, const CgraConfig &config)
+kernelCell(const std::string &kernel, const CgraConfig &config,
+           int unroll = 1)
 {
     RequestCell cell;
     cell.config = config;
-    cell.dfg = findKernel(kernel).build(1);
+    cell.dfg = findKernel(kernel).build(unroll);
     return cell;
 }
 
@@ -61,6 +69,19 @@ testGrid()
         cells.push_back(kernelCell(kernel, smallFabric()));
         cells.push_back(kernelCell(kernel, widerFabric()));
     }
+    return cells;
+}
+
+/** Eight distinct cells — enough for multi-lease schedules. */
+std::vector<RequestCell>
+biggerGrid()
+{
+    std::vector<RequestCell> cells;
+    for (const std::string &kernel : {"fir", "gemm"})
+        for (int unroll : {1, 2}) {
+            cells.push_back(kernelCell(kernel, smallFabric(), unroll));
+            cells.push_back(kernelCell(kernel, widerFabric(), unroll));
+        }
     return cells;
 }
 
@@ -91,6 +112,69 @@ attemptKey(const CgraConfig &config, const Dfg &dfg, int ii)
                                   MapperOptions{}, ii);
 }
 
+/**
+ * Process-wide memo of locally computed replies, keyed by the request
+ * fingerprint. The scripted fake backends below serve from it so that
+ * their scripted per-cell delay — not mapper compute time — dominates
+ * their service time, which keeps the steal-timing tests deterministic
+ * under sanitizers.
+ */
+const MapReplyMsg &
+memoizedReply(const RequestCell &cell)
+{
+    static std::mutex memoMtx;
+    static std::map<std::pair<std::uint64_t, std::uint64_t>, MapReplyMsg>
+        memo;
+    const Digest key =
+        fingerprintMappingRequest(cell.dfg, cell.config, cell.options);
+    std::lock_guard<std::mutex> lock(memoMtx);
+    auto [it, inserted] = memo.try_emplace({key.lo, key.hi});
+    if (inserted) {
+        const auto entry =
+            computeMappingEntry(cell.config, cell.dfg, cell.options);
+        MapReplyMsg &reply = it->second;
+        if (entry->mapped())
+            reply.status = ReplyStatus::Mapped;
+        else if (entry->failed())
+            reply.status = ReplyStatus::Failed;
+        else
+            reply.status = ReplyStatus::NoFit;
+        reply.error = entry->error;
+        reply.entryBlob = encodeMappingEntry(*entry);
+    }
+    return it->second;
+}
+
+/**
+ * Canonical bytes of a reply list: status|error|entry blob per cell.
+ * `source` is excluded — which tier served a cell is the one field
+ * allowed to vary across schedules.
+ */
+std::string
+canonReplies(const std::vector<MapReplyMsg> &replies)
+{
+    std::string bytes;
+    for (const MapReplyMsg &reply : replies) {
+        bytes += toString(reply.status);
+        bytes += '|';
+        bytes += reply.error;
+        bytes += '|';
+        bytes += reply.entryBlob;
+        bytes += '\n';
+    }
+    return bytes;
+}
+
+/** The local in-process run's canonical bytes for the same cells. */
+std::string
+localCanon(const std::vector<RequestCell> &cells)
+{
+    std::vector<MapReplyMsg> replies;
+    for (const RequestCell &cell : cells)
+        replies.push_back(memoizedReply(cell));
+    return canonReplies(replies);
+}
+
 /** Fast-failing retry knobs so the failover tests stay quick. */
 ShardedClientOptions
 fastRetry(int max_attempts = 2)
@@ -98,6 +182,14 @@ fastRetry(int max_attempts = 2)
     ShardedClientOptions opts;
     opts.maxAttempts = max_attempts;
     opts.retryBackoffMs = 1;
+    // Probing would excuse a dead backend from the deal up front; the
+    // failover tests exercise the mid-sweep retry path itself.
+    opts.probeBackends = false;
+    // One small lease at a time widens the window in which a doomed
+    // backend still holds work, keeping the failover counts stable.
+    opts.minChunkCells = 2;
+    opts.maxChunkCells = 2;
+    opts.pipelineDepth = 1;
     return opts;
 }
 
@@ -170,6 +262,128 @@ class FakeBackend
     std::thread worker;
 };
 
+/**
+ * A protocol-complete fake backend with a scripted per-cell delay and
+ * an optional scripted death. Unlike FakeBackend it keeps accepting
+ * connections (probe ping, worker, reconnects) and really serves
+ * `SweepChunkRequest`/`PingRequest` from the local compute memo — so
+ * the scheduler tests can shape *time* (skew, mid-lease death) without
+ * forfeiting byte-identical replies.
+ */
+class DelayBackend
+{
+  public:
+    struct Script
+    {
+        std::uint32_t perCellDelayMs = 0; ///< sleep before each cell
+        std::int64_t dieAfterCells = -1;  ///< die mid-lease (<0: never)
+    };
+
+    explicit DelayBackend(Script script) : opts(script)
+    {
+        listenFd =
+            listenEndpoint(Endpoint::parse("127.0.0.1:0"), 8, &bound);
+        worker = std::thread([this] { acceptLoop(); });
+    }
+
+    ~DelayBackend()
+    {
+        stopListening();
+        if (worker.joinable())
+            worker.join();
+    }
+
+    std::string address() const { return bound.describe(); }
+    std::uint64_t cellsServed() const { return served.load(); }
+
+  private:
+    /** Idempotent; wakes a blocked accept. The accept loop is the fd's
+     *  single owner and closes it on exit. */
+    void stopListening()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (!listenerDown) {
+            ::shutdown(listenFd, SHUT_RDWR);
+            listenerDown = true;
+        }
+    }
+
+    void acceptLoop()
+    {
+        for (;;) {
+            const int conn = ::accept(listenFd, nullptr, nullptr);
+            if (conn < 0)
+                break;
+            serveConnection(conn);
+            ::close(conn);
+            if (dead.load())
+                break;
+        }
+        ::close(listenFd);
+    }
+
+    void serveConnection(int conn)
+    {
+        std::string payload;
+        try {
+            while (readFrame(conn, payload)) {
+                Decoder dec(payload);
+                const auto type = static_cast<MessageType>(dec.u8());
+                (void)dec.u32(); // wire version
+                (void)dec.u32(); // deadline
+                if (type == MessageType::PingRequest) {
+                    PingReplyMsg pong;
+                    pong.cellsServed = served.load();
+                    if (!writeFrame(conn, buildPingResponse(pong)))
+                        break;
+                    continue;
+                }
+                if (type != MessageType::SweepChunkRequest) {
+                    if (!writeFrame(conn,
+                                    buildErrorResponse("unsupported")))
+                        break;
+                    continue;
+                }
+                const std::uint64_t leaseId = dec.u64();
+                const std::uint32_t count = dec.u32();
+                std::vector<MapReplyMsg> replies;
+                for (std::uint32_t i = 0; i < count; ++i) {
+                    const RequestCell cell = decodeRequestCell(dec);
+                    if (opts.perCellDelayMs)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(
+                                opts.perCellDelayMs));
+                    replies.push_back(memoizedReply(cell));
+                    const std::uint64_t total = served.fetch_add(1) + 1;
+                    if (opts.dieAfterCells >= 0 &&
+                        total >= static_cast<std::uint64_t>(
+                                     opts.dieAfterCells)) {
+                        // Crash mid-lease: the chunk never gets its
+                        // reply and every reconnect is refused.
+                        dead.store(true);
+                        stopListening();
+                        return;
+                    }
+                }
+                if (!writeFrame(conn, buildSweepChunkResponse(leaseId,
+                                                              replies)))
+                    break;
+            }
+        } catch (const FatalError &) {
+            // Malformed frame: drop the connection, keep listening.
+        }
+    }
+
+    Script opts;
+    int listenFd = -1;
+    Endpoint bound;
+    std::mutex mtx;
+    bool listenerDown = false;
+    std::atomic<bool> dead{false};
+    std::atomic<std::uint64_t> served{0};
+    std::thread worker;
+};
+
 TEST(EndpointParseTest, GrammarDisambiguatesUnixAndTcp)
 {
     const Endpoint unix_path = Endpoint::parse("/tmp/iced.sock");
@@ -233,6 +447,9 @@ TEST_F(ShardedServiceTest, ShardedSweepMergesInGridOrder)
     EXPECT_EQ(stats.deadBackends, 0u);
     EXPECT_EQ(stats.failovers, 0u);
     EXPECT_EQ(stats.retries, 0u);
+    EXPECT_GE(stats.leases, 2u);
+    EXPECT_GE(stats.leaseCellsMin, 1u);
+    EXPECT_LE(stats.leaseCellsMin, stats.leaseCellsMax);
 
     // map() is a one-cell sweep through the same partition path.
     const MapReplyMsg one = client.map(cells[0]);
@@ -295,9 +512,11 @@ TEST_F(ShardedServiceTest, MidSweepHangupFailsOverDeterministically)
 
     const ShardedClient::ShardStats &stats = client.lastStats();
     EXPECT_EQ(stats.deadBackends, 1u);
-    EXPECT_EQ(stats.failovers, 1u);
+    // The hangup returns its lease once; a retry that re-leased cells
+    // before finding the port closed may add a second return event.
+    EXPECT_GE(stats.failovers, 1u);
     EXPECT_GE(stats.retries, 1u);
-    EXPECT_EQ(MetricsRegistry::global()
+    EXPECT_GE(MetricsRegistry::global()
                   .counter("service.shard.failovers")
                   .value(),
               failover_before + 1);
@@ -327,6 +546,262 @@ TEST_F(ShardedServiceTest, AllBackendsDeadThrowsAfterRetryExhaustion)
     // A bad address string fails construction, not the Nth shard.
     EXPECT_THROW(ShardedClient({"host:70000"}), FatalError);
     EXPECT_THROW(ShardedClient({}), FatalError);
+}
+
+TEST(RetryJitterTest, BackoffIsDeterministicPerShardAndBounded)
+{
+    // Same (base, shard, attempt) always draws the same delay, so a
+    // failure schedule replays exactly.
+    const std::uint32_t first = retryDelayMs(50, 0, 1, true);
+    EXPECT_EQ(first, retryDelayMs(50, 0, 1, true));
+    // Jitter stays inside [linear, linear + base).
+    for (int attempt = 1; attempt <= 3; ++attempt)
+        for (std::size_t shard = 0; shard < 8; ++shard) {
+            const std::uint32_t delay =
+                retryDelayMs(50, shard, attempt, true);
+            EXPECT_GE(delay, 50u * static_cast<std::uint32_t>(attempt));
+            EXPECT_LT(delay,
+                      50u * static_cast<std::uint32_t>(attempt) + 50u);
+        }
+    // Different shards de-synchronise — the thundering-herd fix.
+    bool spread = false;
+    for (std::size_t shard = 1; shard < 8 && !spread; ++shard)
+        spread = retryDelayMs(50, shard, 1, true) != first;
+    EXPECT_TRUE(spread);
+    // jitter=false is the exact legacy linear backoff.
+    EXPECT_EQ(retryDelayMs(50, 3, 2, false), 100u);
+    EXPECT_EQ(retryDelayMs(0, 3, 2, true), 0u);
+}
+
+TEST_F(ShardedServiceTest, ProbeExcludesDeadBackendWithoutRetries)
+{
+    MappingServer alive(tcpOptions());
+    alive.start();
+    std::string deadAddress;
+    {
+        MappingServer dead(tcpOptions());
+        dead.start();
+        deadAddress = dead.boundAddress();
+        dead.requestStop();
+        dead.wait();
+    }
+
+    MetricsRegistry &registry = MetricsRegistry::global();
+    const std::uint64_t probe_dead_before =
+        registry.counter("service.probe.dead").value();
+
+    ShardedClientOptions opts; // probing on by default
+    opts.probeTimeoutMs = 500;
+    ShardedClient client({alive.boundAddress(), deadAddress}, opts);
+    const std::vector<RequestCell> cells = testGrid();
+    expectGridOrderIdentity(cells, client.sweep(cells));
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_EQ(stats.probesFailed, 1u);
+    EXPECT_EQ(stats.deadBackends, 1u);
+    // The corpse cost one bounded ping, not a retry cycle.
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_EQ(stats.failovers, 0u);
+    EXPECT_EQ(registry.counter("service.probe.dead").value(),
+              probe_dead_before + 1);
+
+    alive.requestStop();
+    alive.wait();
+}
+
+TEST_F(ShardedServiceTest, AllProbesFailingFailsFastWithoutRetries)
+{
+    const std::string ghostA = (root / "ghost_a.sock").string();
+    const std::string ghostB = (root / "ghost_b.sock").string();
+    MetricsRegistry &registry = MetricsRegistry::global();
+    const std::uint64_t attempts_before =
+        registry.counter("service.retry.attempts").value();
+    const std::uint64_t probe_dead_before =
+        registry.counter("service.probe.dead").value();
+
+    ShardedClient client({ghostA, ghostB}); // probing on by default
+    try {
+        client.sweep(testGrid());
+        FAIL() << "all-dead sweep must throw";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what())
+                      .find("all 2 backends are unreachable"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(registry.counter("service.probe.dead").value(),
+              probe_dead_before + 2);
+    // No retry cycle ever started.
+    EXPECT_EQ(registry.counter("service.retry.attempts").value(),
+              attempts_before);
+}
+
+TEST_F(ShardedServiceTest, PingReportsServedCellsAndStoreSize)
+{
+    MappingServer server(tcpOptions("ping_store"));
+    server.start();
+    ServiceClient client(server.boundAddress());
+    const PingReplyMsg idle = client.ping();
+
+    EXPECT_EQ(client.map(kernelCell("fir", smallFabric())).status,
+              ReplyStatus::Mapped);
+    const PingReplyMsg pong = client.ping();
+    EXPECT_GE(pong.cellsServed, idle.cellsServed + 1);
+    // The computed entry wrote through to the persistent store.
+    EXPECT_GE(pong.storeEntries, 1u);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST_F(ShardedServiceTest, StealsFromSlowBackendPreserveGridOrder)
+{
+    const std::vector<RequestCell> cells = biggerGrid();
+    // Also pre-warms the compute memo, so the fast backend really is
+    // fast: its service time is round-trip only.
+    const std::string reference = localCanon(cells);
+
+    DelayBackend slow({/*perCellDelayMs=*/100});
+    DelayBackend fast({/*perCellDelayMs=*/0});
+
+    ShardedClientOptions opts;
+    opts.minChunkCells = 2;
+    opts.maxChunkCells = 4;
+    opts.pipelineDepth = 1;
+    opts.targetChunkMs = 50;
+    ShardedClient client({slow.address(), fast.address()}, opts);
+    EXPECT_EQ(canonReplies(client.sweep(cells)), reference);
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_EQ(stats.deadBackends, 0u);
+    EXPECT_GE(stats.steals, 1u);
+    EXPECT_GE(stats.stolenCells, 1u);
+}
+
+TEST_F(ShardedServiceTest, DuplicateStolenRepliesAreDiscarded)
+{
+    const std::vector<RequestCell> cells = biggerGrid();
+    const std::string reference = localCanon(cells);
+
+    DelayBackend slow({/*perCellDelayMs=*/60});
+    DelayBackend fast({/*perCellDelayMs=*/0});
+
+    ShardedClientOptions opts;
+    opts.minChunkCells = 2;
+    opts.maxChunkCells = 4;
+    opts.pipelineDepth = 1;
+    opts.targetChunkMs = 50;
+    // Keep the sweep alive until the victim's own replies land, so
+    // every stolen cell is answered exactly twice.
+    opts.waitForStragglers = true;
+    ShardedClient client({slow.address(), fast.address()}, opts);
+    EXPECT_EQ(canonReplies(client.sweep(cells)), reference);
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_GE(stats.steals, 1u);
+    EXPECT_GE(stats.duplicateReplies, 1u);
+    // First reply wins; the second copy of every stolen cell — and
+    // nothing else — is discarded.
+    EXPECT_EQ(stats.duplicateReplies, stats.stolenCells);
+}
+
+TEST_F(ShardedServiceTest, ChunkSizingAdaptsWithinBounds)
+{
+    std::vector<RequestCell> cells;
+    for (int repeat = 0; repeat < 4; ++repeat)
+        for (const RequestCell &cell : testGrid())
+            cells.push_back(cell); // 16 cells
+    const std::string reference = localCanon(cells);
+
+    DelayBackend a({/*perCellDelayMs=*/5});
+    DelayBackend b({/*perCellDelayMs=*/5});
+
+    ShardedClientOptions opts;
+    opts.minChunkCells = 2;
+    opts.maxChunkCells = 4;
+    opts.targetChunkMs = 40;
+    ShardedClient client({a.address(), b.address()}, opts);
+    EXPECT_EQ(canonReplies(client.sweep(cells)), reference);
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_GE(stats.leases, 4u); // 16 cells, at most 4 per lease
+    EXPECT_GE(stats.leaseCellsMin, 2u);
+    EXPECT_LE(stats.leaseCellsMax, 4u);
+    EXPECT_LE(stats.leaseCellsMin, stats.leaseCellsMax);
+}
+
+TEST_F(ShardedServiceTest, ByteEqualityAcrossSchedulesAndBackendCounts)
+{
+    const std::vector<RequestCell> cells = biggerGrid();
+    const std::string reference = localCanon(cells);
+
+    std::vector<std::unique_ptr<MappingServer>> servers;
+    std::vector<std::string> addresses;
+    for (int i = 0; i < 4; ++i) {
+        servers.push_back(std::make_unique<MappingServer>(tcpOptions()));
+        servers.back()->start();
+        addresses.push_back(servers.back()->boundAddress());
+    }
+
+    // The single-server client path must agree with local compute.
+    {
+        ServiceClient single(addresses[0]);
+        EXPECT_EQ(canonReplies(single.sweep(cells)), reference);
+    }
+
+    // Every (backend count, chunk size, steal schedule) combination
+    // must produce the same bytes.
+    for (const int backends : {1, 2, 4})
+        for (const std::uint32_t chunk : {1u, 8u})
+            for (const bool steal : {false, true}) {
+                ShardedClientOptions opts;
+                opts.minChunkCells = chunk;
+                opts.maxChunkCells = chunk;
+                opts.workStealing = steal;
+                ShardedClient client(
+                    std::vector<std::string>(addresses.begin(),
+                                             addresses.begin() + backends),
+                    opts);
+                EXPECT_EQ(canonReplies(client.sweep(cells)), reference)
+                    << backends << " backends, chunk " << chunk
+                    << ", steal " << steal;
+                EXPECT_EQ(client.lastStats().deadBackends, 0u);
+            }
+
+    for (auto &server : servers)
+        server->requestStop();
+    for (auto &server : servers)
+        server->wait();
+}
+
+TEST_F(ShardedServiceTest, MidSweepDeathFailsOverWithIdenticalBytes)
+{
+    const std::vector<RequestCell> cells = biggerGrid();
+    const std::string reference = localCanon(cells);
+
+    DelayBackend dying({/*perCellDelayMs=*/20, /*dieAfterCells=*/1});
+    // The survivor is slow enough that the sweep is still running when
+    // the dying backend burns its retry budget — the death must be
+    // observed as retry exhaustion, not masked by sweep completion.
+    DelayBackend survivor({/*perCellDelayMs=*/30});
+
+    ShardedClientOptions opts;
+    opts.maxAttempts = 2;
+    opts.retryBackoffMs = 1;
+    opts.minChunkCells = 2;
+    opts.maxChunkCells = 2;
+    opts.pipelineDepth = 2;
+    // No stealing: the dying backend's cells must come back through
+    // the failover path, not as stolen duplicates.
+    opts.workStealing = false;
+    ShardedClient client({dying.address(), survivor.address()}, opts);
+    EXPECT_EQ(canonReplies(client.sweep(cells)), reference);
+
+    const ShardedClient::ShardStats &stats = client.lastStats();
+    EXPECT_EQ(stats.deadBackends, 1u);
+    EXPECT_GE(stats.failovers, 1u);
+    EXPECT_GE(stats.retries, 1u);
+    // It really did die mid-lease, after serving exactly one cell.
+    EXPECT_EQ(dying.cellsServed(), 1u);
 }
 
 TEST_F(ShardedServiceTest, MalformedReplyFramesAreRejectedNotHung)

@@ -88,6 +88,7 @@ tool_sources() {
     design_space_explorer) echo "examples/design_space_explorer.cpp src/trace/trace_cli.cpp" ;;
     bench_mapper)          echo "bench/bench_mapper.cpp src/trace/trace_cli.cpp" ;;
     bench_sim)             echo "bench/bench_sim.cpp src/trace/trace_cli.cpp" ;;
+    bench_service)         echo "bench/bench_service.cpp" ;;
     *)                     echo "" ;;
     esac
 }

@@ -9,17 +9,27 @@
  *   ./iced_client --backends A,B,... sweep <kernel|all> [unroll] ...
  *   ./iced_client --server ADDR sync-store <local-store-dir>
  *   ./iced_client --server ADDR stats
+ *   ./iced_client ping ADDR   (or --server/--backends form)
  *   ./iced_client --server ADDR shutdown
  *
  * `--server` (alias: `--socket`) takes a Unix socket path or a TCP
  * `host:port`. `--backends` takes a comma-separated list of addresses
- * and shards sweeps across them (service/sharded_client.hpp):
- * deterministic partition, bounded retry with backoff, failover off
- * dead back-ends — the per-cell output stays in grid order, so stdout
- * is byte-identical to the single-server run modulo the `[tier]` tag.
+ * and serves sweeps through the work-stealing lease scheduler
+ * (service/sharded_client.hpp): grid-order chunk leases, pipelined per
+ * backend, adaptive chunk sizing, idle backends stealing from slow
+ * ones, a health probe before the deal, and failover off dead
+ * back-ends — the per-cell output stays in grid order, so stdout is
+ * byte-identical to the single-server run modulo the `[tier]` tag.
  * A sharded run appends a `shard: ...` summary line with the
- * retry/failover tally. `--connect-timeout-ms` bounds TCP connects
- * (default 5000; 0 = wait forever).
+ * lease/steal/retry tally. `--no-steal` disables work stealing and
+ * `--chunk-cells N` pins the lease size (both mainly for A/B runs and
+ * CI); `--connect-timeout-ms` bounds TCP connects (default 5000;
+ * 0 = wait forever).
+ *
+ * `ping` round-trips one `PingRequest` per target and prints the RTT
+ * plus the server's stats digest (cells served, store entry counts) —
+ * the same probe a sharded sweep runs before dealing. Exit 1 when any
+ * target is unreachable.
  *
  * `map` sends one cell (the kernel on the default fabric); `sweep`
  * sends the design-space explorer's (fabric x island) grid for the
@@ -37,7 +47,9 @@
  * request and requires the served mapping to be `equalMappings`-equal
  * (byte-identity via the codec) — exit 1 on any divergence.
  */
+#include <chrono>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -65,12 +77,17 @@ usage()
            "shutdown> ...\n"
            "       iced_client --server ADDR sync-store <store-dir>\n"
            "       iced_client --server ADDR stats\n"
+           "       iced_client ping ADDR\n"
            "       iced_client --server ADDR shutdown\n"
            "\n"
            "  ADDR is a Unix socket path or host:port (TCP).\n"
            "  --socket is an alias of --server.\n"
            "  --connect-timeout-ms N  TCP connect budget (default 5000,\n"
-           "                          0 = wait forever)\n";
+           "                          0 = wait forever)\n"
+           "  --chunk-cells N         pin the sharded lease size to N\n"
+           "                          cells (default: adaptive)\n"
+           "  --no-steal              disable work stealing across\n"
+           "                          backends\n";
     return 2;
 }
 
@@ -154,8 +171,10 @@ main(int argc, char **argv)
     std::string command;
     std::vector<std::string> positional;
     std::uint32_t deadlineMs = 0;
+    std::uint32_t chunkCells = 0;
     ClientOptions connection;
     bool verify = false;
+    bool noSteal = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -170,6 +189,11 @@ main(int argc, char **argv)
         } else if (arg == "--connect-timeout-ms" && hasValue) {
             connection.connectTimeoutMs =
                 static_cast<std::uint32_t>(std::atoll(argv[++i]));
+        } else if (arg == "--chunk-cells" && hasValue) {
+            chunkCells =
+                static_cast<std::uint32_t>(std::atoll(argv[++i]));
+        } else if (arg == "--no-steal") {
+            noSteal = true;
         } else if (arg == "--verify") {
             verify = true;
         } else if (command.empty()) {
@@ -179,12 +203,56 @@ main(int argc, char **argv)
         }
     }
     const bool sharded = !backendAddresses.empty();
-    if ((serverAddress.empty() && !sharded) || command.empty())
+    if (command.empty())
+        return usage();
+    // `ping ADDR` names its target positionally; everything else needs
+    // --server or --backends.
+    if (serverAddress.empty() && !sharded &&
+        !(command == "ping" && !positional.empty()))
         return usage();
 
     try {
+        if (command == "ping") {
+            std::vector<std::string> targets;
+            if (!positional.empty())
+                targets.push_back(positional[0]);
+            else if (sharded)
+                targets = backendAddresses;
+            else
+                targets.push_back(serverAddress);
+            bool allAlive = true;
+            for (const std::string &address : targets) {
+                try {
+                    const auto start = std::chrono::steady_clock::now();
+                    ServiceClient conn(address, connection);
+                    const PingReplyMsg pong = conn.ping();
+                    const double rttMs =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    std::cout << address << ": alive rtt_ms="
+                              << std::fixed << std::setprecision(2)
+                              << rttMs
+                              << " cells_served=" << pong.cellsServed
+                              << " store_entries=" << pong.storeEntries
+                              << " store_negatives="
+                              << pong.storeNegatives << "\n";
+                } catch (const FatalError &err) {
+                    allAlive = false;
+                    std::cout << address << ": DEAD (" << err.what()
+                              << ")\n";
+                }
+            }
+            return allAlive ? 0 : 1;
+        }
+
         ShardedClientOptions shardOpts;
         shardOpts.connection = connection;
+        shardOpts.workStealing = !noSteal;
+        if (chunkCells != 0) {
+            shardOpts.minChunkCells = chunkCells;
+            shardOpts.maxChunkCells = chunkCells;
+        }
         // Single-server runs use a direct ServiceClient: one
         // connection, no retry loop, and a connect failure surfaces
         // as one actionable error instead of a failover post-mortem.
@@ -306,7 +374,15 @@ main(int argc, char **argv)
                       << shardedClient->backendAddresses().size()
                       << " dead=" << stats.deadBackends
                       << " failover=" << stats.failovers
-                      << " retries=" << stats.retries << "\n";
+                      << " retries=" << stats.retries
+                      << " probes-failed=" << stats.probesFailed
+                      << " leases=" << stats.leases
+                      << " lease-cells=" << stats.leaseCellsMin << ".."
+                      << stats.leaseCellsMax
+                      << " steals=" << stats.steals
+                      << " stolen-cells=" << stats.stolenCells
+                      << " dup-replies=" << stats.duplicateReplies
+                      << "\n";
         }
         if (verify) {
             std::cout << "verify: "

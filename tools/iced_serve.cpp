@@ -7,7 +7,8 @@
  *
  *   ./iced_serve --listen /tmp/iced.sock --store /var/cache/iced \
  *                [--threads N] [--cache-capacity N] [--sync-writes] \
- *                [--prescreen] [--metrics-out FILE] [--addr-file FILE]
+ *                [--prescreen] [--metrics-out FILE] [--addr-file FILE] \
+ *                [--debug-cell-delay-ms N]
  *
  * `--listen` (alias: `--socket`) takes either address form: a Unix
  * socket path, or `host:port` for TCP — `127.0.0.1:0` binds an
@@ -63,7 +64,10 @@ usage()
            "               served computes: attempt-cell failures are\n"
            "               memoized (and persisted with --store) so\n"
            "               repeat sweeps never relaunch known-failed\n"
-           "               (II, lane) attempts\n";
+           "               (II, lane) attempts\n"
+           "  --debug-cell-delay-ms N  sleep N ms before serving each\n"
+           "               cell — a skew-injection knob for scheduler\n"
+           "               tests and benchmarks, never production\n";
     return 2;
 }
 
@@ -91,6 +95,9 @@ main(int argc, char **argv)
             opts.syncWrites = true;
         } else if (arg == "--prescreen") {
             opts.prescreen = true;
+        } else if (arg == "--debug-cell-delay-ms" && hasValue) {
+            opts.debugCellDelayMs =
+                static_cast<std::uint32_t>(std::atoll(argv[++i]));
         } else if (arg == "--metrics-out" && hasValue) {
             metricsOut = argv[++i];
         } else if (arg == "--addr-file" && hasValue) {

@@ -11,7 +11,11 @@
 #     ports, `design_space_explorer --server A,B` sweeping every
 #     kernel, one back-end SIGKILLed the moment its store proves it
 #     is mid-sweep — the sweep must complete through failover with
-#     stdout byte-identical to a local (serverless) explorer run.
+#     stdout byte-identical to a local (serverless) explorer run;
+#  5. skewed scenario: one fast back-end (warm store from phase 4)
+#     plus one --debug-cell-delay-ms straggler — the work-stealing
+#     scheduler must record steals>0, nothing may die, and stdout
+#     must again be byte-identical to the local run.
 #
 # Per-backend MetricsRegistry snapshots land in $SMOKE_ARTIFACT_DIR
 # when that variable is set (the CI job uploads them as artifacts).
@@ -155,10 +159,72 @@ fi
 wait "$pid_a"
 pid_a=""
 pid_b=""
+echo "service_smoke: PASS — sharded sweep survived a mid-sweep" \
+     "back-end kill with byte-identical output ($shard_line)"
+
+echo "== skewed run: one delayed back-end, work stealing =="
+# The fast back-end reuses phase 4's store (the survivor served nearly
+# every cell, so it answers from the persistent tier); the straggler
+# adds a scripted 150 ms to every cell it serves.
+"$serve" --listen 127.0.0.1:0 --store "$work/store_a" \
+    --addr-file "$work/c.addr" --metrics-out "$work/metrics_c.json" &
+pid_a=$!
+"$serve" --listen 127.0.0.1:0 --store "$work/store_d" \
+    --addr-file "$work/d.addr" --metrics-out "$work/metrics_d.json" \
+    --debug-cell-delay-ms 150 &
+pid_b=$!
+for _ in $(seq 1 100); do
+    [ -s "$work/c.addr" ] && [ -s "$work/d.addr" ] && break
+    sleep 0.1
+done
+addr_c=$(cat "$work/c.addr")
+addr_d=$(cat "$work/d.addr")
+echo "service_smoke: back-ends on $addr_c (fast) and $addr_d" \
+     "(slow: +150ms/cell)"
+
+# The probe the scheduler runs before dealing, exercised standalone.
+"$client" ping "$addr_c"
+"$client" ping "$addr_d"
+
+"$explorer" --server "$addr_c,$addr_d" all "$unroll" \
+    > "$work/skewed.txt" 2> "$work/skewed.err"
+
+# Stdout must be byte-identical to the local run despite the skew.
+if ! diff "$work/local.txt" "$work/skewed.txt"; then
+    echo "service_smoke: FAIL — skewed-backend stdout differs from" \
+         "the local run" >&2
+    exit 1
+fi
+
+skew_line=$(grep '^exec: shard ' "$work/skewed.err")
+echo "service_smoke: $skew_line"
+grep -q 'dead=0' <<<"$skew_line" || {
+    echo "service_smoke: FAIL — no backend may die in the skew phase" >&2
+    exit 1
+}
+steals=$(sed -E 's/.*steals=([0-9]+).*/\1/' <<<"$skew_line")
+if [ "$steals" -lt 1 ]; then
+    echo "service_smoke: FAIL — skewed backend provoked no steals" >&2
+    exit 1
+fi
+
+"$client" --server "$addr_c" shutdown
+"$client" --server "$addr_d" shutdown
+wait "$pid_a"
+wait "$pid_b"
+pid_a=""
+pid_b=""
+
+# Both back-ends served scheduler leases and answered health probes.
+grep -q '"service.requests.sweep_chunk": [1-9]' "$work/metrics_c.json"
+grep -q '"service.requests.sweep_chunk": [1-9]' "$work/metrics_d.json"
+grep -q '"service.requests.ping": [1-9]' "$work/metrics_c.json"
+grep -q '"service.requests.ping": [1-9]' "$work/metrics_d.json"
+
 if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
     mkdir -p "$SMOKE_ARTIFACT_DIR"
     cp "$work"/metrics_*.json "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    cp "$work/sharded.err" "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    cp "$work/sharded.err" "$work/skewed.err" \
+       "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
 fi
-echo "service_smoke: PASS — sharded sweep survived a mid-sweep" \
-     "back-end kill with byte-identical output ($shard_line)"
+echo "service_smoke: PASS — skewed sweep stole work ($skew_line)"
